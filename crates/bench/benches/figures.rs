@@ -1,0 +1,38 @@
+//! Criterion benches: one per figure of the paper, at smoke-test
+//! repetition counts. These exist so `cargo bench` exercises every
+//! experiment end-to-end and tracks regressions in the full pipelines;
+//! the publication-scale runs live in the `figures` binary.
+
+#![allow(missing_docs)] // criterion_main! generates an undocumented main
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use crowd_bench::RunOptions;
+use crowd_bench::figures::all_figures;
+use std::hint::black_box;
+
+/// Repetitions per figure keeping a bench iteration under ~1 s.
+fn bench_reps(id: &str) -> usize {
+    match id {
+        "fig1" | "fig2a" | "fig2c" => 8,
+        "fig2b" | "fig5a" => 3,
+        "fig3" | "fig4" | "fig5b" => 2,
+        "fig5c" => 1,
+        _ => 2,
+    }
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for spec in all_figures() {
+        let reps = bench_reps(spec.id);
+        let options = RunOptions::default().with_reps(reps);
+        group.bench_function(spec.id, |b| {
+            b.iter(|| black_box((spec.run)(black_box(&options))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Materializes the real-dataset stand-ins as CSV files.
+//!
+//! ```text
+//! cargo run --release -p crowd-bench --bin datasets -- [--out DIR] [--seed S]
+//! ```
+//!
+//! Writes `<name>_responses.csv` and `<name>_gold.csv` for each of the
+//! six stand-ins (IC, ENT, TEM, MOOC, WSD, WS) in the `worker,task,
+//! label` / `task,label` formats of `crowd_data::csv`, plus a summary
+//! of each dataset's shape. Downstream users can load these with
+//! [`crowd_data::csv::read_responses`] and reproduce the Figure 3–5
+//! protocols without the generator.
+
+use crowd_datasets::Dataset;
+use std::path::PathBuf;
+
+fn parse_args() -> Result<(PathBuf, u64), String> {
+    let mut out = PathBuf::from("data");
+    let mut seed = 20150413u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: datasets [--out DIR] [--seed S]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok((out, seed))
+}
+
+fn main() {
+    let (out, seed) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("error creating {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    type Generator = fn(u64) -> Dataset;
+    let generators: [(&str, Generator); 6] = [
+        ("ic", crowd_datasets::ic::generate),
+        ("ent", crowd_datasets::ent::generate),
+        ("tem", crowd_datasets::tem::generate),
+        ("mooc", crowd_datasets::mooc::generate),
+        ("wsd", crowd_datasets::wsd::generate),
+        ("ws", crowd_datasets::ws::generate),
+    ];
+    println!(
+        "{:<6} {:>8} {:>7} {:>7} {:>9} {:>8}",
+        "name", "workers", "tasks", "arity", "responses", "density"
+    );
+    for (name, generate) in generators {
+        let d = generate(seed);
+        let m = &d.responses;
+        println!(
+            "{:<6} {:>8} {:>7} {:>7} {:>9} {:>8.3}",
+            name,
+            m.n_workers(),
+            m.n_tasks(),
+            m.arity(),
+            m.n_responses(),
+            m.density()
+        );
+        type CsvWriter<'a> = &'a dyn Fn(&mut Vec<u8>) -> std::io::Result<()>;
+        let write = |path: PathBuf, body: CsvWriter| {
+            let mut buf = Vec::new();
+            if let Err(e) = body(&mut buf).and_then(|()| std::fs::write(&path, &buf)) {
+                eprintln!("error writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        write(out.join(format!("{name}_responses.csv")), &|buf| {
+            crowd_data::csv::write_responses(m, buf)
+        });
+        write(out.join(format!("{name}_gold.csv")), &|buf| {
+            crowd_data::csv::write_gold(&d.gold, buf)
+        });
+    }
+    println!("\nwrote 12 CSV files to {}", out.display());
+}

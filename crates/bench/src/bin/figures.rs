@@ -1,0 +1,134 @@
+//! Regenerates the paper's figures as CSV files + ASCII plots.
+//!
+//! ```text
+//! cargo run --release -p crowd-bench --bin figures -- [--fig <id>|--all]
+//!     [--reps N] [--seed S] [--threads N] [--out DIR] [--quick]
+//! ```
+//!
+//! Figure ids: fig1 fig2a fig2b fig2c fig3 fig4 fig5a fig5b fig5c.
+//! Without `--reps`, each figure uses its registry default (the
+//! paper-scale repetition count, scaled down for the dataset-heavy
+//! figures). `--quick` caps every figure at 8 repetitions for smoke
+//! runs.
+
+use crowd_bench::RunOptions;
+use crowd_bench::figures::{ablation_figures, all_figures};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Cli {
+    figs: Vec<String>,
+    reps: Option<usize>,
+    seed: u64,
+    threads: Option<usize>,
+    out: PathBuf,
+    quick: bool,
+    ablations: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        figs: Vec::new(),
+        reps: None,
+        seed: RunOptions::default().seed,
+        threads: None,
+        out: PathBuf::from("results"),
+        quick: false,
+        ablations: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = args.next().ok_or("--fig needs a value")?;
+                cli.figs.push(v);
+            }
+            "--all" => cli.figs.clear(),
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a value")?;
+                cli.reps = Some(v.parse().map_err(|_| format!("bad --reps {v}"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                cli.threads = Some(v.parse().map_err(|_| format!("bad --threads {v}"))?);
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                cli.out = PathBuf::from(v);
+            }
+            "--quick" => cli.quick = true,
+            "--ablations" => cli.ablations = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--fig <id>]... [--all] [--ablations] [--reps N] \
+                     [--seed S] [--threads N] [--out DIR] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut registry = all_figures();
+    if cli.ablations {
+        registry = ablation_figures();
+    }
+    let selected: Vec<_> = if cli.figs.is_empty() {
+        registry.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for want in &cli.figs {
+            match registry.iter().find(|f| f.id == want) {
+                Some(f) => picked.push(f),
+                None => {
+                    eprintln!(
+                        "error: unknown figure {want}; known: {:?}",
+                        registry.iter().map(|f| f.id).collect::<Vec<_>>()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let mut summary = Vec::new();
+    for spec in selected {
+        let reps = if cli.quick { 8 } else { cli.reps.unwrap_or(spec.default_reps) };
+        let mut options = RunOptions::default().with_reps(reps).with_seed(cli.seed);
+        if let Some(t) = cli.threads {
+            options.threads = t;
+        }
+        eprintln!("running {} (reps = {reps}, threads = {})...", spec.id, options.threads);
+        let start = Instant::now();
+        let result = (spec.run)(&options);
+        let elapsed = start.elapsed();
+        match result.write_csv(&cli.out) {
+            Ok(path) => eprintln!("  wrote {} ({:.1}s)", path.display(), elapsed.as_secs_f64()),
+            Err(e) => {
+                eprintln!("error writing {}: {e}", spec.id);
+                std::process::exit(1);
+            }
+        }
+        println!("{}", result.ascii());
+        summary.push((spec.id, reps, elapsed));
+    }
+    eprintln!("\nsummary:");
+    for (id, reps, elapsed) in summary {
+        eprintln!("  {id:6} reps={reps:<4} {:.1}s", elapsed.as_secs_f64());
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 5(a) — "Accuracy of confidence interval vs confidence level"
+//! for the k-ary method on synthetic data.
+//!
+//! Setting (§IV-B1): three workers with the paper's response matrices,
+//! uniform selectivity, everyone attempts every task,
+//! `k ∈ {2, 3, 4}`, `n ∈ {100, 1000}`; accuracy over all `3k²`
+//! response-probability intervals is plotted against `c`. The paper
+//! observes conservatism (above-diagonal accuracy) when data is small
+//! relative to the arity.
+
+use crate::{FigureResult, RunOptions, Series, confidence_grid, parallel_reps, rescale_interval};
+use crowd_core::{EstimatorConfig, KaryEstimator};
+use crowd_data::WorkerId;
+use crowd_sim::KaryScenario;
+
+/// Runs the experiment.
+pub fn run(options: &RunOptions) -> FigureResult {
+    let grid = confidence_grid();
+    let mut series = Vec::new();
+    let workers = [WorkerId(0), WorkerId(1), WorkerId(2)];
+    for &arity in &[2u16, 3, 4] {
+        for &n in &[100usize, 1000] {
+            let scenario = KaryScenario::paper_default(arity, n, 1.0);
+            let per_rep: Vec<Option<Vec<(usize, usize)>>> = parallel_reps(options, |seed| {
+                let mut rng = crowd_sim::rng(seed);
+                let inst = scenario.generate(&mut rng);
+                let est = KaryEstimator::new(EstimatorConfig::default());
+                let a = est.evaluate(inst.responses(), workers, 0.5).ok()?;
+                let truth =
+                    [0u32, 1, 2].map(|w| inst.true_confusion(WorkerId(w)));
+                Some(
+                    grid.iter()
+                        .map(|&c| {
+                            let mut covered = 0;
+                            let mut total = 0;
+                            for (i, t) in truth.iter().enumerate() {
+                                for r in 0..arity as usize {
+                                    for col in 0..arity as usize {
+                                        total += 1;
+                                        let ci = rescale_interval(
+                                            a.interval(i, r, col),
+                                            c,
+                                        );
+                                        if ci.contains(t.get(r, col)) {
+                                            covered += 1;
+                                        }
+                                    }
+                                }
+                            }
+                            (covered, total)
+                        })
+                        .collect(),
+                )
+            });
+            let points: Vec<(f64, f64)> = grid
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    let covered: usize =
+                        per_rep.iter().flatten().map(|r| r[i].0).sum();
+                    let total: usize =
+                        per_rep.iter().flatten().map(|r| r[i].1).sum();
+                    (c, covered as f64 / total.max(1) as f64)
+                })
+                .collect();
+            series.push(Series::new(format!("arity {arity}, {n} tasks"), points));
+        }
+    }
+    FigureResult {
+        id: "fig5a",
+        title: "k-ary interval accuracy vs. confidence".into(),
+        x_label: "Confidence Level".into(),
+        y_label: "Accuracy".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_tracks_or_exceeds_the_diagonal() {
+        let fig = run(&RunOptions::quick().with_reps(10));
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            let at09 = s.points.iter().find(|p| (p.0 - 0.9).abs() < 1e-9).unwrap().1;
+            assert!(
+                at09 > 0.75,
+                "{}: accuracy {at09:.2} at c=0.9 too far below nominal",
+                s.label
+            );
+            // More confidence → no less coverage.
+            let lo = s.points.first().unwrap().1;
+            assert!(at09 >= lo, "{}: coverage should grow with c", s.label);
+        }
+    }
+}

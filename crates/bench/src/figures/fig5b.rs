@@ -1,0 +1,79 @@
+//! Figure 5(b) — "Average size of confidence interval vs density" for
+//! the k-ary method.
+//!
+//! Setting (§IV-B2): `n = 500`, `c = 0.8`, three workers each
+//! attempting every task with probability `d ∈ {0.5 … 0.95}`,
+//! `k ∈ {2, 3, 4}`. Sizes fall with density and grow sharply with
+//! arity (the parameter count grows as `k²`).
+
+use crate::{FigureResult, RunOptions, Series, density_grid, parallel_reps};
+use crowd_core::{EstimatorConfig, KaryEstimator};
+use crowd_data::WorkerId;
+use crowd_sim::KaryScenario;
+
+/// Confidence level fixed by the paper for this figure.
+pub const CONFIDENCE: f64 = 0.8;
+/// Task count fixed by the paper for this figure.
+pub const N_TASKS: usize = 500;
+
+/// Runs the experiment.
+pub fn run(options: &RunOptions) -> FigureResult {
+    let grid = density_grid();
+    let workers = [WorkerId(0), WorkerId(1), WorkerId(2)];
+    let mut series = Vec::new();
+    for &arity in &[2u16, 3, 4] {
+        let mut points = Vec::with_capacity(grid.len());
+        for &d in &grid {
+            let scenario = KaryScenario::paper_default(arity, N_TASKS, d);
+            let sizes: Vec<Option<f64>> = parallel_reps(options, |seed| {
+                let mut rng = crowd_sim::rng(seed);
+                let inst = scenario.generate(&mut rng);
+                let est = KaryEstimator::new(EstimatorConfig::default());
+                let a = est.evaluate(inst.responses(), workers, CONFIDENCE).ok()?;
+                Some(a.mean_interval_size())
+            });
+            let valid: Vec<f64> = sizes.into_iter().flatten().collect();
+            points.push((d, valid.iter().sum::<f64>() / valid.len().max(1) as f64));
+        }
+        series.push(Series::new(format!("Arity {arity}"), points));
+    }
+    FigureResult {
+        id: "fig5b",
+        title: "k-ary interval size vs. density (n = 500, c = 0.8)".into(),
+        x_label: "Density".into(),
+        y_label: "Average Size of Interval".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_falls_with_density_and_rises_with_arity() {
+        let fig = run(&RunOptions::quick().with_reps(10));
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            // Monte-Carlo noise at small rep counts: compare the mean
+            // of the three sparsest points against the three densest.
+            let head: f64 = s.points[..3].iter().map(|p| p.1).sum::<f64>() / 3.0;
+            let tail: f64 =
+                s.points[s.points.len() - 3..].iter().map(|p| p.1).sum::<f64>() / 3.0;
+            assert!(tail < head, "{}: size should fall with density", s.label);
+        }
+        let at = |label: &str, d: f64| {
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points
+                .iter()
+                .find(|p| (p.0 - d).abs() < 1e-9)
+                .unwrap()
+                .1
+        };
+        assert!(at("Arity 3", 0.9) > at("Arity 2", 0.9), "arity 3 wider than arity 2");
+        assert!(at("Arity 4", 0.9) > at("Arity 3", 0.9), "arity 4 wider than arity 3");
+    }
+}

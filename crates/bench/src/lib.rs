@@ -1,0 +1,85 @@
+//! Experiment harness regenerating every figure of the paper.
+//!
+//! Each `figN` module reproduces one figure of the evaluation:
+//!
+//! | Module | Paper figure | What it plots |
+//! |---|---|---|
+//! | [`figures::fig1`]  | Fig. 1    | CI size vs confidence, new vs old technique |
+//! | [`figures::fig2a`] | Fig. 2(a) | interval accuracy vs confidence (binary, non-regular) |
+//! | [`figures::fig2b`] | Fig. 2(b) | CI size vs density |
+//! | [`figures::fig2c`] | Fig. 2(c) | CI size vs confidence, optimized vs uniform weights |
+//! | [`figures::fig3`]  | Fig. 3    | accuracy on real-data stand-ins |
+//! | [`figures::fig4`]  | Fig. 4    | accuracy after spammer pruning |
+//! | [`figures::fig5a`] | Fig. 5(a) | k-ary accuracy vs confidence |
+//! | [`figures::fig5b`] | Fig. 5(b) | k-ary CI size vs density |
+//! | [`figures::fig5c`] | Fig. 5(c) | k-ary accuracy on real-data stand-ins |
+//!
+//! Every experiment is deterministic given `(seed, reps)` and
+//! parallelized over repetitions with scoped threads; results are
+//! emitted as [`FigureResult`] which renders to CSV and a quick ASCII
+//! plot.
+
+pub mod figures;
+mod options;
+mod plot;
+mod result;
+mod runner;
+
+pub use options::RunOptions;
+pub use plot::ascii_plot;
+pub use result::{FigureResult, Series};
+pub use runner::parallel_reps;
+
+use crowd_stats::{ConfidenceInterval, two_sided_z};
+
+/// Rescales a delta-method interval to a different confidence level.
+///
+/// Delta-method intervals are `center ± z·deviation`; the deviation is
+/// confidence-independent, so one evaluation per repetition serves the
+/// whole confidence grid (exactly how the paper sweeps `c`).
+pub fn rescale_interval(ci: &ConfidenceInterval, confidence: f64) -> ConfidenceInterval {
+    let z_old = two_sided_z(ci.confidence).expect("stored confidence is valid");
+    let z_new = two_sided_z(confidence).expect("caller provides valid confidence");
+    ConfidenceInterval {
+        center: ci.center,
+        half_width: ci.half_width * z_new / z_old,
+        confidence,
+    }
+}
+
+/// The paper's confidence grid `{0.05, 0.10, …, 0.95}`.
+pub fn confidence_grid() -> Vec<f64> {
+    (1..=19).map(|i| i as f64 * 0.05).collect()
+}
+
+/// The paper's density grid `{0.5, 0.55, …, 0.95}`.
+pub fn density_grid() -> Vec<f64> {
+    (0..=9).map(|i| 0.5 + i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper() {
+        let c = confidence_grid();
+        assert_eq!(c.len(), 19);
+        assert!((c[0] - 0.05).abs() < 1e-12);
+        assert!((c[18] - 0.95).abs() < 1e-12);
+        let d = density_grid();
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[9] - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_matches_direct_construction() {
+        let at50 = ConfidenceInterval::from_deviation(0.3, 0.1, 0.5).unwrap();
+        let at90 = rescale_interval(&at50, 0.9);
+        let direct = ConfidenceInterval::from_deviation(0.3, 0.1, 0.9).unwrap();
+        assert!((at90.half_width - direct.half_width).abs() < 1e-12);
+        assert_eq!(at90.center, 0.3);
+        assert_eq!(at90.confidence, 0.9);
+    }
+}

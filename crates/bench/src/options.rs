@@ -1,0 +1,59 @@
+//! Harness run options.
+
+/// Options shared by all figure runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Monte-Carlo repetitions (the paper uses 500).
+    pub reps: usize,
+    /// Base seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+    /// Worker threads for the repetition loop.
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { reps: 500, seed: 20150413, threads: default_threads() }
+    }
+}
+
+impl RunOptions {
+    /// A drastically scaled-down configuration for smoke tests and
+    /// Criterion timing runs.
+    pub fn quick() -> Self {
+        Self { reps: 8, ..Self::default() }
+    }
+
+    /// Overrides the repetition count.
+    pub fn with_reps(self, reps: usize) -> Self {
+        Self { reps, ..self }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self { seed, ..self }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let o = RunOptions::default();
+        assert_eq!(o.reps, 500);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn builders() {
+        let o = RunOptions::quick().with_reps(3).with_seed(9);
+        assert_eq!(o.reps, 3);
+        assert_eq!(o.seed, 9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal ASCII line plots for terminal inspection of figure results.
+
+use crate::FigureResult;
+
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a figure as an ASCII scatter/line plot with a legend.
+pub fn ascii_plot(fig: &FigureResult, width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> =
+        fig.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return format!("{} — (no data)\n", fig.title);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, series) in fig.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &series.points {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} [{}]\n", fig.title, fig.id));
+    out.push_str(&format!("y: {} ({:.4} .. {:.4})\n", fig.y_label, y_min, y_max));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    out.push_str(&format!("x: {} ({:.3} .. {:.3})\n", fig.x_label, x_min, x_max));
+    for (si, series) in fig.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], series.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn fig(series: Vec<Series>) -> FigureResult {
+        FigureResult {
+            id: "p",
+            title: "plot".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series,
+        }
+    }
+
+    #[test]
+    fn empty_plot_has_placeholder() {
+        let s = ascii_plot(&fig(vec![]), 20, 5);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn marks_and_legend_present() {
+        let s = ascii_plot(
+            &fig(vec![
+                Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+                Series::new("down", vec![(0.0, 1.0), (1.0, 0.0)]),
+            ]),
+            30,
+            10,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+        assert!(s.contains("0.000 .. 1.000"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = ascii_plot(&fig(vec![Series::new("flat", vec![(0.5, 0.3)])]), 10, 4);
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure results: named series of (x, y) points.
+
+use std::io::Write;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+}
+
+/// Everything needed to regenerate one figure of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Stable identifier, e.g. `fig2a`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Renders the result as CSV: `x,<label1>,<label2>,...` with one
+    /// row per distinct x (series are aligned by x; missing values
+    /// render empty).
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut out = String::new();
+        out.push('x');
+        for s in &self.series {
+            out.push(',');
+            // Commas inside labels would break the format.
+            out.push_str(&s.label.replace(',', ";"));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(&(_, y)) =
+                    s.points.iter().find(|p| (p.0 - x).abs() < 1e-12)
+                {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<id>.csv` into `dir`.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()?;
+        Ok(path)
+    }
+
+    /// Renders an ASCII plot of the figure.
+    pub fn ascii(&self) -> String {
+        crate::ascii_plot(self, 72, 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "figtest",
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]),
+                Series::new("b", vec![(0.0, 3.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_aligns_series_by_x() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels() {
+        let mut fig = sample();
+        fig.series[0].label = "m=3, n=100".into();
+        assert!(fig.to_csv().lines().next().unwrap().contains("m=3; n=100"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("crowd_bench_test_csv");
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,a,b"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,203 @@
+//! The binary agreement equations: Eq. (1) and Lemma 2 of the paper.
+//!
+//! For binary tasks with symmetric error rates, two workers agree with
+//! probability `q_ij = p_i·p_j + (1−p_i)(1−p_j)`, equivalently
+//! `2q_ij − 1 = (1−2p_i)(1−2p_j)`. For a triangle of three workers the
+//! system solves in closed form:
+//!
+//! ```text
+//! p_i = 1/2 − 1/2 · sqrt( (2q_ij − 1)(2q_ik − 1) / (2q_jk − 1) )
+//! ```
+//!
+//! This module owns that inversion, its partial derivatives (Lemma 2),
+//! and the degeneracy handling around the `q = 1/2` singularity.
+
+use crate::{DegeneracyPolicy, EstimateError, Result};
+
+/// The three agreement rates of one worker triangle, ordered so the
+/// worker being evaluated participates in the first two:
+/// `(q_ij, q_ik, q_jk)` evaluates worker `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// Agreement rate between the evaluated worker and the first peer.
+    pub q_ij: f64,
+    /// Agreement rate between the evaluated worker and the second peer.
+    pub q_ik: f64,
+    /// Agreement rate between the two peers.
+    pub q_jk: f64,
+}
+
+impl Triangle {
+    /// Applies the degeneracy policy: every `2q − 1` factor must be
+    /// positive for the inversion to exist.
+    pub fn regularized(self, policy: DegeneracyPolicy) -> Result<Triangle> {
+        let fix = |q: f64, name: &str| -> Result<f64> {
+            match policy {
+                DegeneracyPolicy::Clamp { epsilon } => {
+                    debug_assert!(epsilon > 0.0, "clamp epsilon must be positive");
+                    Ok(q.max(0.5 + epsilon))
+                }
+                DegeneracyPolicy::Error => {
+                    if q <= 0.5 {
+                        Err(EstimateError::Degenerate {
+                            what: format!("agreement rate {name} = {q} <= 1/2"),
+                        })
+                    } else {
+                        Ok(q)
+                    }
+                }
+            }
+        };
+        Ok(Triangle {
+            q_ij: fix(self.q_ij, "q_ij")?,
+            q_ik: fix(self.q_ik, "q_ik")?,
+            q_jk: fix(self.q_jk, "q_jk")?,
+        })
+    }
+
+    /// Eq. (1): the point estimate of the evaluated worker's error rate.
+    ///
+    /// Assumes the triangle is already regularized (`q > 1/2`
+    /// everywhere); call [`Triangle::regularized`] first on raw data.
+    pub fn error_rate(&self) -> f64 {
+        let u = 2.0 * self.q_ij - 1.0;
+        let v = 2.0 * self.q_ik - 1.0;
+        let w = 2.0 * self.q_jk - 1.0;
+        debug_assert!(u > 0.0 && v > 0.0 && w > 0.0, "triangle not regularized");
+        0.5 - 0.5 * (u * v / w).sqrt()
+    }
+
+    /// Lemma 2: the gradient of [`Triangle::error_rate`] with respect
+    /// to `(q_ij, q_ik, q_jk)`.
+    pub fn gradient(&self) -> [f64; 3] {
+        let a = self.q_ij - 0.5;
+        let b = self.q_ik - 0.5;
+        let c = self.q_jk - 0.5;
+        debug_assert!(a > 0.0 && b > 0.0 && c > 0.0, "triangle not regularized");
+        [
+            -(b / (8.0 * a * c)).sqrt(),
+            -(a / (8.0 * b * c)).sqrt(),
+            (a * b / (8.0 * c * c * c)).sqrt(),
+        ]
+    }
+}
+
+/// The forward map: the agreement rate implied by two error rates,
+/// `q = p_i·p_j + (1−p_i)(1−p_j)`. Exposed for simulation-free tests
+/// and for the old-technique baseline.
+pub fn agreement_from_errors(p_i: f64, p_j: f64) -> f64 {
+    p_i * p_j + (1.0 - p_i) * (1.0 - p_j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_from_errors(p1: f64, p2: f64, p3: f64) -> Triangle {
+        Triangle {
+            q_ij: agreement_from_errors(p1, p2),
+            q_ik: agreement_from_errors(p1, p3),
+            q_jk: agreement_from_errors(p2, p3),
+        }
+    }
+
+    #[test]
+    fn inversion_recovers_error_rates_exactly() {
+        for &(p1, p2, p3) in
+            &[(0.1, 0.2, 0.3), (0.05, 0.05, 0.05), (0.0, 0.3, 0.49), (0.25, 0.1, 0.4)]
+        {
+            let t = triangle_from_errors(p1, p2, p3);
+            assert!(
+                (t.error_rate() - p1).abs() < 1e-12,
+                "failed to invert p1={p1}, got {}",
+                t.error_rate()
+            );
+            // Permute to evaluate worker 2 and worker 3.
+            let t2 = Triangle { q_ij: t.q_ij, q_ik: t.q_jk, q_jk: t.q_ik };
+            assert!((t2.error_rate() - p2).abs() < 1e-12);
+            let t3 = Triangle { q_ij: t.q_ik, q_ik: t.q_jk, q_jk: t.q_ij };
+            assert!((t3.error_rate() - p3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_workers_never_disagree() {
+        let t = triangle_from_errors(0.0, 0.0, 0.0);
+        assert_eq!(t.q_ij, 1.0);
+        assert!((t.error_rate() - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let t = Triangle { q_ij: 0.8, q_ik: 0.75, q_jk: 0.7 };
+        let g = t.gradient();
+        let h = 1e-7;
+        let num = [
+            (Triangle { q_ij: t.q_ij + h, ..t }.error_rate()
+                - Triangle { q_ij: t.q_ij - h, ..t }.error_rate())
+                / (2.0 * h),
+            (Triangle { q_ik: t.q_ik + h, ..t }.error_rate()
+                - Triangle { q_ik: t.q_ik - h, ..t }.error_rate())
+                / (2.0 * h),
+            (Triangle { q_jk: t.q_jk + h, ..t }.error_rate()
+                - Triangle { q_jk: t.q_jk - h, ..t }.error_rate())
+                / (2.0 * h),
+        ];
+        for (analytic, numeric) in g.iter().zip(&num) {
+            assert!(
+                (analytic - numeric).abs() < 1e-5,
+                "gradient mismatch: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_signs_match_lemma_2() {
+        // Increasing agreement with either peer lowers the error
+        // estimate; increasing peer-peer agreement raises it.
+        let t = Triangle { q_ij: 0.8, q_ik: 0.75, q_jk: 0.7 };
+        let g = t.gradient();
+        assert!(g[0] < 0.0);
+        assert!(g[1] < 0.0);
+        assert!(g[2] > 0.0);
+    }
+
+    #[test]
+    fn clamp_policy_repairs_degenerate_rates() {
+        let t = Triangle { q_ij: 0.45, q_ik: 0.9, q_jk: 0.5 };
+        let fixed = t.regularized(DegeneracyPolicy::Clamp { epsilon: 0.01 }).unwrap();
+        assert!((fixed.q_ij - 0.51).abs() < 1e-15);
+        assert!((fixed.q_jk - 0.51).abs() < 1e-15);
+        assert_eq!(fixed.q_ik, 0.9);
+        // The repaired triangle is safely invertible.
+        let p = fixed.error_rate();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn error_policy_rejects_degenerate_rates() {
+        let t = Triangle { q_ij: 0.5, q_ik: 0.9, q_jk: 0.8 };
+        assert!(matches!(
+            t.regularized(DegeneracyPolicy::Error),
+            Err(EstimateError::Degenerate { .. })
+        ));
+        let ok = Triangle { q_ij: 0.51, q_ik: 0.9, q_jk: 0.8 };
+        assert!(ok.regularized(DegeneracyPolicy::Error).is_ok());
+    }
+
+    #[test]
+    fn forward_map_properties() {
+        assert_eq!(agreement_from_errors(0.0, 0.0), 1.0);
+        assert_eq!(agreement_from_errors(0.5, 0.3), 0.5);
+        assert!((agreement_from_errors(0.1, 0.2) - (0.02 + 0.72)).abs() < 1e-15);
+        // Symmetric.
+        assert_eq!(agreement_from_errors(0.1, 0.4), agreement_from_errors(0.4, 0.1));
+    }
+
+    #[test]
+    fn derivative_magnitude_blows_up_near_singularity() {
+        let far = Triangle { q_ij: 0.9, q_ik: 0.9, q_jk: 0.9 }.gradient();
+        let near = Triangle { q_ij: 0.52, q_ik: 0.9, q_jk: 0.9 }.gradient();
+        assert!(near[0].abs() > far[0].abs());
+    }
+}

@@ -1,0 +1,115 @@
+//! Gold-standard worker evaluation — the classical technique the
+//! paper's introduction departs from.
+//!
+//! When correct responses are known for (some) tasks, a worker's error
+//! rate is a plain binomial proportion and textbook intervals apply.
+//! This baseline exists to quantify what the gold-free methods give up
+//! (nothing, asymptotically, per Figure 2a) and to calibrate the
+//! dataset stand-ins.
+
+use crate::{EstimateError, Result};
+use crowd_data::{GoldStandard, ResponseMatrix, WorkerId};
+use crowd_stats::{ConfidenceInterval, wald_interval, wilson_interval};
+
+/// Which proportion interval to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProportionMethod {
+    /// Wilson score interval (default; behaves at the boundaries).
+    #[default]
+    Wilson,
+    /// Wald (normal approximation) interval.
+    Wald,
+}
+
+/// Gold-standard evaluator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoldBaseline {
+    /// Interval construction method.
+    pub method: ProportionMethod,
+}
+
+impl GoldBaseline {
+    /// Confidence interval for one worker's error rate from its gold
+    /// tasks.
+    pub fn evaluate_worker(
+        &self,
+        data: &ResponseMatrix,
+        gold: &GoldStandard,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<ConfidenceInterval> {
+        let (attempted, wrong) = gold.worker_error_counts(data, worker);
+        if attempted == 0 {
+            return Err(EstimateError::NoUsableTriples { worker });
+        }
+        let ci = match self.method {
+            ProportionMethod::Wilson => {
+                wilson_interval(wrong as u64, attempted as u64, confidence)?
+            }
+            ProportionMethod::Wald => wald_interval(wrong as u64, attempted as u64, confidence)?,
+        };
+        Ok(ci)
+    }
+
+    /// Evaluates every worker that attempted at least one gold task.
+    pub fn evaluate_all(
+        &self,
+        data: &ResponseMatrix,
+        gold: &GoldStandard,
+        confidence: f64,
+    ) -> Vec<(WorkerId, ConfidenceInterval)> {
+        data.workers()
+            .filter_map(|w| self.evaluate_worker(data, gold, w, confidence).ok().map(|ci| (w, ci)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{BinaryScenario, rng};
+
+    #[test]
+    fn covers_truth_at_nominal_rate() {
+        let scenario = BinaryScenario::paper_default(5, 200, 1.0);
+        let baseline = GoldBaseline::default();
+        let mut r = rng(131);
+        let mut covered = 0;
+        let mut total = 0;
+        for _ in 0..150 {
+            let inst = scenario.generate(&mut r);
+            for (w, ci) in baseline.evaluate_all(inst.responses(), inst.gold(), 0.9) {
+                total += 1;
+                if ci.contains(inst.true_error_rate(w)) {
+                    covered += 1;
+                }
+            }
+        }
+        let coverage = covered as f64 / total as f64;
+        assert!((coverage - 0.9).abs() < 0.04, "gold-baseline coverage {coverage}");
+    }
+
+    #[test]
+    fn wilson_and_wald_agree_in_bulk() {
+        let inst = BinaryScenario::paper_default(3, 500, 1.0).generate(&mut rng(137));
+        let wilson = GoldBaseline { method: ProportionMethod::Wilson }
+            .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
+            .unwrap();
+        let wald = GoldBaseline { method: ProportionMethod::Wald }
+            .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
+            .unwrap();
+        assert!((wilson.center - wald.center).abs() < 0.01);
+        assert!((wilson.size() - wald.size()).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_gold_tasks_is_an_error() {
+        let inst = BinaryScenario::paper_default(3, 10, 1.0).generate(&mut rng(139));
+        let empty_gold = GoldStandard::partial(10, []);
+        assert!(
+            GoldBaseline::default()
+                .evaluate_worker(inst.responses(), &empty_gold, WorkerId(0), 0.9)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Baselines the paper evaluates against.
+//!
+//! * [`old_technique`] — the authors' earlier KDD'13 method
+//!   ("Evaluating the crowd with confidence"): super-worker majority
+//!   grouping with conservative interval propagation. The "old
+//!   technique" curves of Figure 1.
+//! * [`dawid_skene`] — EM point estimation of worker abilities
+//!   (Dawid & Skene 1979), the classical no-intervals comparator the
+//!   related-work section discusses.
+//! * [`gold`] — classical binomial intervals when gold-standard labels
+//!   *are* available, the technique the introduction starts from.
+
+pub mod dawid_skene;
+pub mod gold;
+pub mod old_technique;
+
+pub use dawid_skene::{DawidSkene, DawidSkeneResult};
+pub use gold::{GoldBaseline, ProportionMethod};
+pub use old_technique::OldTechnique;

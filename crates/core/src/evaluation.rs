@@ -1,0 +1,157 @@
+//! Assessment reports and interval-accuracy evaluation.
+//!
+//! The paper scores its intervals by **interval accuracy**: over many
+//! evaluations, the fraction of c-confidence intervals containing the
+//! true value, which should track `c` (the diagonal of Figures 2a, 3,
+//! 4, 5a, 5c). [`CoverageStats`] accumulates exactly that.
+
+use crate::EstimateError;
+use crowd_data::WorkerId;
+use crowd_stats::ConfidenceInterval;
+
+/// The outcome of evaluating one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerAssessment {
+    /// The worker evaluated.
+    pub worker: WorkerId,
+    /// Confidence interval for the worker's error rate; its `center`
+    /// is the point estimate.
+    pub interval: ConfidenceInterval,
+    /// How many triples contributed (1 for the 3-worker method).
+    pub triples_used: usize,
+    /// True if the Lemma 5 weight solver had to fall back (singular
+    /// covariance → ridge → uniform).
+    pub weights_fell_back: bool,
+}
+
+/// The outcome of evaluating every worker in a dataset.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Successful assessments, in worker order.
+    pub assessments: Vec<WorkerAssessment>,
+    /// Workers that could not be evaluated, with the reason.
+    pub failures: Vec<(WorkerId, EstimateError)>,
+}
+
+impl WorkerReport {
+    /// Iterates `(worker, interval)` over successful assessments.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &ConfidenceInterval)> {
+        self.assessments.iter().map(|a| (a.worker, &a.interval))
+    }
+
+    /// Looks up one worker's assessment.
+    pub fn get(&self, worker: WorkerId) -> Option<&WorkerAssessment> {
+        self.assessments.iter().find(|a| a.worker == worker)
+    }
+
+    /// Mean interval size over successful assessments (the y-axis of
+    /// Figures 1, 2b, 2c).
+    pub fn mean_interval_size(&self) -> f64 {
+        if self.assessments.is_empty() {
+            return 0.0;
+        }
+        self.assessments.iter().map(|a| a.interval.size()).sum::<f64>()
+            / self.assessments.len() as f64
+    }
+
+    /// Scores coverage against a truth oracle; workers whose truth is
+    /// unknown (`None`) are skipped.
+    pub fn coverage(&self, truth: impl Fn(WorkerId) -> Option<f64>) -> CoverageStats {
+        let mut stats = CoverageStats::default();
+        for a in &self.assessments {
+            if let Some(t) = truth(a.worker) {
+                stats.record(a.interval.contains(t));
+            }
+        }
+        stats
+    }
+}
+
+/// Running interval-accuracy tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Intervals containing the truth.
+    pub covered: usize,
+    /// Intervals scored.
+    pub total: usize,
+}
+
+impl CoverageStats {
+    /// Records one interval's verdict.
+    pub fn record(&mut self, covered: bool) {
+        self.total += 1;
+        if covered {
+            self.covered += 1;
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: CoverageStats) {
+        self.covered += other.covered;
+        self.total += other.total;
+    }
+
+    /// The interval accuracy (coverage fraction); `None` before any
+    /// observation.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.total == 0 { None } else { Some(self.covered as f64 / self.total as f64) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessment(worker: u32, lo: f64, hi: f64) -> WorkerAssessment {
+        WorkerAssessment {
+            worker: WorkerId(worker),
+            interval: ConfidenceInterval::from_bounds(lo, hi, 0.9),
+            triples_used: 1,
+            weights_fell_back: false,
+        }
+    }
+
+    #[test]
+    fn report_queries() {
+        let report = WorkerReport {
+            assessments: vec![assessment(0, 0.1, 0.3), assessment(1, 0.0, 0.4)],
+            failures: vec![],
+        };
+        assert_eq!(report.iter().count(), 2);
+        assert!(report.get(WorkerId(1)).is_some());
+        assert!(report.get(WorkerId(9)).is_none());
+        assert!((report.mean_interval_size() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_mean_size_is_zero() {
+        assert_eq!(WorkerReport::default().mean_interval_size(), 0.0);
+    }
+
+    #[test]
+    fn coverage_scoring_skips_unknown_truth() {
+        let report = WorkerReport {
+            assessments: vec![assessment(0, 0.1, 0.3), assessment(1, 0.0, 0.1)],
+            failures: vec![],
+        };
+        let stats = report.coverage(|w| if w == WorkerId(0) { Some(0.2) } else { None });
+        assert_eq!(stats, CoverageStats { covered: 1, total: 1 });
+        let stats = report.coverage(|_| Some(0.2));
+        assert_eq!(stats, CoverageStats { covered: 1, total: 2 });
+    }
+
+    #[test]
+    fn coverage_accumulates_and_merges() {
+        let mut a = CoverageStats::default();
+        assert_eq!(a.accuracy(), None);
+        a.record(true);
+        a.record(false);
+        let mut b = CoverageStats::default();
+        b.record(true);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.total, 4);
+        assert_eq!(a.covered, 3);
+        assert!((a.accuracy().unwrap() - 0.75).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,359 @@
+//! The `ProbEstimate` procedure of Algorithm A3: point estimates of
+//! `V_i = S_D^{1/2}·P_i` from a counts tensor.
+
+use crate::kary::align::{align_rows_greedy, fix_row_signs};
+use crate::{EstimateError, Result};
+use crowd_data::{AttemptPattern, CountsTensor};
+use crowd_linalg::{Lu, Matrix, symmetric_eigen};
+
+/// Eigenvalues of the moment product below this (relative) floor mean
+/// the second-moment matrix is numerically rank-deficient — the
+/// situation the paper hits on WSD with arity 3 ("one of the matrix
+/// rows has only zeros, making it non-invertible").
+const EIGENVALUE_FLOOR: f64 = 1e-10;
+
+/// Point estimates of `V_i = S_D^{1/2}·P_i` for the three workers.
+#[derive(Debug, Clone)]
+pub struct ProbEstimate {
+    /// `V₁, V₂, V₃` (k×k each).
+    pub v: [Matrix; 3],
+}
+
+impl ProbEstimate {
+    /// Row-normalizes `V_i` into the response-probability matrix
+    /// `P̂_i` (each row of `V_i` is `sqrt(S_r)·P_i[r,·]`, so dividing by
+    /// the row sum recovers the probabilities).
+    pub fn response_probabilities(&self, worker_slot: usize) -> Matrix {
+        let v = &self.v[worker_slot];
+        let k = v.rows();
+        Matrix::from_fn(k, k, |r, c| {
+            let sum: f64 = v.row(r).iter().sum();
+            if sum.abs() < 1e-12 { if r == c { 1.0 } else { 0.0 } } else { v.get(r, c) / sum }
+        })
+    }
+
+    /// Estimated selectivity: row sums of the `V_i` estimate
+    /// `sqrt(S_r)`; the three workers' estimates are averaged, squared
+    /// and normalized.
+    pub fn selectivity(&self) -> Vec<f64> {
+        let k = self.v[0].rows();
+        let mut s: Vec<f64> = (0..k)
+            .map(|r| {
+                let mean_root: f64 =
+                    self.v.iter().map(|v| v.row(r).iter().sum::<f64>()).sum::<f64>() / 3.0;
+                (mean_root.max(0.0)).powi(2)
+            })
+            .collect();
+        let total: f64 = s.iter().sum();
+        if total > 0.0 {
+            for x in s.iter_mut() {
+                *x /= total;
+            }
+        } else {
+            s = vec![1.0 / k as f64; k];
+        }
+        s
+    }
+}
+
+/// Runs `ProbEstimate` on a counts tensor.
+pub fn prob_estimate(counts: &CountsTensor) -> Result<ProbEstimate> {
+    let k = counts.arity();
+
+    // Step 1: attempt-group sizes.
+    let n123 = counts.n_all_three();
+    if n123 < 1.0 {
+        return Err(EstimateError::Degenerate {
+            what: "no task was attempted by all three workers".into(),
+        });
+    }
+    let d12 = n123 + counts.n_exactly_pair(AttemptPattern(0b011));
+    let d23 = n123 + counts.n_exactly_pair(AttemptPattern(0b110));
+    let d31 = n123 + counts.n_exactly_pair(AttemptPattern(0b101));
+
+    // Step 2: response frequency matrices R_{i1,i2}[a,b] = P̂(w_i1 = a,
+    // w_i2 = b), estimated over tasks both attempted.
+    let r12 = Matrix::from_fn(k, k, |a, b| {
+        (0..=k).map(|c| counts.get(a + 1, b + 1, c)).sum::<f64>() / d12
+    });
+    let r23 = Matrix::from_fn(k, k, |a, b| {
+        (0..=k).map(|j| counts.get(j, a + 1, b + 1)).sum::<f64>() / d23
+    });
+    let r31 = Matrix::from_fn(k, k, |a, b| {
+        (0..=k).map(|j| counts.get(b + 1, j, a + 1)).sum::<f64>() / d31
+    });
+    let r32 = r23.transpose();
+    let r13 = r31.transpose();
+
+    // Step 3: eigendecomposition of R₁₂·R₃₂⁻¹·R₃₁ = V₁ᵀV₁ (Lemma 7).
+    let r32_inv = Lu::decompose(&r32)
+        .map_err(|e| EstimateError::Numerical(format!("R32 inversion failed: {e}")))?
+        .inverse()?;
+    let m = r12.matmul(&r32_inv).matmul(&r31);
+    let eig = symmetric_eigen(&m.symmetrize()?)?;
+    let lam_max = eig.values.first().copied().unwrap_or(0.0).max(1e-300);
+    for &lam in &eig.values {
+        if lam < EIGENVALUE_FLOOR * lam_max {
+            return Err(EstimateError::Degenerate {
+                what: format!("moment product is numerically singular (eigenvalue {lam})"),
+            });
+        }
+    }
+
+    // Step 4: U₁ = E·D^{1/2}·E⁻¹ (symmetric square root), U₂, U₃.
+    let u1 = eig.map_spectrum(|lam| lam.max(0.0).sqrt());
+    let u1_lu = Lu::decompose(&u1)
+        .map_err(|e| EstimateError::Numerical(format!("U1 inversion failed: {e}")))?;
+    let u1_inv = u1_lu.inverse()?;
+    let u2 = u1_inv.matmul(&r12);
+    let u2_inv = Lu::decompose(&u2)
+        .map_err(|e| EstimateError::Numerical(format!("U2 inversion failed: {e}")))?
+        .inverse()?;
+
+    // Steps 5–6: recover the orthogonal factor U from each conditional
+    // moment matrix and average the resulting V₁ estimates.
+    //
+    // A conditional matrix only identifies U when its eigenvalues
+    // (the entries of column j₃ of P₃, Lemma 8) are distinct: exact
+    // ties make the eigenvectors arbitrary within the tied subspace.
+    // Exact ties occur for the paper's own arity-4 matrices, so a
+    // first pass skips j₃ whose spectrum is (numerically) degenerate;
+    // if every j₃ is degenerate we fall back to using them all, which
+    // is the paper's literal behaviour.
+    let run = |require_gap: bool| -> crate::Result<(Matrix, usize)> {
+        let mut v1_acc = Matrix::zeros(k, k);
+        let mut used = 0usize;
+        for j3 in 1..=k {
+            let n_j3: f64 = (1..=k)
+                .flat_map(|a| (1..=k).map(move |b| (a, b)))
+                .map(|(a, b)| counts.get(a, b, j3))
+                .sum();
+            if n_j3 < 1.0 {
+                continue;
+            }
+            let rc = Matrix::from_fn(k, k, |a, b| counts.get(a + 1, b + 1, j3) / n_j3);
+            // M' = U₁⁻ᵀ·R_c·U₂⁻¹ = Uᵀ·W·U / p(j₃): symmetric with
+            // eigenvector basis Uᵀ (U₁ is symmetric, so U₁⁻ᵀ = U₁⁻¹).
+            let m_cond = u1_inv.matmul(&rc).matmul(&u2_inv);
+            let Ok(eig_cond) = symmetric_eigen(&m_cond.symmetrize()?) else {
+                continue;
+            };
+            if require_gap {
+                let spread = eig_cond.values.first().unwrap_or(&0.0)
+                    - eig_cond.values.last().unwrap_or(&0.0);
+                let min_gap = eig_cond
+                    .values
+                    .windows(2)
+                    .map(|w| w[0] - w[1])
+                    .fold(f64::INFINITY, f64::min);
+                if spread.is_nan() || spread <= 0.0 || min_gap < 1e-8 * spread.max(1e-12) {
+                    continue;
+                }
+            }
+            let u_est = eig_cond.vectors.transpose();
+            let mut v1_j3 = u_est.matmul(&u1);
+            fix_row_signs(&mut v1_j3);
+            let aligned = align_rows_greedy(&v1_j3);
+            v1_acc = v1_acc.add_matrix(&aligned);
+            used += 1;
+        }
+        Ok((v1_acc, used))
+    };
+    let (v1_acc, used) = {
+        let (acc, used) = run(true)?;
+        if used > 0 { (acc, used) } else { run(false)? }
+    };
+    if used == 0 {
+        return Err(EstimateError::Degenerate {
+            what: "no conditional moment matrix was usable (worker 3 responses too sparse)"
+                .into(),
+        });
+    }
+    let v1 = v1_acc.scale(1.0 / used as f64);
+
+    // Step 7: V₂ = V₁⁻ᵀ·R₁₂, V₃ = V₁⁻ᵀ·R₁₃.
+    let v1t_inv = Lu::decompose(&v1.transpose())
+        .map_err(|e| EstimateError::Numerical(format!("V1 inversion failed: {e}")))?
+        .inverse()?;
+    let v2 = v1t_inv.matmul(&r12);
+    let v3 = v1t_inv.matmul(&r13);
+
+    for (i, v) in [&v1, &v2, &v3].into_iter().enumerate() {
+        if !v.all_finite() {
+            return Err(EstimateError::Numerical(format!(
+                "V{} contains non-finite entries",
+                i + 1
+            )));
+        }
+    }
+    Ok(ProbEstimate { v: [v1, v2, v3] })
+}
+
+/// Builds the *population* counts tensor (expected counts for `n`
+/// tasks, all attempted by all three workers) from true parameters.
+/// Useful for exact-recovery tests and documentation examples.
+///
+/// # Example
+///
+/// `ProbEstimate` recovers the true response-probability matrices
+/// exactly from population moments:
+///
+/// ```
+/// use crowd_core::kary::{population_counts, prob_estimate};
+///
+/// let p = [
+///     crowd_sim::paper_matrices(2)[0].clone(),
+///     crowd_sim::paper_matrices(2)[1].clone(),
+///     crowd_sim::paper_matrices(2)[2].clone(),
+/// ];
+/// let counts = population_counts(&p, &[0.5, 0.5], 10_000.0);
+/// let est = prob_estimate(&counts)?;
+/// assert!(est.response_probabilities(0).approx_eq(&p[0], 1e-5));
+/// # Ok::<(), crowd_core::EstimateError>(())
+/// ```
+pub fn population_counts(p: &[Matrix; 3], selectivity: &[f64], n: f64) -> CountsTensor {
+    let k = selectivity.len();
+    let mut counts = CountsTensor::zeros(k);
+    for a in 1..=k {
+        for b in 1..=k {
+            for c in 1..=k {
+                let mut prob = 0.0;
+                for (t, &s) in selectivity.iter().enumerate() {
+                    prob += s * p[0].get(t, a - 1) * p[1].get(t, b - 1) * p[2].get(t, c - 1);
+                }
+                counts.set(a, b, c, n * prob);
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expected_v(p: &Matrix, selectivity: &[f64]) -> Matrix {
+        Matrix::from_fn(p.rows(), p.cols(), |r, c| selectivity[r].sqrt() * p.get(r, c))
+    }
+
+    #[test]
+    fn recovers_truth_from_population_counts_arity2() {
+        let p = [
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]),
+            Matrix::from_rows(&[&[0.8, 0.2], &[0.1, 0.9]]),
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.1, 0.9]]),
+        ];
+        let s = [0.5, 0.5];
+        let counts = population_counts(&p, &s, 10_000.0);
+        let est = prob_estimate(&counts).unwrap();
+        for i in 0..3 {
+            let want = expected_v(&p[i], &s);
+            assert!(
+                est.v[i].approx_eq(&want, 1e-6),
+                "V{} mismatch:\ngot {:?}\nwant {want:?}",
+                i + 1,
+                est.v[i]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_truth_from_population_counts_arity3_skewed_selectivity() {
+        let p = [
+            Matrix::from_rows(&[&[0.6, 0.3, 0.1], &[0.1, 0.6, 0.3], &[0.3, 0.1, 0.6]]),
+            Matrix::from_rows(&[&[0.8, 0.1, 0.1], &[0.2, 0.8, 0.0], &[0.0, 0.2, 0.8]]),
+            Matrix::from_rows(&[&[0.9, 0.0, 0.1], &[0.1, 0.9, 0.0], &[0.0, 0.2, 0.8]]),
+        ];
+        let s = [0.5, 0.3, 0.2];
+        let counts = population_counts(&p, &s, 10_000.0);
+        let est = prob_estimate(&counts).unwrap();
+        for i in 0..3 {
+            let want = expected_v(&p[i], &s);
+            assert!(
+                est.v[i].approx_eq(&want, 1e-5),
+                "V{} mismatch:\ngot {:?}\nwant {want:?}",
+                i + 1,
+                est.v[i]
+            );
+        }
+        // Derived quantities.
+        let sel = est.selectivity();
+        for (got, want) in sel.iter().zip(&s) {
+            assert!((got - want).abs() < 1e-5, "selectivity {sel:?}");
+        }
+        for i in 0..3 {
+            let probs = est.response_probabilities(i);
+            assert!(probs.approx_eq(&p[i], 1e-5), "P{} mismatch: {probs:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn recovers_truth_arity4() {
+        let pool = crowd_sim::paper_matrices(4);
+        let p = [pool[0].clone(), pool[1].clone(), pool[2].clone()];
+        let s = [0.25, 0.25, 0.25, 0.25];
+        let counts = population_counts(&p, &s, 100_000.0);
+        let est = prob_estimate(&counts).unwrap();
+        for i in 0..3 {
+            let want = expected_v(&p[i], &s);
+            assert!(
+                est.v[i].approx_eq(&want, 1e-5),
+                "V{} mismatch:\ngot {:?}\nwant {want:?}",
+                i + 1,
+                est.v[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_counts_rejected() {
+        let counts = CountsTensor::zeros(2);
+        assert!(matches!(
+            prob_estimate(&counts),
+            Err(EstimateError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_moments_rejected() {
+        // All three workers always answer r0 regardless of truth:
+        // the frequency matrices are rank 1 → singular.
+        let mut counts = CountsTensor::zeros(2);
+        counts.set(1, 1, 1, 50.0);
+        let err = prob_estimate(&counts).unwrap_err();
+        assert!(
+            matches!(err, EstimateError::Degenerate { .. } | EstimateError::Numerical(_)),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_counts_approach_population_estimates() {
+        use crowd_data::WorkerId;
+        use crowd_sim::{KaryScenario, rng};
+        let scenario = KaryScenario::paper_default(3, 4000, 1.0);
+        let mut r = rng(149);
+        let inst = scenario.generate(&mut r);
+        let counts = CountsTensor::from_matrix(
+            inst.responses(),
+            WorkerId(0),
+            WorkerId(1),
+            WorkerId(2),
+        );
+        let est = prob_estimate(&counts).unwrap();
+        for i in 0..3u32 {
+            let probs = est.response_probabilities(i as usize);
+            let truth = inst.true_confusion(WorkerId(i));
+            for r_ in 0..3 {
+                for c in 0..3 {
+                    assert!(
+                        (probs.get(r_, c) - truth.get(r_, c)).abs() < 0.08,
+                        "worker {i} P[{r_},{c}]: {} vs {}",
+                        probs.get(r_, c),
+                        truth.get(r_, c)
+                    );
+                }
+            }
+        }
+    }
+}

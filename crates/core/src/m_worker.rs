@@ -1,0 +1,458 @@
+//! The m-worker estimator — Algorithm A2 (§III-C).
+//!
+//! To evaluate worker `i` among `m` workers on non-regular data:
+//!
+//! 1. split the other workers into disjoint pairs, greedily by task
+//!    overlap with `i` ([`crate::pairing`]);
+//! 2. run the 3-worker method on every triple `(i, j₁, j₂)`, keeping
+//!    the per-triple estimate `p_{k,i}`, its deviation and the Lemma 2
+//!    derivatives ([`crate::three_worker`]);
+//! 3. assemble the cross-triple covariance matrix with **Lemma 4** —
+//!    triples correlate because they all contain worker `i`'s
+//!    responses — and combine the estimates with the **Lemma 5**
+//!    minimum-variance weights;
+//! 4. apply Theorem 1 once more for the final interval.
+//!
+//! # Sparse-data caveat
+//!
+//! Triples whose agreement rate falls at or below 1/2 cannot be
+//! inverted and are dropped (the paper's failure mode). When pair
+//! overlaps are tiny (a handful of common tasks), that drop becomes a
+//! strong *selection* effect: the surviving triples saw unusually high
+//! agreement, so the combined estimate is biased toward zero error.
+//! On very sparse datasets raise
+//! [`EstimatorConfig::min_pair_overlap`](crate::EstimatorConfig) (the
+//! experiment harness uses 10 for the real-data figures, mirroring the
+//! paper's §IV-C overlap threshold `t`); workers without enough
+//! well-overlapped peers are then reported as failures instead of
+//! being silently mis-estimated.
+
+use crate::three_worker::{ThreeWorkerEstimator, TripleEstimate};
+use crate::{EstimateError, EstimatorConfig, Result, WorkerAssessment, WorkerReport};
+use crowd_data::{ResponseMatrix, WorkerId, pair_stats, triple_overlap};
+use crowd_linalg::Matrix;
+use crowd_stats::{ConfidenceInterval, min_variance_weights};
+
+/// The m-worker estimator (Algorithm A2).
+///
+/// # Example
+///
+/// ```
+/// use crowd_core::{EstimatorConfig, MWorkerEstimator};
+/// use crowd_sim::BinaryScenario;
+///
+/// // 7 workers, 100 binary tasks, 80% attempt density.
+/// let instance = BinaryScenario::paper_default(7, 100, 0.8)
+///     .generate(&mut crowd_sim::rng(42));
+///
+/// let estimator = MWorkerEstimator::new(EstimatorConfig::default());
+/// let report = estimator.evaluate_all(instance.responses(), 0.9)?;
+/// assert_eq!(report.assessments.len(), 7);
+/// for a in &report.assessments {
+///     // Every interval is a proper 90% confidence interval on the
+///     // worker's error rate, derived purely from agreement data.
+///     assert!(a.interval.size() > 0.0);
+/// }
+/// # Ok::<(), crowd_core::EstimateError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MWorkerEstimator {
+    config: EstimatorConfig,
+    three: ThreeWorkerEstimator,
+}
+
+impl MWorkerEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        Self { three: ThreeWorkerEstimator::new(config.clone()), config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Evaluates a single worker, aggregating every usable triple.
+    pub fn evaluate_worker(
+        &self,
+        data: &ResponseMatrix,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment> {
+        self.evaluate_worker_cached(data, None, worker, confidence)
+    }
+
+    /// [`MWorkerEstimator::evaluate_worker`] with a precomputed
+    /// [`PairCache`], replacing every pairwise merge scan with an O(1)
+    /// lookup — the workhorse of the incremental evaluator.
+    pub fn evaluate_worker_cached(
+        &self,
+        data: &ResponseMatrix,
+        cache: Option<&crowd_data::PairCache>,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment> {
+        if data.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+        }
+        let pairs = crate::pairing::form_pairs_cached(
+            data,
+            cache,
+            worker,
+            self.config.pairing,
+            self.config.min_pair_overlap,
+        );
+        let mut triples: Vec<TripleEstimate> = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            match self.three.triple_estimate_cached(data, cache, worker, a, b) {
+                Ok(t) => triples.push(t),
+                // A degenerate or under-overlapped triple is dropped;
+                // the remaining triples still yield a valid (wider)
+                // interval.
+                Err(EstimateError::Degenerate { .. })
+                | Err(EstimateError::InsufficientOverlap { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        if triples.is_empty() {
+            return Err(EstimateError::NoUsableTriples { worker });
+        }
+
+        if triples.len() == 1 {
+            let t = &triples[0];
+            let interval = ConfidenceInterval::from_deviation(t.p_hat, t.deviation, confidence)?;
+            return Ok(WorkerAssessment {
+                worker,
+                interval,
+                triples_used: 1,
+                weights_fell_back: false,
+            });
+        }
+
+        let cov = self.triple_covariance(data, cache, worker, &triples);
+        let weights = min_variance_weights(&cov, self.config.weight_policy)?;
+        let p_hat: f64 =
+            weights.weights.iter().zip(&triples).map(|(w, t)| w * t.p_hat).sum();
+        let interval =
+            ConfidenceInterval::from_deviation(p_hat, weights.variance.sqrt(), confidence)?;
+        Ok(WorkerAssessment {
+            worker,
+            interval,
+            triples_used: triples.len(),
+            weights_fell_back: weights.fell_back,
+        })
+    }
+
+    /// Evaluates every worker, collecting per-worker failures instead
+    /// of aborting (sparse real data routinely has a few unevaluable
+    /// workers).
+    pub fn evaluate_all(&self, data: &ResponseMatrix, confidence: f64) -> Result<WorkerReport> {
+        if data.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+        }
+        let mut report = WorkerReport::default();
+        for worker in data.workers() {
+            match self.evaluate_worker(data, worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`MWorkerEstimator::evaluate_all`] across `threads` worker
+    /// threads, sharing one precomputed [`crowd_data::PairCache`].
+    /// Per-worker evaluations are independent, so the report is
+    /// bit-identical to the serial one (assessments in worker order);
+    /// on crowds the size of the ENT dataset (164 workers) this is the
+    /// difference between interactive and coffee-break latency.
+    pub fn evaluate_all_parallel(
+        &self,
+        data: &ResponseMatrix,
+        confidence: f64,
+        threads: usize,
+    ) -> Result<WorkerReport> {
+        let m = data.n_workers();
+        if m < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
+        }
+        let threads = threads.max(1).min(m);
+        if threads == 1 {
+            return self.evaluate_all(data, confidence);
+        }
+        let cache = crowd_data::PairCache::from_matrix(data);
+        let mut slots: Vec<Option<std::result::Result<WorkerAssessment, EstimateError>>> =
+            (0..m).map(|_| None).collect();
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        let worker = WorkerId((t * chunk + i) as u32);
+                        *slot = Some(self.evaluate_worker_cached(
+                            data,
+                            Some(cache),
+                            worker,
+                            confidence,
+                        ));
+                    }
+                });
+            }
+        });
+        let mut report = WorkerReport::default();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every worker evaluated") {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((WorkerId(i as u32), e)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Lemma 4: the l×l covariance matrix of the per-triple estimates
+    /// `p_{k,i}`.
+    ///
+    /// Diagonal: `Dev²_{k,i}`. Off-diagonal, for triples `(i,j₁,j₂)` and
+    /// `(i,j₃,j₄)`:
+    ///
+    /// ```text
+    /// Cov = Σ_{a ∈ {j₁,j₂}} Σ_{b ∈ {j₃,j₄}} d_{k₁,i,a}·d_{k₂,i,b}·C(i,a,b)
+    /// C(i,a,b) = c_{iab} · p_i(1−p_i) · (2q_{ab} − 1) / (c_{ia}·c_{ib})
+    /// ```
+    ///
+    /// The pairs are disjoint across triples, so only agreement rates
+    /// that share worker `i` correlate; `p_i` is plugged in as the mean
+    /// of the per-triple estimates clamped into the admissible
+    /// `[0, 1/2]`.
+    fn triple_covariance(
+        &self,
+        data: &ResponseMatrix,
+        cache: Option<&crowd_data::PairCache>,
+        worker: WorkerId,
+        triples: &[TripleEstimate],
+    ) -> Matrix {
+        let l = triples.len();
+        let p_i = {
+            let mean = triples.iter().map(|t| t.p_hat).sum::<f64>() / l as f64;
+            mean.clamp(0.0, 0.5)
+        };
+        let pq_i = p_i * (1.0 - p_i);
+
+        let mut cov = Matrix::zeros(l, l);
+        for (k, t) in triples.iter().enumerate() {
+            cov.set(k, k, t.deviation * t.deviation);
+        }
+        for k1 in 0..l {
+            for k2 in (k1 + 1)..l {
+                let t1 = &triples[k1];
+                let t2 = &triples[k2];
+                let mut sum = 0.0;
+                let peers1 = [
+                    (t1.peers.0, t1.gradient[0], t1.overlaps.c_i_j1),
+                    (t1.peers.1, t1.gradient[1], t1.overlaps.c_i_j2),
+                ];
+                let peers2 = [
+                    (t2.peers.0, t2.gradient[0], t2.overlaps.c_i_j1),
+                    (t2.peers.1, t2.gradient[1], t2.overlaps.c_i_j2),
+                ];
+                for &(a, d_a, c_ia) in &peers1 {
+                    for &(b, d_b, c_ib) in &peers2 {
+                        let c_iab = triple_overlap(data, worker, a, b).common_tasks;
+                        if c_iab == 0 {
+                            continue;
+                        }
+                        let s_ab = match cache {
+                            Some(c) => c.get(a, b),
+                            None => pair_stats(data, a, b),
+                        };
+                        // c_iab > 0 implies a and b share tasks.
+                        let q_ab = s_ab
+                            .agreement_rate()
+                            .expect("triple overlap implies pair overlap");
+                        sum += d_a
+                            * d_b
+                            * (c_iab as f64 * pq_i * (2.0 * q_ab - 1.0)
+                                / (c_ia as f64 * c_ib as f64));
+                    }
+                }
+                // Cauchy-Schwarz clip against the diagonal, mirroring
+                // the 3-worker covariance assembly.
+                let bound = 0.99 * (cov.get(k1, k1) * cov.get(k2, k2)).sqrt();
+                let sum = sum.clamp(-bound, bound);
+                cov.set(k1, k2, sum);
+                cov.set(k2, k1, sum);
+            }
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{AttemptDesign, BinaryScenario, rng};
+    use crowd_stats::WeightPolicy;
+
+    fn estimator() -> MWorkerEstimator {
+        MWorkerEstimator::new(EstimatorConfig::default())
+    }
+
+    #[test]
+    fn evaluates_every_worker_on_dense_data() {
+        let inst = BinaryScenario::paper_default(7, 100, 0.8).generate(&mut rng(21));
+        let report = estimator().evaluate_all(inst.responses(), 0.9).unwrap();
+        assert_eq!(report.assessments.len(), 7);
+        assert!(report.failures.is_empty());
+        for a in &report.assessments {
+            assert!(a.interval.size() > 0.0);
+            assert!(a.triples_used >= 1);
+        }
+    }
+
+    #[test]
+    fn seven_workers_use_three_triples() {
+        let inst = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut rng(23));
+        let a = estimator().evaluate_worker(inst.responses(), WorkerId(0), 0.9).unwrap();
+        assert_eq!(a.triples_used, 3);
+    }
+
+    #[test]
+    fn coverage_tracks_confidence_level() {
+        // Fig 2(a) in miniature: 90% intervals on m=7, n=100, d=0.8.
+        let scenario = BinaryScenario::paper_default(7, 100, 0.8);
+        let est = estimator();
+        let mut r = rng(31);
+        let mut stats = crate::CoverageStats::default();
+        for _ in 0..60 {
+            let inst = scenario.generate(&mut r);
+            let report = est.evaluate_all(inst.responses(), 0.9).unwrap();
+            stats.merge(report.coverage(|w| Some(inst.true_error_rate(w))));
+        }
+        let acc = stats.accuracy().unwrap();
+        assert!(
+            (acc - 0.9).abs() < 0.06,
+            "coverage {acc} over {} intervals, expected ≈ 0.9",
+            stats.total
+        );
+    }
+
+    #[test]
+    fn more_workers_tighten_intervals() {
+        // With more triples to average, intervals shrink (Fig 1 shape).
+        let mut r = rng(37);
+        let est = estimator();
+        let mut size3 = 0.0;
+        let mut size7 = 0.0;
+        let reps = 30;
+        for _ in 0..reps {
+            let i3 = BinaryScenario::paper_default(3, 100, 1.0).generate(&mut r);
+            let i7 = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut r);
+            size3 += est.evaluate_all(i3.responses(), 0.8).unwrap().mean_interval_size();
+            size7 += est.evaluate_all(i7.responses(), 0.8).unwrap().mean_interval_size();
+        }
+        assert!(
+            size7 < size3 * 0.8,
+            "7-worker intervals should be distinctly tighter: {size7} vs {size3}"
+        );
+    }
+
+    #[test]
+    fn optimized_weights_beat_uniform_on_heterogeneous_density() {
+        // Fig 2(c) in miniature: per-worker densities sloping 0.93→0.5.
+        let mut scenario = BinaryScenario::paper_default(7, 100, 0.8);
+        scenario.design = AttemptDesign::PerWorkerDensity(crowd_sim::fig2c_densities(7));
+        let opt = MWorkerEstimator::new(EstimatorConfig::default());
+        let uni = MWorkerEstimator::new(EstimatorConfig::with_uniform_weights());
+        let mut r = rng(41);
+        let mut opt_size = 0.0;
+        let mut uni_size = 0.0;
+        for _ in 0..25 {
+            let inst = scenario.generate(&mut r);
+            opt_size += opt.evaluate_all(inst.responses(), 0.5).unwrap().mean_interval_size();
+            uni_size += uni.evaluate_all(inst.responses(), 0.5).unwrap().mean_interval_size();
+        }
+        assert!(
+            opt_size < uni_size,
+            "optimized weights must not be wider: {opt_size} vs {uni_size}"
+        );
+    }
+
+    #[test]
+    fn uniform_policy_reports_equal_weights_effect() {
+        let inst = BinaryScenario::paper_default(5, 120, 0.9).generate(&mut rng(43));
+        let est = MWorkerEstimator::new(EstimatorConfig {
+            weight_policy: WeightPolicy::Uniform,
+            ..EstimatorConfig::default()
+        });
+        let a = est.evaluate_worker(inst.responses(), WorkerId(2), 0.8).unwrap();
+        assert_eq!(a.triples_used, 2);
+        assert!(!a.weights_fell_back);
+    }
+
+    #[test]
+    fn too_few_workers_rejected() {
+        let inst = BinaryScenario::paper_default(2, 30, 1.0).generate(&mut rng(47));
+        assert!(matches!(
+            estimator().evaluate_all(inst.responses(), 0.9),
+            Err(EstimateError::NotEnoughWorkers { .. })
+        ));
+        assert!(matches!(
+            estimator().evaluate_all_parallel(inst.responses(), 0.9, 4),
+            Err(EstimateError::NotEnoughWorkers { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        let inst = BinaryScenario::paper_default(11, 150, 0.7).generate(&mut rng(59));
+        let est = estimator();
+        let serial = est.evaluate_all(inst.responses(), 0.9).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let parallel =
+                est.evaluate_all_parallel(inst.responses(), 0.9, threads).unwrap();
+            assert_eq!(serial.assessments.len(), parallel.assessments.len());
+            for (s, p) in serial.assessments.iter().zip(&parallel.assessments) {
+                assert_eq!(s.worker, p.worker);
+                assert_eq!(s.interval, p.interval, "worker {:?}", s.worker);
+                assert_eq!(s.triples_used, p.triples_used);
+            }
+            assert_eq!(serial.failures.len(), parallel.failures.len());
+        }
+    }
+
+    #[test]
+    fn isolated_worker_fails_gracefully() {
+        // Worker 3 answers only a task nobody else attempts.
+        use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+        let mut b = ResponseMatrixBuilder::new(4, 21, 2);
+        for w in 0..3u32 {
+            for t in 0..20u32 {
+                b.push(WorkerId(w), TaskId(t), Label((t % 5 == 0 && w == 2) as u16)).unwrap();
+            }
+        }
+        b.push(WorkerId(3), TaskId(20), Label(0)).unwrap();
+        let data = b.build().unwrap();
+        let report = estimator().evaluate_all(&data, 0.9).unwrap();
+        assert_eq!(report.assessments.len(), 3);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, WorkerId(3));
+        assert!(matches!(report.failures[0].1, EstimateError::NoUsableTriples { .. }));
+    }
+
+    #[test]
+    fn point_estimates_are_consistent() {
+        // Large n: point estimates should approach the true error rates.
+        let inst = BinaryScenario::paper_default(5, 4000, 1.0).generate(&mut rng(53));
+        let report = estimator().evaluate_all(inst.responses(), 0.9).unwrap();
+        for a in &report.assessments {
+            let truth = inst.true_error_rate(a.worker);
+            assert!(
+                (a.interval.center - truth).abs() < 0.04,
+                "worker {:?}: estimate {} vs truth {truth}",
+                a.worker,
+                a.interval.center
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Spammer pruning — the §III-E preprocessing behind Figure 4.
+//!
+//! The inversion `f` is volatile near agreement rate 1/2, so workers
+//! whose error rate is ≈ 1/2 (pure spammers) poison everyone's
+//! intervals. The paper's remedy: approximate each worker's error rate
+//! by its disagreement with the majority vote, drop workers above 0.4,
+//! then run the estimator on the survivors.
+
+use crowd_data::{ResponseMatrix, WorkerId, disagreement_rates};
+
+/// The paper's pruning threshold: disagreement above this marks a
+/// worker as "almost surely a pure spammer".
+pub const PAPER_SPAMMER_THRESHOLD: f64 = 0.4;
+
+/// Result of a pruning pass.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// The filtered matrix with dense re-numbered worker ids.
+    pub data: ResponseMatrix,
+    /// For each new worker index, the original id.
+    pub kept: Vec<WorkerId>,
+    /// The original ids of removed workers.
+    pub removed: Vec<WorkerId>,
+}
+
+/// Removes workers whose majority-disagreement rate exceeds
+/// `threshold`. Workers with no scorable responses are kept (there is
+/// no evidence against them).
+pub fn prune_spammers(data: &ResponseMatrix, threshold: f64) -> PruneOutcome {
+    let rates = disagreement_rates(data);
+    let is_kept =
+        |w: WorkerId| -> bool { rates[w.index()].is_none_or(|r| r <= threshold) };
+    let removed: Vec<WorkerId> = data.workers().filter(|&w| !is_kept(w)).collect();
+    let (filtered, kept) = data.retain_workers(is_kept);
+    PruneOutcome { data: filtered, kept, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::{BinaryScenario, rng};
+
+    #[test]
+    fn spammers_are_removed_and_good_workers_kept() {
+        let mut scenario = BinaryScenario::paper_default(12, 200, 1.0);
+        scenario.spammer_fraction = 0.3;
+        let inst = scenario.generate(&mut rng(61));
+        let outcome = prune_spammers(inst.responses(), PAPER_SPAMMER_THRESHOLD);
+
+        // Every removed worker is a true spammer; every kept worker has
+        // a pool error rate (0.1/0.2/0.3) well below 0.4. Tolerate the
+        // occasional borderline mistake by checking the bulk.
+        let removed_true: Vec<f64> =
+            outcome.removed.iter().map(|&w| inst.true_error_rate(w)).collect();
+        let kept_true: Vec<f64> =
+            outcome.kept.iter().map(|&w| inst.true_error_rate(w)).collect();
+        assert!(
+            removed_true.iter().filter(|&&p| p >= 0.45).count() >= removed_true.len() / 2,
+            "removed workers should be dominated by spammers: {removed_true:?}"
+        );
+        assert!(
+            kept_true.iter().all(|&p| p < 0.45),
+            "no spammer should survive 200 tasks of evidence: {kept_true:?}"
+        );
+        assert_eq!(outcome.data.n_workers(), outcome.kept.len());
+        assert_eq!(outcome.kept.len() + outcome.removed.len(), 12);
+    }
+
+    #[test]
+    fn clean_data_is_untouched() {
+        let inst = BinaryScenario::paper_default(6, 150, 1.0).generate(&mut rng(67));
+        let outcome = prune_spammers(inst.responses(), PAPER_SPAMMER_THRESHOLD);
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.data.n_workers(), 6);
+    }
+
+    #[test]
+    fn threshold_zero_removes_any_disagreement() {
+        let mut scenario = BinaryScenario::paper_default(6, 100, 1.0);
+        scenario.error_pool = vec![0.3];
+        let inst = scenario.generate(&mut rng(71));
+        let outcome = prune_spammers(inst.responses(), 0.0);
+        assert!(!outcome.removed.is_empty());
+    }
+
+    #[test]
+    fn unscorable_workers_survive() {
+        use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+        // Worker 2's only task has no other annotators: no evidence.
+        let mut b = ResponseMatrixBuilder::new(3, 3, 2);
+        b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(1), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(2), TaskId(2), Label(1)).unwrap();
+        let data = b.build().unwrap();
+        let outcome = prune_spammers(&data, 0.4);
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.data.n_workers(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the estimators' internal invariants.
+
+use crowd_core::agreement::{Triangle, agreement_from_errors};
+use crowd_core::kary::{align_rows_greedy, fix_row_signs, population_counts, prob_estimate};
+use crowd_core::{DegeneracyPolicy, EstimatorConfig, ThreeWorkerEstimator};
+use crowd_data::{Label, ResponseMatrixBuilder, TaskId, WorkerId};
+use crowd_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random diagonally dominant row-stochastic k×k matrix.
+fn confusion_matrix(k: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.05f64..1.0, k * k).prop_map(move |raw| {
+        let mut m = Matrix::zeros(k, k);
+        for r in 0..k {
+            // Off-diagonal raw weights, diagonal forced dominant.
+            let mut row: Vec<f64> = (0..k).map(|c| raw[r * k + c] * 0.5).collect();
+            row[r] = 1.0 + raw[r * k + r];
+            let sum: f64 = row.iter().sum();
+            for (c, v) in row.iter().enumerate() {
+                m.set(r, c, v / sum);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ProbEstimate recovers arbitrary diagonally dominant worker
+    /// matrices exactly from population counts (Lemmas 6–8 end to end).
+    #[test]
+    fn prob_estimate_recovers_random_truth(
+        p1 in confusion_matrix(3),
+        p2 in confusion_matrix(3),
+        p3 in confusion_matrix(3),
+        s0 in 0.2f64..0.5,
+        s1 in 0.2f64..0.4,
+    ) {
+        let s = [s0, s1, 1.0 - s0 - s1];
+        prop_assume!(s[2] > 0.15);
+        let p = [p1, p2, p3];
+        let counts = population_counts(&p, &s, 50_000.0);
+        let Ok(est) = prob_estimate(&counts) else {
+            // Random matrices can be near-degenerate (tied conditional
+            // spectra); a typed failure is acceptable, silence is not.
+            return Ok(());
+        };
+        for i in 0..3 {
+            let probs = est.response_probabilities(i);
+            for r in 0..3 {
+                for c in 0..3 {
+                    prop_assert!(
+                        (probs.get(r, c) - p[i].get(r, c)).abs() < 1e-3,
+                        "worker {} entry ({},{}) off: {} vs {}",
+                        i, r, c, probs.get(r, c), p[i].get(r, c)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Row alignment undoes any permutation + sign flips of a
+    /// diagonally dominant matrix.
+    #[test]
+    fn alignment_undoes_permutation_and_signs(
+        m in confusion_matrix(4),
+        perm_seed in 0u64..24,
+        flips in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        // Scale rows like sqrt(S)·P to match the real use.
+        let scaled = Matrix::from_fn(4, 4, |r, c| 0.5 * m.get(r, c));
+        let perms: Vec<Vec<usize>> = (0..4)
+            .flat_map(|a| (0..4).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| {
+                let mut p: Vec<usize> = (0..4).collect();
+                p.swap(a, b);
+                p
+            })
+            .collect();
+        let perm = &perms[(perm_seed as usize) % perms.len()];
+        let mut scrambled = scaled.permute_rows(perm);
+        for (r, &flip) in flips.iter().enumerate() {
+            if flip {
+                for v in scrambled.row_mut(r) {
+                    *v = -*v;
+                }
+            }
+        }
+        fix_row_signs(&mut scrambled);
+        let aligned = align_rows_greedy(&scrambled);
+        prop_assert!(
+            aligned.approx_eq(&scaled, 1e-12),
+            "alignment failed:\n{aligned:?}\nvs\n{scaled:?}"
+        );
+    }
+
+    /// The A1 interval width shrinks monotonically in the overlap
+    /// count for fixed agreement fractions.
+    #[test]
+    fn deviation_shrinks_with_overlap(scale in 1usize..8) {
+        let base = 40 * scale;
+        let make = |n: usize| {
+            let mut b = ResponseMatrixBuilder::new(3, n, 2);
+            for t in 0..n as u32 {
+                b.push(WorkerId(0), TaskId(t), Label(0)).unwrap();
+                b.push(WorkerId(1), TaskId(t), Label(u16::from(t % 10 == 0))).unwrap();
+                b.push(WorkerId(2), TaskId(t), Label(u16::from(t % 8 == 0))).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let est = ThreeWorkerEstimator::new(EstimatorConfig::default());
+        let small = est
+            .triple_estimate(&make(base), WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
+        let large = est
+            .triple_estimate(&make(base * 4), WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
+        prop_assert!(large.deviation < small.deviation);
+    }
+
+    /// The regularized triangle inversion is total on arbitrary inputs
+    /// under the clamp policy, and stays within sane bounds.
+    #[test]
+    fn clamped_inversion_is_total(
+        q_ij in 0.0f64..1.0,
+        q_ik in 0.0f64..1.0,
+        q_jk in 0.0f64..1.0,
+    ) {
+        let t = Triangle { q_ij, q_ik, q_jk }
+            .regularized(DegeneracyPolicy::Clamp { epsilon: 1e-3 })
+            .unwrap();
+        let p = t.error_rate();
+        prop_assert!(p.is_finite());
+        // 2q−1 factors are at most 1 and at least 2ε: the estimate
+        // cannot run off to ±∞ but may leave [0, 1/2] on noisy input.
+        prop_assert!(p <= 0.5);
+        let g = t.gradient();
+        prop_assert!(g.iter().all(|d| d.is_finite()));
+    }
+
+    /// The forward agreement map stays in [1/2, 1] for admissible
+    /// error rates and the inversion recovers it (round trip).
+    #[test]
+    fn forward_map_range_and_roundtrip(
+        p1 in 0.0f64..0.49,
+        p2 in 0.0f64..0.49,
+        p3 in 0.0f64..0.49,
+    ) {
+        let q12 = agreement_from_errors(p1, p2);
+        prop_assert!((0.5..=1.0).contains(&q12));
+        let t = Triangle {
+            q_ij: q12,
+            q_ik: agreement_from_errors(p1, p3),
+            q_jk: agreement_from_errors(p2, p3),
+        };
+        prop_assert!((t.error_rate() - p1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! Dependency-free CSV I/O for response data and gold labels.
+//!
+//! Format for responses (header required):
+//!
+//! ```csv
+//! worker,task,label
+//! 0,0,1
+//! 0,1,0
+//! ```
+//!
+//! Format for gold labels:
+//!
+//! ```csv
+//! task,label
+//! 0,1
+//! ```
+//!
+//! Intentionally minimal — integer fields only, `#`-prefixed comment
+//! lines and blank lines skipped — because that is all a response log
+//! needs, and it keeps the workspace free of a serialization
+//! dependency (see DESIGN.md §6).
+//!
+//! Sparse crowd data routinely has workers (or trailing tasks) with no
+//! responses at all, which row inference would silently drop. The
+//! writer therefore emits a `#!shape,<workers>,<tasks>,<arity>`
+//! directive — a comment to any other CSV parser — and the reader
+//! honors it, making the round-trip exact.
+
+use crate::{DataError, GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, Result,
+            TaskId, WorkerId};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses a `worker,task,label` CSV into a [`ResponseMatrix`].
+///
+/// Dimensions and arity are taken from the optional `#!shape`
+/// directive when present; otherwise they are inferred as `max + 1`
+/// over the respective columns (arity at least 2). Responses outside a
+/// declared shape are an error.
+pub fn read_responses(reader: impl Read) -> Result<ResponseMatrix> {
+    let mut rows: Vec<(u32, u32, u16)> = Vec::new();
+    let mut header_seen = false;
+    let mut shape: Option<(usize, usize, u16)> = None;
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| DataError::Csv { line: line_no + 1, reason: e.to_string() })?;
+        let trimmed = line.trim();
+        if let Some(directive) = trimmed.strip_prefix("#!shape,") {
+            let fields = split_fields(directive, 3, line_no + 1)?;
+            shape = Some((
+                parse_u32(&fields[0], "shape workers", line_no + 1)? as usize,
+                parse_u32(&fields[1], "shape tasks", line_no + 1)? as usize,
+                parse_u32(&fields[2], "shape arity", line_no + 1)? as u16,
+            ));
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            header_seen = true;
+            expect_header(trimmed, &["worker", "task", "label"], line_no + 1)?;
+            continue;
+        }
+        let fields = split_fields(trimmed, 3, line_no + 1)?;
+        rows.push((
+            parse_u32(&fields[0], "worker", line_no + 1)?,
+            parse_u32(&fields[1], "task", line_no + 1)?,
+            parse_u32(&fields[2], "label", line_no + 1)? as u16,
+        ));
+    }
+    let (n_workers, n_tasks, arity) = match shape {
+        Some(s) => s,
+        None => (
+            rows.iter().map(|r| r.0 as usize + 1).max().unwrap_or(0),
+            rows.iter().map(|r| r.1 as usize + 1).max().unwrap_or(0),
+            rows.iter().map(|r| r.2 + 1).max().unwrap_or(2).max(2),
+        ),
+    };
+    let mut builder = ResponseMatrixBuilder::new(n_workers, n_tasks, arity);
+    for (w, t, l) in rows {
+        builder.push(WorkerId(w), TaskId(t), Label(l))?;
+    }
+    builder.build()
+}
+
+/// Writes a [`ResponseMatrix`] in the `worker,task,label` format with
+/// a `#!shape` directive so empty rows/columns survive the round-trip.
+pub fn write_responses(data: &ResponseMatrix, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "#!shape,{},{},{}", data.n_workers(), data.n_tasks(), data.arity())?;
+    writeln!(writer, "worker,task,label")?;
+    for r in data.iter() {
+        writeln!(writer, "{},{},{}", r.worker.0, r.task.0, r.label.0)?;
+    }
+    Ok(())
+}
+
+/// Parses a `task,label` CSV into a [`GoldStandard`] over `n_tasks`
+/// tasks.
+pub fn read_gold(reader: impl Read, n_tasks: usize) -> Result<GoldStandard> {
+    let mut known: Vec<(TaskId, Label)> = Vec::new();
+    let mut header_seen = false;
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| DataError::Csv { line: line_no + 1, reason: e.to_string() })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            header_seen = true;
+            expect_header(trimmed, &["task", "label"], line_no + 1)?;
+            continue;
+        }
+        let fields = split_fields(trimmed, 2, line_no + 1)?;
+        let t = parse_u32(&fields[0], "task", line_no + 1)?;
+        let l = parse_u32(&fields[1], "label", line_no + 1)? as u16;
+        if (t as usize) >= n_tasks {
+            return Err(DataError::Csv {
+                line: line_no + 1,
+                reason: format!("task {t} out of range (n_tasks = {n_tasks})"),
+            });
+        }
+        known.push((TaskId(t), Label(l)));
+    }
+    Ok(GoldStandard::partial(n_tasks, known))
+}
+
+/// Writes a [`GoldStandard`] in the `task,label` format (unknown tasks
+/// omitted).
+pub fn write_gold(gold: &GoldStandard, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "task,label")?;
+    for t in 0..gold.n_tasks() {
+        if let Some(l) = gold.label(TaskId(t as u32)) {
+            writeln!(writer, "{t},{}", l.0)?;
+        }
+    }
+    Ok(())
+}
+
+fn expect_header(line: &str, want: &[&str], line_no: usize) -> Result<()> {
+    let got: Vec<&str> = line.split(',').map(str::trim).collect();
+    if got != want {
+        return Err(DataError::Csv {
+            line: line_no,
+            reason: format!("expected header {want:?}, got {got:?}"),
+        });
+    }
+    Ok(())
+}
+
+fn split_fields(line: &str, want: usize, line_no: usize) -> Result<Vec<String>> {
+    let fields: Vec<String> = line.split(',').map(|s| s.trim().to_owned()).collect();
+    if fields.len() != want {
+        return Err(DataError::Csv {
+            line: line_no,
+            reason: format!("expected {want} fields, got {}", fields.len()),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_u32(s: &str, what: &str, line_no: usize) -> Result<u32> {
+    s.parse::<u32>()
+        .map_err(|_| DataError::Csv { line: line_no, reason: format!("invalid {what}: {s:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_responses() {
+        let mut b = ResponseMatrixBuilder::new(2, 3, 3);
+        b.push(WorkerId(0), TaskId(0), Label(2)).unwrap();
+        b.push(WorkerId(1), TaskId(2), Label(0)).unwrap();
+        let m = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_responses(&m, &mut buf).unwrap();
+        let parsed = read_responses(buf.as_slice()).unwrap();
+        assert_eq!(parsed.response(WorkerId(0), TaskId(0)), Some(Label(2)));
+        assert_eq!(parsed.response(WorkerId(1), TaskId(2)), Some(Label(0)));
+        assert_eq!(parsed.n_responses(), 2);
+        assert_eq!(parsed.arity(), 3);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# a comment\n\nworker,task,label\n0,0,1\n\n# trailing\n1,0,0\n";
+        let m = read_responses(text.as_bytes()).unwrap();
+        assert_eq!(m.n_responses(), 2);
+        assert_eq!(m.n_workers(), 2);
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        let text = "task,worker,label\n0,0,1\n";
+        let err = read_responses(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let text = "worker,task,label\n0,0\n";
+        let err = read_responses(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn non_numeric_field_is_error() {
+        let text = "worker,task,label\nzero,0,1\n";
+        let err = read_responses(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("worker"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_response_detected() {
+        let text = "worker,task,label\n0,0,1\n0,0,0\n";
+        assert!(matches!(
+            read_responses(text.as_bytes()),
+            Err(DataError::DuplicateResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_matrix() {
+        let m = read_responses("worker,task,label\n".as_bytes()).unwrap();
+        assert_eq!(m.n_responses(), 0);
+        assert_eq!(m.n_workers(), 0);
+    }
+
+    #[test]
+    fn shape_directive_preserves_empty_rows() {
+        // Worker 2 and task 3 have no responses; the directive keeps
+        // them in the shape.
+        let text = "#!shape,3,4,5\nworker,task,label\n0,0,4\n";
+        let m = read_responses(text.as_bytes()).unwrap();
+        assert_eq!(m.n_workers(), 3);
+        assert_eq!(m.n_tasks(), 4);
+        assert_eq!(m.arity(), 5);
+        assert_eq!(m.n_responses(), 1);
+    }
+
+    #[test]
+    fn response_outside_declared_shape_is_error() {
+        let text = "#!shape,1,1,2\nworker,task,label\n5,0,1\n";
+        assert!(read_responses(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_shape_directive_is_error() {
+        let text = "#!shape,3,4\nworker,task,label\n";
+        assert!(read_responses(text.as_bytes()).is_err());
+        let text = "#!shape,a,b,c\nworker,task,label\n";
+        assert!(read_responses(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips_with_shape() {
+        let m = ResponseMatrixBuilder::new(4, 7, 3).build().unwrap();
+        let mut buf = Vec::new();
+        write_responses(&m, &mut buf).unwrap();
+        let parsed = read_responses(buf.as_slice()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn roundtrip_gold() {
+        let gold = GoldStandard::partial(5, [(TaskId(1), Label(1)), (TaskId(4), Label(0))]);
+        let mut buf = Vec::new();
+        write_gold(&gold, &mut buf).unwrap();
+        let parsed = read_gold(buf.as_slice(), 5).unwrap();
+        assert_eq!(parsed.label(TaskId(1)), Some(Label(1)));
+        assert_eq!(parsed.label(TaskId(4)), Some(Label(0)));
+        assert_eq!(parsed.label(TaskId(0)), None);
+        assert_eq!(parsed.known_count(), 2);
+    }
+
+    #[test]
+    fn gold_out_of_range_task_is_error() {
+        let text = "task,label\n9,0\n";
+        assert!(read_gold(text.as_bytes(), 5).is_err());
+    }
+}

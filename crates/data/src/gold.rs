@@ -1,0 +1,229 @@
+//! Gold-standard labels and empirical worker statistics.
+//!
+//! The real-data experiments (Figures 3–5) do not know true worker
+//! error rates; following the paper they use the fraction of
+//! gold-standard tasks each worker got wrong as a proxy, and for the
+//! k-ary case the empirical confusion matrix
+//! `P̂ᵢ[j₁,j₂] = #(truth=j₁, response=j₂) / #(truth=j₁)`.
+
+use crate::{Label, ResponseMatrix, TaskId, WorkerId};
+use crowd_linalg::Matrix;
+
+/// True labels for (a subset of) tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldStandard {
+    labels: Vec<Option<Label>>,
+}
+
+impl GoldStandard {
+    /// Full gold standard: one true label per task.
+    pub fn complete(labels: Vec<Label>) -> Self {
+        Self { labels: labels.into_iter().map(Some).collect() }
+    }
+
+    /// Partial gold standard over `n_tasks` tasks.
+    pub fn partial(n_tasks: usize, known: impl IntoIterator<Item = (TaskId, Label)>) -> Self {
+        let mut labels = vec![None; n_tasks];
+        for (t, l) in known {
+            labels[t.index()] = Some(l);
+        }
+        Self { labels }
+    }
+
+    /// The true label of a task, if known.
+    pub fn label(&self, task: TaskId) -> Option<Label> {
+        self.labels.get(task.index()).copied().flatten()
+    }
+
+    /// Number of tasks covered by the gold standard.
+    pub fn known_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of tasks (known or not).
+    pub fn n_tasks(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Empirical error rate of a worker: the fraction of its responses
+    /// on gold tasks that disagree with the gold label. `None` if the
+    /// worker attempted no gold task.
+    pub fn worker_error_rate(&self, data: &ResponseMatrix, worker: WorkerId) -> Option<f64> {
+        let mut attempted = 0usize;
+        let mut wrong = 0usize;
+        for &(t, label) in data.worker_responses(worker) {
+            if let Some(truth) = self.label(TaskId(t)) {
+                attempted += 1;
+                if truth != label {
+                    wrong += 1;
+                }
+            }
+        }
+        if attempted == 0 { None } else { Some(wrong as f64 / attempted as f64) }
+    }
+
+    /// Number of (attempted gold tasks, errors) for a worker.
+    pub fn worker_error_counts(&self, data: &ResponseMatrix, worker: WorkerId) -> (usize, usize) {
+        let mut attempted = 0usize;
+        let mut wrong = 0usize;
+        for &(t, label) in data.worker_responses(worker) {
+            if let Some(truth) = self.label(TaskId(t)) {
+                attempted += 1;
+                if truth != label {
+                    wrong += 1;
+                }
+            }
+        }
+        (attempted, wrong)
+    }
+
+    /// Raw confusion *counts* of a worker: entry `(j₁, j₂)` is the
+    /// number of gold tasks with truth `r_j₁` the worker answered
+    /// `r_j₂`. Lets callers distinguish observed zeros from unobserved
+    /// rows.
+    pub fn worker_confusion_counts(&self, data: &ResponseMatrix, worker: WorkerId) -> Matrix {
+        let k = data.arity() as usize;
+        let mut counts = Matrix::zeros(k, k);
+        for &(t, label) in data.worker_responses(worker) {
+            if let Some(truth) = self.label(TaskId(t)) {
+                let v = counts.get(truth.index(), label.index()) + 1.0;
+                counts.set(truth.index(), label.index(), v);
+            }
+        }
+        counts
+    }
+
+    /// Empirical k×k confusion matrix of a worker:
+    /// `row j₁, column j₂ = P̂(response = r_j₂ | truth = r_j₁)`.
+    ///
+    /// Rows with no observations are left as the identity row (the
+    /// best-guess prior that the worker is accurate), mirroring how the
+    /// paper's evaluation treats response probabilities it cannot
+    /// measure.
+    pub fn worker_confusion(&self, data: &ResponseMatrix, worker: WorkerId) -> Matrix {
+        let k = data.arity() as usize;
+        let mut counts = Matrix::zeros(k, k);
+        for &(t, label) in data.worker_responses(worker) {
+            if let Some(truth) = self.label(TaskId(t)) {
+                let v = counts.get(truth.index(), label.index()) + 1.0;
+                counts.set(truth.index(), label.index(), v);
+            }
+        }
+        let mut out = Matrix::zeros(k, k);
+        for r in 0..k {
+            let row_sum: f64 = counts.row(r).iter().sum();
+            if row_sum == 0.0 {
+                out.set(r, r, 1.0);
+            } else {
+                for c in 0..k {
+                    out.set(r, c, counts.get(r, c) / row_sum);
+                }
+            }
+        }
+        out
+    }
+
+    /// Empirical selectivity: the fraction of known gold labels equal to
+    /// each label value.
+    pub fn selectivity(&self, arity: u16) -> Vec<f64> {
+        let mut counts = vec![0usize; arity as usize];
+        let mut total = 0usize;
+        for l in self.labels.iter().flatten() {
+            counts[l.index()] += 1;
+            total += 1;
+        }
+        if total == 0 {
+            return vec![1.0 / arity as f64; arity as usize];
+        }
+        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseMatrixBuilder;
+
+    fn setup() -> (ResponseMatrix, GoldStandard) {
+        // 2 workers, 4 tasks, arity 2. Truth: 0,1,0,1.
+        // w0 answers all correctly except task 3.
+        // w1 answers tasks 0..2 and is wrong on 0 and 1.
+        let mut b = ResponseMatrixBuilder::new(2, 4, 2);
+        b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(0), TaskId(1), Label(1)).unwrap();
+        b.push(WorkerId(0), TaskId(2), Label(0)).unwrap();
+        b.push(WorkerId(0), TaskId(3), Label(0)).unwrap();
+        b.push(WorkerId(1), TaskId(0), Label(1)).unwrap();
+        b.push(WorkerId(1), TaskId(1), Label(0)).unwrap();
+        b.push(WorkerId(1), TaskId(2), Label(0)).unwrap();
+        let data = b.build().unwrap();
+        let gold = GoldStandard::complete(vec![Label(0), Label(1), Label(0), Label(1)]);
+        (data, gold)
+    }
+
+    #[test]
+    fn error_rates() {
+        let (data, gold) = setup();
+        assert!((gold.worker_error_rate(&data, WorkerId(0)).unwrap() - 0.25).abs() < 1e-15);
+        assert!(
+            (gold.worker_error_rate(&data, WorkerId(1)).unwrap() - 2.0 / 3.0).abs() < 1e-15
+        );
+        assert_eq!(gold.worker_error_counts(&data, WorkerId(0)), (4, 1));
+    }
+
+    #[test]
+    fn partial_gold_only_counts_known_tasks() {
+        let (data, _) = setup();
+        let gold = GoldStandard::partial(4, [(TaskId(0), Label(0)), (TaskId(3), Label(1))]);
+        assert_eq!(gold.known_count(), 2);
+        assert_eq!(gold.n_tasks(), 4);
+        assert_eq!(gold.label(TaskId(1)), None);
+        // w0 attempted both known tasks, wrong on task 3.
+        assert!((gold.worker_error_rate(&data, WorkerId(0)).unwrap() - 0.5).abs() < 1e-15);
+        // w1 attempted only task 0 among known tasks, and was wrong.
+        assert!((gold.worker_error_rate(&data, WorkerId(1)).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_gold_overlap_gives_none() {
+        let (data, _) = setup();
+        let gold = GoldStandard::partial(4, []);
+        assert_eq!(gold.worker_error_rate(&data, WorkerId(0)), None);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_are_distributions() {
+        let (data, gold) = setup();
+        let p = gold.worker_confusion(&data, WorkerId(1));
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Truth 0 appeared twice for w1 (tasks 0 and 2): responses 1, 0.
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-15);
+        assert!((p.get(0, 1) - 0.5).abs() < 1e-15);
+        // Truth 1 appeared once (task 1): response 0.
+        assert!((p.get(1, 0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unobserved_truth_rows_default_to_identity() {
+        let mut b = ResponseMatrixBuilder::new(1, 1, 3);
+        b.push(WorkerId(0), TaskId(0), Label(2)).unwrap();
+        let data = b.build().unwrap();
+        let gold = GoldStandard::complete(vec![Label(2)]);
+        let p = gold.worker_confusion(&data, WorkerId(0));
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(1, 1), 1.0);
+        assert_eq!(p.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn selectivity_counts_labels() {
+        let gold = GoldStandard::complete(vec![Label(0), Label(1), Label(0), Label(1)]);
+        let s = gold.selectivity(2);
+        assert_eq!(s, vec![0.5, 0.5]);
+        let empty = GoldStandard::partial(3, []);
+        assert_eq!(empty.selectivity(4), vec![0.25; 4]);
+    }
+}

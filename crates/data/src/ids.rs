@@ -1,0 +1,78 @@
+//! Newtype identifiers for workers and tasks.
+//!
+//! Raw `u32` indices are easy to transpose by accident when both
+//! workers and tasks are in play; the newtypes make the APIs
+//! self-documenting at zero runtime cost.
+
+/// Identifier of a crowd worker (dense index starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u32);
+
+/// Identifier of a task (dense index starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl WorkerId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for WorkerId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_index() {
+        let w: WorkerId = 3u32.into();
+        assert_eq!(w.index(), 3);
+        let t: TaskId = 9u32.into();
+        assert_eq!(t.index(), 9);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(WorkerId(2) < WorkerId(10));
+        assert!(TaskId(0) < TaskId(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(WorkerId(5).to_string(), "w5");
+        assert_eq!(TaskId(7).to_string(), "t7");
+    }
+}

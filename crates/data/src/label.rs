@@ -1,0 +1,83 @@
+//! K-ary task labels.
+
+/// A task response label: one of `r_0 .. r_{k-1}` for arity-`k` tasks.
+///
+/// The paper indexes responses `r_1..r_k` and reserves `r_0` for "did
+/// not attempt"; in this crate absence is represented by `Option`
+/// (or by slot 0 of the [`crate::CountsTensor`]), so `Label` itself is
+/// always a real response and is zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The canonical "No"/negative label of a binary task.
+    pub const NO: Label = Label(0);
+    /// The canonical "Yes"/positive label of a binary task.
+    pub const YES: Label = Label(1);
+
+    /// The label as a usize, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// For binary tasks: the opposite label.
+    ///
+    /// # Panics
+    /// Panics on non-binary labels (value > 1).
+    pub fn flipped(self) -> Label {
+        match self.0 {
+            0 => Label(1),
+            1 => Label(0),
+            v => panic!("flipped() requires a binary label, got {v}"),
+        }
+    }
+
+    /// True if `self` is valid under the given arity.
+    #[inline]
+    pub fn valid_for_arity(self, arity: u16) -> bool {
+        self.0 < arity
+    }
+}
+
+impl From<u16> for Label {
+    fn from(v: u16) -> Self {
+        Self(v)
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_constants() {
+        assert_eq!(Label::NO.index(), 0);
+        assert_eq!(Label::YES.index(), 1);
+        assert_eq!(Label::NO.flipped(), Label::YES);
+        assert_eq!(Label::YES.flipped(), Label::NO);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary label")]
+    fn flipping_kary_panics() {
+        Label(2).flipped();
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(Label(2).valid_for_arity(3));
+        assert!(!Label(3).valid_for_arity(3));
+    }
+
+    #[test]
+    fn display_is_r_indexed() {
+        assert_eq!(Label(4).to_string(), "r4");
+    }
+}

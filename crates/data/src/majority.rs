@@ -1,0 +1,199 @@
+//! Majority-vote aggregation.
+//!
+//! Two consumers: the spammer-pruning preprocessing of Figure 4
+//! (workers disagreeing with the majority more than 40% of the time
+//! are dropped before interval estimation) and the super-worker
+//! construction of the reproduced "old technique" baseline.
+
+use crate::{Label, ResponseMatrix, TaskId, WorkerId};
+
+/// The majority label of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MajorityOutcome {
+    /// A strict plurality winner.
+    Winner(Label),
+    /// Two or more labels tied for the lead; carries the smallest tied
+    /// label for deterministic downstream behaviour.
+    Tie(Label),
+    /// Nobody answered the task.
+    Empty,
+}
+
+impl MajorityOutcome {
+    /// The winning label if one exists (ties resolve to the smallest
+    /// tied label; `None` only for unanswered tasks).
+    pub fn label_or_tiebreak(self) -> Option<Label> {
+        match self {
+            Self::Winner(l) | Self::Tie(l) => Some(l),
+            Self::Empty => None,
+        }
+    }
+
+    /// True for strict winners only.
+    pub fn is_strict(self) -> bool {
+        matches!(self, Self::Winner(_))
+    }
+}
+
+/// Majority vote over one task's responses.
+pub fn majority_vote(data: &ResponseMatrix, task: TaskId) -> MajorityOutcome {
+    let responses = data.task_responses(task);
+    if responses.is_empty() {
+        return MajorityOutcome::Empty;
+    }
+    let k = data.arity() as usize;
+    let mut counts = vec![0usize; k];
+    for &(_, label) in responses {
+        counts[label.index()] += 1;
+    }
+    let best = *counts.iter().max().expect("non-empty counts");
+    let leaders: Vec<usize> =
+        counts.iter().enumerate().filter(|&(_, &c)| c == best).map(|(i, _)| i).collect();
+    let label = Label(leaders[0] as u16);
+    if leaders.len() == 1 { MajorityOutcome::Winner(label) } else { MajorityOutcome::Tie(label) }
+}
+
+/// Majority vote over one task's responses, **excluding** one worker —
+/// used when scoring that worker's own disagreement so its vote does
+/// not dilute the reference.
+pub fn majority_vote_excluding(
+    data: &ResponseMatrix,
+    task: TaskId,
+    excluded: WorkerId,
+) -> MajorityOutcome {
+    let responses = data.task_responses(task);
+    let k = data.arity() as usize;
+    let mut counts = vec![0usize; k];
+    let mut any = false;
+    for &(w, label) in responses {
+        if w == excluded.0 {
+            continue;
+        }
+        counts[label.index()] += 1;
+        any = true;
+    }
+    if !any {
+        return MajorityOutcome::Empty;
+    }
+    let best = *counts.iter().max().expect("non-empty counts");
+    let leaders: Vec<usize> =
+        counts.iter().enumerate().filter(|&(_, &c)| c == best).map(|(i, _)| i).collect();
+    let label = Label(leaders[0] as u16);
+    if leaders.len() == 1 { MajorityOutcome::Winner(label) } else { MajorityOutcome::Tie(label) }
+}
+
+/// For every worker: the fraction of its responses disagreeing with the
+/// leave-one-out majority. Workers with no scorable response get `None`.
+///
+/// This is the "simple majority technique" of §III-E the paper uses to
+/// approximate error rates when pruning spammers.
+pub fn disagreement_rates(data: &ResponseMatrix) -> Vec<Option<f64>> {
+    data.workers()
+        .map(|w| {
+            let mut scored = 0usize;
+            let mut disagreed = 0usize;
+            for &(t, label) in data.worker_responses(w) {
+                match majority_vote_excluding(data, TaskId(t), w) {
+                    MajorityOutcome::Winner(m) => {
+                        scored += 1;
+                        if m != label {
+                            disagreed += 1;
+                        }
+                    }
+                    // Ties and empty references carry no signal.
+                    MajorityOutcome::Tie(_) | MajorityOutcome::Empty => {}
+                }
+            }
+            if scored == 0 { None } else { Some(disagreed as f64 / scored as f64) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseMatrixBuilder;
+
+    fn build(rows: &[(u32, u32, u16)], n_workers: usize, n_tasks: usize, arity: u16) -> ResponseMatrix {
+        let mut b = ResponseMatrixBuilder::new(n_workers, n_tasks, arity);
+        for &(w, t, l) in rows {
+            b.push(WorkerId(w), TaskId(t), Label(l)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn strict_winner() {
+        let m = build(&[(0, 0, 1), (1, 0, 1), (2, 0, 0)], 3, 1, 2);
+        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(1)));
+    }
+
+    #[test]
+    fn tie_reports_smallest() {
+        let m = build(&[(0, 0, 1), (1, 0, 0)], 2, 1, 2);
+        let out = majority_vote(&m, TaskId(0));
+        assert_eq!(out, MajorityOutcome::Tie(Label(0)));
+        assert!(!out.is_strict());
+        assert_eq!(out.label_or_tiebreak(), Some(Label(0)));
+    }
+
+    #[test]
+    fn empty_task() {
+        let m = build(&[(0, 0, 1)], 1, 2, 2);
+        assert_eq!(majority_vote(&m, TaskId(1)), MajorityOutcome::Empty);
+        assert_eq!(MajorityOutcome::Empty.label_or_tiebreak(), None);
+    }
+
+    #[test]
+    fn excluding_changes_outcome() {
+        // Votes: w0=1, w1=0, w2=1 → majority 1; excluding w2 → tie.
+        let m = build(&[(0, 0, 1), (1, 0, 0), (2, 0, 1)], 3, 1, 2);
+        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(1)));
+        assert_eq!(
+            majority_vote_excluding(&m, TaskId(0), WorkerId(2)),
+            MajorityOutcome::Tie(Label(0))
+        );
+        assert_eq!(
+            majority_vote_excluding(&m, TaskId(0), WorkerId(1)),
+            MajorityOutcome::Winner(Label(1))
+        );
+    }
+
+    #[test]
+    fn excluding_sole_voter_is_empty() {
+        let m = build(&[(0, 0, 1)], 1, 1, 2);
+        assert_eq!(majority_vote_excluding(&m, TaskId(0), WorkerId(0)), MajorityOutcome::Empty);
+    }
+
+    #[test]
+    fn disagreement_rates_identify_the_contrarian() {
+        // 4 workers, 6 tasks; w3 always contradicts the other three.
+        let mut rows = Vec::new();
+        for t in 0..6u32 {
+            for w in 0..3u32 {
+                rows.push((w, t, 0u16));
+            }
+            rows.push((3, t, 1u16));
+        }
+        let m = build(&rows, 4, 6, 2);
+        let rates = disagreement_rates(&m);
+        assert_eq!(rates[0], Some(0.0));
+        assert_eq!(rates[1], Some(0.0));
+        assert_eq!(rates[2], Some(0.0));
+        assert_eq!(rates[3], Some(1.0));
+    }
+
+    #[test]
+    fn worker_with_no_scorable_tasks_is_none() {
+        // w1's only task has no other voters.
+        let m = build(&[(0, 0, 0), (1, 1, 1)], 2, 2, 2);
+        let rates = disagreement_rates(&m);
+        assert_eq!(rates[1], None);
+    }
+
+    #[test]
+    fn kary_majority() {
+        let m = build(&[(0, 0, 2), (1, 0, 2), (2, 0, 1), (3, 0, 0)], 4, 1, 3);
+        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(2)));
+    }
+}

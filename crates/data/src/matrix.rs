@@ -1,0 +1,427 @@
+//! Sparse worker × task response matrix.
+
+use crate::{DataError, Label, Result, TaskId, WorkerId};
+
+/// One worker response to one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Who answered.
+    pub worker: WorkerId,
+    /// Which task.
+    pub task: TaskId,
+    /// The k-ary label given.
+    pub label: Label,
+}
+
+/// Builder accumulating responses before freezing them into a
+/// [`ResponseMatrix`].
+#[derive(Debug, Clone)]
+pub struct ResponseMatrixBuilder {
+    arity: u16,
+    n_workers: usize,
+    n_tasks: usize,
+    responses: Vec<Response>,
+}
+
+impl ResponseMatrixBuilder {
+    /// Starts a builder for `n_workers × n_tasks` responses of the given
+    /// arity.
+    ///
+    /// # Panics
+    /// Panics if `arity < 2`.
+    pub fn new(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
+        assert!(arity >= 2, "tasks must have at least two possible responses");
+        Self { arity, n_workers, n_tasks, responses: Vec::new() }
+    }
+
+    /// Records a response; range-checks the ids and label.
+    pub fn push(&mut self, worker: WorkerId, task: TaskId, label: Label) -> Result<()> {
+        if worker.index() >= self.n_workers {
+            return Err(DataError::UnknownId { kind: "worker", id: worker.0 });
+        }
+        if task.index() >= self.n_tasks {
+            return Err(DataError::UnknownId { kind: "task", id: task.0 });
+        }
+        if !label.valid_for_arity(self.arity) {
+            return Err(DataError::LabelOutOfRange { label: label.0, arity: self.arity });
+        }
+        self.responses.push(Response { worker, task, label });
+        Ok(())
+    }
+
+    /// Freezes the builder; fails on duplicate (worker, task) pairs.
+    pub fn build(self) -> Result<ResponseMatrix> {
+        let mut by_worker: Vec<Vec<(u32, Label)>> = vec![Vec::new(); self.n_workers];
+        let mut by_task: Vec<Vec<(u32, Label)>> = vec![Vec::new(); self.n_tasks];
+        for r in &self.responses {
+            by_worker[r.worker.index()].push((r.task.0, r.label));
+            by_task[r.task.index()].push((r.worker.0, r.label));
+        }
+        for (w, list) in by_worker.iter_mut().enumerate() {
+            list.sort_unstable_by_key(|&(t, _)| t);
+            if let Some(pair) = list.windows(2).find(|p| p[0].0 == p[1].0) {
+                return Err(DataError::DuplicateResponse {
+                    worker: WorkerId(w as u32),
+                    task: TaskId(pair[0].0),
+                });
+            }
+        }
+        for list in by_task.iter_mut() {
+            list.sort_unstable_by_key(|&(w, _)| w);
+        }
+        Ok(ResponseMatrix {
+            arity: self.arity,
+            n_workers: self.n_workers,
+            n_tasks: self.n_tasks,
+            n_responses: self.responses.len(),
+            by_worker,
+            by_task,
+        })
+    }
+}
+
+/// A sparse worker × task matrix of k-ary labels.
+///
+/// Stored twice — once sorted by worker and once by task — so both the
+/// per-worker scans of the binary algorithms and the per-task scans of
+/// majority voting are linear passes over contiguous memory.
+///
+/// # Example
+///
+/// ```
+/// use crowd_data::{Label, ResponseMatrixBuilder, TaskId, WorkerId};
+///
+/// let mut builder = ResponseMatrixBuilder::new(2, 3, 2);
+/// builder.push(WorkerId(0), TaskId(0), Label::YES)?;
+/// builder.push(WorkerId(1), TaskId(0), Label::NO)?;
+/// let matrix = builder.build()?;
+/// assert_eq!(matrix.response(WorkerId(0), TaskId(0)), Some(Label::YES));
+/// assert_eq!(matrix.response(WorkerId(0), TaskId(1)), None);
+/// assert!(!matrix.is_regular());
+/// # Ok::<(), crowd_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseMatrix {
+    arity: u16,
+    n_workers: usize,
+    n_tasks: usize,
+    n_responses: usize,
+    /// For each worker: `(task index, label)` sorted by task index.
+    by_worker: Vec<Vec<(u32, Label)>>,
+    /// For each task: `(worker index, label)` sorted by worker index.
+    by_task: Vec<Vec<(u32, Label)>>,
+}
+
+impl ResponseMatrix {
+    /// Task arity (k).
+    #[inline]
+    pub fn arity(&self) -> u16 {
+        self.arity
+    }
+
+    /// Number of workers (including workers with zero responses).
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of tasks (including tasks with zero responses).
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Total number of recorded responses.
+    #[inline]
+    pub fn n_responses(&self) -> usize {
+        self.n_responses
+    }
+
+    /// Fraction of filled (worker, task) cells — the paper's "density".
+    pub fn density(&self) -> f64 {
+        let cells = self.n_workers * self.n_tasks;
+        if cells == 0 { 0.0 } else { self.n_responses as f64 / cells as f64 }
+    }
+
+    /// True when every worker answered every task (the "regular" case).
+    pub fn is_regular(&self) -> bool {
+        self.n_responses == self.n_workers * self.n_tasks
+    }
+
+    /// The label `worker` gave on `task`, if any.
+    pub fn response(&self, worker: WorkerId, task: TaskId) -> Option<Label> {
+        let list = self.by_worker.get(worker.index())?;
+        list.binary_search_by_key(&task.0, |&(t, _)| t).ok().map(|i| list[i].1)
+    }
+
+    /// All `(task index, label)` pairs of one worker, sorted by task.
+    pub fn worker_responses(&self, worker: WorkerId) -> &[(u32, Label)] {
+        &self.by_worker[worker.index()]
+    }
+
+    /// All `(worker index, label)` pairs on one task, sorted by worker.
+    pub fn task_responses(&self, task: TaskId) -> &[(u32, Label)] {
+        &self.by_task[task.index()]
+    }
+
+    /// Number of tasks attempted by one worker.
+    pub fn worker_task_count(&self, worker: WorkerId) -> usize {
+        self.by_worker[worker.index()].len()
+    }
+
+    /// Iterates over all responses in (worker, task) order.
+    pub fn iter(&self) -> impl Iterator<Item = Response> + '_ {
+        self.by_worker.iter().enumerate().flat_map(|(w, list)| {
+            list.iter().map(move |&(t, label)| Response {
+                worker: WorkerId(w as u32),
+                task: TaskId(t),
+                label,
+            })
+        })
+    }
+
+    /// All worker ids.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.n_workers as u32).map(WorkerId)
+    }
+
+    /// All task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n_tasks as u32).map(TaskId)
+    }
+
+    /// Inserts one response into an existing matrix, maintaining the
+    /// sorted per-worker and per-task views — the primitive behind
+    /// incremental evaluation (the paper's conclusion notes the
+    /// methods "can be easily modified to be incremental").
+    ///
+    /// Cost: `O(log r + r)` in the worker's/task's current response
+    /// counts (binary search + insertion shift).
+    pub fn insert(&mut self, response: Response) -> Result<()> {
+        let Response { worker, task, label } = response;
+        if worker.index() >= self.n_workers {
+            return Err(DataError::UnknownId { kind: "worker", id: worker.0 });
+        }
+        if task.index() >= self.n_tasks {
+            return Err(DataError::UnknownId { kind: "task", id: task.0 });
+        }
+        if !label.valid_for_arity(self.arity) {
+            return Err(DataError::LabelOutOfRange { label: label.0, arity: self.arity });
+        }
+        let w_list = &mut self.by_worker[worker.index()];
+        match w_list.binary_search_by_key(&task.0, |&(t, _)| t) {
+            Ok(_) => return Err(DataError::DuplicateResponse { worker, task }),
+            Err(pos) => w_list.insert(pos, (task.0, label)),
+        }
+        let t_list = &mut self.by_task[task.index()];
+        match t_list.binary_search_by_key(&worker.0, |&(w, _)| w) {
+            // Unreachable: the per-worker view already rejected the
+            // duplicate, but keep the views consistent defensively.
+            Ok(_) => return Err(DataError::DuplicateResponse { worker, task }),
+            Err(pos) => t_list.insert(pos, (worker.0, label)),
+        }
+        self.n_responses += 1;
+        Ok(())
+    }
+
+    /// An empty matrix with the given shape, ready for
+    /// [`ResponseMatrix::insert`]-driven incremental filling.
+    pub fn empty(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
+        ResponseMatrixBuilder::new(n_workers, n_tasks, arity)
+            .build()
+            .expect("an empty matrix has no duplicates")
+    }
+
+    /// Keeps only workers satisfying `keep`, remapping worker ids to a
+    /// dense range. Returns the filtered matrix and, for each new
+    /// worker index, the original [`WorkerId`].
+    ///
+    /// Used by the spammer-pruning preprocessing of Figure 4.
+    pub fn retain_workers(&self, keep: impl Fn(WorkerId) -> bool) -> (Self, Vec<WorkerId>) {
+        let kept: Vec<WorkerId> = self.workers().filter(|&w| keep(w)).collect();
+        let mut builder = ResponseMatrixBuilder::new(kept.len(), self.n_tasks, self.arity);
+        for (new_idx, &old) in kept.iter().enumerate() {
+            for &(t, label) in self.worker_responses(old) {
+                builder
+                    .push(WorkerId(new_idx as u32), TaskId(t), label)
+                    .expect("retain_workers preserves validity");
+            }
+        }
+        (builder.build().expect("retain_workers cannot create duplicates"), kept)
+    }
+
+    /// Restricts to the given workers (in the given order), remapping
+    /// them to dense ids `0..workers.len()`. Tasks keep their ids.
+    ///
+    /// The k-ary experiments evaluate one worker *triple* at a time;
+    /// this is the projection they use.
+    pub fn project_workers(&self, workers: &[WorkerId]) -> Self {
+        let mut builder = ResponseMatrixBuilder::new(workers.len(), self.n_tasks, self.arity);
+        for (new_idx, &old) in workers.iter().enumerate() {
+            for &(t, label) in self.worker_responses(old) {
+                builder
+                    .push(WorkerId(new_idx as u32), TaskId(t), label)
+                    .expect("project_workers preserves validity");
+            }
+        }
+        builder.build().expect("project_workers cannot create duplicates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 workers, 4 tasks, worker 2 skips tasks 1 and 3.
+    fn sample() -> ResponseMatrix {
+        let mut b = ResponseMatrixBuilder::new(3, 4, 2);
+        for t in 0..4u32 {
+            b.push(WorkerId(0), TaskId(t), Label(0)).unwrap();
+            b.push(WorkerId(1), TaskId(t), Label((t % 2) as u16)).unwrap();
+        }
+        b.push(WorkerId(2), TaskId(0), Label(1)).unwrap();
+        b.push(WorkerId(2), TaskId(2), Label(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_queries() {
+        let m = sample();
+        assert_eq!(m.arity(), 2);
+        assert_eq!(m.n_workers(), 3);
+        assert_eq!(m.n_tasks(), 4);
+        assert_eq!(m.n_responses(), 10);
+        assert!((m.density() - 10.0 / 12.0).abs() < 1e-15);
+        assert!(!m.is_regular());
+    }
+
+    #[test]
+    fn response_lookup() {
+        let m = sample();
+        assert_eq!(m.response(WorkerId(1), TaskId(1)), Some(Label(1)));
+        assert_eq!(m.response(WorkerId(2), TaskId(1)), None);
+        assert_eq!(m.response(WorkerId(2), TaskId(2)), Some(Label(0)));
+    }
+
+    #[test]
+    fn per_worker_and_per_task_views_agree() {
+        let m = sample();
+        assert_eq!(m.worker_task_count(WorkerId(2)), 2);
+        let on_task0 = m.task_responses(TaskId(0));
+        assert_eq!(on_task0.len(), 3);
+        // Sorted by worker id.
+        assert!(on_task0.windows(2).all(|p| p[0].0 < p[1].0));
+        let total: usize = m.tasks().map(|t| m.task_responses(t).len()).sum();
+        assert_eq!(total, m.n_responses());
+    }
+
+    #[test]
+    fn iter_yields_every_response_once() {
+        let m = sample();
+        let all: Vec<Response> = m.iter().collect();
+        assert_eq!(all.len(), 10);
+        let w2: Vec<_> = all.iter().filter(|r| r.worker == WorkerId(2)).collect();
+        assert_eq!(w2.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_rejected_at_build() {
+        let mut b = ResponseMatrixBuilder::new(1, 1, 2);
+        b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(0), TaskId(0), Label(1)).unwrap();
+        assert!(matches!(b.build(), Err(DataError::DuplicateResponse { .. })));
+    }
+
+    #[test]
+    fn out_of_range_rejected_at_push() {
+        let mut b = ResponseMatrixBuilder::new(1, 1, 2);
+        assert!(matches!(
+            b.push(WorkerId(1), TaskId(0), Label(0)),
+            Err(DataError::UnknownId { kind: "worker", .. })
+        ));
+        assert!(matches!(
+            b.push(WorkerId(0), TaskId(9), Label(0)),
+            Err(DataError::UnknownId { kind: "task", .. })
+        ));
+        assert!(matches!(
+            b.push(WorkerId(0), TaskId(0), Label(2)),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn arity_one_panics() {
+        let _ = ResponseMatrixBuilder::new(1, 1, 1);
+    }
+
+    #[test]
+    fn retain_workers_remaps_ids() {
+        let m = sample();
+        let (pruned, mapping) = m.retain_workers(|w| w != WorkerId(1));
+        assert_eq!(pruned.n_workers(), 2);
+        assert_eq!(mapping, vec![WorkerId(0), WorkerId(2)]);
+        // Old worker 2 is now worker 1.
+        assert_eq!(pruned.response(WorkerId(1), TaskId(0)), Some(Label(1)));
+        assert_eq!(pruned.n_responses(), 6);
+        assert_eq!(pruned.n_tasks(), 4);
+    }
+
+    #[test]
+    fn project_workers_orders_as_requested() {
+        let m = sample();
+        let p = m.project_workers(&[WorkerId(2), WorkerId(0)]);
+        assert_eq!(p.n_workers(), 2);
+        assert_eq!(p.response(WorkerId(0), TaskId(2)), Some(Label(0))); // was w2
+        assert_eq!(p.response(WorkerId(1), TaskId(3)), Some(Label(0))); // was w0
+    }
+
+    #[test]
+    fn empty_matrix_density_is_zero() {
+        let m = ResponseMatrixBuilder::new(0, 0, 2).build().unwrap();
+        assert_eq!(m.density(), 0.0);
+        assert!(m.is_regular());
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_matches_builder() {
+        // Building incrementally in arbitrary order equals batch build.
+        let batch = sample();
+        let mut inc = ResponseMatrix::empty(3, 4, 2);
+        let mut responses: Vec<Response> = batch.iter().collect();
+        responses.reverse(); // deliberately out of order
+        for r in responses {
+            inc.insert(r).unwrap();
+        }
+        assert_eq!(inc, batch);
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_and_bad_ids() {
+        let mut m = ResponseMatrix::empty(2, 2, 2);
+        let r = Response { worker: WorkerId(0), task: TaskId(1), label: Label(1) };
+        m.insert(r).unwrap();
+        assert!(matches!(m.insert(r), Err(DataError::DuplicateResponse { .. })));
+        assert!(matches!(
+            m.insert(Response { worker: WorkerId(5), task: TaskId(0), label: Label(0) }),
+            Err(DataError::UnknownId { .. })
+        ));
+        assert!(matches!(
+            m.insert(Response { worker: WorkerId(0), task: TaskId(0), label: Label(7) }),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
+        assert_eq!(m.n_responses(), 1);
+    }
+
+    #[test]
+    fn regular_detection() {
+        let mut b = ResponseMatrixBuilder::new(2, 2, 2);
+        for w in 0..2 {
+            for t in 0..2 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        assert!(b.build().unwrap().is_regular());
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests on the data-model invariants: overlap scans,
+//! the pair cache, counts tensors and CSV round-trips must all agree
+//! with brute-force recomputation on arbitrary sparse matrices.
+
+use crowd_data::{
+    AttemptPattern, CountsTensor, Label, PairCache, ResponseMatrix, ResponseMatrixBuilder,
+    TaskId, WorkerId, majority_vote, pair_stats, triple_joint_labels, triple_overlap,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary sparse response matrix. Each (worker, task)
+/// cell is present with probability ~0.6 and carries a random label.
+fn sparse_matrix(
+    max_workers: usize,
+    max_tasks: usize,
+    arity: u16,
+) -> impl Strategy<Value = ResponseMatrix> {
+    (2..=max_workers, 2..=max_tasks).prop_flat_map(move |(m, n)| {
+        proptest::collection::vec(proptest::option::weighted(0.6, 0..arity), m * n).prop_map(
+            move |cells| {
+                let mut b = ResponseMatrixBuilder::new(m, n, arity);
+                for (i, cell) in cells.iter().enumerate() {
+                    if let Some(label) = cell {
+                        let (w, t) = (i / n, i % n);
+                        b.push(WorkerId(w as u32), TaskId(t as u32), Label(*label))
+                            .expect("generated ids are valid");
+                    }
+                }
+                b.build().expect("generated cells are unique")
+            },
+        )
+    })
+}
+
+/// Brute-force pair statistics straight from `response()` lookups.
+fn brute_pair(data: &ResponseMatrix, a: WorkerId, b: WorkerId) -> (usize, usize) {
+    let mut common = 0;
+    let mut agree = 0;
+    for t in 0..data.n_tasks() as u32 {
+        if let (Some(x), Some(y)) =
+            (data.response(a, TaskId(t)), data.response(b, TaskId(t)))
+        {
+            common += 1;
+            if x == y {
+                agree += 1;
+            }
+        }
+    }
+    (common, agree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The merge-scan pair statistics equal brute force, and are
+    /// symmetric in the worker order.
+    #[test]
+    fn pair_stats_match_brute_force(data in sparse_matrix(6, 25, 3)) {
+        for a in 0..data.n_workers() as u32 {
+            for b in 0..data.n_workers() as u32 {
+                let s = pair_stats(&data, WorkerId(a), WorkerId(b));
+                let (common, agree) = brute_pair(&data, WorkerId(a), WorkerId(b));
+                prop_assert_eq!(s.common_tasks, common);
+                prop_assert_eq!(s.agreements, agree);
+                let t = pair_stats(&data, WorkerId(b), WorkerId(a));
+                prop_assert_eq!(s.common_tasks, t.common_tasks);
+                prop_assert_eq!(s.agreements, t.agreements);
+            }
+        }
+    }
+
+    /// The pair cache agrees with per-pair merge scans for every pair.
+    #[test]
+    fn pair_cache_matches_scans(data in sparse_matrix(6, 25, 2)) {
+        let cache = PairCache::from_matrix(&data);
+        for a in 0..data.n_workers() as u32 {
+            for b in 0..data.n_workers() as u32 {
+                if a == b { continue; }
+                let direct = pair_stats(&data, WorkerId(a), WorkerId(b));
+                let cached = cache.get(WorkerId(a), WorkerId(b));
+                prop_assert_eq!(direct, cached);
+            }
+        }
+    }
+
+    /// Replaying responses one at a time through the incremental cache
+    /// reproduces the batch cache (the invariant the streaming
+    /// evaluator relies on).
+    #[test]
+    fn incremental_cache_matches_batch(data in sparse_matrix(5, 20, 2)) {
+        let batch = PairCache::from_matrix(&data);
+        let mut incremental = PairCache::empty(data.n_workers());
+        // Replay grouped by task: each arriving response sees the
+        // earlier responses of the same task.
+        for t in 0..data.n_tasks() as u32 {
+            let mut so_far: Vec<(u32, Label)> = Vec::new();
+            for (w, label) in data.task_responses(TaskId(t)) {
+                incremental.record_response(WorkerId(*w), *label, &so_far);
+                so_far.push((*w, *label));
+            }
+        }
+        for a in 0..data.n_workers() as u32 {
+            for b in (a + 1)..data.n_workers() as u32 {
+                prop_assert_eq!(
+                    batch.get(WorkerId(a), WorkerId(b)),
+                    incremental.get(WorkerId(a), WorkerId(b))
+                );
+            }
+        }
+    }
+
+    /// Triple overlap and joint labels agree; the overlap equals the
+    /// joint-label count; the tensor's all-three group equals both.
+    #[test]
+    fn triple_views_are_consistent(data in sparse_matrix(5, 25, 3)) {
+        let (a, b, c) = (WorkerId(0), WorkerId(1), WorkerId(2));
+        if data.n_workers() < 3 { return Ok(()); }
+        let overlap = triple_overlap(&data, a, b, c);
+        let joint = triple_joint_labels(&data, a, b, c);
+        prop_assert_eq!(overlap.common_tasks, joint.len());
+        let counts = CountsTensor::from_matrix(&data, a, b, c);
+        prop_assert_eq!(counts.n_all_three() as usize, joint.len());
+        // Every entry of the all-three block is a count of a joint
+        // label combination; their totals match.
+        let k = counts.arity();
+        let mut block_total = 0.0;
+        for x in 1..=k {
+            for y in 1..=k {
+                for z in 1..=k {
+                    block_total += counts.get(x, y, z);
+                }
+            }
+        }
+        prop_assert_eq!(block_total as usize, joint.len());
+    }
+
+    /// The counts tensor partitions every response-bearing task into
+    /// exactly one attempt group; group totals sum to the number of
+    /// tasks attempted by at least one of the three workers.
+    #[test]
+    fn tensor_groups_partition_tasks(data in sparse_matrix(4, 30, 2)) {
+        let (a, b, c) = (WorkerId(0), WorkerId(1), WorkerId(2));
+        if data.n_workers() < 3 { return Ok(()); }
+        let counts = CountsTensor::from_matrix(&data, a, b, c);
+        let group_sum: f64 = AttemptPattern::all()
+            .filter(|p| p.worker_count() >= 1)
+            .map(|p| counts.group_total(p))
+            .sum();
+        let mut expected = 0;
+        for t in 0..data.n_tasks() as u32 {
+            let touched = [a, b, c]
+                .iter()
+                .any(|&w| data.response(w, TaskId(t)).is_some());
+            if touched {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(group_sum as usize, expected);
+    }
+
+    /// CSV round-trips preserve the matrix exactly.
+    #[test]
+    fn csv_roundtrip_is_identity(data in sparse_matrix(6, 20, 4)) {
+        let mut buf = Vec::new();
+        crowd_data::csv::write_responses(&data, &mut buf).unwrap();
+        let reloaded = crowd_data::csv::read_responses(buf.as_slice()).unwrap();
+        prop_assert_eq!(&reloaded, &data);
+    }
+
+    /// `retain_workers` keeps exactly the selected workers' responses
+    /// and reindexes densely.
+    #[test]
+    fn retain_workers_projects_responses(data in sparse_matrix(6, 20, 2)) {
+        let (kept_data, kept_ids) = data.retain_workers(|w| w.0 % 2 == 0);
+        prop_assert_eq!(kept_data.n_workers(), kept_ids.len());
+        for (new_idx, old_id) in kept_ids.iter().enumerate() {
+            prop_assert_eq!(
+                kept_data.worker_responses(WorkerId(new_idx as u32)),
+                data.worker_responses(*old_id)
+            );
+        }
+        let total: usize =
+            kept_ids.iter().map(|&w| data.worker_responses(w).len()).sum();
+        prop_assert_eq!(kept_data.n_responses(), total);
+    }
+
+    /// Majority vote: the winner's tally is maximal, and unanimous
+    /// tasks elect the unanimous label.
+    #[test]
+    fn majority_vote_invariants(data in sparse_matrix(5, 20, 3)) {
+        for t in 0..data.n_tasks() as u32 {
+            let responses = data.task_responses(TaskId(t));
+            let outcome = majority_vote(&data, TaskId(t));
+            if responses.is_empty() {
+                prop_assert!(outcome.label_or_tiebreak().is_none());
+                continue;
+            }
+            let winner = outcome.label_or_tiebreak().expect("non-empty task");
+            let tally = |l: Label| responses.iter().filter(|(_, x)| *x == l).count();
+            for (_, label) in responses {
+                prop_assert!(tally(winner) >= tally(*label));
+            }
+            if responses.iter().all(|(_, l)| *l == responses[0].1) {
+                prop_assert_eq!(winner, responses[0].1);
+                prop_assert!(outcome.is_strict() || responses.is_empty());
+            }
+        }
+    }
+}

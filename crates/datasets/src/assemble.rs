@@ -1,0 +1,44 @@
+//! Shared assembly: (models, truths, difficulties, mask) → dataset.
+
+use crowd_data::{GoldStandard, Label, ResponseMatrixBuilder, TaskId, WorkerId};
+use crowd_sim::{DifficultyModel, WorkerModel};
+use rand::RngExt;
+
+/// Samples truths, difficulties and responses and assembles the
+/// response matrix. `mask[w][t]` decides attempts.
+pub(crate) fn assemble(
+    arity: u16,
+    selectivity: &[f64],
+    workers: &[WorkerModel],
+    difficulty: DifficultyModel,
+    mask: &[Vec<bool>],
+    rng: &mut impl RngExt,
+) -> (crowd_data::ResponseMatrix, GoldStandard) {
+    let n_tasks = mask.first().map_or(0, Vec::len);
+    let truths: Vec<Label> = (0..n_tasks)
+        .map(|_| {
+            let mut u = rng.random::<f64>();
+            for (j, &s) in selectivity.iter().enumerate() {
+                u -= s;
+                if u <= 0.0 {
+                    return Label(j as u16);
+                }
+            }
+            Label(selectivity.len() as u16 - 1)
+        })
+        .collect();
+    let difficulties: Vec<f64> = (0..n_tasks).map(|_| difficulty.sample(rng)).collect();
+
+    let mut b = ResponseMatrixBuilder::new(workers.len(), n_tasks, arity);
+    for (w, model) in workers.iter().enumerate() {
+        for (t, &truth) in truths.iter().enumerate() {
+            if mask[w][t] {
+                let label = model.respond(truth, arity, difficulties[t], rng);
+                b.push(WorkerId(w as u32), TaskId(t as u32), label)
+                    .expect("assembled ids are in range");
+            }
+        }
+    }
+    let responses = b.build().expect("mask guarantees unique (worker, task) pairs");
+    (responses, GoldStandard::complete(truths))
+}

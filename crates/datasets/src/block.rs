@@ -1,0 +1,121 @@
+//! Block-structured attempt designs.
+//!
+//! Real crowdsourcing platforms hand out work in batches: a worker who
+//! opens a HIT group labels a contiguous *block* of items, so worker
+//! triples within the same cohort share many tasks while cross-cohort
+//! triples share few. The paper's MOOC / WSD / WS experiments depend
+//! on exactly this structure (they need ≥ 50 triples clearing a
+//! per-dataset overlap threshold). [`BlockDesign`] reproduces it.
+
+use rand::RngExt;
+
+/// Workers arrive in cohorts; each cohort labels one task block, and
+/// each worker skips a per-response fraction of its block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockDesign {
+    /// Number of cohorts.
+    pub cohorts: usize,
+    /// Workers per cohort.
+    pub workers_per_cohort: usize,
+    /// Tasks per block.
+    pub block_len: usize,
+    /// Fractional overlap between consecutive blocks, in `[0, 1)`.
+    pub block_overlap: f64,
+    /// Probability a worker skips any given task of its block.
+    pub dropout: f64,
+}
+
+impl BlockDesign {
+    /// Total workers.
+    pub fn n_workers(&self) -> usize {
+        self.cohorts * self.workers_per_cohort
+    }
+
+    /// Total tasks spanned by the blocks.
+    pub fn n_tasks(&self) -> usize {
+        if self.cohorts == 0 {
+            return 0;
+        }
+        let stride = self.stride();
+        stride * (self.cohorts - 1) + self.block_len
+    }
+
+    fn stride(&self) -> usize {
+        ((self.block_len as f64) * (1.0 - self.block_overlap)).round().max(1.0) as usize
+    }
+
+    /// The attempt mask: `mask[worker][task]`.
+    pub fn sample_mask(&self, rng: &mut impl RngExt) -> Vec<Vec<bool>> {
+        let n_tasks = self.n_tasks();
+        let stride = self.stride();
+        let mut mask = vec![vec![false; n_tasks]; self.n_workers()];
+        for cohort in 0..self.cohorts {
+            let start = cohort * stride;
+            for slot in 0..self.workers_per_cohort {
+                let w = cohort * self.workers_per_cohort + slot;
+                for t in start..(start + self.block_len).min(n_tasks) {
+                    if rng.random::<f64>() >= self.dropout {
+                        mask[w][t] = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::rng;
+
+    fn design() -> BlockDesign {
+        BlockDesign {
+            cohorts: 3,
+            workers_per_cohort: 4,
+            block_len: 20,
+            block_overlap: 0.25,
+            dropout: 0.0,
+        }
+    }
+
+    #[test]
+    fn shape() {
+        let d = design();
+        assert_eq!(d.n_workers(), 12);
+        // stride = 15 → tasks = 15*2 + 20 = 50.
+        assert_eq!(d.n_tasks(), 50);
+    }
+
+    #[test]
+    fn cohort_members_share_their_block() {
+        let d = design();
+        let mask = d.sample_mask(&mut rng(1));
+        // Workers 0..4 (cohort 0) all attempt tasks 0..20 and nothing else.
+        for w in 0..4 {
+            for t in 0..50 {
+                assert_eq!(mask[w][t], t < 20, "worker {w} task {t}");
+            }
+        }
+        // Cohort 1 spans 15..35: overlaps cohort 0 on 15..20.
+        assert!(mask[4][15] && mask[4][34] && !mask[4][35] && !mask[4][14]);
+    }
+
+    #[test]
+    fn dropout_thins_responses() {
+        let d = BlockDesign { dropout: 0.5, ..design() };
+        let mask = d.sample_mask(&mut rng(2));
+        let filled: usize = mask.iter().flatten().filter(|&&b| b).count();
+        let full = 12 * 20;
+        let frac = filled as f64 / full as f64;
+        assert!((frac - 0.5).abs() < 0.1, "dropout fraction {frac}");
+    }
+
+    #[test]
+    fn zero_cohorts_is_empty() {
+        let d = BlockDesign { cohorts: 0, ..design() };
+        assert_eq!(d.n_tasks(), 0);
+        assert_eq!(d.n_workers(), 0);
+        assert!(d.sample_mask(&mut rng(3)).is_empty());
+    }
+}

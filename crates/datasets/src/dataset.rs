@@ -1,0 +1,124 @@
+//! The dataset container and triple-selection helpers.
+
+use crowd_data::{GoldStandard, ResponseMatrix, WorkerId, triple_overlap};
+use rand::RngExt;
+
+/// A generated stand-in dataset: observable responses plus the gold
+/// labels used (as in the paper) to compute empirical worker truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short paper name ("IC", "ENT", ...).
+    pub name: &'static str,
+    /// The worker responses.
+    pub responses: ResponseMatrix,
+    /// Gold labels for (a subset of) tasks.
+    pub gold: GoldStandard,
+}
+
+impl Dataset {
+    /// Empirical error rate of a worker against the gold labels — the
+    /// paper's proxy for the true error rate on real data.
+    pub fn empirical_error_rate(&self, worker: WorkerId) -> Option<f64> {
+        self.gold.worker_error_rate(&self.responses, worker)
+    }
+}
+
+/// Finds up to `max_count` worker triples with at least `threshold`
+/// tasks attempted by all three, sampling uniformly at random without
+/// replacement — the §IV-C protocol ("choose a random triple of
+/// workers that has attempted at least t tasks in common", 50 times).
+///
+/// Candidate enumeration is capped by scanning pairs in a random order
+/// so huge sparse datasets do not cost `O(m³)`.
+pub fn triples_with_overlap(
+    data: &ResponseMatrix,
+    threshold: usize,
+    max_count: usize,
+    rng: &mut impl RngExt,
+) -> Vec<[WorkerId; 3]> {
+    let m = data.n_workers();
+    let mut workers: Vec<u32> = (0..m as u32).collect();
+    // Fisher-Yates shuffle for a random scan order.
+    for i in (1..workers.len()).rev() {
+        let j = rng.random_range(0..=i as u32) as usize;
+        workers.swap(i, j);
+    }
+    let mut found = Vec::new();
+    'outer: for (ai, &a) in workers.iter().enumerate() {
+        for (bi, &b) in workers.iter().enumerate().skip(ai + 1) {
+            // Cheap pre-filter: pair overlap bounds triple overlap.
+            if crowd_data::pair_stats(data, WorkerId(a), WorkerId(b)).common_tasks < threshold {
+                continue;
+            }
+            for &c in workers.iter().skip(bi + 1) {
+                let t = triple_overlap(data, WorkerId(a), WorkerId(b), WorkerId(c));
+                if t.common_tasks >= threshold {
+                    found.push([WorkerId(a), WorkerId(b), WorkerId(c)]);
+                    if found.len() >= max_count {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+    use crowd_sim::rng;
+
+    fn grouped() -> ResponseMatrix {
+        // Two groups of 3 workers; group 0 shares tasks 0..50, group 1
+        // shares tasks 50..80.
+        let mut b = ResponseMatrixBuilder::new(6, 80, 2);
+        for w in 0..3u32 {
+            for t in 0..50u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        for w in 3..6u32 {
+            for t in 50..80u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_triples_above_threshold() {
+        let data = grouped();
+        let mut r = rng(5);
+        let triples = triples_with_overlap(&data, 40, 10, &mut r);
+        assert_eq!(triples.len(), 1, "only group 0 clears 40 common tasks");
+        let ws: Vec<u32> = triples[0].iter().map(|w| w.0).collect();
+        let mut sorted = ws.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn threshold_30_finds_both_groups() {
+        let data = grouped();
+        let mut r = rng(6);
+        let triples = triples_with_overlap(&data, 30, 10, &mut r);
+        assert_eq!(triples.len(), 2);
+    }
+
+    #[test]
+    fn respects_max_count() {
+        let data = grouped();
+        let mut r = rng(7);
+        let triples = triples_with_overlap(&data, 10, 1, &mut r);
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn impossible_threshold_finds_nothing() {
+        let data = grouped();
+        let mut r = rng(8);
+        assert!(triples_with_overlap(&data, 1000, 5, &mut r).is_empty());
+    }
+}

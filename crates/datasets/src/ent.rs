@@ -1,0 +1,137 @@
+//! ENT/RTE — the textual-entailment stand-in (Snow et al., EMNLP'08).
+//!
+//! Original: 800 binary sentence-pair tasks ("does the first sentence
+//! entail the second?"), 164 workers, ~10 annotations per task, with
+//! heavily skewed per-worker activity (a few workers did hundreds of
+//! tasks, most did a handful) and a visible population of spammers.
+
+use crate::Dataset;
+use crate::assemble::assemble;
+use crowd_sim::{DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Number of tasks in the original dataset.
+pub const N_TASKS: usize = 800;
+/// Number of workers in the original dataset.
+pub const N_WORKERS: usize = 164;
+/// Annotations per task in the original dataset.
+pub const LABELS_PER_TASK: usize = 10;
+
+/// Generates the ENT stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    // ~12% spammers, the rest with errors in [0.05, 0.35].
+    let workers: Vec<WorkerModel> = (0..N_WORKERS)
+        .map(|_| {
+            if r.random::<f64>() < 0.12 {
+                WorkerModel::SymmetricError(0.45 + 0.05 * r.random::<f64>())
+            } else {
+                WorkerModel::SymmetricError(0.05 + 0.30 * r.random::<f64>())
+            }
+        })
+        .collect();
+    let mask = skewed_assignment_mask(N_WORKERS, N_TASKS, LABELS_PER_TASK, &mut r);
+    let (responses, gold) = assemble(
+        2,
+        &[0.5, 0.5],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.06, max: 0.25 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "ENT", responses, gold }
+}
+
+/// Assigns `labels_per_task` distinct workers to every task, with
+/// worker selection probability following a heavy-tailed activity
+/// profile (approximate Zipf via weight `1/rank`).
+pub(crate) fn skewed_assignment_mask(
+    n_workers: usize,
+    n_tasks: usize,
+    labels_per_task: usize,
+    r: &mut impl RngExt,
+) -> Vec<Vec<bool>> {
+    // Activity weights: worker w gets weight 1/(1 + rank) with ranks
+    // shuffled so ids carry no meaning.
+    let mut ranks: Vec<usize> = (0..n_workers).collect();
+    for i in (1..ranks.len()).rev() {
+        let j = r.random_range(0..=i as u32) as usize;
+        ranks.swap(i, j);
+    }
+    let weights: Vec<f64> = ranks.iter().map(|&rank| 1.0 / (1.0 + rank as f64)).collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut mask = vec![vec![false; n_tasks]; n_workers];
+    for t in 0..n_tasks {
+        let mut chosen = 0usize;
+        let mut guard = 0usize;
+        while chosen < labels_per_task.min(n_workers) && guard < 10_000 {
+            guard += 1;
+            // Weighted sample with rejection of duplicates.
+            let mut u = r.random::<f64>() * total;
+            let mut w = 0usize;
+            for (i, &wt) in weights.iter().enumerate() {
+                u -= wt;
+                if u <= 0.0 {
+                    w = i;
+                    break;
+                }
+            }
+            if !mask[w][t] {
+                mask[w][t] = true;
+                chosen += 1;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = generate(17);
+        assert_eq!(d.responses.n_workers(), N_WORKERS);
+        assert_eq!(d.responses.n_tasks(), N_TASKS);
+        assert_eq!(d.responses.n_responses(), N_TASKS * LABELS_PER_TASK);
+        // Sparse: density ≈ 10/164.
+        assert!(d.responses.density() < 0.08);
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let d = generate(19);
+        let mut counts: Vec<usize> =
+            d.responses.workers().map(|w| d.responses.worker_task_count(w)).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // The busiest worker did many times the median's work.
+        let median = counts[counts.len() / 2].max(1);
+        assert!(
+            counts[0] > 5 * median,
+            "expected heavy tail: top {} vs median {median}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn every_task_has_the_advertised_labels() {
+        let d = generate(23);
+        for t in d.responses.tasks() {
+            assert_eq!(d.responses.task_responses(t).len(), LABELS_PER_TASK);
+        }
+    }
+
+    #[test]
+    fn spammers_exist() {
+        let d = generate(29);
+        let spammy = d
+            .responses
+            .workers()
+            .filter_map(|w| d.empirical_error_rate(w))
+            .filter(|&p| p > 0.4)
+            .count();
+        assert!(spammy >= 5, "expected a spammer population, got {spammy}");
+    }
+}

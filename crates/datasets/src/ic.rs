@@ -1,0 +1,84 @@
+//! IC — the Image Comparison stand-in (§III-E1).
+//!
+//! Original: 48 binary tasks ("do these two sports photos show the
+//! same person?"), each attempted by all 19 Mechanical-Turk workers;
+//! the paper removes a random 20% of responses to make it non-regular.
+//! Worker quality on the real dataset was mixed, with a couple of
+//! near-random workers, and photo pairs vary a lot in difficulty —
+//! both properties are reproduced here.
+
+use crate::Dataset;
+use crate::assemble::assemble;
+use crowd_sim::{AttemptDesign, DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Number of tasks in the original dataset.
+pub const N_TASKS: usize = 48;
+/// Number of workers in the original dataset.
+pub const N_WORKERS: usize = 19;
+/// Fraction of responses removed by the paper's protocol.
+pub const REMOVAL_FRACTION: f64 = 0.2;
+
+/// Generates the IC stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    // Mixed worker pool: mostly decent, two near-spammers.
+    let workers: Vec<WorkerModel> = (0..N_WORKERS)
+        .map(|i| {
+            let p = if i < 2 {
+                0.42 + 0.05 * r.random::<f64>()
+            } else {
+                0.05 + 0.25 * r.random::<f64>()
+            };
+            WorkerModel::SymmetricError(p)
+        })
+        .collect();
+    let mask = AttemptDesign::RandomRemoval { fraction: REMOVAL_FRACTION }
+        .sample_mask(N_WORKERS, N_TASKS, &mut r);
+    let (responses, gold) = assemble(
+        2,
+        &[0.5, 0.5],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.08, max: 0.3 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "IC", responses, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = generate(11);
+        assert_eq!(d.responses.n_workers(), N_WORKERS);
+        assert_eq!(d.responses.n_tasks(), N_TASKS);
+        assert_eq!(d.responses.arity(), 2);
+        let expected = (N_WORKERS * N_TASKS) as f64 * (1.0 - REMOVAL_FRACTION);
+        assert_eq!(d.responses.n_responses(), expected.round() as usize);
+        assert!(!d.responses.is_regular());
+    }
+
+    #[test]
+    fn worker_quality_is_mixed() {
+        let d = generate(13);
+        let rates: Vec<f64> = d
+            .responses
+            .workers()
+            .filter_map(|w| d.empirical_error_rate(w))
+            .collect();
+        assert_eq!(rates.len(), N_WORKERS);
+        let good = rates.iter().filter(|&&p| p < 0.35).count();
+        let bad = rates.iter().filter(|&&p| p >= 0.3).count();
+        assert!(good >= 10, "most workers decent: {rates:?}");
+        assert!(bad >= 1, "at least one near-random worker: {rates:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(7).responses, generate(7).responses);
+        assert_ne!(generate(7).responses, generate(8).responses);
+    }
+}

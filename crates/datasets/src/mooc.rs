@@ -1,0 +1,120 @@
+//! MOOC — the peer-grading stand-in (§IV-C1).
+//!
+//! Original: students grade peer assignments 0–5; course assistants
+//! provide gold grades for a subset; the paper maps grades to 3-ary
+//! (`⌈g/2⌉`) because the data is too small for arity 6. Grading
+//! happens in sections — cohorts of students grade the same stack of
+//! assignments — which is what gives the paper ≥ 50 triples with
+//! `t = 60` common tasks.
+//!
+//! Grader noise is *adjacent-biased*: confusing a grade with a
+//! neighbouring grade is far likelier than with a distant one, and
+//! students lean generous, so the confusion matrices are asymmetric.
+
+use crate::{BlockDesign, Dataset};
+use crate::assemble::assemble;
+use crowd_linalg::Matrix;
+use crowd_sim::{DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Task arity after the paper's grade mapping.
+pub const ARITY: u16 = 3;
+
+/// Generates the MOOC stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let design = BlockDesign {
+        cohorts: 10,
+        workers_per_cohort: 5,
+        block_len: 90,
+        block_overlap: 0.2,
+        dropout: 0.08,
+    };
+    let workers: Vec<WorkerModel> = (0..design.n_workers())
+        .map(|_| WorkerModel::Confusion(grader_matrix(&mut r)))
+        .collect();
+    let mask = design.sample_mask(&mut r);
+    let (responses, gold) = assemble(
+        ARITY,
+        &[0.25, 0.45, 0.3],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.05, max: 0.2 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "MOOC", responses, gold }
+}
+
+/// A random adjacent-biased, generosity-skewed 3×3 grader matrix.
+fn grader_matrix(r: &mut impl RngExt) -> Matrix {
+    // Base accuracy per true grade, with generosity: low grades get
+    // inflated more often than high grades get deflated.
+    let acc = 0.6 + 0.25 * r.random::<f64>();
+    let generosity = 0.05 + 0.1 * r.random::<f64>();
+    let spread = 1.0 - acc;
+    let m = Matrix::from_rows(&[
+        // truth "low": most mass on low, inflation toward mid.
+        &[acc, spread * 0.8 + generosity * 0.5, spread * 0.2],
+        // truth "mid": symmetric-ish with a generous tilt.
+        &[spread * 0.35 - generosity * 0.5, acc, spread * 0.65 + generosity * 0.5],
+        // truth "high": deflation to mid only.
+        &[spread * 0.15, spread * 0.85, acc],
+    ]);
+    // The generosity tilt can push an entry slightly negative and
+    // leaves rows a hair off 1.0: clamp, then renormalize.
+    let clamped = m.map(|x| x.max(0.001));
+    Matrix::from_fn(3, 3, |i, j| {
+        let s: f64 = clamped.row(i).iter().sum();
+        clamped.get(i, j) / s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples_with_overlap;
+
+    #[test]
+    fn shape_supports_figure_5c() {
+        let d = generate(41);
+        assert_eq!(d.responses.arity(), 3);
+        assert_eq!(d.responses.n_workers(), 50);
+        // The §IV-C protocol needs at least 50 triples with ≥ 60 common
+        // tasks.
+        let mut r = rng(1);
+        let triples = triples_with_overlap(&d.responses, 60, 50, &mut r);
+        assert_eq!(triples.len(), 50, "need ≥50 triples at t=60");
+    }
+
+    #[test]
+    fn grader_matrices_are_stochastic_and_diag_dominant() {
+        let mut r = rng(43);
+        for _ in 0..50 {
+            let m = grader_matrix(&mut r);
+            for i in 0..3 {
+                let s: f64 = m.row(i).iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+                for j in 0..3 {
+                    assert!(m.get(i, j) >= 0.0);
+                    if j != i {
+                        assert!(m.get(i, i) > m.get(i, j), "diagonal dominance violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graders_confuse_adjacent_grades_more() {
+        let d = generate(47);
+        // Aggregate empirical confusion over all workers.
+        let mut agg = Matrix::zeros(3, 3);
+        for w in d.responses.workers() {
+            agg = agg.add_matrix(&d.gold.worker_confusion(&d.responses, w));
+        }
+        // Low↔high confusion is the rarest kind.
+        let low_high = agg.get(0, 2) + agg.get(2, 0);
+        let adjacent = agg.get(0, 1) + agg.get(1, 0) + agg.get(1, 2) + agg.get(2, 1);
+        assert!(low_high < adjacent / 2.0, "adjacent bias missing: {low_high} vs {adjacent}");
+    }
+}

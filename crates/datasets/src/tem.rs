@@ -1,0 +1,76 @@
+//! TEM — the temporal-ordering stand-in (Snow et al., EMNLP'08).
+//!
+//! Original: 462 binary tasks ("does the event in the first sentence
+//! temporally precede the second?"), 76 workers, sparse non-regular
+//! assignments. Temporal ordering is the easiest of Snow's tasks —
+//! workers are fairly accurate — but difficulty still varies by
+//! sentence pair.
+
+use crate::Dataset;
+use crate::assemble::assemble;
+use crate::ent::skewed_assignment_mask;
+use crowd_sim::{DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Number of tasks in the original dataset.
+pub const N_TASKS: usize = 462;
+/// Number of workers in the original dataset.
+pub const N_WORKERS: usize = 76;
+/// Annotations per task in the original dataset.
+pub const LABELS_PER_TASK: usize = 10;
+
+/// Generates the TEM stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let workers: Vec<WorkerModel> = (0..N_WORKERS)
+        .map(|_| {
+            if r.random::<f64>() < 0.08 {
+                WorkerModel::SymmetricError(0.44 + 0.06 * r.random::<f64>())
+            } else {
+                // Temporal ordering is comparatively easy.
+                WorkerModel::SymmetricError(0.04 + 0.22 * r.random::<f64>())
+            }
+        })
+        .collect();
+    let mask = skewed_assignment_mask(N_WORKERS, N_TASKS, LABELS_PER_TASK, &mut r);
+    let (responses, gold) = assemble(
+        2,
+        &[0.55, 0.45],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.05, max: 0.2 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "TEM", responses, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = generate(31);
+        assert_eq!(d.responses.n_workers(), N_WORKERS);
+        assert_eq!(d.responses.n_tasks(), N_TASKS);
+        assert_eq!(d.responses.n_responses(), N_TASKS * LABELS_PER_TASK);
+        assert!(!d.responses.is_regular());
+    }
+
+    #[test]
+    fn workers_are_mostly_accurate() {
+        let d = generate(37);
+        let rates: Vec<f64> =
+            d.responses.workers().filter_map(|w| d.empirical_error_rate(w)).collect();
+        let accurate = rates.iter().filter(|&&p| p < 0.3).count();
+        assert!(
+            accurate as f64 > 0.7 * rates.len() as f64,
+            "TEM workers should be mostly accurate"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(3).responses, generate(3).responses);
+    }
+}

@@ -1,0 +1,81 @@
+//! WS — the word-similarity stand-in (Snow et al.).
+//!
+//! Original: similarity ratings 0–10, mapped by the paper to binary
+//! (`⌈g/6⌉`), and *so sparse that no worker triple shared more than 30
+//! tasks* — which is why §IV-C uses the smallest threshold, `t = 30`.
+//! Rating tasks are subjective, so difficulty heterogeneity is the
+//! largest of all the stand-ins.
+
+use crate::{BlockDesign, Dataset};
+use crate::assemble::assemble;
+use crowd_sim::{DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Arity after the paper's rating threshold mapping.
+pub const ARITY: u16 = 2;
+
+/// Generates the WS stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let design = BlockDesign {
+        cohorts: 10,
+        workers_per_cohort: 5,
+        block_len: 36,
+        block_overlap: 0.1,
+        dropout: 0.02,
+    };
+    let workers: Vec<WorkerModel> = (0..design.n_workers())
+        .map(|_| WorkerModel::SymmetricError(0.08 + 0.22 * r.random::<f64>()))
+        .collect();
+    let mask = design.sample_mask(&mut r);
+    let (responses, gold) = assemble(
+        ARITY,
+        &[0.6, 0.4],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.1, max: 0.35 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "WS", responses, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples_with_overlap;
+    use crowd_data::{WorkerId, triple_overlap};
+
+    #[test]
+    fn shape_supports_figure_5c() {
+        let d = generate(71);
+        let mut r = rng(3);
+        let triples = triples_with_overlap(&d.responses, 30, 50, &mut r);
+        assert!(triples.len() >= 50, "need ≥50 triples at t=30, got {}", triples.len());
+    }
+
+    #[test]
+    fn extreme_sparsity_like_the_original() {
+        // "no triple of workers had more than 30 tasks in common" is
+        // approximated: no triple clears ~block_len common tasks.
+        let d = generate(73);
+        let m = d.responses.n_workers();
+        let mut max_overlap = 0usize;
+        for a in 0..m as u32 {
+            for b in (a + 1)..m as u32 {
+                for c in (b + 1)..m as u32 {
+                    max_overlap = max_overlap.max(
+                        triple_overlap(&d.responses, WorkerId(a), WorkerId(b), WorkerId(c))
+                            .common_tasks,
+                    );
+                }
+            }
+        }
+        assert!(max_overlap <= 36, "triples should stay tiny, max {max_overlap}");
+        assert!(d.responses.density() < 0.13, "density {}", d.responses.density());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(5).responses, generate(5).responses);
+    }
+}

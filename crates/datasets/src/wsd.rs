@@ -1,0 +1,91 @@
+//! WSD — the word-sense-disambiguation stand-in (Snow et al.).
+//!
+//! Original: 3-way sense selection, but sense 2 almost never occurs as
+//! the true answer, so the paper collapses senses 2 and 3 into one
+//! label and runs the binary estimator with `t = 100`. The resulting
+//! binary data is *heavily* class-imbalanced and workers are very
+//! accurate (WSD was Snow's easiest task, ≈ 0.99 majority accuracy).
+
+use crate::{BlockDesign, Dataset};
+use crate::assemble::assemble;
+use crowd_sim::{DifficultyModel, WorkerModel, rng};
+use rand::RngExt;
+
+/// Arity after the paper's collapse of senses 2 and 3.
+pub const ARITY: u16 = 2;
+
+/// Generates the WSD stand-in.
+pub fn generate(seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let design = BlockDesign {
+        cohorts: 8,
+        workers_per_cohort: 5,
+        block_len: 130,
+        block_overlap: 0.15,
+        dropout: 0.05,
+    };
+    let workers: Vec<WorkerModel> = (0..design.n_workers())
+        .map(|_| {
+            if r.random::<f64>() < 0.05 {
+                WorkerModel::SymmetricError(0.45)
+            } else {
+                WorkerModel::SymmetricError(0.02 + 0.12 * r.random::<f64>())
+            }
+        })
+        .collect();
+    let mask = design.sample_mask(&mut r);
+    let (responses, gold) = assemble(
+        ARITY,
+        // Dominant sense ≈ 80% of tasks.
+        &[0.8, 0.2],
+        &workers,
+        DifficultyModel::HalfNormal { sigma: 0.04, max: 0.15 },
+        &mask,
+        &mut r,
+    );
+    Dataset { name: "WSD", responses, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples_with_overlap;
+    use crowd_data::Label;
+
+    #[test]
+    fn shape_supports_figure_5c() {
+        let d = generate(53);
+        assert_eq!(d.responses.arity(), 2);
+        let mut r = rng(2);
+        let triples = triples_with_overlap(&d.responses, 100, 50, &mut r);
+        assert_eq!(triples.len(), 50, "need ≥50 triples at t=100");
+    }
+
+    #[test]
+    fn classes_are_imbalanced() {
+        let d = generate(59);
+        let s = d.gold.selectivity(2);
+        assert!(s[0] > 0.7, "dominant sense should dominate: {s:?}");
+    }
+
+    #[test]
+    fn workers_are_highly_accurate() {
+        let d = generate(61);
+        let rates: Vec<f64> =
+            d.responses.workers().filter_map(|w| d.empirical_error_rate(w)).collect();
+        let sharp = rates.iter().filter(|&&p| p < 0.2).count();
+        assert!(sharp as f64 > 0.8 * rates.len() as f64, "WSD workers are accurate: {rates:?}");
+    }
+
+    #[test]
+    fn both_labels_appear() {
+        let d = generate(67);
+        let mut seen = [false; 2];
+        for resp in d.responses.iter() {
+            seen[resp.label.index()] = true;
+        }
+        assert_eq!(seen, [true, true]);
+        assert!(d.gold.label(crowd_data::TaskId(0)).unwrap().valid_for_arity(2));
+        let _ = Label(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Gauss-Jordan elimination.
+//!
+//! The paper quotes the `O(m⁴)` complexity of Algorithm A2 assuming the
+//! covariance matrix is inverted with Gauss-Jordan elimination (and
+//! notes it could drop to `O(m^3.373)` with Williams' algorithm). We
+//! keep a faithful Gauss-Jordan implementation both as a cross-check
+//! against the LU path and so the complexity benches can measure the
+//! variant the paper describes.
+
+use crate::{EPS, LinalgError, Matrix, Result};
+
+/// Inverts `a` by Gauss-Jordan elimination with partial pivoting.
+pub fn gauss_jordan_inverse(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    // Augmented system [A | I], reduced in place to [I | A⁻¹].
+    let mut aug = Matrix::zeros(n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            aug.set(i, j, a.get(i, j));
+        }
+        aug.set(i, n + i, 1.0);
+    }
+
+    for col in 0..n {
+        let mut pivot_row = col;
+        let mut pivot_val = aug.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = aug.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < EPS {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        aug.swap_rows(pivot_row, col);
+
+        let pivot = aug.get(col, col);
+        for j in 0..2 * n {
+            let v = aug.get(col, j) / pivot;
+            aug.set(col, j, v);
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = aug.get(r, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..2 * n {
+                let v = aug.get(r, j) - factor * aug.get(col, j);
+                aug.set(r, j, v);
+            }
+        }
+    }
+
+    let mut inv = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            inv.set(i, j, aug.get(i, n + j));
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_lu_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]]);
+        let gj = gauss_jordan_inverse(&a).unwrap();
+        let lu = a.inverse().unwrap();
+        assert!(gj.approx_eq(&lu, 1e-10));
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = Matrix::identity(5);
+        assert!(gauss_jordan_inverse(&i).unwrap().approx_eq(&i, 1e-14));
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 0.0]]);
+        let inv = gauss_jordan_inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(gauss_jordan_inverse(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        assert!(matches!(
+            gauss_jordan_inverse(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense linear algebra substrate for the `crowd-assess` workspace.
+//!
+//! The crowd-assessment algorithms of Joglekar et al. (ICDE 2015) need a
+//! small but complete dense-matrix toolkit:
+//!
+//! * matrix inversion for the minimum-variance weight computation
+//!   (Lemma 5: `A = C⁻¹𝟙 / ‖C⁻¹𝟙‖₁`),
+//! * eigendecomposition of the near-symmetric moment products
+//!   `R₁₂R₃₂⁻¹R₃₁` (Lemma 7) and of the conditional moment matrices
+//!   (Algorithm A3, step 6.c),
+//! * Cholesky factorization for covariance sanity checks and for
+//!   sampling correlated noise in tests.
+//!
+//! The matrices involved are tiny (`k ≤ 8` for task arity, `l ≤ m/2`
+//! triples), so the implementations favour robustness and clarity over
+//! blocked performance: LU with partial pivoting, Gauss-Jordan (kept
+//! because the paper cites it for the complexity bound), cyclic Jacobi
+//! for symmetric eigenproblems and a Hessenberg + shifted-QR solver for
+//! general real matrices.
+//!
+//! Everything is `f64`; no external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use crowd_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let inv = a.inverse().unwrap();
+//! let id = a.matmul(&inv);
+//! assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+//! assert!(id.get(0, 1).abs() < 1e-12);
+//! ```
+
+mod cholesky;
+mod error;
+mod gauss_jordan;
+mod jacobi;
+mod lu;
+mod matrix;
+mod qr_eigen;
+mod vector;
+
+pub use cholesky::{Cholesky, is_positive_definite_with_ridge};
+pub use error::LinalgError;
+pub use gauss_jordan::gauss_jordan_inverse;
+pub use jacobi::{SymmetricEigen, symmetric_eigen};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr_eigen::{Eigen, eigen_decompose};
+pub use vector::{dot, l1_norm, l2_norm, linf_norm, normalize_l2};
+
+/// Workspace-wide tolerance used when deciding whether a pivot or an
+/// eigenvalue is numerically zero.
+pub const EPS: f64 = 1e-12;
+
+/// Result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,213 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used for matrix inversion in the minimum-variance weight computation
+//! (Lemma 5) and for the `R₃₂⁻¹` factor in the k-ary moment product
+//! (Lemma 7). Partial pivoting keeps the factorization stable for the
+//! mildly ill-conditioned covariance matrices that arise when triples
+//! share many tasks.
+
+// Triangular solves read `x[j]` for j on one side of the pivot while
+// writing `x[i]`; the index form mirrors the textbook algorithm and
+// avoids split-borrow gymnastics.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{EPS, LinalgError, Matrix, Result};
+
+/// A packed LU factorization `P·A = L·U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper triangle holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Number of row swaps performed (for the determinant sign).
+    swaps: usize,
+}
+
+impl Lu {
+    /// Factorizes `a`; fails if `a` is rectangular or singular.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < EPS {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                swaps += 1;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Self { lu, perm, swaps })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        sign * self.lu.diag().iter().product::<f64>()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                rows_a: n,
+                cols_a: n,
+                rows_b: b.len(),
+                cols_b: 1,
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                rows_a: n,
+                cols_a: n,
+                rows_b: b.rows(),
+                cols_b: b.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]])
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd3();
+        let inv = a.inverse().unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_2x2() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.determinant().unwrap() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Leading zero forces a row swap; determinant must keep its sign
+        // bookkeeping straight.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.determinant().unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::decompose(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::decompose(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = spd3();
+        let lu = Lu::decompose(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[3.0, -1.0]]);
+        let x = lu.solve_matrix(&b).unwrap();
+        assert!(a.matmul(&x).approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn solve_wrong_length_errors() {
+        let lu = Lu::decompose(&spd3()).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn hilbert_4_inverse_is_accurate_enough() {
+        // The 4x4 Hilbert matrix is classically ill-conditioned
+        // (cond ≈ 1.5e4); partial pivoting should still give ~1e-9.
+        let h = Matrix::from_fn(4, 4, |i, j| 1.0 / ((i + j + 1) as f64));
+        let inv = h.inverse().unwrap();
+        assert!(h.matmul(&inv).approx_eq(&Matrix::identity(4), 1e-8));
+    }
+}

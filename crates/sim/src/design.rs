@@ -1,0 +1,151 @@
+//! Attempt designs: which (worker, task) cells get a response.
+
+use rand::RngExt;
+
+/// How worker–task assignments are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptDesign {
+    /// Every worker attempts every task (the regular setting of §III-A).
+    Regular,
+    /// Every worker attempts every task independently with probability
+    /// `d` (the non-regular synthetic experiments, §III-D).
+    UniformDensity(f64),
+    /// Worker `i` attempts each task with probability `densities[i]`
+    /// (the weight-optimization experiment of Figure 2c).
+    PerWorkerDensity(Vec<f64>),
+    /// Start from a regular matrix, then delete a uniform random
+    /// `fraction` of all responses (the protocol used on the IC
+    /// dataset in §III-E).
+    RandomRemoval {
+        /// Fraction of responses to remove, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl AttemptDesign {
+    /// Materializes the attempt mask for `n_workers × n_tasks`.
+    /// `mask[w][t]` is true when worker `w` attempts task `t`.
+    pub fn sample_mask(
+        &self,
+        n_workers: usize,
+        n_tasks: usize,
+        rng: &mut impl RngExt,
+    ) -> Vec<Vec<bool>> {
+        match self {
+            Self::Regular => vec![vec![true; n_tasks]; n_workers],
+            Self::UniformDensity(d) => {
+                assert!((0.0..=1.0).contains(d), "density must be in [0,1], got {d}");
+                (0..n_workers)
+                    .map(|_| (0..n_tasks).map(|_| rng.random::<f64>() < *d).collect())
+                    .collect()
+            }
+            Self::PerWorkerDensity(ds) => {
+                assert_eq!(ds.len(), n_workers, "one density per worker required");
+                ds.iter()
+                    .map(|&d| {
+                        assert!((0.0..=1.0).contains(&d), "density must be in [0,1], got {d}");
+                        (0..n_tasks).map(|_| rng.random::<f64>() < d).collect()
+                    })
+                    .collect()
+            }
+            Self::RandomRemoval { fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(fraction),
+                    "removal fraction must be in [0,1], got {fraction}"
+                );
+                let mut mask = vec![vec![true; n_tasks]; n_workers];
+                let total = n_workers * n_tasks;
+                let remove = ((total as f64) * fraction).round() as usize;
+                // Partial Fisher-Yates over the flattened cell indices.
+                let mut cells: Vec<usize> = (0..total).collect();
+                for i in 0..remove.min(total) {
+                    let j = rng.random_range(i..total);
+                    cells.swap(i, j);
+                    let cell = cells[i];
+                    mask[cell / n_tasks][cell % n_tasks] = false;
+                }
+                mask
+            }
+        }
+    }
+
+    /// Expected fraction of filled cells.
+    pub fn expected_density(&self, n_workers: usize) -> f64 {
+        match self {
+            Self::Regular => 1.0,
+            Self::UniformDensity(d) => *d,
+            Self::PerWorkerDensity(ds) => {
+                assert_eq!(ds.len(), n_workers);
+                ds.iter().sum::<f64>() / n_workers.max(1) as f64
+            }
+            Self::RandomRemoval { fraction } => 1.0 - fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn regular_fills_everything() {
+        let mut r = rng(1);
+        let mask = AttemptDesign::Regular.sample_mask(3, 5, &mut r);
+        assert!(mask.iter().flatten().all(|&b| b));
+        assert_eq!(AttemptDesign::Regular.expected_density(3), 1.0);
+    }
+
+    #[test]
+    fn uniform_density_is_close_to_nominal() {
+        let mut r = rng(2);
+        let mask = AttemptDesign::UniformDensity(0.7).sample_mask(20, 500, &mut r);
+        let filled = mask.iter().flatten().filter(|&&b| b).count();
+        let density = filled as f64 / (20.0 * 500.0);
+        assert!((density - 0.7).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn per_worker_density_differs_by_worker() {
+        let mut r = rng(3);
+        let design = AttemptDesign::PerWorkerDensity(vec![0.2, 0.9]);
+        let mask = design.sample_mask(2, 2000, &mut r);
+        let d0 = mask[0].iter().filter(|&&b| b).count() as f64 / 2000.0;
+        let d1 = mask[1].iter().filter(|&&b| b).count() as f64 / 2000.0;
+        assert!((d0 - 0.2).abs() < 0.04, "worker 0 density {d0}");
+        assert!((d1 - 0.9).abs() < 0.04, "worker 1 density {d1}");
+        assert!((design.expected_density(2) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_removal_removes_exact_count() {
+        let mut r = rng(4);
+        let mask = AttemptDesign::RandomRemoval { fraction: 0.2 }.sample_mask(19, 48, &mut r);
+        let filled = mask.iter().flatten().filter(|&&b| b).count();
+        let expected = 19 * 48 - ((19.0 * 48.0 * 0.2f64).round() as usize);
+        assert_eq!(filled, expected);
+    }
+
+    #[test]
+    fn removal_of_everything_and_nothing() {
+        let mut r = rng(5);
+        let none = AttemptDesign::RandomRemoval { fraction: 1.0 }.sample_mask(2, 3, &mut r);
+        assert!(none.iter().flatten().all(|&b| !b));
+        let all = AttemptDesign::RandomRemoval { fraction: 0.0 }.sample_mask(2, 3, &mut r);
+        assert!(all.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn invalid_density_panics() {
+        let mut r = rng(6);
+        AttemptDesign::UniformDensity(1.2).sample_mask(1, 1, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "one density per worker")]
+    fn mismatched_density_vector_panics() {
+        let mut r = rng(7);
+        AttemptDesign::PerWorkerDensity(vec![0.5]).sample_mask(2, 1, &mut r);
+    }
+}

@@ -1,0 +1,94 @@
+//! Synthetic crowd workload generator.
+//!
+//! Every synthetic experiment in the paper draws from the same recipe:
+//! pick worker abilities from a pool, pick true task labels from a
+//! selectivity prior, decide which (worker, task) cells are attempted
+//! (the *attempt design*), then sample responses through each worker's
+//! noise model. This crate factors that recipe into composable pieces:
+//!
+//! * [`WorkerModel`] — symmetric error rate (binary sections) or a
+//!   full k×k confusion matrix (k-ary sections),
+//! * [`AttemptDesign`] — regular, iid density, per-worker density
+//!   (Figure 2c) or random removal (the IC dataset protocol),
+//! * [`DifficultyModel`] — optional per-task difficulty shifts that
+//!   *violate* the independence assumption, used by the real-dataset
+//!   stand-ins,
+//! * [`BinaryScenario`] / [`KaryScenario`] — complete experiment
+//!   descriptions that [`generate`](BinaryScenario::generate) concrete
+//!   [`BinaryInstance`]s / [`KaryInstance`]s from an explicit RNG, so
+//!   every experiment is reproducible from a seed.
+
+mod design;
+mod instance;
+mod presets;
+mod scenario;
+mod worker;
+
+pub use design::AttemptDesign;
+pub use instance::{BinaryInstance, KaryInstance};
+pub use presets::{fig2c_densities, paper_error_pool, paper_matrices};
+pub use scenario::{BinaryScenario, Collusion, KaryScenario};
+pub use worker::{DifficultyModel, WorkerModel};
+
+use rand::SeedableRng;
+
+/// The deterministic RNG used across the workspace's experiments.
+pub type Rng = rand::rngs::StdRng;
+
+/// Creates the workspace's standard seeded RNG.
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
+}
+
+/// Samples an index from a discrete distribution given by
+/// (not necessarily normalized, non-negative) weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub(crate) fn sample_discrete(weights: &[f64], rng: &mut impl rand::RngExt) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "discrete distribution must have positive mass");
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::RngExt;
+        let mut a = rng(7);
+        let mut b = rng(7);
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn discrete_sampling_respects_weights() {
+        use rand::RngExt as _;
+        let mut r = rng(1);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[sample_discrete(&weights, &mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+        let _ = r.random::<f64>();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_mass_panics() {
+        let mut r = rng(1);
+        sample_discrete(&[0.0, 0.0], &mut r);
+    }
+}

@@ -1,0 +1,114 @@
+//! The paper's published experiment parameters.
+
+use crowd_linalg::Matrix;
+
+/// The worker error-rate pool of the binary experiments: each worker's
+/// `p` is drawn uniformly from {0.1, 0.2, 0.3} (§III-D).
+pub fn paper_error_pool() -> Vec<f64> {
+    vec![0.1, 0.2, 0.3]
+}
+
+/// The per-worker densities of the Figure 2(c) weight-optimization
+/// experiment: worker `i` (1-based) attempts each task with probability
+/// `(0.5·i + (m − i)) / m`, so densities slope from ≈1 down to 0.5 and
+/// triples differ in quality.
+pub fn fig2c_densities(m: usize) -> Vec<f64> {
+    (1..=m).map(|i| (0.5 * i as f64 + (m - i) as f64) / m as f64).collect()
+}
+
+/// The paper's §IV-B response-probability matrix pools for arity 2, 3
+/// and 4. Each simulated worker is assigned one matrix from the pool
+/// uniformly at random.
+///
+/// # Panics
+/// Panics for arities other than 2, 3, 4.
+pub fn paper_matrices(arity: u16) -> Vec<Matrix> {
+    match arity {
+        2 => vec![
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]),
+            Matrix::from_rows(&[&[0.8, 0.2], &[0.1, 0.9]]),
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.1, 0.9]]),
+        ],
+        3 => vec![
+            Matrix::from_rows(&[&[0.6, 0.3, 0.1], &[0.1, 0.6, 0.3], &[0.3, 0.1, 0.6]]),
+            Matrix::from_rows(&[&[0.8, 0.1, 0.1], &[0.2, 0.8, 0.0], &[0.0, 0.2, 0.8]]),
+            Matrix::from_rows(&[&[0.9, 0.0, 0.1], &[0.1, 0.9, 0.0], &[0.0, 0.2, 0.8]]),
+        ],
+        4 => vec![
+            Matrix::from_rows(&[
+                &[0.7, 0.1, 0.1, 0.1],
+                &[0.1, 0.6, 0.2, 0.1],
+                &[0.0, 0.1, 0.8, 0.1],
+                &[0.2, 0.1, 0.0, 0.7],
+            ]),
+            Matrix::from_rows(&[
+                &[0.8, 0.1, 0.0, 0.1],
+                &[0.1, 0.8, 0.0, 0.1],
+                &[0.1, 0.1, 0.7, 0.1],
+                &[0.0, 0.1, 0.2, 0.7],
+            ]),
+            Matrix::from_rows(&[
+                &[0.6, 0.1, 0.2, 0.1],
+                &[0.0, 0.7, 0.1, 0.2],
+                &[0.1, 0.0, 0.9, 0.0],
+                &[0.2, 0.0, 0.0, 0.8],
+            ]),
+        ],
+        other => panic!("the paper publishes matrices only for arity 2, 3, 4 (got {other})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_pool_matches_paper() {
+        assert_eq!(paper_error_pool(), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn all_matrices_are_row_stochastic_and_diagonally_dominant() {
+        for arity in [2u16, 3, 4] {
+            for (mi, m) in paper_matrices(arity).iter().enumerate() {
+                assert_eq!(m.rows(), arity as usize);
+                for r in 0..m.rows() {
+                    let sum: f64 = m.row(r).iter().sum();
+                    assert!(
+                        (sum - 1.0).abs() < 1e-12,
+                        "arity {arity} matrix {mi} row {r} sums to {sum}"
+                    );
+                    // The paper assumes P[j,j] > P[j,j'] for j' != j.
+                    let diag = m.get(r, r);
+                    for c in 0..m.cols() {
+                        if c != r {
+                            assert!(
+                                diag > m.get(r, c),
+                                "arity {arity} matrix {mi}: row {r} not diagonally dominant"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig2c_density_endpoints() {
+        let d = fig2c_densities(7);
+        assert_eq!(d.len(), 7);
+        // i = 1: (0.5 + 6)/7 ≈ 0.9286; i = m: 0.5·m/m = 0.5.
+        assert!((d[0] - 6.5 / 7.0).abs() < 1e-12);
+        assert!((d[6] - 0.5).abs() < 1e-12);
+        // Strictly decreasing.
+        assert!(d.windows(2).all(|w| w[0] > w[1]));
+        // All valid probabilities.
+        assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity 2, 3, 4")]
+    fn unsupported_arity_panics() {
+        paper_matrices(5);
+    }
+}

@@ -1,0 +1,364 @@
+//! Complete experiment scenarios.
+
+use crate::instance::{BinaryInstance, KaryInstance};
+use crate::{AttemptDesign, DifficultyModel, WorkerModel, sample_discrete};
+use crowd_data::{GoldStandard, Label, ResponseMatrixBuilder, TaskId, WorkerId};
+use crowd_linalg::Matrix;
+use rand::RngExt;
+
+/// A binary-task experiment description (sections III-A through III-E).
+#[derive(Debug, Clone)]
+pub struct BinaryScenario {
+    /// Number of workers `m`.
+    pub n_workers: usize,
+    /// Number of tasks `n`.
+    pub n_tasks: usize,
+    /// Pool of error rates; each non-spammer worker draws one uniformly.
+    pub error_pool: Vec<f64>,
+    /// Probability that a task's true answer is [`Label::YES`].
+    pub positive_rate: f64,
+    /// Which (worker, task) cells are attempted.
+    pub design: AttemptDesign,
+    /// Optional per-task difficulty (violates the iid assumption).
+    pub difficulty: DifficultyModel,
+    /// Fraction of workers replaced by spammers (error rate 1/2).
+    pub spammer_fraction: f64,
+    /// Optional colluding clique (violates the §III-A independence
+    /// assumption: "This assumption is true as long as workers don't
+    /// collude with each other").
+    pub collusion: Option<Collusion>,
+}
+
+/// A clique of workers who copy a shared answer instead of answering
+/// independently. Their pairwise agreement is (near-)perfect, which
+/// fools agreement-based evaluation into under-estimating their error
+/// rates — the ablation quantifying the paper's independence caveat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Collusion {
+    /// Fraction of workers in the clique (at least 2 members).
+    pub fraction: f64,
+    /// Error rate of the shared clique answer.
+    pub clique_error: f64,
+}
+
+impl BinaryScenario {
+    /// The paper's synthetic default: error pool {0.1, 0.2, 0.3},
+    /// balanced truth, iid attempt probability `density`, no difficulty
+    /// heterogeneity, no spammers.
+    pub fn paper_default(n_workers: usize, n_tasks: usize, density: f64) -> Self {
+        Self {
+            n_workers,
+            n_tasks,
+            error_pool: crate::paper_error_pool(),
+            positive_rate: 0.5,
+            design: if density >= 1.0 {
+                AttemptDesign::Regular
+            } else {
+                AttemptDesign::UniformDensity(density)
+            },
+            difficulty: DifficultyModel::Uniform,
+            spammer_fraction: 0.0,
+            collusion: None,
+        }
+    }
+
+    /// Samples a concrete instance.
+    pub fn generate(&self, rng: &mut impl RngExt) -> BinaryInstance {
+        assert!(self.n_workers >= 1 && self.n_tasks >= 1, "scenario must be non-empty");
+        // 1. Worker abilities.
+        let workers: Vec<WorkerModel> = (0..self.n_workers)
+            .map(|_| {
+                if self.spammer_fraction > 0.0 && rng.random::<f64>() < self.spammer_fraction {
+                    WorkerModel::spammer(2)
+                } else {
+                    let idx = sample_discrete(&vec![1.0; self.error_pool.len()], rng);
+                    WorkerModel::SymmetricError(self.error_pool[idx])
+                }
+            })
+            .collect();
+        // Clique membership: the first ⌈fraction·m⌉ worker slots after a
+        // shuffle, so ids carry no meaning.
+        let colluders: Vec<bool> = match self.collusion {
+            None => vec![false; self.n_workers],
+            Some(c) => {
+                assert!((0.0..=1.0).contains(&c.fraction), "collusion fraction in [0,1]");
+                let count = ((self.n_workers as f64) * c.fraction).round() as usize;
+                let count = count.min(self.n_workers);
+                let mut slots: Vec<usize> = (0..self.n_workers).collect();
+                for i in (1..slots.len()).rev() {
+                    let j = rng.random_range(0..=i as u32) as usize;
+                    slots.swap(i, j);
+                }
+                let mut mask = vec![false; self.n_workers];
+                for &s in slots.iter().take(count) {
+                    mask[s] = true;
+                }
+                mask
+            }
+        };
+        // 2. True labels and per-task difficulties.
+        let truths: Vec<Label> = (0..self.n_tasks)
+            .map(|_| if rng.random::<f64>() < self.positive_rate { Label::YES } else { Label::NO })
+            .collect();
+        let difficulties: Vec<f64> =
+            (0..self.n_tasks).map(|_| self.difficulty.sample(rng)).collect();
+        // Shared clique answers, sampled once per task.
+        let clique_answers: Vec<Label> = match self.collusion {
+            None => Vec::new(),
+            Some(c) => truths
+                .iter()
+                .map(|&truth| {
+                    if rng.random::<f64>() < c.clique_error { truth.flipped() } else { truth }
+                })
+                .collect(),
+        };
+        // 3. Attempt mask, then responses.
+        let mask = self.design.sample_mask(self.n_workers, self.n_tasks, rng);
+        let mut builder = ResponseMatrixBuilder::new(self.n_workers, self.n_tasks, 2);
+        for (w, worker) in workers.iter().enumerate() {
+            for (t, &truth) in truths.iter().enumerate() {
+                if mask[w][t] {
+                    let label = if colluders[w] {
+                        clique_answers[t]
+                    } else {
+                        worker.respond(truth, 2, difficulties[t], rng)
+                    };
+                    builder
+                        .push(WorkerId(w as u32), TaskId(t as u32), label)
+                        .expect("generated ids are in range");
+                }
+            }
+        }
+        let responses = builder.build().expect("generator emits unique (worker, task) pairs");
+        let models: Vec<WorkerModel> = workers
+            .into_iter()
+            .zip(&colluders)
+            .map(|(m, &colludes)| {
+                if colludes {
+                    // The colluder's *true* per-response error rate is
+                    // the clique's.
+                    WorkerModel::SymmetricError(
+                        self.collusion.expect("colluders imply collusion").clique_error,
+                    )
+                } else {
+                    m
+                }
+            })
+            .collect();
+        BinaryInstance::new(responses, GoldStandard::complete(truths), models)
+    }
+}
+
+/// A k-ary-task experiment description (section IV).
+#[derive(Debug, Clone)]
+pub struct KaryScenario {
+    /// Number of workers (the paper's k-ary method evaluates triples).
+    pub n_workers: usize,
+    /// Number of tasks `n`.
+    pub n_tasks: usize,
+    /// Task arity `k ≥ 2`.
+    pub arity: u16,
+    /// Pool of response-probability matrices; each worker draws one
+    /// uniformly.
+    pub matrix_pool: Vec<Matrix>,
+    /// Selectivity prior over true labels (sums to 1).
+    pub selectivity: Vec<f64>,
+    /// Which (worker, task) cells are attempted.
+    pub design: AttemptDesign,
+    /// Optional per-task difficulty.
+    pub difficulty: DifficultyModel,
+}
+
+impl KaryScenario {
+    /// The paper's §IV-B default: its published matrix pool for the
+    /// arity, uniform selectivity, three workers, iid density.
+    pub fn paper_default(arity: u16, n_tasks: usize, density: f64) -> Self {
+        Self {
+            n_workers: 3,
+            n_tasks,
+            arity,
+            matrix_pool: crate::paper_matrices(arity),
+            selectivity: vec![1.0 / arity as f64; arity as usize],
+            design: if density >= 1.0 {
+                AttemptDesign::Regular
+            } else {
+                AttemptDesign::UniformDensity(density)
+            },
+            difficulty: DifficultyModel::Uniform,
+        }
+    }
+
+    /// Overrides the worker count — the paper's A3 evaluates triples,
+    /// but the m-worker k-ary extension needs larger crowds.
+    pub fn with_workers(mut self, n_workers: usize) -> Self {
+        self.n_workers = n_workers;
+        self
+    }
+
+    /// Samples a concrete instance.
+    pub fn generate(&self, rng: &mut impl RngExt) -> KaryInstance {
+        assert!(self.n_workers >= 1 && self.n_tasks >= 1, "scenario must be non-empty");
+        assert_eq!(self.selectivity.len(), self.arity as usize, "selectivity length must be k");
+        let workers: Vec<WorkerModel> = (0..self.n_workers)
+            .map(|_| {
+                let idx = sample_discrete(&vec![1.0; self.matrix_pool.len()], rng);
+                WorkerModel::Confusion(self.matrix_pool[idx].clone())
+            })
+            .collect();
+        let truths: Vec<Label> = (0..self.n_tasks)
+            .map(|_| Label(sample_discrete(&self.selectivity, rng) as u16))
+            .collect();
+        let difficulties: Vec<f64> =
+            (0..self.n_tasks).map(|_| self.difficulty.sample(rng)).collect();
+        let mask = self.design.sample_mask(self.n_workers, self.n_tasks, rng);
+        let mut builder = ResponseMatrixBuilder::new(self.n_workers, self.n_tasks, self.arity);
+        for (w, worker) in workers.iter().enumerate() {
+            for (t, &truth) in truths.iter().enumerate() {
+                if mask[w][t] {
+                    let label = worker.respond(truth, self.arity, difficulties[t], rng);
+                    builder
+                        .push(WorkerId(w as u32), TaskId(t as u32), label)
+                        .expect("generated ids are in range");
+                }
+            }
+        }
+        let responses = builder.build().expect("generator emits unique (worker, task) pairs");
+        KaryInstance::new(responses, GoldStandard::complete(truths), workers, self.selectivity.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn binary_default_generates_expected_shape() {
+        let mut r = rng(42);
+        let inst = BinaryScenario::paper_default(7, 100, 0.8).generate(&mut r);
+        let m = inst.responses();
+        assert_eq!(m.n_workers(), 7);
+        assert_eq!(m.n_tasks(), 100);
+        assert_eq!(m.arity(), 2);
+        assert!((m.density() - 0.8).abs() < 0.1, "density {}", m.density());
+        // Error rates come from the pool.
+        for w in 0..7u32 {
+            let p = inst.true_error_rate(WorkerId(w));
+            assert!([0.1, 0.2, 0.3].iter().any(|&x| (x - p).abs() < 1e-12), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn binary_regular_density_one() {
+        let mut r = rng(1);
+        let inst = BinaryScenario::paper_default(3, 50, 1.0).generate(&mut r);
+        assert!(inst.responses().is_regular());
+    }
+
+    #[test]
+    fn empirical_error_rate_tracks_model() {
+        let mut r = rng(7);
+        let mut scenario = BinaryScenario::paper_default(1, 5000, 1.0);
+        scenario.error_pool = vec![0.2];
+        let inst = scenario.generate(&mut r);
+        let emp = inst.gold().worker_error_rate(inst.responses(), WorkerId(0)).unwrap();
+        assert!((emp - 0.2).abs() < 0.02, "empirical error {emp}");
+    }
+
+    #[test]
+    fn spammers_appear_at_requested_rate() {
+        let mut r = rng(9);
+        let mut scenario = BinaryScenario::paper_default(200, 1, 1.0);
+        scenario.spammer_fraction = 0.5;
+        let inst = scenario.generate(&mut r);
+        let spammers = (0..200u32)
+            .filter(|&w| (inst.true_error_rate(WorkerId(w)) - 0.5).abs() < 1e-12)
+            .count();
+        assert!((spammers as f64 / 200.0 - 0.5).abs() < 0.12, "spammers {spammers}");
+    }
+
+    #[test]
+    fn kary_default_generates_expected_shape() {
+        let mut r = rng(3);
+        let inst = KaryScenario::paper_default(3, 200, 0.9).generate(&mut r);
+        let m = inst.responses();
+        assert_eq!(m.n_workers(), 3);
+        assert_eq!(m.arity(), 3);
+        assert!((m.density() - 0.9).abs() < 0.06);
+        // Worker matrices come from the paper's pool.
+        let pool = crate::paper_matrices(3);
+        for w in 0..3u32 {
+            let pm = inst.true_confusion(WorkerId(w));
+            assert!(pool.iter().any(|cand| cand.approx_eq(&pm, 1e-12)));
+        }
+    }
+
+    #[test]
+    fn kary_selectivity_shapes_truth_distribution() {
+        let mut r = rng(5);
+        let mut scenario = KaryScenario::paper_default(2, 6000, 1.0);
+        scenario.selectivity = vec![0.7, 0.2, 0.1];
+        scenario.arity = 3;
+        scenario.matrix_pool = crate::paper_matrices(3);
+        let inst = scenario.generate(&mut r);
+        let s = inst.gold().selectivity(3);
+        assert!((s[0] - 0.7).abs() < 0.03, "selectivity {s:?}");
+        assert!((s[2] - 0.1).abs() < 0.03, "selectivity {s:?}");
+    }
+
+    #[test]
+    fn colluders_copy_each_other() {
+        let mut scenario = BinaryScenario::paper_default(10, 200, 1.0);
+        scenario.collusion = Some(Collusion { fraction: 0.4, clique_error: 0.2 });
+        let inst = scenario.generate(&mut rng(15));
+        // Identify the clique by its true error rate (0.2 is also in
+        // the pool, so detect via perfect pairwise agreement instead).
+        let m = inst.responses();
+        let mut clique = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let s = crowd_data::pair_stats(m, WorkerId(a), WorkerId(b));
+                if s.agreements == s.common_tasks && s.common_tasks > 50 {
+                    clique.push((a, b));
+                }
+            }
+        }
+        // 4 colluders → C(4,2) = 6 perfectly agreeing pairs.
+        assert_eq!(clique.len(), 6, "expected a 4-clique of copiers: {clique:?}");
+        // Colluders' true error rate is the clique error.
+        let colluding_workers: std::collections::HashSet<u32> =
+            clique.iter().flat_map(|&(a, b)| [a, b]).collect();
+        for &w in &colluding_workers {
+            assert!((inst.true_error_rate(WorkerId(w)) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn collusion_off_means_independent_errors() {
+        let scenario = BinaryScenario::paper_default(6, 400, 1.0);
+        assert!(scenario.collusion.is_none());
+        let inst = scenario.generate(&mut rng(16));
+        // No pair should agree perfectly over 400 tasks with p ≥ 0.1.
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                let s = crowd_data::pair_stats(inst.responses(), WorkerId(a), WorkerId(b));
+                assert!(s.agreements < s.common_tasks, "suspiciously perfect pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let scenario = BinaryScenario::paper_default(5, 40, 0.8);
+        let a = scenario.generate(&mut rng(11));
+        let b = scenario.generate(&mut rng(11));
+        assert_eq!(a.responses(), b.responses());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_scenario_panics() {
+        let mut r = rng(1);
+        BinaryScenario::paper_default(0, 10, 0.5).generate(&mut r);
+    }
+}

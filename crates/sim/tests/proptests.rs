@@ -1,0 +1,188 @@
+//! Property-based tests on the workload generator: whatever the
+//! scenario parameters, the generated instances must satisfy the shape
+//! and model invariants the estimators assume.
+
+use crowd_data::{Label, TaskId, WorkerId};
+use crowd_sim::{AttemptDesign, BinaryScenario, KaryScenario, rng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary instances have the declared shape, in-range labels, and
+    /// error rates drawn from the scenario pool.
+    #[test]
+    fn binary_instance_shape(
+        m in 3usize..10,
+        n in 10usize..120,
+        density in 0.4f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let scenario = BinaryScenario::paper_default(m, n, density);
+        let inst = scenario.generate(&mut rng(seed));
+        let data = inst.responses();
+        prop_assert_eq!(data.n_workers(), m);
+        prop_assert_eq!(data.n_tasks(), n);
+        prop_assert_eq!(data.arity(), 2);
+        for r in data.iter() {
+            prop_assert!(r.label.0 < 2);
+        }
+        for w in 0..m as u32 {
+            let p = inst.true_error_rate(WorkerId(w));
+            prop_assert!(
+                scenario.error_pool.iter().any(|&x| (x - p).abs() < 1e-12),
+                "error rate {p} not in pool"
+            );
+        }
+        // Gold standard is complete and in range.
+        prop_assert_eq!(inst.gold().known_count(), n);
+        for t in 0..n as u32 {
+            prop_assert!(inst.gold().label(TaskId(t)).expect("complete gold").0 < 2);
+        }
+    }
+
+    /// The realized density concentrates near the requested one.
+    #[test]
+    fn density_concentrates(density in 0.3f64..1.0, seed in 0u64..500) {
+        let scenario = BinaryScenario::paper_default(8, 400, density);
+        let inst = scenario.generate(&mut rng(seed));
+        let realized = inst.responses().density();
+        // 3200 Bernoulli cells: 5 sigma of slack.
+        let sigma = (density * (1.0 - density) / 3200.0).sqrt();
+        prop_assert!(
+            (realized - density).abs() < 5.0 * sigma + 1e-9,
+            "requested {density}, realized {realized}"
+        );
+    }
+
+    /// Density 1 means regular data, every worker on every task.
+    #[test]
+    fn full_density_is_regular(m in 3usize..8, n in 5usize..60, seed in 0u64..300) {
+        let inst = BinaryScenario::paper_default(m, n, 1.0).generate(&mut rng(seed));
+        prop_assert!(inst.responses().is_regular());
+        prop_assert_eq!(inst.responses().n_responses(), m * n);
+    }
+
+    /// Per-worker density designs give each worker its own attempt
+    /// rate.
+    #[test]
+    fn per_worker_density_is_respected(seed in 0u64..300) {
+        let mut scenario = BinaryScenario::paper_default(4, 500, 1.0);
+        let densities = vec![0.9, 0.7, 0.5, 0.3];
+        scenario.design = AttemptDesign::PerWorkerDensity(densities.clone());
+        let inst = scenario.generate(&mut rng(seed));
+        for (w, &d) in densities.iter().enumerate() {
+            let got = inst.responses().worker_task_count(WorkerId(w as u32)) as f64 / 500.0;
+            let sigma = (d * (1.0 - d) / 500.0).sqrt();
+            prop_assert!(
+                (got - d).abs() < 5.0 * sigma + 1e-9,
+                "worker {w}: requested {d}, realized {got}"
+            );
+        }
+    }
+
+    /// K-ary instances: true confusion rows are distributions, labels
+    /// are in range, and the empirical error rate tracks the model.
+    #[test]
+    fn kary_instance_model_consistency(
+        arity in 2u16..5,
+        seed in 0u64..500,
+    ) {
+        let scenario = KaryScenario::paper_default(arity, 400, 1.0);
+        let inst = scenario.generate(&mut rng(seed));
+        prop_assert_eq!(inst.responses().arity(), arity);
+        for r in inst.responses().iter() {
+            prop_assert!(r.label.0 < arity);
+        }
+        for w in 0..3u32 {
+            let truth = inst.true_confusion(WorkerId(w));
+            prop_assert_eq!(truth.rows(), arity as usize);
+            for row in 0..arity as usize {
+                let sum: f64 = truth.row(row).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "row {row} sums to {sum}");
+            }
+            // Empirical per-worker error rate within Monte-Carlo slack
+            // of the model rate.
+            let model = inst.true_error_rate(WorkerId(w));
+            let empirical = inst
+                .gold()
+                .worker_error_rate(inst.responses(), WorkerId(w))
+                .expect("regular data");
+            let sigma = (model * (1.0 - model) / 400.0).sqrt();
+            prop_assert!(
+                (model - empirical).abs() < 5.0 * sigma + 0.01,
+                "worker {w}: model {model}, empirical {empirical}"
+            );
+        }
+    }
+
+    /// Spammer injection: spammers answer uniformly, so their error
+    /// rate is (k−1)/k and the non-spammers keep pool rates.
+    #[test]
+    fn spammers_have_half_error(fraction in 0.0f64..0.6, seed in 0u64..300) {
+        let mut scenario = BinaryScenario::paper_default(30, 10, 1.0);
+        scenario.spammer_fraction = fraction;
+        let inst = scenario.generate(&mut rng(seed));
+        for w in 0..30u32 {
+            let p = inst.true_error_rate(WorkerId(w));
+            let is_pool = scenario.error_pool.iter().any(|&x| (x - p).abs() < 1e-12);
+            let is_spammer = (p - 0.5).abs() < 1e-12;
+            prop_assert!(is_pool || is_spammer, "unexpected error rate {p}");
+        }
+    }
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let scenario = BinaryScenario::paper_default(5, 50, 0.8);
+        let a = scenario.generate(&mut rng(seed));
+        let b = scenario.generate(&mut rng(seed));
+        prop_assert_eq!(a.responses(), b.responses());
+        for t in 0..50u32 {
+            prop_assert_eq!(a.gold().label(TaskId(t)), b.gold().label(TaskId(t)));
+        }
+    }
+
+    /// Random-removal designs drop exactly the requested share of a
+    /// regular matrix (the Figure 3 IC protocol).
+    #[test]
+    fn random_removal_hits_target(remove in 0.05f64..0.5, seed in 0u64..300) {
+        let mut scenario = BinaryScenario::paper_default(10, 100, 1.0);
+        scenario.design = AttemptDesign::RandomRemoval { fraction: remove };
+        let inst = scenario.generate(&mut rng(seed));
+        let expected_removed = (1000.0 * remove).round() as usize;
+        prop_assert_eq!(inst.responses().n_responses(), 1000 - expected_removed);
+    }
+
+    /// Collusion: clique members copy the leader verbatim on every
+    /// task they attempt, so their pairwise agreement is 1.
+    #[test]
+    fn colluders_copy_the_leader(seed in 0u64..200) {
+        let mut scenario = BinaryScenario::paper_default(8, 60, 1.0);
+        scenario.collusion = Some(crowd_sim::Collusion { fraction: 0.3, clique_error: 0.2 });
+        let inst = scenario.generate(&mut rng(seed));
+        let data = inst.responses();
+        // Find a perfectly-agreeing pair (the clique has ≥ 2 members
+        // at fraction 0.3 of 8 workers → 2 members).
+        let mut found = false;
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                let s = crowd_data::pair_stats(data, WorkerId(a), WorkerId(b));
+                if s.common_tasks == 60 && s.agreements == 60 {
+                    found = true;
+                }
+            }
+        }
+        // With clique error 0.2 on 60 tasks, honest pairs agreeing by
+        // chance on all 60 tasks is essentially impossible.
+        prop_assert!(found, "no clique pair found");
+    }
+}
+
+/// Non-proptest shape checks that exercise labels on the boundary.
+#[test]
+fn label_flip_is_involutive() {
+    assert_eq!(Label(0).flipped(), Label(1));
+    assert_eq!(Label(1).flipped(), Label(0));
+    assert_eq!(Label(0).flipped().flipped(), Label(0));
+}

@@ -1,0 +1,192 @@
+//! Confidence interval value type.
+
+use crate::{Result, StatsError, two_sided_z};
+
+/// A two-sided confidence interval `center ± half_width` at a given
+/// confidence level.
+///
+/// All of the paper's outputs are values of this type: one per worker
+/// error rate (binary algorithms) or one per response-probability
+/// matrix entry (k-ary algorithm).
+///
+/// # Example
+///
+/// ```
+/// use crowd_stats::ConfidenceInterval;
+///
+/// // Point estimate 0.2 with standard deviation 0.05 at 95%.
+/// let ci = ConfidenceInterval::from_deviation(0.2, 0.05, 0.95)?;
+/// assert!(ci.contains(0.2));
+/// assert!((ci.size() - 2.0 * 1.96 * 0.05).abs() < 1e-3);
+/// # Ok::<(), crowd_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the interval midpoint).
+    pub center: f64,
+    /// Half of the interval size; never negative.
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds an interval from a point estimate and standard deviation:
+    /// `center ± z_(1+c)/2 · deviation` (Theorem 1, Eq. 2).
+    pub fn from_deviation(center: f64, deviation: f64, confidence: f64) -> Result<Self> {
+        if deviation < 0.0 || !deviation.is_finite() {
+            return Err(StatsError::NegativeVariance { variance: deviation });
+        }
+        let z = two_sided_z(confidence)?;
+        Ok(Self { center, half_width: z * deviation, confidence })
+    }
+
+    /// Builds an interval directly from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn from_bounds(lo: f64, hi: f64, confidence: f64) -> Self {
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Self { center: (lo + hi) / 2.0, half_width: (hi - lo) / 2.0, confidence }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.center - self.half_width
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.center + self.half_width
+    }
+
+    /// Total interval size (`hi − lo`), the quantity the paper plots
+    /// on every "size of interval" axis.
+    #[inline]
+    pub fn size(&self) -> f64 {
+        2.0 * self.half_width
+    }
+
+    /// True when `value` lies inside the closed interval — the
+    /// "interval-accuracy" predicate of the paper's experiments.
+    #[inline]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Returns a copy clipped to `[lo_bound, hi_bound]`, useful when the
+    /// estimand is a probability and the unclipped normal interval
+    /// leaks outside `[0, 1]`. An interval entirely outside the range
+    /// collapses onto the nearest bound.
+    pub fn clipped(&self, lo_bound: f64, hi_bound: f64) -> Self {
+        debug_assert!(lo_bound <= hi_bound, "clip range out of order");
+        let lo = self.lo().clamp(lo_bound, hi_bound);
+        let hi = self.hi().clamp(lo_bound, hi_bound);
+        Self::from_bounds(lo, hi, self.confidence)
+    }
+
+    /// Rescales the interval by a positive factor (used when converting
+    /// intervals on `S^{1/2}P` entries to intervals on `P` entries by
+    /// row normalization in Algorithm A3).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self {
+            center: self.center * factor,
+            half_width: self.half_width * factor,
+            confidence: self.confidence,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({}% CI)",
+            self.center,
+            self.half_width,
+            (self.confidence * 100.0).round()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_deviation_uses_z() {
+        let ci = ConfidenceInterval::from_deviation(0.2, 0.05, 0.95).unwrap();
+        assert!((ci.half_width - 1.959963984540054 * 0.05).abs() < 1e-8);
+        assert_eq!(ci.center, 0.2);
+    }
+
+    #[test]
+    fn zero_deviation_gives_point_interval() {
+        let ci = ConfidenceInterval::from_deviation(0.3, 0.0, 0.8).unwrap();
+        assert_eq!(ci.size(), 0.0);
+        assert!(ci.contains(0.3));
+        assert!(!ci.contains(0.3000001));
+    }
+
+    #[test]
+    fn negative_or_nan_deviation_rejected() {
+        assert!(ConfidenceInterval::from_deviation(0.0, -1.0, 0.9).is_err());
+        assert!(ConfidenceInterval::from_deviation(0.0, f64::NAN, 0.9).is_err());
+    }
+
+    #[test]
+    fn bounds_roundtrip() {
+        let ci = ConfidenceInterval::from_bounds(0.1, 0.5, 0.9);
+        assert!((ci.center - 0.3).abs() < 1e-15);
+        assert!((ci.size() - 0.4).abs() < 1e-15);
+        assert!((ci.lo() - 0.1).abs() < 1e-15);
+        assert!((ci.hi() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let ci = ConfidenceInterval::from_bounds(0.1, 0.5, 0.9);
+        assert!(ci.contains(0.1));
+        assert!(ci.contains(0.5));
+        assert!(ci.contains(0.3));
+        assert!(!ci.contains(0.0999));
+        assert!(!ci.contains(0.5001));
+    }
+
+    #[test]
+    fn clipping_respects_bounds() {
+        let ci = ConfidenceInterval::from_bounds(-0.2, 0.4, 0.9).clipped(0.0, 1.0);
+        assert_eq!(ci.lo(), 0.0);
+        assert!((ci.hi() - 0.4).abs() < 1e-15);
+        // Degenerate: interval entirely below the clip range collapses.
+        let ci = ConfidenceInterval::from_bounds(-0.5, -0.2, 0.9).clipped(0.0, 1.0);
+        assert_eq!(ci.size(), 0.0);
+        assert_eq!(ci.lo(), 0.0);
+        // ... and entirely above collapses onto the upper bound.
+        let ci = ConfidenceInterval::from_bounds(1.2, 1.8, 0.9).clipped(0.0, 1.0);
+        assert_eq!(ci.size(), 0.0);
+        assert_eq!(ci.hi(), 1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let ci = ConfidenceInterval::from_bounds(0.2, 0.4, 0.9).scaled(2.0);
+        assert!((ci.lo() - 0.4).abs() < 1e-15);
+        assert!((ci.hi() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_bounds_panic() {
+        let _ = ConfidenceInterval::from_bounds(0.5, 0.1, 0.9);
+    }
+
+    #[test]
+    fn display_mentions_level() {
+        let s = ConfidenceInterval::from_bounds(0.1, 0.3, 0.8).to_string();
+        assert!(s.contains("80"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Classical binomial-proportion confidence intervals.
+//!
+//! These are the "standard statistical techniques" the paper's
+//! introduction contrasts against: when gold-standard tasks *are*
+//! available, a worker's error rate is a binomial proportion and the
+//! Wald/Wilson intervals apply directly. We keep them as the
+//! gold-standard baseline and for the spammer-pruning preprocessing.
+
+use crate::{ConfidenceInterval, Result, StatsError, two_sided_z};
+
+/// Wald (normal approximation) interval for `successes / trials`.
+///
+/// Simple but badly behaved at the boundaries; prefer
+/// [`wilson_interval`] for small samples.
+pub fn wald_interval(successes: u64, trials: u64, confidence: f64) -> Result<ConfidenceInterval> {
+    if trials == 0 {
+        return Err(StatsError::InsufficientData { got: 0, need: 1 });
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidProbability {
+            value: successes as f64 / trials as f64,
+            what: "success fraction",
+        });
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = two_sided_z(confidence)?;
+    let dev = (p * (1.0 - p) / n).sqrt();
+    Ok(ConfidenceInterval { center: p, half_width: z * dev, confidence })
+}
+
+/// Wilson score interval for `successes / trials`.
+pub fn wilson_interval(
+    successes: u64,
+    trials: u64,
+    confidence: f64,
+) -> Result<ConfidenceInterval> {
+    if trials == 0 {
+        return Err(StatsError::InsufficientData { got: 0, need: 1 });
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidProbability {
+            value: successes as f64 / trials as f64,
+            what: "success fraction",
+        });
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = two_sided_z(confidence)?;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    // The Wilson interval lies in [0, 1] mathematically; clip the
+    // roundoff spill at the boundaries.
+    Ok(ConfidenceInterval { center, half_width: half, confidence }.clipped(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wald_textbook_value() {
+        // p̂ = 0.5, n = 100, 95%: half-width = 1.96 * 0.05 ≈ 0.098.
+        let ci = wald_interval(50, 100, 0.95).unwrap();
+        assert!((ci.center - 0.5).abs() < 1e-12);
+        assert!((ci.half_width - 0.09799819922700078).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilson_textbook_value() {
+        // Known example: 10 successes out of 10 at 95% gives
+        // lower bound ≈ 0.722.
+        let ci = wilson_interval(10, 10, 0.95).unwrap();
+        assert!((ci.lo() - 0.7224672).abs() < 1e-4, "lo = {}", ci.lo());
+        assert!(ci.hi() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn wald_degenerates_at_boundary_but_wilson_does_not() {
+        let wald = wald_interval(0, 20, 0.9).unwrap();
+        assert_eq!(wald.size(), 0.0, "Wald collapses at p̂ = 0");
+        let wilson = wilson_interval(0, 20, 0.9).unwrap();
+        assert!(wilson.size() > 0.0, "Wilson stays informative at p̂ = 0");
+        assert!(wilson.lo() >= 0.0);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(wald_interval(0, 0, 0.9).is_err());
+        assert!(wilson_interval(0, 0, 0.9).is_err());
+    }
+
+    #[test]
+    fn successes_exceeding_trials_rejected() {
+        assert!(wald_interval(5, 3, 0.9).is_err());
+        assert!(wilson_interval(5, 3, 0.9).is_err());
+    }
+
+    #[test]
+    fn wilson_contains_truth_at_advertised_rate() {
+        // Monte-Carlo coverage check: p = 0.3, n = 50, c = 0.9.
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (p, n, c) = (0.3f64, 50u64, 0.9f64);
+        let reps = 4000;
+        let mut covered = 0;
+        for _ in 0..reps {
+            let successes = (0..n).filter(|_| rng.random::<f64>() < p).count() as u64;
+            if wilson_interval(successes, n, c).unwrap().contains(p) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / reps as f64;
+        assert!((coverage - c).abs() < 0.03, "Wilson coverage {coverage} at c={c}");
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_trials() {
+        let small = wilson_interval(30, 100, 0.9).unwrap();
+        let large = wilson_interval(300, 1000, 0.9).unwrap();
+        assert!(large.size() < small.size());
+    }
+}

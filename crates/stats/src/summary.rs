@@ -1,0 +1,209 @@
+//! Streaming and batch summary statistics.
+//!
+//! The experiment harness accumulates interval sizes and coverage
+//! indicators over hundreds of Monte-Carlo repetitions; Welford's
+//! online algorithm keeps those accumulations numerically stable.
+
+/// Mean of a slice; 0 for the empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+}
+
+/// Unbiased sample variance; 0 with fewer than two observations.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample covariance of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn sample_covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone)]
+pub struct OnlineSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineSummary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Unbiased variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 { 0.0 } else { self.m2 / (self.count - 1) as f64 }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.std_dev() / (self.count as f64).sqrt() }
+    }
+
+    /// Minimum observation; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Population variance is 4.0; sample variance = 4 * 8/7.
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_linear_relationship() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let cov = sample_covariance(&xs, &ys);
+        assert!((cov - 2.0 * sample_variance(&xs)).abs() < 1e-12);
+        // Anti-correlated.
+        let ys_neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!(sample_covariance(&xs, &ys_neg) < 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(sample_covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [0.3, -1.2, 4.5, 2.2, 0.0, -0.7];
+        let mut acc = OnlineSummary::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 6);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - sample_variance(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), -1.2);
+        assert_eq!(acc.max(), 4.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 20.0];
+        let mut a = OnlineSummary::new();
+        let mut b = OnlineSummary::new();
+        for &x in &xs[..2] {
+            a.push(x);
+        }
+        for &x in &xs[2..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((a.variance() - sample_variance(&xs)).abs() < 1e-12);
+        // Merging an empty accumulator is a no-op in both directions.
+        let mut c = OnlineSummary::new();
+        c.merge(&a);
+        assert!((c.mean() - a.mean()).abs() < 1e-15);
+        a.merge(&OnlineSummary::new());
+        assert!((a.mean() - c.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_count() {
+        let mut a = OnlineSummary::new();
+        for i in 0..100 {
+            a.push((i % 7) as f64);
+        }
+        let se100 = a.std_error();
+        for i in 0..900 {
+            a.push((i % 7) as f64);
+        }
+        assert!(a.std_error() < se100);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let acc = OnlineSummary::default();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std_error(), 0.0);
+    }
+}

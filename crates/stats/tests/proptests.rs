@@ -1,0 +1,156 @@
+//! Property-based tests for the statistics substrate.
+
+use crowd_linalg::Matrix;
+use crowd_stats::{
+    Bootstrap, ConfidenceInterval, OnlineSummary, WeightPolicy, erf, min_variance_weights,
+    normal_cdf, normal_quantile, two_sided_z, wald_interval, wilson_interval,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric positive-definite l×l matrix,
+/// `AᵀA + ε·I`.
+fn spd_matrix(l: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, l * l).prop_map(move |raw| {
+        let a = Matrix::from_fn(l, l, |r, c| raw[r * l + c]);
+        let mut m = a.transpose().matmul(&a);
+        for i in 0..l {
+            m.set(i, i, m.get(i, i) + 0.1);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `erf` is odd, bounded and monotone.
+    #[test]
+    fn erf_shape(x in -6.0f64..6.0, y in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y) + 1e-12);
+        }
+    }
+
+    /// The quantile inverts the cdf across the whole usable range.
+    #[test]
+    fn quantile_cdf_roundtrip(p in 0.0005f64..0.9995) {
+        let x = normal_quantile(p).unwrap();
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-9, "p = {}, cdf(q(p)) = {}", p, normal_cdf(x));
+    }
+
+    /// Two-sided z-scores grow with the confidence level.
+    #[test]
+    fn z_is_monotone(c1 in 0.01f64..0.98, delta in 0.001f64..0.01) {
+        let c2 = (c1 + delta).min(0.99);
+        prop_assert!(two_sided_z(c1).unwrap() < two_sided_z(c2).unwrap());
+    }
+
+    /// Interval construction: center/size/contains are consistent.
+    #[test]
+    fn interval_geometry(center in -1.0f64..2.0, dev in 0.0f64..0.5, c in 0.05f64..0.95) {
+        let ci = ConfidenceInterval::from_deviation(center, dev, c).unwrap();
+        prop_assert!((ci.lo() + ci.hi()) / 2.0 - center < 1e-12);
+        prop_assert!(ci.size() >= 0.0);
+        prop_assert!(ci.contains(center));
+        prop_assert!(!ci.contains(ci.hi() + 1e-9));
+        // Clipping never grows the interval.
+        let clipped = ci.clipped(0.0, 1.0);
+        prop_assert!(clipped.size() <= ci.size() + 1e-12);
+        prop_assert!(clipped.lo() >= 0.0 && clipped.hi() <= 1.0);
+    }
+
+    /// Wilson intervals always sit inside [0, 1] and contain the point
+    /// estimate's neighborhood; Wald and Wilson agree asymptotically.
+    #[test]
+    fn proportion_intervals(successes in 0u64..200, extra in 1u64..200, c in 0.5f64..0.99) {
+        let trials = successes + extra;
+        let wilson = wilson_interval(successes, trials, c).unwrap();
+        prop_assert!(wilson.lo() >= 0.0 && wilson.hi() <= 1.0);
+        let wald = wald_interval(successes, trials, c).unwrap();
+        // Same data at 10x the sample size: both intervals shrink.
+        let wilson_big = wilson_interval(successes * 10, trials * 10, c).unwrap();
+        prop_assert!(wilson_big.size() <= wilson.size() + 1e-12);
+        let wald_big = wald_interval(successes * 10, trials * 10, c).unwrap();
+        prop_assert!(wald_big.size() <= wald.size() + 1e-12);
+        // And converge toward each other.
+        prop_assert!((wilson_big.center - wald_big.center).abs()
+            <= (wilson.center - wald.center).abs() + 1e-9);
+    }
+
+    /// Lemma 5 weights minimize the variance against arbitrary
+    /// competing weight vectors, for arbitrary SPD covariances.
+    #[test]
+    fn min_variance_weights_are_optimal(
+        c in spd_matrix(4),
+        competitor in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let opt = min_variance_weights(&c, WeightPolicy::MinimumVariance).unwrap();
+        prop_assert!((opt.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Normalize the competitor to sum 1 (skip near-degenerate draws).
+        let sum: f64 = competitor.iter().sum();
+        prop_assume!(sum.abs() > 0.1);
+        let w: Vec<f64> = competitor.iter().map(|x| x / sum).collect();
+        let var = |w: &[f64]| -> f64 {
+            let mut v = 0.0;
+            for (i, &wi) in w.iter().enumerate() {
+                for (j, &wj) in w.iter().enumerate() {
+                    v += wi * wj * c.get(i, j);
+                }
+            }
+            v
+        };
+        prop_assert!(
+            var(&w) >= opt.variance - 1e-9,
+            "competitor {:?} beats Lemma 5: {} < {}",
+            w, var(&w), opt.variance
+        );
+    }
+
+    /// The bootstrap interval for the mean brackets the sample mean
+    /// and shrinks when the data has less spread.
+    #[test]
+    fn bootstrap_mean_interval_brackets_sample_mean(
+        xs in proptest::collection::vec(-10.0f64..10.0, 20..80),
+        seed in 0u64..1000,
+    ) {
+        let boot = Bootstrap { resamples: 200, seed };
+        let stat = |s: &[f64]| Some(s.iter().sum::<f64>() / s.len() as f64);
+        let ci = boot.percentile_interval(&xs, stat, 0.95).unwrap();
+        let mean = stat(&xs).unwrap();
+        // The resampling distribution of the mean is centered at the
+        // sample mean; with 200 resamples at 95% the sample mean is
+        // inside the percentile interval for all but adversarial draws.
+        prop_assert!(
+            ci.lo() <= mean + 1e-9 && mean <= ci.hi() + 1e-9,
+            "sample mean {mean} outside bootstrap interval [{}, {}]",
+            ci.lo(), ci.hi()
+        );
+    }
+
+    /// Welford merging is associative with the batch statistics.
+    #[test]
+    fn online_summary_merge(xs in proptest::collection::vec(-50.0f64..50.0, 2..60),
+                            split in 0usize..60) {
+        let split = split.min(xs.len());
+        let mut left = OnlineSummary::new();
+        let mut right = OnlineSummary::new();
+        for &x in &xs[..split] {
+            left.push(x);
+        }
+        for &x in &xs[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut all = OnlineSummary::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-9);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert_eq!(left.min(), all.min());
+        prop_assert_eq!(left.max(), all.max());
+    }
+}

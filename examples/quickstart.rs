@@ -1,0 +1,52 @@
+//! Quickstart: confidence intervals for worker error rates without any
+//! gold-standard tasks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use crowd_assess::prelude::*;
+
+fn main() {
+    // Simulate a crowd: 7 workers, 100 binary tasks, each worker
+    // answering each task with probability 0.8 (non-regular data —
+    // nobody attempted everything). Worker error rates are drawn from
+    // {0.1, 0.2, 0.3}, but the estimator never sees them.
+    let mut rng = crowd_assess::sim::rng(42);
+    let scenario = BinaryScenario::paper_default(7, 100, 0.8);
+    let instance = scenario.generate(&mut rng);
+    let data = instance.responses();
+    println!(
+        "simulated {} workers × {} tasks, {} responses (density {:.2})\n",
+        data.n_workers(),
+        data.n_tasks(),
+        data.n_responses(),
+        data.density()
+    );
+
+    // Estimate 90% confidence intervals for every worker's error rate
+    // purely from inter-worker agreement (Algorithm A2 of the paper).
+    let estimator = MWorkerEstimator::new(EstimatorConfig::default());
+    let report = estimator.evaluate_all(data, 0.9).expect("enough workers");
+
+    println!("{:<8} {:>24}   {:>6}   covered?", "worker", "90% interval", "truth");
+    for a in &report.assessments {
+        let truth = instance.true_error_rate(a.worker);
+        println!(
+            "{:<8} {:>24}   {:>6.2}   {}",
+            a.worker.to_string(),
+            a.interval.to_string(),
+            truth,
+            if a.interval.contains(truth) { "yes" } else { "NO" }
+        );
+    }
+    for (w, err) in &report.failures {
+        println!("{w}: could not evaluate ({err})");
+    }
+
+    let coverage = report.coverage(|w| Some(instance.true_error_rate(w)));
+    println!(
+        "\ncoverage: {}/{} intervals contain the true error rate",
+        coverage.covered, coverage.total
+    );
+}

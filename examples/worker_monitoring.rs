@@ -1,0 +1,86 @@
+//! Streaming worker monitoring: the paper's conclusion notes the
+//! methods "can be easily modified to be incremental, to keep
+//! efficiently updating worker error rates as more tasks get done" —
+//! this example does exactly that, combining the incremental evaluator
+//! with an interval-based retention policy.
+//!
+//! Responses arrive task by task; after every batch the monitor
+//! re-evaluates the crowd in O(1)-per-pair time (the pairwise
+//! agreement cache absorbs each response as it lands) and fires
+//! workers the moment the evidence is conclusive.
+//!
+//! ```text
+//! cargo run --release --example worker_monitoring
+//! ```
+
+use crowd_assess::core::policy::{Decision, RetentionPolicy};
+use crowd_assess::core::IncrementalEvaluator;
+use crowd_assess::prelude::*;
+
+fn main() {
+    let mut rng = crowd_assess::sim::rng(77);
+    // A crowd with two genuinely bad workers hiding in it.
+    let mut scenario = BinaryScenario::paper_default(8, 400, 1.0);
+    scenario.error_pool = vec![0.08, 0.12, 0.42];
+    let instance = scenario.generate(&mut rng);
+    let data = instance.responses();
+
+    let mut monitor =
+        IncrementalEvaluator::new(data.n_workers(), data.n_tasks(), 2, EstimatorConfig::default());
+    let policy = RetentionPolicy { fire_threshold: 0.3, ..RetentionPolicy::default() };
+    let mut fired: Vec<(WorkerId, usize)> = Vec::new();
+
+    println!("streaming {} responses over {} tasks...\n", data.n_responses(), data.n_tasks());
+    for task in data.tasks() {
+        for &(w, label) in data.task_responses(task) {
+            monitor
+                .ingest(crowd_assess::data::Response { worker: WorkerId(w), task, label })
+                .expect("simulated stream has no duplicates");
+        }
+        // Re-assess every 25 tasks.
+        if (task.0 + 1) % 25 != 0 {
+            continue;
+        }
+        let Ok(report) = monitor.evaluate_all(0.95) else { continue };
+        for a in &report.assessments {
+            if fired.iter().any(|(w, _)| *w == a.worker) {
+                continue;
+            }
+            if policy.decide(a) == Decision::Fire {
+                println!(
+                    "task {:>3}: firing {} — 95% interval [{:.2}, {:.2}] above {:.2} \
+                     (true error rate {:.2})",
+                    task.0 + 1,
+                    a.worker,
+                    a.interval.lo(),
+                    a.interval.hi(),
+                    policy.fire_threshold,
+                    instance.true_error_rate(a.worker)
+                );
+                fired.push((a.worker, task.index() + 1));
+            }
+        }
+    }
+
+    println!("\nfinal assessment after {} responses:", monitor.n_responses());
+    let report = monitor.evaluate_all(0.95).expect("full data evaluates");
+    for a in &report.assessments {
+        let status = if fired.iter().any(|(w, _)| *w == a.worker) { "FIRED" } else { "active" };
+        println!(
+            "  {} [{status:>6}] interval [{:.3}, {:.3}], true {:.2}",
+            a.worker,
+            a.interval.lo(),
+            a.interval.hi(),
+            instance.true_error_rate(a.worker)
+        );
+    }
+    let truly_bad: Vec<WorkerId> = data
+        .workers()
+        .filter(|&w| instance.true_error_rate(w) > policy.fire_threshold)
+        .collect();
+    println!(
+        "\ntruly bad workers: {:?}; fired: {:?}",
+        truly_bad.iter().map(|w| w.to_string()).collect::<Vec<_>>(),
+        fired.iter().map(|(w, at)| format!("{w}@task{at}")).collect::<Vec<_>>()
+    );
+}

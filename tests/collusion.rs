@@ -1,0 +1,112 @@
+//! Quantifying the paper's §III-A caveat: agreement-based evaluation
+//! assumes workers answer independently — "this assumption is true as
+//! long as workers don't collude with each other". These tests verify
+//! both sides: the estimator is calibrated without collusion, while a
+//! copying clique (a) makes its members look far better than they are
+//! and (b) poisons the agreement statistics of *honest* workers who
+//! get paired against clique members — the violation is not contained
+//! to the cheaters.
+
+use crowd_assess::core::CoverageStats;
+use crowd_assess::prelude::*;
+use crowd_assess::sim::Collusion;
+use crowd_data::pair_stats;
+
+fn clique_members(inst: &crowd_assess::sim::BinaryInstance) -> Vec<WorkerId> {
+    let m = inst.responses();
+    let mut members = std::collections::HashSet::new();
+    for a in 0..m.n_workers() as u32 {
+        for b in (a + 1)..m.n_workers() as u32 {
+            let s = pair_stats(m, WorkerId(a), WorkerId(b));
+            if s.common_tasks > 50 && s.agreements == s.common_tasks {
+                members.insert(WorkerId(a));
+                members.insert(WorkerId(b));
+            }
+        }
+    }
+    members.into_iter().collect()
+}
+
+#[test]
+fn colluders_are_systematically_underestimated() {
+    let mut scenario = BinaryScenario::paper_default(9, 300, 1.0);
+    scenario.collusion = Some(Collusion { fraction: 0.34, clique_error: 0.3 });
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    let mut rng = crowd_assess::sim::rng(501);
+    let mut clique_bias = 0.0;
+    let mut clique_n = 0;
+    let mut honest_cov = CoverageStats::default();
+    for _ in 0..30 {
+        let inst = scenario.generate(&mut rng);
+        let members = clique_members(&inst);
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        for a in &report.assessments {
+            let truth = inst.true_error_rate(a.worker);
+            if members.contains(&a.worker) {
+                clique_bias += a.interval.center - truth;
+                clique_n += 1;
+            } else {
+                honest_cov.record(a.interval.contains(truth));
+            }
+        }
+    }
+    // The clique's perfect mutual agreement drags its estimated error
+    // toward zero: mean bias strongly negative (they truly err at 0.3).
+    let bias = clique_bias / clique_n as f64;
+    assert!(
+        bias < -0.15,
+        "colluders should look much better than they are: mean bias {bias:.3} over {clique_n}"
+    );
+    // The damage is not contained: honest workers paired against
+    // colluding peers inherit poisoned agreement statistics, so their
+    // coverage degrades *well below* the collusion-free control (≈ 0.9,
+    // see the control test). This is the full force of the paper's
+    // independence caveat.
+    let acc = honest_cov.accuracy().expect("honest workers evaluated");
+    assert!(
+        acc < 0.8,
+        "expected honest-worker coverage to degrade under collusion, got {acc:.3} over {}",
+        honest_cov.total
+    );
+    assert!(
+        acc > 0.2,
+        "coverage should degrade, not vanish: {acc:.3} over {}",
+        honest_cov.total
+    );
+}
+
+#[test]
+fn no_collusion_keeps_everyone_calibrated() {
+    // Control arm: identical pool without the clique.
+    let scenario = BinaryScenario::paper_default(9, 300, 1.0);
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    let mut rng = crowd_assess::sim::rng(503);
+    let mut cov = CoverageStats::default();
+    for _ in 0..30 {
+        let inst = scenario.generate(&mut rng);
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        cov.merge(report.coverage(|w| Some(inst.true_error_rate(w))));
+    }
+    let acc = cov.accuracy().unwrap();
+    assert!((acc - 0.9).abs() < 0.05, "control coverage {acc:.3}");
+}
+
+#[test]
+fn spammer_pruning_does_not_catch_colluders() {
+    // Colluders agree with each other, so their majority disagreement
+    // is *low* — the paper's anti-spammer preprocessing is the wrong
+    // tool against collusion. Documents the limitation.
+    use crowd_assess::core::preprocess::{PAPER_SPAMMER_THRESHOLD, prune_spammers};
+    let mut scenario = BinaryScenario::paper_default(9, 300, 1.0);
+    scenario.collusion = Some(Collusion { fraction: 0.34, clique_error: 0.3 });
+    let inst = scenario.generate(&mut crowd_assess::sim::rng(507));
+    let members = clique_members(&inst);
+    assert!(!members.is_empty(), "clique must exist");
+    let outcome = prune_spammers(inst.responses(), PAPER_SPAMMER_THRESHOLD);
+    for m in &members {
+        assert!(
+            !outcome.removed.contains(m),
+            "pruning unexpectedly removed colluder {m:?} (it keys on majority disagreement)"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Failure-injection tests: degenerate, adversarial and pathological
+//! inputs must produce clean, typed errors (or honest wide intervals)
+//! — never panics, NaN intervals, or silently wrong numbers.
+
+use crowd_assess::core::{
+    CoverageStats, EstimateError, KaryEstimator, KaryMWorkerEstimator,
+};
+use crowd_assess::prelude::*;
+use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+
+fn regular_matrix(m: usize, n: usize, label: impl Fn(u32, u32) -> Label) -> ResponseMatrix {
+    let mut b = ResponseMatrixBuilder::new(m, n, 2);
+    for w in 0..m as u32 {
+        for t in 0..n as u32 {
+            b.push(WorkerId(w), TaskId(t), label(w, t)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A malicious worker (error rate > 1/2) produces agreement rates at or
+/// below 1/2 against good workers; the default policy must fail that
+/// worker cleanly rather than emit a nonsense estimate.
+#[test]
+fn malicious_worker_fails_cleanly_or_is_clamped() {
+    let mut rng = crowd_assess::sim::rng(601);
+    let mut scenario = BinaryScenario::paper_default(5, 200, 1.0);
+    scenario.error_pool = vec![0.1];
+    let inst = scenario.generate(&mut rng);
+    // Rebuild with worker 4 replaced by an adversary that always flips
+    // the truth (error rate 1.0).
+    let mut b = ResponseMatrixBuilder::new(5, 200, 2);
+    for r in inst.responses().iter() {
+        let label = if r.worker.0 == 4 {
+            inst.gold().label(r.task).unwrap().flipped()
+        } else {
+            r.label
+        };
+        b.push(r.worker, r.task, label).unwrap();
+    }
+    let data = b.build().unwrap();
+
+    let strict = MWorkerEstimator::new(EstimatorConfig::default());
+    let report = strict.evaluate_all(&data, 0.9).unwrap();
+    // The adversary cannot be evaluated under the Error policy: every
+    // triangle containing it is degenerate.
+    assert!(report.failures.iter().any(|(w, _)| *w == WorkerId(4)), "{report:?}");
+    // The good workers still get finite, small estimates.
+    for a in &report.assessments {
+        assert!(a.interval.center.is_finite());
+        assert!(a.interval.center < 0.3, "good worker misjudged: {:?}", a);
+    }
+
+    // The clamping policy evaluates everyone; the adversary's interval
+    // is honest garbage — wide or pinned near the singularity, never
+    // NaN.
+    let clamping = MWorkerEstimator::new(EstimatorConfig::clamping());
+    let report = clamping.evaluate_all(&data, 0.9).unwrap();
+    for a in &report.assessments {
+        assert!(a.interval.center.is_finite(), "{a:?}");
+        assert!(a.interval.half_width.is_finite(), "{a:?}");
+    }
+}
+
+/// Unanimous data (everyone agrees on everything) sits at the opposite
+/// edge: agreement rates of exactly 1. Estimates must come out at zero
+/// error with a finite interval (variance smoothing prevents a
+/// zero-width point interval).
+#[test]
+fn unanimous_data_gives_zero_error_finite_interval() {
+    let data = regular_matrix(5, 60, |_, t| Label((t % 2 == 0) as u16));
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    let report = est.evaluate_all(&data, 0.9).unwrap();
+    assert_eq!(report.assessments.len(), 5);
+    for a in &report.assessments {
+        assert!(a.interval.center.abs() < 1e-9, "unanimous workers have zero error: {a:?}");
+        assert!(a.interval.half_width.is_finite());
+        assert!(a.interval.half_width > 0.0, "smoothing keeps the interval honest: {a:?}");
+    }
+}
+
+/// One task only: every pair overlaps on a single task. The estimator
+/// must either produce a (hopelessly wide) interval or fail typed —
+/// and never panic.
+#[test]
+fn single_task_data_does_not_panic() {
+    let data = regular_matrix(3, 1, |w, _| Label((w == 2) as u16));
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    match est.evaluate_all(&data, 0.9) {
+        Ok(report) => {
+            for a in &report.assessments {
+                assert!(a.interval.half_width.is_finite());
+            }
+        }
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// Zero-response and single-worker matrices are rejected with typed
+/// errors.
+#[test]
+fn empty_and_tiny_matrices_are_typed_errors() {
+    let empty = ResponseMatrixBuilder::new(0, 0, 2).build().unwrap();
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    assert!(matches!(
+        est.evaluate_all(&empty, 0.9),
+        Err(EstimateError::NotEnoughWorkers { got: 0, need: 3 })
+    ));
+
+    let single = regular_matrix(1, 10, |_, _| Label(0));
+    assert!(matches!(
+        est.evaluate_all(&single, 0.9),
+        Err(EstimateError::NotEnoughWorkers { got: 1, need: 3 })
+    ));
+
+    let kary = KaryMWorkerEstimator::new(EstimatorConfig::default());
+    assert!(matches!(
+        kary.evaluate_all(&single, 0.9),
+        Err(EstimateError::NotEnoughWorkers { .. })
+    ));
+}
+
+/// A k-ary dataset in which one label never occurs: the moment matrix
+/// is singular — the exact failure the paper hits on WSD with arity 3.
+/// Must be a clean degenerate error.
+#[test]
+fn kary_with_unused_label_fails_cleanly() {
+    // Arity 3 declared, but only labels 0 and 1 ever used.
+    let mut b = ResponseMatrixBuilder::new(3, 120, 3);
+    for w in 0..3u32 {
+        for t in 0..120u32 {
+            b.push(WorkerId(w), TaskId(t), Label((t % 2) as u16)).unwrap();
+        }
+    }
+    let data = b.build().unwrap();
+    let est = KaryEstimator::new(EstimatorConfig::default());
+    let err = est
+        .evaluate(&data, [WorkerId(0), WorkerId(1), WorkerId(2)], 0.9)
+        .expect_err("rank-deficient moments must not yield intervals");
+    assert!(
+        matches!(err, EstimateError::Degenerate { .. } | EstimateError::Numerical(_)),
+        "unexpected error: {err}"
+    );
+}
+
+/// Two perfectly anti-correlated workers: their agreement rate is 0,
+/// far below the singularity. Triples containing both are dropped;
+/// with only three workers that means a typed failure.
+#[test]
+fn anticorrelated_pair_is_degenerate() {
+    let data = regular_matrix(3, 80, |w, t| {
+        let truth = (t % 2) as u16;
+        if w == 2 { Label(1 - truth) } else { Label(truth) }
+    });
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    let report = est.evaluate_all(&data, 0.9).unwrap();
+    // Nobody is evaluable: every triple contains the anti-correlated
+    // pair (0,2) or (1,2)... in fact all triples are {0,1,2}.
+    assert_eq!(report.assessments.len(), 0);
+    assert_eq!(report.failures.len(), 3);
+    for (_, e) in &report.failures {
+        assert!(matches!(e, EstimateError::NoUsableTriples { .. }));
+    }
+}
+
+/// Invalid confidence levels are rejected at the stats layer, not
+/// debug-asserted or NaN-propagated.
+#[test]
+fn invalid_confidence_levels_error() {
+    let inst =
+        BinaryScenario::paper_default(5, 60, 1.0).generate(&mut crowd_assess::sim::rng(607));
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    for &c in &[0.0, 1.0, -0.5, 1.5, f64::NAN] {
+        let out = est.evaluate_all(inst.responses(), c);
+        match out {
+            Ok(report) => {
+                assert!(
+                    report.assessments.is_empty(),
+                    "confidence {c} should not produce intervals"
+                );
+                assert!(!report.failures.is_empty());
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+/// Duplicate responses are rejected when the builder freezes.
+#[test]
+fn duplicate_response_rejected_at_build() {
+    let mut b = ResponseMatrixBuilder::new(2, 2, 2);
+    b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
+    b.push(WorkerId(0), TaskId(0), Label(1)).unwrap();
+    let err = b.build().unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+/// Out-of-range ids and labels are rejected at construction time.
+#[test]
+fn out_of_range_inputs_rejected_at_build() {
+    let mut b = ResponseMatrixBuilder::new(2, 2, 2);
+    assert!(b.push(WorkerId(9), TaskId(0), Label(0)).is_err());
+    assert!(b.push(WorkerId(0), TaskId(9), Label(0)).is_err());
+    assert!(b.push(WorkerId(0), TaskId(0), Label(7)).is_err());
+}
+
+/// Heavy spam: a pool where most workers are spammers. The default
+/// policy reports failures; nothing panics, and whatever intervals
+/// emerge for the honest minority remain finite.
+#[test]
+fn spam_heavy_pool_degrades_gracefully() {
+    let mut scenario = BinaryScenario::paper_default(9, 150, 0.9);
+    scenario.spammer_fraction = 0.6;
+    let est = MWorkerEstimator::new(EstimatorConfig::default());
+    let mut rng = crowd_assess::sim::rng(613);
+    let mut stats = CoverageStats::default();
+    for _ in 0..10 {
+        let inst = scenario.generate(&mut rng);
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        for a in &report.assessments {
+            assert!(a.interval.center.is_finite());
+            assert!(a.interval.half_width.is_finite());
+        }
+        stats.merge(report.coverage(|w| Some(inst.true_error_rate(w))));
+    }
+    // No calibration promise under 60% spam — only sanity: some
+    // workers were evaluated across the runs.
+    assert!(stats.total > 0, "all evaluations failed under spam");
+}
+
+/// The k-ary m-worker extension on adversarially sparse data: workers
+/// arranged so that some pairs never overlap. Failures must be typed,
+/// successes finite.
+#[test]
+fn kary_m_worker_sparse_overlap_is_graceful() {
+    // 5 workers, 200 tasks; worker w attempts tasks [w*30, w*30+80).
+    let mut b = ResponseMatrixBuilder::new(5, 200, 2);
+    let mut rng = crowd_assess::sim::rng(617);
+    use rand::RngExt;
+    for w in 0..5u32 {
+        let lo = w * 30;
+        for t in lo..(lo + 80).min(200) {
+            let label = Label((rng.random::<f64>() < 0.5) as u16);
+            b.push(WorkerId(w), TaskId(t), label).unwrap();
+        }
+    }
+    let data = b.build().unwrap();
+    let est = KaryMWorkerEstimator::new(EstimatorConfig {
+        min_pair_overlap: 10,
+        ..EstimatorConfig::default()
+    });
+    let report = est.evaluate_all(&data, 0.9).unwrap();
+    for a in &report.assessments {
+        assert!(a.mean_interval_size().is_finite());
+    }
+    for (_, e) in &report.failures {
+        let _ = e.to_string();
+    }
+}

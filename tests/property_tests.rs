@@ -1,0 +1,140 @@
+//! Cross-crate property tests on the estimator invariants.
+
+use crowd_assess::core::agreement::{Triangle, agreement_from_errors};
+use crowd_assess::core::{DegeneracyPolicy, EstimatorConfig, MWorkerEstimator};
+use crowd_assess::prelude::*;
+use proptest::prelude::*;
+
+/// Error rates inside the model's admissible open interval.
+fn error_rate() -> impl Strategy<Value = f64> {
+    0.0f64..0.45
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. (1) inverts the forward agreement map exactly, for any
+    /// admissible error-rate triple.
+    #[test]
+    fn triangle_inversion_is_exact(p1 in error_rate(), p2 in error_rate(), p3 in error_rate()) {
+        let t = Triangle {
+            q_ij: agreement_from_errors(p1, p2),
+            q_ik: agreement_from_errors(p1, p3),
+            q_jk: agreement_from_errors(p2, p3),
+        };
+        let t = t.regularized(DegeneracyPolicy::Error).unwrap();
+        prop_assert!((t.error_rate() - p1).abs() < 1e-9);
+    }
+
+    /// The Lemma 2 gradient matches finite differences everywhere in
+    /// the admissible region.
+    #[test]
+    fn gradient_matches_finite_difference(
+        q_ij in 0.55f64..0.98,
+        q_ik in 0.55f64..0.98,
+        q_jk in 0.55f64..0.98,
+    ) {
+        let t = Triangle { q_ij, q_ik, q_jk };
+        let g = t.gradient();
+        let h = 1e-7;
+        let num_dq_ij = (Triangle { q_ij: q_ij + h, ..t }.error_rate()
+            - Triangle { q_ij: q_ij - h, ..t }.error_rate()) / (2.0 * h);
+        prop_assert!((g[0] - num_dq_ij).abs() < 1e-4 * (1.0 + g[0].abs()));
+    }
+
+    /// Intervals widen monotonically with the confidence level.
+    #[test]
+    fn interval_size_is_monotone_in_confidence(seed in 0u64..500) {
+        let inst = BinaryScenario::paper_default(5, 80, 0.9)
+            .generate(&mut crowd_assess::sim::rng(seed));
+        let est = MWorkerEstimator::new(EstimatorConfig::default());
+        let lo = est.evaluate_all(inst.responses(), 0.5).unwrap();
+        let hi = est.evaluate_all(inst.responses(), 0.95).unwrap();
+        for (a, b) in lo.assessments.iter().zip(&hi.assessments) {
+            prop_assert_eq!(a.worker, b.worker);
+            prop_assert!(b.interval.size() >= a.interval.size());
+            // Same point estimate, different width.
+            prop_assert!((a.interval.center - b.interval.center).abs() < 1e-12);
+        }
+    }
+
+    /// The response matrix builder and its views stay mutually
+    /// consistent under arbitrary sparse fill patterns.
+    #[test]
+    fn response_matrix_views_are_consistent(
+        pattern in proptest::collection::vec(any::<bool>(), 60),
+        labels in proptest::collection::vec(0u16..3, 60),
+    ) {
+        let (workers, tasks) = (5u32, 12u32);
+        let mut builder = ResponseMatrixBuilder::new(workers as usize, tasks as usize, 3);
+        let mut expected = 0usize;
+        for (idx, (&attempt, &label)) in pattern.iter().zip(&labels).enumerate() {
+            if attempt {
+                let w = (idx as u32) % workers;
+                let t = (idx as u32) / workers;
+                builder.push(WorkerId(w), TaskId(t), Label(label)).unwrap();
+                expected += 1;
+            }
+        }
+        let m = builder.build().unwrap();
+        prop_assert_eq!(m.n_responses(), expected);
+        let by_worker: usize =
+            m.workers().map(|w| m.worker_responses(w).len()).sum();
+        let by_task: usize = m.tasks().map(|t| m.task_responses(t).len()).sum();
+        prop_assert_eq!(by_worker, expected);
+        prop_assert_eq!(by_task, expected);
+        for r in m.iter() {
+            prop_assert_eq!(m.response(r.worker, r.task), Some(r.label));
+        }
+    }
+
+    /// Agreement statistics are symmetric in the worker pair and
+    /// bounded by the overlap.
+    #[test]
+    fn pair_stats_invariants(seed in 0u64..300) {
+        let inst = BinaryScenario::paper_default(4, 40, 0.6)
+            .generate(&mut crowd_assess::sim::rng(seed));
+        let m = inst.responses();
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                let ab = crowd_data::pair_stats(m, WorkerId(a), WorkerId(b));
+                let ba = crowd_data::pair_stats(m, WorkerId(b), WorkerId(a));
+                prop_assert_eq!(ab, ba);
+                prop_assert!(ab.agreements <= ab.common_tasks);
+                prop_assert!(
+                    ab.common_tasks
+                        <= m.worker_task_count(WorkerId(a)).min(m.worker_task_count(WorkerId(b)))
+                );
+            }
+        }
+    }
+
+    /// Spammer pruning removes exactly the workers whose leave-one-out
+    /// majority disagreement exceeds the threshold, and preserves the
+    /// kept workers' responses verbatim.
+    ///
+    /// (Pruning is deliberately *not* idempotent: removing a spammer
+    /// changes the majority reference, which can expose another
+    /// borderline worker on a second pass.)
+    #[test]
+    fn pruning_removes_exactly_the_flagged_workers(seed in 0u64..200) {
+        use crowd_assess::core::preprocess::prune_spammers;
+        let mut scenario = BinaryScenario::paper_default(10, 60, 0.9);
+        scenario.spammer_fraction = 0.3;
+        let inst = scenario.generate(&mut crowd_assess::sim::rng(seed));
+        let rates = crowd_data::disagreement_rates(inst.responses());
+        let outcome = prune_spammers(inst.responses(), 0.4);
+        for &w in &outcome.removed {
+            prop_assert!(rates[w.index()].unwrap() > 0.4, "removed worker was not flagged");
+        }
+        for (new_idx, &old) in outcome.kept.iter().enumerate() {
+            prop_assert!(rates[old.index()].is_none_or(|r| r <= 0.4));
+            // Responses preserved under the id remap.
+            prop_assert_eq!(
+                outcome.data.worker_responses(WorkerId(new_idx as u32)),
+                inst.responses().worker_responses(old)
+            );
+        }
+        prop_assert_eq!(outcome.kept.len() + outcome.removed.len(), 10);
+    }
+}
