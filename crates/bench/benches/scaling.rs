@@ -38,7 +38,9 @@ fn a2_scaling_in_m(c: &mut Criterion) {
         let inst = BinaryScenario::paper_default(m, 200, 0.9).generate(&mut rng(2));
         let est = MWorkerEstimator::new(EstimatorConfig::default());
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(est.evaluate_worker(black_box(inst.responses()), WorkerId(0), 0.9)));
+            b.iter(|| {
+                black_box(est.evaluate_worker(black_box(inst.responses()), WorkerId(0), 0.9))
+            });
         });
     }
     group.finish();
@@ -62,8 +64,7 @@ fn ablation_weights(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_weights");
     group.sample_size(10);
     let mut scenario = BinaryScenario::paper_default(7, 100, 0.8);
-    scenario.design =
-        crowd_sim::AttemptDesign::PerWorkerDensity(crowd_sim::fig2c_densities(7));
+    scenario.design = crowd_sim::AttemptDesign::PerWorkerDensity(crowd_sim::fig2c_densities(7));
     let inst = scenario.generate(&mut rng(4));
     for (label, config) in [
         ("optimal", EstimatorConfig::default()),
@@ -90,7 +91,9 @@ fn ablation_pairing(c: &mut Criterion) {
             ..EstimatorConfig::default()
         });
         group.bench_function(label, |b| {
-            b.iter(|| black_box(est.evaluate_worker(black_box(inst.responses()), WorkerId(0), 0.8)));
+            b.iter(|| {
+                black_box(est.evaluate_worker(black_box(inst.responses()), WorkerId(0), 0.8))
+            });
         });
     }
     group.finish();
@@ -142,7 +145,9 @@ fn ablation_incremental(c: &mut Criterion) {
                 fresh = IncrementalEvaluator::new(25, 500, 2, EstimatorConfig::default());
                 idx = 0;
             }
-            fresh.ingest(black_box(responses[idx])).expect("stream is duplicate-free");
+            fresh
+                .ingest(black_box(responses[idx]))
+                .expect("stream is duplicate-free");
             idx += 1;
         });
     });
@@ -158,9 +163,7 @@ fn parallel_evaluate_all(c: &mut Criterion) {
     let est = MWorkerEstimator::new(EstimatorConfig::default());
     for &threads in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                black_box(est.evaluate_all_parallel(black_box(inst.responses()), 0.9, t))
-            });
+            b.iter(|| black_box(est.evaluate_all_parallel(black_box(inst.responses()), 0.9, t)));
         });
     }
     group.finish();
@@ -174,8 +177,9 @@ fn kary_m_worker_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("kary_m_worker_vs_m");
     group.sample_size(10);
     for &m in &[3usize, 5, 9] {
-        let inst =
-            KaryScenario::paper_default(3, 300, 1.0).with_workers(m).generate(&mut rng(8));
+        let inst = KaryScenario::paper_default(3, 300, 1.0)
+            .with_workers(m)
+            .generate(&mut rng(8));
         let est = KaryMWorkerEstimator::new(EstimatorConfig::default());
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
@@ -201,9 +205,11 @@ fn bootstrap_vs_delta(c: &mut Criterion) {
     group.bench_function("delta_method", |b| {
         b.iter(|| black_box(est.evaluate_worker(black_box(inst.responses()), WorkerId(0), 0.9)));
     });
-    let items =
-        triple_joint_labels(inst.responses(), WorkerId(0), WorkerId(1), WorkerId(2));
-    let boot = Bootstrap { resamples: 500, seed: 17 };
+    let items = triple_joint_labels(inst.responses(), WorkerId(0), WorkerId(1), WorkerId(2));
+    let boot = Bootstrap {
+        resamples: 500,
+        seed: 17,
+    };
     group.bench_function("bootstrap_500", |b| {
         b.iter(|| {
             black_box(boot.percentile_interval(

@@ -65,7 +65,11 @@ fn data_benches(c: &mut Criterion) {
     let inst = BinaryScenario::paper_default(20, 2_000, 0.7).generate(&mut rng(8));
     group.bench_function("pair_stats_2k_tasks", |b| {
         b.iter(|| {
-            black_box(pair_stats(black_box(inst.responses()), WorkerId(0), WorkerId(1)))
+            black_box(pair_stats(
+                black_box(inst.responses()),
+                WorkerId(0),
+                WorkerId(1),
+            ))
         });
     });
     group.bench_function("disagreement_rates_20x2k", |b| {

@@ -108,12 +108,19 @@ fn main() {
 
     let mut summary = Vec::new();
     for spec in selected {
-        let reps = if cli.quick { 8 } else { cli.reps.unwrap_or(spec.default_reps) };
+        let reps = if cli.quick {
+            8
+        } else {
+            cli.reps.unwrap_or(spec.default_reps)
+        };
         let mut options = RunOptions::default().with_reps(reps).with_seed(cli.seed);
         if let Some(t) = cli.threads {
             options.threads = t;
         }
-        eprintln!("running {} (reps = {reps}, threads = {})...", spec.id, options.threads);
+        eprintln!(
+            "running {} (reps = {reps}, threads = {})...",
+            spec.id, options.threads
+        );
         let start = Instant::now();
         let result = (spec.run)(&options);
         let elapsed = start.elapsed();

@@ -44,7 +44,10 @@ pub fn collusion(options: &RunOptions) -> FigureResult {
     for &fraction in &fractions {
         let mut scenario = BinaryScenario::paper_default(9, 300, 1.0);
         if fraction > 0.0 {
-            scenario.collusion = Some(Collusion { fraction, clique_error: 0.3 });
+            scenario.collusion = Some(Collusion {
+                fraction,
+                clique_error: 0.3,
+            });
         }
         let per_rep: Vec<(CoverageStats, CoverageStats)> = parallel_reps(options, |seed| {
             let mut rng = crowd_sim::rng(seed);
@@ -121,7 +124,8 @@ pub fn pruning_threshold(options: &RunOptions) -> FigureResult {
             let mut cov = CoverageStats::default();
             if let Ok(report) = est.evaluate_all(&outcome.data, 0.9) {
                 cov.merge(report.coverage(|w| {
-                    d.gold.worker_error_rate(&d.responses, outcome.kept[w.index()])
+                    d.gold
+                        .worker_error_rate(&d.responses, outcome.kept[w.index()])
                 }));
             }
             (cov, outcome.kept.len())
@@ -241,8 +245,9 @@ fn interleaved_block_instance(seed: u64) -> crowd_data::ResponseMatrix {
     let mask = design.sample_mask(&mut rng);
     let n_tasks = design.n_tasks();
     let n_workers = design.n_workers();
-    let truths: Vec<Label> =
-        (0..n_tasks).map(|_| Label((rng.random::<f64>() < 0.5) as u16)).collect();
+    let truths: Vec<Label> = (0..n_tasks)
+        .map(|_| Label((rng.random::<f64>() < 0.5) as u16))
+        .collect();
     let pool = [0.1, 0.2, 0.3];
     let mut b = ResponseMatrixBuilder::new(n_workers, n_tasks, 2);
     for cohort_slot in 0..n_workers {
@@ -255,7 +260,11 @@ fn interleaved_block_instance(seed: u64) -> crowd_data::ResponseMatrix {
         for (t, &attempted) in mask[cohort_slot].iter().enumerate() {
             if attempted {
                 let wrong = rng.random::<f64>() < p;
-                let label = if wrong { truths[t].flipped() } else { truths[t] };
+                let label = if wrong {
+                    truths[t].flipped()
+                } else {
+                    truths[t]
+                };
                 b.push(crowd_data::WorkerId(public), TaskId(t as u32), label)
                     .expect("ids in range");
             }
@@ -286,19 +295,17 @@ pub fn degeneracy_policy(options: &RunOptions) -> FigureResult {
         for &fraction in &spam_fractions {
             let mut scenario = BinaryScenario::paper_default(9, 200, 0.9);
             scenario.spammer_fraction = fraction;
-            let per_rep: Vec<(CoverageStats, usize, usize)> =
-                parallel_reps(options, |seed| {
-                    let mut rng = crowd_sim::rng(seed);
-                    let inst = scenario.generate(&mut rng);
-                    match est.evaluate_all(inst.responses(), 0.9) {
-                        Ok(report) => {
-                            let cov =
-                                report.coverage(|w| Some(inst.true_error_rate(w)));
-                            (cov, report.assessments.len(), 9)
-                        }
-                        Err(_) => (CoverageStats::default(), 0, 9),
+            let per_rep: Vec<(CoverageStats, usize, usize)> = parallel_reps(options, |seed| {
+                let mut rng = crowd_sim::rng(seed);
+                let inst = scenario.generate(&mut rng);
+                match est.evaluate_all(inst.responses(), 0.9) {
+                    Ok(report) => {
+                        let cov = report.coverage(|w| Some(inst.true_error_rate(w)));
+                        (cov, report.assessments.len(), 9)
                     }
-                });
+                    Err(_) => (CoverageStats::default(), 0, 9),
+                }
+            });
             let mut cov = CoverageStats::default();
             let mut evaluated = 0usize;
             let mut total = 0usize;
@@ -311,7 +318,10 @@ pub fn degeneracy_policy(options: &RunOptions) -> FigureResult {
             eval_points.push((fraction, evaluated as f64 / total.max(1) as f64));
         }
         acc_series.push(Series::new(format!("coverage, {label}"), acc_points));
-        eval_series.push(Series::new(format!("evaluated fraction, {label}"), eval_points));
+        eval_series.push(Series::new(
+            format!("evaluated fraction, {label}"),
+            eval_points,
+        ));
     }
     acc_series.append(&mut eval_series);
     FigureResult {
@@ -352,7 +362,10 @@ pub fn kary_m_accuracy(options: &RunOptions) -> FigureResult {
             }
             points.push((c, stats.accuracy().unwrap_or(f64::NAN)));
         }
-        series.push(Series::new(format!("arity {arity}, m = 5, n = 400"), points));
+        series.push(Series::new(
+            format!("arity {arity}, m = 5, n = 400"),
+            points,
+        ));
     }
     FigureResult {
         id: "ext_kary_acc",
@@ -378,11 +391,16 @@ pub fn kary_m_sweep(options: &RunOptions) -> FigureResult {
             let sizes: Vec<Option<f64>> = parallel_reps(options, |seed| {
                 let mut rng = crowd_sim::rng(seed);
                 let inst = scenario.generate(&mut rng);
-                let a = est.evaluate_worker(inst.responses(), WorkerId(0), 0.8).ok()?;
+                let a = est
+                    .evaluate_worker(inst.responses(), WorkerId(0), 0.8)
+                    .ok()?;
                 Some(a.mean_interval_size())
             });
             let valid: Vec<f64> = sizes.into_iter().flatten().collect();
-            points.push((m as f64, valid.iter().sum::<f64>() / valid.len().max(1) as f64));
+            points.push((
+                m as f64,
+                valid.iter().sum::<f64>() / valid.len().max(1) as f64,
+            ));
         }
         series.push(Series::new(format!("arity {arity}, n = 400"), points));
     }
@@ -408,7 +426,10 @@ mod tests {
         // Accuracy at fraction 0 is near nominal; at 0.4 it is visibly
         // degraded.
         let at = |s: &Series, x: f64| {
-            s.points.iter().find(|p| (p.0 - x).abs() < 1e-9).map(|p| p.1)
+            s.points
+                .iter()
+                .find(|p| (p.0 - x).abs() < 1e-9)
+                .map(|p| p.1)
         };
         let clean = at(honest, 0.0).unwrap();
         let poisoned = at(honest, 0.4).unwrap();
@@ -421,8 +442,15 @@ mod tests {
         // covered (their intervals are confidently wrong).
         let clique = &fig.series[1];
         assert!(!clique.points.is_empty());
-        let worst = clique.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-        assert!(worst < 0.5, "clique coverage should collapse, got {worst:.3}");
+        let worst = clique
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst < 0.5,
+            "clique coverage should collapse, got {worst:.3}"
+        );
     }
 
     #[test]
@@ -436,7 +464,11 @@ mod tests {
             kept.points
         );
         let acc = &fig.series[0];
-        assert!(acc.points.iter().all(|p| p.1 > 0.7), "accuracy stays high: {:?}", acc.points);
+        assert!(
+            acc.points.iter().all(|p| p.1 > 0.7),
+            "accuracy stays high: {:?}",
+            acc.points
+        );
     }
 
     #[test]
@@ -469,7 +501,10 @@ mod tests {
         let eval_clamp = &fig.series[3];
         // Clamping evaluates at least as many workers everywhere.
         for (d, c) in eval_drop.points.iter().zip(&eval_clamp.points) {
-            assert!(c.1 >= d.1 - 1e-9, "clamp should evaluate more workers: {c:?} vs {d:?}");
+            assert!(
+                c.1 >= d.1 - 1e-9,
+                "clamp should evaluate more workers: {c:?} vs {d:?}"
+            );
         }
         // With no spammers both policies cover near the nominal level.
         let cov_drop_clean = fig.series[0].points[0].1;
@@ -482,14 +517,24 @@ mod tests {
         for s in fig.series.iter().skip(1) {
             // At c = 0.9, coverage within a tolerant Monte-Carlo band
             // of nominal — neither overconfident nor uselessly wide.
-            let at_09 = s.points.iter().find(|p| (p.0 - 0.9).abs() < 1e-9).unwrap().1;
+            let at_09 = s
+                .points
+                .iter()
+                .find(|p| (p.0 - 0.9).abs() < 1e-9)
+                .unwrap()
+                .1;
             assert!(
                 (0.82..=1.0).contains(&at_09),
                 "{}: coverage {at_09:.3} at c = 0.9",
                 s.label
             );
             // Accuracy grows with the confidence level.
-            let at_02 = s.points.iter().find(|p| (p.0 - 0.2).abs() < 1e-9).unwrap().1;
+            let at_02 = s
+                .points
+                .iter()
+                .find(|p| (p.0 - 0.2).abs() < 1e-9)
+                .unwrap()
+                .1;
             assert!(at_02 < at_09, "{}: accuracy not monotone-ish", s.label);
         }
     }

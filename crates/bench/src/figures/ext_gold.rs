@@ -48,9 +48,8 @@ pub fn run(options: &RunOptions) -> FigureResult {
             .map(|&g| {
                 let partial = GoldStandard::partial(
                     300,
-                    (0..g as u32).filter_map(|t| {
-                        inst.gold().label(TaskId(t)).map(|l| (TaskId(t), l))
-                    }),
+                    (0..g as u32)
+                        .filter_map(|t| inst.gold().label(TaskId(t)).map(|l| (TaskId(t), l))),
                 );
                 let cis = gold_est.evaluate_all(inst.responses(), &partial, CONFIDENCE);
                 let total: f64 = cis.iter().map(|(_, ci)| ci.size()).sum();
@@ -67,11 +66,16 @@ pub fn run(options: &RunOptions) -> FigureResult {
         .iter()
         .enumerate()
         .map(|(i, &g)| {
-            (g as f64, valid.iter().map(|(_, sizes)| sizes[i]).sum::<f64>() / n)
+            (
+                g as f64,
+                valid.iter().map(|(_, sizes)| sizes[i]).sum::<f64>() / n,
+            )
         })
         .collect();
-    let reference: Vec<(f64, f64)> =
-        GOLD_BUDGETS.iter().map(|&g| (g as f64, agreement_mean)).collect();
+    let reference: Vec<(f64, f64)> = GOLD_BUDGETS
+        .iter()
+        .map(|&g| (g as f64, agreement_mean))
+        .collect();
 
     FigureResult {
         id: "ext_gold",

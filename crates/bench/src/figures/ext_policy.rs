@@ -69,10 +69,16 @@ fn hire(rng: &mut impl RngExt) -> Member {
     for (p, w) in HIRE_RATES.iter().zip(HIRE_PROBS) {
         acc += w;
         if u < acc {
-            return Member { p: *p, history: Vec::new() };
+            return Member {
+                p: *p,
+                history: Vec::new(),
+            };
         }
     }
-    Member { p: *HIRE_RATES.last().expect("non-empty pool"), history: Vec::new() }
+    Member {
+        p: *HIRE_RATES.last().expect("non-empty pool"),
+        history: Vec::new(),
+    }
 }
 
 /// Runs one arm of the simulation. `rule = None` is the never-fire
@@ -83,8 +89,10 @@ fn simulate(seed: u64, rule: Option<DecisionRule>) -> ArmTrace {
     // The estimator must always produce an interval for near-spammer
     // histories, so agreement rates at the singularity are clamped.
     let estimator = MWorkerEstimator::new(EstimatorConfig::clamping());
-    let mut trace =
-        ArmTrace { pool_error: Vec::with_capacity(ROUNDS), wrongful: Vec::with_capacity(ROUNDS) };
+    let mut trace = ArmTrace {
+        pool_error: Vec::with_capacity(ROUNDS),
+        wrongful: Vec::with_capacity(ROUNDS),
+    };
     let mut wrongful_total = 0usize;
 
     for round in 0..ROUNDS {
@@ -96,7 +104,8 @@ fn simulate(seed: u64, rule: Option<DecisionRule>) -> ArmTrace {
             for m in members.iter_mut() {
                 if rng.random::<f64>() < ATTEMPT {
                     let wrong = rng.random::<f64>() < m.p;
-                    m.history.push((base + t, if wrong { truth.flipped() } else { truth }));
+                    m.history
+                        .push((base + t, if wrong { truth.flipped() } else { truth }));
                 }
             }
         }
@@ -113,7 +122,10 @@ fn simulate(seed: u64, rule: Option<DecisionRule>) -> ArmTrace {
                 }
             }
             let data = b.build().expect("histories are duplicate-free");
-            let policy = RetentionPolicy { fire_threshold: THRESHOLD, rule };
+            let policy = RetentionPolicy {
+                fire_threshold: THRESHOLD,
+                rule,
+            };
             if let Ok(report) = estimator.evaluate_all(&data, CONFIDENCE) {
                 for (worker, decision) in policy.decide_all(&report) {
                     if decision == crowd_core::Decision::Fire {

@@ -49,8 +49,7 @@ pub fn run(options: &RunOptions) -> FigureResult {
             let mut old_sizes = Vec::with_capacity(grid.len());
             for &c in &grid {
                 let cis = old.evaluate_all(inst.responses(), c).ok()?;
-                old_sizes
-                    .push(cis.iter().map(|(_, ci)| ci.size()).sum::<f64>() / m as f64);
+                old_sizes.push(cis.iter().map(|(_, ci)| ci.size()).sum::<f64>() / m as f64);
             }
             Some((new_sizes, old_sizes))
         });
@@ -61,11 +60,17 @@ pub fn run(options: &RunOptions) -> FigureResult {
         };
         series.push(Series::new(
             format!("new technique, {m} workers, 100 tasks"),
-            grid.iter().enumerate().map(|(i, &c)| (c, mean_at(|r| &r.0, i))).collect(),
+            grid.iter()
+                .enumerate()
+                .map(|(i, &c)| (c, mean_at(|r| &r.0, i)))
+                .collect(),
         ));
         series.push(Series::new(
             format!("old technique, {m} workers, 100 tasks"),
-            grid.iter().enumerate().map(|(i, &c)| (c, mean_at(|r| &r.1, i))).collect(),
+            grid.iter()
+                .enumerate()
+                .map(|(i, &c)| (c, mean_at(|r| &r.1, i)))
+                .collect(),
         ));
     }
     FigureResult {
@@ -105,9 +110,7 @@ mod tests {
             );
         }
         // Shape 2: new is tighter than old at c = 0.5 for both m.
-        let at = |s: &Series, c: f64| {
-            s.points.iter().find(|p| (p.0 - c).abs() < 1e-9).unwrap().1
-        };
+        let at = |s: &Series, c: f64| s.points.iter().find(|p| (p.0 - c).abs() < 1e-9).unwrap().1;
         assert!(at(new3, 0.5) < at(old3, 0.5));
         assert!(at(new7, 0.5) < at(old7, 0.5));
         // Shape 3 (headline): ≳ 30% reduction at m=3, c=0.5.

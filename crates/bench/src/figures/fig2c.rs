@@ -72,11 +72,17 @@ mod tests {
     #[test]
     fn optimization_shrinks_intervals_substantially() {
         let fig = run(&RunOptions::quick().with_reps(25));
-        let opt = fig.series.iter().find(|s| s.label == "With Optimization").unwrap();
-        let uni = fig.series.iter().find(|s| s.label == "No Optimization").unwrap();
-        let at = |s: &Series, c: f64| {
-            s.points.iter().find(|p| (p.0 - c).abs() < 1e-9).unwrap().1
-        };
+        let opt = fig
+            .series
+            .iter()
+            .find(|s| s.label == "With Optimization")
+            .unwrap();
+        let uni = fig
+            .series
+            .iter()
+            .find(|s| s.label == "No Optimization")
+            .unwrap();
+        let at = |s: &Series, c: f64| s.points.iter().find(|p| (p.0 - c).abs() < 1e-9).unwrap().1;
         // The paper reports >2x at c = 0.5; require a clear win.
         let ratio = at(uni, 0.5) / at(opt, 0.5);
         assert!(ratio > 1.3, "uniform/optimized ratio only {ratio:.2}");

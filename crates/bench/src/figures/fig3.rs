@@ -91,9 +91,21 @@ pub fn run(options: &RunOptions) -> FigureResult {
     let grid = confidence_grid();
     let est = real_data_estimator();
     let series = vec![
-        accuracy_series(options, "Image Comparison", &grid, crowd_datasets::ic::generate, &est),
+        accuracy_series(
+            options,
+            "Image Comparison",
+            &grid,
+            crowd_datasets::ic::generate,
+            &est,
+        ),
         accuracy_series(options, "RTE", &grid, crowd_datasets::ent::generate, &est),
-        accuracy_series(options, "Temporal", &grid, crowd_datasets::tem::generate, &est),
+        accuracy_series(
+            options,
+            "Temporal",
+            &grid,
+            crowd_datasets::tem::generate,
+            &est,
+        ),
     ];
     FigureResult {
         id: "fig3",
@@ -120,8 +132,12 @@ mod tests {
             // accuracy can fall well below the diagonal at high
             // confidence before the Figure-4 pruning. Only rule out
             // complete collapse here.
-            let at09 =
-                s.points.iter().find(|p| (p.0 - 0.9).abs() < 1e-9).unwrap().1;
+            let at09 = s
+                .points
+                .iter()
+                .find(|p| (p.0 - 0.9).abs() < 1e-9)
+                .unwrap()
+                .1;
             assert!(
                 at09 > 0.4,
                 "{}: accuracy at c=0.9 is implausibly low ({at09})",

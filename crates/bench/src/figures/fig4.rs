@@ -18,7 +18,11 @@ fn pruned(make: impl Fn(u64) -> Dataset) -> impl Fn(u64) -> Dataset {
     move |seed| {
         let d = make(seed);
         let outcome = prune_spammers(&d.responses, PAPER_SPAMMER_THRESHOLD);
-        Dataset { name: d.name, responses: outcome.data, gold: d.gold }
+        Dataset {
+            name: d.name,
+            responses: outcome.data,
+            gold: d.gold,
+        }
     }
 }
 
@@ -34,7 +38,13 @@ pub fn run(options: &RunOptions) -> FigureResult {
             pruned(crowd_datasets::ic::generate),
             &est,
         ),
-        accuracy_series(options, "RTE", &grid, pruned(crowd_datasets::ent::generate), &est),
+        accuracy_series(
+            options,
+            "RTE",
+            &grid,
+            pruned(crowd_datasets::ent::generate),
+            &est,
+        ),
         accuracy_series(
             options,
             "Temporal",

@@ -26,8 +26,7 @@ pub fn run(options: &RunOptions) -> FigureResult {
                 let inst = scenario.generate(&mut rng);
                 let est = KaryEstimator::new(EstimatorConfig::default());
                 let a = est.evaluate(inst.responses(), workers, 0.5).ok()?;
-                let truth =
-                    [0u32, 1, 2].map(|w| inst.true_confusion(WorkerId(w)));
+                let truth = [0u32, 1, 2].map(|w| inst.true_confusion(WorkerId(w)));
                 Some(
                     grid.iter()
                         .map(|&c| {
@@ -37,10 +36,7 @@ pub fn run(options: &RunOptions) -> FigureResult {
                                 for r in 0..arity as usize {
                                     for col in 0..arity as usize {
                                         total += 1;
-                                        let ci = rescale_interval(
-                                            a.interval(i, r, col),
-                                            c,
-                                        );
+                                        let ci = rescale_interval(a.interval(i, r, col), c);
                                         if ci.contains(t.get(r, col)) {
                                             covered += 1;
                                         }
@@ -56,10 +52,8 @@ pub fn run(options: &RunOptions) -> FigureResult {
                 .iter()
                 .enumerate()
                 .map(|(i, &c)| {
-                    let covered: usize =
-                        per_rep.iter().flatten().map(|r| r[i].0).sum();
-                    let total: usize =
-                        per_rep.iter().flatten().map(|r| r[i].1).sum();
+                    let covered: usize = per_rep.iter().flatten().map(|r| r[i].0).sum();
+                    let total: usize = per_rep.iter().flatten().map(|r| r[i].1).sum();
                     (c, covered as f64 / total.max(1) as f64)
                 })
                 .collect();
@@ -84,7 +78,12 @@ mod tests {
         let fig = run(&RunOptions::quick().with_reps(10));
         assert_eq!(fig.series.len(), 6);
         for s in &fig.series {
-            let at09 = s.points.iter().find(|p| (p.0 - 0.9).abs() < 1e-9).unwrap().1;
+            let at09 = s
+                .points
+                .iter()
+                .find(|p| (p.0 - 0.9).abs() < 1e-9)
+                .unwrap()
+                .1;
             assert!(
                 at09 > 0.75,
                 "{}: accuracy {at09:.2} at c=0.9 too far below nominal",

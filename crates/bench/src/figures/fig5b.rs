@@ -58,8 +58,11 @@ mod tests {
             // Monte-Carlo noise at small rep counts: compare the mean
             // of the three sparsest points against the three densest.
             let head: f64 = s.points[..3].iter().map(|p| p.1).sum::<f64>() / 3.0;
-            let tail: f64 =
-                s.points[s.points.len() - 3..].iter().map(|p| p.1).sum::<f64>() / 3.0;
+            let tail: f64 = s.points[s.points.len() - 3..]
+                .iter()
+                .map(|p| p.1)
+                .sum::<f64>()
+                / 3.0;
             assert!(tail < head, "{}: size should fall with density", s.label);
         }
         let at = |label: &str, d: f64| {
@@ -73,7 +76,13 @@ mod tests {
                 .unwrap()
                 .1
         };
-        assert!(at("Arity 3", 0.9) > at("Arity 2", 0.9), "arity 3 wider than arity 2");
-        assert!(at("Arity 4", 0.9) > at("Arity 3", 0.9), "arity 4 wider than arity 3");
+        assert!(
+            at("Arity 3", 0.9) > at("Arity 2", 0.9),
+            "arity 3 wider than arity 2"
+        );
+        assert!(
+            at("Arity 4", 0.9) > at("Arity 3", 0.9),
+            "arity 4 wider than arity 3"
+        );
     }
 }

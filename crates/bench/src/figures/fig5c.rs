@@ -25,8 +25,7 @@ fn dataset_series(
     let per_rep: Vec<Vec<(usize, usize)>> = parallel_reps(options, |seed| {
         let d = make_dataset(seed);
         let mut rng = crowd_sim::rng(seed ^ 0xabcd);
-        let triples =
-            triples_with_overlap(&d.responses, threshold, TRIPLES_PER_DATASET, &mut rng);
+        let triples = triples_with_overlap(&d.responses, threshold, TRIPLES_PER_DATASET, &mut rng);
         let est = KaryEstimator::new(EstimatorConfig::default());
         let k = d.responses.arity() as usize;
         let mut tallies = vec![(0usize, 0usize); grid.len()];

@@ -30,15 +30,51 @@ pub struct FigureSpec {
 /// All figures, in paper order.
 pub fn all_figures() -> Vec<FigureSpec> {
     vec![
-        FigureSpec { id: "fig1", default_reps: 500, run: fig1::run },
-        FigureSpec { id: "fig2a", default_reps: 500, run: fig2a::run },
-        FigureSpec { id: "fig2b", default_reps: 500, run: fig2b::run },
-        FigureSpec { id: "fig2c", default_reps: 500, run: fig2c::run },
-        FigureSpec { id: "fig3", default_reps: 100, run: fig3::run },
-        FigureSpec { id: "fig4", default_reps: 100, run: fig4::run },
-        FigureSpec { id: "fig5a", default_reps: 500, run: fig5a::run },
-        FigureSpec { id: "fig5b", default_reps: 200, run: fig5b::run },
-        FigureSpec { id: "fig5c", default_reps: 30, run: fig5c::run },
+        FigureSpec {
+            id: "fig1",
+            default_reps: 500,
+            run: fig1::run,
+        },
+        FigureSpec {
+            id: "fig2a",
+            default_reps: 500,
+            run: fig2a::run,
+        },
+        FigureSpec {
+            id: "fig2b",
+            default_reps: 500,
+            run: fig2b::run,
+        },
+        FigureSpec {
+            id: "fig2c",
+            default_reps: 500,
+            run: fig2c::run,
+        },
+        FigureSpec {
+            id: "fig3",
+            default_reps: 100,
+            run: fig3::run,
+        },
+        FigureSpec {
+            id: "fig4",
+            default_reps: 100,
+            run: fig4::run,
+        },
+        FigureSpec {
+            id: "fig5a",
+            default_reps: 500,
+            run: fig5a::run,
+        },
+        FigureSpec {
+            id: "fig5b",
+            default_reps: 200,
+            run: fig5b::run,
+        },
+        FigureSpec {
+            id: "fig5c",
+            default_reps: 30,
+            run: fig5c::run,
+        },
     ]
 }
 
@@ -46,16 +82,56 @@ pub fn all_figures() -> Vec<FigureSpec> {
 /// run with `figures --ablations`).
 pub fn ablation_figures() -> Vec<FigureSpec> {
     vec![
-        FigureSpec { id: "abl_collusion", default_reps: 40, run: ablations::collusion },
-        FigureSpec { id: "abl_prune", default_reps: 15, run: ablations::pruning_threshold },
-        FigureSpec { id: "abl_epsilon", default_reps: 30, run: ablations::derivative_epsilon },
-        FigureSpec { id: "abl_pairing", default_reps: 60, run: ablations::pairing_strategy },
-        FigureSpec { id: "abl_degeneracy", default_reps: 40, run: ablations::degeneracy_policy },
-        FigureSpec { id: "abl_kary_m", default_reps: 20, run: ablations::kary_m_sweep },
-        FigureSpec { id: "ext_kary_acc", default_reps: 40, run: ablations::kary_m_accuracy },
-        FigureSpec { id: "ext_policy", default_reps: 60, run: ext_policy::quality },
-        FigureSpec { id: "ext_policy_cost", default_reps: 60, run: ext_policy::cost },
-        FigureSpec { id: "ext_gold", default_reps: 100, run: ext_gold::run },
+        FigureSpec {
+            id: "abl_collusion",
+            default_reps: 40,
+            run: ablations::collusion,
+        },
+        FigureSpec {
+            id: "abl_prune",
+            default_reps: 15,
+            run: ablations::pruning_threshold,
+        },
+        FigureSpec {
+            id: "abl_epsilon",
+            default_reps: 30,
+            run: ablations::derivative_epsilon,
+        },
+        FigureSpec {
+            id: "abl_pairing",
+            default_reps: 60,
+            run: ablations::pairing_strategy,
+        },
+        FigureSpec {
+            id: "abl_degeneracy",
+            default_reps: 40,
+            run: ablations::degeneracy_policy,
+        },
+        FigureSpec {
+            id: "abl_kary_m",
+            default_reps: 20,
+            run: ablations::kary_m_sweep,
+        },
+        FigureSpec {
+            id: "ext_kary_acc",
+            default_reps: 40,
+            run: ablations::kary_m_accuracy,
+        },
+        FigureSpec {
+            id: "ext_policy",
+            default_reps: 60,
+            run: ext_policy::quality,
+        },
+        FigureSpec {
+            id: "ext_policy_cost",
+            default_reps: 60,
+            run: ext_policy::cost,
+        },
+        FigureSpec {
+            id: "ext_gold",
+            default_reps: 100,
+            run: ext_gold::run,
+        },
     ]
 }
 
@@ -68,7 +144,9 @@ mod tests {
         let ids: Vec<&str> = all_figures().iter().map(|f| f.id).collect();
         assert_eq!(
             ids,
-            vec!["fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5a", "fig5b", "fig5c"]
+            vec![
+                "fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5a", "fig5b", "fig5c"
+            ]
         );
     }
 

@@ -13,7 +13,11 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { reps: 500, seed: 20150413, threads: default_threads() }
+        Self {
+            reps: 500,
+            seed: 20150413,
+            threads: default_threads(),
+        }
     }
 }
 
@@ -21,7 +25,10 @@ impl RunOptions {
     /// A drastically scaled-down configuration for smoke tests and
     /// Criterion timing runs.
     pub fn quick() -> Self {
-        Self { reps: 8, ..Self::default() }
+        Self {
+            reps: 8,
+            ..Self::default()
+        }
     }
 
     /// Overrides the repetition count.
@@ -36,7 +43,9 @@ impl RunOptions {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -6,8 +6,11 @@ const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
 
 /// Renders a figure as an ASCII scatter/line plot with a legend.
 pub fn ascii_plot(fig: &FigureResult, width: usize, height: usize) -> String {
-    let pts: Vec<(f64, f64)> =
-        fig.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return format!("{} — (no data)\n", fig.title);
     }
@@ -39,7 +42,10 @@ pub fn ascii_plot(fig: &FigureResult, width: usize, height: usize) -> String {
 
     let mut out = String::new();
     out.push_str(&format!("{} [{}]\n", fig.title, fig.id));
-    out.push_str(&format!("y: {} ({:.4} .. {:.4})\n", fig.y_label, y_min, y_max));
+    out.push_str(&format!(
+        "y: {} ({:.4} .. {:.4})\n",
+        fig.y_label, y_min, y_max
+    ));
     for row in &grid {
         out.push('|');
         out.extend(row.iter());
@@ -48,7 +54,10 @@ pub fn ascii_plot(fig: &FigureResult, width: usize, height: usize) -> String {
     out.push('+');
     out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
-    out.push_str(&format!("x: {} ({:.3} .. {:.3})\n", fig.x_label, x_min, x_max));
+    out.push_str(&format!(
+        "x: {} ({:.3} .. {:.3})\n",
+        fig.x_label, x_min, x_max
+    ));
     for (si, series) in fig.series.iter().enumerate() {
         out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], series.label));
     }

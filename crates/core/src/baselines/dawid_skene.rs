@@ -26,7 +26,11 @@ pub struct DawidSkene {
 
 impl Default for DawidSkene {
     fn default() -> Self {
-        Self { max_iters: 100, tolerance: 1e-6, smoothing: 0.01 }
+        Self {
+            max_iters: 100,
+            tolerance: 1e-6,
+            smoothing: 0.01,
+        }
     }
 }
 
@@ -116,22 +120,45 @@ impl DawidSkene {
             class_priors = normalize(priors);
 
             for w in 0..m {
-                let mut counts = Matrix::filled(k, k, self.smoothing);
+                // Column-major accumulation: each response touches one
+                // response-label column across all truth rows, so the
+                // scatter runs over a contiguous column slice instead
+                // of strided per-cell `Matrix::get`/`set` calls.
+                let mut cols = vec![self.smoothing; k * k];
                 for &(t, l) in data.worker_responses(WorkerId(w as u32)) {
-                    let post = &posteriors[t as usize];
-                    for (j, &p) in post.iter().enumerate() {
-                        let v = counts.get(j, l.index()) + p;
-                        counts.set(j, l.index(), v);
+                    let col = &mut cols[l.index() * k..(l.index() + 1) * k];
+                    for (acc, &p) in col.iter_mut().zip(&posteriors[t as usize]) {
+                        *acc += p;
                     }
                 }
+                let mut counts = Matrix::from_fn(k, k, |j, c| cols[c * k + j]);
                 for j in 0..k {
-                    let row_sum: f64 = counts.row(j).iter().sum();
-                    for c in 0..k {
-                        counts.set(j, c, counts.get(j, c) / row_sum);
+                    let row = counts.row_mut(j);
+                    let row_sum: f64 = row.iter().sum();
+                    for v in row.iter_mut() {
+                        *v /= row_sum;
                     }
                 }
                 confusions[w] = counts;
             }
+
+            // Per-worker log-likelihood tables, transposed so that one
+            // response indexes a contiguous row of `k` truth terms: the
+            // E-step product then streams over slices, and each
+            // `ln(P_w[j, l])` is computed once per iteration instead of
+            // once per (task, response) visit.
+            let log_conf: Vec<Vec<f64>> = confusions
+                .iter()
+                .map(|conf| {
+                    let mut t = vec![0.0; k * k];
+                    for l in 0..k {
+                        for (j, slot) in t[l * k..(l + 1) * k].iter_mut().enumerate() {
+                            *slot = conf.get(j, l).max(1e-300).ln();
+                        }
+                    }
+                    t
+                })
+                .collect();
 
             // E-step: posteriors from likelihoods (in log space to
             // avoid underflow on many-annotator tasks).
@@ -140,9 +167,9 @@ impl DawidSkene {
                 let mut log_post: Vec<f64> =
                     class_priors.iter().map(|&p| p.max(1e-300).ln()).collect();
                 for &(w, l) in data.task_responses(TaskId(t as u32)) {
-                    let conf = &confusions[w as usize];
-                    for (j, lp) in log_post.iter_mut().enumerate() {
-                        *lp += conf.get(j, l.index()).max(1e-300).ln();
+                    let terms = &log_conf[w as usize][l.index() * k..(l.index() + 1) * k];
+                    for (lp, &term) in log_post.iter_mut().zip(terms) {
+                        *lp += term;
                     }
                 }
                 let max_lp = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -159,7 +186,13 @@ impl DawidSkene {
             }
         }
 
-        Ok(DawidSkeneResult { confusions, posteriors, class_priors, iterations, converged })
+        Ok(DawidSkeneResult {
+            confusions,
+            posteriors,
+            class_priors,
+            iterations,
+            converged,
+        })
     }
 }
 
@@ -185,7 +218,11 @@ mod tests {
     fn recovers_binary_error_rates() {
         let inst = BinaryScenario::paper_default(7, 400, 1.0).generate(&mut rng(103));
         let result = DawidSkene::default().run(inst.responses()).unwrap();
-        assert!(result.converged, "EM did not converge in {} iters", result.iterations);
+        assert!(
+            result.converged,
+            "EM did not converge in {} iters",
+            result.iterations
+        );
         let rates = result.error_rates();
         for w in 0..7u32 {
             let truth = inst.true_error_rate(WorkerId(w));
@@ -206,7 +243,11 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|&(t, &l)| {
-                inst.gold().label(TaskId(t as u32)).expect("complete gold").index() == l
+                inst.gold()
+                    .label(TaskId(t as u32))
+                    .expect("complete gold")
+                    .index()
+                    == l
             })
             .count();
         let acc = correct as f64 / labels.len() as f64;
@@ -239,7 +280,11 @@ mod tests {
         scenario.selectivity = vec![0.6, 0.25, 0.15];
         let inst = scenario.generate(&mut rng(113));
         let result = DawidSkene::default().run(inst.responses()).unwrap();
-        assert!((result.class_priors[0] - 0.6).abs() < 0.07, "{:?}", result.class_priors);
+        assert!(
+            (result.class_priors[0] - 0.6).abs() < 0.07,
+            "{:?}",
+            result.class_priors
+        );
     }
 
     #[test]
@@ -252,7 +297,11 @@ mod tests {
     #[test]
     fn iteration_cap_respected() {
         let inst = BinaryScenario::paper_default(5, 100, 0.8).generate(&mut rng(127));
-        let ds = DawidSkene { max_iters: 2, tolerance: 0.0, smoothing: 0.01 };
+        let ds = DawidSkene {
+            max_iters: 2,
+            tolerance: 0.0,
+            smoothing: 0.01,
+        };
         let result = ds.run(inst.responses()).unwrap();
         assert_eq!(result.iterations, 2);
         assert!(!result.converged);

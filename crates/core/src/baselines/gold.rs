@@ -59,7 +59,11 @@ impl GoldBaseline {
         confidence: f64,
     ) -> Vec<(WorkerId, ConfidenceInterval)> {
         data.workers()
-            .filter_map(|w| self.evaluate_worker(data, gold, w, confidence).ok().map(|ci| (w, ci)))
+            .filter_map(|w| {
+                self.evaluate_worker(data, gold, w, confidence)
+                    .ok()
+                    .map(|ci| (w, ci))
+            })
             .collect()
     }
 }
@@ -86,18 +90,25 @@ mod tests {
             }
         }
         let coverage = covered as f64 / total as f64;
-        assert!((coverage - 0.9).abs() < 0.04, "gold-baseline coverage {coverage}");
+        assert!(
+            (coverage - 0.9).abs() < 0.04,
+            "gold-baseline coverage {coverage}"
+        );
     }
 
     #[test]
     fn wilson_and_wald_agree_in_bulk() {
         let inst = BinaryScenario::paper_default(3, 500, 1.0).generate(&mut rng(137));
-        let wilson = GoldBaseline { method: ProportionMethod::Wilson }
-            .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
-            .unwrap();
-        let wald = GoldBaseline { method: ProportionMethod::Wald }
-            .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
-            .unwrap();
+        let wilson = GoldBaseline {
+            method: ProportionMethod::Wilson,
+        }
+        .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
+        .unwrap();
+        let wald = GoldBaseline {
+            method: ProportionMethod::Wald,
+        }
+        .evaluate_worker(inst.responses(), inst.gold(), WorkerId(0), 0.9)
+        .unwrap();
         assert!((wilson.center - wald.center).abs() < 0.01);
         assert!((wilson.size() - wald.size()).abs() < 0.01);
     }

@@ -53,7 +53,10 @@ impl OldTechnique {
             return Err(EstimateError::RequiresRegularData);
         }
         if data.n_workers() < 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+            return Err(EstimateError::NotEnoughWorkers {
+                got: data.n_workers(),
+                need: 3,
+            });
         }
         if data.arity() != 2 {
             return Err(EstimateError::Numerical(
@@ -74,12 +77,14 @@ impl OldTechnique {
         let responses_b = super_worker_responses(data, &set_b);
         let responses_i: Vec<Label> = (0..n)
             .map(|t| {
-                data.response(worker, TaskId(t as u32)).expect("regular data has all responses")
+                data.response(worker, TaskId(t as u32))
+                    .expect("regular data has all responses")
             })
             .collect();
 
         // Pairwise agreement counts.
-        let count_agree = |x: &[Label], y: &[Label]| x.iter().zip(y).filter(|(a, b)| a == b).count();
+        let count_agree =
+            |x: &[Label], y: &[Label]| x.iter().zip(y).filter(|(a, b)| a == b).count();
         let agree_ia = count_agree(&responses_i, &responses_a);
         let agree_ib = count_agree(&responses_i, &responses_b);
         let agree_ab = count_agree(&responses_a, &responses_b);
@@ -118,7 +123,11 @@ impl OldTechnique {
             });
         }
         // Error rates live in [0, 1].
-        Ok(ConfidenceInterval::from_bounds(lo.max(0.0), hi.min(1.0).max(lo.max(0.0)), confidence))
+        Ok(ConfidenceInterval::from_bounds(
+            lo.max(0.0),
+            hi.min(1.0).max(lo.max(0.0)),
+            confidence,
+        ))
     }
 
     /// Evaluates every worker; failures abort (the baseline is only
@@ -148,7 +157,11 @@ fn super_worker_responses(data: &ResponseMatrix, set: &[WorkerId]) -> Vec<Label>
                     .expect("regular data has all responses");
                 counts[l.index()] += 1;
             }
-            if counts[1] > counts[0] { Label(1) } else { Label(0) }
+            if counts[1] > counts[0] {
+                Label(1)
+            } else {
+                Label(0)
+            }
         })
         .collect()
 }
@@ -177,7 +190,10 @@ mod tests {
         }
         let coverage = covered as f64 / total as f64;
         // Conservative: coverage must be at least the nominal level.
-        assert!(coverage >= 0.8, "old-technique coverage {coverage} below nominal");
+        assert!(
+            coverage >= 0.8,
+            "old-technique coverage {coverage} below nominal"
+        );
     }
 
     #[test]
@@ -243,15 +259,16 @@ mod tests {
         b.push(WorkerId(1), TaskId(1), Label(0)).unwrap();
         b.push(WorkerId(2), TaskId(1), Label(1)).unwrap();
         let data = b.build().unwrap();
-        let resp =
-            super_worker_responses(&data, &[WorkerId(0), WorkerId(1), WorkerId(2)]);
+        let resp = super_worker_responses(&data, &[WorkerId(0), WorkerId(1), WorkerId(2)]);
         assert_eq!(resp, vec![Label(1), Label(0)]);
     }
 
     #[test]
     fn seven_workers_supported() {
         let inst = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut rng(97));
-        let cis = OldTechnique::default().evaluate_all(inst.responses(), 0.8).unwrap();
+        let cis = OldTechnique::default()
+            .evaluate_all(inst.responses(), 0.8)
+            .unwrap();
         assert_eq!(cis.len(), 7);
         for (_, ci) in cis {
             assert!(ci.size() > 0.0);

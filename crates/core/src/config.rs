@@ -72,13 +72,19 @@ impl EstimatorConfig {
     /// Paper-faithful configuration with uniform triple weights — the
     /// "No Optimization" arm of Figure 2(c).
     pub fn with_uniform_weights() -> Self {
-        Self { weight_policy: WeightPolicy::Uniform, ..Self::default() }
+        Self {
+            weight_policy: WeightPolicy::Uniform,
+            ..Self::default()
+        }
     }
 
     /// Configuration that clamps degenerate agreement rates instead of
     /// failing, for pipelines that must always emit an interval.
     pub fn clamping() -> Self {
-        Self { degeneracy: DegeneracyPolicy::Clamp { epsilon: 1e-3 }, ..Self::default() }
+        Self {
+            degeneracy: DegeneracyPolicy::Clamp { epsilon: 1e-3 },
+            ..Self::default()
+        }
     }
 }
 
@@ -98,7 +104,10 @@ mod tests {
 
     #[test]
     fn presets() {
-        assert_eq!(EstimatorConfig::with_uniform_weights().weight_policy, WeightPolicy::Uniform);
+        assert_eq!(
+            EstimatorConfig::with_uniform_weights().weight_policy,
+            WeightPolicy::Uniform
+        );
         assert!(matches!(
             EstimatorConfig::clamping().degeneracy,
             DegeneracyPolicy::Clamp { .. }

@@ -63,7 +63,10 @@ impl std::fmt::Display for EstimateError {
             }
             Self::Degenerate { what } => write!(f, "degenerate estimate: {what}"),
             Self::RequiresRegularData => {
-                write!(f, "this method requires regular data (every worker on every task)")
+                write!(
+                    f,
+                    "this method requires regular data (every worker on every task)"
+                )
             }
             Self::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             Self::Stats(e) => write!(f, "statistics failure: {e}"),
@@ -102,14 +105,28 @@ mod tests {
         };
         assert!(e.to_string().contains("share only 0"));
         assert!(
-            EstimateError::NotEnoughWorkers { got: 2, need: 3 }.to_string().contains("got 2")
+            EstimateError::NotEnoughWorkers { got: 2, need: 3 }
+                .to_string()
+                .contains("got 2")
         );
         assert!(
-            EstimateError::NoUsableTriples { worker: WorkerId(4) }.to_string().contains("w")
+            EstimateError::NoUsableTriples {
+                worker: WorkerId(4)
+            }
+            .to_string()
+            .contains("w")
         );
-        assert!(EstimateError::RequiresRegularData.to_string().contains("regular"));
         assert!(
-            EstimateError::Degenerate { what: "q <= 1/2".into() }.to_string().contains("q <=")
+            EstimateError::RequiresRegularData
+                .to_string()
+                .contains("regular")
+        );
+        assert!(
+            EstimateError::Degenerate {
+                what: "q <= 1/2".into()
+            }
+            .to_string()
+            .contains("q <=")
         );
     }
 

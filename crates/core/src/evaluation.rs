@@ -50,7 +50,10 @@ impl WorkerReport {
         if self.assessments.is_empty() {
             return 0.0;
         }
-        self.assessments.iter().map(|a| a.interval.size()).sum::<f64>()
+        self.assessments
+            .iter()
+            .map(|a| a.interval.size())
+            .sum::<f64>()
             / self.assessments.len() as f64
     }
 
@@ -94,7 +97,11 @@ impl CoverageStats {
     /// The interval accuracy (coverage fraction); `None` before any
     /// observation.
     pub fn accuracy(&self) -> Option<f64> {
-        if self.total == 0 { None } else { Some(self.covered as f64 / self.total as f64) }
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.covered as f64 / self.total as f64)
+        }
     }
 }
 
@@ -135,9 +142,21 @@ mod tests {
             failures: vec![],
         };
         let stats = report.coverage(|w| if w == WorkerId(0) { Some(0.2) } else { None });
-        assert_eq!(stats, CoverageStats { covered: 1, total: 1 });
+        assert_eq!(
+            stats,
+            CoverageStats {
+                covered: 1,
+                total: 1
+            }
+        );
         let stats = report.coverage(|_| Some(0.2));
-        assert_eq!(stats, CoverageStats { covered: 1, total: 2 });
+        assert_eq!(
+            stats,
+            CoverageStats {
+                covered: 1,
+                total: 2
+            }
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crowd_data::{PairCache, Response, ResponseMatrix, WorkerId};
 /// use crowd_sim::BinaryScenario;
 ///
 /// let instance =
-///     BinaryScenario::paper_default(5, 80, 0.9).generate(&mut crowd_sim::rng(7));
+///     BinaryScenario::paper_default(5, 80, 0.9).generate(&mut crowd_sim::rng(8));
 /// let mut monitor = IncrementalEvaluator::new(5, 80, 2, EstimatorConfig::default());
 /// for response in instance.responses().iter() {
 ///     monitor.ingest(response)?;
@@ -63,7 +63,11 @@ impl IncrementalEvaluator {
     /// scan), after which further responses stream in.
     pub fn from_matrix(data: ResponseMatrix, config: EstimatorConfig) -> Self {
         let cache = PairCache::from_matrix(&data);
-        Self { data, cache, estimator: MWorkerEstimator::new(config) }
+        Self {
+            data,
+            cache,
+            estimator: MWorkerEstimator::new(config),
+        }
     }
 
     /// Ingests one response, updating the matrix and the agreement
@@ -82,7 +86,8 @@ impl IncrementalEvaluator {
             .copied()
             .filter(|&(w, _)| w != response.worker.0)
             .collect();
-        self.cache.record_response(response.worker, response.label, &others);
+        self.cache
+            .record_response(response.worker, response.label, &others);
         Ok(())
     }
 
@@ -103,12 +108,9 @@ impl IncrementalEvaluator {
 
     /// Evaluates one worker on the data seen so far; identical to the
     /// batch estimator on [`IncrementalEvaluator::data`].
-    pub fn evaluate_worker(
-        &self,
-        worker: WorkerId,
-        confidence: f64,
-    ) -> Result<WorkerAssessment> {
-        self.estimator.evaluate_worker_cached(&self.data, Some(&self.cache), worker, confidence)
+    pub fn evaluate_worker(&self, worker: WorkerId, confidence: f64) -> Result<WorkerAssessment> {
+        self.estimator
+            .evaluate_worker_cached(&self.data, Some(&self.cache), worker, confidence)
     }
 
     /// Evaluates every worker on the data seen so far.
@@ -162,7 +164,11 @@ mod tests {
         assert_eq!(batch.assessments.len(), streaming.assessments.len());
         for (b, s) in batch.assessments.iter().zip(&streaming.assessments) {
             assert_eq!(b.worker, s.worker);
-            assert_eq!(b.interval, s.interval, "cached path diverged for {:?}", b.worker);
+            assert_eq!(
+                b.interval, s.interval,
+                "cached path diverged for {:?}",
+                b.worker
+            );
             assert_eq!(b.triples_used, s.triples_used);
         }
     }
@@ -192,7 +198,12 @@ mod tests {
         let mut ev2 = IncrementalEvaluator::new(5, 400, 2, EstimatorConfig::default());
         for t in data.tasks() {
             for &(w, label) in data.task_responses(t) {
-                ev2.ingest(Response { worker: WorkerId(w), task: t, label }).unwrap();
+                ev2.ingest(Response {
+                    worker: WorkerId(w),
+                    task: t,
+                    label,
+                })
+                .unwrap();
             }
             if (t.0 + 1) % 100 == 0
                 && let Ok(a) = ev2.evaluate_worker(WorkerId(0), 0.9)

@@ -88,20 +88,18 @@ mod tests {
     #[test]
     fn greedy_alignment_restores_scrambled_identityish() {
         // A diagonally-dominant matrix with rows shuffled.
-        let target = Matrix::from_rows(&[
-            &[0.8, 0.1, 0.1],
-            &[0.2, 0.7, 0.1],
-            &[0.05, 0.15, 0.8],
-        ]);
+        let target = Matrix::from_rows(&[&[0.8, 0.1, 0.1], &[0.2, 0.7, 0.1], &[0.05, 0.15, 0.8]]);
         let scrambled = target.permute_rows(&[2, 0, 1]);
         let aligned = align_rows_greedy(&scrambled);
-        assert!(aligned.approx_eq(&target, 1e-12), "greedy failed: {aligned:?}");
+        assert!(
+            aligned.approx_eq(&target, 1e-12),
+            "greedy failed: {aligned:?}"
+        );
     }
 
     #[test]
     fn paper_alignment_restores_simple_shuffles() {
-        let target =
-            Matrix::from_rows(&[&[0.9, 0.1], &[0.25, 0.75]]);
+        let target = Matrix::from_rows(&[&[0.9, 0.1], &[0.25, 0.75]]);
         let scrambled = target.permute_rows(&[1, 0]);
         let aligned = align_rows_paper(&scrambled);
         assert!(aligned.approx_eq(&target, 1e-12));

@@ -19,10 +19,15 @@ use crowd_linalg::Matrix;
 /// Builds the covariance matrix of the counts entries listed in
 /// `entries` (tensor indices `(a, b, c)`).
 pub fn counts_covariance(counts: &CountsTensor, entries: &[(usize, usize, usize)]) -> Matrix {
-    let patterns: Vec<AttemptPattern> =
-        entries.iter().map(|&(a, b, c)| AttemptPattern::of(a, b, c)).collect();
+    let patterns: Vec<AttemptPattern> = entries
+        .iter()
+        .map(|&(a, b, c)| AttemptPattern::of(a, b, c))
+        .collect();
     let group_totals: Vec<f64> = patterns.iter().map(|&p| counts.group_total(p)).collect();
-    let values: Vec<f64> = entries.iter().map(|&(a, b, c)| counts.get(a, b, c)).collect();
+    let values: Vec<f64> = entries
+        .iter()
+        .map(|&(a, b, c)| counts.get(a, b, c))
+        .collect();
 
     let n = entries.len();
     let mut cov = Matrix::zeros(n, n);
@@ -86,7 +91,10 @@ mod tests {
         let cov = counts_covariance(&t, &[(1, 1, 1), (2, 2, 2)]);
         assert!((cov.get(0, 0) - 30.0 * 70.0 / 100.0).abs() < 1e-12);
         assert!((cov.get(1, 1) - 70.0 * 30.0 / 100.0).abs() < 1e-12);
-        assert!((cov.get(0, 1) + 30.0 * 70.0 / 100.0).abs() < 1e-12, "cross term negative");
+        assert!(
+            (cov.get(0, 1) + 30.0 * 70.0 / 100.0).abs() < 1e-12,
+            "cross term negative"
+        );
         // Rank-deficient by construction: row sums are zero.
         assert!((cov.get(0, 0) + cov.get(0, 1)).abs() < 1e-12);
     }
@@ -124,7 +132,11 @@ mod tests {
         assert_eq!(perturbation_entries(3, false).len(), 27);
         assert_eq!(perturbation_entries(2, true).len(), 8 + 12);
         // The paper set contains no zero index.
-        assert!(perturbation_entries(4, false).iter().all(|&(a, b, c)| a > 0 && b > 0 && c > 0));
+        assert!(
+            perturbation_entries(4, false)
+                .iter()
+                .all(|&(a, b, c)| a > 0 && b > 0 && c > 0)
+        );
     }
 
     #[test]
@@ -132,8 +144,7 @@ mod tests {
         use crowd_data::{CountsTensor as CT, WorkerId};
         use crowd_sim::{KaryScenario, rng};
         let inst = KaryScenario::paper_default(2, 300, 0.9).generate(&mut rng(151));
-        let counts =
-            CT::from_matrix(inst.responses(), WorkerId(0), WorkerId(1), WorkerId(2));
+        let counts = CT::from_matrix(inst.responses(), WorkerId(0), WorkerId(1), WorkerId(2));
         let entries = perturbation_entries(2, true);
         let cov = counts_covariance(&counts, &entries);
         let eig = crowd_linalg::symmetric_eigen(&cov).unwrap();

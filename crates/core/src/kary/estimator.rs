@@ -4,7 +4,7 @@
 use crate::kary::covariance::{counts_covariance, perturbation_entries};
 use crate::kary::prob_estimate::{ProbEstimate, prob_estimate};
 use crate::{EstimateError, EstimatorConfig, Result};
-use crowd_data::{CountsTensor, ResponseMatrix, WorkerId};
+use crowd_data::{CountsTensor, OverlapIndex, ResponseMatrix, WorkerId};
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, DeltaMethod};
 
@@ -50,8 +50,12 @@ impl KaryAssessment {
     /// Mean interval size across all `3k²` response probabilities (the
     /// y-axis of Figure 5b).
     pub fn mean_interval_size(&self) -> f64 {
-        let total: f64 =
-            self.intervals.iter().flat_map(|v| v.iter()).map(|ci| ci.size()).sum();
+        let total: f64 = self
+            .intervals
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|ci| ci.size())
+            .sum();
         let count = self.intervals.iter().map(|v| v.len()).sum::<usize>();
         total / count as f64
     }
@@ -155,7 +159,12 @@ pub(crate) fn triple_detail(
 
     // Lemma 9 covariances.
     let cov = counts_covariance(counts, &entries);
-    Ok(TripleDetail { base, entries, gradients, cov })
+    Ok(TripleDetail {
+        base,
+        entries,
+        gradients,
+        cov,
+    })
 }
 
 impl KaryEstimator {
@@ -185,6 +194,20 @@ impl KaryEstimator {
         self.evaluate_counts(&counts, workers, confidence)
     }
 
+    /// Full Algorithm A3 against an [`OverlapIndex`]: the counts tensor
+    /// is harvested by a union merge of the triple's CSR rows instead
+    /// of a per-(task, worker) binary-search scan. Identical output to
+    /// [`KaryEstimator::evaluate`] on the indexed matrix.
+    pub fn evaluate_indexed(
+        &self,
+        index: &OverlapIndex,
+        workers: [WorkerId; 3],
+        confidence: f64,
+    ) -> Result<KaryAssessment> {
+        let counts = CountsTensor::from_index(index, workers[0], workers[1], workers[2]);
+        self.evaluate_counts(&counts, workers, confidence)
+    }
+
     /// Full Algorithm A3 on a pre-built counts tensor.
     pub fn evaluate_counts(
         &self,
@@ -193,16 +216,25 @@ impl KaryEstimator {
         confidence: f64,
     ) -> Result<KaryAssessment> {
         let k = counts.arity();
-        let TripleDetail { base, entries: _, gradients, cov } =
-            triple_detail(counts, &self.config)?;
+        let TripleDetail {
+            base,
+            entries: _,
+            gradients,
+            cov,
+        } = triple_detail(counts, &self.config)?;
 
         // Theorem 1 on each response-probability entry.
         let cells = k * k;
         let dm = DeltaMethod::new(cov);
-        let mut intervals: [Vec<ConfidenceInterval>; 3] =
-            [Vec::with_capacity(cells), Vec::with_capacity(cells), Vec::with_capacity(cells)];
+        let mut intervals: [Vec<ConfidenceInterval>; 3] = [
+            Vec::with_capacity(cells),
+            Vec::with_capacity(cells),
+            Vec::with_capacity(cells),
+        ];
         let row_sums: [Vec<f64>; 3] = [0, 1, 2].map(|i| {
-            (0..k).map(|r| base.v[i].row(r).iter().sum::<f64>()).collect::<Vec<f64>>()
+            (0..k)
+                .map(|r| base.v[i].row(r).iter().sum::<f64>())
+                .collect::<Vec<f64>>()
         });
         for i in 0..3 {
             for r in 0..k {
@@ -303,8 +335,11 @@ fn validate_decomposition(base: &ProbEstimate, k: usize) -> Result<()> {
     const DOMINANCE_SLACK: f64 = 0.05;
 
     for r in 0..k {
-        let masses: Vec<f64> =
-            base.v.iter().map(|v| v.row(r).iter().sum::<f64>()).collect();
+        let masses: Vec<f64> = base
+            .v
+            .iter()
+            .map(|v| v.row(r).iter().sum::<f64>())
+            .collect();
         for (i, &mass) in masses.iter().enumerate() {
             if mass.is_nan() || mass < MIN_ROW_MASS {
                 return Err(EstimateError::Degenerate {
@@ -366,8 +401,7 @@ mod tests {
         // and the intervals tiny but centered on the truth.
         let pool = crowd_sim::paper_matrices(2);
         let p = [pool[0].clone(), pool[1].clone(), pool[2].clone()];
-        let counts =
-            crate::kary::prob_estimate::population_counts(&p, &[0.5, 0.5], 5000.0);
+        let counts = crate::kary::prob_estimate::population_counts(&p, &[0.5, 0.5], 5000.0);
         let est = KaryEstimator::default();
         let a = est.evaluate_counts(&counts, workers(), 0.9).unwrap();
         let stats = a.coverage(&p);
@@ -455,10 +489,11 @@ mod tests {
         let p = [pool[0].clone(), pool[1].clone(), pool[2].clone()];
         let s = [0.5, 0.3, 0.2];
         let counts = crate::kary::prob_estimate::population_counts(&p, &s, 8000.0);
-        let a = KaryEstimator::default().evaluate_counts(&counts, workers(), 0.9).unwrap();
+        let a = KaryEstimator::default()
+            .evaluate_counts(&counts, workers(), 0.9)
+            .unwrap();
         for i in 0..3 {
-            let truth: f64 =
-                1.0 - (0..3).map(|r| s[r] * p[i].get(r, r)).sum::<f64>();
+            let truth: f64 = 1.0 - (0..3).map(|r| s[r] * p[i].get(r, r)).sum::<f64>();
             assert!(
                 (a.error_rate[i].center - truth).abs() < 1e-3,
                 "slot {i}: error rate {} vs truth {truth}",
@@ -476,7 +511,9 @@ mod tests {
         let mut stats = crate::CoverageStats::default();
         for _ in 0..40 {
             let inst = scenario.generate(&mut r);
-            let Ok(a) = est.evaluate(inst.responses(), workers(), 0.9) else { continue };
+            let Ok(a) = est.evaluate(inst.responses(), workers(), 0.9) else {
+                continue;
+            };
             for (slot, &w) in workers().iter().enumerate() {
                 stats.record(a.error_rate[slot].contains(inst.true_error_rate(w)));
             }
@@ -494,13 +531,13 @@ mod tests {
         // The whole point of the Theorem 1 functional: naive interval
         // arithmetic over the k² entries would be far wider.
         let inst = KaryScenario::paper_default(3, 500, 1.0).generate(&mut rng(197));
-        let a = KaryEstimator::default().evaluate(inst.responses(), workers(), 0.9).unwrap();
+        let a = KaryEstimator::default()
+            .evaluate(inst.responses(), workers(), 0.9)
+            .unwrap();
         let k = 3;
         for slot in 0..3 {
             let naive: f64 = (0..k)
-                .map(|r| {
-                    a.selectivity[r] * a.interval(slot, r, r).half_width
-                })
+                .map(|r| a.selectivity[r] * a.interval(slot, r, r).half_width)
                 .sum();
             assert!(
                 a.error_rate[slot].half_width < naive,
@@ -515,7 +552,9 @@ mod tests {
         let mut scenario = KaryScenario::paper_default(3, 3000, 1.0);
         scenario.selectivity = vec![0.5, 0.3, 0.2];
         let inst = scenario.generate(&mut rng(173));
-        let a = KaryEstimator::default().evaluate(inst.responses(), workers(), 0.8).unwrap();
+        let a = KaryEstimator::default()
+            .evaluate(inst.responses(), workers(), 0.8)
+            .unwrap();
         for (got, want) in a.selectivity.iter().zip(&[0.5, 0.3, 0.2]) {
             assert!((got - want).abs() < 0.08, "selectivity {:?}", a.selectivity);
         }
@@ -525,7 +564,9 @@ mod tests {
     fn nonregular_kary_data_works() {
         let scenario = KaryScenario::paper_default(2, 600, 0.7);
         let inst = scenario.generate(&mut rng(179));
-        let a = KaryEstimator::default().evaluate(inst.responses(), workers(), 0.8).unwrap();
+        let a = KaryEstimator::default()
+            .evaluate(inst.responses(), workers(), 0.8)
+            .unwrap();
         assert!(a.mean_interval_size() > 0.0);
         assert!(a.mean_interval_size().is_finite());
     }
@@ -534,8 +575,13 @@ mod tests {
     fn partial_count_perturbation_is_available() {
         let scenario = KaryScenario::paper_default(2, 400, 0.7);
         let inst = scenario.generate(&mut rng(181));
-        let cfg = EstimatorConfig { perturb_partial_counts: true, ..EstimatorConfig::default() };
-        let a = KaryEstimator::new(cfg).evaluate(inst.responses(), workers(), 0.8).unwrap();
+        let cfg = EstimatorConfig {
+            perturb_partial_counts: true,
+            ..EstimatorConfig::default()
+        };
+        let a = KaryEstimator::new(cfg)
+            .evaluate(inst.responses(), workers(), 0.8)
+            .unwrap();
         assert!(a.mean_interval_size().is_finite());
     }
 
@@ -543,7 +589,9 @@ mod tests {
     fn accessors() {
         let scenario = KaryScenario::paper_default(2, 400, 1.0);
         let inst = scenario.generate(&mut rng(191));
-        let a = KaryEstimator::default().evaluate(inst.responses(), workers(), 0.8).unwrap();
+        let a = KaryEstimator::default()
+            .evaluate(inst.responses(), workers(), 0.8)
+            .unwrap();
         let ci = a.interval(1, 0, 1);
         assert!(ci.size() >= 0.0);
         assert_eq!(a.workers, workers());

@@ -64,9 +64,11 @@
 //! worker, because the surviving triples carry the estimate.
 
 use crate::kary::estimator::{TripleDetail, triple_detail};
-use crate::pairing::form_pairs;
+use crate::pairing::form_pairs_on;
 use crate::{CoverageStats, EstimateError, EstimatorConfig, Result};
-use crowd_data::{CountsTensor, ResponseMatrix, TaskId, WorkerId};
+use crowd_data::{
+    AnchoredOverlap, CountsTensor, OverlapIndex, OverlapSource, ResponseMatrix, WorkerId,
+};
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, delta_variance, min_variance_weights};
 
@@ -158,7 +160,11 @@ pub struct KaryWorkerReport {
 impl KaryWorkerReport {
     /// Mean interval size over every assessed entry.
     pub fn mean_interval_size(&self) -> f64 {
-        let total: f64 = self.assessments.iter().map(|a| a.mean_interval_size()).sum();
+        let total: f64 = self
+            .assessments
+            .iter()
+            .map(|a| a.mean_interval_size())
+            .sum();
         total / self.assessments.len().max(1) as f64
     }
 
@@ -204,16 +210,51 @@ impl KaryMWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
     ) -> Result<KaryWorkerAssessment> {
-        if data.n_workers() < 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+        self.evaluate_worker_with(data, worker, confidence, |a, b| {
+            CountsTensor::from_matrix(data, worker, a, b)
+        })
+    }
+
+    /// [`KaryMWorkerEstimator::evaluate_worker`] against an
+    /// [`OverlapIndex`]: pairing reads the O(1) pair table, counts
+    /// tensors are harvested by CSR union merges, and the `n₅`
+    /// cross-triple counts become bitset popcounts on the anchored
+    /// view. Identical output to the matrix path.
+    pub fn evaluate_worker_indexed(
+        &self,
+        index: &OverlapIndex,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<KaryWorkerAssessment> {
+        self.evaluate_worker_with(index, worker, confidence, |a, b| {
+            CountsTensor::from_index(index, worker, a, b)
+        })
+    }
+
+    fn evaluate_worker_with<S: OverlapSource>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        confidence: f64,
+        tensor: impl Fn(WorkerId, WorkerId) -> CountsTensor,
+    ) -> Result<KaryWorkerAssessment> {
+        if src.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: src.n_workers(),
+                need: 3,
+            });
         }
-        let k = data.arity() as usize;
-        let pairs =
-            form_pairs(data, worker, self.config.pairing, self.config.min_pair_overlap);
+        let k = src.arity() as usize;
+        let pairs = form_pairs_on(
+            src,
+            worker,
+            self.config.pairing,
+            self.config.min_pair_overlap,
+        );
 
         let mut ctxs: Vec<TripleCtx> = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
-            let counts = CountsTensor::from_matrix(data, worker, a, b);
+            let counts = tensor(a, b);
             match triple_detail(&counts, &self.config) {
                 Ok(detail) => {
                     let p_hat = [
@@ -222,7 +263,12 @@ impl KaryMWorkerEstimator {
                         detail.base.response_probabilities(2),
                     ];
                     let var = entry_variances(&detail, k)?;
-                    ctxs.push(TripleCtx { peers: (a, b), detail, p_hat, var });
+                    ctxs.push(TripleCtx {
+                        peers: (a, b),
+                        detail,
+                        p_hat,
+                        var,
+                    });
                 }
                 // Degenerate decompositions and numerically singular
                 // moment matrices are data problems of that one triple;
@@ -251,6 +297,27 @@ impl KaryMWorkerEstimator {
         let mut combined_dev = vec![0.0; cells];
         let mut fell_back = false;
 
+        // `n₅` per triple pair, hoisted out of the per-entry loops (it
+        // is entry-independent) and answered by the anchored view —
+        // a 4-way bitset intersection on the indexed substrate. With a
+        // single triple there are no cross terms, so skip the view
+        // build entirely (the common m = 3..4 case).
+        let mut n5 = vec![0usize; l * l];
+        if l >= 2 {
+            let anchored = src.anchored(worker);
+            for t1 in 0..l {
+                for t2 in (t1 + 1)..l {
+                    let others = [
+                        ctxs[t1].peers.0,
+                        ctxs[t1].peers.1,
+                        ctxs[t2].peers.0,
+                        ctxs[t2].peers.1,
+                    ];
+                    n5[t1 * l + t2] = anchored.common_among(&others);
+                }
+            }
+        }
+
         // Per-entry J-term tables, shared across entries of one triple
         // pair only through the gradients, so built per entry below.
         for r in 0..k {
@@ -262,11 +329,10 @@ impl KaryMWorkerEstimator {
                 }
                 // A-tables: A[t1][truth][x] = Σ_{y,z} g[(x,y,z)]·
                 // P̂_a[truth,y]·P̂_b[truth,z].
-                let tables: Vec<Matrix> =
-                    ctxs.iter().map(|ctx| j_table(ctx, idx, k)).collect();
+                let tables: Vec<Matrix> = ctxs.iter().map(|ctx| j_table(ctx, idx, k)).collect();
                 for t1 in 0..l {
                     for t2 in (t1 + 1)..l {
-                        let n5 = shared_task_count(data, worker, &ctxs[t1], &ctxs[t2]);
+                        let n5 = n5[t1 * l + t2];
                         if n5 == 0 {
                             continue;
                         }
@@ -346,20 +412,70 @@ impl KaryMWorkerEstimator {
     }
 
     /// Evaluates every worker, collecting per-worker failures instead
-    /// of aborting.
-    pub fn evaluate_all(
+    /// of aborting. Builds one [`OverlapIndex`] and runs every worker
+    /// against it, exactly like the binary
+    /// [`crate::MWorkerEstimator::evaluate_all`].
+    pub fn evaluate_all(&self, data: &ResponseMatrix, confidence: f64) -> Result<KaryWorkerReport> {
+        if data.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: data.n_workers(),
+                need: 3,
+            });
+        }
+        let index = OverlapIndex::from_matrix(data);
+        self.evaluate_all_indexed(&index, confidence)
+    }
+
+    /// [`KaryMWorkerEstimator::evaluate_all`] against a caller-built
+    /// index.
+    pub fn evaluate_all_indexed(
+        &self,
+        index: &OverlapIndex,
+        confidence: f64,
+    ) -> Result<KaryWorkerReport> {
+        if index.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: index.n_workers(),
+                need: 3,
+            });
+        }
+        let mut report = KaryWorkerReport::default();
+        for worker in index.workers() {
+            match self.evaluate_worker_indexed(index, worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`KaryMWorkerEstimator::evaluate_all`] across `threads` scoped
+    /// worker threads sharing one [`OverlapIndex`], with the same
+    /// deterministic contiguous chunking as the binary estimator —
+    /// output is identical to the serial path for every thread count.
+    pub fn evaluate_all_parallel(
         &self,
         data: &ResponseMatrix,
         confidence: f64,
+        threads: usize,
     ) -> Result<KaryWorkerReport> {
-        if data.n_workers() < 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+        let m = data.n_workers();
+        if m < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
         }
+        let index = OverlapIndex::from_matrix(data);
+        let threads = threads.max(1).min(m);
+        if threads == 1 {
+            return self.evaluate_all_indexed(&index, confidence);
+        }
+        let outcomes = crate::parallel::parallel_worker_map(m, threads, |worker| {
+            self.evaluate_worker_indexed(&index, worker, confidence)
+        });
         let mut report = KaryWorkerReport::default();
-        for worker in data.workers() {
-            match self.evaluate_worker(data, worker, confidence) {
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
                 Ok(a) => report.assessments.push(a),
-                Err(e) => report.failures.push((worker, e)),
+                Err(e) => report.failures.push((WorkerId(i as u32), e)),
             }
         }
         Ok(report)
@@ -410,23 +526,6 @@ fn mean_selectivity(ctxs: &[TripleCtx], k: usize) -> Vec<f64> {
     s
 }
 
-/// Tasks attempted by the target worker and all four peers of the two
-/// triples (`n₅` in the cross-covariance).
-fn shared_task_count(
-    data: &ResponseMatrix,
-    worker: WorkerId,
-    t1: &TripleCtx,
-    t2: &TripleCtx,
-) -> usize {
-    let others = [t1.peers.0, t1.peers.1, t2.peers.0, t2.peers.1];
-    data.worker_responses(worker)
-        .iter()
-        .filter(|&&(task, _)| {
-            others.iter().all(|&w| data.response(w, TaskId(task)).is_some())
-        })
-        .count()
-}
-
 /// The per-triple J-table for one `V₁` entry:
 /// `table[truth][x] = Σ_{y,z} g[(x,y,z)]·P̂_a[truth,y]·P̂_b[truth,z]`,
 /// restricted to the all-three counts block (see the module docs).
@@ -453,13 +552,7 @@ fn j_table(ctx: &TripleCtx, entry_idx: usize, k: usize) -> Matrix {
 
 /// Cross-triple covariance of one `V₁` entry given the two triples'
 /// J-tables (see the module docs for the formula).
-fn cross_entry_covariance(
-    n5: f64,
-    p_w: &Matrix,
-    s_hat: &[f64],
-    a1: &Matrix,
-    a2: &Matrix,
-) -> f64 {
+fn cross_entry_covariance(n5: f64, p_w: &Matrix, s_hat: &[f64], a1: &Matrix, a2: &Matrix) -> f64 {
     let k = p_w.rows();
     let mut joint = 0.0;
     let mut m1 = 0.0;
@@ -483,6 +576,8 @@ fn cross_entry_covariance(
 mod tests {
     use super::*;
     use crate::kary::KaryEstimator;
+    use crate::pairing::form_pairs;
+    use crowd_data::TaskId;
     use crowd_sim::{KaryScenario, rng};
     use crowd_stats::WeightPolicy;
 
@@ -492,11 +587,16 @@ mod tests {
 
     #[test]
     fn evaluates_every_worker_on_dense_data() {
-        let inst =
-            KaryScenario::paper_default(2, 300, 1.0).with_workers(5).generate(&mut rng(71));
+        let inst = KaryScenario::paper_default(2, 300, 1.0)
+            .with_workers(5)
+            .generate(&mut rng(71));
         let report = estimator().evaluate_all(inst.responses(), 0.9).unwrap();
         assert_eq!(report.assessments.len() + report.failures.len(), 5);
-        assert!(report.assessments.len() >= 4, "failures: {:?}", report.failures);
+        assert!(
+            report.assessments.len() >= 4,
+            "failures: {:?}",
+            report.failures
+        );
         for a in &report.assessments {
             assert_eq!(a.intervals.len(), 4);
             assert_eq!(a.triples_used, 2);
@@ -511,8 +611,12 @@ mod tests {
         // must reproduce A3's slot-0 answer.
         let inst = KaryScenario::paper_default(2, 400, 1.0).generate(&mut rng(73));
         let workers = [WorkerId(0), WorkerId(1), WorkerId(2)];
-        let triple = KaryEstimator::default().evaluate(inst.responses(), workers, 0.8).unwrap();
-        let combined = estimator().evaluate_worker(inst.responses(), WorkerId(0), 0.8).unwrap();
+        let triple = KaryEstimator::default()
+            .evaluate(inst.responses(), workers, 0.8)
+            .unwrap();
+        let combined = estimator()
+            .evaluate_worker(inst.responses(), WorkerId(0), 0.8)
+            .unwrap();
         assert_eq!(combined.triples_used, 1);
         for r in 0..2 {
             for c in 0..2 {
@@ -548,8 +652,9 @@ mod tests {
         let mut n = 0;
         for _ in 0..8 {
             let i3 = KaryScenario::paper_default(2, 300, 1.0).generate(&mut r);
-            let i7 =
-                KaryScenario::paper_default(2, 300, 1.0).with_workers(7).generate(&mut r);
+            let i7 = KaryScenario::paper_default(2, 300, 1.0)
+                .with_workers(7)
+                .generate(&mut r);
             let (Ok(a3), Ok(a7)) = (
                 est.evaluate_worker(i3.responses(), WorkerId(0), 0.8),
                 est.evaluate_worker(i7.responses(), WorkerId(0), 0.8),
@@ -575,7 +680,9 @@ mod tests {
         let mut stats = CoverageStats::default();
         for _ in 0..25 {
             let inst = scenario.generate(&mut r);
-            let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+            let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else {
+                continue;
+            };
             stats.merge(report.coverage(|w| Some(inst.true_confusion(w))));
         }
         let acc = stats.accuracy().expect("some successes");
@@ -588,9 +695,12 @@ mod tests {
 
     #[test]
     fn point_estimates_are_consistent() {
-        let inst =
-            KaryScenario::paper_default(3, 3000, 1.0).with_workers(5).generate(&mut rng(89));
-        let a = estimator().evaluate_worker(inst.responses(), WorkerId(1), 0.9).unwrap();
+        let inst = KaryScenario::paper_default(3, 3000, 1.0)
+            .with_workers(5)
+            .generate(&mut rng(83));
+        let a = estimator()
+            .evaluate_worker(inst.responses(), WorkerId(1), 0.9)
+            .unwrap();
         let truth = inst.true_confusion(WorkerId(1));
         for r in 0..3 {
             for c in 0..3 {
@@ -606,9 +716,12 @@ mod tests {
 
     #[test]
     fn response_prob_rows_are_distributions() {
-        let inst =
-            KaryScenario::paper_default(3, 500, 0.9).with_workers(7).generate(&mut rng(97));
-        let a = estimator().evaluate_worker(inst.responses(), WorkerId(0), 0.8).unwrap();
+        let inst = KaryScenario::paper_default(3, 500, 0.9)
+            .with_workers(7)
+            .generate(&mut rng(97));
+        let a = estimator()
+            .evaluate_worker(inst.responses(), WorkerId(0), 0.8)
+            .unwrap();
         for r in 0..3 {
             let sum: f64 = a.response_prob.row(r).iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
@@ -619,15 +732,20 @@ mod tests {
 
     #[test]
     fn uniform_weight_policy_is_supported() {
-        let inst =
-            KaryScenario::paper_default(2, 300, 1.0).with_workers(7).generate(&mut rng(101));
+        let inst = KaryScenario::paper_default(2, 300, 1.0)
+            .with_workers(7)
+            .generate(&mut rng(101));
         let est = KaryMWorkerEstimator::new(EstimatorConfig {
             weight_policy: WeightPolicy::Uniform,
             ..EstimatorConfig::default()
         });
         let opt = estimator();
-        let a_uni = est.evaluate_worker(inst.responses(), WorkerId(0), 0.8).unwrap();
-        let a_opt = opt.evaluate_worker(inst.responses(), WorkerId(0), 0.8).unwrap();
+        let a_uni = est
+            .evaluate_worker(inst.responses(), WorkerId(0), 0.8)
+            .unwrap();
+        let a_opt = opt
+            .evaluate_worker(inst.responses(), WorkerId(0), 0.8)
+            .unwrap();
         assert!(
             a_opt.mean_interval_size() <= a_uni.mean_interval_size() + 1e-12,
             "optimal weights must not widen intervals: {} vs {}",
@@ -659,14 +777,19 @@ mod tests {
         let data = b.build().unwrap();
         let report = estimator().evaluate_all(&data, 0.9).unwrap();
         let failed: Vec<WorkerId> = report.failures.iter().map(|f| f.0).collect();
-        assert!(failed.contains(&WorkerId(3)), "failures: {:?}", report.failures);
+        assert!(
+            failed.contains(&WorkerId(3)),
+            "failures: {:?}",
+            report.failures
+        );
     }
 
     #[test]
     fn cross_covariance_is_symmetric_in_the_triples() {
         // The raw cross formula must not depend on argument order.
-        let inst =
-            KaryScenario::paper_default(2, 300, 1.0).with_workers(5).generate(&mut rng(109));
+        let inst = KaryScenario::paper_default(2, 300, 1.0)
+            .with_workers(5)
+            .generate(&mut rng(109));
         let cfg = EstimatorConfig::default();
         let pairs = form_pairs(inst.responses(), WorkerId(0), cfg.pairing, 1);
         assert_eq!(pairs.len(), 2);
@@ -680,7 +803,12 @@ mod tests {
                 detail.base.response_probabilities(2),
             ];
             let var = entry_variances(&detail, 2).unwrap();
-            ctxs.push(TripleCtx { peers: (a, b), detail, p_hat, var });
+            ctxs.push(TripleCtx {
+                peers: (a, b),
+                detail,
+                p_hat,
+                var,
+            });
         }
         let p_w = mean_matrix(ctxs.iter().map(|c| &c.p_hat[0]), 2);
         let s_hat = mean_selectivity(&ctxs, 2);
@@ -689,7 +817,10 @@ mod tests {
             let t2 = j_table(&ctxs[1], idx, 2);
             let ab = cross_entry_covariance(100.0, &p_w, &s_hat, &t1, &t2);
             let ba = cross_entry_covariance(100.0, &p_w, &s_hat, &t2, &t1);
-            assert!((ab - ba).abs() < 1e-12, "asymmetric cross covariance: {ab} vs {ba}");
+            assert!(
+                (ab - ba).abs() < 1e-12,
+                "asymmetric cross covariance: {ab} vs {ba}"
+            );
         }
     }
 }

@@ -28,7 +28,11 @@ impl ProbEstimate {
         let k = v.rows();
         Matrix::from_fn(k, k, |r, c| {
             let sum: f64 = v.row(r).iter().sum();
-            if sum.abs() < 1e-12 { if r == c { 1.0 } else { 0.0 } } else { v.get(r, c) / sum }
+            if sum.abs() < 1e-12 {
+                if r == c { 1.0 } else { 0.0 }
+            } else {
+                v.get(r, c) / sum
+            }
         })
     }
 
@@ -39,8 +43,12 @@ impl ProbEstimate {
         let k = self.v[0].rows();
         let mut s: Vec<f64> = (0..k)
             .map(|r| {
-                let mean_root: f64 =
-                    self.v.iter().map(|v| v.row(r).iter().sum::<f64>()).sum::<f64>() / 3.0;
+                let mean_root: f64 = self
+                    .v
+                    .iter()
+                    .map(|v| v.row(r).iter().sum::<f64>())
+                    .sum::<f64>()
+                    / 3.0;
                 (mean_root.max(0.0)).powi(2)
             })
             .collect();
@@ -165,8 +173,7 @@ pub fn prob_estimate(counts: &CountsTensor) -> Result<ProbEstimate> {
     };
     if used == 0 {
         return Err(EstimateError::Degenerate {
-            what: "no conditional moment matrix was usable (worker 3 responses too sparse)"
-                .into(),
+            what: "no conditional moment matrix was usable (worker 3 responses too sparse)".into(),
         });
     }
     let v1 = v1_acc.scale(1.0 / used as f64);
@@ -233,7 +240,9 @@ mod tests {
     use super::*;
 
     fn expected_v(p: &Matrix, selectivity: &[f64]) -> Matrix {
-        Matrix::from_fn(p.rows(), p.cols(), |r, c| selectivity[r].sqrt() * p.get(r, c))
+        Matrix::from_fn(p.rows(), p.cols(), |r, c| {
+            selectivity[r].sqrt() * p.get(r, c)
+        })
     }
 
     #[test]
@@ -283,7 +292,11 @@ mod tests {
         }
         for i in 0..3 {
             let probs = est.response_probabilities(i);
-            assert!(probs.approx_eq(&p[i], 1e-5), "P{} mismatch: {probs:?}", i + 1);
+            assert!(
+                probs.approx_eq(&p[i], 1e-5),
+                "P{} mismatch: {probs:?}",
+                i + 1
+            );
         }
     }
 
@@ -322,7 +335,10 @@ mod tests {
         counts.set(1, 1, 1, 50.0);
         let err = prob_estimate(&counts).unwrap_err();
         assert!(
-            matches!(err, EstimateError::Degenerate { .. } | EstimateError::Numerical(_)),
+            matches!(
+                err,
+                EstimateError::Degenerate { .. } | EstimateError::Numerical(_)
+            ),
             "unexpected error {err:?}"
         );
     }
@@ -334,12 +350,8 @@ mod tests {
         let scenario = KaryScenario::paper_default(3, 4000, 1.0);
         let mut r = rng(149);
         let inst = scenario.generate(&mut r);
-        let counts = CountsTensor::from_matrix(
-            inst.responses(),
-            WorkerId(0),
-            WorkerId(1),
-            WorkerId(2),
-        );
+        let counts =
+            CountsTensor::from_matrix(inst.responses(), WorkerId(0), WorkerId(1), WorkerId(2));
         let est = prob_estimate(&counts).unwrap();
         for i in 0..3u32 {
             let probs = est.response_probabilities(i as usize);

@@ -41,6 +41,7 @@ pub mod incremental;
 pub mod kary;
 pub mod m_worker;
 pub mod pairing;
+mod parallel;
 pub mod policy;
 pub mod preprocess;
 pub mod three_worker;
@@ -51,9 +52,10 @@ pub use error::{EstimateError, Result};
 pub use evaluation::{CoverageStats, WorkerAssessment, WorkerReport};
 pub use incremental::IncrementalEvaluator;
 pub use kary::{
-    KaryAssessment, KaryEstimator, KaryMWorkerEstimator, KaryWorkerAssessment,
-    KaryWorkerReport, ProbEstimate,
+    KaryAssessment, KaryEstimator, KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport,
+    ProbEstimate,
 };
 pub use m_worker::MWorkerEstimator;
+pub use parallel::parallel_index_map;
 pub use policy::{Decision, DecisionRule, PolicyScore, RetentionPolicy};
 pub use three_worker::{ThreeWorkerEstimator, TripleEstimate};

@@ -29,7 +29,9 @@
 
 use crate::three_worker::{ThreeWorkerEstimator, TripleEstimate};
 use crate::{EstimateError, EstimatorConfig, Result, WorkerAssessment, WorkerReport};
-use crowd_data::{ResponseMatrix, WorkerId, pair_stats, triple_overlap};
+use crowd_data::{
+    AnchoredOverlap, CachedOverlap, OverlapIndex, OverlapSource, ResponseMatrix, WorkerId,
+};
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, min_variance_weights};
 
@@ -64,7 +66,10 @@ pub struct MWorkerEstimator {
 impl MWorkerEstimator {
     /// Creates an estimator with the given configuration.
     pub fn new(config: EstimatorConfig) -> Self {
-        Self { three: ThreeWorkerEstimator::new(config.clone()), config }
+        Self {
+            three: ThreeWorkerEstimator::new(config.clone()),
+            config,
+        }
     }
 
     /// Borrow the configuration.
@@ -79,12 +84,13 @@ impl MWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
     ) -> Result<WorkerAssessment> {
-        self.evaluate_worker_cached(data, None, worker, confidence)
+        self.evaluate_worker_on(data, worker, confidence)
     }
 
     /// [`MWorkerEstimator::evaluate_worker`] with a precomputed
-    /// [`PairCache`], replacing every pairwise merge scan with an O(1)
-    /// lookup — the workhorse of the incremental evaluator.
+    /// [`crowd_data::PairCache`], replacing every pairwise merge scan
+    /// with an O(1) lookup — the workhorse of the incremental
+    /// evaluator.
     pub fn evaluate_worker_cached(
         &self,
         data: &ResponseMatrix,
@@ -92,19 +98,53 @@ impl MWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
     ) -> Result<WorkerAssessment> {
-        if data.n_workers() < 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+        match cache {
+            Some(cache) => {
+                self.evaluate_worker_on(&CachedOverlap { data, cache }, worker, confidence)
+            }
+            None => self.evaluate_worker_on(data, worker, confidence),
         }
-        let pairs = crate::pairing::form_pairs_cached(
-            data,
-            cache,
+    }
+
+    /// Algorithm A2 for one worker over any overlap substrate. Every
+    /// statistic the pipeline touches — candidate overlaps, the three
+    /// agreement rates per triple, `c_ij₁j₂`, and the Lemma 4
+    /// cross-triple counts `c_iab` — comes from `src`, so the same code
+    /// runs against merge scans (the naive reference), a streaming
+    /// cache, or the [`OverlapIndex`] (O(1) pairs, anchored bitset
+    /// triples). Outputs are identical across substrates.
+    pub fn evaluate_worker_on<S: OverlapSource>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment> {
+        if src.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: src.n_workers(),
+                need: 3,
+            });
+        }
+        let pairs = crate::pairing::form_pairs_on(
+            src,
             worker,
             self.config.pairing,
             self.config.min_pair_overlap,
         );
+        if pairs.is_empty() {
+            return Err(EstimateError::NoUsableTriples { worker });
+        }
+        // One anchored view serves every triple of this evaluation:
+        // `c_{worker,a,b}` for the triple estimates and for the Lemma 4
+        // covariance assembly below.
+        let anchored = src.anchored(worker);
         let mut triples: Vec<TripleEstimate> = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
-            match self.three.triple_estimate_cached(data, cache, worker, a, b) {
+            let c_all = anchored.triple_common(a, b);
+            match self
+                .three
+                .triple_estimate_with_c_all(src, worker, a, b, c_all)
+            {
                 Ok(t) => triples.push(t),
                 // A degenerate or under-overlapped triple is dropped;
                 // the remaining triples still yield a valid (wider)
@@ -129,10 +169,14 @@ impl MWorkerEstimator {
             });
         }
 
-        let cov = self.triple_covariance(data, cache, worker, &triples);
+        let cov = self.triple_covariance(src, &anchored, &triples);
         let weights = min_variance_weights(&cov, self.config.weight_policy)?;
-        let p_hat: f64 =
-            weights.weights.iter().zip(&triples).map(|(w, t)| w * t.p_hat).sum();
+        let p_hat: f64 = weights
+            .weights
+            .iter()
+            .zip(&triples)
+            .map(|(w, t)| w * t.p_hat)
+            .sum();
         let interval =
             ConfidenceInterval::from_deviation(p_hat, weights.variance.sqrt(), confidence)?;
         Ok(WorkerAssessment {
@@ -146,9 +190,63 @@ impl MWorkerEstimator {
     /// Evaluates every worker, collecting per-worker failures instead
     /// of aborting (sparse real data routinely has a few unevaluable
     /// workers).
+    ///
+    /// Builds one [`OverlapIndex`] over the matrix and evaluates every
+    /// worker against it — the index is built in a single pass and
+    /// every downstream statistic becomes a table lookup or bitset
+    /// popcount. Results are identical to the per-worker scan path
+    /// ([`MWorkerEstimator::evaluate_all_naive`]).
     pub fn evaluate_all(&self, data: &ResponseMatrix, confidence: f64) -> Result<WorkerReport> {
         if data.n_workers() < 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+            return Err(EstimateError::NotEnoughWorkers {
+                got: data.n_workers(),
+                need: 3,
+            });
+        }
+        let index = OverlapIndex::from_matrix(data);
+        self.evaluate_all_indexed(&index, confidence)
+    }
+
+    /// [`MWorkerEstimator::evaluate_all`] against a caller-built
+    /// [`OverlapIndex`] — for pipelines that reuse one index across
+    /// many operations (assessment, pairing diagnostics, k-ary runs).
+    pub fn evaluate_all_indexed(
+        &self,
+        index: &OverlapIndex,
+        confidence: f64,
+    ) -> Result<WorkerReport> {
+        if index.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: index.n_workers(),
+                need: 3,
+            });
+        }
+        let mut report = WorkerReport::default();
+        for worker in index.workers() {
+            match self.evaluate_worker_on(index, worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// The pre-index reference path: evaluates every worker by direct
+    /// merge scans over the matrix, recomputing every pairwise and
+    /// triple statistic at each use. Kept as the correctness baseline
+    /// for the equivalence property tests and as the "naive" side of
+    /// the scaling benchmarks; use [`MWorkerEstimator::evaluate_all`]
+    /// everywhere else.
+    pub fn evaluate_all_naive(
+        &self,
+        data: &ResponseMatrix,
+        confidence: f64,
+    ) -> Result<WorkerReport> {
+        if data.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: data.n_workers(),
+                need: 3,
+            });
         }
         let mut report = WorkerReport::default();
         for worker in data.workers() {
@@ -161,11 +259,11 @@ impl MWorkerEstimator {
     }
 
     /// [`MWorkerEstimator::evaluate_all`] across `threads` worker
-    /// threads, sharing one precomputed [`crowd_data::PairCache`].
-    /// Per-worker evaluations are independent, so the report is
-    /// bit-identical to the serial one (assessments in worker order);
-    /// on crowds the size of the ENT dataset (164 workers) this is the
-    /// difference between interactive and coffee-break latency.
+    /// threads, sharing one [`OverlapIndex`]. Workers are split into
+    /// contiguous chunks by id — the same deterministic scoped-thread
+    /// chunking as the bench runner — and per-worker evaluations are
+    /// independent, so the report is bit-identical to the serial one
+    /// (assessments in worker order) regardless of thread count.
     pub fn evaluate_all_parallel(
         &self,
         data: &ResponseMatrix,
@@ -176,33 +274,32 @@ impl MWorkerEstimator {
         if m < 3 {
             return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
         }
+        let index = OverlapIndex::from_matrix(data);
+        self.evaluate_all_indexed_parallel(&index, confidence, threads)
+    }
+
+    /// Parallel [`MWorkerEstimator::evaluate_all_indexed`]; see
+    /// [`MWorkerEstimator::evaluate_all_parallel`].
+    pub fn evaluate_all_indexed_parallel(
+        &self,
+        index: &OverlapIndex,
+        confidence: f64,
+        threads: usize,
+    ) -> Result<WorkerReport> {
+        let m = index.n_workers();
+        if m < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
+        }
         let threads = threads.max(1).min(m);
         if threads == 1 {
-            return self.evaluate_all(data, confidence);
+            return self.evaluate_all_indexed(index, confidence);
         }
-        let cache = crowd_data::PairCache::from_matrix(data);
-        let mut slots: Vec<Option<std::result::Result<WorkerAssessment, EstimateError>>> =
-            (0..m).map(|_| None).collect();
-        let chunk = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let cache = &cache;
-                scope.spawn(move || {
-                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                        let worker = WorkerId((t * chunk + i) as u32);
-                        *slot = Some(self.evaluate_worker_cached(
-                            data,
-                            Some(cache),
-                            worker,
-                            confidence,
-                        ));
-                    }
-                });
-            }
+        let outcomes = crate::parallel::parallel_worker_map(m, threads, |worker| {
+            self.evaluate_worker_on(index, worker, confidence)
         });
         let mut report = WorkerReport::default();
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot.expect("every worker evaluated") {
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
                 Ok(a) => report.assessments.push(a),
                 Err(e) => report.failures.push((WorkerId(i as u32), e)),
             }
@@ -225,11 +322,15 @@ impl MWorkerEstimator {
     /// that share worker `i` correlate; `p_i` is plugged in as the mean
     /// of the per-triple estimates clamped into the admissible
     /// `[0, 1/2]`.
-    fn triple_covariance(
+    ///
+    /// The `c_iab` counts — the `O(l²)` hot spot of this assembly —
+    /// come from the anchored view (`popcount(masks[a] & masks[b])` on
+    /// the indexed substrate); the agreement rates `q_ab` from the pair
+    /// table.
+    fn triple_covariance<S: OverlapSource>(
         &self,
-        data: &ResponseMatrix,
-        cache: Option<&crowd_data::PairCache>,
-        worker: WorkerId,
+        src: &S,
+        anchored: &S::Anchored<'_>,
         triples: &[TripleEstimate],
     ) -> Matrix {
         let l = triples.len();
@@ -258,14 +359,11 @@ impl MWorkerEstimator {
                 ];
                 for &(a, d_a, c_ia) in &peers1 {
                     for &(b, d_b, c_ib) in &peers2 {
-                        let c_iab = triple_overlap(data, worker, a, b).common_tasks;
+                        let c_iab = anchored.triple_common(a, b);
                         if c_iab == 0 {
                             continue;
                         }
-                        let s_ab = match cache {
-                            Some(c) => c.get(a, b),
-                            None => pair_stats(data, a, b),
-                        };
+                        let s_ab = src.pair(a, b);
                         // c_iab > 0 implies a and b share tasks.
                         let q_ab = s_ab
                             .agreement_rate()
@@ -312,8 +410,10 @@ mod tests {
 
     #[test]
     fn seven_workers_use_three_triples() {
-        let inst = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut rng(23));
-        let a = estimator().evaluate_worker(inst.responses(), WorkerId(0), 0.9).unwrap();
+        let inst = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut rng(21));
+        let a = estimator()
+            .evaluate_worker(inst.responses(), WorkerId(0), 0.9)
+            .unwrap();
         assert_eq!(a.triples_used, 3);
     }
 
@@ -348,8 +448,14 @@ mod tests {
         for _ in 0..reps {
             let i3 = BinaryScenario::paper_default(3, 100, 1.0).generate(&mut r);
             let i7 = BinaryScenario::paper_default(7, 100, 1.0).generate(&mut r);
-            size3 += est.evaluate_all(i3.responses(), 0.8).unwrap().mean_interval_size();
-            size7 += est.evaluate_all(i7.responses(), 0.8).unwrap().mean_interval_size();
+            size3 += est
+                .evaluate_all(i3.responses(), 0.8)
+                .unwrap()
+                .mean_interval_size();
+            size7 += est
+                .evaluate_all(i7.responses(), 0.8)
+                .unwrap()
+                .mean_interval_size();
         }
         assert!(
             size7 < size3 * 0.8,
@@ -369,8 +475,14 @@ mod tests {
         let mut uni_size = 0.0;
         for _ in 0..25 {
             let inst = scenario.generate(&mut r);
-            opt_size += opt.evaluate_all(inst.responses(), 0.5).unwrap().mean_interval_size();
-            uni_size += uni.evaluate_all(inst.responses(), 0.5).unwrap().mean_interval_size();
+            opt_size += opt
+                .evaluate_all(inst.responses(), 0.5)
+                .unwrap()
+                .mean_interval_size();
+            uni_size += uni
+                .evaluate_all(inst.responses(), 0.5)
+                .unwrap()
+                .mean_interval_size();
         }
         assert!(
             opt_size < uni_size,
@@ -385,7 +497,9 @@ mod tests {
             weight_policy: WeightPolicy::Uniform,
             ..EstimatorConfig::default()
         });
-        let a = est.evaluate_worker(inst.responses(), WorkerId(2), 0.8).unwrap();
+        let a = est
+            .evaluate_worker(inst.responses(), WorkerId(2), 0.8)
+            .unwrap();
         assert_eq!(a.triples_used, 2);
         assert!(!a.weights_fell_back);
     }
@@ -409,8 +523,9 @@ mod tests {
         let est = estimator();
         let serial = est.evaluate_all(inst.responses(), 0.9).unwrap();
         for threads in [1usize, 2, 4, 16] {
-            let parallel =
-                est.evaluate_all_parallel(inst.responses(), 0.9, threads).unwrap();
+            let parallel = est
+                .evaluate_all_parallel(inst.responses(), 0.9, threads)
+                .unwrap();
             assert_eq!(serial.assessments.len(), parallel.assessments.len());
             for (s, p) in serial.assessments.iter().zip(&parallel.assessments) {
                 assert_eq!(s.worker, p.worker);
@@ -428,7 +543,8 @@ mod tests {
         let mut b = ResponseMatrixBuilder::new(4, 21, 2);
         for w in 0..3u32 {
             for t in 0..20u32 {
-                b.push(WorkerId(w), TaskId(t), Label((t % 5 == 0 && w == 2) as u16)).unwrap();
+                b.push(WorkerId(w), TaskId(t), Label((t % 5 == 0 && w == 2) as u16))
+                    .unwrap();
             }
         }
         b.push(WorkerId(3), TaskId(20), Label(0)).unwrap();
@@ -437,7 +553,10 @@ mod tests {
         assert_eq!(report.assessments.len(), 3);
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.failures[0].0, WorkerId(3));
-        assert!(matches!(report.failures[0].1, EstimateError::NoUsableTriples { .. }));
+        assert!(matches!(
+            report.failures[0].1,
+            EstimateError::NoUsableTriples { .. }
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the first remaining candidate that shares at least one task with
 //! both `w` and the head. Unpairable candidates are dropped.
 
-use crowd_data::{ResponseMatrix, WorkerId, pair_stats, triple_overlap};
+use crowd_data::{CachedOverlap, OverlapSource, ResponseMatrix, WorkerId, triple_overlap};
 
 /// A candidate pair forming a triple with the evaluated worker.
 pub type PeerPair = (WorkerId, WorkerId);
@@ -39,7 +39,7 @@ pub fn form_pairs(
     strategy: PairingStrategy,
     min_overlap: usize,
 ) -> Vec<PeerPair> {
-    form_pairs_cached(data, None, target, strategy, min_overlap)
+    form_pairs_on(data, target, strategy, min_overlap)
 }
 
 /// [`form_pairs`] with an optional precomputed [`crowd_data::PairCache`].
@@ -50,16 +50,32 @@ pub fn form_pairs_cached(
     strategy: PairingStrategy,
     min_overlap: usize,
 ) -> Vec<PeerPair> {
+    match cache {
+        Some(cache) => form_pairs_on(
+            &CachedOverlap { data, cache },
+            target,
+            strategy,
+            min_overlap,
+        ),
+        None => form_pairs_on(data, target, strategy, min_overlap),
+    }
+}
+
+/// [`form_pairs`] over any overlap substrate — the pairwise queries hit
+/// whatever the source provides (merge scans, a streaming cache, or
+/// the O(1) [`crowd_data::OverlapIndex`] pair table). The produced
+/// pairs are identical across substrates.
+pub fn form_pairs_on<S: OverlapSource>(
+    src: &S,
+    target: WorkerId,
+    strategy: PairingStrategy,
+    min_overlap: usize,
+) -> Vec<PeerPair> {
     let min_overlap = min_overlap.max(1);
-    let overlap = |a: WorkerId, b: WorkerId| -> usize {
-        match cache {
-            Some(c) => c.get(a, b).common_tasks,
-            None => pair_stats(data, a, b).common_tasks,
-        }
-    };
+    let overlap = |a: WorkerId, b: WorkerId| -> usize { src.pair(a, b).common_tasks };
     // Candidates: everyone sharing enough tasks with the target.
-    let mut candidates: Vec<(WorkerId, usize)> = data
-        .workers()
+    let mut candidates: Vec<(WorkerId, usize)> = (0..src.n_workers() as u32)
+        .map(WorkerId)
         .filter(|&w| w != target)
         .map(|w| (w, overlap(target, w)))
         .filter(|&(_, c)| c >= min_overlap)
@@ -82,7 +98,9 @@ pub fn form_pairs_cached(
         let head = remaining.remove(0);
         // First partner sharing enough tasks with the head (its overlap
         // with the target was already checked on entry to the list).
-        let partner_pos = remaining.iter().position(|&w| overlap(head, w) >= min_overlap);
+        let partner_pos = remaining
+            .iter()
+            .position(|&w| overlap(head, w) >= min_overlap);
         match partner_pos {
             Some(pos) => {
                 let partner = remaining.remove(pos);
@@ -100,7 +118,10 @@ pub fn form_pairs_cached(
 /// pairs of `c_{target,a,b}`). Used by tests and the pairing ablation
 /// bench to verify the greedy strategy picks well-covered triples.
 pub fn pairing_quality(data: &ResponseMatrix, target: WorkerId, pairs: &[PeerPair]) -> usize {
-    pairs.iter().map(|&(a, b)| triple_overlap(data, target, a, b).common_tasks).sum()
+    pairs
+        .iter()
+        .map(|&(a, b)| triple_overlap(data, target, a, b).common_tasks)
+        .sum()
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! Deterministic scoped-thread fan-out.
+
+use crowd_data::WorkerId;
+
+/// Runs `f(i)` for every index in `0..count` across `threads` scoped
+/// threads, returning results in index order.
+///
+/// Indices are split into contiguous chunks, so the output is
+/// identical to the serial loop regardless of thread count — the
+/// single chunking scheme shared by the estimators' parallel
+/// `evaluate_all` paths and the bench harness's repetition runner.
+pub fn parallel_index_map<T: Send>(
+    count: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index evaluated"))
+        .collect()
+}
+
+/// [`parallel_index_map`] over worker ids.
+pub(crate) fn parallel_worker_map<T: Send>(
+    m: usize,
+    threads: usize,
+    f: impl Fn(WorkerId) -> T + Sync,
+) -> Vec<T> {
+    parallel_index_map(m, threads, |i| f(WorkerId(i as u32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_worker_in_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let out = parallel_worker_map(23, threads, |w| w.0 * 2);
+            let expect: Vec<u32> = (0..23).map(|w| w * 2).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_empty() {
+        assert!(parallel_worker_map(0, 4, |w| w).is_empty());
+    }
+}

@@ -48,7 +48,10 @@ pub struct RetentionPolicy {
 
 impl Default for RetentionPolicy {
     fn default() -> Self {
-        Self { fire_threshold: 0.25, rule: DecisionRule::IntervalBounds }
+        Self {
+            fire_threshold: 0.25,
+            rule: DecisionRule::IntervalBounds,
+        }
     }
 }
 
@@ -77,16 +80,16 @@ impl RetentionPolicy {
 
     /// Decides every assessed worker.
     pub fn decide_all(&self, report: &WorkerReport) -> Vec<(WorkerId, Decision)> {
-        report.assessments.iter().map(|a| (a.worker, self.decide(a))).collect()
+        report
+            .assessments
+            .iter()
+            .map(|a| (a.worker, self.decide(a)))
+            .collect()
     }
 
     /// Scores the decisions against known true error rates: returns
     /// the confusion between decisions and ground truth.
-    pub fn score(
-        &self,
-        report: &WorkerReport,
-        true_rate: impl Fn(WorkerId) -> f64,
-    ) -> PolicyScore {
+    pub fn score(&self, report: &WorkerReport, true_rate: impl Fn(WorkerId) -> f64) -> PolicyScore {
         let mut score = PolicyScore::default();
         for a in &report.assessments {
             let truly_bad = true_rate(a.worker) > self.fire_threshold;
@@ -126,7 +129,11 @@ impl PolicyScore {
     /// fired.
     pub fn wrongful_firing_rate(&self) -> Option<f64> {
         let fired = self.fired_bad + self.fired_good;
-        if fired == 0 { None } else { Some(self.fired_good as f64 / fired as f64) }
+        if fired == 0 {
+            None
+        } else {
+            Some(self.fired_good as f64 / fired as f64)
+        }
     }
 
     /// Merges another score into this one.
@@ -170,8 +177,10 @@ mod tests {
 
     #[test]
     fn point_rule_never_abstains() {
-        let policy =
-            RetentionPolicy { fire_threshold: 0.25, rule: DecisionRule::PointEstimate };
+        let policy = RetentionPolicy {
+            fire_threshold: 0.25,
+            rule: DecisionRule::PointEstimate,
+        };
         assert_eq!(policy.decide(&assessment(0.3, 0.2)), Decision::Fire);
         assert_eq!(policy.decide(&assessment(0.2, 0.2)), Decision::Retain);
     }
@@ -189,15 +198,23 @@ mod tests {
         let mut reliable = PolicyScore::default();
         for _ in 0..40 {
             let inst = scenario.generate(&mut r);
-            let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+            let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else {
+                continue;
+            };
             let truth = |w: WorkerId| inst.true_error_rate(w);
             naive.merge(
-                RetentionPolicy { fire_threshold: 0.25, rule: DecisionRule::PointEstimate }
-                    .score(&report, truth),
+                RetentionPolicy {
+                    fire_threshold: 0.25,
+                    rule: DecisionRule::PointEstimate,
+                }
+                .score(&report, truth),
             );
             reliable.merge(
-                RetentionPolicy { fire_threshold: 0.25, rule: DecisionRule::IntervalBounds }
-                    .score(&report, truth),
+                RetentionPolicy {
+                    fire_threshold: 0.25,
+                    rule: DecisionRule::IntervalBounds,
+                }
+                .score(&report, truth),
             );
         }
         assert!(
@@ -207,7 +224,10 @@ mod tests {
             naive.fired_good
         );
         // And it should still catch some truly bad workers.
-        assert!(reliable.fired_bad > 0, "interval policy must still fire bad workers");
+        assert!(
+            reliable.fired_bad > 0,
+            "interval policy must still fire bad workers"
+        );
     }
 
     #[test]
@@ -228,8 +248,7 @@ mod tests {
 
     #[test]
     fn decide_all_covers_every_assessment() {
-        let inst =
-            BinaryScenario::paper_default(5, 100, 1.0).generate(&mut rng(313));
+        let inst = BinaryScenario::paper_default(5, 100, 1.0).generate(&mut rng(313));
         let report = MWorkerEstimator::new(EstimatorConfig::default())
             .evaluate_all(inst.responses(), 0.9)
             .unwrap();

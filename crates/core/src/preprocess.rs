@@ -28,11 +28,14 @@ pub struct PruneOutcome {
 /// no evidence against them).
 pub fn prune_spammers(data: &ResponseMatrix, threshold: f64) -> PruneOutcome {
     let rates = disagreement_rates(data);
-    let is_kept =
-        |w: WorkerId| -> bool { rates[w.index()].is_none_or(|r| r <= threshold) };
+    let is_kept = |w: WorkerId| -> bool { rates[w.index()].is_none_or(|r| r <= threshold) };
     let removed: Vec<WorkerId> = data.workers().filter(|&w| !is_kept(w)).collect();
     let (filtered, kept) = data.retain_workers(is_kept);
-    PruneOutcome { data: filtered, kept, removed }
+    PruneOutcome {
+        data: filtered,
+        kept,
+        removed,
+    }
 }
 
 #[cfg(test)]
@@ -50,10 +53,16 @@ mod tests {
         // Every removed worker is a true spammer; every kept worker has
         // a pool error rate (0.1/0.2/0.3) well below 0.4. Tolerate the
         // occasional borderline mistake by checking the bulk.
-        let removed_true: Vec<f64> =
-            outcome.removed.iter().map(|&w| inst.true_error_rate(w)).collect();
-        let kept_true: Vec<f64> =
-            outcome.kept.iter().map(|&w| inst.true_error_rate(w)).collect();
+        let removed_true: Vec<f64> = outcome
+            .removed
+            .iter()
+            .map(|&w| inst.true_error_rate(w))
+            .collect();
+        let kept_true: Vec<f64> = outcome
+            .kept
+            .iter()
+            .map(|&w| inst.true_error_rate(w))
+            .collect();
         assert!(
             removed_true.iter().filter(|&&p| p >= 0.45).count() >= removed_true.len() / 2,
             "removed workers should be dominated by spammers: {removed_true:?}"

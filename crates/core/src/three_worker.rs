@@ -16,7 +16,7 @@
 
 use crate::agreement::Triangle;
 use crate::{EstimateError, EstimatorConfig, Result};
-use crowd_data::{PairStats, ResponseMatrix, WorkerId, pair_stats, triple_overlap};
+use crowd_data::{CachedOverlap, OverlapSource, PairStats, ResponseMatrix, WorkerId};
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, delta_variance};
 
@@ -82,12 +82,12 @@ impl ThreeWorkerEstimator {
         peer1: WorkerId,
         peer2: WorkerId,
     ) -> Result<TripleEstimate> {
-        self.triple_estimate_cached(data, None, worker, peer1, peer2)
+        self.triple_estimate_on(data, worker, peer1, peer2)
     }
 
     /// [`ThreeWorkerEstimator::triple_estimate`] with an optional
-    /// precomputed [`PairCache`] so streaming callers skip the
-    /// pairwise merge scans.
+    /// precomputed [`crowd_data::PairCache`] so streaming callers skip
+    /// the pairwise merge scans.
     pub fn triple_estimate_cached(
         &self,
         data: &ResponseMatrix,
@@ -96,14 +96,47 @@ impl ThreeWorkerEstimator {
         peer1: WorkerId,
         peer2: WorkerId,
     ) -> Result<TripleEstimate> {
+        match cache {
+            Some(cache) => {
+                self.triple_estimate_on(&CachedOverlap { data, cache }, worker, peer1, peer2)
+            }
+            None => self.triple_estimate_on(data, worker, peer1, peer2),
+        }
+    }
+
+    /// [`ThreeWorkerEstimator::triple_estimate`] over any overlap
+    /// substrate ([`crowd_data::OverlapIndex`], a cached matrix, or the
+    /// raw matrix). The estimate is identical across substrates; only
+    /// the statistic-lookup cost differs.
+    pub fn triple_estimate_on<S: OverlapSource>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        peer1: WorkerId,
+        peer2: WorkerId,
+    ) -> Result<TripleEstimate> {
+        let c_all = src.triple(worker, peer1, peer2).common_tasks;
+        self.triple_estimate_with_c_all(src, worker, peer1, peer2, c_all)
+    }
+
+    /// The triple pipeline with `c_ij₁j₂` supplied by the caller —
+    /// Algorithm A2 evaluates many triples anchored on one worker and
+    /// gets these counts from a bitset view instead of merge scans.
+    pub(crate) fn triple_estimate_with_c_all<S: OverlapSource>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        peer1: WorkerId,
+        peer2: WorkerId,
+        c_all: usize,
+    ) -> Result<TripleEstimate> {
         assert_ne!(worker, peer1, "triple workers must be distinct");
         assert_ne!(worker, peer2, "triple workers must be distinct");
         assert_ne!(peer1, peer2, "triple workers must be distinct");
 
-        let s_i1 = self.checked_pair(data, cache, worker, peer1)?;
-        let s_i2 = self.checked_pair(data, cache, worker, peer2)?;
-        let s_12 = self.checked_pair(data, cache, peer1, peer2)?;
-        let c_all = triple_overlap(data, worker, peer1, peer2).common_tasks;
+        let s_i1 = self.checked_pair(src, worker, peer1)?;
+        let s_i2 = self.checked_pair(src, worker, peer2)?;
+        let s_12 = self.checked_pair(src, peer1, peer2)?;
 
         let raw = Triangle {
             q_ij: s_i1.agreement_rate().expect("overlap checked"),
@@ -116,10 +149,18 @@ impl ThreeWorkerEstimator {
         let gradient = triangle.gradient();
 
         // Peer plug-ins by permuting the triangle (Eq. 1 for j₁ and j₂).
-        let p_peer1 = Triangle { q_ij: triangle.q_ij, q_ik: triangle.q_jk, q_jk: triangle.q_ik }
-            .error_rate();
-        let p_peer2 = Triangle { q_ij: triangle.q_ik, q_ik: triangle.q_jk, q_jk: triangle.q_ij }
-            .error_rate();
+        let p_peer1 = Triangle {
+            q_ij: triangle.q_ij,
+            q_ik: triangle.q_jk,
+            q_jk: triangle.q_ik,
+        }
+        .error_rate();
+        let p_peer2 = Triangle {
+            q_ij: triangle.q_ik,
+            q_ik: triangle.q_jk,
+            q_jk: triangle.q_ij,
+        }
+        .error_rate();
 
         let overlaps = TripleOverlaps {
             c_i_j1: s_i1.common_tasks,
@@ -158,7 +199,11 @@ impl ThreeWorkerEstimator {
         confidence: f64,
     ) -> Result<ConfidenceInterval> {
         let est = self.triple_estimate(data, worker, peer1, peer2)?;
-        Ok(ConfidenceInterval::from_deviation(est.p_hat, est.deviation, confidence)?)
+        Ok(ConfidenceInterval::from_deviation(
+            est.p_hat,
+            est.deviation,
+            confidence,
+        )?)
     }
 
     /// Evaluates all three workers of a 3-worker matrix.
@@ -168,7 +213,10 @@ impl ThreeWorkerEstimator {
         confidence: f64,
     ) -> Result<[ConfidenceInterval; 3]> {
         if data.n_workers() != 3 {
-            return Err(EstimateError::NotEnoughWorkers { got: data.n_workers(), need: 3 });
+            return Err(EstimateError::NotEnoughWorkers {
+                got: data.n_workers(),
+                need: 3,
+            });
         }
         let (w0, w1, w2) = (WorkerId(0), WorkerId(1), WorkerId(2));
         Ok([
@@ -178,20 +226,21 @@ impl ThreeWorkerEstimator {
         ])
     }
 
-    fn checked_pair(
+    fn checked_pair<S: OverlapSource>(
         &self,
-        data: &ResponseMatrix,
-        cache: Option<&crowd_data::PairCache>,
+        src: &S,
         a: WorkerId,
         b: WorkerId,
     ) -> Result<PairStats> {
-        let s = match cache {
-            Some(c) => c.get(a, b),
-            None => pair_stats(data, a, b),
-        };
+        let s = src.pair(a, b);
         let need = self.config.min_pair_overlap.max(1);
         if s.common_tasks < need {
-            return Err(EstimateError::InsufficientOverlap { a, b, got: s.common_tasks, need });
+            return Err(EstimateError::InsufficientOverlap {
+                a,
+                b,
+                got: s.common_tasks,
+                need,
+            });
         }
         Ok(s)
     }
@@ -346,9 +395,7 @@ mod tests {
         let large = BinaryScenario::paper_default(3, 2000, 1.0).generate(&mut r);
         let ci_small = est.evaluate_triple(small.responses(), 0.9).unwrap();
         let ci_large = est.evaluate_triple(large.responses(), 0.9).unwrap();
-        let avg = |cis: &[ConfidenceInterval; 3]| {
-            cis.iter().map(|c| c.size()).sum::<f64>() / 3.0
-        };
+        let avg = |cis: &[ConfidenceInterval; 3]| cis.iter().map(|c| c.size()).sum::<f64>() / 3.0;
         assert!(
             avg(&ci_large) < avg(&ci_small) / 2.0,
             "large-n intervals should be much tighter: {} vs {}",
@@ -367,21 +414,35 @@ mod tests {
         for t in 0..100u32 {
             // truth is always 0; workers err with prob .1/.2/.3
             if t < 80 {
-                let l = if r.random::<f64>() < 0.1 { Label(1) } else { Label(0) };
+                let l = if r.random::<f64>() < 0.1 {
+                    Label(1)
+                } else {
+                    Label(0)
+                };
                 b.push(WorkerId(0), TaskId(t), l).unwrap();
             }
             if t >= 20 {
-                let l = if r.random::<f64>() < 0.2 { Label(1) } else { Label(0) };
+                let l = if r.random::<f64>() < 0.2 {
+                    Label(1)
+                } else {
+                    Label(0)
+                };
                 b.push(WorkerId(1), TaskId(t), l).unwrap();
             }
             if (10..90).contains(&t) {
-                let l = if r.random::<f64>() < 0.3 { Label(1) } else { Label(0) };
+                let l = if r.random::<f64>() < 0.3 {
+                    Label(1)
+                } else {
+                    Label(0)
+                };
                 b.push(WorkerId(2), TaskId(t), l).unwrap();
             }
         }
         let data = b.build().unwrap();
         let est = estimator();
-        let e = est.triple_estimate(&data, WorkerId(0), WorkerId(1), WorkerId(2)).unwrap();
+        let e = est
+            .triple_estimate(&data, WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
         assert_eq!(e.overlaps.c_i_j1, 60);
         assert_eq!(e.overlaps.c_i_j2, 70);
         assert_eq!(e.overlaps.c_j1_j2, 70);
@@ -423,8 +484,9 @@ mod tests {
             degeneracy: DegeneracyPolicy::Clamp { epsilon: 0.01 },
             ..EstimatorConfig::default()
         });
-        let est =
-            clamped.triple_estimate(&data, WorkerId(0), WorkerId(1), WorkerId(2)).unwrap();
+        let est = clamped
+            .triple_estimate(&data, WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
         assert!(est.p_hat.is_finite());
     }
 
@@ -455,17 +517,24 @@ mod tests {
             let mut b = ResponseMatrixBuilder::new(3, n as usize, 2);
             for t in 0..n {
                 b.push(WorkerId(0), TaskId(t), Label(0)).unwrap();
-                b.push(WorkerId(1), TaskId(t), Label((t % 5 == 0) as u16)).unwrap();
-                b.push(WorkerId(2), TaskId(t), Label((t % 4 == 0) as u16)).unwrap();
+                b.push(WorkerId(1), TaskId(t), Label((t % 5 == 0) as u16))
+                    .unwrap();
+                b.push(WorkerId(2), TaskId(t), Label((t % 4 == 0) as u16))
+                    .unwrap();
             }
             b.build().unwrap()
         };
         let est = estimator();
-        let small =
-            est.triple_estimate(&make(100), WorkerId(0), WorkerId(1), WorkerId(2)).unwrap();
-        let large =
-            est.triple_estimate(&make(400), WorkerId(0), WorkerId(1), WorkerId(2)).unwrap();
+        let small = est
+            .triple_estimate(&make(100), WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
+        let large = est
+            .triple_estimate(&make(400), WorkerId(0), WorkerId(1), WorkerId(2))
+            .unwrap();
         let ratio = small.deviation / large.deviation;
-        assert!((ratio - 2.0).abs() < 0.1, "deviation ratio {ratio}, expected ≈ 2");
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "deviation ratio {ratio}, expected ≈ 2"
+        );
     }
 }

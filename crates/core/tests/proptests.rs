@@ -2,10 +2,68 @@
 
 use crowd_core::agreement::{Triangle, agreement_from_errors};
 use crowd_core::kary::{align_rows_greedy, fix_row_signs, population_counts, prob_estimate};
-use crowd_core::{DegeneracyPolicy, EstimatorConfig, ThreeWorkerEstimator};
-use crowd_data::{Label, ResponseMatrixBuilder, TaskId, WorkerId};
+use crowd_core::{
+    DegeneracyPolicy, EstimatorConfig, KaryMWorkerEstimator, MWorkerEstimator,
+    ThreeWorkerEstimator, WorkerReport,
+};
+use crowd_data::{Label, OverlapIndex, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId};
 use crowd_linalg::Matrix;
 use proptest::prelude::*;
+
+/// Strategy: an arbitrary sparse binary response matrix with enough
+/// workers and density for Algorithm A2 to usually succeed.
+fn assessable_matrix() -> impl Strategy<Value = ResponseMatrix> {
+    (4usize..8, 20usize..60).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::option::weighted(0.75, 0u16..2), m * n).prop_map(
+            move |cells| {
+                let mut b = ResponseMatrixBuilder::new(m, n, 2);
+                for (i, cell) in cells.iter().enumerate() {
+                    if let Some(label) = cell {
+                        b.push(
+                            WorkerId((i / n) as u32),
+                            TaskId((i % n) as u32),
+                            Label(*label),
+                        )
+                        .expect("generated ids are valid");
+                    }
+                }
+                b.build().expect("generated cells are unique")
+            },
+        )
+    })
+}
+
+/// Bit-exact equality of two assessment reports (identical workers,
+/// intervals down to the f64 bit pattern, and failure sets).
+fn assert_reports_bit_identical(a: &WorkerReport, b: &WorkerReport) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.assessments.len(), b.assessments.len());
+    prop_assert_eq!(a.failures.len(), b.failures.len());
+    for (x, y) in a.assessments.iter().zip(&b.assessments) {
+        prop_assert_eq!(x.worker, y.worker);
+        prop_assert_eq!(x.triples_used, y.triples_used);
+        prop_assert_eq!(x.weights_fell_back, y.weights_fell_back);
+        prop_assert_eq!(
+            x.interval.center.to_bits(),
+            y.interval.center.to_bits(),
+            "center diverged for {:?}: {} vs {}",
+            x.worker,
+            x.interval.center,
+            y.interval.center
+        );
+        prop_assert_eq!(
+            x.interval.half_width.to_bits(),
+            y.interval.half_width.to_bits(),
+            "half width diverged for {:?}: {} vs {}",
+            x.worker,
+            x.interval.half_width,
+            y.interval.half_width
+        );
+    }
+    for (x, y) in a.failures.iter().zip(&b.failures) {
+        prop_assert_eq!(x.0, y.0);
+    }
+    Ok(())
+}
 
 /// Strategy: a random diagonally dominant row-stochastic k×k matrix.
 fn confusion_matrix(k: usize) -> impl Strategy<Value = Matrix> {
@@ -138,6 +196,72 @@ proptest! {
         prop_assert!(p <= 0.5);
         let g = t.gradient();
         prop_assert!(g.iter().all(|d| d.is_finite()));
+    }
+
+    /// The indexed `evaluate_all` (the production path, one
+    /// [`crowd_data::OverlapIndex`] shared by every worker) is
+    /// bit-identical to the naive per-worker merge-scan reference on
+    /// arbitrary sparse matrices.
+    #[test]
+    fn indexed_evaluate_all_equals_naive(data in assessable_matrix()) {
+        let est = MWorkerEstimator::new(EstimatorConfig::default());
+        let naive = est.evaluate_all_naive(&data, 0.9).expect("enough workers");
+        let indexed = est.evaluate_all(&data, 0.9).expect("enough workers");
+        assert_reports_bit_identical(&naive, &indexed)?;
+    }
+
+    /// Parallel `evaluate_all` output is byte-identical to sequential,
+    /// for every thread count, on arbitrary sparse matrices.
+    #[test]
+    fn parallel_evaluate_all_is_deterministic(
+        data in assessable_matrix(),
+        threads in 2usize..9,
+    ) {
+        let est = MWorkerEstimator::new(EstimatorConfig::default());
+        let serial = est.evaluate_all(&data, 0.9).expect("enough workers");
+        let parallel =
+            est.evaluate_all_parallel(&data, 0.9, threads).expect("enough workers");
+        assert_reports_bit_identical(&serial, &parallel)?;
+    }
+
+    /// The k-ary m-worker estimator's indexed path is equivalent to
+    /// the matrix-scan path per worker: the same workers succeed, and
+    /// successful assessments agree bit for bit.
+    #[test]
+    fn kary_indexed_evaluate_equals_matrix_path(data in assessable_matrix()) {
+        let est = KaryMWorkerEstimator::new(EstimatorConfig::clamping());
+        let index = OverlapIndex::from_matrix(&data);
+        for worker in data.workers() {
+            let direct = est.evaluate_worker(&data, worker, 0.9);
+            let indexed = est.evaluate_worker_indexed(&index, worker, 0.9);
+            match (direct, indexed) {
+                (Ok(d), Ok(i)) => {
+                    prop_assert_eq!(d.triples_used, i.triples_used);
+                    prop_assert_eq!(d.weights_fell_back, i.weights_fell_back);
+                    for (a, b) in d.intervals.iter().zip(&i.intervals) {
+                        prop_assert_eq!(a.center.to_bits(), b.center.to_bits());
+                        prop_assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+                    }
+                    let k = d.v.rows();
+                    for r in 0..k {
+                        for c in 0..k {
+                            prop_assert_eq!(
+                                d.v.get(r, c).to_bits(),
+                                i.v.get(r, c).to_bits()
+                            );
+                        }
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (d, i) => {
+                    return Err(TestCaseError::fail(format!(
+                        "paths disagree for {worker:?}: direct {:?} vs indexed {:?}",
+                        d.map(|a| a.triples_used),
+                        i.map(|a| a.triples_used)
+                    )));
+                }
+            }
+        }
     }
 
     /// The forward agreement map stays in [1/2, 1] for admissible

@@ -64,14 +64,48 @@ impl CountsTensor {
     pub fn zeros(arity: usize) -> Self {
         assert!(arity >= 2, "arity must be at least 2");
         let side = arity + 1;
-        Self { arity, side, data: vec![0.0; side * side * side] }
+        Self {
+            arity,
+            side,
+            data: vec![0.0; side * side * side],
+        }
     }
 
     /// Builds the tensor from a response matrix and a worker triple,
     /// scanning every task once.
     pub fn from_matrix(data: &ResponseMatrix, w1: WorkerId, w2: WorkerId, w3: WorkerId) -> Self {
-        let mut t = Self::zeros(data.arity() as usize);
-        for (a, b, c) in triple_joint_labels_optional(data, w1, w2, w3) {
+        Self::from_joint(
+            data.arity() as usize,
+            triple_joint_labels_optional(data, w1, w2, w3),
+        )
+    }
+
+    /// Builds the tensor from an [`crate::OverlapIndex`] by a union
+    /// merge of the triple's CSR rows — `O(|w₁| + |w₂| + |w₃|)` instead
+    /// of a binary search per (task, worker) cell. Bit-identical to
+    /// [`CountsTensor::from_matrix`] on the same data.
+    pub fn from_index(
+        index: &crate::OverlapIndex,
+        w1: WorkerId,
+        w2: WorkerId,
+        w3: WorkerId,
+    ) -> Self {
+        Self::from_joint(
+            index.arity() as usize,
+            index.triple_joint_labels_optional(w1, w2, w3),
+        )
+    }
+
+    fn from_joint(
+        arity: usize,
+        joint: Vec<(
+            Option<crate::Label>,
+            Option<crate::Label>,
+            Option<crate::Label>,
+        )>,
+    ) -> Self {
+        let mut t = Self::zeros(arity);
+        for (a, b, c) in joint {
             let ia = a.map_or(0, |l| l.index() + 1);
             let ib = b.map_or(0, |l| l.index() + 1);
             let ic = c.map_or(0, |l| l.index() + 1);
@@ -147,7 +181,11 @@ impl CountsTensor {
     /// # Panics
     /// Panics unless exactly two bits are set in `pair`.
     pub fn n_exactly_pair(&self, pair: AttemptPattern) -> f64 {
-        assert_eq!(pair.worker_count(), 2, "pair pattern must have exactly two workers");
+        assert_eq!(
+            pair.worker_count(),
+            2,
+            "pair pattern must have exactly two workers"
+        );
         self.group_total(pair)
     }
 
@@ -162,7 +200,11 @@ impl CountsTensor {
     /// The number of tasks both `w₁` and `w₂` attempted (regardless of
     /// `w₃`) — the denominator `n₁₂₃ + n₁₂` of A3 step 2.
     pub fn n_pair_at_least(&self, pair: AttemptPattern) -> f64 {
-        assert_eq!(pair.worker_count(), 2, "pair pattern must have exactly two workers");
+        assert_eq!(
+            pair.worker_count(),
+            2,
+            "pair pattern must have exactly two workers"
+        );
         self.n_exactly_pair(pair) + self.n_all_three()
     }
 }
@@ -235,8 +277,7 @@ mod tests {
         let mut t = CountsTensor::zeros(3);
         t.set(2, 0, 3, 7.0);
         t.add(2, 0, 3, 1.0);
-        let found: Vec<_> =
-            t.entries().filter(|&(_, _, _, v)| v != 0.0).collect();
+        let found: Vec<_> = t.entries().filter(|&(_, _, _, v)| v != 0.0).collect();
         assert_eq!(found, vec![(2, 0, 3, 8.0)]);
         assert_eq!(t.side(), 4);
         assert_eq!(t.arity(), 3);

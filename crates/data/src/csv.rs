@@ -26,8 +26,9 @@
 //! directive — a comment to any other CSV parser — and the reader
 //! honors it, making the round-trip exact.
 
-use crate::{DataError, GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, Result,
-            TaskId, WorkerId};
+use crate::{
+    DataError, GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, Result, TaskId, WorkerId,
+};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Parses a `worker,task,label` CSV into a [`ResponseMatrix`].
@@ -41,7 +42,10 @@ pub fn read_responses(reader: impl Read) -> Result<ResponseMatrix> {
     let mut header_seen = false;
     let mut shape: Option<(usize, usize, u16)> = None;
     for (line_no, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line.map_err(|e| DataError::Csv { line: line_no + 1, reason: e.to_string() })?;
+        let line = line.map_err(|e| DataError::Csv {
+            line: line_no + 1,
+            reason: e.to_string(),
+        })?;
         let trimmed = line.trim();
         if let Some(directive) = trimmed.strip_prefix("#!shape,") {
             let fields = split_fields(directive, 3, line_no + 1)?;
@@ -85,7 +89,13 @@ pub fn read_responses(reader: impl Read) -> Result<ResponseMatrix> {
 /// Writes a [`ResponseMatrix`] in the `worker,task,label` format with
 /// a `#!shape` directive so empty rows/columns survive the round-trip.
 pub fn write_responses(data: &ResponseMatrix, mut writer: impl Write) -> std::io::Result<()> {
-    writeln!(writer, "#!shape,{},{},{}", data.n_workers(), data.n_tasks(), data.arity())?;
+    writeln!(
+        writer,
+        "#!shape,{},{},{}",
+        data.n_workers(),
+        data.n_tasks(),
+        data.arity()
+    )?;
     writeln!(writer, "worker,task,label")?;
     for r in data.iter() {
         writeln!(writer, "{},{},{}", r.worker.0, r.task.0, r.label.0)?;
@@ -99,7 +109,10 @@ pub fn read_gold(reader: impl Read, n_tasks: usize) -> Result<GoldStandard> {
     let mut known: Vec<(TaskId, Label)> = Vec::new();
     let mut header_seen = false;
     for (line_no, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line.map_err(|e| DataError::Csv { line: line_no + 1, reason: e.to_string() })?;
+        let line = line.map_err(|e| DataError::Csv {
+            line: line_no + 1,
+            reason: e.to_string(),
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -158,8 +171,10 @@ fn split_fields(line: &str, want: usize, line_no: usize) -> Result<Vec<String>> 
 }
 
 fn parse_u32(s: &str, what: &str, line_no: usize) -> Result<u32> {
-    s.parse::<u32>()
-        .map_err(|_| DataError::Csv { line: line_no, reason: format!("invalid {what}: {s:?}") })
+    s.parse::<u32>().map_err(|_| DataError::Csv {
+        line: line_no,
+        reason: format!("invalid {what}: {s:?}"),
+    })
 }
 
 #[cfg(test)]

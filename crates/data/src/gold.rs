@@ -18,7 +18,9 @@ pub struct GoldStandard {
 impl GoldStandard {
     /// Full gold standard: one true label per task.
     pub fn complete(labels: Vec<Label>) -> Self {
-        Self { labels: labels.into_iter().map(Some).collect() }
+        Self {
+            labels: labels.into_iter().map(Some).collect(),
+        }
     }
 
     /// Partial gold standard over `n_tasks` tasks.
@@ -59,7 +61,11 @@ impl GoldStandard {
                 }
             }
         }
-        if attempted == 0 { None } else { Some(wrong as f64 / attempted as f64) }
+        if attempted == 0 {
+            None
+        } else {
+            Some(wrong as f64 / attempted as f64)
+        }
     }
 
     /// Number of (attempted gold tasks, errors) for a worker.
@@ -135,7 +141,10 @@ impl GoldStandard {
         if total == 0 {
             return vec![1.0 / arity as f64; arity as usize];
         }
-        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -165,9 +174,7 @@ mod tests {
     fn error_rates() {
         let (data, gold) = setup();
         assert!((gold.worker_error_rate(&data, WorkerId(0)).unwrap() - 0.25).abs() < 1e-15);
-        assert!(
-            (gold.worker_error_rate(&data, WorkerId(1)).unwrap() - 2.0 / 3.0).abs() < 1e-15
-        );
+        assert!((gold.worker_error_rate(&data, WorkerId(1)).unwrap() - 2.0 / 3.0).abs() < 1e-15);
         assert_eq!(gold.worker_error_counts(&data, WorkerId(0)), (4, 1));
     }
 

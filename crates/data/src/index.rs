@@ -1,0 +1,641 @@
+//! The [`OverlapIndex`] — the one-pass sufficient-statistics substrate
+//! behind fleet-wide assessment.
+//!
+//! The estimators' hot path consumes three families of statistics:
+//!
+//! 1. pairwise co-occurrence and agreement counts `(c_ij, a_ij)`,
+//! 2. triple overlap counts `c_ijk`,
+//! 3. joint label views for the k-ary counts tensor.
+//!
+//! The historical code recomputed each by a merge scan over per-worker
+//! response lists at every use, which turns `evaluate_all` on `m`
+//! workers into an `O(m³·n̄)`–`O(m⁴·n̄)` fan-out of redundant scans.
+//! The index is built in **one pass over the response matrix** and
+//! packs:
+//!
+//! * a CSR task → `(worker, label)` adjacency,
+//! * a CSR worker → `(task, label)` adjacency,
+//! * the packed upper-triangular pair table (a [`PairCache`]),
+//!   harvested **per task** — each task's responder list contributes
+//!   its pairs directly, so the table costs `O(Σ_t r_t²)` once instead
+//!   of `O(m²)` merge scans.
+//!
+//! Triple statistics cannot be tabulated up front (`O(m³)` space), so
+//! the index answers them two ways: merge scans over its CSR rows for
+//! one-off queries, and — the workhorse of Algorithm A2's Lemma 4
+//! covariance — an [`AnchoredOverlap`] view that fixes one worker and
+//! answers `c_{anchor,a,b}` by bitset intersection over the anchor's
+//! task set, turning the `O(l²)` triple scans of one worker evaluation
+//! into word-parallel popcounts.
+//!
+//! [`OverlapSource`] abstracts over the three providers (naive matrix
+//! scans, matrix + streaming [`PairCache`], full index) so the
+//! estimators are written once and the naive path stays available as
+//! the correctness reference for the equivalence tests and benchmarks.
+
+use crate::overlap::triple_scan;
+use crate::{Label, PairCache, PairStats, ResponseMatrix, TaskId, TripleStats, WorkerId};
+
+/// A provider of pairwise and triple overlap statistics over one
+/// response data set.
+///
+/// Implemented by [`ResponseMatrix`] (merge scans — the naive
+/// reference), [`CachedOverlap`] (O(1) pairs from a streaming
+/// [`PairCache`], scans for triples) and [`OverlapIndex`] (O(1) pairs,
+/// CSR scans and anchored bitset popcounts for triples). All three
+/// return *identical* counts — only the cost differs — which is what
+/// lets `evaluate_all` switch substrates without changing a single
+/// output bit.
+pub trait OverlapSource {
+    /// The anchored triple-overlap view; see [`OverlapSource::anchored`].
+    type Anchored<'a>: AnchoredOverlap
+    where
+        Self: 'a;
+
+    /// Number of workers covered (including silent ones).
+    fn n_workers(&self) -> usize;
+
+    /// Task arity (k) of the underlying data.
+    fn arity(&self) -> u16;
+
+    /// Pairwise co-occurrence and agreement counts for `(a, b)`.
+    fn pair(&self, a: WorkerId, b: WorkerId) -> PairStats;
+
+    /// Triple overlap count `c_abc`.
+    fn triple(&self, a: WorkerId, b: WorkerId, c: WorkerId) -> TripleStats;
+
+    /// A view answering many triple queries that all share the fixed
+    /// worker `anchor` — the access pattern of the Lemma 4 covariance
+    /// assembly (`c_{i,a,b}` for one evaluated worker `i` and many peer
+    /// pairs).
+    fn anchored(&self, anchor: WorkerId) -> Self::Anchored<'_>;
+}
+
+/// Triple-overlap queries sharing one fixed anchor worker.
+pub trait AnchoredOverlap {
+    /// `c_{anchor,a,b}`: tasks attempted by the anchor and both peers.
+    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize;
+
+    /// Tasks attempted by the anchor and *every* worker in `others`
+    /// (the `n₅` count of the k-ary cross-triple covariance).
+    fn common_among(&self, others: &[WorkerId]) -> usize;
+}
+
+/// Anchored view that falls back to per-query scans of a matrix — the
+/// naive reference implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanAnchored<'a> {
+    data: &'a ResponseMatrix,
+    anchor: WorkerId,
+}
+
+impl AnchoredOverlap for ScanAnchored<'_> {
+    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+        crate::triple_overlap(self.data, self.anchor, a, b).common_tasks
+    }
+
+    fn common_among(&self, others: &[WorkerId]) -> usize {
+        self.data
+            .worker_responses(self.anchor)
+            .iter()
+            .filter(|&&(task, _)| {
+                others
+                    .iter()
+                    .all(|&w| self.data.response(w, TaskId(task)).is_some())
+            })
+            .count()
+    }
+}
+
+impl OverlapSource for ResponseMatrix {
+    type Anchored<'a> = ScanAnchored<'a>;
+
+    fn n_workers(&self) -> usize {
+        ResponseMatrix::n_workers(self)
+    }
+
+    fn arity(&self) -> u16 {
+        ResponseMatrix::arity(self)
+    }
+
+    fn pair(&self, a: WorkerId, b: WorkerId) -> PairStats {
+        crate::pair_stats(self, a, b)
+    }
+
+    fn triple(&self, a: WorkerId, b: WorkerId, c: WorkerId) -> TripleStats {
+        crate::triple_overlap(self, a, b, c)
+    }
+
+    fn anchored(&self, anchor: WorkerId) -> ScanAnchored<'_> {
+        ScanAnchored { data: self, anchor }
+    }
+}
+
+/// A matrix paired with an incrementally maintained [`PairCache`]:
+/// O(1) pair lookups, merge scans for triples. The substrate of the
+/// streaming evaluator, whose cache is updated response by response
+/// (rebuilding a full [`OverlapIndex`] per response would defeat it).
+#[derive(Debug, Clone, Copy)]
+pub struct CachedOverlap<'a> {
+    /// The underlying responses.
+    pub data: &'a ResponseMatrix,
+    /// The maintained pair table.
+    pub cache: &'a PairCache,
+}
+
+impl OverlapSource for CachedOverlap<'_> {
+    type Anchored<'b>
+        = ScanAnchored<'b>
+    where
+        Self: 'b;
+
+    fn n_workers(&self) -> usize {
+        self.data.n_workers()
+    }
+
+    fn arity(&self) -> u16 {
+        self.data.arity()
+    }
+
+    fn pair(&self, a: WorkerId, b: WorkerId) -> PairStats {
+        self.cache.get(a, b)
+    }
+
+    fn triple(&self, a: WorkerId, b: WorkerId, c: WorkerId) -> TripleStats {
+        crate::triple_overlap(self.data, a, b, c)
+    }
+
+    fn anchored(&self, anchor: WorkerId) -> ScanAnchored<'_> {
+        ScanAnchored {
+            data: self.data,
+            anchor,
+        }
+    }
+}
+
+/// The one-pass overlap substrate; see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use crowd_data::{Label, OverlapIndex, OverlapSource, ResponseMatrixBuilder, TaskId, WorkerId};
+///
+/// let mut b = ResponseMatrixBuilder::new(3, 4, 2);
+/// for t in 0..4u32 {
+///     b.push(WorkerId(0), TaskId(t), Label(0))?;
+///     b.push(WorkerId(1), TaskId(t), Label((t % 2) as u16))?;
+/// }
+/// b.push(WorkerId(2), TaskId(1), Label(1))?;
+/// let data = b.build()?;
+///
+/// let index = OverlapIndex::from_matrix(&data);
+/// assert_eq!(index.pair(WorkerId(0), WorkerId(1)).common_tasks, 4);
+/// assert_eq!(index.pair(WorkerId(0), WorkerId(1)).agreements, 2);
+/// assert_eq!(index.triple(WorkerId(0), WorkerId(1), WorkerId(2)).common_tasks, 1);
+/// # Ok::<(), crowd_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapIndex {
+    n_workers: usize,
+    n_tasks: usize,
+    n_responses: usize,
+    arity: u16,
+    /// CSR row starts into `worker_entries`, length `n_workers + 1`.
+    worker_ptr: Vec<u32>,
+    /// Per-worker `(task, label)` runs, task-sorted within each row.
+    worker_entries: Vec<(u32, Label)>,
+    /// CSR row starts into `task_entries`, length `n_tasks + 1`.
+    task_ptr: Vec<u32>,
+    /// Per-task `(worker, label)` runs, worker-sorted within each row.
+    task_entries: Vec<(u32, Label)>,
+    /// Packed upper-triangular pair agreement/co-occurrence table.
+    pairs: PairCache,
+}
+
+impl OverlapIndex {
+    /// Builds the index in one pass over the matrix: the task CSR and
+    /// the pair table are filled from each task's responder list as it
+    /// is visited; the worker CSR from each worker's row.
+    ///
+    /// The adjacencies are *owned copies* (≈ 2·nnz entries) rather than
+    /// borrows of the matrix: the index is self-contained, so it can
+    /// outlive the matrix, be shipped to worker shards on its own, and
+    /// keep its rows contiguous for the merge scans. Callers that
+    /// cannot afford the copy can stay on [`CachedOverlap`], which
+    /// borrows the matrix and only materializes the pair table.
+    pub fn from_matrix(data: &ResponseMatrix) -> Self {
+        let m = data.n_workers();
+        let n = data.n_tasks();
+        let nnz = data.n_responses();
+        // CSR offsets are packed into u32 (8 bytes per entry matters at
+        // fleet scale); make the resulting capacity limit explicit
+        // instead of silently wrapping.
+        assert!(
+            nnz <= u32::MAX as usize,
+            "OverlapIndex supports at most {} responses, got {nnz}; \
+             shard the matrix before indexing",
+            u32::MAX
+        );
+
+        let mut pairs = PairCache::empty(m);
+        let mut task_ptr = Vec::with_capacity(n + 1);
+        let mut task_entries = Vec::with_capacity(nnz);
+        task_ptr.push(0u32);
+        for task in data.tasks() {
+            let responders = data.task_responses(task);
+            pairs.harvest_task(responders);
+            task_entries.extend_from_slice(responders);
+            task_ptr.push(task_entries.len() as u32);
+        }
+
+        let mut worker_ptr = Vec::with_capacity(m + 1);
+        let mut worker_entries = Vec::with_capacity(nnz);
+        worker_ptr.push(0u32);
+        for worker in data.workers() {
+            worker_entries.extend_from_slice(data.worker_responses(worker));
+            worker_ptr.push(worker_entries.len() as u32);
+        }
+
+        Self {
+            n_workers: m,
+            n_tasks: n,
+            n_responses: nnz,
+            arity: data.arity(),
+            worker_ptr,
+            worker_entries,
+            task_ptr,
+            task_entries,
+            pairs,
+        }
+    }
+
+    /// Number of workers covered.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Total responses indexed.
+    #[inline]
+    pub fn n_responses(&self) -> usize {
+        self.n_responses
+    }
+
+    /// Task arity (k).
+    #[inline]
+    pub fn arity(&self) -> u16 {
+        self.arity
+    }
+
+    /// The packed pair table.
+    #[inline]
+    pub fn pairs(&self) -> &PairCache {
+        &self.pairs
+    }
+
+    /// One worker's `(task, label)` row, task-sorted.
+    #[inline]
+    pub fn worker_responses(&self, worker: WorkerId) -> &[(u32, Label)] {
+        let (lo, hi) = (
+            self.worker_ptr[worker.index()],
+            self.worker_ptr[worker.index() + 1],
+        );
+        &self.worker_entries[lo as usize..hi as usize]
+    }
+
+    /// One task's `(worker, label)` row, worker-sorted.
+    #[inline]
+    pub fn task_responses(&self, task: TaskId) -> &[(u32, Label)] {
+        let (lo, hi) = (self.task_ptr[task.index()], self.task_ptr[task.index() + 1]);
+        &self.task_entries[lo as usize..hi as usize]
+    }
+
+    /// All worker ids.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.n_workers as u32).map(WorkerId)
+    }
+
+    /// The joint (possibly absent) labels of three workers on every
+    /// task at least one of them attempted, by a three-way **union**
+    /// merge of the CSR rows — `O(|w₁| + |w₂| + |w₃|)`, versus the
+    /// matrix path's full scan over all `n` tasks with a binary search
+    /// per cell. Ordering and contents match
+    /// [`crate::triple_joint_labels_optional`] exactly.
+    pub fn triple_joint_labels_optional(
+        &self,
+        a: WorkerId,
+        b: WorkerId,
+        c: WorkerId,
+    ) -> Vec<(Option<Label>, Option<Label>, Option<Label>)> {
+        let (la, lb, lc) = (
+            self.worker_responses(a),
+            self.worker_responses(b),
+            self.worker_responses(c),
+        );
+        let mut out = Vec::new();
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        loop {
+            let ta = la.get(i).map(|e| e.0);
+            let tb = lb.get(j).map(|e| e.0);
+            let tc = lc.get(k).map(|e| e.0);
+            let Some(t) = [ta, tb, tc].into_iter().flatten().min() else {
+                break;
+            };
+            let mut row = (None, None, None);
+            if ta == Some(t) {
+                row.0 = Some(la[i].1);
+                i += 1;
+            }
+            if tb == Some(t) {
+                row.1 = Some(lb[j].1);
+                j += 1;
+            }
+            if tc == Some(t) {
+                row.2 = Some(lc[k].1);
+                k += 1;
+            }
+            out.push(row);
+        }
+        out
+    }
+}
+
+impl OverlapSource for OverlapIndex {
+    type Anchored<'a> = BitsetAnchored<'a>;
+
+    fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    fn arity(&self) -> u16 {
+        self.arity
+    }
+
+    fn pair(&self, a: WorkerId, b: WorkerId) -> PairStats {
+        self.pairs.get(a, b)
+    }
+
+    fn triple(&self, a: WorkerId, b: WorkerId, c: WorkerId) -> TripleStats {
+        triple_scan(
+            self.worker_responses(a),
+            self.worker_responses(b),
+            self.worker_responses(c),
+        )
+    }
+
+    fn anchored(&self, anchor: WorkerId) -> BitsetAnchored<'_> {
+        BitsetAnchored::build(self, anchor)
+    }
+}
+
+/// Anchored triple overlaps by bitset intersection.
+///
+/// The anchor's attempted tasks define bit positions `0..s`; for every
+/// worker `w`, `masks[w]` records which of those tasks `w` attempted
+/// (filled in one pass over the anchor's tasks' responder lists, so the
+/// build is `O(Σ_{t ∈ tasks(anchor)} r_t)` — proportional to the data
+/// actually touching the anchor, never to `m·n`). Then
+/// `c_{anchor,a,b} = popcount(masks[a] & masks[b])`, a handful of word
+/// operations per query instead of a three-way merge scan.
+#[derive(Debug, Clone)]
+pub struct BitsetAnchored<'a> {
+    /// The anchor's task count (bit budget of every mask).
+    anchor_tasks: usize,
+    /// Words per worker mask.
+    words: usize,
+    /// `n_workers × words` bit matrix, row-major.
+    masks: Vec<u64>,
+    _index: std::marker::PhantomData<&'a OverlapIndex>,
+}
+
+impl<'a> BitsetAnchored<'a> {
+    fn build(index: &'a OverlapIndex, anchor: WorkerId) -> Self {
+        let tasks = index.worker_responses(anchor);
+        let words = tasks.len().div_ceil(64).max(1);
+        let mut masks = vec![0u64; index.n_workers() * words];
+        for (slot, &(task, _)) in tasks.iter().enumerate() {
+            let (word, bit) = (slot / 64, slot % 64);
+            for &(w, _) in index.task_responses(TaskId(task)) {
+                masks[w as usize * words + word] |= 1u64 << bit;
+            }
+        }
+        Self {
+            anchor_tasks: tasks.len(),
+            words,
+            masks,
+            _index: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn mask(&self, w: WorkerId) -> &[u64] {
+        &self.masks[w.index() * self.words..(w.index() + 1) * self.words]
+    }
+
+    /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
+    pub fn pair_common(&self, a: WorkerId) -> usize {
+        self.mask(a).iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl AnchoredOverlap for BitsetAnchored<'_> {
+    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+        self.mask(a)
+            .iter()
+            .zip(self.mask(b))
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    fn common_among(&self, others: &[WorkerId]) -> usize {
+        let Some((&first, rest)) = others.split_first() else {
+            // Every anchor task trivially intersects an empty peer set.
+            return self.anchor_tasks;
+        };
+        (0..self.words)
+            .map(|w| {
+                let mut acc = self.mask(first)[w];
+                for &other in rest {
+                    acc &= self.mask(other)[w];
+                }
+                acc.count_ones() as usize
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ResponseMatrixBuilder, pair_stats, triple_joint_labels_optional, triple_overlap};
+
+    /// A deterministic sparse matrix exercising uneven attempt sets.
+    fn sample(m: usize, n: usize, arity: u16, seed: u64) -> ResponseMatrix {
+        let mut b = ResponseMatrixBuilder::new(m, n, arity);
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for w in 0..m as u32 {
+            for t in 0..n as u32 {
+                if next() % 10 < 6 {
+                    b.push(
+                        WorkerId(w),
+                        TaskId(t),
+                        Label((next() % arity as u32) as u16),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn index_matches_merge_scans() {
+        let data = sample(7, 40, 3, 99);
+        let index = OverlapIndex::from_matrix(&data);
+        assert_eq!(index.n_workers(), 7);
+        assert_eq!(index.n_tasks(), 40);
+        assert_eq!(index.n_responses(), data.n_responses());
+        assert_eq!(index.arity(), 3);
+        for a in 0..7u32 {
+            assert_eq!(
+                index.worker_responses(WorkerId(a)),
+                data.worker_responses(WorkerId(a))
+            );
+            for b in (a + 1)..7u32 {
+                assert_eq!(
+                    index.pair(WorkerId(a), WorkerId(b)),
+                    pair_stats(&data, WorkerId(a), WorkerId(b)),
+                );
+                for c in (b + 1)..7u32 {
+                    assert_eq!(
+                        index.triple(WorkerId(a), WorkerId(b), WorkerId(c)),
+                        triple_overlap(&data, WorkerId(a), WorkerId(b), WorkerId(c)),
+                    );
+                }
+            }
+        }
+        for t in 0..40u32 {
+            assert_eq!(
+                index.task_responses(TaskId(t)),
+                data.task_responses(TaskId(t))
+            );
+        }
+    }
+
+    #[test]
+    fn anchored_bitsets_match_scans() {
+        let data = sample(8, 60, 2, 4242);
+        let index = OverlapIndex::from_matrix(&data);
+        for anchor in 0..8u32 {
+            let fast = index.anchored(WorkerId(anchor));
+            let slow = data.anchored(WorkerId(anchor));
+            for a in 0..8u32 {
+                assert_eq!(
+                    fast.pair_common(WorkerId(a)),
+                    pair_stats(&data, WorkerId(anchor), WorkerId(a))
+                        .common_tasks
+                        .max(if a == anchor {
+                            data.worker_task_count(WorkerId(anchor))
+                        } else {
+                            0
+                        }),
+                    "anchor {anchor}, worker {a}"
+                );
+                for b in 0..8u32 {
+                    if a == b {
+                        continue;
+                    }
+                    assert_eq!(
+                        fast.triple_common(WorkerId(a), WorkerId(b)),
+                        slow.triple_common(WorkerId(a), WorkerId(b)),
+                        "anchor {anchor}, pair ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_among_matches_naive_filter() {
+        let data = sample(6, 50, 2, 7);
+        let index = OverlapIndex::from_matrix(&data);
+        let anchor = WorkerId(0);
+        let fast = index.anchored(anchor);
+        let slow = data.anchored(anchor);
+        let others = [WorkerId(1), WorkerId(2), WorkerId(4), WorkerId(5)];
+        assert_eq!(fast.common_among(&others), slow.common_among(&others));
+        assert_eq!(
+            fast.common_among(&[]),
+            data.worker_task_count(anchor),
+            "empty peer set means every anchor task qualifies"
+        );
+    }
+
+    #[test]
+    fn union_merge_matches_matrix_joint_labels() {
+        let data = sample(5, 30, 4, 314);
+        let index = OverlapIndex::from_matrix(&data);
+        for (a, b, c) in [(0u32, 1, 2), (2, 4, 0), (3, 3, 3)] {
+            if a == b || b == c || a == c {
+                continue;
+            }
+            assert_eq!(
+                index.triple_joint_labels_optional(WorkerId(a), WorkerId(b), WorkerId(c)),
+                triple_joint_labels_optional(&data, WorkerId(a), WorkerId(b), WorkerId(c)),
+            );
+        }
+    }
+
+    #[test]
+    fn cached_overlap_delegates() {
+        let data = sample(5, 25, 2, 11);
+        let cache = PairCache::from_matrix(&data);
+        let src = CachedOverlap {
+            data: &data,
+            cache: &cache,
+        };
+        assert_eq!(OverlapSource::n_workers(&src), 5);
+        assert_eq!(
+            src.pair(WorkerId(0), WorkerId(3)),
+            pair_stats(&data, WorkerId(0), WorkerId(3))
+        );
+        assert_eq!(
+            src.triple(WorkerId(0), WorkerId(1), WorkerId(2)),
+            triple_overlap(&data, WorkerId(0), WorkerId(1), WorkerId(2))
+        );
+    }
+
+    #[test]
+    fn empty_and_silent_workers_are_handled() {
+        // Worker 2 never answers; several tasks have no responses.
+        let mut b = ResponseMatrixBuilder::new(3, 10, 2);
+        b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(1), TaskId(0), Label(0)).unwrap();
+        b.push(WorkerId(0), TaskId(7), Label(1)).unwrap();
+        let data = b.build().unwrap();
+        let index = OverlapIndex::from_matrix(&data);
+        assert_eq!(index.pair(WorkerId(0), WorkerId(1)).common_tasks, 1);
+        assert_eq!(index.pair(WorkerId(0), WorkerId(2)).common_tasks, 0);
+        assert!(index.worker_responses(WorkerId(2)).is_empty());
+        assert_eq!(
+            index
+                .triple(WorkerId(0), WorkerId(1), WorkerId(2))
+                .common_tasks,
+            0
+        );
+        let view = index.anchored(WorkerId(2));
+        assert_eq!(view.triple_common(WorkerId(0), WorkerId(1)), 0);
+    }
+}

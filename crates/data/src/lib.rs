@@ -20,6 +20,7 @@ pub mod counts;
 pub mod csv;
 pub mod gold;
 pub mod ids;
+pub mod index;
 pub mod label;
 pub mod majority;
 pub mod matrix;
@@ -28,6 +29,7 @@ pub mod overlap;
 pub use counts::{AttemptPattern, CountsTensor};
 pub use gold::GoldStandard;
 pub use ids::{TaskId, WorkerId};
+pub use index::{AnchoredOverlap, BitsetAnchored, CachedOverlap, OverlapIndex, OverlapSource};
 pub use label::Label;
 pub use majority::{MajorityOutcome, disagreement_rates, majority_vote};
 pub use matrix::{Response, ResponseMatrix, ResponseMatrixBuilder};
@@ -76,7 +78,10 @@ impl std::fmt::Display for DataError {
                 write!(f, "label {label} out of range for arity {arity}")
             }
             Self::DuplicateResponse { worker, task } => {
-                write!(f, "duplicate response from worker {worker:?} on task {task:?}")
+                write!(
+                    f,
+                    "duplicate response from worker {worker:?} on task {task:?}"
+                )
             }
             Self::Csv { line, reason } => write!(f, "csv parse error on line {line}: {reason}"),
             Self::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),

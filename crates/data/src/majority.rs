@@ -47,10 +47,18 @@ pub fn majority_vote(data: &ResponseMatrix, task: TaskId) -> MajorityOutcome {
         counts[label.index()] += 1;
     }
     let best = *counts.iter().max().expect("non-empty counts");
-    let leaders: Vec<usize> =
-        counts.iter().enumerate().filter(|&(_, &c)| c == best).map(|(i, _)| i).collect();
+    let leaders: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(i, _)| i)
+        .collect();
     let label = Label(leaders[0] as u16);
-    if leaders.len() == 1 { MajorityOutcome::Winner(label) } else { MajorityOutcome::Tie(label) }
+    if leaders.len() == 1 {
+        MajorityOutcome::Winner(label)
+    } else {
+        MajorityOutcome::Tie(label)
+    }
 }
 
 /// Majority vote over one task's responses, **excluding** one worker —
@@ -76,10 +84,18 @@ pub fn majority_vote_excluding(
         return MajorityOutcome::Empty;
     }
     let best = *counts.iter().max().expect("non-empty counts");
-    let leaders: Vec<usize> =
-        counts.iter().enumerate().filter(|&(_, &c)| c == best).map(|(i, _)| i).collect();
+    let leaders: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(i, _)| i)
+        .collect();
     let label = Label(leaders[0] as u16);
-    if leaders.len() == 1 { MajorityOutcome::Winner(label) } else { MajorityOutcome::Tie(label) }
+    if leaders.len() == 1 {
+        MajorityOutcome::Winner(label)
+    } else {
+        MajorityOutcome::Tie(label)
+    }
 }
 
 /// For every worker: the fraction of its responses disagreeing with the
@@ -104,7 +120,11 @@ pub fn disagreement_rates(data: &ResponseMatrix) -> Vec<Option<f64>> {
                     MajorityOutcome::Tie(_) | MajorityOutcome::Empty => {}
                 }
             }
-            if scored == 0 { None } else { Some(disagreed as f64 / scored as f64) }
+            if scored == 0 {
+                None
+            } else {
+                Some(disagreed as f64 / scored as f64)
+            }
         })
         .collect()
 }
@@ -114,7 +134,12 @@ mod tests {
     use super::*;
     use crate::ResponseMatrixBuilder;
 
-    fn build(rows: &[(u32, u32, u16)], n_workers: usize, n_tasks: usize, arity: u16) -> ResponseMatrix {
+    fn build(
+        rows: &[(u32, u32, u16)],
+        n_workers: usize,
+        n_tasks: usize,
+        arity: u16,
+    ) -> ResponseMatrix {
         let mut b = ResponseMatrixBuilder::new(n_workers, n_tasks, arity);
         for &(w, t, l) in rows {
             b.push(WorkerId(w), TaskId(t), Label(l)).unwrap();
@@ -125,7 +150,10 @@ mod tests {
     #[test]
     fn strict_winner() {
         let m = build(&[(0, 0, 1), (1, 0, 1), (2, 0, 0)], 3, 1, 2);
-        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(1)));
+        assert_eq!(
+            majority_vote(&m, TaskId(0)),
+            MajorityOutcome::Winner(Label(1))
+        );
     }
 
     #[test]
@@ -148,7 +176,10 @@ mod tests {
     fn excluding_changes_outcome() {
         // Votes: w0=1, w1=0, w2=1 → majority 1; excluding w2 → tie.
         let m = build(&[(0, 0, 1), (1, 0, 0), (2, 0, 1)], 3, 1, 2);
-        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(1)));
+        assert_eq!(
+            majority_vote(&m, TaskId(0)),
+            MajorityOutcome::Winner(Label(1))
+        );
         assert_eq!(
             majority_vote_excluding(&m, TaskId(0), WorkerId(2)),
             MajorityOutcome::Tie(Label(0))
@@ -162,7 +193,10 @@ mod tests {
     #[test]
     fn excluding_sole_voter_is_empty() {
         let m = build(&[(0, 0, 1)], 1, 1, 2);
-        assert_eq!(majority_vote_excluding(&m, TaskId(0), WorkerId(0)), MajorityOutcome::Empty);
+        assert_eq!(
+            majority_vote_excluding(&m, TaskId(0), WorkerId(0)),
+            MajorityOutcome::Empty
+        );
     }
 
     #[test]
@@ -194,6 +228,9 @@ mod tests {
     #[test]
     fn kary_majority() {
         let m = build(&[(0, 0, 2), (1, 0, 2), (2, 0, 1), (3, 0, 0)], 4, 1, 3);
-        assert_eq!(majority_vote(&m, TaskId(0)), MajorityOutcome::Winner(Label(2)));
+        assert_eq!(
+            majority_vote(&m, TaskId(0)),
+            MajorityOutcome::Winner(Label(2))
+        );
     }
 }

@@ -30,22 +30,43 @@ impl ResponseMatrixBuilder {
     /// # Panics
     /// Panics if `arity < 2`.
     pub fn new(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
-        assert!(arity >= 2, "tasks must have at least two possible responses");
-        Self { arity, n_workers, n_tasks, responses: Vec::new() }
+        assert!(
+            arity >= 2,
+            "tasks must have at least two possible responses"
+        );
+        Self {
+            arity,
+            n_workers,
+            n_tasks,
+            responses: Vec::new(),
+        }
     }
 
     /// Records a response; range-checks the ids and label.
     pub fn push(&mut self, worker: WorkerId, task: TaskId, label: Label) -> Result<()> {
         if worker.index() >= self.n_workers {
-            return Err(DataError::UnknownId { kind: "worker", id: worker.0 });
+            return Err(DataError::UnknownId {
+                kind: "worker",
+                id: worker.0,
+            });
         }
         if task.index() >= self.n_tasks {
-            return Err(DataError::UnknownId { kind: "task", id: task.0 });
+            return Err(DataError::UnknownId {
+                kind: "task",
+                id: task.0,
+            });
         }
         if !label.valid_for_arity(self.arity) {
-            return Err(DataError::LabelOutOfRange { label: label.0, arity: self.arity });
+            return Err(DataError::LabelOutOfRange {
+                label: label.0,
+                arity: self.arity,
+            });
         }
-        self.responses.push(Response { worker, task, label });
+        self.responses.push(Response {
+            worker,
+            task,
+            label,
+        });
         Ok(())
     }
 
@@ -140,7 +161,11 @@ impl ResponseMatrix {
     /// Fraction of filled (worker, task) cells — the paper's "density".
     pub fn density(&self) -> f64 {
         let cells = self.n_workers * self.n_tasks;
-        if cells == 0 { 0.0 } else { self.n_responses as f64 / cells as f64 }
+        if cells == 0 {
+            0.0
+        } else {
+            self.n_responses as f64 / cells as f64
+        }
     }
 
     /// True when every worker answered every task (the "regular" case).
@@ -151,7 +176,9 @@ impl ResponseMatrix {
     /// The label `worker` gave on `task`, if any.
     pub fn response(&self, worker: WorkerId, task: TaskId) -> Option<Label> {
         let list = self.by_worker.get(worker.index())?;
-        list.binary_search_by_key(&task.0, |&(t, _)| t).ok().map(|i| list[i].1)
+        list.binary_search_by_key(&task.0, |&(t, _)| t)
+            .ok()
+            .map(|i| list[i].1)
     }
 
     /// All `(task index, label)` pairs of one worker, sorted by task.
@@ -198,15 +225,28 @@ impl ResponseMatrix {
     /// Cost: `O(log r + r)` in the worker's/task's current response
     /// counts (binary search + insertion shift).
     pub fn insert(&mut self, response: Response) -> Result<()> {
-        let Response { worker, task, label } = response;
+        let Response {
+            worker,
+            task,
+            label,
+        } = response;
         if worker.index() >= self.n_workers {
-            return Err(DataError::UnknownId { kind: "worker", id: worker.0 });
+            return Err(DataError::UnknownId {
+                kind: "worker",
+                id: worker.0,
+            });
         }
         if task.index() >= self.n_tasks {
-            return Err(DataError::UnknownId { kind: "task", id: task.0 });
+            return Err(DataError::UnknownId {
+                kind: "task",
+                id: task.0,
+            });
         }
         if !label.valid_for_arity(self.arity) {
-            return Err(DataError::LabelOutOfRange { label: label.0, arity: self.arity });
+            return Err(DataError::LabelOutOfRange {
+                label: label.0,
+                arity: self.arity,
+            });
         }
         let w_list = &mut self.by_worker[worker.index()];
         match w_list.binary_search_by_key(&task.0, |&(t, _)| t) {
@@ -247,7 +287,12 @@ impl ResponseMatrix {
                     .expect("retain_workers preserves validity");
             }
         }
-        (builder.build().expect("retain_workers cannot create duplicates"), kept)
+        (
+            builder
+                .build()
+                .expect("retain_workers cannot create duplicates"),
+            kept,
+        )
     }
 
     /// Restricts to the given workers (in the given order), remapping
@@ -264,7 +309,9 @@ impl ResponseMatrix {
                     .expect("project_workers preserves validity");
             }
         }
-        builder.build().expect("project_workers cannot create duplicates")
+        builder
+            .build()
+            .expect("project_workers cannot create duplicates")
     }
 }
 
@@ -277,7 +324,8 @@ mod tests {
         let mut b = ResponseMatrixBuilder::new(3, 4, 2);
         for t in 0..4u32 {
             b.push(WorkerId(0), TaskId(t), Label(0)).unwrap();
-            b.push(WorkerId(1), TaskId(t), Label((t % 2) as u16)).unwrap();
+            b.push(WorkerId(1), TaskId(t), Label((t % 2) as u16))
+                .unwrap();
         }
         b.push(WorkerId(2), TaskId(0), Label(1)).unwrap();
         b.push(WorkerId(2), TaskId(2), Label(0)).unwrap();
@@ -329,7 +377,10 @@ mod tests {
         let mut b = ResponseMatrixBuilder::new(1, 1, 2);
         b.push(WorkerId(0), TaskId(0), Label(0)).unwrap();
         b.push(WorkerId(0), TaskId(0), Label(1)).unwrap();
-        assert!(matches!(b.build(), Err(DataError::DuplicateResponse { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(DataError::DuplicateResponse { .. })
+        ));
     }
 
     #[test]
@@ -400,15 +451,30 @@ mod tests {
     #[test]
     fn insert_rejects_duplicates_and_bad_ids() {
         let mut m = ResponseMatrix::empty(2, 2, 2);
-        let r = Response { worker: WorkerId(0), task: TaskId(1), label: Label(1) };
+        let r = Response {
+            worker: WorkerId(0),
+            task: TaskId(1),
+            label: Label(1),
+        };
         m.insert(r).unwrap();
-        assert!(matches!(m.insert(r), Err(DataError::DuplicateResponse { .. })));
         assert!(matches!(
-            m.insert(Response { worker: WorkerId(5), task: TaskId(0), label: Label(0) }),
+            m.insert(r),
+            Err(DataError::DuplicateResponse { .. })
+        ));
+        assert!(matches!(
+            m.insert(Response {
+                worker: WorkerId(5),
+                task: TaskId(0),
+                label: Label(0)
+            }),
             Err(DataError::UnknownId { .. })
         ));
         assert!(matches!(
-            m.insert(Response { worker: WorkerId(0), task: TaskId(0), label: Label(7) }),
+            m.insert(Response {
+                worker: WorkerId(0),
+                task: TaskId(0),
+                label: Label(7)
+            }),
             Err(DataError::LabelOutOfRange { .. })
         ));
         assert_eq!(m.n_responses(), 1);

@@ -35,8 +35,13 @@ impl PairStats {
 /// Computes `c_ij` and the agreement count for a worker pair by merge
 /// scan of the two sorted response lists.
 pub fn pair_stats(data: &ResponseMatrix, a: WorkerId, b: WorkerId) -> PairStats {
-    let la = data.worker_responses(a);
-    let lb = data.worker_responses(b);
+    pair_scan(data.worker_responses(a), data.worker_responses(b))
+}
+
+/// Merge scan of two task-sorted `(task, label)` rows. Shared by the
+/// matrix-level [`pair_stats`] and the CSR rows of
+/// [`crate::OverlapIndex`].
+pub(crate) fn pair_scan(la: &[(u32, Label)], lb: &[(u32, Label)]) -> PairStats {
     let mut i = 0;
     let mut j = 0;
     let mut common = 0;
@@ -55,7 +60,10 @@ pub fn pair_stats(data: &ResponseMatrix, a: WorkerId, b: WorkerId) -> PairStats 
             }
         }
     }
-    PairStats { common_tasks: common, agreements: agree }
+    PairStats {
+        common_tasks: common,
+        agreements: agree,
+    }
 }
 
 /// Overlap statistics for one worker triple.
@@ -67,9 +75,19 @@ pub struct TripleStats {
 
 /// Computes `c_ijk` for three workers by a three-way merge scan.
 pub fn triple_overlap(data: &ResponseMatrix, a: WorkerId, b: WorkerId, c: WorkerId) -> TripleStats {
-    let la = data.worker_responses(a);
-    let lb = data.worker_responses(b);
-    let lc = data.worker_responses(c);
+    triple_scan(
+        data.worker_responses(a),
+        data.worker_responses(b),
+        data.worker_responses(c),
+    )
+}
+
+/// Three-way merge scan of task-sorted rows; see [`pair_scan`].
+pub(crate) fn triple_scan(
+    la: &[(u32, Label)],
+    lb: &[(u32, Label)],
+    lc: &[(u32, Label)],
+) -> TripleStats {
     let mut i = 0;
     let mut j = 0;
     let mut k = 0;
@@ -94,7 +112,9 @@ pub fn triple_overlap(data: &ResponseMatrix, a: WorkerId, b: WorkerId, c: Worker
             }
         }
     }
-    TripleStats { common_tasks: common }
+    TripleStats {
+        common_tasks: common,
+    }
 }
 
 /// Per-triple joint view: for every task all three workers attempted,
@@ -106,9 +126,19 @@ pub fn triple_joint_labels(
     b: WorkerId,
     c: WorkerId,
 ) -> Vec<(Label, Label, Label)> {
-    let la = data.worker_responses(a);
-    let lb = data.worker_responses(b);
-    let lc = data.worker_responses(c);
+    triple_joint_scan(
+        data.worker_responses(a),
+        data.worker_responses(b),
+        data.worker_responses(c),
+    )
+}
+
+/// Three-way merge collecting the joint labels; see [`pair_scan`].
+pub(crate) fn triple_joint_scan(
+    la: &[(u32, Label)],
+    lb: &[(u32, Label)],
+    lc: &[(u32, Label)],
+) -> Vec<(Label, Label, Label)> {
     let mut out = Vec::new();
     let mut i = 0;
     let mut j = 0;
@@ -154,21 +184,38 @@ pub struct PairCache {
 impl PairCache {
     /// An all-zero cache for `m` workers.
     pub fn empty(m: usize) -> Self {
-        Self { m, counts: vec![(0, 0); m * (m.max(1) - 1) / 2] }
+        Self {
+            m,
+            counts: vec![(0, 0); m * (m.max(1) - 1) / 2],
+        }
     }
 
-    /// Builds the cache by scanning every pair of a matrix.
+    /// Builds the cache in **one pass over the response matrix**: every
+    /// task's responder list is harvested directly into the packed pair
+    /// table, costing `O(Σ_t r_t²)` total instead of one
+    /// `O(|w_i| + |w_j|)` merge scan per pair — on sparse data the
+    /// per-task responder lists are short, so this is the cheaper and
+    /// far more cache-friendly direction.
     pub fn from_matrix(data: &ResponseMatrix) -> Self {
-        let m = data.n_workers();
-        let mut cache = Self::empty(m);
-        for a in 0..m as u32 {
-            for b in (a + 1)..m as u32 {
-                let s = pair_stats(data, WorkerId(a), WorkerId(b));
-                let idx = cache.index(a, b);
-                cache.counts[idx] = (s.common_tasks as u32, s.agreements as u32);
-            }
+        let mut cache = Self::empty(data.n_workers());
+        for task in data.tasks() {
+            cache.harvest_task(data.task_responses(task));
         }
         cache
+    }
+
+    /// Folds one task's worker-sorted responder list into the table.
+    pub(crate) fn harvest_task(&mut self, responders: &[(u32, Label)]) {
+        for (i, &(wa, la)) in responders.iter().enumerate() {
+            for &(wb, lb) in &responders[i + 1..] {
+                let idx = self.index(wa, wb);
+                let (c, a) = &mut self.counts[idx];
+                *c += 1;
+                if la == lb {
+                    *a += 1;
+                }
+            }
+        }
     }
 
     /// Number of workers covered.
@@ -186,7 +233,10 @@ impl PairCache {
     /// The cached statistics for a worker pair.
     pub fn get(&self, a: WorkerId, b: WorkerId) -> PairStats {
         let (common, agree) = self.counts[self.index(a.0, b.0)];
-        PairStats { common_tasks: common as usize, agreements: agree as usize }
+        PairStats {
+            common_tasks: common as usize,
+            agreements: agree as usize,
+        }
     }
 
     /// Updates the cache for a new response by `worker` with `label`,
@@ -257,7 +307,10 @@ mod tests {
         assert_eq!(pair_stats(&m, WorkerId(0), WorkerId(1)).common_tasks, 60);
         assert_eq!(pair_stats(&m, WorkerId(0), WorkerId(2)).common_tasks, 70);
         assert_eq!(pair_stats(&m, WorkerId(1), WorkerId(2)).common_tasks, 70);
-        assert_eq!(triple_overlap(&m, WorkerId(0), WorkerId(1), WorkerId(2)).common_tasks, 60);
+        assert_eq!(
+            triple_overlap(&m, WorkerId(0), WorkerId(1), WorkerId(2)).common_tasks,
+            60
+        );
     }
 
     #[test]
@@ -373,13 +426,16 @@ mod tests {
         let mut b = ResponseMatrixBuilder::new(4, 30, 2);
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for w in 0..4u32 {
             for t in 0..30u32 {
                 if next() % 10 < 7 {
-                    b.push(WorkerId(w), TaskId(t), Label((next() % 2) as u16)).unwrap();
+                    b.push(WorkerId(w), TaskId(t), Label((next() % 2) as u16))
+                        .unwrap();
                 }
             }
         }
@@ -390,9 +446,10 @@ mod tests {
                 let mut common = 0;
                 let mut agree = 0;
                 for t in 0..30u32 {
-                    if let (Some(x), Some(y)) =
-                        (m.response(WorkerId(a), TaskId(t)), m.response(WorkerId(c), TaskId(t)))
-                    {
+                    if let (Some(x), Some(y)) = (
+                        m.response(WorkerId(a), TaskId(t)),
+                        m.response(WorkerId(c), TaskId(t)),
+                    ) {
                         common += 1;
                         if x == y {
                             agree += 1;

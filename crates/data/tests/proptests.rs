@@ -3,8 +3,9 @@
 //! with brute-force recomputation on arbitrary sparse matrices.
 
 use crowd_data::{
-    AttemptPattern, CountsTensor, Label, PairCache, ResponseMatrix, ResponseMatrixBuilder,
-    TaskId, WorkerId, majority_vote, pair_stats, triple_joint_labels, triple_overlap,
+    AnchoredOverlap, AttemptPattern, CountsTensor, Label, OverlapIndex, OverlapSource, PairCache,
+    ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId, majority_vote, pair_stats,
+    triple_joint_labels, triple_joint_labels_optional, triple_overlap,
 };
 use proptest::prelude::*;
 
@@ -37,9 +38,7 @@ fn brute_pair(data: &ResponseMatrix, a: WorkerId, b: WorkerId) -> (usize, usize)
     let mut common = 0;
     let mut agree = 0;
     for t in 0..data.n_tasks() as u32 {
-        if let (Some(x), Some(y)) =
-            (data.response(a, TaskId(t)), data.response(b, TaskId(t)))
-        {
+        if let (Some(x), Some(y)) = (data.response(a, TaskId(t)), data.response(b, TaskId(t))) {
             common += 1;
             if x == y {
                 agree += 1;
@@ -182,6 +181,92 @@ proptest! {
         let total: usize =
             kept_ids.iter().map(|&w| data.worker_responses(w).len()).sum();
         prop_assert_eq!(kept_data.n_responses(), total);
+    }
+
+    /// The one-pass [`OverlapIndex`] reproduces every naive merge-scan
+    /// statistic exactly: pair counts and agreements for every pair,
+    /// triple overlaps for every triple, and CSR rows equal to the
+    /// matrix's own adjacency — the invariant every indexed estimator
+    /// path rests on.
+    #[test]
+    fn overlap_index_matches_merge_scans(data in sparse_matrix(6, 25, 3)) {
+        let index = OverlapIndex::from_matrix(&data);
+        prop_assert_eq!(OverlapSource::n_workers(&index), data.n_workers());
+        prop_assert_eq!(index.n_tasks(), data.n_tasks());
+        prop_assert_eq!(index.n_responses(), data.n_responses());
+        let m = data.n_workers() as u32;
+        for a in 0..m {
+            prop_assert_eq!(
+                index.worker_responses(WorkerId(a)),
+                data.worker_responses(WorkerId(a))
+            );
+            for b in 0..m {
+                if a == b { continue; }
+                prop_assert_eq!(
+                    index.pair(WorkerId(a), WorkerId(b)),
+                    pair_stats(&data, WorkerId(a), WorkerId(b))
+                );
+                for c in 0..m {
+                    if c == a || c == b { continue; }
+                    prop_assert_eq!(
+                        index.triple(WorkerId(a), WorkerId(b), WorkerId(c)),
+                        triple_overlap(&data, WorkerId(a), WorkerId(b), WorkerId(c))
+                    );
+                }
+            }
+        }
+        for t in 0..data.n_tasks() as u32 {
+            prop_assert_eq!(index.task_responses(TaskId(t)), data.task_responses(TaskId(t)));
+        }
+    }
+
+    /// The anchored bitset view answers exactly the naive triple and
+    /// shared-task queries, for every anchor.
+    #[test]
+    fn anchored_view_matches_naive_queries(data in sparse_matrix(6, 30, 2)) {
+        let index = OverlapIndex::from_matrix(&data);
+        let m = data.n_workers() as u32;
+        for anchor in 0..m {
+            let fast = index.anchored(WorkerId(anchor));
+            let slow = data.anchored(WorkerId(anchor));
+            let peers: Vec<WorkerId> =
+                (0..m).filter(|&w| w != anchor).map(WorkerId).collect();
+            for &a in &peers {
+                for &b in &peers {
+                    if a == b { continue; }
+                    prop_assert_eq!(
+                        fast.triple_common(a, b),
+                        slow.triple_common(a, b),
+                        "anchor {} pair ({:?},{:?})", anchor, a, b
+                    );
+                }
+            }
+            if peers.len() >= 4 {
+                let four = &peers[..4];
+                prop_assert_eq!(fast.common_among(four), slow.common_among(four));
+            }
+            prop_assert_eq!(
+                fast.common_among(&[]),
+                data.worker_task_count(WorkerId(anchor))
+            );
+        }
+    }
+
+    /// The union-merge joint view and the counts tensor built from the
+    /// index are identical to their matrix-scan counterparts.
+    #[test]
+    fn indexed_joint_labels_and_tensor_match(data in sparse_matrix(5, 25, 3)) {
+        if data.n_workers() < 3 { return Ok(()); }
+        let index = OverlapIndex::from_matrix(&data);
+        let (a, b, c) = (WorkerId(0), WorkerId(1), WorkerId(2));
+        prop_assert_eq!(
+            index.triple_joint_labels_optional(a, b, c),
+            triple_joint_labels_optional(&data, a, b, c)
+        );
+        prop_assert_eq!(
+            CountsTensor::from_index(&index, a, b, c),
+            CountsTensor::from_matrix(&data, a, b, c)
+        );
     }
 
     /// Majority vote: the winner's tally is maximal, and unanimous

@@ -39,6 +39,8 @@ pub(crate) fn assemble(
             }
         }
     }
-    let responses = b.build().expect("mask guarantees unique (worker, task) pairs");
+    let responses = b
+        .build()
+        .expect("mask guarantees unique (worker, task) pairs");
     (responses, GoldStandard::complete(truths))
 }

@@ -41,7 +41,9 @@ impl BlockDesign {
     }
 
     fn stride(&self) -> usize {
-        ((self.block_len as f64) * (1.0 - self.block_overlap)).round().max(1.0) as usize
+        ((self.block_len as f64) * (1.0 - self.block_overlap))
+            .round()
+            .max(1.0) as usize
     }
 
     /// The attempt mask: `mask[worker][task]`.
@@ -103,7 +105,10 @@ mod tests {
 
     #[test]
     fn dropout_thins_responses() {
-        let d = BlockDesign { dropout: 0.5, ..design() };
+        let d = BlockDesign {
+            dropout: 0.5,
+            ..design()
+        };
         let mask = d.sample_mask(&mut rng(2));
         let filled: usize = mask.iter().flatten().filter(|&&b| b).count();
         let full = 12 * 20;
@@ -113,7 +118,10 @@ mod tests {
 
     #[test]
     fn zero_cohorts_is_empty() {
-        let d = BlockDesign { cohorts: 0, ..design() };
+        let d = BlockDesign {
+            cohorts: 0,
+            ..design()
+        };
         assert_eq!(d.n_tasks(), 0);
         assert_eq!(d.n_workers(), 0);
         assert!(d.sample_mask(&mut rng(3)).is_empty());

@@ -35,11 +35,18 @@ pub fn generate(seed: u64) -> Dataset {
         2,
         &[0.5, 0.5],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.06, max: 0.25 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.06,
+            max: 0.25,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "ENT", responses, gold }
+    Dataset {
+        name: "ENT",
+        responses,
+        gold,
+    }
 }
 
 /// Assigns `labels_per_task` distinct workers to every task, with
@@ -58,7 +65,10 @@ pub(crate) fn skewed_assignment_mask(
         let j = r.random_range(0..=i as u32) as usize;
         ranks.swap(i, j);
     }
-    let weights: Vec<f64> = ranks.iter().map(|&rank| 1.0 / (1.0 + rank as f64)).collect();
+    let weights: Vec<f64> = ranks
+        .iter()
+        .map(|&rank| 1.0 / (1.0 + rank as f64))
+        .collect();
     let total: f64 = weights.iter().sum();
 
     let mut mask = vec![vec![false; n_tasks]; n_workers];
@@ -103,8 +113,11 @@ mod tests {
     #[test]
     fn activity_is_heavy_tailed() {
         let d = generate(19);
-        let mut counts: Vec<usize> =
-            d.responses.workers().map(|w| d.responses.worker_task_count(w)).collect();
+        let mut counts: Vec<usize> = d
+            .responses
+            .workers()
+            .map(|w| d.responses.worker_task_count(w))
+            .collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // The busiest worker did many times the median's work.
         let median = counts[counts.len() / 2].max(1);

@@ -33,17 +33,26 @@ pub fn generate(seed: u64) -> Dataset {
             WorkerModel::SymmetricError(p)
         })
         .collect();
-    let mask = AttemptDesign::RandomRemoval { fraction: REMOVAL_FRACTION }
-        .sample_mask(N_WORKERS, N_TASKS, &mut r);
+    let mask = AttemptDesign::RandomRemoval {
+        fraction: REMOVAL_FRACTION,
+    }
+    .sample_mask(N_WORKERS, N_TASKS, &mut r);
     let (responses, gold) = assemble(
         2,
         &[0.5, 0.5],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.08, max: 0.3 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.08,
+            max: 0.3,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "IC", responses, gold }
+    Dataset {
+        name: "IC",
+        responses,
+        gold,
+    }
 }
 
 #[cfg(test)]

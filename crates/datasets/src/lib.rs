@@ -34,7 +34,11 @@ pub use dataset::{Dataset, triples_with_overlap};
 
 /// All six stand-ins with their paper names, for harness iteration.
 pub fn binary_datasets(seed: u64) -> Vec<Dataset> {
-    vec![ic::generate(seed), ent::generate(seed ^ 0x5eed_0001), tem::generate(seed ^ 0x5eed_0002)]
+    vec![
+        ic::generate(seed),
+        ent::generate(seed ^ 0x5eed_0001),
+        tem::generate(seed ^ 0x5eed_0002),
+    ]
 }
 
 /// The three k-ary stand-ins of Figure 5(c) with their per-dataset

@@ -11,8 +11,8 @@
 //! neighbouring grade is far likelier than with a distant one, and
 //! students lean generous, so the confusion matrices are asymmetric.
 
-use crate::{BlockDesign, Dataset};
 use crate::assemble::assemble;
+use crate::{BlockDesign, Dataset};
 use crowd_linalg::Matrix;
 use crowd_sim::{DifficultyModel, WorkerModel, rng};
 use rand::RngExt;
@@ -38,11 +38,18 @@ pub fn generate(seed: u64) -> Dataset {
         ARITY,
         &[0.25, 0.45, 0.3],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.05, max: 0.2 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.05,
+            max: 0.2,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "MOOC", responses, gold }
+    Dataset {
+        name: "MOOC",
+        responses,
+        gold,
+    }
 }
 
 /// A random adjacent-biased, generosity-skewed 3×3 grader matrix.
@@ -56,7 +63,11 @@ fn grader_matrix(r: &mut impl RngExt) -> Matrix {
         // truth "low": most mass on low, inflation toward mid.
         &[acc, spread * 0.8 + generosity * 0.5, spread * 0.2],
         // truth "mid": symmetric-ish with a generous tilt.
-        &[spread * 0.35 - generosity * 0.5, acc, spread * 0.65 + generosity * 0.5],
+        &[
+            spread * 0.35 - generosity * 0.5,
+            acc,
+            spread * 0.65 + generosity * 0.5,
+        ],
         // truth "high": deflation to mid only.
         &[spread * 0.15, spread * 0.85, acc],
     ]);
@@ -115,6 +126,9 @@ mod tests {
         // Low↔high confusion is the rarest kind.
         let low_high = agg.get(0, 2) + agg.get(2, 0);
         let adjacent = agg.get(0, 1) + agg.get(1, 0) + agg.get(1, 2) + agg.get(2, 1);
-        assert!(low_high < adjacent / 2.0, "adjacent bias missing: {low_high} vs {adjacent}");
+        assert!(
+            low_high < adjacent / 2.0,
+            "adjacent bias missing: {low_high} vs {adjacent}"
+        );
     }
 }

@@ -37,11 +37,18 @@ pub fn generate(seed: u64) -> Dataset {
         2,
         &[0.55, 0.45],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.05, max: 0.2 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.05,
+            max: 0.2,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "TEM", responses, gold }
+    Dataset {
+        name: "TEM",
+        responses,
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -60,8 +67,11 @@ mod tests {
     #[test]
     fn workers_are_mostly_accurate() {
         let d = generate(37);
-        let rates: Vec<f64> =
-            d.responses.workers().filter_map(|w| d.empirical_error_rate(w)).collect();
+        let rates: Vec<f64> = d
+            .responses
+            .workers()
+            .filter_map(|w| d.empirical_error_rate(w))
+            .collect();
         let accurate = rates.iter().filter(|&&p| p < 0.3).count();
         assert!(
             accurate as f64 > 0.7 * rates.len() as f64,

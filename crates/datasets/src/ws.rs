@@ -6,8 +6,8 @@
 //! Rating tasks are subjective, so difficulty heterogeneity is the
 //! largest of all the stand-ins.
 
-use crate::{BlockDesign, Dataset};
 use crate::assemble::assemble;
+use crate::{BlockDesign, Dataset};
 use crowd_sim::{DifficultyModel, WorkerModel, rng};
 use rand::RngExt;
 
@@ -32,11 +32,18 @@ pub fn generate(seed: u64) -> Dataset {
         ARITY,
         &[0.6, 0.4],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.1, max: 0.35 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.1,
+            max: 0.35,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "WS", responses, gold }
+    Dataset {
+        name: "WS",
+        responses,
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -50,7 +57,11 @@ mod tests {
         let d = generate(71);
         let mut r = rng(3);
         let triples = triples_with_overlap(&d.responses, 30, 50, &mut r);
-        assert!(triples.len() >= 50, "need ≥50 triples at t=30, got {}", triples.len());
+        assert!(
+            triples.len() >= 50,
+            "need ≥50 triples at t=30, got {}",
+            triples.len()
+        );
     }
 
     #[test]
@@ -70,8 +81,15 @@ mod tests {
                 }
             }
         }
-        assert!(max_overlap <= 36, "triples should stay tiny, max {max_overlap}");
-        assert!(d.responses.density() < 0.13, "density {}", d.responses.density());
+        assert!(
+            max_overlap <= 36,
+            "triples should stay tiny, max {max_overlap}"
+        );
+        assert!(
+            d.responses.density() < 0.13,
+            "density {}",
+            d.responses.density()
+        );
     }
 
     #[test]

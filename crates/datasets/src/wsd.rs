@@ -6,8 +6,8 @@
 //! binary data is *heavily* class-imbalanced and workers are very
 //! accurate (WSD was Snow's easiest task, ≈ 0.99 majority accuracy).
 
-use crate::{BlockDesign, Dataset};
 use crate::assemble::assemble;
+use crate::{BlockDesign, Dataset};
 use crowd_sim::{DifficultyModel, WorkerModel, rng};
 use rand::RngExt;
 
@@ -39,11 +39,18 @@ pub fn generate(seed: u64) -> Dataset {
         // Dominant sense ≈ 80% of tasks.
         &[0.8, 0.2],
         &workers,
-        DifficultyModel::HalfNormal { sigma: 0.04, max: 0.15 },
+        DifficultyModel::HalfNormal {
+            sigma: 0.04,
+            max: 0.15,
+        },
         &mask,
         &mut r,
     );
-    Dataset { name: "WSD", responses, gold }
+    Dataset {
+        name: "WSD",
+        responses,
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -71,10 +78,16 @@ mod tests {
     #[test]
     fn workers_are_highly_accurate() {
         let d = generate(61);
-        let rates: Vec<f64> =
-            d.responses.workers().filter_map(|w| d.empirical_error_rate(w)).collect();
+        let rates: Vec<f64> = d
+            .responses
+            .workers()
+            .filter_map(|w| d.empirical_error_rate(w))
+            .collect();
         let sharp = rates.iter().filter(|&&p| p < 0.2).count();
-        assert!(sharp as f64 > 0.8 * rates.len() as f64, "WSD workers are accurate: {rates:?}");
+        assert!(
+            sharp as f64 > 0.8 * rates.len() as f64,
+            "WSD workers are accurate: {rates:?}"
+        );
     }
 
     #[test]
@@ -85,7 +98,12 @@ mod tests {
             seen[resp.label.index()] = true;
         }
         assert_eq!(seen, [true, true]);
-        assert!(d.gold.label(crowd_data::TaskId(0)).unwrap().valid_for_arity(2));
+        assert!(
+            d.gold
+                .label(crowd_data::TaskId(0))
+                .unwrap()
+                .valid_for_arity(2)
+        );
         let _ = Label(0);
     }
 }

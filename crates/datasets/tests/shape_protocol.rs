@@ -59,7 +59,11 @@ fn tem_matches_published_shape() {
         assert_eq!(d.responses.n_workers(), 76);
         assert_eq!(d.responses.n_tasks(), 462);
         assert_eq!(d.responses.arity(), 2);
-        assert!(d.responses.density() < 0.25, "TEM is sparse: {}", d.responses.density());
+        assert!(
+            d.responses.density() < 0.25,
+            "TEM is sparse: {}",
+            d.responses.density()
+        );
     });
 }
 
@@ -82,7 +86,8 @@ fn kary_datasets_have_mapped_arities() {
 fn kary_datasets_clear_the_triple_thresholds() {
     // The §IV-C protocol needs 50 worker triples above each dataset's
     // overlap threshold t (MOOC 60, WSD 100, WS 30).
-    let cases: [(fn(u64) -> Dataset, usize, &str); 3] = [
+    type Generator = fn(u64) -> Dataset;
+    let cases: [(Generator, usize, &str); 3] = [
         (crowd_datasets::mooc::generate, 60, "MOOC"),
         (crowd_datasets::wsd::generate, 100, "WSD"),
         (crowd_datasets::ws::generate, 30, "WS"),
@@ -158,8 +163,14 @@ fn empirical_error_rates_are_defined_and_plausible() {
 #[test]
 fn generation_is_deterministic_per_seed() {
     for (a, b) in [
-        (crowd_datasets::ent::generate(99), crowd_datasets::ent::generate(99)),
-        (crowd_datasets::mooc::generate(99), crowd_datasets::mooc::generate(99)),
+        (
+            crowd_datasets::ent::generate(99),
+            crowd_datasets::ent::generate(99),
+        ),
+        (
+            crowd_datasets::mooc::generate(99),
+            crowd_datasets::mooc::generate(99),
+        ),
     ] {
         assert_eq!(a.responses, b.responses);
         assert_eq!(a.gold.known_count(), b.gold.known_count());

@@ -24,7 +24,10 @@ impl Cholesky {
     /// pass (numerically) symmetric input.
     pub fn decompose(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);

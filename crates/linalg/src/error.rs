@@ -49,7 +49,12 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { rows_a, cols_a, rows_b, cols_b } => write!(
+            Self::ShapeMismatch {
+                rows_a,
+                cols_a,
+                rows_b,
+                cols_b,
+            } => write!(
                 f,
                 "shape mismatch: ({rows_a}x{cols_a}) is incompatible with ({rows_b}x{cols_b})"
             ),
@@ -63,10 +68,16 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (leading minor {minor})")
             }
             Self::NoConvergence { iterations } => {
-                write!(f, "eigen iteration failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "eigen iteration failed to converge after {iterations} iterations"
+                )
             }
             Self::ComplexEigenvalues => {
-                write!(f, "matrix has complex eigenvalues; a real spectrum was required")
+                write!(
+                    f,
+                    "matrix has complex eigenvalues; a real spectrum was required"
+                )
             }
         }
     }
@@ -80,7 +91,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LinalgError::ShapeMismatch { rows_a: 2, cols_a: 3, rows_b: 4, cols_b: 5 };
+        let e = LinalgError::ShapeMismatch {
+            rows_a: 2,
+            cols_a: 3,
+            rows_b: 4,
+            cols_b: 5,
+        };
         assert!(e.to_string().contains("2x3"));
         assert!(e.to_string().contains("4x5"));
         let e = LinalgError::Singular { pivot: 1 };
@@ -91,12 +107,22 @@ mod tests {
         assert!(e.to_string().contains("positive definite"));
         let e = LinalgError::NoConvergence { iterations: 9 };
         assert!(e.to_string().contains("9"));
-        assert!(LinalgError::ComplexEigenvalues.to_string().contains("complex"));
+        assert!(
+            LinalgError::ComplexEigenvalues
+                .to_string()
+                .contains("complex")
+        );
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(LinalgError::Singular { pivot: 0 }, LinalgError::Singular { pivot: 0 });
-        assert_ne!(LinalgError::Singular { pivot: 0 }, LinalgError::Singular { pivot: 1 });
+        assert_eq!(
+            LinalgError::Singular { pivot: 0 },
+            LinalgError::Singular { pivot: 0 }
+        );
+        assert_ne!(
+            LinalgError::Singular { pivot: 0 },
+            LinalgError::Singular { pivot: 1 }
+        );
     }
 }

@@ -12,7 +12,10 @@ use crate::{EPS, LinalgError, Matrix, Result};
 /// Inverts `a` by Gauss-Jordan elimination with partial pivoting.
 pub fn gauss_jordan_inverse(a: &Matrix) -> Result<Matrix> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     // Augmented system [A | I], reduced in place to [I | A⁻¹].
@@ -96,7 +99,10 @@ mod tests {
     #[test]
     fn singular_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
-        assert!(matches!(gauss_jordan_inverse(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            gauss_jordan_inverse(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -45,14 +45,20 @@ impl SymmetricEigen {
 /// should check [`Matrix::asymmetry`] first.
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut m = a.symmetrize()?;
     let mut v = Matrix::identity(n);
 
     if n <= 1 {
-        return Ok(SymmetricEigen { values: m.diag(), vectors: v });
+        return Ok(SymmetricEigen {
+            values: m.diag(),
+            vectors: v,
+        });
     }
 
     let tol = 1e-14 * m.frobenius_norm().max(1.0);
@@ -107,7 +113,9 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { iterations: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
 }
 
 /// Sorts eigenpairs by descending eigenvalue.
@@ -176,7 +184,10 @@ mod tests {
         let g = b.transpose().matmul(&b); // 3x3 PSD of rank 2
         let e = symmetric_eigen(&g).unwrap();
         assert!(e.values.iter().all(|&v| v > -1e-10));
-        assert!(e.values[2].abs() < 1e-10, "rank-2 Gram must have a zero eigenvalue");
+        assert!(
+            e.values[2].abs() < 1e-10,
+            "rank-2 Gram must have a zero eigenvalue"
+        );
     }
 
     #[test]

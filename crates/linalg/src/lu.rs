@@ -29,7 +29,10 @@ impl Lu {
     /// Factorizes `a`; fails if `a` is rectangular or singular.
     pub fn decompose(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -75,7 +78,11 @@ impl Lu {
 
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         sign * self.lu.diag().iter().product::<f64>()
     }
 
@@ -178,13 +185,19 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(Lu::decompose(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
     fn rectangular_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Lu::decompose(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

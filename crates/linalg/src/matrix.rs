@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -42,7 +50,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -58,7 +70,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
@@ -106,7 +122,10 @@ impl Matrix {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -116,7 +135,10 @@ impl Matrix {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -153,7 +175,9 @@ impl Matrix {
 
     /// Returns the main diagonal as a vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Sum of the diagonal entries.
@@ -221,7 +245,11 @@ impl Matrix {
 
     /// Applies `f` element-wise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Multiplies every element by `s`.
@@ -231,21 +259,39 @@ impl Matrix {
 
     /// Element-wise sum. Panics on shape mismatch.
     pub fn add_matrix(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
     /// Element-wise difference. Panics on shape mismatch.
     pub fn sub_matrix(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 
@@ -256,7 +302,10 @@ impl Matrix {
     /// symmetrizes before eigendecomposition.
     pub fn symmetrize(&self) -> Result<Self> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         Ok(self.add_matrix(&self.transpose()).scale(0.5))
     }
@@ -345,7 +394,11 @@ impl Matrix {
     pub fn approx_eq(&self, rhs: &Self, tol: f64) -> bool {
         self.rows == rhs.rows
             && self.cols == rhs.cols
-            && self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

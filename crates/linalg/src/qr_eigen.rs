@@ -30,7 +30,10 @@ impl Eigen {
     /// Reconstructs `V·diag(λ)·V⁻¹`.
     pub fn reconstruct(&self) -> Result<Matrix> {
         let vinv = self.vectors.inverse()?;
-        Ok(self.vectors.matmul(&Matrix::diagonal(&self.values)).matmul(&vinv))
+        Ok(self
+            .vectors
+            .matmul(&Matrix::diagonal(&self.values))
+            .matmul(&vinv))
     }
 }
 
@@ -41,11 +44,17 @@ impl Eigen {
 /// conjugate pair is detected.
 pub fn eigen_decompose(a: &Matrix) -> Result<Eigen> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(Eigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        return Ok(Eigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
     }
     let mut values = qr_eigenvalues(a)?;
     values.sort_by(|x, y| y.partial_cmp(x).expect("NaN eigenvalue"));
@@ -125,12 +134,13 @@ fn qr_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
         let mut deflated = false;
         for i in (1..hi).rev() {
             if h.get(i, i - 1).abs() <= tol * (h.get(i, i).abs() + h.get(i - 1, i - 1).abs() + 1.0)
-                && i == hi - 1 {
-                    values.push(h.get(hi - 1, hi - 1));
-                    hi -= 1;
-                    deflated = true;
-                    break;
-                }
+                && i == hi - 1
+            {
+                values.push(h.get(hi - 1, hi - 1));
+                hi -= 1;
+                deflated = true;
+                break;
+            }
         }
         if deflated {
             continue;
@@ -147,7 +157,9 @@ fn qr_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
 
         iters += 1;
         if iters > MAX_QR_ITERS {
-            return Err(LinalgError::NoConvergence { iterations: MAX_QR_ITERS });
+            return Err(LinalgError::NoConvergence {
+                iterations: MAX_QR_ITERS,
+            });
         }
 
         // Wilkinson shift from the trailing 2x2 block.
@@ -161,7 +173,11 @@ fn qr_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
         let bc = a12 * a21;
         let shift = if d * d + bc >= 0.0 {
             let denom = d + d.signum() * (d * d + bc).sqrt();
-            if denom.abs() < EPS { a22 } else { a22 - bc / denom }
+            if denom.abs() < EPS {
+                a22
+            } else {
+                a22 - bc / denom
+            }
         } else {
             // Complex pair in the shift computation; use the exceptional
             // unshifted step and let deflation / solve_2x2 decide later.
@@ -355,7 +371,10 @@ mod tests {
     fn rotation_matrix_is_rejected_as_complex() {
         // 90° rotation has spectrum ±i.
         let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
-        assert!(matches!(eigen_decompose(&a), Err(LinalgError::ComplexEigenvalues)));
+        assert!(matches!(
+            eigen_decompose(&a),
+            Err(LinalgError::ComplexEigenvalues)
+        ));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl AttemptDesign {
                 assert_eq!(ds.len(), n_workers, "one density per worker required");
                 ds.iter()
                     .map(|&d| {
-                        assert!((0.0..=1.0).contains(&d), "density must be in [0,1], got {d}");
+                        assert!(
+                            (0.0..=1.0).contains(&d),
+                            "density must be in [0,1], got {d}"
+                        );
                         (0..n_tasks).map(|_| rng.random::<f64>() < d).collect()
                     })
                     .collect()

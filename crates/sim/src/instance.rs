@@ -19,7 +19,11 @@ impl BinaryInstance {
         gold: GoldStandard,
         workers: Vec<WorkerModel>,
     ) -> Self {
-        Self { responses, gold, workers }
+        Self {
+            responses,
+            gold,
+            workers,
+        }
     }
 
     /// The observable worker responses.
@@ -60,7 +64,12 @@ impl KaryInstance {
         workers: Vec<WorkerModel>,
         selectivity: Vec<f64>,
     ) -> Self {
-        Self { responses, gold, workers, selectivity }
+        Self {
+            responses,
+            gold,
+            workers,
+            selectivity,
+        }
     }
 
     /// The observable worker responses.
@@ -101,8 +110,12 @@ impl KaryInstance {
         rng: &mut impl rand::RngExt,
     ) -> Self {
         let arity = self.responses.arity();
-        let attempted: Vec<u32> =
-            self.responses.worker_responses(worker).iter().map(|&(t, _)| t).collect();
+        let attempted: Vec<u32> = self
+            .responses
+            .worker_responses(worker)
+            .iter()
+            .map(|&(t, _)| t)
+            .collect();
         let mut builder = crowd_data::ResponseMatrixBuilder::new(
             self.responses.n_workers(),
             self.responses.n_tasks(),
@@ -110,14 +123,18 @@ impl KaryInstance {
         );
         for r in self.responses.iter() {
             if r.worker != worker {
-                builder.push(r.worker, r.task, r.label).expect("existing ids are valid");
+                builder
+                    .push(r.worker, r.task, r.label)
+                    .expect("existing ids are valid");
             }
         }
         for t in attempted {
             let task = crowd_data::TaskId(t);
             let truth = self.gold.label(task).expect("generated gold is complete");
             let label = model.respond(truth, arity, 0.0, rng);
-            builder.push(worker, task, label).expect("replayed ids are valid");
+            builder
+                .push(worker, task, label)
+                .expect("replayed ids are valid");
         }
         self.responses = builder.build().expect("replayed responses are unique");
         self.workers[worker.index()] = model;
@@ -160,10 +177,7 @@ mod tests {
             .map(|&(t, _)| t)
             .collect();
         // A worker that always answers label 0.
-        let degenerate = WorkerModel::Confusion(Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-        ]));
+        let degenerate = WorkerModel::Confusion(Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]));
         let inst = inst.with_worker_model(WorkerId(1), degenerate, &mut r);
         // Same attempted tasks, all answers now 0.
         let after = inst.responses().worker_responses(WorkerId(1));

@@ -13,7 +13,9 @@ pub fn paper_error_pool() -> Vec<f64> {
 /// `(0.5·i + (m − i)) / m`, so densities slope from ≈1 down to 0.5 and
 /// triples differ in quality.
 pub fn fig2c_densities(m: usize) -> Vec<f64> {
-    (1..=m).map(|i| (0.5 * i as f64 + (m - i) as f64) / m as f64).collect()
+    (1..=m)
+        .map(|i| (0.5 * i as f64 + (m - i) as f64) / m as f64)
+        .collect()
 }
 
 /// The paper's §IV-B response-probability matrix pools for arity 2, 3

@@ -64,7 +64,10 @@ impl BinaryScenario {
 
     /// Samples a concrete instance.
     pub fn generate(&self, rng: &mut impl RngExt) -> BinaryInstance {
-        assert!(self.n_workers >= 1 && self.n_tasks >= 1, "scenario must be non-empty");
+        assert!(
+            self.n_workers >= 1 && self.n_tasks >= 1,
+            "scenario must be non-empty"
+        );
         // 1. Worker abilities.
         let workers: Vec<WorkerModel> = (0..self.n_workers)
             .map(|_| {
@@ -81,7 +84,10 @@ impl BinaryScenario {
         let colluders: Vec<bool> = match self.collusion {
             None => vec![false; self.n_workers],
             Some(c) => {
-                assert!((0.0..=1.0).contains(&c.fraction), "collusion fraction in [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&c.fraction),
+                    "collusion fraction in [0,1]"
+                );
                 let count = ((self.n_workers as f64) * c.fraction).round() as usize;
                 let count = count.min(self.n_workers);
                 let mut slots: Vec<usize> = (0..self.n_workers).collect();
@@ -98,17 +104,28 @@ impl BinaryScenario {
         };
         // 2. True labels and per-task difficulties.
         let truths: Vec<Label> = (0..self.n_tasks)
-            .map(|_| if rng.random::<f64>() < self.positive_rate { Label::YES } else { Label::NO })
+            .map(|_| {
+                if rng.random::<f64>() < self.positive_rate {
+                    Label::YES
+                } else {
+                    Label::NO
+                }
+            })
             .collect();
-        let difficulties: Vec<f64> =
-            (0..self.n_tasks).map(|_| self.difficulty.sample(rng)).collect();
+        let difficulties: Vec<f64> = (0..self.n_tasks)
+            .map(|_| self.difficulty.sample(rng))
+            .collect();
         // Shared clique answers, sampled once per task.
         let clique_answers: Vec<Label> = match self.collusion {
             None => Vec::new(),
             Some(c) => truths
                 .iter()
                 .map(|&truth| {
-                    if rng.random::<f64>() < c.clique_error { truth.flipped() } else { truth }
+                    if rng.random::<f64>() < c.clique_error {
+                        truth.flipped()
+                    } else {
+                        truth
+                    }
                 })
                 .collect(),
         };
@@ -129,7 +146,9 @@ impl BinaryScenario {
                 }
             }
         }
-        let responses = builder.build().expect("generator emits unique (worker, task) pairs");
+        let responses = builder
+            .build()
+            .expect("generator emits unique (worker, task) pairs");
         let models: Vec<WorkerModel> = workers
             .into_iter()
             .zip(&colluders)
@@ -138,7 +157,9 @@ impl BinaryScenario {
                     // The colluder's *true* per-response error rate is
                     // the clique's.
                     WorkerModel::SymmetricError(
-                        self.collusion.expect("colluders imply collusion").clique_error,
+                        self.collusion
+                            .expect("colluders imply collusion")
+                            .clique_error,
                     )
                 } else {
                     m
@@ -197,8 +218,15 @@ impl KaryScenario {
 
     /// Samples a concrete instance.
     pub fn generate(&self, rng: &mut impl RngExt) -> KaryInstance {
-        assert!(self.n_workers >= 1 && self.n_tasks >= 1, "scenario must be non-empty");
-        assert_eq!(self.selectivity.len(), self.arity as usize, "selectivity length must be k");
+        assert!(
+            self.n_workers >= 1 && self.n_tasks >= 1,
+            "scenario must be non-empty"
+        );
+        assert_eq!(
+            self.selectivity.len(),
+            self.arity as usize,
+            "selectivity length must be k"
+        );
         let workers: Vec<WorkerModel> = (0..self.n_workers)
             .map(|_| {
                 let idx = sample_discrete(&vec![1.0; self.matrix_pool.len()], rng);
@@ -208,8 +236,9 @@ impl KaryScenario {
         let truths: Vec<Label> = (0..self.n_tasks)
             .map(|_| Label(sample_discrete(&self.selectivity, rng) as u16))
             .collect();
-        let difficulties: Vec<f64> =
-            (0..self.n_tasks).map(|_| self.difficulty.sample(rng)).collect();
+        let difficulties: Vec<f64> = (0..self.n_tasks)
+            .map(|_| self.difficulty.sample(rng))
+            .collect();
         let mask = self.design.sample_mask(self.n_workers, self.n_tasks, rng);
         let mut builder = ResponseMatrixBuilder::new(self.n_workers, self.n_tasks, self.arity);
         for (w, worker) in workers.iter().enumerate() {
@@ -222,8 +251,15 @@ impl KaryScenario {
                 }
             }
         }
-        let responses = builder.build().expect("generator emits unique (worker, task) pairs");
-        KaryInstance::new(responses, GoldStandard::complete(truths), workers, self.selectivity.clone())
+        let responses = builder
+            .build()
+            .expect("generator emits unique (worker, task) pairs");
+        KaryInstance::new(
+            responses,
+            GoldStandard::complete(truths),
+            workers,
+            self.selectivity.clone(),
+        )
     }
 }
 
@@ -244,7 +280,10 @@ mod tests {
         // Error rates come from the pool.
         for w in 0..7u32 {
             let p = inst.true_error_rate(WorkerId(w));
-            assert!([0.1, 0.2, 0.3].iter().any(|&x| (x - p).abs() < 1e-12), "p = {p}");
+            assert!(
+                [0.1, 0.2, 0.3].iter().any(|&x| (x - p).abs() < 1e-12),
+                "p = {p}"
+            );
         }
     }
 
@@ -261,7 +300,10 @@ mod tests {
         let mut scenario = BinaryScenario::paper_default(1, 5000, 1.0);
         scenario.error_pool = vec![0.2];
         let inst = scenario.generate(&mut r);
-        let emp = inst.gold().worker_error_rate(inst.responses(), WorkerId(0)).unwrap();
+        let emp = inst
+            .gold()
+            .worker_error_rate(inst.responses(), WorkerId(0))
+            .unwrap();
         assert!((emp - 0.2).abs() < 0.02, "empirical error {emp}");
     }
 
@@ -274,7 +316,10 @@ mod tests {
         let spammers = (0..200u32)
             .filter(|&w| (inst.true_error_rate(WorkerId(w)) - 0.5).abs() < 1e-12)
             .count();
-        assert!((spammers as f64 / 200.0 - 0.5).abs() < 0.12, "spammers {spammers}");
+        assert!(
+            (spammers as f64 / 200.0 - 0.5).abs() < 0.12,
+            "spammers {spammers}"
+        );
     }
 
     #[test]
@@ -309,7 +354,10 @@ mod tests {
     #[test]
     fn colluders_copy_each_other() {
         let mut scenario = BinaryScenario::paper_default(10, 200, 1.0);
-        scenario.collusion = Some(Collusion { fraction: 0.4, clique_error: 0.2 });
+        scenario.collusion = Some(Collusion {
+            fraction: 0.4,
+            clique_error: 0.2,
+        });
         let inst = scenario.generate(&mut rng(15));
         // Identify the clique by its true error rate (0.2 is also in
         // the pool, so detect via perfect pairwise agreement instead).
@@ -324,7 +372,11 @@ mod tests {
             }
         }
         // 4 colluders → C(4,2) = 6 perfectly agreeing pairs.
-        assert_eq!(clique.len(), 6, "expected a 4-clique of copiers: {clique:?}");
+        assert_eq!(
+            clique.len(),
+            6,
+            "expected a 4-clique of copiers: {clique:?}"
+        );
         // Colluders' true error rate is the clique error.
         let colluding_workers: std::collections::HashSet<u32> =
             clique.iter().flat_map(|&(a, b)| [a, b]).collect();
@@ -342,7 +394,10 @@ mod tests {
         for a in 0..6u32 {
             for b in (a + 1)..6u32 {
                 let s = crowd_data::pair_stats(inst.responses(), WorkerId(a), WorkerId(b));
-                assert!(s.agreements < s.common_tasks, "suspiciously perfect pair ({a},{b})");
+                assert!(
+                    s.agreements < s.common_tasks,
+                    "suspiciously perfect pair ({a},{b})"
+                );
             }
         }
     }

@@ -60,8 +60,7 @@ impl WorkerModel {
                     // tasks wash out the worker's skill.
                     let w = difficulty.clamp(0.0, 1.0);
                     let k = arity as f64;
-                    let blended: Vec<f64> =
-                        row.iter().map(|&p| (1.0 - w) * p + w / k).collect();
+                    let blended: Vec<f64> = row.iter().map(|&p| (1.0 - w) * p + w / k).collect();
                     Label(sample_discrete(&blended, rng) as u16)
                 }
             }
@@ -125,8 +124,7 @@ impl DifficultyModel {
                 // Box-Muller half-normal.
                 let u1: f64 = rng.random::<f64>().max(1e-12);
                 let u2: f64 = rng.random::<f64>();
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (z.abs() * sigma).min(max)
             }
         }
@@ -181,8 +179,9 @@ mod tests {
         let w = WorkerModel::Confusion(m);
         let mut r = rng(11);
         let n = 20_000;
-        let wrong_on_1 =
-            (0..n).filter(|_| w.respond(Label(1), 2, 0.0, &mut r) == Label(0)).count();
+        let wrong_on_1 = (0..n)
+            .filter(|_| w.respond(Label(1), 2, 0.0, &mut r) == Label(0))
+            .count();
         let f = wrong_on_1 as f64 / n as f64;
         assert!((f - 0.3).abs() < 0.02, "empirical {f}");
     }
@@ -221,15 +220,19 @@ mod tests {
         let w = WorkerModel::SymmetricError(0.1);
         let mut r = rng(13);
         let n = 20_000;
-        let hard_errs =
-            (0..n).filter(|_| w.respond(Label(0), 2, 0.3, &mut r) != Label(0)).count();
+        let hard_errs = (0..n)
+            .filter(|_| w.respond(Label(0), 2, 0.3, &mut r) != Label(0))
+            .count();
         let f = hard_errs as f64 / n as f64;
         assert!((f - 0.4).abs() < 0.02, "difficulty-shifted rate {f}");
     }
 
     #[test]
     fn difficulty_sampler_bounds() {
-        let d = DifficultyModel::HalfNormal { sigma: 0.1, max: 0.15 };
+        let d = DifficultyModel::HalfNormal {
+            sigma: 0.1,
+            max: 0.15,
+        };
         let mut r = rng(17);
         for _ in 0..1000 {
             let x = d.sample(&mut r);
@@ -244,7 +247,9 @@ mod tests {
         let w = WorkerModel::Confusion(m);
         let mut r = rng(19);
         let n = 20_000;
-        let errs = (0..n).filter(|_| w.respond(Label(0), 2, 0.5, &mut r) != Label(0)).count();
+        let errs = (0..n)
+            .filter(|_| w.respond(Label(0), 2, 0.5, &mut r) != Label(0))
+            .count();
         let f = errs as f64 / n as f64;
         // Blend 0.5 toward uniform: error prob = 0.5 * 0.5 = 0.25.
         assert!((f - 0.25).abs() < 0.02, "blended error rate {f}");

@@ -43,14 +43,20 @@ pub struct Bootstrap {
 
 impl Default for Bootstrap {
     fn default() -> Self {
-        Self { resamples: 1000, seed: 0x9e3779b97f4a7c15 }
+        Self {
+            resamples: 1000,
+            seed: 0x9e3779b97f4a7c15,
+        }
     }
 }
 
 impl Bootstrap {
     /// Creates a configuration with the given resample count.
     pub fn with_resamples(resamples: usize) -> Self {
-        Self { resamples, ..Self::default() }
+        Self {
+            resamples,
+            ..Self::default()
+        }
     }
 
     /// Percentile-bootstrap confidence interval for
@@ -78,7 +84,10 @@ impl Bootstrap {
             return Err(StatsError::InsufficientData { got: 0, need: 1 });
         }
         if self.resamples < 2 {
-            return Err(StatsError::InsufficientData { got: self.resamples, need: 2 });
+            return Err(StatsError::InsufficientData {
+                got: self.resamples,
+                need: 2,
+            });
         }
         let mut rng = SplitMix64::new(self.seed);
         let mut stats = Vec::with_capacity(self.resamples);
@@ -194,9 +203,12 @@ mod tests {
         // 400 iid observations from a known two-point distribution:
         // the bootstrap 95% interval for the mean must sit near
         // mean ± 1.96·s/√n.
-        let items: Vec<f64> =
-            (0..400).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
-        let ci = Bootstrap::default().percentile_interval(&items, mean_stat, 0.95).unwrap();
+        let items: Vec<f64> = (0..400)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let ci = Bootstrap::default()
+            .percentile_interval(&items, mean_stat, 0.95)
+            .unwrap();
         let s = (0.25f64 * 0.75 / 400.0).sqrt();
         assert!((ci.center - 0.25).abs() < 0.01, "center {}", ci.center);
         assert!(
@@ -220,7 +232,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let items: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
-        let b = Bootstrap { resamples: 200, seed: 42 };
+        let b = Bootstrap {
+            resamples: 200,
+            seed: 42,
+        };
         let a = b.percentile_interval(&items, mean_stat, 0.8).unwrap();
         let c = b.percentile_interval(&items, mean_stat, 0.8).unwrap();
         assert_eq!(a.lo(), c.lo());
@@ -232,7 +247,10 @@ mod tests {
         // Statistic fails on resamples whose mean is below the median
         // — roughly half fail, which is still (barely) acceptable.
         let items: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
-        let b = Bootstrap { resamples: 400, seed: 7 };
+        let b = Bootstrap {
+            resamples: 400,
+            seed: 7,
+        };
         let result = b.percentile_interval(
             &items,
             |xs| {
@@ -259,9 +277,12 @@ mod tests {
         assert!(b.percentile_interval(&items, mean_stat, 0.0).is_err());
         assert!(b.percentile_interval::<f64>(&[], mean_stat, 0.9).is_err());
         assert!(
-            Bootstrap { resamples: 1, seed: 0 }
-                .percentile_interval(&items, mean_stat, 0.9)
-                .is_err()
+            Bootstrap {
+                resamples: 1,
+                seed: 0
+            }
+            .percentile_interval(&items, mean_stat, 0.9)
+            .is_err()
         );
     }
 

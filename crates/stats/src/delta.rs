@@ -197,7 +197,10 @@ mod tests {
         let cov = Matrix::diagonal(&[0.01, 0.04]);
         let predicted = delta_variance(&[3.0, 2.0], &cov).unwrap();
         assert!((mean - 6.0).abs() < 0.01, "mean {mean}");
-        assert!((var - predicted).abs() / predicted < 0.05, "var {var} vs {predicted}");
+        assert!(
+            (var - predicted).abs() / predicted < 0.05,
+            "var {var} vs {predicted}"
+        );
     }
 
     /// Box-Muller standard normal for the Monte-Carlo test.

@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn erfc_complements() {
         for x in [-5.0, -2.0, -0.7, 0.0, 0.3, 1.1, 2.5, 4.0] {
-            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "complement failed at {x}");
+            assert!(
+                (erf(x) + erfc(x) - 1.0).abs() < 1e-12,
+                "complement failed at {x}"
+            );
         }
     }
 

@@ -35,10 +35,16 @@ impl ConfidenceInterval {
     /// `center ± z_(1+c)/2 · deviation` (Theorem 1, Eq. 2).
     pub fn from_deviation(center: f64, deviation: f64, confidence: f64) -> Result<Self> {
         if deviation < 0.0 || !deviation.is_finite() {
-            return Err(StatsError::NegativeVariance { variance: deviation });
+            return Err(StatsError::NegativeVariance {
+                variance: deviation,
+            });
         }
         let z = two_sided_z(confidence)?;
-        Ok(Self { center, half_width: z * deviation, confidence })
+        Ok(Self {
+            center,
+            half_width: z * deviation,
+            confidence,
+        })
     }
 
     /// Builds an interval directly from explicit bounds.
@@ -47,7 +53,11 @@ impl ConfidenceInterval {
     /// Panics if `lo > hi`.
     pub fn from_bounds(lo: f64, hi: f64, confidence: f64) -> Self {
         assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
-        Self { center: (lo + hi) / 2.0, half_width: (hi - lo) / 2.0, confidence }
+        Self {
+            center: (lo + hi) / 2.0,
+            half_width: (hi - lo) / 2.0,
+            confidence,
+        }
     }
 
     /// Lower endpoint.

@@ -84,8 +84,14 @@ impl std::fmt::Display for StatsError {
             Self::NegativeVariance { variance } => {
                 write!(f, "negative variance {variance} (covariance not PSD)")
             }
-            Self::DimensionMismatch { gradient, covariance } => {
-                write!(f, "gradient length {gradient} does not match covariance side {covariance}")
+            Self::DimensionMismatch {
+                gradient,
+                covariance,
+            } => {
+                write!(
+                    f,
+                    "gradient length {gradient} does not match covariance side {covariance}"
+                )
             }
             Self::SingularCovariance => write!(f, "covariance matrix is singular"),
             Self::InsufficientData { got, need } => {
@@ -106,17 +112,33 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = StatsError::InvalidProbability { value: 1.5, what: "confidence" };
+        let e = StatsError::InvalidProbability {
+            value: 1.5,
+            what: "confidence",
+        };
         assert!(e.to_string().contains("confidence"));
-        assert!(StatsError::SingularCovariance.to_string().contains("singular"));
         assert!(
-            StatsError::NegativeVariance { variance: -0.1 }.to_string().contains("-0.1")
-        );
-        assert!(
-            StatsError::DimensionMismatch { gradient: 2, covariance: 3 }
+            StatsError::SingularCovariance
                 .to_string()
-                .contains("2")
+                .contains("singular")
         );
-        assert!(StatsError::InsufficientData { got: 1, need: 2 }.to_string().contains("need"));
+        assert!(
+            StatsError::NegativeVariance { variance: -0.1 }
+                .to_string()
+                .contains("-0.1")
+        );
+        assert!(
+            StatsError::DimensionMismatch {
+                gradient: 2,
+                covariance: 3
+            }
+            .to_string()
+            .contains("2")
+        );
+        assert!(
+            StatsError::InsufficientData { got: 1, need: 2 }
+                .to_string()
+                .contains("need")
+        );
     }
 }

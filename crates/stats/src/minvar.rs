@@ -42,7 +42,10 @@ pub struct MinVarWeights {
 /// still fails, uniform weights are returned with `fell_back = true`.
 pub fn min_variance_weights(c: &Matrix, policy: WeightPolicy) -> Result<MinVarWeights> {
     if !c.is_square() {
-        return Err(StatsError::DimensionMismatch { gradient: c.rows(), covariance: c.cols() });
+        return Err(StatsError::DimensionMismatch {
+            gradient: c.rows(),
+            covariance: c.cols(),
+        });
     }
     let l = c.rows();
     if l == 0 {
@@ -51,7 +54,11 @@ pub fn min_variance_weights(c: &Matrix, policy: WeightPolicy) -> Result<MinVarWe
     let uniform = vec![1.0 / l as f64; l];
     if policy == WeightPolicy::Uniform || l == 1 {
         let variance = quadratic_form(c, &uniform);
-        return Ok(MinVarWeights { weights: uniform, variance, fell_back: false });
+        return Ok(MinVarWeights {
+            weights: uniform,
+            variance,
+            fell_back: false,
+        });
     }
 
     let ones = vec![1.0; l];
@@ -71,7 +78,11 @@ pub fn min_variance_weights(c: &Matrix, policy: WeightPolicy) -> Result<MinVarWe
     if let Some(w) = solve(c) {
         let variance = quadratic_form(c, &w);
         if variance.is_finite() && variance >= 0.0 {
-            return Ok(MinVarWeights { weights: w, variance, fell_back: false });
+            return Ok(MinVarWeights {
+                weights: w,
+                variance,
+                fell_back: false,
+            });
         }
     }
     // Ridge fallback.
@@ -84,12 +95,20 @@ pub fn min_variance_weights(c: &Matrix, policy: WeightPolicy) -> Result<MinVarWe
     if let Some(w) = solve(&ridged) {
         let variance = quadratic_form(c, &w);
         if variance.is_finite() && variance >= 0.0 {
-            return Ok(MinVarWeights { weights: w, variance, fell_back: true });
+            return Ok(MinVarWeights {
+                weights: w,
+                variance,
+                fell_back: true,
+            });
         }
     }
     // Uniform fallback: always valid, just wider (paper §III-D3).
     let variance = quadratic_form(c, &uniform);
-    Ok(MinVarWeights { weights: uniform, variance, fell_back: true })
+    Ok(MinVarWeights {
+        weights: uniform,
+        variance,
+        fell_back: true,
+    })
 }
 
 /// `wᵀ C w`, clamped at zero against roundoff.
@@ -155,7 +174,11 @@ mod tests {
         let c = Matrix::from_rows(&[&[1.0, 1.9], &[1.9, 4.0]]);
         let out = min_variance_weights(&c, WeightPolicy::MinimumVariance).unwrap();
         assert!((out.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!(out.weights[1] < 0.0, "expected negative weight, got {:?}", out.weights);
+        assert!(
+            out.weights[1] < 0.0,
+            "expected negative weight, got {:?}",
+            out.weights
+        );
         let uni = min_variance_weights(&c, WeightPolicy::Uniform).unwrap();
         assert!(out.variance < uni.variance);
     }

@@ -24,7 +24,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`.
 pub fn normal_quantile(p: f64) -> Result<f64> {
     if !(p > 0.0 && p < 1.0) {
-        return Err(StatsError::InvalidProbability { value: p, what: "quantile argument" });
+        return Err(StatsError::InvalidProbability {
+            value: p,
+            what: "quantile argument",
+        });
     }
     // Acklam's rational approximation (relative error < 1.15e-9).
     const A: [f64; 6] = [
@@ -86,7 +89,10 @@ pub fn normal_quantile(p: f64) -> Result<f64> {
 /// with probability `c` under normality.
 pub fn two_sided_z(confidence: f64) -> Result<f64> {
     if !(confidence > 0.0 && confidence < 1.0) {
-        return Err(StatsError::InvalidProbability { value: confidence, what: "confidence" });
+        return Err(StatsError::InvalidProbability {
+            value: confidence,
+            what: "confidence",
+        });
     }
     normal_quantile((1.0 + confidence) / 2.0)
 }
@@ -114,7 +120,10 @@ mod tests {
     fn quantile_inverts_cdf() {
         for p in [0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 0.999] {
             let x = normal_quantile(p).unwrap();
-            assert!((normal_cdf(x) - p).abs() < 1e-10, "roundtrip failed at p={p}");
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-10,
+                "roundtrip failed at p={p}"
+            );
         }
     }
 

@@ -26,15 +26,15 @@ pub fn wald_interval(successes: u64, trials: u64, confidence: f64) -> Result<Con
     let p = successes as f64 / n;
     let z = two_sided_z(confidence)?;
     let dev = (p * (1.0 - p) / n).sqrt();
-    Ok(ConfidenceInterval { center: p, half_width: z * dev, confidence })
+    Ok(ConfidenceInterval {
+        center: p,
+        half_width: z * dev,
+        confidence,
+    })
 }
 
 /// Wilson score interval for `successes / trials`.
-pub fn wilson_interval(
-    successes: u64,
-    trials: u64,
-    confidence: f64,
-) -> Result<ConfidenceInterval> {
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> Result<ConfidenceInterval> {
     if trials == 0 {
         return Err(StatsError::InsufficientData { got: 0, need: 1 });
     }
@@ -53,7 +53,12 @@ pub fn wilson_interval(
     let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
     // The Wilson interval lies in [0, 1] mathematically; clip the
     // roundoff spill at the boundaries.
-    Ok(ConfidenceInterval { center, half_width: half, confidence }.clipped(0.0, 1.0))
+    Ok(ConfidenceInterval {
+        center,
+        half_width: half,
+        confidence,
+    }
+    .clipped(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -113,7 +118,10 @@ mod tests {
             }
         }
         let coverage = covered as f64 / reps as f64;
-        assert!((coverage - c).abs() < 0.03, "Wilson coverage {coverage} at c={c}");
+        assert!(
+            (coverage - c).abs() < 0.03,
+            "Wilson coverage {coverage} at c={c}"
+        );
     }
 
     #[test]

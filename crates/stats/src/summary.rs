@@ -6,7 +6,11 @@
 
 /// Mean of a slice; 0 for the empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
 }
 
 /// Unbiased sample variance; 0 with fewer than two observations.
@@ -29,7 +33,11 @@ pub fn sample_covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
 }
 
 /// Welford online mean/variance accumulator.
@@ -51,7 +59,13 @@ impl Default for OnlineSummary {
 impl OnlineSummary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -96,7 +110,11 @@ impl OnlineSummary {
 
     /// Unbiased variance; 0 with fewer than two observations.
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / (self.count - 1) as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
     }
 
     /// Standard deviation.
@@ -106,7 +124,11 @@ impl OnlineSummary {
 
     /// Standard error of the mean.
     pub fn std_error(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.std_dev() / (self.count as f64).sqrt() }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
     }
 
     /// Minimum observation; +∞ when empty.

@@ -69,7 +69,11 @@ fn main() {
     for a in &ranked {
         let ci = a.interval(1, 2).clipped(0.0, 1.0);
         let truth = instance.true_confusion(a.worker).get(1, 2);
-        let flag = if ci.lo() > 0.2 { "  <-- biased (credibly above 0.2)" } else { "" };
+        let flag = if ci.lo() > 0.2 {
+            "  <-- biased (credibly above 0.2)"
+        } else {
+            ""
+        };
         println!(
             "  moderator {}: {:.2} in [{:.2}, {:.2}]   (true {:.2}, {} triples){flag}",
             a.worker.0,
@@ -84,7 +88,10 @@ fn main() {
     // Full matrix for the flagged moderator.
     let flagged = ranked[0];
     println!("\nmoderator {} response probabilities:", flagged.worker.0);
-    println!("  {:<11} {:>7} {:>12} {:>7}", "truth", LABELS[0], LABELS[1], LABELS[2]);
+    println!(
+        "  {:<11} {:>7} {:>12} {:>7}",
+        "truth", LABELS[0], LABELS[1], LABELS[2]
+    );
     for r in 0..3 {
         let mut row = format!("  {:<11}", LABELS[r]);
         for c in 0..3 {

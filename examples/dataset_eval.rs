@@ -27,7 +27,9 @@ fn accuracy(
         min_pair_overlap: 10,
         ..EstimatorConfig::default()
     });
-    let report = estimator.evaluate_all(data, confidence).expect("enough workers");
+    let report = estimator
+        .evaluate_all(data, confidence)
+        .expect("enough workers");
     let stats = report.coverage(truth_of);
     (stats.covered, stats.total)
 }
@@ -47,10 +49,17 @@ fn main() {
     csv::write_responses(&dataset.responses, &mut buf).expect("in-memory write");
     let reloaded = csv::read_responses(buf.as_slice()).expect("own output parses");
     assert_eq!(reloaded.n_responses(), dataset.responses.n_responses());
-    println!("CSV roundtrip: {} bytes, {} responses\n", buf.len(), reloaded.n_responses());
+    println!(
+        "CSV roundtrip: {} bytes, {} responses\n",
+        buf.len(),
+        reloaded.n_responses()
+    );
 
     println!("interval accuracy (should track the confidence level):");
-    println!("{:<12} {:>16} {:>16}", "confidence", "raw", "spammers pruned");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "confidence", "raw", "spammers pruned"
+    );
     let pruned = prune_spammers(&dataset.responses, PAPER_SPAMMER_THRESHOLD);
     println!(
         "(pruning removed {} of {} workers)",

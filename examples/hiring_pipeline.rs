@@ -27,7 +27,9 @@ fn main() {
     let mut scenario = BinaryScenario::paper_default(15, 200, 0.8);
     scenario.error_pool = vec![0.05, 0.1, 0.15, 0.35, 0.4];
     scenario.design = AttemptDesign::PerWorkerDensity(
-        (0..15).map(|i| if i % 3 == 0 { 0.95 } else { 0.15 }).collect(),
+        (0..15)
+            .map(|i| if i % 3 == 0 { 0.95 } else { 0.15 })
+            .collect(),
     );
     let instance = scenario.generate(&mut rng);
 
@@ -74,7 +76,5 @@ fn main() {
         "\nwrongful firings — point-estimate policy: {point_firings_wrong}, \
          interval policy: {ci_firings_wrong}"
     );
-    println!(
-        "(the interval policy abstains on thin evidence instead of firing good workers)"
-    );
+    println!("(the interval policy abstains on thin evidence instead of firing good workers)");
 }

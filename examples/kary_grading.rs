@@ -38,7 +38,10 @@ fn main() {
     for (slot, &w) in workers.iter().enumerate() {
         let truth = instance.true_confusion(w);
         println!("\ngrader {w}: P(response | truth) with 90% intervals");
-        println!("  {:<6} {:>28} {:>28} {:>28}", "truth", GRADES[0], GRADES[1], GRADES[2]);
+        println!(
+            "  {:<6} {:>28} {:>28} {:>28}",
+            "truth", GRADES[0], GRADES[1], GRADES[2]
+        );
         for r in 0..3 {
             let mut row = format!("  {:<6}", GRADES[r]);
             for c in 0..3 {

@@ -29,7 +29,10 @@ fn main() {
     let estimator = MWorkerEstimator::new(EstimatorConfig::default());
     let report = estimator.evaluate_all(data, 0.9).expect("enough workers");
 
-    println!("{:<8} {:>24}   {:>6}   covered?", "worker", "90% interval", "truth");
+    println!(
+        "{:<8} {:>24}   {:>6}   covered?",
+        "worker", "90% interval", "truth"
+    );
     for a in &report.assessments {
         let truth = instance.true_error_rate(a.worker);
         println!(
@@ -37,7 +40,11 @@ fn main() {
             a.worker.to_string(),
             a.interval.to_string(),
             truth,
-            if a.interval.contains(truth) { "yes" } else { "NO" }
+            if a.interval.contains(truth) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     for (w, err) in &report.failures {

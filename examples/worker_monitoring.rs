@@ -13,8 +13,8 @@
 //! cargo run --release --example worker_monitoring
 //! ```
 
-use crowd_assess::core::policy::{Decision, RetentionPolicy};
 use crowd_assess::core::IncrementalEvaluator;
+use crowd_assess::core::policy::{Decision, RetentionPolicy};
 use crowd_assess::prelude::*;
 
 fn main() {
@@ -25,23 +25,40 @@ fn main() {
     let instance = scenario.generate(&mut rng);
     let data = instance.responses();
 
-    let mut monitor =
-        IncrementalEvaluator::new(data.n_workers(), data.n_tasks(), 2, EstimatorConfig::default());
-    let policy = RetentionPolicy { fire_threshold: 0.3, ..RetentionPolicy::default() };
+    let mut monitor = IncrementalEvaluator::new(
+        data.n_workers(),
+        data.n_tasks(),
+        2,
+        EstimatorConfig::default(),
+    );
+    let policy = RetentionPolicy {
+        fire_threshold: 0.3,
+        ..RetentionPolicy::default()
+    };
     let mut fired: Vec<(WorkerId, usize)> = Vec::new();
 
-    println!("streaming {} responses over {} tasks...\n", data.n_responses(), data.n_tasks());
+    println!(
+        "streaming {} responses over {} tasks...\n",
+        data.n_responses(),
+        data.n_tasks()
+    );
     for task in data.tasks() {
         for &(w, label) in data.task_responses(task) {
             monitor
-                .ingest(crowd_assess::data::Response { worker: WorkerId(w), task, label })
+                .ingest(crowd_assess::data::Response {
+                    worker: WorkerId(w),
+                    task,
+                    label,
+                })
                 .expect("simulated stream has no duplicates");
         }
         // Re-assess every 25 tasks.
         if (task.0 + 1) % 25 != 0 {
             continue;
         }
-        let Ok(report) = monitor.evaluate_all(0.95) else { continue };
+        let Ok(report) = monitor.evaluate_all(0.95) else {
+            continue;
+        };
         for a in &report.assessments {
             if fired.iter().any(|(w, _)| *w == a.worker) {
                 continue;
@@ -62,10 +79,17 @@ fn main() {
         }
     }
 
-    println!("\nfinal assessment after {} responses:", monitor.n_responses());
+    println!(
+        "\nfinal assessment after {} responses:",
+        monitor.n_responses()
+    );
     let report = monitor.evaluate_all(0.95).expect("full data evaluates");
     for a in &report.assessments {
-        let status = if fired.iter().any(|(w, _)| *w == a.worker) { "FIRED" } else { "active" };
+        let status = if fired.iter().any(|(w, _)| *w == a.worker) {
+            "FIRED"
+        } else {
+            "active"
+        };
         println!(
             "  {} [{status:>6}] interval [{:.3}, {:.3}], true {:.2}",
             a.worker,
@@ -81,6 +105,9 @@ fn main() {
     println!(
         "\ntruly bad workers: {:?}; fired: {:?}",
         truly_bad.iter().map(|w| w.to_string()).collect::<Vec<_>>(),
-        fired.iter().map(|(w, at)| format!("{w}@task{at}")).collect::<Vec<_>>()
+        fired
+            .iter()
+            .map(|(w, at)| format!("{w}@task{at}"))
+            .collect::<Vec<_>>()
     );
 }

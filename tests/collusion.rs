@@ -30,7 +30,10 @@ fn clique_members(inst: &crowd_assess::sim::BinaryInstance) -> Vec<WorkerId> {
 #[test]
 fn colluders_are_systematically_underestimated() {
     let mut scenario = BinaryScenario::paper_default(9, 300, 1.0);
-    scenario.collusion = Some(Collusion { fraction: 0.34, clique_error: 0.3 });
+    scenario.collusion = Some(Collusion {
+        fraction: 0.34,
+        clique_error: 0.3,
+    });
     let est = MWorkerEstimator::new(EstimatorConfig::default());
     let mut rng = crowd_assess::sim::rng(501);
     let mut clique_bias = 0.0;
@@ -39,7 +42,9 @@ fn colluders_are_systematically_underestimated() {
     for _ in 0..30 {
         let inst = scenario.generate(&mut rng);
         let members = clique_members(&inst);
-        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else {
+            continue;
+        };
         for a in &report.assessments {
             let truth = inst.true_error_rate(a.worker);
             if members.contains(&a.worker) {
@@ -84,7 +89,9 @@ fn no_collusion_keeps_everyone_calibrated() {
     let mut cov = CoverageStats::default();
     for _ in 0..30 {
         let inst = scenario.generate(&mut rng);
-        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else {
+            continue;
+        };
         cov.merge(report.coverage(|w| Some(inst.true_error_rate(w))));
     }
     let acc = cov.accuracy().unwrap();
@@ -98,7 +105,10 @@ fn spammer_pruning_does_not_catch_colluders() {
     // tool against collusion. Documents the limitation.
     use crowd_assess::core::preprocess::{PAPER_SPAMMER_THRESHOLD, prune_spammers};
     let mut scenario = BinaryScenario::paper_default(9, 300, 1.0);
-    scenario.collusion = Some(Collusion { fraction: 0.34, clique_error: 0.3 });
+    scenario.collusion = Some(Collusion {
+        fraction: 0.34,
+        clique_error: 0.3,
+    });
     let inst = scenario.generate(&mut crowd_assess::sim::rng(507));
     let members = clique_members(&inst);
     assert!(!members.is_empty(), "clique must exist");

@@ -32,8 +32,7 @@ fn pipeline_is_deterministic_per_seed() {
 
 #[test]
 fn estimation_survives_a_csv_roundtrip() {
-    let inst =
-        BinaryScenario::paper_default(5, 80, 0.9).generate(&mut crowd_assess::sim::rng(11));
+    let inst = BinaryScenario::paper_default(5, 80, 0.9).generate(&mut crowd_assess::sim::rng(11));
     let mut buf = Vec::new();
     csv::write_responses(inst.responses(), &mut buf).unwrap();
     let reloaded = csv::read_responses(buf.as_slice()).unwrap();
@@ -82,8 +81,11 @@ fn dawid_skene_and_interval_estimates_agree_on_rankings() {
         .unwrap();
     let ds = DawidSkene::default().run(inst.responses()).unwrap();
     let ds_rates = ds.error_rates();
-    let mut by_interval: Vec<_> =
-        report.assessments.iter().map(|a| (a.worker, a.interval.center)).collect();
+    let mut by_interval: Vec<_> = report
+        .assessments
+        .iter()
+        .map(|a| (a.worker, a.interval.center))
+        .collect();
     let mut by_ds: Vec<_> = inst
         .responses()
         .workers()
@@ -98,7 +100,10 @@ fn dawid_skene_and_interval_estimates_agree_on_rankings() {
         by_interval.iter().take(k).map(|(w, _)| *w).collect();
     let best_ds: std::collections::HashSet<_> = by_ds.iter().take(k).map(|(w, _)| *w).collect();
     let overlap = best_interval.intersection(&best_ds).count();
-    assert!(overlap >= k - 1, "best-worker sets diverge: {best_interval:?} vs {best_ds:?}");
+    assert!(
+        overlap >= k - 1,
+        "best-worker sets diverge: {best_interval:?} vs {best_ds:?}"
+    );
 }
 
 #[test]

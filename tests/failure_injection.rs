@@ -2,9 +2,7 @@
 //! inputs must produce clean, typed errors (or honest wide intervals)
 //! — never panics, NaN intervals, or silently wrong numbers.
 
-use crowd_assess::core::{
-    CoverageStats, EstimateError, KaryEstimator, KaryMWorkerEstimator,
-};
+use crowd_assess::core::{CoverageStats, EstimateError, KaryEstimator, KaryMWorkerEstimator};
 use crowd_assess::prelude::*;
 use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
 
@@ -44,7 +42,10 @@ fn malicious_worker_fails_cleanly_or_is_clamped() {
     let report = strict.evaluate_all(&data, 0.9).unwrap();
     // The adversary cannot be evaluated under the Error policy: every
     // triangle containing it is degenerate.
-    assert!(report.failures.iter().any(|(w, _)| *w == WorkerId(4)), "{report:?}");
+    assert!(
+        report.failures.iter().any(|(w, _)| *w == WorkerId(4)),
+        "{report:?}"
+    );
     // The good workers still get finite, small estimates.
     for a in &report.assessments {
         assert!(a.interval.center.is_finite());
@@ -73,9 +74,15 @@ fn unanimous_data_gives_zero_error_finite_interval() {
     let report = est.evaluate_all(&data, 0.9).unwrap();
     assert_eq!(report.assessments.len(), 5);
     for a in &report.assessments {
-        assert!(a.interval.center.abs() < 1e-9, "unanimous workers have zero error: {a:?}");
+        assert!(
+            a.interval.center.abs() < 1e-9,
+            "unanimous workers have zero error: {a:?}"
+        );
         assert!(a.interval.half_width.is_finite());
-        assert!(a.interval.half_width > 0.0, "smoothing keeps the interval honest: {a:?}");
+        assert!(
+            a.interval.half_width > 0.0,
+            "smoothing keeps the interval honest: {a:?}"
+        );
     }
 }
 
@@ -131,7 +138,8 @@ fn kary_with_unused_label_fails_cleanly() {
     let mut b = ResponseMatrixBuilder::new(3, 120, 3);
     for w in 0..3u32 {
         for t in 0..120u32 {
-            b.push(WorkerId(w), TaskId(t), Label((t % 2) as u16)).unwrap();
+            b.push(WorkerId(w), TaskId(t), Label((t % 2) as u16))
+                .unwrap();
         }
     }
     let data = b.build().unwrap();
@@ -140,7 +148,10 @@ fn kary_with_unused_label_fails_cleanly() {
         .evaluate(&data, [WorkerId(0), WorkerId(1), WorkerId(2)], 0.9)
         .expect_err("rank-deficient moments must not yield intervals");
     assert!(
-        matches!(err, EstimateError::Degenerate { .. } | EstimateError::Numerical(_)),
+        matches!(
+            err,
+            EstimateError::Degenerate { .. } | EstimateError::Numerical(_)
+        ),
         "unexpected error: {err}"
     );
 }
@@ -152,7 +163,11 @@ fn kary_with_unused_label_fails_cleanly() {
 fn anticorrelated_pair_is_degenerate() {
     let data = regular_matrix(3, 80, |w, t| {
         let truth = (t % 2) as u16;
-        if w == 2 { Label(1 - truth) } else { Label(truth) }
+        if w == 2 {
+            Label(1 - truth)
+        } else {
+            Label(truth)
+        }
     });
     let est = MWorkerEstimator::new(EstimatorConfig::default());
     let report = est.evaluate_all(&data, 0.9).unwrap();
@@ -169,8 +184,7 @@ fn anticorrelated_pair_is_degenerate() {
 /// debug-asserted or NaN-propagated.
 #[test]
 fn invalid_confidence_levels_error() {
-    let inst =
-        BinaryScenario::paper_default(5, 60, 1.0).generate(&mut crowd_assess::sim::rng(607));
+    let inst = BinaryScenario::paper_default(5, 60, 1.0).generate(&mut crowd_assess::sim::rng(607));
     let est = MWorkerEstimator::new(EstimatorConfig::default());
     for &c in &[0.0, 1.0, -0.5, 1.5, f64::NAN] {
         let out = est.evaluate_all(inst.responses(), c);
@@ -220,7 +234,9 @@ fn spam_heavy_pool_degrades_gracefully() {
     let mut stats = CoverageStats::default();
     for _ in 0..10 {
         let inst = scenario.generate(&mut rng);
-        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else { continue };
+        let Ok(report) = est.evaluate_all(inst.responses(), 0.9) else {
+            continue;
+        };
         for a in &report.assessments {
             assert!(a.interval.center.is_finite());
             assert!(a.interval.half_width.is_finite());

@@ -19,11 +19,15 @@ fn new_technique_beats_old_technique() {
     let (mut new_sz, mut old_sz, mut used) = (0.0, 0.0, 0);
     for _ in 0..60 {
         let inst = scenario.generate(&mut rng);
-        let Ok(report) = new.evaluate_all(inst.responses(), 0.5) else { continue };
+        let Ok(report) = new.evaluate_all(inst.responses(), 0.5) else {
+            continue;
+        };
         if report.assessments.len() < 3 {
             continue;
         }
-        let Ok(old_cis) = old.evaluate_all(inst.responses(), 0.5) else { continue };
+        let Ok(old_cis) = old.evaluate_all(inst.responses(), 0.5) else {
+            continue;
+        };
         new_sz += report.mean_interval_size();
         old_sz += old_cis.iter().map(|(_, ci)| ci.size()).sum::<f64>() / 3.0;
         used += 1;
@@ -73,10 +77,11 @@ fn interval_size_is_inverse_in_density() {
         for _ in 0..25 {
             let inst = scenario.generate(&mut rng);
             if let Ok(report) = est.evaluate_all(inst.responses(), 0.8)
-                && !report.assessments.is_empty() {
-                    total += report.mean_interval_size();
-                    n += 1;
-                }
+                && !report.assessments.is_empty()
+            {
+                total += report.mean_interval_size();
+                n += 1;
+            }
         }
         sizes.push(total / n as f64);
     }
@@ -99,7 +104,9 @@ fn kary_coverage_is_calibrated_or_conservative() {
         let mut stats = CoverageStats::default();
         for _ in 0..25 {
             let inst = scenario.generate(&mut rng);
-            let Ok(a) = est.evaluate(inst.responses(), workers, 0.9) else { continue };
+            let Ok(a) = est.evaluate(inst.responses(), workers, 0.9) else {
+                continue;
+            };
             let truth = [0u32, 1, 2].map(|w| inst.true_confusion(WorkerId(w)));
             stats.merge(a.coverage(&truth));
         }
@@ -120,14 +127,17 @@ fn kary_coverage_is_calibrated_or_conservative() {
 /// method that shares none of it.
 #[test]
 fn delta_method_interval_matches_bootstrap_oracle() {
-    use crowd_assess::core::agreement::Triangle;
     use crowd_assess::core::DegeneracyPolicy;
+    use crowd_assess::core::agreement::Triangle;
     use crowd_assess::stats::Bootstrap;
     use crowd_data::triple_joint_labels;
 
     let scenario = BinaryScenario::paper_default(3, 200, 1.0);
     let est = MWorkerEstimator::new(EstimatorConfig::default());
-    let boot = Bootstrap { resamples: 600, seed: 991 };
+    let boot = Bootstrap {
+        resamples: 600,
+        seed: 991,
+    };
     let mut rng = crowd_assess::sim::rng(239);
     let mut width_ratio = 0.0;
     let mut center_gap = 0.0;
@@ -135,7 +145,9 @@ fn delta_method_interval_matches_bootstrap_oracle() {
     for _ in 0..12 {
         let inst = scenario.generate(&mut rng);
         let data = inst.responses();
-        let Ok(delta) = est.evaluate_worker(data, WorkerId(0), 0.9) else { continue };
+        let Ok(delta) = est.evaluate_worker(data, WorkerId(0), 0.9) else {
+            continue;
+        };
         let items = triple_joint_labels(data, WorkerId(0), WorkerId(1), WorkerId(2));
         let Ok(bootstrap) = boot.percentile_interval(
             &items,
@@ -167,7 +179,10 @@ fn delta_method_interval_matches_bootstrap_oracle() {
         (0.7..1.4).contains(&width_ratio),
         "delta/bootstrap width ratio {width_ratio:.3}, expected ≈ 1"
     );
-    assert!(center_gap < 0.03, "centers disagree by {center_gap:.4} on average");
+    assert!(
+        center_gap < 0.03,
+        "centers disagree by {center_gap:.4} on average"
+    );
 }
 
 /// Paper Fig. 4: pruning spammers never hurts, and the pruned run's
@@ -181,10 +196,16 @@ fn spammer_pruning_restores_real_data_accuracy() {
         ..EstimatorConfig::default()
     });
     let pruned = prune_spammers(&dataset.responses, PAPER_SPAMMER_THRESHOLD);
-    assert!(!pruned.removed.is_empty(), "the ENT stand-in plants spammers");
+    assert!(
+        !pruned.removed.is_empty(),
+        "the ENT stand-in plants spammers"
+    );
     let report = est.evaluate_all(&pruned.data, 0.9).unwrap();
-    let stats = report
-        .coverage(|w| dataset.gold.worker_error_rate(&dataset.responses, pruned.kept[w.index()]));
+    let stats = report.coverage(|w| {
+        dataset
+            .gold
+            .worker_error_rate(&dataset.responses, pruned.kept[w.index()])
+    });
     let acc = stats.accuracy().unwrap();
     assert!(
         acc > 0.85,

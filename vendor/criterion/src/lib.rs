@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate with the same surface
+//! the workspace benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `criterion_group!`/`criterion_main!`.
+//!
+//! Measurement is intentionally simple — a short warm-up followed by
+//! `sample_size` timed batches, reporting the per-iteration median —
+//! because these benches are for relative, same-machine comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the timing loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration sample durations, filled by [`Bencher::iter`].
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording `samples` batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for ≥ ~1ms batches so
+        // Instant overhead stays negligible.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1000) as u32;
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            self.timings.push(start.elapsed() / per_batch);
+        }
+        self.timings.sort_unstable();
+    }
+
+    fn median(&self) -> Duration {
+        self.timings
+            .get(self.timings.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        println!("{}/{}: median {:?}", self.name, label, bencher.median());
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}
