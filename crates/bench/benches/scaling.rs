@@ -129,8 +129,7 @@ fn ablation_incremental(c: &mut Criterion) {
     group.bench_function("batch_evaluate_all", |b| {
         b.iter(|| black_box(batch.evaluate_all(black_box(inst.responses()), 0.9)));
     });
-    let ev =
-        IncrementalEvaluator::from_matrix(inst.responses().clone(), EstimatorConfig::default());
+    let ev = IncrementalEvaluator::from_matrix(inst.responses(), EstimatorConfig::default());
     group.bench_function("cached_evaluate_all", |b| {
         b.iter(|| black_box(ev.evaluate_all(0.9)));
     });

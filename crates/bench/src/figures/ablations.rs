@@ -198,26 +198,38 @@ pub fn pairing_strategy(options: &RunOptions) -> FigureResult {
         ("greedy by overlap", PairingStrategy::GreedyByOverlap),
         ("id-order pairing", PairingStrategy::Sequential),
     ];
-    let mut series = Vec::new();
-    for (label, strategy) in strategies {
-        let est = MWorkerEstimator::new(EstimatorConfig {
-            pairing: strategy,
-            ..EstimatorConfig::default()
-        });
-        let mut points = Vec::new();
-        for &c in &confidences {
-            let sizes: Vec<Option<f64>> = parallel_reps(options, |seed| {
-                let data = interleaved_block_instance(seed);
-                let report = est.evaluate_all(&data, c).ok()?;
-                if report.assessments.is_empty() {
-                    return None;
-                }
-                Some(report.mean_interval_size())
+    // Each repetition builds its block instance and overlap index
+    // exactly once; both strategies and all five confidence levels
+    // read the same shared index (previously the instance was
+    // regenerated and re-indexed per (strategy, confidence) cell —
+    // 10× the matrix-path work for bit-identical numbers).
+    let per_rep: Vec<[[Option<f64>; 5]; 2]> = parallel_reps(options, |seed| {
+        let data = interleaved_block_instance(seed);
+        let index = crowd_data::OverlapIndex::from_matrix(&data);
+        let mut cells = [[None; 5]; 2];
+        for (s, (_, strategy)) in strategies.iter().enumerate() {
+            let est = MWorkerEstimator::new(EstimatorConfig {
+                pairing: *strategy,
+                ..EstimatorConfig::default()
             });
-            let valid: Vec<f64> = sizes.into_iter().flatten().collect();
+            for (i, &c) in confidences.iter().enumerate() {
+                cells[s][i] = est
+                    .evaluate_all_indexed(&index, c)
+                    .ok()
+                    .filter(|report| !report.assessments.is_empty())
+                    .map(|report| report.mean_interval_size());
+            }
+        }
+        cells
+    });
+    let mut series = Vec::new();
+    for (s, (label, _)) in strategies.iter().enumerate() {
+        let mut points = Vec::new();
+        for (i, &c) in confidences.iter().enumerate() {
+            let valid: Vec<f64> = per_rep.iter().filter_map(|cells| cells[s][i]).collect();
             points.push((c, valid.iter().sum::<f64>() / valid.len().max(1) as f64));
         }
-        series.push(Series::new(label, points));
+        series.push(Series::new(*label, points));
     }
     FigureResult {
         id: "abl_pairing",
@@ -283,40 +295,52 @@ pub fn degeneracy_policy(options: &RunOptions) -> FigureResult {
         ("drop (paper)", DegeneracyPolicy::Error),
         ("clamp", DegeneracyPolicy::Clamp { epsilon: 1e-3 }),
     ];
-    let mut acc_series = Vec::new();
-    let mut eval_series = Vec::new();
-    for (label, policy) in policies {
-        let est = MWorkerEstimator::new(EstimatorConfig {
+    let estimators = policies.map(|(_, policy)| {
+        MWorkerEstimator::new(EstimatorConfig {
             degeneracy: policy,
             ..EstimatorConfig::default()
-        });
-        let mut acc_points = Vec::new();
-        let mut eval_points = Vec::new();
-        for &fraction in &spam_fractions {
-            let mut scenario = BinaryScenario::paper_default(9, 200, 0.9);
-            scenario.spammer_fraction = fraction;
-            let per_rep: Vec<(CoverageStats, usize, usize)> = parallel_reps(options, |seed| {
-                let mut rng = crowd_sim::rng(seed);
-                let inst = scenario.generate(&mut rng);
-                match est.evaluate_all(inst.responses(), 0.9) {
-                    Ok(report) => {
-                        let cov = report.coverage(|w| Some(inst.true_error_rate(w)));
-                        (cov, report.assessments.len(), 9)
-                    }
-                    Err(_) => (CoverageStats::default(), 0, 9),
+        })
+    });
+    /// A policy's accumulated (accuracy, evaluated-fraction) points.
+    type PolicyPoints = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+    // One instance + one shared index per (fraction, seed); both
+    // policies evaluate against it (previously each policy regenerated
+    // and re-indexed the identical instance).
+    let mut per_policy: [PolicyPoints; 2] = Default::default();
+    for &fraction in &spam_fractions {
+        let mut scenario = BinaryScenario::paper_default(9, 200, 0.9);
+        scenario.spammer_fraction = fraction;
+        /// Per-policy (coverage, evaluated, total) cells of one rep.
+        type PolicyCells = [(CoverageStats, usize, usize); 2];
+        let per_rep: Vec<PolicyCells> = parallel_reps(options, |seed| {
+            let mut rng = crowd_sim::rng(seed);
+            let inst = scenario.generate(&mut rng);
+            let index = crowd_data::OverlapIndex::from_matrix(inst.responses());
+            [0, 1].map(|p| match estimators[p].evaluate_all_indexed(&index, 0.9) {
+                Ok(report) => {
+                    let cov = report.coverage(|w| Some(inst.true_error_rate(w)));
+                    (cov, report.assessments.len(), 9)
                 }
-            });
+                Err(_) => (CoverageStats::default(), 0, 9),
+            })
+        });
+        for (p, (acc_points, eval_points)) in per_policy.iter_mut().enumerate() {
             let mut cov = CoverageStats::default();
             let mut evaluated = 0usize;
             let mut total = 0usize;
-            for (c, e, t) in per_rep {
-                cov.merge(c);
+            for cells in &per_rep {
+                let (c, e, t) = &cells[p];
+                cov.merge(*c);
                 evaluated += e;
                 total += t;
             }
             acc_points.push((fraction, cov.accuracy().unwrap_or(f64::NAN)));
             eval_points.push((fraction, evaluated as f64 / total.max(1) as f64));
         }
+    }
+    let mut acc_series = Vec::new();
+    let mut eval_series = Vec::new();
+    for ((label, _), (acc_points, eval_points)) in policies.iter().zip(per_policy) {
         acc_series.push(Series::new(format!("coverage, {label}"), acc_points));
         eval_series.push(Series::new(
             format!("evaluated fraction, {label}"),
@@ -346,19 +370,26 @@ pub fn kary_m_accuracy(options: &RunOptions) -> FigureResult {
     for arity in [2u16, 3] {
         let scenario = KaryScenario::paper_default(arity, 400, 0.9).with_workers(5);
         let est = KaryMWorkerEstimator::new(EstimatorConfig::default());
-        let mut points = Vec::new();
-        for &c in &confidences {
-            let per_rep: Vec<CoverageStats> = parallel_reps(options, |seed| {
-                let mut rng = crowd_sim::rng(seed);
-                let inst = scenario.generate(&mut rng);
-                match est.evaluate_all(inst.responses(), c) {
+        // One instance + one shared index per repetition; all nine
+        // confidence levels evaluate against it (previously the
+        // instance was regenerated and re-indexed per level).
+        let per_rep: Vec<Vec<CoverageStats>> = parallel_reps(options, |seed| {
+            let mut rng = crowd_sim::rng(seed);
+            let inst = scenario.generate(&mut rng);
+            let index = crowd_data::OverlapIndex::from_matrix(inst.responses());
+            confidences
+                .iter()
+                .map(|&c| match est.evaluate_all_indexed(&index, c) {
                     Ok(report) => report.coverage(|w| Some(inst.true_confusion(w))),
                     Err(_) => CoverageStats::default(),
-                }
-            });
+                })
+                .collect()
+        });
+        let mut points = Vec::new();
+        for (i, &c) in confidences.iter().enumerate() {
             let mut stats = CoverageStats::default();
-            for s in per_rep {
-                stats.merge(s);
+            for rep in &per_rep {
+                stats.merge(rep[i]);
             }
             points.push((c, stats.accuracy().unwrap_or(f64::NAN)));
         }

@@ -8,6 +8,7 @@
 
 use crate::{FigureResult, RunOptions, Series, confidence_grid, parallel_reps, rescale_interval};
 use crowd_core::{EstimatorConfig, MWorkerEstimator};
+use crowd_data::OverlapIndex;
 use crowd_sim::{AttemptDesign, BinaryScenario, fig2c_densities};
 
 /// Per-repetition mean interval sizes across the confidence grid, for
@@ -26,8 +27,12 @@ pub fn run(options: &RunOptions) -> FigureResult {
         let inst = scenario.generate(&mut rng);
         let optimized = MWorkerEstimator::new(EstimatorConfig::default());
         let uniform = MWorkerEstimator::new(EstimatorConfig::with_uniform_weights());
-        let rep_opt = optimized.evaluate_all(inst.responses(), 0.5).ok()?;
-        let rep_uni = uniform.evaluate_all(inst.responses(), 0.5).ok()?;
+        // One shared index serves both weight policies (the substrates
+        // are bit-identical, so this cannot move a point — see
+        // `tests/figure_regression.rs`).
+        let index = OverlapIndex::from_matrix(inst.responses());
+        let rep_opt = optimized.evaluate_all_indexed(&index, 0.5).ok()?;
+        let rep_uni = uniform.evaluate_all_indexed(&index, 0.5).ok()?;
         if rep_opt.assessments.is_empty() || rep_uni.assessments.is_empty() {
             return None;
         }

@@ -1,0 +1,199 @@
+//! Regression pins for the figure harness.
+//!
+//! PR 2 reroutes several figures through one shared [`crowd_data::OverlapIndex`]
+//! per generated instance instead of rebuilding matrix-path state on
+//! every `evaluate_all` call. The substrates are bit-identical by
+//! construction, so the refactor must not move a single output point;
+//! these tests pin the exact values produced by the pre-refactor
+//! matrix-path harness (captured at the listed options) and fail on
+//! any drift.
+
+// The pinned constants reproduce harvested f64 outputs digit for digit.
+#![allow(clippy::excessive_precision)]
+
+use crowd_bench::figures::{ablations, fig2c};
+use crowd_bench::{FigureResult, RunOptions};
+
+/// Dumps every series point with full precision (harvest helper and
+/// mismatch diagnostics).
+fn dump(fig: &FigureResult) -> String {
+    let mut s = String::new();
+    for series in &fig.series {
+        for (x, y) in &series.points {
+            s.push_str(&format!("{}|{x:.6}|{y:.15e}\n", series.label));
+        }
+    }
+    s
+}
+
+fn assert_pinned(fig: &FigureResult, expected: &[(&str, f64, f64)]) {
+    let mut got = Vec::new();
+    for series in &fig.series {
+        for (x, y) in &series.points {
+            got.push((series.label.as_str(), *x, *y));
+        }
+    }
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "{}: point count changed\n{}",
+        fig.id,
+        dump(fig)
+    );
+    for ((gl, gx, gy), (el, ex, ey)) in got.iter().zip(expected) {
+        assert_eq!(gl, el, "{}: series order changed\n{}", fig.id, dump(fig));
+        assert!(
+            (gx - ex).abs() < 1e-12,
+            "{}: x drifted in {gl}: {gx} vs {ex}\n{}",
+            fig.id,
+            dump(fig)
+        );
+        let close = if ey.is_nan() {
+            gy.is_nan()
+        } else {
+            (gy - ey).abs() <= 1e-12 * ey.abs().max(1.0)
+        };
+        assert!(
+            close,
+            "{}: output drifted in {gl} at x = {gx}: {gy:.15e} vs pinned {ey:.15e}\n{}",
+            fig.id,
+            dump(fig)
+        );
+    }
+}
+
+#[test]
+fn fig2c_outputs_are_pinned() {
+    let fig = fig2c::run(&RunOptions::quick().with_reps(6));
+    assert_pinned(
+        &fig,
+        &[
+            ("With Optimization", 0.05, 7.960406199748584e-3),
+            ("With Optimization", 0.10, 1.595226859654244e-2),
+            ("With Optimization", 0.15, 2.400792294497973e-2),
+            ("With Optimization", 0.20, 3.216152889113352e-2),
+            ("With Optimization", 0.25, 4.045015310279484e-2),
+            ("With Optimization", 0.30, 4.891508590121662e-2),
+            ("With Optimization", 0.35, 5.760352341992267e-2),
+            ("With Optimization", 0.40, 6.657081147260872e-2),
+            ("With Optimization", 0.45, 7.588355787663302e-2),
+            ("With Optimization", 0.50, 8.562411537059093e-2),
+            ("With Optimization", 0.55, 9.589729621682620e-2),
+            ("With Optimization", 0.60, 1.068408727943407e-1),
+            ("With Optimization", 0.65, 1.186428426224872e-1),
+            ("With Optimization", 0.70, 1.315715948094838e-1),
+            ("With Optimization", 0.75, 1.460328315340131e-1),
+            ("With Optimization", 0.80, 1.626884901803949e-1),
+            ("With Optimization", 0.85, 1.827434867785582e-1),
+            ("With Optimization", 0.90, 2.088084165561958e-1),
+            ("With Optimization", 0.95, 2.488105746390864e-1),
+            ("No Optimization", 0.05, 2.087019940832666e-2),
+            ("No Optimization", 0.10, 4.182286911885764e-2),
+            ("No Optimization", 0.15, 6.294278541430372e-2),
+            ("No Optimization", 0.20, 8.431950636587049e-2),
+            ("No Optimization", 0.25, 1.060502115305792e-1),
+            ("No Optimization", 0.30, 1.282431538312782e-1),
+            ("No Optimization", 0.35, 1.510220697574415e-1),
+            ("No Optimization", 0.40, 1.745320622270939e-1),
+            ("No Optimization", 0.45, 1.989477603226638e-1),
+            ("No Optimization", 0.50, 2.244850723826429e-1),
+            ("No Optimization", 0.55, 2.514187900144773e-1),
+            ("No Optimization", 0.60, 2.801101180299037e-1),
+            ("No Optimization", 0.65, 3.110519390304766e-1),
+            ("No Optimization", 0.70, 3.449479023108406e-1),
+            ("No Optimization", 0.75, 3.828616577849613e-1),
+            ("No Optimization", 0.80, 4.265286401605573e-1),
+            ("No Optimization", 0.85, 4.791078387132897e-1),
+            ("No Optimization", 0.90, 5.474435829420838e-1),
+            ("No Optimization", 0.95, 6.523192632785599e-1),
+        ],
+    );
+}
+
+#[test]
+fn abl_pairing_outputs_are_pinned() {
+    let fig = ablations::pairing_strategy(&RunOptions::quick().with_reps(4));
+    assert_pinned(
+        &fig,
+        &[
+            ("greedy by overlap", 0.5, 9.950556960251575e-2),
+            ("greedy by overlap", 0.6, 1.241620057412271e-1),
+            ("greedy by overlap", 0.7, 1.529020933923225e-1),
+            ("greedy by overlap", 0.8, 1.890636862419914e-1),
+            ("greedy by overlap", 0.9, 2.426606142124308e-1),
+            ("id-order pairing", 0.5, 2.054273053456451e-1),
+            ("id-order pairing", 0.6, 2.563300362745316e-1),
+            ("id-order pairing", 0.7, 3.156633860070768e-1),
+            ("id-order pairing", 0.8, 3.903182882983555e-1),
+            ("id-order pairing", 0.9, 5.009680994773031e-1),
+        ],
+    );
+}
+
+#[test]
+fn abl_degeneracy_outputs_are_pinned() {
+    let fig = ablations::degeneracy_policy(&RunOptions::quick().with_reps(4));
+    assert_pinned(
+        &fig,
+        &[
+            ("coverage, drop (paper)", 0.0, 9.166666666666666e-1),
+            ("coverage, drop (paper)", 0.1, 9.705882352941176e-1),
+            ("coverage, drop (paper)", 0.2, 9.142857142857143e-1),
+            ("coverage, drop (paper)", 0.3, 9.375000000000000e-1),
+            ("coverage, clamp", 0.0, 9.166666666666666e-1),
+            ("coverage, clamp", 0.1, 9.722222222222222e-1),
+            ("coverage, clamp", 0.2, 9.166666666666666e-1),
+            ("coverage, clamp", 0.3, 9.444444444444444e-1),
+            ("evaluated fraction, drop (paper)", 0.0, 1.0),
+            (
+                "evaluated fraction, drop (paper)",
+                0.1,
+                9.444444444444444e-1,
+            ),
+            (
+                "evaluated fraction, drop (paper)",
+                0.2,
+                9.722222222222222e-1,
+            ),
+            (
+                "evaluated fraction, drop (paper)",
+                0.3,
+                8.888888888888888e-1,
+            ),
+            ("evaluated fraction, clamp", 0.0, 1.0),
+            ("evaluated fraction, clamp", 0.1, 1.0),
+            ("evaluated fraction, clamp", 0.2, 1.0),
+            ("evaluated fraction, clamp", 0.3, 1.0),
+        ],
+    );
+}
+
+#[test]
+fn ext_kary_acc_outputs_are_pinned() {
+    let fig = ablations::kary_m_accuracy(&RunOptions::quick().with_reps(2));
+    let ideal: Vec<(&str, f64, f64)> = (1..=9)
+        .map(|i| ("Ideal interval-accuracy", i as f64 / 10.0, i as f64 / 10.0))
+        .collect();
+    let mut expected = ideal;
+    expected.extend([
+        ("arity 2, m = 5, n = 400", 0.1, 1.750000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.2, 2.500000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.3, 3.250000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.4, 4.750000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.5, 5.250000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.6, 6.250000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.7, 7.250000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.8, 9.000000000000000e-1),
+        ("arity 2, m = 5, n = 400", 0.9, 1.0),
+        ("arity 3, m = 5, n = 400", 0.1, 1.111111111111111e-1),
+        ("arity 3, m = 5, n = 400", 0.2, 2.000000000000000e-1),
+        ("arity 3, m = 5, n = 400", 0.3, 3.333333333333333e-1),
+        ("arity 3, m = 5, n = 400", 0.4, 4.111111111111111e-1),
+        ("arity 3, m = 5, n = 400", 0.5, 5.444444444444444e-1),
+        ("arity 3, m = 5, n = 400", 0.6, 5.888888888888889e-1),
+        ("arity 3, m = 5, n = 400", 0.7, 6.888888888888889e-1),
+        ("arity 3, m = 5, n = 400", 0.8, 7.555555555555555e-1),
+        ("arity 3, m = 5, n = 400", 0.9, 8.000000000000000e-1),
+    ]);
+    assert_pinned(&fig, &expected);
+}

@@ -1,28 +1,51 @@
-//! Incremental (streaming) worker evaluation.
+//! Incremental (streaming) worker evaluation on the indexed substrate.
 //!
 //! The paper's conclusion: "our methods work on the entire dataset in
 //! a one-time fashion, but they can be easily modified to be
 //! incremental, to keep efficiently updating worker error rates as
-//! more tasks get done." This module is that modification.
+//! more tasks get done." This module is that modification — riding the
+//! same [`crowd_data::OverlapIndex`] substrate the batch path uses,
+//! not a private shadow copy of the data.
 //!
-//! [`IncrementalEvaluator`] ingests responses one at a time,
-//! maintaining
+//! [`IncrementalEvaluator`] (binary, Algorithm A2) and
+//! [`KaryIncrementalEvaluator`] (k-ary, the m-worker A3 extension)
+//! each hold one long-lived [`StreamingIndex`]: the overlap index plus
+//! maintained per-worker anchored bitset views. Ingesting a response
+//! costs
 //!
-//! * the sorted response matrix (insertion, `O(log r + r)`),
-//! * the full pairwise agreement cache (`O(responders)` per response —
-//!   only the pairs the new response completes are touched),
+//! * an `O(log r + r)` sorted insert into the index's worker and task
+//!   adjacency rows (amortized over their geometric growth — see the
+//!   amortization invariant in [`crowd_data::index`]),
+//! * an `O(r_t)` pair-table update (only the pairs the response
+//!   completes are touched),
+//! * `O(r_t)` bit flips across the maintained anchored views,
 //!
-//! so that evaluating a worker at any moment costs only the triple
-//! formation and covariance assembly (the pairwise scans, the dominant
-//! `O(m²·n̄)` term of the batch path, become `O(1)` lookups). Results
-//! are bit-identical to running the batch [`MWorkerEstimator`] on the
-//! accumulated data — see the equivalence tests.
+//! so that evaluating any worker at any moment costs **only triple
+//! formation and covariance assembly**: pairing reads the O(1) pair
+//! table and the Lemma 4 / `n₅` cross-triple counts are popcounts on
+//! the maintained views. Nothing is rescanned and no index is rebuilt.
+//!
+//! # Equivalence guarantee
+//!
+//! Every statistic the estimators consume — pair counts, triple
+//! counts, anchored popcounts, k-ary counts tensors — is
+//! observation-equivalent between the streamed substrate and a fresh
+//! batch build on the accumulated data, for *every* ingest order.
+//! Evaluations are therefore **bit-identical** to the batch
+//! [`MWorkerEstimator`] / [`crate::KaryMWorkerEstimator`] at every
+//! stream prefix; `tests/streaming_equivalence.rs` and the
+//! differential property tests in `crates/data/tests/proptests.rs`
+//! enforce this.
 
-use crate::{EstimatorConfig, MWorkerEstimator, Result, WorkerAssessment, WorkerReport};
-use crowd_data::{PairCache, Response, ResponseMatrix, WorkerId};
+use crate::kary::KaryMWorkerEstimator;
+use crate::{
+    EstimatorConfig, KaryWorkerAssessment, KaryWorkerReport, MWorkerEstimator, Result,
+    WorkerAssessment, WorkerReport,
+};
+use crowd_data::{CountsTensor, OverlapIndex, Response, ResponseMatrix, StreamingIndex, WorkerId};
 
-/// Streaming evaluator maintaining evaluation state response by
-/// response.
+/// Streaming evaluator maintaining the indexed substrate response by
+/// response (binary tasks, Algorithm A2).
 ///
 /// # Example
 ///
@@ -43,8 +66,7 @@ use crowd_data::{PairCache, Response, ResponseMatrix, WorkerId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalEvaluator {
-    data: ResponseMatrix,
-    cache: PairCache,
+    stream: StreamingIndex,
     estimator: MWorkerEstimator,
 }
 
@@ -53,76 +75,151 @@ impl IncrementalEvaluator {
     /// of the given arity.
     pub fn new(n_workers: usize, n_tasks: usize, arity: u16, config: EstimatorConfig) -> Self {
         Self {
-            data: ResponseMatrix::empty(n_workers, n_tasks, arity),
-            cache: PairCache::empty(n_workers),
+            stream: StreamingIndex::new(n_workers, n_tasks, arity),
             estimator: MWorkerEstimator::new(config),
         }
     }
 
     /// Seeds the evaluator from an existing response matrix (one batch
-    /// scan), after which further responses stream in.
-    pub fn from_matrix(data: ResponseMatrix, config: EstimatorConfig) -> Self {
-        let cache = PairCache::from_matrix(&data);
+    /// index build), after which further responses stream in.
+    pub fn from_matrix(data: &ResponseMatrix, config: EstimatorConfig) -> Self {
         Self {
-            data,
-            cache,
+            stream: StreamingIndex::from_matrix(data),
             estimator: MWorkerEstimator::new(config),
         }
     }
 
-    /// Ingests one response, updating the matrix and the agreement
-    /// cache. Rejects duplicates and out-of-range ids.
+    /// Ingests one response, updating the index's adjacency rows, the
+    /// pair table and the maintained anchored views. Rejects
+    /// duplicates, out-of-range ids and out-of-arity labels via
+    /// [`crowd_data::DataError`].
     pub fn ingest(&mut self, response: Response) -> crowd_data::Result<()> {
-        // Update the cache against the task's current responders, then
-        // insert. Insert validates; run it first on a dry check to
-        // avoid cache corruption on rejected responses: cheapest is to
-        // insert first, then update the cache against the *other*
-        // responders (insert keeps them intact, merely adds ours).
-        self.data.insert(response)?;
-        let others: Vec<(u32, crowd_data::Label)> = self
-            .data
-            .task_responses(response.task)
-            .iter()
-            .copied()
-            .filter(|&(w, _)| w != response.worker.0)
-            .collect();
-        self.cache
-            .record_response(response.worker, response.label, &others);
-        Ok(())
+        self.stream.record_response(response)
     }
 
-    /// The accumulated responses.
-    pub fn data(&self) -> &ResponseMatrix {
-        &self.data
-    }
-
-    /// The maintained pairwise statistics.
-    pub fn pair_cache(&self) -> &PairCache {
-        &self.cache
+    /// The maintained overlap index (pair table included).
+    pub fn index(&self) -> &OverlapIndex {
+        self.stream.index()
     }
 
     /// Total responses ingested.
     pub fn n_responses(&self) -> usize {
-        self.data.n_responses()
+        self.stream.n_responses()
     }
 
-    /// Evaluates one worker on the data seen so far; identical to the
-    /// batch estimator on [`IncrementalEvaluator::data`].
+    /// Evaluates one worker on the data seen so far; bit-identical to
+    /// the batch estimator on the accumulated data.
     pub fn evaluate_worker(&self, worker: WorkerId, confidence: f64) -> Result<WorkerAssessment> {
         self.estimator
-            .evaluate_worker_cached(&self.data, Some(&self.cache), worker, confidence)
+            .evaluate_worker_on(&self.stream, worker, confidence)
     }
 
     /// Evaluates every worker on the data seen so far.
     pub fn evaluate_all(&self, confidence: f64) -> Result<WorkerReport> {
-        if self.data.n_workers() < 3 {
-            return Err(crate::EstimateError::NotEnoughWorkers {
-                got: self.data.n_workers(),
-                need: 3,
-            });
+        let m = crowd_data::OverlapSource::n_workers(&self.stream);
+        if m < 3 {
+            return Err(crate::EstimateError::NotEnoughWorkers { got: m, need: 3 });
         }
         let mut report = WorkerReport::default();
-        for worker in self.data.workers() {
+        for worker in self.stream.index().workers() {
+            match self.evaluate_worker(worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Streaming evaluator for k-ary tasks: the m-worker Algorithm A3
+/// extension over the same maintained [`StreamingIndex`] substrate.
+///
+/// Counts tensors are harvested by union merges of the maintained
+/// adjacency rows and the `n₅` cross-triple counts are popcounts on
+/// the maintained anchored views, so — exactly like the binary
+/// evaluator — re-assessment after an ingest pays for triple pipelines
+/// and covariance assembly only. Outputs are bit-identical to
+/// [`KaryMWorkerEstimator::evaluate_all`] on the accumulated data.
+///
+/// # Example
+///
+/// ```
+/// use crowd_core::{EstimatorConfig, KaryIncrementalEvaluator};
+/// use crowd_sim::KaryScenario;
+///
+/// let instance = KaryScenario::paper_default(3, 200, 0.9)
+///     .with_workers(5)
+///     .generate(&mut crowd_sim::rng(7));
+/// let mut monitor = KaryIncrementalEvaluator::new(5, 200, 3, EstimatorConfig::default());
+/// for response in instance.responses().iter() {
+///     monitor.ingest(response)?;
+/// }
+/// let report = monitor.evaluate_all(0.9).unwrap();
+/// assert_eq!(report.assessments.len() + report.failures.len(), 5);
+/// # Ok::<(), crowd_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KaryIncrementalEvaluator {
+    stream: StreamingIndex,
+    estimator: KaryMWorkerEstimator,
+}
+
+impl KaryIncrementalEvaluator {
+    /// Creates an empty evaluator for `n_workers × n_tasks` responses
+    /// of the given arity.
+    pub fn new(n_workers: usize, n_tasks: usize, arity: u16, config: EstimatorConfig) -> Self {
+        Self {
+            stream: StreamingIndex::new(n_workers, n_tasks, arity),
+            estimator: KaryMWorkerEstimator::new(config),
+        }
+    }
+
+    /// Seeds the evaluator from an existing response matrix.
+    pub fn from_matrix(data: &ResponseMatrix, config: EstimatorConfig) -> Self {
+        Self {
+            stream: StreamingIndex::from_matrix(data),
+            estimator: KaryMWorkerEstimator::new(config),
+        }
+    }
+
+    /// Ingests one response; validation and costs as in
+    /// [`IncrementalEvaluator::ingest`].
+    pub fn ingest(&mut self, response: Response) -> crowd_data::Result<()> {
+        self.stream.record_response(response)
+    }
+
+    /// The maintained overlap index.
+    pub fn index(&self) -> &OverlapIndex {
+        self.stream.index()
+    }
+
+    /// Total responses ingested.
+    pub fn n_responses(&self) -> usize {
+        self.stream.n_responses()
+    }
+
+    /// Evaluates one worker's k×k response-probability matrix on the
+    /// data seen so far; bit-identical to the batch
+    /// [`KaryMWorkerEstimator`] on the accumulated data.
+    pub fn evaluate_worker(
+        &self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<KaryWorkerAssessment> {
+        self.estimator
+            .evaluate_worker_with(&self.stream, worker, confidence, |a, b| {
+                CountsTensor::from_index(self.stream.index(), worker, a, b)
+            })
+    }
+
+    /// Evaluates every worker on the data seen so far.
+    pub fn evaluate_all(&self, confidence: f64) -> Result<KaryWorkerReport> {
+        let m = crowd_data::OverlapSource::n_workers(&self.stream);
+        if m < 3 {
+            return Err(crate::EstimateError::NotEnoughWorkers { got: m, need: 3 });
+        }
+        let mut report = KaryWorkerReport::default();
+        for worker in self.stream.index().workers() {
             match self.evaluate_worker(worker, confidence) {
                 Ok(a) => report.assessments.push(a),
                 Err(e) => report.failures.push((worker, e)),
@@ -135,6 +232,7 @@ impl IncrementalEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_data::{Label, TaskId};
     use crowd_sim::{BinaryScenario, rng};
 
     fn streamed(inst: &crowd_sim::BinaryInstance) -> IncrementalEvaluator {
@@ -155,7 +253,10 @@ mod tests {
     fn matches_batch_estimator_exactly() {
         let inst = BinaryScenario::paper_default(7, 120, 0.8).generate(&mut rng(401));
         let ev = streamed(&inst);
-        assert_eq!(ev.data(), inst.responses());
+        assert_eq!(
+            ev.index(),
+            &crowd_data::OverlapIndex::from_matrix(inst.responses())
+        );
 
         let batch = MWorkerEstimator::new(EstimatorConfig::default())
             .evaluate_all(inst.responses(), 0.9)
@@ -166,7 +267,7 @@ mod tests {
             assert_eq!(b.worker, s.worker);
             assert_eq!(
                 b.interval, s.interval,
-                "cached path diverged for {:?}",
+                "streamed substrate diverged for {:?}",
                 b.worker
             );
             assert_eq!(b.triples_used, s.triples_used);
@@ -177,10 +278,16 @@ mod tests {
     fn seeding_from_matrix_equals_streaming() {
         let inst = BinaryScenario::paper_default(5, 60, 0.9).generate(&mut rng(403));
         let seeded =
-            IncrementalEvaluator::from_matrix(inst.responses().clone(), EstimatorConfig::default());
+            IncrementalEvaluator::from_matrix(inst.responses(), EstimatorConfig::default());
         let streamed = streamed(&inst);
-        assert_eq!(seeded.pair_cache(), streamed.pair_cache());
+        assert_eq!(seeded.index(), streamed.index());
         assert_eq!(seeded.n_responses(), streamed.n_responses());
+        let a = seeded.evaluate_all(0.9).unwrap();
+        let b = streamed.evaluate_all(0.9).unwrap();
+        assert_eq!(a.assessments.len(), b.assessments.len());
+        for (x, y) in a.assessments.iter().zip(&b.assessments) {
+            assert_eq!(x.interval, y.interval);
+        }
     }
 
     #[test]
@@ -189,16 +296,11 @@ mod tests {
         // shrink (weakly) as more tasks arrive.
         let inst = BinaryScenario::paper_default(5, 400, 1.0).generate(&mut rng(407));
         let data = inst.responses();
-        let mut ev = IncrementalEvaluator::new(5, 400, 2, EstimatorConfig::default());
         let mut sizes = Vec::new();
-        for r in data.iter() {
-            ev.ingest(r).unwrap();
-        }
-        // Re-stream in task order, checkpointing.
-        let mut ev2 = IncrementalEvaluator::new(5, 400, 2, EstimatorConfig::default());
+        let mut ev = IncrementalEvaluator::new(5, 400, 2, EstimatorConfig::default());
         for t in data.tasks() {
             for &(w, label) in data.task_responses(t) {
-                ev2.ingest(Response {
+                ev.ingest(Response {
                     worker: WorkerId(w),
                     task: t,
                     label,
@@ -206,7 +308,7 @@ mod tests {
                 .unwrap();
             }
             if (t.0 + 1) % 100 == 0
-                && let Ok(a) = ev2.evaluate_worker(WorkerId(0), 0.9)
+                && let Ok(a) = ev.evaluate_worker(WorkerId(0), 0.9)
             {
                 sizes.push(a.interval.size());
             }
@@ -222,16 +324,114 @@ mod tests {
     fn duplicate_ingest_leaves_state_intact() {
         let inst = BinaryScenario::paper_default(4, 30, 1.0).generate(&mut rng(409));
         let mut ev = streamed(&inst);
-        let cache_before = ev.pair_cache().clone();
+        let index_before = ev.index().clone();
         let some = inst.responses().iter().next().unwrap();
         assert!(ev.ingest(some).is_err());
-        assert_eq!(ev.pair_cache(), &cache_before);
+        assert_eq!(ev.index(), &index_before);
         assert_eq!(ev.n_responses(), inst.responses().n_responses());
     }
 
     #[test]
     fn too_few_workers_rejected() {
         let ev = IncrementalEvaluator::new(2, 5, 2, EstimatorConfig::default());
-        assert!(ev.evaluate_all(0.9).is_err());
+        assert!(matches!(
+            ev.evaluate_all(0.9),
+            Err(crate::EstimateError::NotEnoughWorkers { got: 2, need: 3 })
+        ));
+        let kev = KaryIncrementalEvaluator::new(2, 5, 3, EstimatorConfig::default());
+        assert!(matches!(
+            kev.evaluate_all(0.9),
+            Err(crate::EstimateError::NotEnoughWorkers { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn single_responder_tasks_fail_gracefully_not_fatally() {
+        // Every task has exactly one responder: no pair ever overlaps,
+        // so every worker fails with NoUsableTriples — an error report,
+        // not a panic.
+        let mut ev = IncrementalEvaluator::new(4, 8, 2, EstimatorConfig::default());
+        for t in 0..8u32 {
+            ev.ingest(Response {
+                worker: WorkerId(t % 4),
+                task: TaskId(t),
+                label: Label((t % 2) as u16),
+            })
+            .unwrap();
+        }
+        let report = ev.evaluate_all(0.9).unwrap();
+        assert!(report.assessments.is_empty());
+        assert_eq!(report.failures.len(), 4);
+        for (_, e) in &report.failures {
+            assert!(matches!(e, crate::EstimateError::NoUsableTriples { .. }));
+        }
+    }
+
+    #[test]
+    fn ingest_error_taxonomy() {
+        use crowd_data::DataError;
+        let mut ev = IncrementalEvaluator::new(3, 4, 2, EstimatorConfig::default());
+        let ok = Response {
+            worker: WorkerId(1),
+            task: TaskId(2),
+            label: Label(1),
+        };
+        ev.ingest(ok).unwrap();
+        assert!(matches!(
+            ev.ingest(ok),
+            Err(DataError::DuplicateResponse { .. })
+        ));
+        assert!(matches!(
+            ev.ingest(Response {
+                worker: WorkerId(3),
+                task: TaskId(0),
+                label: Label(0)
+            }),
+            Err(DataError::UnknownId { kind: "worker", .. })
+        ));
+        assert!(matches!(
+            ev.ingest(Response {
+                worker: WorkerId(0),
+                task: TaskId(4),
+                label: Label(0)
+            }),
+            Err(DataError::UnknownId { kind: "task", .. })
+        ));
+        // A degenerate label beyond the declared arity is rejected, not
+        // silently folded into an existing class.
+        assert!(matches!(
+            ev.ingest(Response {
+                worker: WorkerId(0),
+                task: TaskId(0),
+                label: Label(2)
+            }),
+            Err(DataError::LabelOutOfRange { label: 2, arity: 2 })
+        ));
+        assert_eq!(ev.n_responses(), 1);
+    }
+
+    #[test]
+    fn kary_streaming_matches_batch() {
+        use crowd_sim::KaryScenario;
+        let inst = KaryScenario::paper_default(2, 150, 0.9)
+            .with_workers(5)
+            .generate(&mut rng(419));
+        let mut ev = KaryIncrementalEvaluator::new(5, 150, 2, EstimatorConfig::default());
+        for r in inst.responses().iter() {
+            ev.ingest(r).unwrap();
+        }
+        let batch = KaryMWorkerEstimator::new(EstimatorConfig::default())
+            .evaluate_all(inst.responses(), 0.9)
+            .unwrap();
+        let streaming = ev.evaluate_all(0.9).unwrap();
+        assert_eq!(batch.assessments.len(), streaming.assessments.len());
+        for (b, s) in batch.assessments.iter().zip(&streaming.assessments) {
+            assert_eq!(b.worker, s.worker);
+            assert_eq!(b.triples_used, s.triples_used);
+            for (x, y) in b.intervals.iter().zip(&s.intervals) {
+                assert_eq!(x.center.to_bits(), y.center.to_bits());
+                assert_eq!(x.half_width.to_bits(), y.half_width.to_bits());
+            }
+        }
     }
 }

@@ -231,7 +231,10 @@ impl KaryMWorkerEstimator {
         })
     }
 
-    fn evaluate_worker_with<S: OverlapSource>(
+    /// The substrate-generic worker evaluation behind the matrix,
+    /// indexed and streaming entry points: overlap statistics come
+    /// from `src`, counts tensors from the `tensor` closure.
+    pub(crate) fn evaluate_worker_with<S: OverlapSource>(
         &self,
         src: &S,
         worker: WorkerId,

@@ -50,7 +50,7 @@ pub use aggregation::{AggregatedAnswer, AnswerAggregator, MapAggregator, Weighti
 pub use config::{DegeneracyPolicy, EstimatorConfig};
 pub use error::{EstimateError, Result};
 pub use evaluation::{CoverageStats, WorkerAssessment, WorkerReport};
-pub use incremental::IncrementalEvaluator;
+pub use incremental::{IncrementalEvaluator, KaryIncrementalEvaluator};
 pub use kary::{
     KaryAssessment, KaryEstimator, KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport,
     ProbEstimate,

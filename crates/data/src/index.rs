@@ -13,28 +13,57 @@
 //! The index is built in **one pass over the response matrix** and
 //! packs:
 //!
-//! * a CSR task → `(worker, label)` adjacency,
-//! * a CSR worker → `(task, label)` adjacency,
+//! * a segmented task → `(worker, label)` adjacency,
+//! * a segmented worker → `(task, label)` adjacency,
 //! * the packed upper-triangular pair table (a [`PairCache`]),
 //!   harvested **per task** — each task's responder list contributes
 //!   its pairs directly, so the table costs `O(Σ_t r_t²)` once instead
 //!   of `O(m²)` merge scans.
 //!
 //! Triple statistics cannot be tabulated up front (`O(m³)` space), so
-//! the index answers them two ways: merge scans over its CSR rows for
-//! one-off queries, and — the workhorse of Algorithm A2's Lemma 4
-//! covariance — an [`AnchoredOverlap`] view that fixes one worker and
-//! answers `c_{anchor,a,b}` by bitset intersection over the anchor's
-//! task set, turning the `O(l²)` triple scans of one worker evaluation
-//! into word-parallel popcounts.
+//! the index answers them two ways: merge scans over its adjacency
+//! rows for one-off queries, and — the workhorse of Algorithm A2's
+//! Lemma 4 covariance — an [`AnchoredOverlap`] view that fixes one
+//! worker and answers `c_{anchor,a,b}` by bitset intersection over the
+//! anchor's task set, turning the `O(l²)` triple scans of one worker
+//! evaluation into word-parallel popcounts.
+//!
+//! # Streaming appends and the amortization invariant
+//!
+//! The index is also the **streaming** substrate: one long-lived
+//! instance absorbs responses via [`OverlapIndex::record_response`]
+//! and stays observation-equivalent to `OverlapIndex::from_matrix` on
+//! the accumulated data (the differential property tests in
+//! `crates/data/tests/proptests.rs` enforce exactly this, for every
+//! ingest order).
+//!
+//! To make appends cheap, each adjacency row is an independently
+//! growable **segment** (a `Vec` with geometric capacity doubling)
+//! rather than a slice of one packed CSR arena:
+//!
+//! * every row stays contiguous, so the merge scans and bitset builds
+//!   read the exact same task-sorted / worker-sorted slices as before;
+//! * appending response `(w, t)` is a sorted insert into two rows —
+//!   `O(log r + r)` in the row lengths, amortized over the doubling —
+//!   plus an `O(r_t)` pair-table harvest against the task's current
+//!   responders; **no append ever triggers a whole-index rebuild**.
+//!
+//! The invariant: after any interleaving of builds and appends, row
+//! `w` of the worker adjacency is exactly the task-sorted response
+//! list of `w` (ditto tasks), and the pair table equals the one-pass
+//! batch harvest of the accumulated data. Batch construction keeps
+//! its one-pass cost; the only price of streamability is the per-row
+//! capacity slack (bounded by 2× the row length).
 //!
 //! [`OverlapSource`] abstracts over the three providers (naive matrix
 //! scans, matrix + streaming [`PairCache`], full index) so the
 //! estimators are written once and the naive path stays available as
 //! the correctness reference for the equivalence tests and benchmarks.
+//! For streaming evaluation with maintained anchored views, see
+//! [`crate::StreamingIndex`].
 
 use crate::overlap::triple_scan;
-use crate::{Label, PairCache, PairStats, ResponseMatrix, TaskId, TripleStats, WorkerId};
+use crate::{Label, PairCache, PairStats, Response, ResponseMatrix, TaskId, TripleStats, WorkerId};
 
 /// A provider of pairwise and triple overlap statistics over one
 /// response data set.
@@ -200,22 +229,41 @@ pub struct OverlapIndex {
     n_tasks: usize,
     n_responses: usize,
     arity: u16,
-    /// CSR row starts into `worker_entries`, length `n_workers + 1`.
-    worker_ptr: Vec<u32>,
-    /// Per-worker `(task, label)` runs, task-sorted within each row.
-    worker_entries: Vec<(u32, Label)>,
-    /// CSR row starts into `task_entries`, length `n_tasks + 1`.
-    task_ptr: Vec<u32>,
-    /// Per-task `(worker, label)` runs, worker-sorted within each row.
-    task_entries: Vec<(u32, Label)>,
+    /// Per-worker `(task, label)` rows, task-sorted. Each row is an
+    /// independently growable segment (see the module docs).
+    worker_rows: Vec<Vec<(u32, Label)>>,
+    /// Per-task `(worker, label)` rows, worker-sorted.
+    task_rows: Vec<Vec<(u32, Label)>>,
     /// Packed upper-triangular pair agreement/co-occurrence table.
     pairs: PairCache,
 }
 
 impl OverlapIndex {
-    /// Builds the index in one pass over the matrix: the task CSR and
+    /// An empty index of the given shape, ready for
+    /// [`OverlapIndex::record_response`]-driven streaming fills.
+    ///
+    /// # Panics
+    /// Panics if `arity < 2` (mirroring
+    /// [`crate::ResponseMatrixBuilder::new`]).
+    pub fn new(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
+        assert!(
+            arity >= 2,
+            "tasks must have at least two possible responses"
+        );
+        Self {
+            n_workers,
+            n_tasks,
+            n_responses: 0,
+            arity,
+            worker_rows: vec![Vec::new(); n_workers],
+            task_rows: vec![Vec::new(); n_tasks],
+            pairs: PairCache::empty(n_workers),
+        }
+    }
+
+    /// Builds the index in one pass over the matrix: the task rows and
     /// the pair table are filled from each task's responder list as it
-    /// is visited; the worker CSR from each worker's row.
+    /// is visited; the worker rows from each worker's row.
     ///
     /// The adjacencies are *owned copies* (≈ 2·nnz entries) rather than
     /// borrows of the matrix: the index is self-contained, so it can
@@ -227,9 +275,9 @@ impl OverlapIndex {
         let m = data.n_workers();
         let n = data.n_tasks();
         let nnz = data.n_responses();
-        // CSR offsets are packed into u32 (8 bytes per entry matters at
-        // fleet scale); make the resulting capacity limit explicit
-        // instead of silently wrapping.
+        // Pair-table counts are packed into u32 (8 bytes per entry
+        // matters at fleet scale); make the resulting capacity limit
+        // explicit instead of silently wrapping.
         assert!(
             nnz <= u32::MAX as usize,
             "OverlapIndex supports at most {} responses, got {nnz}; \
@@ -238,22 +286,16 @@ impl OverlapIndex {
         );
 
         let mut pairs = PairCache::empty(m);
-        let mut task_ptr = Vec::with_capacity(n + 1);
-        let mut task_entries = Vec::with_capacity(nnz);
-        task_ptr.push(0u32);
+        let mut task_rows = Vec::with_capacity(n);
         for task in data.tasks() {
             let responders = data.task_responses(task);
             pairs.harvest_task(responders);
-            task_entries.extend_from_slice(responders);
-            task_ptr.push(task_entries.len() as u32);
+            task_rows.push(responders.to_vec());
         }
 
-        let mut worker_ptr = Vec::with_capacity(m + 1);
-        let mut worker_entries = Vec::with_capacity(nnz);
-        worker_ptr.push(0u32);
+        let mut worker_rows = Vec::with_capacity(m);
         for worker in data.workers() {
-            worker_entries.extend_from_slice(data.worker_responses(worker));
-            worker_ptr.push(worker_entries.len() as u32);
+            worker_rows.push(data.worker_responses(worker).to_vec());
         }
 
         Self {
@@ -261,12 +303,72 @@ impl OverlapIndex {
             n_tasks: n,
             n_responses: nnz,
             arity: data.arity(),
-            worker_ptr,
-            worker_entries,
-            task_ptr,
-            task_entries,
+            worker_rows,
+            task_rows,
             pairs,
         }
+    }
+
+    /// Appends one response, keeping every view of the index exactly
+    /// equivalent to a fresh [`OverlapIndex::from_matrix`] build on the
+    /// accumulated data: sorted insert into the worker and task rows
+    /// (`O(log r + r)`, amortized over the rows' geometric growth) and
+    /// an `O(r_t)` pair-table update against the task's current
+    /// responders. Rejects out-of-range ids, out-of-arity labels and
+    /// duplicate `(worker, task)` responses via [`crate::DataError`].
+    pub fn record_response(&mut self, response: Response) -> crate::Result<()> {
+        let Response {
+            worker,
+            task,
+            label,
+        } = response;
+        if worker.index() >= self.n_workers {
+            return Err(crate::DataError::UnknownId {
+                kind: "worker",
+                id: worker.0,
+            });
+        }
+        if task.index() >= self.n_tasks {
+            return Err(crate::DataError::UnknownId {
+                kind: "task",
+                id: task.0,
+            });
+        }
+        if !label.valid_for_arity(self.arity) {
+            return Err(crate::DataError::LabelOutOfRange {
+                label: label.0,
+                arity: self.arity,
+            });
+        }
+        assert!(
+            self.n_responses < u32::MAX as usize,
+            "OverlapIndex supports at most {} responses; \
+             shard the stream before indexing",
+            u32::MAX
+        );
+        // Both duplicate checks run before any mutation, so a rejected
+        // response leaves the index untouched (the second is
+        // unreachable while the worker/task rows mirror each other,
+        // but must not be able to half-apply the append if that
+        // invariant is ever broken).
+        let w_pos =
+            match self.worker_rows[worker.index()].binary_search_by_key(&task.0, |&(t, _)| t) {
+                Ok(_) => return Err(crate::DataError::DuplicateResponse { worker, task }),
+                Err(pos) => pos,
+            };
+        let t_pos = match self.task_rows[task.index()].binary_search_by_key(&worker.0, |&(w, _)| w)
+        {
+            Ok(_) => return Err(crate::DataError::DuplicateResponse { worker, task }),
+            Err(pos) => pos,
+        };
+        // The pair table wants the task's responders *without* the new
+        // response, so harvest before the task-row insert.
+        self.pairs
+            .record_response(worker, label, &self.task_rows[task.index()]);
+        self.worker_rows[worker.index()].insert(w_pos, (task.0, label));
+        self.task_rows[task.index()].insert(t_pos, (worker.0, label));
+        self.n_responses += 1;
+        Ok(())
     }
 
     /// Number of workers covered.
@@ -302,23 +404,23 @@ impl OverlapIndex {
     /// One worker's `(task, label)` row, task-sorted.
     #[inline]
     pub fn worker_responses(&self, worker: WorkerId) -> &[(u32, Label)] {
-        let (lo, hi) = (
-            self.worker_ptr[worker.index()],
-            self.worker_ptr[worker.index() + 1],
-        );
-        &self.worker_entries[lo as usize..hi as usize]
+        &self.worker_rows[worker.index()]
     }
 
     /// One task's `(worker, label)` row, worker-sorted.
     #[inline]
     pub fn task_responses(&self, task: TaskId) -> &[(u32, Label)] {
-        let (lo, hi) = (self.task_ptr[task.index()], self.task_ptr[task.index() + 1]);
-        &self.task_entries[lo as usize..hi as usize]
+        &self.task_rows[task.index()]
     }
 
     /// All worker ids.
     pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
         (0..self.n_workers as u32).map(WorkerId)
+    }
+
+    /// All task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n_tasks as u32).map(TaskId)
     }
 
     /// The joint (possibly absent) labels of three workers on every
@@ -394,43 +496,63 @@ impl OverlapSource for OverlapIndex {
     }
 }
 
-/// Anchored triple overlaps by bitset intersection.
+/// The `n_workers × words` anchored bit matrix and its popcount
+/// kernels, shared by the batch [`BitsetAnchored`] view and the
+/// maintained [`crate::AnchoredView`]: one implementation of the
+/// queries underpins the streamed-vs-batch bit-identity guarantee, so
+/// the two views cannot drift apart.
 ///
-/// The anchor's attempted tasks define bit positions `0..s`; for every
-/// worker `w`, `masks[w]` records which of those tasks `w` attempted
-/// (filled in one pass over the anchor's tasks' responder lists, so the
-/// build is `O(Σ_{t ∈ tasks(anchor)} r_t)` — proportional to the data
-/// actually touching the anchor, never to `m·n`). Then
-/// `c_{anchor,a,b} = popcount(masks[a] & masks[b])`, a handful of word
-/// operations per query instead of a three-way merge scan.
+/// The anchor's attempted tasks occupy bit slots `0..anchor_tasks`;
+/// row `w` records which of those tasks worker `w` attempted. Every
+/// query is slot-permutation-invariant (popcounts), which is what lets
+/// the streaming view assign slots in ingest order while the batch
+/// view assigns them in task order.
 #[derive(Debug, Clone)]
-pub struct BitsetAnchored<'a> {
-    /// The anchor's task count (bit budget of every mask).
-    anchor_tasks: usize,
-    /// Words per worker mask.
+pub(crate) struct MaskMatrix {
+    n_workers: usize,
+    /// Words allocated per worker row.
     words: usize,
-    /// `n_workers × words` bit matrix, row-major.
+    /// Slots in use (= tasks the anchor attempted).
+    anchor_tasks: usize,
+    /// Row-major bit matrix.
     masks: Vec<u64>,
-    _index: std::marker::PhantomData<&'a OverlapIndex>,
 }
 
-impl<'a> BitsetAnchored<'a> {
-    fn build(index: &'a OverlapIndex, anchor: WorkerId) -> Self {
-        let tasks = index.worker_responses(anchor);
-        let words = tasks.len().div_ceil(64).max(1);
-        let mut masks = vec![0u64; index.n_workers() * words];
-        for (slot, &(task, _)) in tasks.iter().enumerate() {
-            let (word, bit) = (slot / 64, slot % 64);
-            for &(w, _) in index.task_responses(TaskId(task)) {
-                masks[w as usize * words + word] |= 1u64 << bit;
-            }
-        }
+impl MaskMatrix {
+    pub(crate) fn new(n_workers: usize, words: usize) -> Self {
+        let words = words.max(1);
         Self {
-            anchor_tasks: tasks.len(),
+            n_workers,
             words,
-            masks,
-            _index: std::marker::PhantomData,
+            anchor_tasks: 0,
+            masks: vec![0u64; n_workers * words],
         }
+    }
+
+    /// Claims the next slot, doubling the per-row word capacity (one
+    /// `O(n_workers · words)` re-layout per doubling, amortized away)
+    /// when the slot budget is exhausted.
+    pub(crate) fn push_slot(&mut self) -> u32 {
+        if self.anchor_tasks == self.words * 64 {
+            let new_words = self.words * 2;
+            let mut masks = vec![0u64; self.n_workers * new_words];
+            for w in 0..self.n_workers {
+                masks[w * new_words..w * new_words + self.words]
+                    .copy_from_slice(&self.masks[w * self.words..(w + 1) * self.words]);
+            }
+            self.words = new_words;
+            self.masks = masks;
+        }
+        let slot = self.anchor_tasks as u32;
+        self.anchor_tasks += 1;
+        slot
+    }
+
+    /// Marks `worker` as having attempted the anchor task in `slot`.
+    #[inline]
+    pub(crate) fn set_bit(&mut self, worker: u32, slot: u32) {
+        let (word, bit) = (slot as usize / 64, slot as usize % 64);
+        self.masks[worker as usize * self.words + word] |= 1u64 << bit;
     }
 
     #[inline]
@@ -439,13 +561,12 @@ impl<'a> BitsetAnchored<'a> {
     }
 
     /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
-    pub fn pair_common(&self, a: WorkerId) -> usize {
+    pub(crate) fn pair_common(&self, a: WorkerId) -> usize {
         self.mask(a).iter().map(|w| w.count_ones() as usize).sum()
     }
-}
 
-impl AnchoredOverlap for BitsetAnchored<'_> {
-    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+    /// `c_{anchor,a,b}` by word-parallel popcount.
+    pub(crate) fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
         self.mask(a)
             .iter()
             .zip(self.mask(b))
@@ -453,7 +574,8 @@ impl AnchoredOverlap for BitsetAnchored<'_> {
             .sum()
     }
 
-    fn common_among(&self, others: &[WorkerId]) -> usize {
+    /// Anchor tasks attempted by *every* worker in `others`.
+    pub(crate) fn common_among(&self, others: &[WorkerId]) -> usize {
         let Some((&first, rest)) = others.split_first() else {
             // Every anchor task trivially intersects an empty peer set.
             return self.anchor_tasks;
@@ -467,6 +589,53 @@ impl AnchoredOverlap for BitsetAnchored<'_> {
                 acc.count_ones() as usize
             })
             .sum()
+    }
+}
+
+/// Anchored triple overlaps by bitset intersection.
+///
+/// The anchor's attempted tasks define bit positions `0..s`; for every
+/// worker `w`, `masks[w]` records which of those tasks `w` attempted
+/// (filled in one pass over the anchor's tasks' responder lists, so the
+/// build is `O(Σ_{t ∈ tasks(anchor)} r_t)` — proportional to the data
+/// actually touching the anchor, never to `m·n`). Then
+/// `c_{anchor,a,b} = popcount(masks[a] & masks[b])`, a handful of word
+/// operations per query instead of a three-way merge scan.
+#[derive(Debug, Clone)]
+pub struct BitsetAnchored<'a> {
+    matrix: MaskMatrix,
+    _index: std::marker::PhantomData<&'a OverlapIndex>,
+}
+
+impl<'a> BitsetAnchored<'a> {
+    fn build(index: &'a OverlapIndex, anchor: WorkerId) -> Self {
+        let tasks = index.worker_responses(anchor);
+        let mut matrix = MaskMatrix::new(index.n_workers(), tasks.len().div_ceil(64));
+        for &(task, _) in tasks {
+            let slot = matrix.push_slot();
+            for &(w, _) in index.task_responses(TaskId(task)) {
+                matrix.set_bit(w, slot);
+            }
+        }
+        Self {
+            matrix,
+            _index: std::marker::PhantomData,
+        }
+    }
+
+    /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
+    pub fn pair_common(&self, a: WorkerId) -> usize {
+        self.matrix.pair_common(a)
+    }
+}
+
+impl AnchoredOverlap for BitsetAnchored<'_> {
+    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+        self.matrix.triple_common(a, b)
+    }
+
+    fn common_among(&self, others: &[WorkerId]) -> usize {
+        self.matrix.common_among(others)
     }
 }
 
@@ -615,6 +784,64 @@ mod tests {
             src.triple(WorkerId(0), WorkerId(1), WorkerId(2)),
             triple_overlap(&data, WorkerId(0), WorkerId(1), WorkerId(2))
         );
+    }
+
+    #[test]
+    fn streaming_appends_match_batch_build() {
+        // Replaying the matrix response by response — in an order the
+        // batch build never sees — produces a structurally identical
+        // index: same rows, same pair table, same counters.
+        let data = sample(7, 40, 3, 99);
+        let batch = OverlapIndex::from_matrix(&data);
+        let mut streamed = OverlapIndex::new(7, 40, 3);
+        let mut responses: Vec<_> = data.iter().collect();
+        responses.reverse();
+        for r in responses {
+            streamed.record_response(r).unwrap();
+        }
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn record_response_rejects_bad_input_without_corruption() {
+        use crate::{DataError, Response};
+        let mut index = OverlapIndex::new(3, 5, 2);
+        let ok = Response {
+            worker: WorkerId(0),
+            task: TaskId(1),
+            label: Label(1),
+        };
+        index.record_response(ok).unwrap();
+        let before = index.clone();
+        assert!(matches!(
+            index.record_response(ok),
+            Err(DataError::DuplicateResponse { .. })
+        ));
+        assert!(matches!(
+            index.record_response(Response {
+                worker: WorkerId(9),
+                task: TaskId(0),
+                label: Label(0)
+            }),
+            Err(DataError::UnknownId { kind: "worker", .. })
+        ));
+        assert!(matches!(
+            index.record_response(Response {
+                worker: WorkerId(0),
+                task: TaskId(9),
+                label: Label(0)
+            }),
+            Err(DataError::UnknownId { kind: "task", .. })
+        ));
+        assert!(matches!(
+            index.record_response(Response {
+                worker: WorkerId(0),
+                task: TaskId(0),
+                label: Label(2)
+            }),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
+        assert_eq!(index, before, "rejected responses must not mutate");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod label;
 pub mod majority;
 pub mod matrix;
 pub mod overlap;
+pub mod streaming;
 
 pub use counts::{AttemptPattern, CountsTensor};
 pub use gold::GoldStandard;
@@ -37,6 +38,7 @@ pub use overlap::{
     PairCache, PairStats, TripleStats, pair_stats, triple_joint_labels,
     triple_joint_labels_optional, triple_overlap,
 };
+pub use streaming::{AnchoredView, StreamingIndex};
 
 /// Errors produced by data-model operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,10 +4,22 @@
 
 use crowd_data::{
     AnchoredOverlap, AttemptPattern, CountsTensor, Label, OverlapIndex, OverlapSource, PairCache,
-    ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId, majority_vote, pair_stats,
-    triple_joint_labels, triple_joint_labels_optional, triple_overlap,
+    Response, ResponseMatrix, ResponseMatrixBuilder, StreamingIndex, TaskId, WorkerId,
+    majority_vote, pair_stats, triple_joint_labels, triple_joint_labels_optional, triple_overlap,
 };
 use proptest::prelude::*;
+
+/// Deterministic Fisher-Yates shuffle (the vendored proptest has no
+/// shuffle strategy; a seeded LCG keeps failures reproducible).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((seed >> 33) as usize) % (i + 1);
+        items.swap(i, j);
+    }
+}
 
 /// Strategy: an arbitrary sparse response matrix. Each (worker, task)
 /// cell is present with probability ~0.6 and carries a random label.
@@ -267,6 +279,91 @@ proptest! {
             CountsTensor::from_index(&index, a, b, c),
             CountsTensor::from_matrix(&data, a, b, c)
         );
+    }
+
+    /// Differential test of the streaming append path: for random
+    /// response streams ingested in a random order, the incrementally
+    /// built [`OverlapIndex`] is **structurally identical** to
+    /// `from_matrix` on the accumulated matrix — same adjacency rows,
+    /// same pair table, same counters — and therefore answers every
+    /// pair/triple/joint-label query identically.
+    #[test]
+    fn streamed_index_equals_batch_for_any_ingest_order(
+        data in sparse_matrix(6, 25, 3),
+        seed in 0u64..u64::MAX,
+    ) {
+        let batch = OverlapIndex::from_matrix(&data);
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let mut streamed = OverlapIndex::new(data.n_workers(), data.n_tasks(), data.arity());
+        for r in &responses {
+            streamed.record_response(*r).expect("stream is duplicate-free");
+        }
+        prop_assert_eq!(&streamed, &batch);
+        // And at every prefix, the partial index equals a batch build
+        // of the partial matrix.
+        let cut = responses.len() / 2;
+        let mut partial = OverlapIndex::new(data.n_workers(), data.n_tasks(), data.arity());
+        let mut accumulated = ResponseMatrix::empty(
+            data.n_workers(), data.n_tasks(), data.arity());
+        for r in &responses[..cut] {
+            partial.record_response(*r).unwrap();
+            accumulated.insert(*r).unwrap();
+        }
+        prop_assert_eq!(&partial, &OverlapIndex::from_matrix(&accumulated));
+    }
+
+    /// The maintained anchored views of a [`StreamingIndex`] answer
+    /// exactly what a fresh batch-built anchored view answers, for
+    /// every anchor, at an arbitrary mid-stream point — slot order may
+    /// differ (ingest order vs. task order) but every popcount query
+    /// is permutation-invariant.
+    #[test]
+    fn streaming_views_match_batch_views_mid_stream(
+        data in sparse_matrix(5, 20, 2),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let cut = responses.len() * 2 / 3;
+        let mut stream = StreamingIndex::new(data.n_workers(), data.n_tasks(), data.arity());
+        let mut accumulated = ResponseMatrix::empty(
+            data.n_workers(), data.n_tasks(), data.arity());
+        for r in &responses[..cut] {
+            stream.record_response(*r).unwrap();
+            accumulated.insert(*r).unwrap();
+        }
+        let batch = OverlapIndex::from_matrix(&accumulated);
+        prop_assert_eq!(stream.index(), &batch);
+        let m = data.n_workers() as u32;
+        for anchor in 0..m {
+            let maintained = stream.view(WorkerId(anchor));
+            let fresh = batch.anchored(WorkerId(anchor));
+            prop_assert_eq!(
+                maintained.common_among(&[]),
+                accumulated.worker_task_count(WorkerId(anchor))
+            );
+            for a in 0..m {
+                prop_assert_eq!(
+                    maintained.pair_common(WorkerId(a)),
+                    fresh.pair_common(WorkerId(a)),
+                    "anchor {} worker {}", anchor, a
+                );
+                for b in 0..m {
+                    prop_assert_eq!(
+                        maintained.triple_common(WorkerId(a), WorkerId(b)),
+                        fresh.triple_common(WorkerId(a), WorkerId(b)),
+                        "anchor {} pair ({},{})", anchor, a, b
+                    );
+                }
+            }
+            let peers: Vec<WorkerId> =
+                (0..m).filter(|&w| w != anchor).map(WorkerId).collect();
+            prop_assert_eq!(
+                maintained.common_among(&peers),
+                fresh.common_among(&peers)
+            );
+        }
     }
 
     /// Majority vote: the winner's tally is maximal, and unanimous

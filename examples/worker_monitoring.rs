@@ -5,9 +5,11 @@
 //! with an interval-based retention policy.
 //!
 //! Responses arrive task by task; after every batch the monitor
-//! re-evaluates the crowd in O(1)-per-pair time (the pairwise
-//! agreement cache absorbs each response as it lands) and fires
-//! workers the moment the evidence is conclusive.
+//! re-evaluates the crowd off its maintained streaming index (the
+//! pair table, adjacency rows and anchored bitset views all absorb
+//! each response as it lands, so evaluation pays for triple formation
+//! and covariance assembly only) and fires workers the moment the
+//! evidence is conclusive.
 //!
 //! ```text
 //! cargo run --release --example worker_monitoring

@@ -53,7 +53,8 @@ pub use crowd_stats as stats;
 pub mod prelude {
     pub use crowd_core::{
         AnswerAggregator, EstimateError, EstimatorConfig, IncrementalEvaluator, KaryEstimator,
-        MWorkerEstimator, RetentionPolicy, ThreeWorkerEstimator, WeightingRule, WorkerReport,
+        KaryIncrementalEvaluator, MWorkerEstimator, RetentionPolicy, ThreeWorkerEstimator,
+        WeightingRule, WorkerReport,
     };
     pub use crowd_data::{
         GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId,
