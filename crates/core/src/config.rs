@@ -40,6 +40,16 @@ pub struct EstimatorConfig {
     pub weight_policy: WeightPolicy,
     /// How peers are split into pairs when forming triples (§III-C1).
     pub pairing: PairingStrategy,
+    /// Upper bound on the number of triples formed per evaluated
+    /// worker (`None` = the paper's behaviour: pair every usable
+    /// peer). The greedy pairing takes the best-overlapped pairs
+    /// first, so a cap keeps the most informative triples while
+    /// bounding the evaluation's peer scope at `2·max_triples` workers
+    /// — which in turn bounds every anchored view at `O(max_triples)`
+    /// mask rows. This is the knob that makes per-worker evaluation
+    /// cost independent of the fleet size; see
+    /// [`EstimatorConfig::fleet`].
+    pub max_triples: Option<usize>,
     /// Apply half-count (Agresti-style) smoothing of `q̂(1−q̂)` when
     /// estimating variances, so perfect agreement on few tasks does not
     /// collapse the interval to a point. Point estimates are never
@@ -61,6 +71,7 @@ impl Default for EstimatorConfig {
             min_pair_overlap: 1,
             weight_policy: WeightPolicy::MinimumVariance,
             pairing: PairingStrategy::GreedyByOverlap,
+            max_triples: None,
             variance_smoothing: true,
             derivative_epsilon: 0.01,
             perturb_partial_counts: false,
@@ -69,6 +80,19 @@ impl Default for EstimatorConfig {
 }
 
 impl EstimatorConfig {
+    /// Fleet-scale configuration: at most `max_triples` triples per
+    /// evaluated worker (the best-overlapped pairs first), so both the
+    /// covariance assembly (`O(max_triples²)` popcounts) and the
+    /// anchored view memory (`2·max_triples` mask rows) are bounded
+    /// regardless of how many workers the crowd holds. Interval widths
+    /// saturate with the triple count anyway (Lemma 5 weights), so a
+    /// modest cap trades negligible width for fleet-size independence.
+    pub fn fleet(max_triples: usize) -> Self {
+        Self {
+            max_triples: Some(max_triples),
+            ..Self::default()
+        }
+    }
     /// Paper-faithful configuration with uniform triple weights — the
     /// "No Optimization" arm of Figure 2(c).
     pub fn with_uniform_weights() -> Self {
@@ -96,6 +120,7 @@ mod tests {
     fn default_matches_paper() {
         let c = EstimatorConfig::default();
         assert_eq!(c.min_pair_overlap, 1);
+        assert_eq!(c.max_triples, None, "the paper pairs every peer");
         assert_eq!(c.weight_policy, WeightPolicy::MinimumVariance);
         assert!((c.derivative_epsilon - 0.01).abs() < 1e-15);
         assert!(!c.perturb_partial_counts);
@@ -112,5 +137,6 @@ mod tests {
             EstimatorConfig::clamping().degeneracy,
             DegeneracyPolicy::Clamp { .. }
         ));
+        assert_eq!(EstimatorConfig::fleet(16).max_triples, Some(16));
     }
 }

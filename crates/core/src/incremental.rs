@@ -10,15 +10,20 @@
 //! [`IncrementalEvaluator`] (binary, Algorithm A2) and
 //! [`KaryIncrementalEvaluator`] (k-ary, the m-worker A3 extension)
 //! each hold one long-lived [`StreamingIndex`]: the overlap index plus
-//! maintained per-worker anchored bitset views. Ingesting a response
-//! costs
+//! maintained, **peer-scoped** per-worker anchored bitset views — each
+//! view holds a mask row only for the ≤ 2l peers the last evaluation's
+//! pairing selected (`O(m·l·n̄/64)` resident across the fleet, not
+//! `O(m²·n̄/64)`), starts empty until its worker is first evaluated,
+//! and lazily re-anchors when the pairing shifts (see
+//! [`crowd_data::streaming`]). Ingesting a response costs
 //!
 //! * an `O(log r + r)` sorted insert into the index's worker and task
 //!   adjacency rows (amortized over their geometric growth — see the
 //!   amortization invariant in [`crowd_data::index`]),
 //! * an `O(r_t)` pair-table update (only the pairs the response
 //!   completes are touched),
-//! * `O(r_t)` bit flips across the maintained anchored views,
+//! * `O(r_t)` scope probes / bit flips across the *anchored* views
+//!   (un-anchored views cost nothing),
 //!
 //! so that evaluating any worker at any moment costs **only triple
 //! formation and covariance assembly**: pairing reads the O(1) pair
@@ -105,6 +110,20 @@ impl IncrementalEvaluator {
     /// Total responses ingested.
     pub fn n_responses(&self) -> usize {
         self.stream.n_responses()
+    }
+
+    /// Bytes resident across the maintained anchored mask matrices —
+    /// bounded by the pairing degree per view, not the worker count
+    /// (see [`crowd_data::StreamingIndex::view_mask_bytes`]).
+    pub fn view_mask_bytes(&self) -> usize {
+        self.stream.view_mask_bytes()
+    }
+
+    /// Lazy view re-anchors performed so far (see
+    /// [`crowd_data::StreamingIndex::reanchor_count`]); a stable
+    /// pairing stops incurring these.
+    pub fn reanchor_count(&self) -> usize {
+        self.stream.reanchor_count()
     }
 
     /// Evaluates one worker on the data seen so far; bit-identical to
@@ -196,6 +215,12 @@ impl KaryIncrementalEvaluator {
     /// Total responses ingested.
     pub fn n_responses(&self) -> usize {
         self.stream.n_responses()
+    }
+
+    /// Bytes resident across the maintained anchored mask matrices;
+    /// see [`IncrementalEvaluator::view_mask_bytes`].
+    pub fn view_mask_bytes(&self) -> usize {
+        self.stream.view_mask_bytes()
     }
 
     /// Evaluates one worker's k×k response-probability matrix on the

@@ -64,7 +64,7 @@
 //! worker, because the surviving triples carry the estimate.
 
 use crate::kary::estimator::{TripleDetail, triple_detail};
-use crate::pairing::form_pairs_on;
+use crate::pairing::form_pairs_limited;
 use crate::{CoverageStats, EstimateError, EstimatorConfig, Result};
 use crowd_data::{
     AnchoredOverlap, CountsTensor, OverlapIndex, OverlapSource, ResponseMatrix, WorkerId,
@@ -248,11 +248,12 @@ impl KaryMWorkerEstimator {
             });
         }
         let k = src.arity() as usize;
-        let pairs = form_pairs_on(
+        let pairs = form_pairs_limited(
             src,
             worker,
             self.config.pairing,
             self.config.min_pair_overlap,
+            self.config.max_triples,
         );
 
         let mut ctxs: Vec<TripleCtx> = Vec::with_capacity(pairs.len());
@@ -302,12 +303,16 @@ impl KaryMWorkerEstimator {
 
         // `n₅` per triple pair, hoisted out of the per-entry loops (it
         // is entry-independent) and answered by the anchored view —
-        // a 4-way bitset intersection on the indexed substrate. With a
-        // single triple there are no cross terms, so skip the view
-        // build entirely (the common m = 3..4 case).
+        // a 4-way bitset intersection on the indexed substrate. The
+        // view is scoped to the surviving triples' peers (≤ 2l mask
+        // rows, never n_workers). With a single triple there are no
+        // cross terms, so skip the view build entirely (the common
+        // m = 3..4 case).
         let mut n5 = vec![0usize; l * l];
         if l >= 2 {
-            let anchored = src.anchored(worker);
+            // The view's peer mask sorts and deduplicates for itself.
+            let peers: Vec<WorkerId> = ctxs.iter().flat_map(|c| [c.peers.0, c.peers.1]).collect();
+            let anchored = src.anchored_for(worker, &peers);
             for t1 in 0..l {
                 for t2 in (t1 + 1)..l {
                     let others = [

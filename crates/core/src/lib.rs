@@ -55,7 +55,7 @@ pub use kary::{
     KaryAssessment, KaryEstimator, KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport,
     ProbEstimate,
 };
-pub use m_worker::MWorkerEstimator;
-pub use parallel::parallel_index_map;
+pub use m_worker::{EvalScratch, MWorkerEstimator};
+pub use parallel::{parallel_index_map, parallel_index_map_with};
 pub use policy::{Decision, DecisionRule, PolicyScore, RetentionPolicy};
 pub use three_worker::{ThreeWorkerEstimator, TripleEstimate};

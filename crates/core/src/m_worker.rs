@@ -30,10 +30,21 @@
 use crate::three_worker::{ThreeWorkerEstimator, TripleEstimate};
 use crate::{EstimateError, EstimatorConfig, Result, WorkerAssessment, WorkerReport};
 use crowd_data::{
-    AnchoredOverlap, CachedOverlap, OverlapIndex, OverlapSource, ResponseMatrix, WorkerId,
+    AnchoredOverlap, AnchoredScratch, CachedOverlap, OverlapIndex, OverlapSource, ResponseMatrix,
+    WorkerId,
 };
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, min_variance_weights};
+
+/// Reusable per-thread scratch for the indexed evaluate-all hot path:
+/// the peer-id buffer and the anchored view's mask words survive from
+/// one evaluated worker to the next, so a thread's whole chunk runs
+/// allocation-free once both have reached their high-water marks.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    peers: Vec<WorkerId>,
+    anchored: AnchoredScratch,
+}
 
 /// The m-worker estimator (Algorithm A2).
 ///
@@ -119,25 +130,66 @@ impl MWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
     ) -> Result<WorkerAssessment> {
+        self.evaluate_worker_via(src, worker, confidence, &mut Vec::new(), |peers| {
+            src.anchored_for(worker, peers)
+        })
+    }
+
+    /// [`MWorkerEstimator::evaluate_worker_on`] against an
+    /// [`OverlapIndex`] with caller-held [`EvalScratch`]: the anchored
+    /// view is built into the scratch's reusable mask words, so an
+    /// evaluate-all loop allocates nothing per worker. Outputs are
+    /// bit-identical to the scratch-free path.
+    pub fn evaluate_worker_indexed_scratch(
+        &self,
+        index: &OverlapIndex,
+        worker: WorkerId,
+        confidence: f64,
+        scratch: &mut EvalScratch,
+    ) -> Result<WorkerAssessment> {
+        let EvalScratch { peers, anchored } = scratch;
+        self.evaluate_worker_via(index, worker, confidence, peers, |ps| {
+            index.anchored_for_in(worker, ps, anchored)
+        })
+    }
+
+    /// The evaluation body behind both entry points: pairing, the
+    /// peer-scoped anchored view (built by `view` from the selected
+    /// peer set, so it holds `O(peers)` mask rows — never
+    /// `O(n_workers)`), triple estimation, and the Lemma 4/5
+    /// combination.
+    fn evaluate_worker_via<S: OverlapSource, A: AnchoredOverlap>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        confidence: f64,
+        peers_buf: &mut Vec<WorkerId>,
+        view: impl FnOnce(&[WorkerId]) -> A,
+    ) -> Result<WorkerAssessment> {
         if src.n_workers() < 3 {
             return Err(EstimateError::NotEnoughWorkers {
                 got: src.n_workers(),
                 need: 3,
             });
         }
-        let pairs = crate::pairing::form_pairs_on(
+        let pairs = crate::pairing::form_pairs_limited(
             src,
             worker,
             self.config.pairing,
             self.config.min_pair_overlap,
+            self.config.max_triples,
         );
         if pairs.is_empty() {
             return Err(EstimateError::NoUsableTriples { worker });
         }
-        // One anchored view serves every triple of this evaluation:
-        // `c_{worker,a,b}` for the triple estimates and for the Lemma 4
-        // covariance assembly below.
-        let anchored = src.anchored(worker);
+        // One peer-scoped anchored view serves every triple of this
+        // evaluation: `c_{worker,a,b}` for the triple estimates and for
+        // the Lemma 4 covariance assembly below only ever pair up
+        // workers the pairing selected. The view's peer mask sorts and
+        // deduplicates for itself, so the flat pair dump is enough.
+        peers_buf.clear();
+        peers_buf.extend(pairs.iter().flat_map(|&(a, b)| [a, b]));
+        let anchored = view(peers_buf);
         let mut triples: Vec<TripleEstimate> = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
             let c_all = anchored.triple_common(a, b);
@@ -210,6 +262,8 @@ impl MWorkerEstimator {
     /// [`MWorkerEstimator::evaluate_all`] against a caller-built
     /// [`OverlapIndex`] — for pipelines that reuse one index across
     /// many operations (assessment, pairing diagnostics, k-ary runs).
+    /// One [`EvalScratch`] (peer buffer + anchored mask words) is
+    /// reused across the whole worker loop.
     pub fn evaluate_all_indexed(
         &self,
         index: &OverlapIndex,
@@ -221,9 +275,10 @@ impl MWorkerEstimator {
                 need: 3,
             });
         }
+        let mut scratch = EvalScratch::default();
         let mut report = WorkerReport::default();
         for worker in index.workers() {
-            match self.evaluate_worker_on(index, worker, confidence) {
+            match self.evaluate_worker_indexed_scratch(index, worker, confidence, &mut scratch) {
                 Ok(a) => report.assessments.push(a),
                 Err(e) => report.failures.push((worker, e)),
             }
@@ -279,7 +334,11 @@ impl MWorkerEstimator {
     }
 
     /// Parallel [`MWorkerEstimator::evaluate_all_indexed`]; see
-    /// [`MWorkerEstimator::evaluate_all_parallel`].
+    /// [`MWorkerEstimator::evaluate_all_parallel`]. Each thread holds
+    /// one [`EvalScratch`] reused across its whole contiguous chunk —
+    /// no per-worker view allocation — and scratch state never
+    /// influences outputs, so the report stays bit-identical to the
+    /// serial path for every thread count.
     pub fn evaluate_all_indexed_parallel(
         &self,
         index: &OverlapIndex,
@@ -294,9 +353,14 @@ impl MWorkerEstimator {
         if threads == 1 {
             return self.evaluate_all_indexed(index, confidence);
         }
-        let outcomes = crate::parallel::parallel_worker_map(m, threads, |worker| {
-            self.evaluate_worker_on(index, worker, confidence)
-        });
+        let outcomes = crate::parallel::parallel_worker_map_with(
+            m,
+            threads,
+            EvalScratch::default,
+            |scratch, worker| {
+                self.evaluate_worker_indexed_scratch(index, worker, confidence, scratch)
+            },
+        );
         let mut report = WorkerReport::default();
         for (i, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
@@ -330,7 +394,7 @@ impl MWorkerEstimator {
     fn triple_covariance<S: OverlapSource>(
         &self,
         src: &S,
-        anchored: &S::Anchored<'_>,
+        anchored: &impl AnchoredOverlap,
         triples: &[TripleEstimate],
     ) -> Matrix {
         let l = triples.len();
@@ -533,6 +597,76 @@ mod tests {
                 assert_eq!(s.triples_used, p.triples_used);
             }
             assert_eq!(serial.failures.len(), parallel.failures.len());
+        }
+    }
+
+    #[test]
+    fn max_triples_caps_every_path_identically() {
+        let inst = BinaryScenario::paper_default(13, 150, 0.8).generate(&mut rng(61));
+        let data = inst.responses();
+        let capped = MWorkerEstimator::new(EstimatorConfig::fleet(2));
+
+        let serial = capped.evaluate_all(data, 0.9).unwrap();
+        assert!(!serial.assessments.is_empty());
+        for a in &serial.assessments {
+            assert!(
+                a.triples_used <= 2,
+                "worker {:?} used {}",
+                a.worker,
+                a.triples_used
+            );
+        }
+        // The uncapped estimator really does use more triples here, so
+        // the cap is doing work.
+        let full = estimator().evaluate_all(data, 0.9).unwrap();
+        assert!(full.assessments.iter().any(|a| a.triples_used > 2));
+
+        // Naive scans, indexed, and parallel paths agree bit for bit
+        // under the cap.
+        let naive = capped.evaluate_all_naive(data, 0.9).unwrap();
+        for threads in [1usize, 3, 8] {
+            let parallel = capped.evaluate_all_parallel(data, 0.9, threads).unwrap();
+            for (s, p) in serial.assessments.iter().zip(&parallel.assessments) {
+                assert_eq!(s.worker, p.worker);
+                assert_eq!(s.interval, p.interval, "threads {threads}");
+                assert_eq!(s.triples_used, p.triples_used);
+            }
+        }
+        for (s, n) in serial.assessments.iter().zip(&naive.assessments) {
+            assert_eq!(s.worker, n.worker);
+            assert_eq!(s.interval, n.interval, "naive vs indexed under cap");
+        }
+
+        // A cap above the available pairing degree is a no-op.
+        let big = MWorkerEstimator::new(EstimatorConfig::fleet(64))
+            .evaluate_all(data, 0.9)
+            .unwrap();
+        assert_eq!(big.assessments.len(), full.assessments.len());
+        for (b, f) in big.assessments.iter().zip(&full.assessments) {
+            assert_eq!(b.interval, f.interval);
+            assert_eq!(b.triples_used, f.triples_used);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_views_per_worker() {
+        // Drive the scratch entry point directly over workers of very
+        // different degrees: reused mask words must never leak bits.
+        let inst = BinaryScenario::paper_default(9, 120, 0.6).generate(&mut rng(67));
+        let index = crowd_data::OverlapIndex::from_matrix(inst.responses());
+        let est = estimator();
+        let mut scratch = EvalScratch::default();
+        for worker in index.workers() {
+            let fresh = est.evaluate_worker_on(&index, worker, 0.9);
+            let reused = est.evaluate_worker_indexed_scratch(&index, worker, 0.9, &mut scratch);
+            match (fresh, reused) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.interval, b.interval, "worker {worker:?}");
+                    assert_eq!(a.triples_used, b.triples_used);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("outcome mismatch for {worker:?}: {a:?} vs {b:?}"),
+            }
         }
     }
 

@@ -71,7 +71,29 @@ pub fn form_pairs_on<S: OverlapSource>(
     strategy: PairingStrategy,
     min_overlap: usize,
 ) -> Vec<PeerPair> {
+    form_pairs_limited(src, target, strategy, min_overlap, None)
+}
+
+/// [`form_pairs_on`] with an optional cap on the number of pairs
+/// formed ([`crate::EstimatorConfig::max_triples`]). The greedy loop
+/// stops as soon as the cap is reached, so with
+/// [`PairingStrategy::GreedyByOverlap`] the kept pairs are exactly the
+/// best-overlapped prefix of the uncapped pairing — the evaluated
+/// worker's peer scope shrinks to `≤ 2·cap` workers without changing
+/// which triples an uncapped run would have ranked first. `None`
+/// reproduces [`form_pairs_on`] bit for bit.
+pub fn form_pairs_limited<S: OverlapSource>(
+    src: &S,
+    target: WorkerId,
+    strategy: PairingStrategy,
+    min_overlap: usize,
+    max_pairs: Option<usize>,
+) -> Vec<PeerPair> {
     let min_overlap = min_overlap.max(1);
+    let max_pairs = max_pairs.unwrap_or(usize::MAX);
+    if max_pairs == 0 {
+        return Vec::new();
+    }
     let overlap = |a: WorkerId, b: WorkerId| -> usize { src.pair(a, b).common_tasks };
     // Candidates: everyone sharing enough tasks with the target.
     let mut candidates: Vec<(WorkerId, usize)> = (0..src.n_workers() as u32)
@@ -94,7 +116,7 @@ pub fn form_pairs_on<S: OverlapSource>(
 
     let mut pairs = Vec::new();
     let mut remaining: Vec<WorkerId> = candidates.into_iter().map(|(w, _)| w).collect();
-    while remaining.len() >= 2 {
+    while remaining.len() >= 2 && pairs.len() < max_pairs {
         let head = remaining.remove(0);
         // First partner sharing enough tasks with the head (its overlap
         // with the target was already checked on entry to the list).
@@ -112,6 +134,18 @@ pub fn form_pairs_on<S: OverlapSource>(
         }
     }
     pairs
+}
+
+/// The distinct peers a pairing selected, sorted by id — the peer
+/// scope the estimators hand to
+/// [`crowd_data::OverlapSource::anchored_for`] so anchored views
+/// allocate a mask row per *selected peer* instead of per population
+/// member.
+pub fn pairing_peers(pairs: &[PeerPair]) -> Vec<WorkerId> {
+    let mut peers: Vec<WorkerId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    peers.sort_unstable();
+    peers.dedup();
+    peers
 }
 
 /// Diagnostic: total triple overlap mass of a pairing (the sum over
@@ -206,6 +240,55 @@ mod tests {
         let data = staggered();
         let q = pairing_quality(&data, WorkerId(0), &[(WorkerId(1), WorkerId(2))]);
         assert_eq!(q, 30); // tasks 10..40 shared by 0, 1 and 2
+    }
+
+    #[test]
+    fn capped_pairing_is_a_prefix_of_the_uncapped_one() {
+        let mut b = ResponseMatrixBuilder::new(9, 12, 2);
+        for w in 0..9u32 {
+            for t in 0..12u32 {
+                if (w + t) % 3 != 0 {
+                    b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+                }
+            }
+        }
+        let data = b.build().unwrap();
+        let full = form_pairs(&data, WorkerId(0), PairingStrategy::GreedyByOverlap, 1);
+        assert!(full.len() >= 3);
+        for cap in 0..=full.len() + 1 {
+            let capped = form_pairs_limited(
+                &data,
+                WorkerId(0),
+                PairingStrategy::GreedyByOverlap,
+                1,
+                Some(cap),
+            );
+            assert_eq!(capped, full[..cap.min(full.len())].to_vec(), "cap {cap}");
+        }
+        assert_eq!(
+            form_pairs_limited(
+                &data,
+                WorkerId(0),
+                PairingStrategy::GreedyByOverlap,
+                1,
+                None
+            ),
+            full
+        );
+    }
+
+    #[test]
+    fn pairing_peers_flattens_sorted_and_deduplicated() {
+        let pairs = [
+            (WorkerId(5), WorkerId(2)),
+            (WorkerId(7), WorkerId(1)),
+            (WorkerId(3), WorkerId(6)),
+        ];
+        assert_eq!(
+            pairing_peers(&pairs),
+            [1, 2, 3, 5, 6, 7].map(WorkerId).to_vec()
+        );
+        assert!(pairing_peers(&[]).is_empty());
     }
 
     #[test]

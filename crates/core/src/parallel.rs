@@ -14,21 +14,41 @@ pub fn parallel_index_map<T: Send>(
     threads: usize,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    parallel_index_map_with(count, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_index_map`] with reusable **per-thread scratch state**:
+/// every spawned thread calls `init` once and threads the resulting
+/// value through each `f` call of its contiguous chunk (the serial
+/// path reuses a single scratch across all indices). This is how the
+/// indexed evaluate-all hot path shares one peer buffer and one
+/// anchored mask allocation across every worker a thread evaluates,
+/// instead of allocating a fresh view per worker. Chunking — and
+/// therefore output order — is identical to [`parallel_index_map`]:
+/// scratch state never influences results, only allocation traffic.
+pub fn parallel_index_map_with<S, T: Send>(
+    count: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
     if count == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, count);
     if threads == 1 {
-        return (0..count).map(f).collect();
+        let mut scratch = init();
+        return (0..count).map(|i| f(&mut scratch, i)).collect();
     }
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let chunk = count.div_ceil(threads);
     std::thread::scope(|scope| {
         for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
+            let (init, f) = (&init, &f);
             scope.spawn(move || {
+                let mut scratch = init();
                 for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + i));
+                    *slot = Some(f(&mut scratch, t * chunk + i));
                 }
             });
         }
@@ -48,6 +68,18 @@ pub(crate) fn parallel_worker_map<T: Send>(
     parallel_index_map(m, threads, |i| f(WorkerId(i as u32)))
 }
 
+/// [`parallel_index_map_with`] over worker ids.
+pub(crate) fn parallel_worker_map_with<S, T: Send>(
+    m: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, WorkerId) -> T + Sync,
+) -> Vec<T> {
+    parallel_index_map_with(m, threads, init, |scratch, i| {
+        f(scratch, WorkerId(i as u32))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +96,28 @@ mod tests {
     #[test]
     fn zero_workers_is_empty() {
         assert!(parallel_worker_map(0, 4, |w| w).is_empty());
+    }
+
+    #[test]
+    fn scratch_state_is_per_thread_and_reused_within_a_chunk() {
+        for threads in [1usize, 2, 5] {
+            // Each call records how many times its thread's scratch was
+            // used before it; chunks must see 0, 1, 2, … in index order.
+            let out = parallel_index_map_with(
+                10,
+                threads,
+                || 0usize,
+                |uses, i| {
+                    let seen = *uses;
+                    *uses += 1;
+                    (i, seen)
+                },
+            );
+            let chunk = 10usize.div_ceil(threads.clamp(1, 10));
+            for (i, &(idx, seen)) in out.iter().enumerate() {
+                assert_eq!(idx, i);
+                assert_eq!(seen, i % chunk, "threads {threads}, index {i}");
+            }
+        }
     }
 }

@@ -28,6 +28,26 @@
 //! anchor's task set, turning the `O(l²)` triple scans of one worker
 //! evaluation into word-parallel popcounts.
 //!
+//! # Peer-scoped anchored views
+//!
+//! An evaluation only ever queries its anchored view about the ≤ 2l
+//! peers the pairing selected, so [`OverlapSource::anchored_for`]
+//! scopes the view to a declared peer set: a `PeerMask` remaps each
+//! peer to a dense mask row, the build stamps the anchor's slots into
+//! an epoch-invalidated task→slot map and walks each peer's task row
+//! once (`O(l_anchor + Σ_{p ∈ peers} l_p)`), and the matrix holds
+//! `peers · ⌈l_anchor/64⌉` words — memory tracks the
+//! pairing degree, never the population. Near-population scopes
+//! (> m/2 peers, the paper-default uncapped pairing) are upgraded to
+//! the identity map and the legacy `O(Σ_{t ∈ tasks(anchor)} r_t)`
+//! responder fill, which is cheaper there; both fills produce the same
+//! bits, so the choice is invisible to every query. The evaluate-all
+//! hot path additionally reuses one [`AnchoredScratch`] per thread
+//! ([`OverlapIndex::anchored_for_in`]), so consecutive view builds
+//! allocate nothing. Matrices are always pre-sized to the anchor's
+//! exact degree — the mask-word doubling re-layout only ever runs on
+//! the streaming ingest path.
+//!
 //! # Streaming appends and the amortization invariant
 //!
 //! The index is also the **streaming** substrate: one long-lived
@@ -96,8 +116,24 @@ pub trait OverlapSource {
     /// A view answering many triple queries that all share the fixed
     /// worker `anchor` — the access pattern of the Lemma 4 covariance
     /// assembly (`c_{i,a,b}` for one evaluated worker `i` and many peer
-    /// pairs).
+    /// pairs). Covers the whole population: any worker may be queried.
     fn anchored(&self, anchor: WorkerId) -> Self::Anchored<'_>;
+
+    /// [`OverlapSource::anchored`] scoped to a declared peer set: the
+    /// view only promises to answer queries about workers in `peers`
+    /// (order and duplicates are irrelevant). The m-worker estimators
+    /// only ever query the ≤ 2l peers their pairing selected, so a
+    /// scoped view lets bitset implementations allocate `O(peers)`
+    /// mask rows instead of `O(n_workers)` — the fleet-scale lever.
+    ///
+    /// Querying a worker outside `peers` is a contract violation:
+    /// scan-based implementations still answer (they ignore the
+    /// scope), but bitset implementations panic. The default simply
+    /// forwards to the population-wide [`OverlapSource::anchored`].
+    fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> Self::Anchored<'_> {
+        let _ = peers;
+        self.anchored(anchor)
+    }
 }
 
 /// Triple-overlap queries sharing one fixed anchor worker.
@@ -494,23 +530,145 @@ impl OverlapSource for OverlapIndex {
     fn anchored(&self, anchor: WorkerId) -> BitsetAnchored<'_> {
         BitsetAnchored::build(self, anchor)
     }
+
+    fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> BitsetAnchored<'_> {
+        BitsetAnchored::build_scoped(self, anchor, peers)
+    }
 }
 
-/// The `n_workers × words` anchored bit matrix and its popcount
-/// kernels, shared by the batch [`BitsetAnchored`] view and the
-/// maintained [`crate::AnchoredView`]: one implementation of the
-/// queries underpins the streamed-vs-batch bit-identity guarantee, so
-/// the two views cannot drift apart.
+impl OverlapIndex {
+    /// [`OverlapSource::anchored_for`] building into a caller-held
+    /// [`AnchoredScratch`]: the returned view borrows the scratch's
+    /// mask words, so an evaluate-all loop that keeps one scratch per
+    /// thread re-layouts nothing and allocates nothing once the words
+    /// vector has grown to the largest view it has served.
+    pub fn anchored_for_in<'s>(
+        &self,
+        anchor: WorkerId,
+        peers: &[WorkerId],
+        scratch: &'s mut AnchoredScratch,
+    ) -> BitsetAnchored<'s> {
+        BitsetAnchored::build_in(self, anchor, peers, scratch)
+    }
+}
+
+/// The peer → mask-row remap layer under [`MaskMatrix`].
+///
+/// Anchored views only ever answer queries about the peers their
+/// caller declared (the ≤ 2l workers a pairing selected), so the bit
+/// matrix does not need a row per *worker* — only a row per *peer*.
+/// `PeerMask` is that remap: a dense, sorted peer → row map, with an
+/// identity fast path for population-wide views so the full-view
+/// adapter pays no lookup cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PeerMask {
+    /// Identity over the whole population: worker `w` ↔ row `w`.
+    Population(usize),
+    /// Sorted, deduplicated peer ids; `peers[r]` ↔ row `r`. Lookups
+    /// are a binary search over the (small) peer list.
+    Peers(Vec<u32>),
+}
+
+impl PeerMask {
+    /// The identity map over `n_workers` rows.
+    pub(crate) fn population(n_workers: usize) -> Self {
+        Self::Population(n_workers)
+    }
+
+    /// A scoped map for the given peers (sorted and deduplicated; the
+    /// caller's order and duplicates are irrelevant to the view).
+    pub(crate) fn scoped(peers: &[WorkerId]) -> Self {
+        let mut ids: Vec<u32> = peers.iter().map(|w| w.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self::Peers(ids)
+    }
+
+    /// [`PeerMask::scoped`], upgraded to the identity map when the
+    /// peer set covers more than half the population. Near-population
+    /// scopes gain nothing from remapping — the per-peer merge build
+    /// costs more than the legacy per-task responder fill and the
+    /// memory saving is < 2× — so the paper-default (uncapped) pairing
+    /// keeps its original build cost to the cycle, while genuinely
+    /// small scopes (the fleet-capped case) get `O(peers)` rows.
+    pub(crate) fn scoped_for(peers: &[WorkerId], n_workers: usize) -> Self {
+        let mask = Self::scoped(peers);
+        if mask.rows() * 2 > n_workers {
+            Self::Population(n_workers)
+        } else {
+            mask
+        }
+    }
+
+    /// Number of mask rows this map addresses.
+    pub(crate) fn rows(&self) -> usize {
+        match self {
+            Self::Population(m) => *m,
+            Self::Peers(ids) => ids.len(),
+        }
+    }
+
+    /// The mask row of `worker`, if it is in scope.
+    #[inline]
+    pub(crate) fn row(&self, worker: u32) -> Option<usize> {
+        match self {
+            Self::Population(m) => ((worker as usize) < *m).then_some(worker as usize),
+            Self::Peers(ids) => ids.binary_search(&worker).ok(),
+        }
+    }
+
+    /// The mask row of `worker`; panics (contract violation) when the
+    /// worker is outside the declared peer scope.
+    #[inline]
+    pub(crate) fn row_of(&self, worker: WorkerId) -> usize {
+        self.row(worker.0).unwrap_or_else(|| {
+            panic!("worker {worker:?} is outside this anchored view's peer scope")
+        })
+    }
+
+    /// The worker occupying mask row `row`.
+    #[inline]
+    pub(crate) fn worker_of(&self, row: usize) -> u32 {
+        match self {
+            Self::Population(_) => row as u32,
+            Self::Peers(ids) => ids[row],
+        }
+    }
+
+    /// Whether every worker addressable through `other` is also
+    /// addressable through `self` — the lazy re-anchoring test of the
+    /// maintained streaming views.
+    pub(crate) fn covers(&self, other: &PeerMask) -> bool {
+        match (self, other) {
+            (Self::Population(m), Self::Population(n)) => m >= n,
+            (Self::Population(m), Self::Peers(ids)) => {
+                ids.last().is_none_or(|&max| (max as usize) < *m)
+            }
+            (Self::Peers(_), Self::Population(n)) => *n == 0,
+            (Self::Peers(have), Self::Peers(want)) => {
+                // Both sorted: one linear sweep.
+                let mut it = have.iter();
+                want.iter().all(|w| it.any(|h| h == w))
+            }
+        }
+    }
+}
+
+/// The `rows × words` anchored bit matrix and its popcount kernels,
+/// shared by the batch [`BitsetAnchored`] view and the maintained
+/// [`crate::AnchoredView`]: one implementation of the queries
+/// underpins the streamed-vs-batch bit-identity guarantee, so the two
+/// views cannot drift apart.
 ///
 /// The anchor's attempted tasks occupy bit slots `0..anchor_tasks`;
-/// row `w` records which of those tasks worker `w` attempted. Every
-/// query is slot-permutation-invariant (popcounts), which is what lets
-/// the streaming view assign slots in ingest order while the batch
-/// view assigns them in task order.
+/// row `r` records which of those tasks the worker a [`PeerMask`]
+/// assigns to `r` attempted. Every query is slot-permutation-invariant
+/// (popcounts), which is what lets the streaming view assign slots in
+/// ingest order while the batch view assigns them in task order.
 #[derive(Debug, Clone)]
 pub(crate) struct MaskMatrix {
-    n_workers: usize,
-    /// Words allocated per worker row.
+    n_rows: usize,
+    /// Words allocated per row.
     words: usize,
     /// Slots in use (= tasks the anchor attempted).
     anchor_tasks: usize,
@@ -519,24 +677,59 @@ pub(crate) struct MaskMatrix {
 }
 
 impl MaskMatrix {
-    pub(crate) fn new(n_workers: usize, words: usize) -> Self {
+    pub(crate) fn new(n_rows: usize, words: usize) -> Self {
         let words = words.max(1);
         Self {
-            n_workers,
+            n_rows,
             words,
             anchor_tasks: 0,
-            masks: vec![0u64; n_workers * words],
+            masks: vec![0u64; n_rows * words],
         }
     }
 
+    /// Re-shapes the matrix in place for a fresh build — `n_rows`
+    /// zeroed rows of `words` words with `slots` slots pre-claimed —
+    /// reusing the existing word allocation when it is large enough.
+    /// This is the scratch-reuse and pre-sizing entry point: callers
+    /// that know the anchor's degree up front (the batch and re-anchor
+    /// builds) pass `words = degree.div_ceil(64)` and `slots = degree`,
+    /// so no [`MaskMatrix::push_slot`] doubling re-layout ever runs.
+    pub(crate) fn reset(&mut self, n_rows: usize, words: usize, slots: usize) {
+        let words = words.max(1);
+        debug_assert!(slots <= words * 64, "pre-claimed slots exceed capacity");
+        self.n_rows = n_rows;
+        self.words = words;
+        self.anchor_tasks = slots;
+        self.masks.clear();
+        self.masks.resize(n_rows * words, 0);
+    }
+
+    /// Bytes resident in the bit matrix (the per-view memory the
+    /// peer-scoped refactor shrinks from `O(n_workers)` to `O(peers)`
+    /// rows). Reports the allocation's *capacity*, not its in-use
+    /// length — a [`MaskMatrix::reset`] keeps slack for reuse, and
+    /// pretending that slack is free would overstate any measured
+    /// memory reduction.
+    pub(crate) fn mask_bytes(&self) -> usize {
+        self.masks.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Releases the reuse slack so the allocation matches the in-use
+    /// rows — for long-lived matrices (the maintained streaming views)
+    /// after a downsizing re-anchor; scratch matrices keep their slack
+    /// on purpose.
+    pub(crate) fn shrink(&mut self) {
+        self.masks.shrink_to_fit();
+    }
+
     /// Claims the next slot, doubling the per-row word capacity (one
-    /// `O(n_workers · words)` re-layout per doubling, amortized away)
+    /// `O(n_rows · words)` re-layout per doubling, amortized away)
     /// when the slot budget is exhausted.
     pub(crate) fn push_slot(&mut self) -> u32 {
         if self.anchor_tasks == self.words * 64 {
             let new_words = self.words * 2;
-            let mut masks = vec![0u64; self.n_workers * new_words];
-            for w in 0..self.n_workers {
+            let mut masks = vec![0u64; self.n_rows * new_words];
+            for w in 0..self.n_rows {
                 masks[w * new_words..w * new_words + self.words]
                     .copy_from_slice(&self.masks[w * self.words..(w + 1) * self.words]);
             }
@@ -548,25 +741,26 @@ impl MaskMatrix {
         slot
     }
 
-    /// Marks `worker` as having attempted the anchor task in `slot`.
+    /// Marks `row` as having attempted the anchor task in `slot`.
     #[inline]
-    pub(crate) fn set_bit(&mut self, worker: u32, slot: u32) {
+    pub(crate) fn set_bit(&mut self, row: usize, slot: u32) {
         let (word, bit) = (slot as usize / 64, slot as usize % 64);
-        self.masks[worker as usize * self.words + word] |= 1u64 << bit;
+        self.masks[row * self.words + word] |= 1u64 << bit;
     }
 
     #[inline]
-    fn mask(&self, w: WorkerId) -> &[u64] {
-        &self.masks[w.index() * self.words..(w.index() + 1) * self.words]
+    fn mask(&self, row: usize) -> &[u64] {
+        &self.masks[row * self.words..(row + 1) * self.words]
     }
 
-    /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
-    pub(crate) fn pair_common(&self, a: WorkerId) -> usize {
+    /// `c_{anchor,a}`: tasks shared by the anchor and the worker of
+    /// row `a`.
+    pub(crate) fn pair_common(&self, a: usize) -> usize {
         self.mask(a).iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// `c_{anchor,a,b}` by word-parallel popcount.
-    pub(crate) fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+    pub(crate) fn triple_common(&self, a: usize, b: usize) -> usize {
         self.mask(a)
             .iter()
             .zip(self.mask(b))
@@ -574,9 +768,9 @@ impl MaskMatrix {
             .sum()
     }
 
-    /// Anchor tasks attempted by *every* worker in `others`.
-    pub(crate) fn common_among(&self, others: &[WorkerId]) -> usize {
-        let Some((&first, rest)) = others.split_first() else {
+    /// Anchor tasks attempted by the worker of *every* row in `rows`.
+    pub(crate) fn common_among(&self, rows: &[usize]) -> usize {
+        let Some((&first, rest)) = rows.split_first() else {
             // Every anchor task trivially intersects an empty peer set.
             return self.anchor_tasks;
         };
@@ -592,50 +786,256 @@ impl MaskMatrix {
     }
 }
 
+/// Where a [`BitsetAnchored`] view keeps its bit matrix: owned (the
+/// one-off build paths) or borrowed from a caller-held
+/// [`AnchoredScratch`] (the evaluate-all hot path, which reuses one
+/// allocation across every worker of a thread's chunk).
+#[derive(Debug)]
+enum MaskStore<'a> {
+    Owned(MaskMatrix),
+    Scratch(&'a mut MaskMatrix),
+}
+
+impl MaskStore<'_> {
+    #[inline]
+    fn get(&self) -> &MaskMatrix {
+        match self {
+            Self::Owned(m) => m,
+            Self::Scratch(m) => m,
+        }
+    }
+}
+
+/// An epoch-stamped `task → slot` map: `begin` invalidates every
+/// entry in O(1) (a new epoch), so repeated peer-scoped builds never
+/// pay an O(n) clear. Backing the anchored build with O(1) slot
+/// lookups is what makes the peer fill `O(l_anchor + Σ_p l_p)` —
+/// each peer row is walked once, no per-peer merge against the
+/// anchor's row.
+#[derive(Debug, Default)]
+pub(crate) struct SlotStamps {
+    epoch: u64,
+    stamp: Vec<u64>,
+    slot: Vec<u32>,
+}
+
+impl SlotStamps {
+    /// Starts a fresh map covering tasks `0..n`.
+    fn begin(&mut self, n: usize) {
+        self.epoch += 1;
+        if self.stamp.len() < n {
+            // Epochs start at 1, so zeroed stamps never match.
+            self.stamp.resize(n, 0);
+            self.slot.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, task: u32, slot: u32) {
+        self.stamp[task as usize] = self.epoch;
+        self.slot[task as usize] = slot;
+    }
+
+    #[inline]
+    fn get(&self, task: u32) -> Option<u32> {
+        (self.stamp[task as usize] == self.epoch).then(|| self.slot[task as usize])
+    }
+}
+
+/// Reusable build storage for [`OverlapIndex::anchored_for_in`]:
+/// holds the mask words and the stamped slot map of the previous view
+/// so consecutive anchored builds (one per evaluated worker) allocate
+/// nothing once both have reached their high-water marks.
+#[derive(Debug, Default)]
+pub struct AnchoredScratch {
+    matrix: Option<MaskMatrix>,
+    stamps: SlotStamps,
+}
+
 /// Anchored triple overlaps by bitset intersection.
 ///
-/// The anchor's attempted tasks define bit positions `0..s`; for every
-/// worker `w`, `masks[w]` records which of those tasks `w` attempted
-/// (filled in one pass over the anchor's tasks' responder lists, so the
-/// build is `O(Σ_{t ∈ tasks(anchor)} r_t)` — proportional to the data
-/// actually touching the anchor, never to `m·n`). Then
+/// The anchor's attempted tasks define bit positions `0..s` (task
+/// order). A [`PeerMask`] maps each in-scope worker to a mask row
+/// recording which of those tasks it attempted; then
 /// `c_{anchor,a,b} = popcount(masks[a] & masks[b])`, a handful of word
 /// operations per query instead of a three-way merge scan.
-#[derive(Debug, Clone)]
+///
+/// Population-wide views ([`OverlapSource::anchored`]) fill their `m`
+/// rows in one pass over the anchor's tasks' responder lists —
+/// `O(Σ_{t ∈ tasks(anchor)} r_t)` build work and `m · ⌈s/64⌉` words.
+/// Peer-scoped views ([`OverlapSource::anchored_for`]) instead merge
+/// each peer's task row against the anchor's —
+/// `O(Σ_{p ∈ peers} (l_anchor + l_p))` build work and only
+/// `peers · ⌈s/64⌉` words, so view memory tracks the pairing degree,
+/// never the population.
+#[derive(Debug)]
 pub struct BitsetAnchored<'a> {
-    matrix: MaskMatrix,
-    _index: std::marker::PhantomData<&'a OverlapIndex>,
+    store: MaskStore<'a>,
+    peers: PeerMask,
+}
+
+/// Shared anchored-view fill: re-shapes `matrix` (pre-sized to the
+/// anchor's exact degree, so no doubling re-layout ever runs) and sets
+/// its bits for the scope. Slots are the anchor's tasks in task order.
+/// Identity scopes use the legacy per-task responder fill
+/// (`O(Σ_{t ∈ tasks(anchor)} r_t)`, O(1) row mapping); peer scopes
+/// stamp the anchor's slots into `stamps` and walk each peer's task
+/// row once with O(1) slot lookups (`O(l_anchor + Σ_{p ∈ peers} l_p)`
+/// — no per-peer merge against the anchor's row). Both fills produce
+/// the same bits for every in-scope worker.
+pub(crate) fn fill_anchored(
+    index: &OverlapIndex,
+    anchor: WorkerId,
+    peers: &PeerMask,
+    matrix: &mut MaskMatrix,
+    stamps: &mut SlotStamps,
+) {
+    if matches!(peers, PeerMask::Peers(_)) {
+        stamps.begin(index.n_tasks());
+        for (slot, &(task, _)) in index.worker_responses(anchor).iter().enumerate() {
+            stamps.set(task, slot as u32);
+        }
+    }
+    fill_anchored_with(index, anchor, peers, matrix, |task| stamps.get(task));
+}
+
+/// The fill kernel behind both the batch builds and the streaming
+/// re-anchor, parameterized over the peer branch's `task → slot`
+/// lookup (epoch stamps for the batch paths, the maintained view's
+/// own slot map for streaming) so there is exactly **one**
+/// implementation of the bit layout — the streamed-vs-batch
+/// bit-identity guarantee cannot drift between copies.
+pub(crate) fn fill_anchored_with(
+    index: &OverlapIndex,
+    anchor: WorkerId,
+    peers: &PeerMask,
+    matrix: &mut MaskMatrix,
+    slot_of: impl Fn(u32) -> Option<u32>,
+) {
+    let anchor_row = index.worker_responses(anchor);
+    matrix.reset(
+        peers.rows(),
+        anchor_row.len().div_ceil(64),
+        anchor_row.len(),
+    );
+    match peers {
+        PeerMask::Population(_) => {
+            for (slot, &(task, _)) in anchor_row.iter().enumerate() {
+                for &(w, _) in index.task_responses(TaskId(task)) {
+                    matrix.set_bit(w as usize, slot as u32);
+                }
+            }
+        }
+        PeerMask::Peers(_) => {
+            for row in 0..peers.rows() {
+                for &(task, _) in index.worker_responses(WorkerId(peers.worker_of(row))) {
+                    if let Some(slot) = slot_of(task) {
+                        matrix.set_bit(row, slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Maps `others` through the peer mask into row indices and runs the
+/// multi-way intersection popcount — through a stack buffer for the
+/// estimator-sized queries (the k-ary `n₅` loop asks about 4 workers,
+/// `O(l²)` times per evaluation), so the hot path allocates nothing.
+pub(crate) fn common_among_mapped(
+    matrix: &MaskMatrix,
+    peers: &PeerMask,
+    others: &[WorkerId],
+) -> usize {
+    let mut buf = [0usize; 8];
+    if others.len() <= buf.len() {
+        for (slot, &w) in buf.iter_mut().zip(others) {
+            *slot = peers.row_of(w);
+        }
+        matrix.common_among(&buf[..others.len()])
+    } else {
+        let rows: Vec<usize> = others.iter().map(|&w| peers.row_of(w)).collect();
+        matrix.common_among(&rows)
+    }
 }
 
 impl<'a> BitsetAnchored<'a> {
-    fn build(index: &'a OverlapIndex, anchor: WorkerId) -> Self {
-        let tasks = index.worker_responses(anchor);
-        let mut matrix = MaskMatrix::new(index.n_workers(), tasks.len().div_ceil(64));
-        for &(task, _) in tasks {
-            let slot = matrix.push_slot();
-            for &(w, _) in index.task_responses(TaskId(task)) {
-                matrix.set_bit(w, slot);
-            }
+    /// One-shot build owning its matrix (population or peer scope).
+    /// The matrix is shrunk to its in-use rows: unlike a scratch
+    /// build, there is no next build to reuse the slack for.
+    fn build_owned(index: &OverlapIndex, anchor: WorkerId, peers: PeerMask) -> BitsetAnchored<'a> {
+        let mut matrix = MaskMatrix::new(0, 1);
+        fill_anchored(
+            index,
+            anchor,
+            &peers,
+            &mut matrix,
+            &mut SlotStamps::default(),
+        );
+        matrix.shrink();
+        BitsetAnchored {
+            store: MaskStore::Owned(matrix),
+            peers,
         }
-        Self {
-            matrix,
-            _index: std::marker::PhantomData,
+    }
+
+    /// Population-wide build: a row per worker.
+    fn build(index: &OverlapIndex, anchor: WorkerId) -> BitsetAnchored<'a> {
+        Self::build_owned(index, anchor, PeerMask::population(index.n_workers()))
+    }
+
+    /// Peer-scoped build owning its matrix.
+    fn build_scoped(
+        index: &OverlapIndex,
+        anchor: WorkerId,
+        peer_ids: &[WorkerId],
+    ) -> BitsetAnchored<'a> {
+        Self::build_owned(
+            index,
+            anchor,
+            PeerMask::scoped_for(peer_ids, index.n_workers()),
+        )
+    }
+
+    /// Peer-scoped build into `scratch`'s reusable words vector and
+    /// slot stamps.
+    fn build_in(
+        index: &OverlapIndex,
+        anchor: WorkerId,
+        peer_ids: &[WorkerId],
+        scratch: &'a mut AnchoredScratch,
+    ) -> BitsetAnchored<'a> {
+        let peers = PeerMask::scoped_for(peer_ids, index.n_workers());
+        let matrix = scratch.matrix.get_or_insert_with(|| MaskMatrix::new(0, 1));
+        fill_anchored(index, anchor, &peers, matrix, &mut scratch.stamps);
+        BitsetAnchored {
+            store: MaskStore::Scratch(matrix),
+            peers,
         }
     }
 
     /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
     pub fn pair_common(&self, a: WorkerId) -> usize {
-        self.matrix.pair_common(a)
+        self.store.get().pair_common(self.peers.row_of(a))
+    }
+
+    /// Bytes resident in the view's bit matrix — `peers · ⌈s/64⌉`
+    /// words for scoped views, `n_workers · ⌈s/64⌉` for population
+    /// views. The scaling benchmark's bytes-per-view measurement.
+    pub fn mask_bytes(&self) -> usize {
+        self.store.get().mask_bytes()
     }
 }
 
 impl AnchoredOverlap for BitsetAnchored<'_> {
     fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
-        self.matrix.triple_common(a, b)
+        self.store
+            .get()
+            .triple_common(self.peers.row_of(a), self.peers.row_of(b))
     }
 
     fn common_among(&self, others: &[WorkerId]) -> usize {
-        self.matrix.common_among(others)
+        common_among_mapped(self.store.get(), &self.peers, others)
     }
 }
 
@@ -734,6 +1134,94 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn peer_scoped_views_match_population_views() {
+        let data = sample(9, 70, 2, 2026);
+        let index = OverlapIndex::from_matrix(&data);
+        for anchor in 0..9u32 {
+            let full = index.anchored(WorkerId(anchor));
+            // An arbitrary, unsorted, duplicated peer list.
+            let peers = [
+                WorkerId((anchor + 3) % 9),
+                WorkerId((anchor + 1) % 9),
+                WorkerId((anchor + 6) % 9),
+                WorkerId((anchor + 1) % 9),
+            ];
+            let scoped = index.anchored_for(WorkerId(anchor), &peers);
+            for &a in &peers {
+                assert_eq!(scoped.pair_common(a), full.pair_common(a));
+                for &b in &peers {
+                    assert_eq!(
+                        scoped.triple_common(a, b),
+                        full.triple_common(a, b),
+                        "anchor {anchor}, pair ({a:?},{b:?})"
+                    );
+                }
+            }
+            assert_eq!(
+                scoped.common_among(&peers[..3]),
+                full.common_among(&peers[..3])
+            );
+            assert_eq!(
+                scoped.common_among(&[]),
+                data.worker_task_count(WorkerId(anchor))
+            );
+            // Memory tracks the (deduplicated) peer count, not m:
+            // 3 peer rows versus the population view's 9.
+            assert_eq!(scoped.mask_bytes() * 3, full.mask_bytes());
+        }
+    }
+
+    #[test]
+    fn scratch_builds_match_owned_builds_across_anchors() {
+        let data = sample(8, 90, 3, 515);
+        let index = OverlapIndex::from_matrix(&data);
+        let mut scratch = AnchoredScratch::default();
+        // Re-using one scratch across anchors of very different degree
+        // must never leak stale bits from a previous, larger build.
+        for anchor in [0u32, 5, 1, 7, 2] {
+            let peers: Vec<WorkerId> = (0..8)
+                .filter(|&w| w != anchor && w % 2 == anchor % 2)
+                .map(WorkerId)
+                .collect();
+            let owned = index.anchored_for(WorkerId(anchor), &peers);
+            let reused = index.anchored_for_in(WorkerId(anchor), &peers, &mut scratch);
+            for &a in &peers {
+                assert_eq!(reused.pair_common(a), owned.pair_common(a));
+                for &b in &peers {
+                    assert_eq!(
+                        reused.triple_common(a, b),
+                        owned.triple_common(a, b),
+                        "anchor {anchor}, pair ({a:?},{b:?})"
+                    );
+                }
+            }
+            assert_eq!(reused.common_among(&peers), owned.common_among(&peers));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peer scope")]
+    fn peer_scoped_view_rejects_out_of_scope_queries() {
+        let data = sample(5, 30, 2, 8);
+        let index = OverlapIndex::from_matrix(&data);
+        let view = index.anchored_for(WorkerId(0), &[WorkerId(1), WorkerId(2)]);
+        let _ = view.triple_common(WorkerId(1), WorkerId(4));
+    }
+
+    #[test]
+    fn peer_mask_covers_is_a_subset_test() {
+        let all = PeerMask::population(6);
+        let some = PeerMask::scoped(&[WorkerId(1), WorkerId(4)]);
+        let more = PeerMask::scoped(&[WorkerId(1), WorkerId(3), WorkerId(4)]);
+        let none = PeerMask::scoped(&[]);
+        assert!(all.covers(&some) && all.covers(&all) && all.covers(&none));
+        assert!(more.covers(&some) && more.covers(&none));
+        assert!(!some.covers(&more) && !some.covers(&all));
+        assert!(some.covers(&some));
+        assert!(!PeerMask::population(4).covers(&PeerMask::scoped(&[WorkerId(5)])));
     }
 
     #[test]

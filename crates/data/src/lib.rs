@@ -30,7 +30,9 @@ pub mod streaming;
 pub use counts::{AttemptPattern, CountsTensor};
 pub use gold::GoldStandard;
 pub use ids::{TaskId, WorkerId};
-pub use index::{AnchoredOverlap, BitsetAnchored, CachedOverlap, OverlapIndex, OverlapSource};
+pub use index::{
+    AnchoredOverlap, AnchoredScratch, BitsetAnchored, CachedOverlap, OverlapIndex, OverlapSource,
+};
 pub use label::Label;
 pub use majority::{MajorityOutcome, disagreement_rates, majority_vote};
 pub use matrix::{Response, ResponseMatrix, ResponseMatrixBuilder};

@@ -1,51 +1,78 @@
 //! The streaming overlap substrate: a long-lived [`OverlapIndex`] plus
-//! **incrementally maintained** per-worker anchored bitset views.
+//! **incrementally maintained**, **peer-scoped** per-worker anchored
+//! bitset views.
 //!
 //! The batch pipeline builds one [`OverlapIndex`] per `evaluate_all`
 //! and constructs each worker's [`crate::BitsetAnchored`] view on
-//! demand — `O(Σ_{t ∈ tasks(anchor)} r_t)` per view, once per
-//! evaluation. A streaming monitor that re-evaluates after every
-//! ingest would pay that build over and over even though one response
-//! flips at most a handful of bits. [`StreamingIndex`] therefore keeps
-//! **all `m` anchored views alive** and updates them response by
-//! response:
+//! demand, once per evaluation. A streaming monitor that re-evaluates
+//! after every ingest would pay that build over and over even though
+//! one response flips at most a handful of bits. [`StreamingIndex`]
+//! therefore keeps an [`AnchoredView`] per worker and updates the
+//! **anchored** ones response by response:
 //!
 //! * a response `(w, t)` adds one bit (`w` attempted `t`) to the view
-//!   of every anchor that already attempted `t` — `O(r_t)` bitset
-//!   writes located through each view's task→slot map;
+//!   of every anchor that already attempted `t` *and tracks `w` in its
+//!   peer scope* — `O(r_t)` peer-map probes located through each
+//!   view's task→slot map;
 //! * the view of `w` itself gains a new slot for `t`, set for every
-//!   current responder of `t` — another `O(r_t)`.
+//!   current responder of `t` inside its scope — another `O(r_t)`.
 //!
-//! Slots are assigned in **ingest order**, not task order; every query
-//! the estimators make ([`AnchoredOverlap::triple_common`],
+//! # Peer scoping and lazy re-anchoring
+//!
+//! Views are **lazy**: they hold no mask rows at all until the first
+//! [`OverlapSource::anchored_for`] (or population-wide
+//! [`OverlapSource::anchored`]) call for their worker, and from then
+//! on only a row per *declared peer* — the ≤ 2l workers the caller's
+//! pairing selected — never a row per population member. When a later
+//! call declares peers outside the current scope (the pairing
+//! changed), the view **re-anchors**: one fresh peer-scoped build from
+//! the index (`O(l_anchor + Σ_{p ∈ peers} l_p)` plus an `O(n)`
+//! slot-map sweep), after which incremental maintenance resumes.
+//! Calls whose peers are already covered are served as-is — unless
+//! the held scope is > 4× the requested one, where the view
+//! re-anchors *down* and releases the larger allocation (a view that
+//! once served a population-wide query must not pin `O(m)` rows
+//! forever). A stable pairing therefore never rebuilds
+//! ([`StreamingIndex::reanchor_count`] makes the rebuild traffic
+//! observable).
+//!
+//! Slots are assigned in task order at re-anchor time and in **ingest
+//! order** thereafter; every query the estimators make
+//! ([`AnchoredOverlap::triple_common`],
 //! [`AnchoredOverlap::common_among`], [`AnchoredView::pair_common`])
 //! is a popcount and popcounts are permutation-invariant, so the
 //! maintained views answer *exactly* what a fresh batch build would —
 //! the property the streaming-equivalence test suite pins down to the
 //! bit.
 //!
-//! Memory: `m` views of `m × ⌈l_anchor/64⌉` mask words plus a dense
-//! `n`-entry task→slot map each, i.e. `O(m²·n̄/64 + m·n)` — the price
-//! of O(r_t)-per-ingest maintenance with O(1) slot lookups on the
-//! ingest hot path. At fleet scale shard workers first (see ROADMAP
-//! "Sharded assessment"); within a shard the quadratic factor is
-//! small.
+//! Memory: `m` views of at most `2l × ⌈l_anchor/64⌉` mask words plus a
+//! dense `n`-entry task→slot map each, i.e. `O(m·l·n̄/64 + m·n)` —
+//! down from the population-scoped `O(m²·n̄/64 + m·n)` of the original
+//! design, which is what fleet-scale worker counts need. At even
+//! larger scale shard workers first (see ROADMAP "Sharded
+//! assessment").
 
-use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource};
+use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource, PeerMask};
 use crate::{Label, OverlapIndex, PairStats, Response, ResponseMatrix, TripleStats, WorkerId};
+use std::cell::{Cell, Ref, RefCell};
 
 /// One worker's maintained anchored triple-overlap view; the streaming
 /// counterpart of [`crate::BitsetAnchored`].
 ///
-/// The anchor's attempted tasks occupy bit slots `0..anchor_tasks` (in
-/// ingest order); `masks[w]` records which of those tasks worker `w`
-/// attempted. All queries are word-parallel popcounts.
+/// The anchor's attempted tasks occupy bit slots `0..anchor_tasks`;
+/// row `r` of the mask matrix records which of those tasks the
+/// `r`-th *scoped peer* attempted. Views start un-anchored (no rows,
+/// no slots) and acquire a scope on first use; see the
+/// [module docs](self). All queries are word-parallel popcounts.
 #[derive(Debug, Clone)]
 pub struct AnchoredView {
     /// The anchored bit matrix and its popcount kernels — the *same*
     /// [`MaskMatrix`] implementation the batch [`crate::BitsetAnchored`]
     /// view queries, so the two views cannot drift apart.
     matrix: MaskMatrix,
+    /// The peer scope: which workers have mask rows. `None` until the
+    /// first anchored query for this worker.
+    scope: Option<PeerMask>,
     /// Dense direct map `task → slot + 1` (0 = anchor never attempted
     /// the task). `O(1)` lookups with one cache line touched — the
     /// ingest hot path does one lookup per responder of the arriving
@@ -55,9 +82,10 @@ pub struct AnchoredView {
 }
 
 impl AnchoredView {
-    fn new(n_workers: usize, n_tasks: usize) -> Self {
+    fn new(n_tasks: usize) -> Self {
         Self {
-            matrix: MaskMatrix::new(n_workers, 1),
+            matrix: MaskMatrix::new(0, 1),
+            scope: None,
             slot_map: vec![0u32; n_tasks],
         }
     }
@@ -71,17 +99,40 @@ impl AnchoredView {
         }
     }
 
-    /// Marks `worker` as having attempted the anchor task in `slot`.
-    #[inline]
-    fn set_bit(&mut self, worker: u32, slot: u32) {
-        self.matrix.set_bit(worker, slot);
+    /// Whether the view is anchored with a scope covering `peers`.
+    fn covers(&self, peers: &PeerMask) -> bool {
+        self.scope.as_ref().is_some_and(|s| s.covers(peers))
     }
 
-    /// Assigns the next slot to `task` and fills it for `responders`
-    /// (the task's current responder list, anchor included). Amortized
-    /// `O(r_t)`: the bit matrix re-lays out only when the slot count
-    /// crosses the doubled word capacity.
-    fn push_anchor_task(&mut self, task: u32, responders: &[(u32, Label)]) {
+    /// Whether the held scope is wastefully larger (> 4×) than the
+    /// requested one; see [`StreamingIndex`]'s `ensure_scope`.
+    fn oversized_for(&self, peers: &PeerMask) -> bool {
+        self.scope
+            .as_ref()
+            .is_some_and(|s| s.rows() > 4 * peers.rows().max(1))
+    }
+
+    /// Ingest maintenance: `worker` responded to the already-slotted
+    /// anchor task `task`; set its bit if it is in scope. No-op for
+    /// un-anchored views (they rebuild from the index on first use).
+    fn note_peer_response(&mut self, worker: u32, task: u32) {
+        let Some(scope) = &self.scope else { return };
+        if let Some(row) = scope.row(worker) {
+            let slot = self
+                .slot(task)
+                .expect("responders of a task are anchors of that task");
+            self.matrix.set_bit(row, slot);
+        }
+    }
+
+    /// Ingest maintenance: the anchor itself responded to `task`;
+    /// assign the next slot and fill it for the in-scope members of
+    /// `responders` (the task's current responder list, anchor
+    /// included). Amortized `O(r_t)`: the bit matrix re-lays out only
+    /// when the slot count crosses the doubled word capacity. No-op
+    /// for un-anchored views.
+    fn note_anchor_task(&mut self, task: u32, responders: &[(u32, Label)]) {
+        let Some(scope) = &self.scope else { return };
         debug_assert_eq!(
             self.slot_map[task as usize], 0,
             "anchor tasks are ingested once"
@@ -89,23 +140,75 @@ impl AnchoredView {
         let slot = self.matrix.push_slot();
         self.slot_map[task as usize] = slot + 1;
         for &(w, _) in responders {
-            self.set_bit(w, slot);
+            if let Some(row) = scope.row(w) {
+                self.matrix.set_bit(row, slot);
+            }
         }
+    }
+
+    /// Re-anchors the view for `scope`: an `O(n)` slot-map sweep
+    /// (slots in task order) followed by the *same*
+    /// [`crate::index::fill_anchored_with`] kernel the batch views
+    /// use, looking slots up through the freshly built map — one
+    /// implementation of the bit layout, so the maintained and batch
+    /// views cannot drift apart. The matrix is pre-sized to the
+    /// anchor's exact current degree (no doubling re-layout) and its
+    /// reuse slack is released afterwards: the view is long-lived
+    /// state, and a downsizing re-anchor (population → peer scope)
+    /// must actually return the memory it claims to.
+    fn reanchor(&mut self, index: &OverlapIndex, anchor: WorkerId, scope: PeerMask) {
+        self.slot_map.fill(0);
+        for (slot, &(task, _)) in index.worker_responses(anchor).iter().enumerate() {
+            self.slot_map[task as usize] = slot as u32 + 1;
+        }
+        let (matrix, slot_map) = (&mut self.matrix, &self.slot_map);
+        crate::index::fill_anchored_with(index, anchor, &scope, matrix, |task| {
+            match slot_map[task as usize] {
+                0 => None,
+                s => Some(s - 1),
+            }
+        });
+        self.matrix.shrink();
+        self.scope = Some(scope);
     }
 
     /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
     pub fn pair_common(&self, a: WorkerId) -> usize {
-        self.matrix.pair_common(a)
+        self.matrix.pair_common(self.row_of(a))
+    }
+
+    /// Bytes resident in the view's bit matrix (zero until the view is
+    /// first anchored; `peers · ⌈l_anchor/64⌉` words thereafter).
+    pub fn mask_bytes(&self) -> usize {
+        if self.scope.is_some() {
+            self.matrix.mask_bytes()
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn row_of(&self, w: WorkerId) -> usize {
+        self.scope
+            .as_ref()
+            .expect("view queried before it was anchored")
+            .row_of(w)
     }
 }
 
 impl AnchoredOverlap for AnchoredView {
     fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
-        self.matrix.triple_common(a, b)
+        self.matrix.triple_common(self.row_of(a), self.row_of(b))
     }
 
     fn common_among(&self, others: &[WorkerId]) -> usize {
-        self.matrix.common_among(others)
+        crate::index::common_among_mapped(
+            &self.matrix,
+            self.scope
+                .as_ref()
+                .expect("view queried before it was anchored"),
+            others,
+        )
     }
 }
 
@@ -119,8 +222,18 @@ impl<T: AnchoredOverlap> AnchoredOverlap for &T {
     }
 }
 
-/// A long-lived [`OverlapIndex`] plus maintained [`AnchoredView`]s for
-/// every worker — the substrate of streaming evaluation (see the
+impl AnchoredOverlap for Ref<'_, AnchoredView> {
+    fn triple_common(&self, a: WorkerId, b: WorkerId) -> usize {
+        (**self).triple_common(a, b)
+    }
+
+    fn common_among(&self, others: &[WorkerId]) -> usize {
+        (**self).common_among(others)
+    }
+}
+
+/// A long-lived [`OverlapIndex`] plus lazily anchored, maintained
+/// [`AnchoredView`]s — the substrate of streaming evaluation (see the
 /// [module docs](self)).
 ///
 /// # Example
@@ -140,13 +253,18 @@ impl<T: AnchoredOverlap> AnchoredOverlap for &T {
 ///     })?;
 /// }
 /// assert_eq!(stream.pair(WorkerId(0), WorkerId(1)).common_tasks, 4);
-/// assert_eq!(stream.anchored(WorkerId(0)).triple_common(WorkerId(1), WorkerId(1)), 4);
+/// // A peer-scoped view: only worker 1 gets a mask row.
+/// let view = stream.anchored_for(WorkerId(0), &[WorkerId(1)]);
+/// assert_eq!(view.triple_common(WorkerId(1), WorkerId(1)), 4);
 /// # Ok::<(), crowd_data::DataError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingIndex {
     index: OverlapIndex,
-    views: Vec<AnchoredView>,
+    views: Vec<RefCell<AnchoredView>>,
+    /// Lazy re-anchors performed so far (diagnostic: a stable pairing
+    /// should stop incurring these).
+    reanchors: Cell<usize>,
 }
 
 impl StreamingIndex {
@@ -158,33 +276,30 @@ impl StreamingIndex {
         Self {
             index: OverlapIndex::new(n_workers, n_tasks, arity),
             views: (0..n_workers)
-                .map(|_| AnchoredView::new(n_workers, n_tasks))
+                .map(|_| RefCell::new(AnchoredView::new(n_tasks)))
                 .collect(),
+            reanchors: Cell::new(0),
         }
     }
 
-    /// Seeds the substrate from an existing matrix (one batch index
-    /// build plus one replay of each task's responder lists into the
-    /// views), after which further responses stream in.
+    /// Seeds the substrate from an existing matrix — one batch index
+    /// build and nothing else: views stay un-anchored (zero mask
+    /// memory) until the first evaluation asks for them.
     pub fn from_matrix(data: &ResponseMatrix) -> Self {
-        let index = OverlapIndex::from_matrix(data);
-        let m = data.n_workers();
-        let mut views: Vec<AnchoredView> = (0..m)
-            .map(|_| AnchoredView::new(m, data.n_tasks()))
-            .collect();
-        for task in data.tasks() {
-            let responders = data.task_responses(task);
-            for &(anchor, _) in responders {
-                views[anchor as usize].push_anchor_task(task.0, responders);
-            }
+        Self {
+            index: OverlapIndex::from_matrix(data),
+            views: (0..data.n_workers())
+                .map(|_| RefCell::new(AnchoredView::new(data.n_tasks())))
+                .collect(),
+            reanchors: Cell::new(0),
         }
-        Self { index, views }
     }
 
     /// Ingests one response, updating the index (rows + pair table) and
-    /// every affected anchored view. `O(log r + r)` row insertion plus
-    /// `O(r_t)` pair-table and bitset maintenance; the validation and
-    /// error taxonomy are [`OverlapIndex::record_response`]'s.
+    /// every affected *anchored* view. `O(log r + r)` row insertion
+    /// plus `O(r_t)` pair-table and bitset maintenance; un-anchored
+    /// views cost nothing. The validation and error taxonomy are
+    /// [`OverlapIndex::record_response`]'s.
     pub fn record_response(&mut self, response: Response) -> crate::Result<()> {
         self.index.record_response(response)?;
         let responders = self.index.task_responses(response.task);
@@ -193,17 +308,35 @@ impl StreamingIndex {
             if anchor == response.worker.0 {
                 continue;
             }
-            let view = &mut self.views[anchor as usize];
-            let slot = view
-                .slot(response.task.0)
-                .expect("responders of a task are anchors of that task");
-            view.set_bit(response.worker.0, slot);
+            self.views[anchor as usize]
+                .borrow_mut()
+                .note_peer_response(response.worker.0, response.task.0);
         }
         // The responding worker's own view gains the task as a slot.
-        let (index, views) = (&self.index, &mut self.views);
-        views[response.worker.index()]
-            .push_anchor_task(response.task.0, index.task_responses(response.task));
+        self.views[response.worker.index()]
+            .borrow_mut()
+            .note_anchor_task(response.task.0, responders);
         Ok(())
+    }
+
+    /// Serves the view of `anchor`, re-anchoring it first when its
+    /// current scope does not cover `scope` — or when it covers it
+    /// with more than 4× the rows the caller asked for: a long-lived
+    /// view that once served a population-wide query must not pin
+    /// `O(m)` mask rows forever after the caller has moved to a
+    /// pairing-degree scope. The 4× slack tolerates ordinary pairing
+    /// drift without rebuild thrash.
+    fn ensure_scope(&self, anchor: WorkerId, scope: PeerMask) -> Ref<'_, AnchoredView> {
+        let cell = &self.views[anchor.index()];
+        {
+            let view = cell.borrow();
+            if view.covers(&scope) && !view.oversized_for(&scope) {
+                return view;
+            }
+        }
+        self.reanchors.set(self.reanchors.get() + 1);
+        cell.borrow_mut().reanchor(&self.index, anchor, scope);
+        cell.borrow()
     }
 
     /// The maintained index.
@@ -212,10 +345,13 @@ impl StreamingIndex {
         &self.index
     }
 
-    /// The maintained anchored view of one worker.
+    /// The maintained anchored view of one worker, population-scoped
+    /// (every worker may be queried; re-anchors if the view currently
+    /// tracks fewer peers). Prefer [`OverlapSource::anchored_for`] on
+    /// evaluation paths — it keeps the view at pairing-degree size.
     #[inline]
-    pub fn view(&self, worker: WorkerId) -> &AnchoredView {
-        &self.views[worker.index()]
+    pub fn view(&self, worker: WorkerId) -> Ref<'_, AnchoredView> {
+        self.ensure_scope(worker, PeerMask::population(self.index.n_workers()))
     }
 
     /// Total responses ingested.
@@ -229,10 +365,23 @@ impl StreamingIndex {
     pub fn n_tasks(&self) -> usize {
         self.index.n_tasks()
     }
+
+    /// Bytes resident across all maintained mask matrices — the
+    /// quantity the peer-scoped design bounds by `O(m·l·n̄/64)`
+    /// instead of `O(m²·n̄/64)`.
+    pub fn view_mask_bytes(&self) -> usize {
+        self.views.iter().map(|v| v.borrow().mask_bytes()).sum()
+    }
+
+    /// How many lazy re-anchors have run (diagnostic; see the
+    /// [module docs](self)).
+    pub fn reanchor_count(&self) -> usize {
+        self.reanchors.get()
+    }
 }
 
 impl OverlapSource for StreamingIndex {
-    type Anchored<'a> = &'a AnchoredView;
+    type Anchored<'a> = Ref<'a, AnchoredView>;
 
     fn n_workers(&self) -> usize {
         self.index.n_workers()
@@ -250,8 +399,12 @@ impl OverlapSource for StreamingIndex {
         self.index.triple(a, b, c)
     }
 
-    fn anchored(&self, anchor: WorkerId) -> &AnchoredView {
-        &self.views[anchor.index()]
+    fn anchored(&self, anchor: WorkerId) -> Ref<'_, AnchoredView> {
+        self.ensure_scope(anchor, PeerMask::population(self.index.n_workers()))
+    }
+
+    fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> Ref<'_, AnchoredView> {
+        self.ensure_scope(anchor, PeerMask::scoped_for(peers, self.index.n_workers()))
     }
 }
 
@@ -337,11 +490,137 @@ mod tests {
         }
     }
 
+    /// A peer-scoped view is maintained across later ingests with no
+    /// re-anchor, and keeps matching fresh batch builds bit for bit.
+    #[test]
+    fn scoped_views_are_maintained_without_reanchoring() {
+        let data = sample(6, 40, 2, 99);
+        let mut responses: Vec<_> = data.iter().collect();
+        responses.reverse();
+        let cut = responses.len() / 2;
+
+        let mut stream = StreamingIndex::new(6, 40, 2);
+        for r in &responses[..cut] {
+            stream.record_response(*r).unwrap();
+        }
+        let anchor = WorkerId(0);
+        let peers = [WorkerId(2), WorkerId(4), WorkerId(5)];
+        {
+            let view = stream.anchored_for(anchor, &peers);
+            let fresh = stream.index().anchored(anchor);
+            assert_eq!(
+                view.triple_common(peers[0], peers[1]),
+                fresh.triple_common(peers[0], peers[1])
+            );
+        }
+        assert_eq!(stream.reanchor_count(), 1);
+
+        // Stream the rest: the scoped view must stay exact with zero
+        // further rebuilds.
+        for r in &responses[cut..] {
+            stream.record_response(*r).unwrap();
+        }
+        let view = stream.anchored_for(anchor, &peers);
+        let fresh = stream.index().anchored(anchor);
+        for &a in &peers {
+            assert_eq!(view.pair_common(a), fresh.pair_common(a), "peer {a:?}");
+            for &b in &peers {
+                assert_eq!(
+                    view.triple_common(a, b),
+                    fresh.triple_common(a, b),
+                    "pair ({a:?},{b:?})"
+                );
+            }
+        }
+        assert_eq!(view.common_among(&peers), fresh.common_among(&peers));
+        drop(view);
+        assert_eq!(
+            stream.reanchor_count(),
+            1,
+            "covered scopes must not rebuild"
+        );
+
+        // A peer outside the scope forces exactly one re-anchor.
+        let wider = [WorkerId(1), WorkerId(2)];
+        let view = stream.anchored_for(anchor, &wider);
+        let fresh = stream.index().anchored(anchor);
+        assert_eq!(
+            view.triple_common(WorkerId(1), WorkerId(2)),
+            fresh.triple_common(WorkerId(1), WorkerId(2))
+        );
+        drop(view);
+        assert_eq!(stream.reanchor_count(), 2);
+    }
+
+    /// Views hold no mask memory until something asks for them, and
+    /// peer-scoped memory tracks the declared peer count, not m.
+    #[test]
+    fn view_memory_is_lazy_and_peer_scoped() {
+        let data = sample(8, 64, 2, 7);
+        let stream = StreamingIndex::from_matrix(&data);
+        assert_eq!(stream.view_mask_bytes(), 0, "un-anchored views are free");
+
+        let peers = [WorkerId(1), WorkerId(2)];
+        let scoped_bytes = {
+            let view = stream.anchored_for(WorkerId(0), &peers);
+            view.mask_bytes()
+        };
+        assert_eq!(stream.view_mask_bytes(), scoped_bytes);
+        let full_bytes = stream.index().anchored(WorkerId(0)).mask_bytes();
+        assert_eq!(
+            full_bytes,
+            scoped_bytes / peers.len() * data.n_workers(),
+            "peer-scoped rows must cost a fraction peers/m of the full view"
+        );
+    }
+
+    /// A downsizing re-anchor (population scope → small peer scope)
+    /// actually releases the mask allocation — `mask_bytes` reports
+    /// capacity, so slack cannot hide behind the length.
+    #[test]
+    fn downsizing_reanchor_releases_mask_memory() {
+        let data = sample(16, 64, 2, 33);
+        let stream = StreamingIndex::from_matrix(&data);
+        let population_bytes = {
+            let view = stream.view(WorkerId(0));
+            view.mask_bytes()
+        };
+        assert!(population_bytes > 0);
+        let peers = [WorkerId(3), WorkerId(9)];
+        let scoped_bytes = {
+            let view = stream.anchored_for(WorkerId(0), &peers);
+            view.mask_bytes()
+        };
+        assert_eq!(stream.view_mask_bytes(), scoped_bytes);
+        assert!(
+            scoped_bytes * 4 <= population_bytes,
+            "downsizing from 16 rows to 2 must release the allocation: \
+             {scoped_bytes}B resident after re-anchor vs {population_bytes}B before"
+        );
+    }
+
+    /// Querying outside the declared peer scope is a loud contract
+    /// violation, not a silent zero.
+    #[test]
+    #[should_panic(expected = "peer scope")]
+    fn out_of_scope_queries_panic() {
+        let data = sample(5, 30, 2, 11);
+        let stream = StreamingIndex::from_matrix(&data);
+        let view = stream.anchored_for(WorkerId(0), &[WorkerId(1), WorkerId(2)]);
+        let _ = view.triple_common(WorkerId(1), WorkerId(3));
+    }
+
     /// Slot growth crosses word boundaries without losing bits.
     #[test]
     fn views_survive_word_boundary_growth() {
         // One anchor with > 128 tasks forces two mask re-layouts.
         let mut stream = StreamingIndex::new(2, 200, 2);
+        // Anchor the views first so ingest maintenance (push_slot) is
+        // what grows them across the 64- and 128-slot boundaries.
+        {
+            let _ = stream.anchored_for(WorkerId(0), &[WorkerId(1)]);
+            let _ = stream.anchored_for(WorkerId(1), &[WorkerId(0)]);
+        }
         for t in 0..150u32 {
             stream
                 .record_response(Response {
@@ -364,6 +643,12 @@ mod tests {
         assert_eq!(view.common_among(&[]), 150);
         assert_eq!(view.pair_common(WorkerId(1)), 50);
         assert_eq!(stream.view(WorkerId(1)).pair_common(WorkerId(0)), 50);
+        drop(view);
+        assert_eq!(
+            stream.reanchor_count(),
+            4,
+            "the two view() calls re-anchor to population scope once each"
+        );
     }
 
     /// Rejected responses leave the views untouched.

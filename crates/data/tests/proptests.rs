@@ -3,9 +3,10 @@
 //! with brute-force recomputation on arbitrary sparse matrices.
 
 use crowd_data::{
-    AnchoredOverlap, AttemptPattern, CountsTensor, Label, OverlapIndex, OverlapSource, PairCache,
-    Response, ResponseMatrix, ResponseMatrixBuilder, StreamingIndex, TaskId, WorkerId,
-    majority_vote, pair_stats, triple_joint_labels, triple_joint_labels_optional, triple_overlap,
+    AnchoredOverlap, AnchoredScratch, AttemptPattern, CountsTensor, Label, OverlapIndex,
+    OverlapSource, PairCache, Response, ResponseMatrix, ResponseMatrixBuilder, StreamingIndex,
+    TaskId, WorkerId, majority_vote, pair_stats, triple_joint_labels, triple_joint_labels_optional,
+    triple_overlap,
 };
 use proptest::prelude::*;
 
@@ -364,6 +365,145 @@ proptest! {
                 fresh.common_among(&peers)
             );
         }
+    }
+
+    /// Peer-scoped anchored views are **bit-identical** to the
+    /// full-population [`OverlapIndex`] view on every in-scope query —
+    /// `pair_common`, `triple_common` and `common_among` — for random
+    /// instances and arbitrary peer subsets, with the scratch-reusing
+    /// build agreeing too. Binary here; the k-ary (arity 3) twin below
+    /// exercises the same guarantee on multi-label data.
+    #[test]
+    fn peer_scoped_batch_views_match_population_views(
+        data in sparse_matrix(7, 25, 2),
+        mask in 0u64..u64::MAX,
+    ) {
+        let index = OverlapIndex::from_matrix(&data);
+        let m = data.n_workers() as u32;
+        let mut scratch = AnchoredScratch::default();
+        for anchor in 0..m {
+            // An arbitrary subset of the other workers, from the mask.
+            let peers: Vec<WorkerId> = (0..m)
+                .filter(|&w| w != anchor && (mask >> (w % 64)) & 1 == 1)
+                .map(WorkerId)
+                .collect();
+            let full = index.anchored(WorkerId(anchor));
+            let scoped = index.anchored_for(WorkerId(anchor), &peers);
+            let reused = index.anchored_for_in(WorkerId(anchor), &peers, &mut scratch);
+            for &a in &peers {
+                prop_assert_eq!(scoped.pair_common(a), full.pair_common(a));
+                prop_assert_eq!(reused.pair_common(a), full.pair_common(a));
+                for &b in &peers {
+                    prop_assert_eq!(
+                        scoped.triple_common(a, b),
+                        full.triple_common(a, b),
+                        "anchor {} pair ({:?},{:?})", anchor, a, b
+                    );
+                    prop_assert_eq!(
+                        reused.triple_common(a, b),
+                        full.triple_common(a, b),
+                        "scratch anchor {} pair ({:?},{:?})", anchor, a, b
+                    );
+                }
+            }
+            prop_assert_eq!(scoped.common_among(&peers), full.common_among(&peers));
+            prop_assert_eq!(reused.common_among(&peers), full.common_among(&peers));
+            prop_assert_eq!(
+                scoped.common_among(&[]),
+                data.worker_task_count(WorkerId(anchor))
+            );
+        }
+    }
+
+    /// The k-ary twin of the test above: label arity must be invisible
+    /// to the attempt-set masks.
+    #[test]
+    fn peer_scoped_batch_views_match_population_views_kary(
+        data in sparse_matrix(6, 20, 3),
+        mask in 0u64..u64::MAX,
+    ) {
+        let index = OverlapIndex::from_matrix(&data);
+        let m = data.n_workers() as u32;
+        for anchor in 0..m {
+            let peers: Vec<WorkerId> = (0..m)
+                .filter(|&w| w != anchor && (mask >> (w % 64)) & 1 == 1)
+                .map(WorkerId)
+                .collect();
+            let full = index.anchored(WorkerId(anchor));
+            let scoped = index.anchored_for(WorkerId(anchor), &peers);
+            for &a in &peers {
+                for &b in &peers {
+                    prop_assert_eq!(scoped.triple_common(a, b), full.triple_common(a, b));
+                }
+            }
+            prop_assert_eq!(scoped.common_among(&peers), full.common_among(&peers));
+        }
+    }
+
+    /// Streaming: a peer-scoped maintained view anchored mid-stream
+    /// and then maintained through the rest of an arbitrary ingest
+    /// order answers every in-scope query exactly like a fresh batch
+    /// build of the final data — with no further re-anchoring (the
+    /// rebuild counter pins the "maintained, not rebuilt" claim).
+    #[test]
+    fn peer_scoped_streaming_views_stay_exact_across_ingest(
+        data in sparse_matrix(6, 20, 3),
+        seed in 0u64..u64::MAX,
+        mask in 0u64..u64::MAX,
+    ) {
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let cut = responses.len() / 2;
+        let mut stream = StreamingIndex::new(data.n_workers(), data.n_tasks(), data.arity());
+        for r in &responses[..cut] {
+            stream.record_response(*r).unwrap();
+        }
+        let m = data.n_workers() as u32;
+        let scopes: Vec<Vec<WorkerId>> = (0..m)
+            .map(|anchor| {
+                (0..m)
+                    .filter(|&w| w != anchor && (mask >> (w % 64)) & 1 == 1)
+                    .map(WorkerId)
+                    .collect()
+            })
+            .collect();
+        // Anchor every view mid-stream with its arbitrary peer scope.
+        for anchor in 0..m {
+            let _ = stream.anchored_for(WorkerId(anchor), &scopes[anchor as usize]);
+        }
+        let anchors_done = stream.reanchor_count();
+        for r in &responses[cut..] {
+            stream.record_response(*r).unwrap();
+        }
+        let batch = OverlapIndex::from_matrix(&data);
+        for anchor in 0..m {
+            let peers = &scopes[anchor as usize];
+            let view = stream.anchored_for(WorkerId(anchor), peers);
+            let fresh = batch.anchored(WorkerId(anchor));
+            for &a in peers {
+                prop_assert_eq!(
+                    view.pair_common(a),
+                    fresh.pair_common(a),
+                    "anchor {} peer {:?}", anchor, a
+                );
+                for &b in peers {
+                    prop_assert_eq!(
+                        view.triple_common(a, b),
+                        fresh.triple_common(a, b),
+                        "anchor {} pair ({:?},{:?})", anchor, a, b
+                    );
+                }
+            }
+            prop_assert_eq!(view.common_among(peers), fresh.common_among(peers));
+            prop_assert_eq!(
+                view.common_among(&[]),
+                data.worker_task_count(WorkerId(anchor))
+            );
+        }
+        prop_assert_eq!(
+            stream.reanchor_count(), anchors_done,
+            "covered scopes must be maintained, never rebuilt"
+        );
     }
 
     /// Majority vote: the winner's tally is maximal, and unanimous

@@ -11,7 +11,7 @@
 use crowd_assess::core::{
     EstimateError, IncrementalEvaluator, KaryIncrementalEvaluator, KaryMWorkerEstimator,
 };
-use crowd_assess::data::{Response, ResponseMatrix, StreamingIndex};
+use crowd_assess::data::{OverlapSource, Response, ResponseMatrix, StreamingIndex};
 use crowd_assess::prelude::*;
 use crowd_assess::sim::{BinaryScenario, KaryScenario, rng};
 
@@ -165,6 +165,56 @@ fn kary_streaming_is_bit_identical_to_batch_at_prefixes() {
             assert_eq!(b.1, s.1, "{context}");
         }
     }
+}
+
+/// Fleet configuration (capped triples → peer-scoped views): streamed
+/// evaluation still equals batch at every checkpointed prefix, and the
+/// maintained view memory tracks the pairing degree, not the worker
+/// count.
+#[test]
+fn capped_streaming_is_bit_identical_and_peer_scoped() {
+    let config = EstimatorConfig::fleet(2);
+    let batch_est = MWorkerEstimator::new(config.clone());
+    let m = 12usize;
+    let inst = BinaryScenario::paper_default(m, 100, 0.8).generate(&mut rng(17));
+    let data = inst.responses();
+    let mut responses: Vec<Response> = data.iter().collect();
+    shuffle(&mut responses, 0xcab1e);
+
+    let mut monitor = IncrementalEvaluator::new(m, 100, 2, config.clone());
+    let mut accumulated = ResponseMatrix::empty(m, 100, 2);
+    let checkpoints = [responses.len() / 2, responses.len()];
+    for (i, r) in responses.iter().enumerate() {
+        monitor.ingest(*r).unwrap();
+        accumulated.insert(*r).unwrap();
+        if !checkpoints.contains(&(i + 1)) {
+            continue;
+        }
+        let batch = batch_est.evaluate_all(&accumulated, 0.9).unwrap();
+        let streaming = monitor.evaluate_all(0.9).unwrap();
+        assert_reports_bit_identical(&batch, &streaming, &format!("capped prefix {}", i + 1));
+        for a in &streaming.assessments {
+            assert!(a.triples_used <= 2);
+        }
+    }
+
+    // With the cap at 2 triples, every maintained view tracks ≤ 4
+    // peers: resident mask memory must sit well below a population
+    // scope's m rows per view.
+    let scoped = monitor.view_mask_bytes();
+    let full_view = crowd_assess::data::OverlapIndex::from_matrix(&accumulated)
+        .anchored(WorkerId(0))
+        .mask_bytes();
+    assert!(
+        scoped > 0,
+        "anchored views must be resident after evaluation"
+    );
+    assert!(
+        scoped < full_view * m / 2,
+        "peer-scoped streaming memory {scoped}B should undercut \
+         population-wide views ({}B for m views)",
+        full_view * m
+    );
 }
 
 /// The streaming substrate rejects malformed ingests with the data
