@@ -44,6 +44,30 @@ impl WorkerReport {
         self.assessments.iter().find(|a| a.worker == worker)
     }
 
+    /// Recombines partial reports — each covering a disjoint subset of
+    /// the fleet — into one fleet report in canonical (worker-id)
+    /// order: the merge hook of the sharded pipeline
+    /// (`crowd_shard::merge_reports`).
+    ///
+    /// Each part's rows are kept verbatim (no recomputation, no
+    /// rounding), only reordered, so when the parts were produced by
+    /// the same estimator configuration over substrates that agree on
+    /// every statistic, the merged report is **bit-identical** to a
+    /// single-process `evaluate_all` — assessments in worker order,
+    /// failures in worker order. The sort is stable, so duplicate
+    /// coverage (a contract violation) degrades to deterministic
+    /// output rather than nondeterminism.
+    pub fn merge(parts: impl IntoIterator<Item = WorkerReport>) -> WorkerReport {
+        let mut merged = WorkerReport::default();
+        for part in parts {
+            merged.assessments.extend(part.assessments);
+            merged.failures.extend(part.failures);
+        }
+        merged.assessments.sort_by_key(|a| a.worker);
+        merged.failures.sort_by_key(|f| f.0);
+        merged
+    }
+
     /// Mean interval size over successful assessments (the y-axis of
     /// Figures 1, 2b, 2c).
     pub fn mean_interval_size(&self) -> f64 {

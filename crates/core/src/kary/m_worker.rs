@@ -67,10 +67,28 @@ use crate::kary::estimator::{TripleDetail, triple_detail};
 use crate::pairing::form_pairs_limited;
 use crate::{CoverageStats, EstimateError, EstimatorConfig, Result};
 use crowd_data::{
-    AnchoredOverlap, CountsTensor, OverlapIndex, OverlapSource, ResponseMatrix, WorkerId,
+    AnchoredOverlap, AnchoredScratch, CountsTensor, OverlapIndex, OverlapSource, ResponseMatrix,
+    WorkerId,
 };
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, delta_variance, min_variance_weights};
+
+/// Reusable per-thread scratch for the k-ary indexed evaluate-all hot
+/// path — the k-ary counterpart of [`crate::EvalScratch`]: the peer-id
+/// buffer, the anchored view's mask words and the per-triple counts
+/// tensor all survive from one evaluated worker to the next, so a
+/// thread's whole chunk re-fills the same allocations instead of
+/// building a fresh `(k+1)³` tensor per triple and fresh mask words
+/// per worker. Scratch state never influences outputs — results stay
+/// bit-identical to the scratch-free path.
+#[derive(Debug, Default)]
+pub struct KaryEvalScratch {
+    peers: Vec<WorkerId>,
+    anchored: AnchoredScratch,
+    /// Lazily sized on first use (the scratch does not know the arity
+    /// until it meets its first index).
+    tensor: Option<CountsTensor>,
+}
 
 /// The m-worker k-ary estimator (extension; composes Algorithms A2 and
 /// A3).
@@ -179,6 +197,22 @@ impl KaryWorkerReport {
         }
         stats
     }
+
+    /// Recombines disjoint partial reports into one fleet report in
+    /// canonical worker order — the k-ary twin of
+    /// [`crate::WorkerReport::merge`]: rows are kept verbatim and only
+    /// reordered (stable sort), so merged shard output is bit-identical
+    /// to a single-process `evaluate_all`.
+    pub fn merge(parts: impl IntoIterator<Item = KaryWorkerReport>) -> KaryWorkerReport {
+        let mut merged = KaryWorkerReport::default();
+        for part in parts {
+            merged.assessments.extend(part.assessments);
+            merged.failures.extend(part.failures);
+        }
+        merged.assessments.sort_by_key(|a| a.worker);
+        merged.failures.sort_by_key(|f| f.0);
+        merged
+    }
 }
 
 /// One evaluated triple: the A3 detail plus the plug-in model
@@ -231,6 +265,40 @@ impl KaryMWorkerEstimator {
         })
     }
 
+    /// [`KaryMWorkerEstimator::evaluate_worker_indexed`] with
+    /// caller-held [`KaryEvalScratch`]: counts tensors are re-filled
+    /// in place and the anchored view is built into the scratch's
+    /// reusable mask words, so an evaluate-all loop allocates nothing
+    /// per worker once the buffers reach their high-water marks.
+    /// Outputs are bit-identical to the scratch-free path.
+    pub fn evaluate_worker_indexed_scratch(
+        &self,
+        index: &OverlapIndex,
+        worker: WorkerId,
+        confidence: f64,
+        scratch: &mut KaryEvalScratch,
+    ) -> Result<KaryWorkerAssessment> {
+        let KaryEvalScratch {
+            peers,
+            anchored,
+            tensor,
+        } = scratch;
+        self.evaluate_worker_via(
+            index,
+            worker,
+            confidence,
+            peers,
+            tensor,
+            |buf, a, b| {
+                // First use sizes the tensor; fill_from_index re-shapes
+                // on arity change, so cross-index scratch reuse is safe.
+                buf.get_or_insert_with(|| CountsTensor::zeros(index.arity() as usize))
+                    .fill_from_index(index, worker, a, b);
+            },
+            |ps| index.anchored_for_in(worker, ps, anchored),
+        )
+    }
+
     /// The substrate-generic worker evaluation behind the matrix,
     /// indexed and streaming entry points: overlap statistics come
     /// from `src`, counts tensors from the `tensor` closure.
@@ -240,6 +308,36 @@ impl KaryMWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
         tensor: impl Fn(WorkerId, WorkerId) -> CountsTensor,
+    ) -> Result<KaryWorkerAssessment> {
+        self.evaluate_worker_via(
+            src,
+            worker,
+            confidence,
+            &mut Vec::new(),
+            &mut None,
+            |buf, a, b| *buf = Some(tensor(a, b)),
+            |peers| src.anchored_for(worker, peers),
+        )
+    }
+
+    /// The evaluation body behind every entry point: pairing, the
+    /// per-triple A3 pipelines (each counts tensor produced by `fill`
+    /// into the reusable `tensor_buf`), and — when more than one
+    /// triple survives — the peer-scoped anchored view built by `view`
+    /// from the selected peer set for the `n₅` cross-triple counts.
+    // The scratch buffers arrive as separate parameters (not one
+    // struct) because `fill` and `view` must borrow disjoint fields of
+    // the caller's scratch at the same time.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_worker_via<S: OverlapSource, A: AnchoredOverlap>(
+        &self,
+        src: &S,
+        worker: WorkerId,
+        confidence: f64,
+        peers_buf: &mut Vec<WorkerId>,
+        tensor_buf: &mut Option<CountsTensor>,
+        mut fill: impl FnMut(&mut Option<CountsTensor>, WorkerId, WorkerId),
+        view: impl FnOnce(&[WorkerId]) -> A,
     ) -> Result<KaryWorkerAssessment> {
         if src.n_workers() < 3 {
             return Err(EstimateError::NotEnoughWorkers {
@@ -258,8 +356,11 @@ impl KaryMWorkerEstimator {
 
         let mut ctxs: Vec<TripleCtx> = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
-            let counts = tensor(a, b);
-            match triple_detail(&counts, &self.config) {
+            fill(tensor_buf, a, b);
+            let counts = tensor_buf
+                .as_ref()
+                .expect("fill populated the tensor buffer");
+            match triple_detail(counts, &self.config) {
                 Ok(detail) => {
                     let p_hat = [
                         detail.base.response_probabilities(0),
@@ -311,8 +412,9 @@ impl KaryMWorkerEstimator {
         let mut n5 = vec![0usize; l * l];
         if l >= 2 {
             // The view's peer mask sorts and deduplicates for itself.
-            let peers: Vec<WorkerId> = ctxs.iter().flat_map(|c| [c.peers.0, c.peers.1]).collect();
-            let anchored = src.anchored_for(worker, &peers);
+            peers_buf.clear();
+            peers_buf.extend(ctxs.iter().flat_map(|c| [c.peers.0, c.peers.1]));
+            let anchored = view(peers_buf);
             for t1 in 0..l {
                 for t2 in (t1 + 1)..l {
                     let others = [
@@ -435,7 +537,9 @@ impl KaryMWorkerEstimator {
     }
 
     /// [`KaryMWorkerEstimator::evaluate_all`] against a caller-built
-    /// index.
+    /// index. One [`KaryEvalScratch`] (peer buffer + mask words +
+    /// counts tensor) is reused across the whole worker loop,
+    /// mirroring the binary path.
     pub fn evaluate_all_indexed(
         &self,
         index: &OverlapIndex,
@@ -447,9 +551,10 @@ impl KaryMWorkerEstimator {
                 need: 3,
             });
         }
+        let mut scratch = KaryEvalScratch::default();
         let mut report = KaryWorkerReport::default();
         for worker in index.workers() {
-            match self.evaluate_worker_indexed(index, worker, confidence) {
+            match self.evaluate_worker_indexed_scratch(index, worker, confidence, &mut scratch) {
                 Ok(a) => report.assessments.push(a),
                 Err(e) => report.failures.push((worker, e)),
             }
@@ -472,18 +577,78 @@ impl KaryMWorkerEstimator {
             return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
         }
         let index = OverlapIndex::from_matrix(data);
+        self.evaluate_all_indexed_parallel(&index, confidence, threads)
+    }
+
+    /// Parallel [`KaryMWorkerEstimator::evaluate_all_indexed`]: each
+    /// thread holds one [`KaryEvalScratch`] reused across its whole
+    /// contiguous chunk, and scratch state never influences outputs,
+    /// so the report stays bit-identical to the serial path for every
+    /// thread count.
+    pub fn evaluate_all_indexed_parallel(
+        &self,
+        index: &OverlapIndex,
+        confidence: f64,
+        threads: usize,
+    ) -> Result<KaryWorkerReport> {
+        let m = index.n_workers();
+        if m < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
+        }
         let threads = threads.max(1).min(m);
         if threads == 1 {
-            return self.evaluate_all_indexed(&index, confidence);
+            return self.evaluate_all_indexed(index, confidence);
         }
-        let outcomes = crate::parallel::parallel_worker_map(m, threads, |worker| {
-            self.evaluate_worker_indexed(&index, worker, confidence)
-        });
+        let outcomes = crate::parallel::parallel_index_map_with(
+            m,
+            threads,
+            KaryEvalScratch::default,
+            |scratch, i| {
+                self.evaluate_worker_indexed_scratch(index, WorkerId(i as u32), confidence, scratch)
+            },
+        );
         let mut report = KaryWorkerReport::default();
         for (i, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(a) => report.assessments.push(a),
                 Err(e) => report.failures.push((WorkerId(i as u32), e)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Evaluates only the given workers — the k-ary shard entry point,
+    /// mirroring
+    /// [`crate::MWorkerEstimator::evaluate_workers_indexed_parallel`]:
+    /// per-thread [`KaryEvalScratch`] reuse, outcomes in `workers`
+    /// order, each row bit-identical to the corresponding row of a
+    /// full-fleet run.
+    pub fn evaluate_workers_indexed_parallel(
+        &self,
+        index: &OverlapIndex,
+        workers: &[WorkerId],
+        confidence: f64,
+        threads: usize,
+    ) -> Result<KaryWorkerReport> {
+        if index.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: index.n_workers(),
+                need: 3,
+            });
+        }
+        let outcomes = crate::parallel::parallel_index_map_with(
+            workers.len(),
+            threads.max(1),
+            KaryEvalScratch::default,
+            |scratch, i| {
+                self.evaluate_worker_indexed_scratch(index, workers[i], confidence, scratch)
+            },
+        );
+        let mut report = KaryWorkerReport::default();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((workers[i], e)),
             }
         }
         Ok(report)
@@ -790,6 +955,114 @@ mod tests {
             "failures: {:?}",
             report.failures
         );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_tensors_per_worker() {
+        // Drive the scratch entry point directly over every worker:
+        // reused counts tensors and mask words must never leak state
+        // between evaluations (the k-ary twin of the binary
+        // scratch_reuse test).
+        let inst = KaryScenario::paper_default(3, 250, 0.8)
+            .with_workers(7)
+            .generate(&mut rng(113));
+        let index = OverlapIndex::from_matrix(inst.responses());
+        let est = estimator();
+        let mut scratch = KaryEvalScratch::default();
+        for worker in index.workers() {
+            let fresh = est.evaluate_worker_indexed(&index, worker, 0.9);
+            let reused = est.evaluate_worker_indexed_scratch(&index, worker, 0.9, &mut scratch);
+            match (fresh, reused) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.triples_used, b.triples_used, "worker {worker:?}");
+                    for (x, y) in a.intervals.iter().zip(&b.intervals) {
+                        assert_eq!(x.center.to_bits(), y.center.to_bits(), "worker {worker:?}");
+                        assert_eq!(x.half_width.to_bits(), y.half_width.to_bits());
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("outcome mismatch for {worker:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_arity_changes() {
+        // One scratch driven across indices of different arity must
+        // re-shape its tensor, not panic or corrupt counts.
+        let est = estimator();
+        let mut scratch = KaryEvalScratch::default();
+        for (arity, seed) in [(2u16, 137u64), (3, 139), (2, 149)] {
+            let inst = KaryScenario::paper_default(arity, 200, 1.0)
+                .with_workers(5)
+                .generate(&mut rng(seed));
+            let index = OverlapIndex::from_matrix(inst.responses());
+            let fresh = est.evaluate_worker_indexed(&index, WorkerId(0), 0.9);
+            let reused =
+                est.evaluate_worker_indexed_scratch(&index, WorkerId(0), 0.9, &mut scratch);
+            match (fresh, reused) {
+                (Ok(a), Ok(b)) => {
+                    for (x, y) in a.intervals.iter().zip(&b.intervals) {
+                        assert_eq!(x.center.to_bits(), y.center.to_bits(), "arity {arity}");
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("outcome mismatch at arity {arity}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        let inst = KaryScenario::paper_default(2, 200, 0.9)
+            .with_workers(9)
+            .generate(&mut rng(127));
+        let est = estimator();
+        let serial = est.evaluate_all(inst.responses(), 0.9).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let parallel = est
+                .evaluate_all_parallel(inst.responses(), 0.9, threads)
+                .unwrap();
+            assert_eq!(serial.assessments.len(), parallel.assessments.len());
+            for (s, p) in serial.assessments.iter().zip(&parallel.assessments) {
+                assert_eq!(s.worker, p.worker);
+                assert_eq!(s.triples_used, p.triples_used);
+                for (x, y) in s.intervals.iter().zip(&p.intervals) {
+                    assert_eq!(x.center.to_bits(), y.center.to_bits(), "threads {threads}");
+                    assert_eq!(x.half_width.to_bits(), y.half_width.to_bits());
+                }
+            }
+            assert_eq!(serial.failures.len(), parallel.failures.len());
+        }
+    }
+
+    #[test]
+    fn subset_evaluation_matches_full_fleet_rows() {
+        let inst = KaryScenario::paper_default(2, 150, 0.9)
+            .with_workers(6)
+            .generate(&mut rng(131));
+        let index = OverlapIndex::from_matrix(inst.responses());
+        let est = estimator();
+        let full = est.evaluate_all_indexed(&index, 0.9).unwrap();
+        let subset = [WorkerId(4), WorkerId(1)];
+        let partial = est
+            .evaluate_workers_indexed_parallel(&index, &subset, 0.9, 2)
+            .unwrap();
+        for w in subset {
+            let (a, b) = (
+                full.assessments.iter().find(|a| a.worker == w),
+                partial.assessments.iter().find(|a| a.worker == w),
+            );
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    for (x, y) in a.intervals.iter().zip(&b.intervals) {
+                        assert_eq!(x.center.to_bits(), y.center.to_bits(), "worker {w:?}");
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("subset coverage mismatch for {w:?}"),
+            }
+        }
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use error::{EstimateError, Result};
 pub use evaluation::{CoverageStats, WorkerAssessment, WorkerReport};
 pub use incremental::{IncrementalEvaluator, KaryIncrementalEvaluator};
 pub use kary::{
-    KaryAssessment, KaryEstimator, KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport,
-    ProbEstimate,
+    KaryAssessment, KaryEstimator, KaryEvalScratch, KaryMWorkerEstimator, KaryWorkerAssessment,
+    KaryWorkerReport, ProbEstimate,
 };
 pub use m_worker::{EvalScratch, MWorkerEstimator};
 pub use parallel::{parallel_index_map, parallel_index_map_with};

@@ -371,6 +371,45 @@ impl MWorkerEstimator {
         Ok(report)
     }
 
+    /// Evaluates only the given workers — the shard entry point:
+    /// a shard process calls this for its anchor range against its
+    /// scoped index. Chunking, per-thread [`EvalScratch`] reuse and
+    /// outcome collection match
+    /// [`MWorkerEstimator::evaluate_all_indexed_parallel`] exactly, so
+    /// each returned row is bit-identical to the corresponding row of
+    /// a full-fleet run (assessments and failures in `workers` order —
+    /// pass an ascending range for canonical order).
+    pub fn evaluate_workers_indexed_parallel(
+        &self,
+        index: &OverlapIndex,
+        workers: &[WorkerId],
+        confidence: f64,
+        threads: usize,
+    ) -> Result<WorkerReport> {
+        if index.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: index.n_workers(),
+                need: 3,
+            });
+        }
+        let outcomes = crate::parallel::parallel_index_map_with(
+            workers.len(),
+            threads.max(1),
+            EvalScratch::default,
+            |scratch, i| {
+                self.evaluate_worker_indexed_scratch(index, workers[i], confidence, scratch)
+            },
+        );
+        let mut report = WorkerReport::default();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((workers[i], e)),
+            }
+        }
+        Ok(report)
+    }
+
     /// Lemma 4: the l×l covariance matrix of the per-triple estimates
     /// `p_{k,i}`.
     ///

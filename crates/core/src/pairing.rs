@@ -96,12 +96,32 @@ pub fn form_pairs_limited<S: OverlapSource>(
     }
     let overlap = |a: WorkerId, b: WorkerId| -> usize { src.pair(a, b).common_tasks };
     // Candidates: everyone sharing enough tasks with the target.
-    let mut candidates: Vec<(WorkerId, usize)> = (0..src.n_workers() as u32)
-        .map(WorkerId)
-        .filter(|&w| w != target)
-        .map(|w| (w, overlap(target, w)))
-        .filter(|&(_, c)| c >= min_overlap)
-        .collect();
+    // Substrates that track co-occurrence (the sparse pair table) hand
+    // over the peer list directly — `O(d_target)` instead of an `O(m)`
+    // population sweep, with the same candidates in the same (id)
+    // order since absent pairs have zero overlap.
+    fn screen<S: OverlapSource>(
+        src: &S,
+        target: WorkerId,
+        min_overlap: usize,
+        ids: impl Iterator<Item = WorkerId>,
+    ) -> Vec<(WorkerId, usize)> {
+        ids.filter(|&w| w != target)
+            .map(|w| (w, src.pair(target, w).common_tasks))
+            .filter(|&(_, c)| c >= min_overlap)
+            .collect()
+    }
+    let mut co = Vec::new();
+    let mut candidates = if src.co_occurring_into(target, &mut co) {
+        screen(src, target, min_overlap, co.into_iter())
+    } else {
+        screen(
+            src,
+            target,
+            min_overlap,
+            (0..src.n_workers() as u32).map(WorkerId),
+        )
+    };
 
     match strategy {
         PairingStrategy::GreedyByOverlap => {
@@ -134,6 +154,26 @@ pub fn form_pairs_limited<S: OverlapSource>(
         }
     }
     pairs
+}
+
+/// Every peer any `form_pairs*` call could possibly involve when
+/// evaluating `target`: the workers sharing at least one task with it,
+/// ascending by id. The pairing's candidate filter, greedy partner
+/// scan and covariance assembly never look beyond this set (pairs
+/// with zero overlap are rejected on entry), so a substrate holding
+/// full rows for `target` ∪ `reachable_peers(target)` reproduces the
+/// full-fleet pairing **bit for bit** — the closed peer set the
+/// sharding planner (`crowd_shard::ShardPlan`) builds per shard.
+pub fn reachable_peers<S: OverlapSource>(src: &S, target: WorkerId) -> Vec<WorkerId> {
+    let mut co = Vec::new();
+    if src.co_occurring_into(target, &mut co) {
+        co.retain(|&w| w != target);
+        return co;
+    }
+    (0..src.n_workers() as u32)
+        .map(WorkerId)
+        .filter(|&w| w != target && src.pair(target, w).common_tasks > 0)
+        .collect()
 }
 
 /// The distinct peers a pairing selected, sorted by id — the peer

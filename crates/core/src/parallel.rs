@@ -59,15 +59,6 @@ pub fn parallel_index_map_with<S, T: Send>(
         .collect()
 }
 
-/// [`parallel_index_map`] over worker ids.
-pub(crate) fn parallel_worker_map<T: Send>(
-    m: usize,
-    threads: usize,
-    f: impl Fn(WorkerId) -> T + Sync,
-) -> Vec<T> {
-    parallel_index_map(m, threads, |i| f(WorkerId(i as u32)))
-}
-
 /// [`parallel_index_map_with`] over worker ids.
 pub(crate) fn parallel_worker_map_with<S, T: Send>(
     m: usize,
@@ -87,7 +78,7 @@ mod tests {
     #[test]
     fn covers_every_worker_in_order() {
         for threads in [1usize, 2, 3, 8, 64] {
-            let out = parallel_worker_map(23, threads, |w| w.0 * 2);
+            let out = parallel_worker_map_with(23, threads, || (), |(), w| w.0 * 2);
             let expect: Vec<u32> = (0..23).map(|w| w * 2).collect();
             assert_eq!(out, expect, "threads = {threads}");
         }
@@ -95,7 +86,7 @@ mod tests {
 
     #[test]
     fn zero_workers_is_empty() {
-        assert!(parallel_worker_map(0, 4, |w| w).is_empty());
+        assert!(parallel_worker_map_with(0, 4, || (), |(), w| w).is_empty());
     }
 
     #[test]

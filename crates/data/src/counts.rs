@@ -90,10 +90,37 @@ impl CountsTensor {
         w2: WorkerId,
         w3: WorkerId,
     ) -> Self {
-        Self::from_joint(
-            index.arity() as usize,
-            index.triple_joint_labels_optional(w1, w2, w3),
-        )
+        let mut t = Self::zeros(index.arity() as usize);
+        t.fill_from_index(index, w1, w2, w3);
+        t
+    }
+
+    /// Re-fills an existing tensor from the index **in place** —
+    /// zeroes the entries, then replays the same union merge as
+    /// [`CountsTensor::from_index`], allocating nothing when the
+    /// arities match (an arity change re-shapes the tensor instead,
+    /// so a reused scratch buffer is always safe). The k-ary
+    /// evaluate-all hot path reuses one tensor per thread this way
+    /// (see `crowd_core::KaryEvalScratch`); counts are bit-identical
+    /// to a fresh build.
+    pub fn fill_from_index(
+        &mut self,
+        index: &crate::OverlapIndex,
+        w1: WorkerId,
+        w2: WorkerId,
+        w3: WorkerId,
+    ) {
+        if self.arity != index.arity() as usize {
+            *self = Self::zeros(index.arity() as usize);
+        } else {
+            self.data.fill(0.0);
+        }
+        index.triple_joint_for_each(w1, w2, w3, |(a, b, c)| {
+            let ia = a.map_or(0, |l| l.index() + 1);
+            let ib = b.map_or(0, |l| l.index() + 1);
+            let ic = c.map_or(0, |l| l.index() + 1);
+            self.add(ia, ib, ic, 1.0);
+        });
     }
 
     fn from_joint(

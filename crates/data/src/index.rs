@@ -83,7 +83,9 @@
 //! [`crate::StreamingIndex`].
 
 use crate::overlap::triple_scan;
-use crate::{Label, PairCache, PairStats, Response, ResponseMatrix, TaskId, TripleStats, WorkerId};
+use crate::{
+    Label, PairCache, PairMap, PairStats, Response, ResponseMatrix, TaskId, TripleStats, WorkerId,
+};
 
 /// A provider of pairwise and triple overlap statistics over one
 /// response data set.
@@ -133,6 +135,21 @@ pub trait OverlapSource {
     fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> Self::Anchored<'_> {
         let _ = peers;
         self.anchored(anchor)
+    }
+
+    /// If the substrate tracks co-occurrence explicitly, appends the
+    /// workers sharing at least one task with `worker` to `out`
+    /// (ascending by id, `worker` itself excluded) and returns `true`;
+    /// otherwise returns `false` and leaves `out` untouched — callers
+    /// must then scan the whole population. This is the pairing
+    /// candidate scan's fast path: a sparse pair table answers it in
+    /// `O(d_w)` instead of `O(m)` lookups, and because workers absent
+    /// from the list have zero overlap by construction, consumers that
+    /// filter on a minimum overlap see the **same candidate set in the
+    /// same order** either way.
+    fn co_occurring_into(&self, worker: WorkerId, out: &mut Vec<WorkerId>) -> bool {
+        let _ = (worker, out);
+        false
     }
 }
 
@@ -238,6 +255,79 @@ impl OverlapSource for CachedOverlap<'_> {
     }
 }
 
+/// Which pair-table representation an [`OverlapIndex`] holds.
+///
+/// The dense backend ([`PairCache`]) is the default: `m(m−1)/2` packed
+/// entries, O(1) lookups, no per-entry overhead — right for paper-scale
+/// crowds and for well-mixed data where most pairs co-occur anyway.
+/// The sparse backend ([`PairMap`]) stores only co-occurring pairs and
+/// can enumerate a worker's peers directly, so pair-state memory and
+/// the pairing candidate scan track the co-occurrence degree instead
+/// of the fleet size — the backend the sharded pipeline
+/// ([`OverlapIndex::from_matrix_scoped`]) runs on. Both return
+/// identical counts for every pair; only cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairBackend {
+    /// Packed upper-triangular `O(m²)` table ([`PairCache`]).
+    #[default]
+    Dense,
+    /// Per-worker sorted peer adjacencies, co-occurring pairs only
+    /// ([`PairMap`]).
+    Sparse,
+}
+
+/// The pair table of an [`OverlapIndex`]: dense or sparse (see
+/// [`PairBackend`]), with one maintenance and lookup API so the index
+/// code is written once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairTable {
+    /// Dense packed table.
+    Dense(PairCache),
+    /// Sparse co-occurring-pairs map.
+    Sparse(PairMap),
+}
+
+impl PairTable {
+    fn empty(m: usize, backend: PairBackend) -> Self {
+        match backend {
+            PairBackend::Dense => Self::Dense(PairCache::empty(m)),
+            PairBackend::Sparse => Self::Sparse(PairMap::empty(m)),
+        }
+    }
+
+    /// The stored statistics for a pair (zero when it never
+    /// co-occurred).
+    pub fn get(&self, a: WorkerId, b: WorkerId) -> PairStats {
+        match self {
+            Self::Dense(t) => t.get(a, b),
+            Self::Sparse(t) => t.get(a, b),
+        }
+    }
+
+    /// Bytes resident in the pair state — the quantity the sharding
+    /// benchmark compares across backends.
+    pub fn table_bytes(&self) -> usize {
+        match self {
+            Self::Dense(t) => t.table_bytes(),
+            Self::Sparse(t) => t.table_bytes(),
+        }
+    }
+
+    fn harvest_task(&mut self, responders: &[(u32, Label)]) {
+        match self {
+            Self::Dense(t) => t.harvest_task(responders),
+            Self::Sparse(t) => t.harvest_task(responders),
+        }
+    }
+
+    fn record_response(&mut self, worker: WorkerId, label: Label, others: &[(u32, Label)]) {
+        match self {
+            Self::Dense(t) => t.record_response(worker, label, others),
+            Self::Sparse(t) => t.record_response(worker, label, others),
+        }
+    }
+}
+
 /// The one-pass overlap substrate; see the [module docs](self).
 ///
 /// # Example
@@ -270,8 +360,9 @@ pub struct OverlapIndex {
     worker_rows: Vec<Vec<(u32, Label)>>,
     /// Per-task `(worker, label)` rows, worker-sorted.
     task_rows: Vec<Vec<(u32, Label)>>,
-    /// Packed upper-triangular pair agreement/co-occurrence table.
-    pairs: PairCache,
+    /// Pair agreement/co-occurrence table (dense or sparse; see
+    /// [`PairBackend`]).
+    pairs: PairTable,
 }
 
 impl OverlapIndex {
@@ -282,6 +373,15 @@ impl OverlapIndex {
     /// Panics if `arity < 2` (mirroring
     /// [`crate::ResponseMatrixBuilder::new`]).
     pub fn new(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
+        Self::new_with(n_workers, n_tasks, arity, PairBackend::Dense)
+    }
+
+    /// [`OverlapIndex::new`] with an explicit pair-table backend; see
+    /// [`PairBackend`] for the trade-off.
+    ///
+    /// # Panics
+    /// Panics if `arity < 2`.
+    pub fn new_with(n_workers: usize, n_tasks: usize, arity: u16, backend: PairBackend) -> Self {
         assert!(
             arity >= 2,
             "tasks must have at least two possible responses"
@@ -293,7 +393,7 @@ impl OverlapIndex {
             arity,
             worker_rows: vec![Vec::new(); n_workers],
             task_rows: vec![Vec::new(); n_tasks],
-            pairs: PairCache::empty(n_workers),
+            pairs: PairTable::empty(n_workers, backend),
         }
     }
 
@@ -308,6 +408,14 @@ impl OverlapIndex {
     /// cannot afford the copy can stay on [`CachedOverlap`], which
     /// borrows the matrix and only materializes the pair table.
     pub fn from_matrix(data: &ResponseMatrix) -> Self {
+        Self::from_matrix_with(data, PairBackend::Dense)
+    }
+
+    /// [`OverlapIndex::from_matrix`] with an explicit pair-table
+    /// backend (the sparse backend is the fleet-scale opt-in; see
+    /// [`PairBackend`]). Every query answers identically across
+    /// backends.
+    pub fn from_matrix_with(data: &ResponseMatrix, backend: PairBackend) -> Self {
         let m = data.n_workers();
         let n = data.n_tasks();
         let nnz = data.n_responses();
@@ -321,7 +429,7 @@ impl OverlapIndex {
             u32::MAX
         );
 
-        let mut pairs = PairCache::empty(m);
+        let mut pairs = PairTable::empty(m, backend);
         let mut task_rows = Vec::with_capacity(n);
         for task in data.tasks() {
             let responders = data.task_responses(task);
@@ -338,6 +446,60 @@ impl OverlapIndex {
             n_workers: m,
             n_tasks: n,
             n_responses: nnz,
+            arity: data.arity(),
+            worker_rows,
+            task_rows,
+            pairs,
+        }
+    }
+
+    /// Builds a **scoped** index holding only the rows of the workers
+    /// in `scope` (ids outside `0..n_workers` are ignored; order and
+    /// duplicates are irrelevant) — the shard-process substrate. The
+    /// id spaces stay *global*: `n_workers`/`n_tasks` match the full
+    /// data, out-of-scope worker rows are empty, task rows keep only
+    /// in-scope responders, and the pair table is harvested from those
+    /// filtered rows, so every statistic **among scope members** is
+    /// exactly what the full index would report while memory tracks
+    /// the scope, not the fleet. Defaults to the sparse pair backend:
+    /// a scoped dense table would still be `O(m²)`, defeating the
+    /// point.
+    pub fn from_matrix_scoped(data: &ResponseMatrix, scope: &[WorkerId]) -> Self {
+        let m = data.n_workers();
+        let n = data.n_tasks();
+        let mut member = vec![false; m];
+        for w in scope {
+            if w.index() < m {
+                member[w.index()] = true;
+            }
+        }
+
+        let mut pairs = PairTable::empty(m, PairBackend::Sparse);
+        let mut task_rows = Vec::with_capacity(n);
+        let mut n_responses = 0usize;
+        for task in data.tasks() {
+            let responders: Vec<(u32, Label)> = data
+                .task_responses(task)
+                .iter()
+                .copied()
+                .filter(|&(w, _)| member[w as usize])
+                .collect();
+            pairs.harvest_task(&responders);
+            n_responses += responders.len();
+            task_rows.push(responders);
+        }
+
+        let mut worker_rows = vec![Vec::new(); m];
+        for (w, in_scope) in member.iter().enumerate() {
+            if *in_scope {
+                worker_rows[w] = data.worker_responses(WorkerId(w as u32)).to_vec();
+            }
+        }
+
+        Self {
+            n_workers: m,
+            n_tasks: n,
+            n_responses,
             arity: data.arity(),
             worker_rows,
             task_rows,
@@ -431,10 +593,16 @@ impl OverlapIndex {
         self.arity
     }
 
-    /// The packed pair table.
+    /// The pair table (dense or sparse; see [`PairBackend`]).
     #[inline]
-    pub fn pairs(&self) -> &PairCache {
+    pub fn pairs(&self) -> &PairTable {
         &self.pairs
+    }
+
+    /// Bytes resident in the pair table; see
+    /// [`PairTable::table_bytes`].
+    pub fn pair_table_bytes(&self) -> usize {
+        self.pairs.table_bytes()
     }
 
     /// One worker's `(task, label)` row, task-sorted.
@@ -471,12 +639,28 @@ impl OverlapIndex {
         b: WorkerId,
         c: WorkerId,
     ) -> Vec<(Option<Label>, Option<Label>, Option<Label>)> {
+        let mut out = Vec::new();
+        self.triple_joint_for_each(a, b, c, |row| out.push(row));
+        out
+    }
+
+    /// Visitor form of [`OverlapIndex::triple_joint_labels_optional`]:
+    /// the same three-way union merge, but each joint row is handed to
+    /// `visit` instead of collected — the allocation-free path the
+    /// reusable k-ary counts-tensor fill runs on
+    /// ([`crate::CountsTensor::fill_from_index`]).
+    pub fn triple_joint_for_each(
+        &self,
+        a: WorkerId,
+        b: WorkerId,
+        c: WorkerId,
+        mut visit: impl FnMut((Option<Label>, Option<Label>, Option<Label>)),
+    ) {
         let (la, lb, lc) = (
             self.worker_responses(a),
             self.worker_responses(b),
             self.worker_responses(c),
         );
-        let mut out = Vec::new();
         let (mut i, mut j, mut k) = (0, 0, 0);
         loop {
             let ta = la.get(i).map(|e| e.0);
@@ -498,9 +682,8 @@ impl OverlapIndex {
                 row.2 = Some(lc[k].1);
                 k += 1;
             }
-            out.push(row);
+            visit(row);
         }
-        out
     }
 }
 
@@ -533,6 +716,18 @@ impl OverlapSource for OverlapIndex {
 
     fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> BitsetAnchored<'_> {
         BitsetAnchored::build_scoped(self, anchor, peers)
+    }
+
+    fn co_occurring_into(&self, worker: WorkerId, out: &mut Vec<WorkerId>) -> bool {
+        match &self.pairs {
+            // The dense table cannot enumerate a worker's peers without
+            // an O(m) sweep — no better than the caller's own scan.
+            PairTable::Dense(_) => false,
+            PairTable::Sparse(map) => {
+                out.extend(map.co_occurring(worker));
+                true
+            }
+        }
     }
 }
 

@@ -25,6 +25,7 @@ pub mod label;
 pub mod majority;
 pub mod matrix;
 pub mod overlap;
+pub mod pairmap;
 pub mod streaming;
 
 pub use counts::{AttemptPattern, CountsTensor};
@@ -32,6 +33,7 @@ pub use gold::GoldStandard;
 pub use ids::{TaskId, WorkerId};
 pub use index::{
     AnchoredOverlap, AnchoredScratch, BitsetAnchored, CachedOverlap, OverlapIndex, OverlapSource,
+    PairBackend, PairTable,
 };
 pub use label::Label;
 pub use majority::{MajorityOutcome, disagreement_rates, majority_vote};
@@ -40,6 +42,7 @@ pub use overlap::{
     PairCache, PairStats, TripleStats, pair_stats, triple_joint_labels,
     triple_joint_labels_optional, triple_overlap,
 };
+pub use pairmap::PairMap;
 pub use streaming::{AnchoredView, StreamingIndex};
 
 /// Errors produced by data-model operations.

@@ -223,6 +223,14 @@ impl PairCache {
         self.m
     }
 
+    /// Bytes resident in the packed pair table — `m(m−1)/2` entries
+    /// of 8 bytes, *regardless of how many pairs co-occur*. The
+    /// scaling benchmark's dense-side pair-state measurement; compare
+    /// [`crate::PairMap::table_bytes`].
+    pub fn table_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+
     fn index(&self, a: u32, b: u32) -> usize {
         debug_assert!(a != b, "pair cache has no diagonal");
         let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);

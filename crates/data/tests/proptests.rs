@@ -4,9 +4,9 @@
 
 use crowd_data::{
     AnchoredOverlap, AnchoredScratch, AttemptPattern, CountsTensor, Label, OverlapIndex,
-    OverlapSource, PairCache, Response, ResponseMatrix, ResponseMatrixBuilder, StreamingIndex,
-    TaskId, WorkerId, majority_vote, pair_stats, triple_joint_labels, triple_joint_labels_optional,
-    triple_overlap,
+    OverlapSource, PairBackend, PairCache, PairMap, Response, ResponseMatrix,
+    ResponseMatrixBuilder, StreamingIndex, TaskId, WorkerId, majority_vote, pair_stats,
+    triple_joint_labels, triple_joint_labels_optional, triple_overlap,
 };
 use proptest::prelude::*;
 
@@ -504,6 +504,102 @@ proptest! {
             stream.reanchor_count(), anchors_done,
             "covered scopes must be maintained, never rebuilt"
         );
+    }
+
+    /// The sparse [`PairMap`] is observation-equivalent to the dense
+    /// [`PairCache`] on arbitrary matrices: identical `(common,
+    /// agreements)` for every co-occurring pair, absent pairs reading
+    /// as zero, and the co-occurrence listing exactly the nonzero
+    /// pairs — the invariant that lets the sharded pipeline swap the
+    /// `O(m²)` table for co-occurring-pairs-only state.
+    #[test]
+    fn sparse_pair_map_matches_dense_cache(data in sparse_matrix(7, 25, 3)) {
+        let sparse = PairMap::from_matrix(&data);
+        let dense = PairCache::from_matrix(&data);
+        prop_assert_eq!(sparse.n_workers(), data.n_workers());
+        let m = data.n_workers() as u32;
+        let mut nonzero = 0usize;
+        for a in 0..m {
+            for b in 0..m {
+                if a == b { continue; }
+                let s = sparse.get(WorkerId(a), WorkerId(b));
+                prop_assert_eq!(s, dense.get(WorkerId(a), WorkerId(b)),
+                    "pair ({},{})", a, b);
+                if a < b && s.common_tasks > 0 { nonzero += 1; }
+            }
+            let listed: Vec<u32> =
+                sparse.co_occurring(WorkerId(a)).map(|w| w.0).collect();
+            let expect: Vec<u32> = (0..m)
+                .filter(|&b| b != a
+                    && dense.get(WorkerId(a), WorkerId(b)).common_tasks > 0)
+                .collect();
+            prop_assert_eq!(listed, expect, "worker {}", a);
+        }
+        prop_assert_eq!(sparse.n_pairs(), nonzero);
+    }
+
+    /// Replaying the stream response by response — in a random ingest
+    /// order — leaves the sparse map identical to the batch harvest,
+    /// exactly as the dense cache's differential test guarantees for
+    /// the dense path. Ingest grouping mirrors production: each
+    /// arriving response sees the task's earlier responders.
+    #[test]
+    fn sparse_pair_map_incremental_matches_batch(
+        data in sparse_matrix(6, 20, 2),
+        seed in 0u64..u64::MAX,
+    ) {
+        let batch = PairMap::from_matrix(&data);
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let mut streamed = PairMap::empty(data.n_workers());
+        let mut accumulated =
+            ResponseMatrix::empty(data.n_workers(), data.n_tasks(), data.arity());
+        for r in &responses {
+            streamed.record_response(r.worker, r.label, accumulated.task_responses(r.task));
+            accumulated.insert(*r).unwrap();
+        }
+        prop_assert_eq!(&streamed, &batch);
+    }
+
+    /// A sparse-backed [`OverlapIndex`] — batch-built or streamed in a
+    /// random order — answers every pair query identically to the
+    /// dense default, and a scoped build agrees on every pair within
+    /// its scope.
+    #[test]
+    fn sparse_backed_index_matches_dense(
+        data in sparse_matrix(6, 20, 2),
+        seed in 0u64..u64::MAX,
+        mask in 0u64..u64::MAX,
+    ) {
+        let dense = OverlapIndex::from_matrix(&data);
+        let sparse = OverlapIndex::from_matrix_with(&data, PairBackend::Sparse);
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let mut streamed = OverlapIndex::new_with(
+            data.n_workers(), data.n_tasks(), data.arity(), PairBackend::Sparse);
+        for r in &responses {
+            streamed.record_response(*r).unwrap();
+        }
+        prop_assert_eq!(&streamed, &sparse);
+        let m = data.n_workers() as u32;
+        let scope: Vec<WorkerId> = (0..m)
+            .filter(|&w| (mask >> (w % 64)) & 1 == 1)
+            .map(WorkerId)
+            .collect();
+        let scoped = OverlapIndex::from_matrix_scoped(&data, &scope);
+        for a in 0..m {
+            for b in 0..m {
+                if a == b { continue; }
+                let expect = dense.pair(WorkerId(a), WorkerId(b));
+                prop_assert_eq!(sparse.pair(WorkerId(a), WorkerId(b)), expect);
+                if scope.contains(&WorkerId(a)) && scope.contains(&WorkerId(b)) {
+                    prop_assert_eq!(
+                        scoped.pair(WorkerId(a), WorkerId(b)), expect,
+                        "scoped pair ({},{})", a, b
+                    );
+                }
+            }
+        }
     }
 
     /// Majority vote: the winner's tally is maximal, and unanimous

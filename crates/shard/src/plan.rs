@@ -1,0 +1,216 @@
+//! Deterministic shard planning: anchor partition + peer closures.
+//!
+//! A [`ShardPlan`] assigns every worker to exactly one shard as its
+//! **anchor** (the shard that evaluates it) by contiguous id ranges —
+//! the same `div_ceil` chunking as
+//! `crowd_core::parallel_index_map`, so the partition is reproducible
+//! from `(n_workers, n_shards)` alone — and computes each shard's
+//! **closure**: the anchors plus every pairing-reachable peer (any
+//! worker sharing at least one task with an anchor). The closure is
+//! exactly the worker set whose full rows a [`crate::ShardIndex`]
+//! must hold for its anchors' evaluations to reproduce the unsharded
+//! pipeline bit for bit; see the [crate docs](crate) for the
+//! argument.
+//!
+//! Closure discovery is one pass over the task adjacency
+//! (`O(Σ_t r_t²)` — the same order as building any pair table): each
+//! task's responder list marks, for every responder's home shard, all
+//! co-responders. The planner is a *central* step — it reads the full
+//! data once, cheaply; what sharding removes is the need for any
+//! single **evaluation** process to hold fleet-wide state.
+
+use crowd_data::{ResponseMatrix, WorkerId};
+use std::ops::Range;
+
+/// One shard of a [`ShardPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Contiguous anchor id range this shard evaluates. May be empty
+    /// when there are more shards than workers.
+    pub anchors: Range<u32>,
+    /// The workers whose rows the shard's index needs: the anchors
+    /// plus every worker sharing at least one task with an anchor.
+    /// Sorted ascending, deduplicated.
+    pub closure: Vec<WorkerId>,
+}
+
+impl ShardSpec {
+    /// The shard's anchors as worker ids.
+    pub fn anchor_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.anchors.clone().map(WorkerId)
+    }
+
+    /// Number of anchors.
+    pub fn n_anchors(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// True when the shard has nothing to evaluate.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+}
+
+/// A deterministic partition of the fleet into shard anchor ranges
+/// with per-shard peer closures; see the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_workers: usize,
+    chunk: usize,
+    shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Plans `n_shards` shards over the fleet (clamped to ≥ 1):
+    /// contiguous anchor ranges of `⌈m / n_shards⌉` workers, closures
+    /// from one pass over the task adjacency. The same
+    /// `(data, n_shards)` always produces the same plan.
+    pub fn build(data: &ResponseMatrix, n_shards: usize) -> Self {
+        let m = data.n_workers();
+        let n_shards = n_shards.max(1);
+        let chunk = m.div_ceil(n_shards).max(1);
+        let shard_of = |w: u32| w as usize / chunk;
+
+        // Per-shard membership bitmaps: co-responders of each shard's
+        // anchors. A worker responding to a task pulls every other
+        // responder of that task into its home shard's closure.
+        let mut member = vec![vec![false; m]; n_shards];
+        for task in data.tasks() {
+            let responders = data.task_responses(task);
+            for &(w, _) in responders {
+                let row = &mut member[shard_of(w)];
+                for &(peer, _) in responders {
+                    row[peer as usize] = true;
+                }
+            }
+        }
+
+        let shards = (0..n_shards)
+            .map(|s| {
+                let lo = (s * chunk).min(m) as u32;
+                let hi = ((s + 1) * chunk).min(m) as u32;
+                // Anchors are always in their own closure, responses
+                // or not — a silent anchor still gets evaluated (and
+                // fails gracefully) exactly like the unsharded loop.
+                for w in lo..hi {
+                    member[s][w as usize] = true;
+                }
+                let closure: Vec<WorkerId> = member[s]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &in_scope)| in_scope)
+                    .map(|(w, _)| WorkerId(w as u32))
+                    .collect();
+                ShardSpec {
+                    anchors: lo..hi,
+                    closure,
+                }
+            })
+            .collect();
+
+        Self {
+            n_workers: m,
+            chunk,
+            shards,
+        }
+    }
+
+    /// Number of workers planned over.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of shards (including empty trailing shards).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard specs, in shard order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The shard that evaluates `worker`.
+    pub fn shard_of(&self, worker: WorkerId) -> usize {
+        worker.index() / self.chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+
+    /// Two disjoint task neighbourhoods: workers 0–2 on tasks 0–9,
+    /// workers 3–5 on tasks 10–19. Worker 6 is silent.
+    fn clustered() -> ResponseMatrix {
+        let mut b = ResponseMatrixBuilder::new(7, 20, 2);
+        for w in 0..3u32 {
+            for t in 0..10u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        for w in 3..6u32 {
+            for t in 10..20u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn anchors_partition_the_fleet() {
+        let data = clustered();
+        for n_shards in [1usize, 2, 3, 7, 11] {
+            let plan = ShardPlan::build(&data, n_shards);
+            let mut seen = [false; 7];
+            for spec in plan.shards() {
+                for w in spec.anchor_ids() {
+                    assert!(!seen[w.index()], "worker {w:?} anchored twice");
+                    seen[w.index()] = true;
+                    assert_eq!(
+                        plan.shard_of(w),
+                        plan.shards().iter().position(|s| s == spec).unwrap()
+                    );
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n_shards = {n_shards}");
+        }
+    }
+
+    #[test]
+    fn closure_contains_anchors_and_their_co_responders() {
+        let data = clustered();
+        let plan = ShardPlan::build(&data, 2);
+        // chunk = 4: shard 0 anchors 0..4, shard 1 anchors 4..7.
+        assert_eq!(plan.shards()[0].anchors, 0..4);
+        assert_eq!(plan.shards()[1].anchors, 4..7);
+        // Shard 0's anchor 3 co-occurs with 4 and 5 — they must be in
+        // the closure; the silent worker 6 appears only as an anchor.
+        let closure0: Vec<u32> = plan.shards()[0].closure.iter().map(|w| w.0).collect();
+        assert_eq!(closure0, vec![0, 1, 2, 3, 4, 5]);
+        // Shard 1's anchors 4, 5 reach only worker 3 beyond themselves.
+        let closure1: Vec<u32> = plan.shards()[1].closure.iter().map(|w| w.0).collect();
+        assert_eq!(closure1, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn more_shards_than_workers_leaves_trailing_shards_empty() {
+        let data = clustered();
+        let plan = ShardPlan::build(&data, 11);
+        assert_eq!(plan.n_shards(), 11);
+        let non_empty: usize = plan.shards().iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 7);
+        let total: usize = plan.shards().iter().map(ShardSpec::n_anchors).sum();
+        assert_eq!(total, 7);
+        for spec in plan.shards().iter().filter(|s| s.is_empty()) {
+            assert!(spec.closure.is_empty(), "empty shard needs no rows");
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let data = clustered();
+        assert_eq!(ShardPlan::build(&data, 3), ShardPlan::build(&data, 3));
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`sim`] — synthetic crowd scenario generation,
 //! * [`datasets`] — simulated stand-ins for the paper's six real
 //!   datasets,
-//! * [`core`] — the three estimators (A1, A2, A3) plus baselines.
+//! * [`core`] — the three estimators (A1, A2, A3) plus baselines,
+//! * [`shard`] — sharded assessment: shard plans, scoped sparse shard
+//!   indices, bit-identical report merging.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use crowd_core as core;
 pub use crowd_data as data;
 pub use crowd_datasets as datasets;
 pub use crowd_linalg as linalg;
+pub use crowd_shard as shard;
 pub use crowd_sim as sim;
 pub use crowd_stats as stats;
 
@@ -59,6 +62,7 @@ pub mod prelude {
     pub use crowd_data::{
         GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId,
     };
+    pub use crowd_shard::{ShardPlan, ShardRunner};
     pub use crowd_sim::{BinaryScenario, KaryScenario};
     pub use crowd_stats::ConfidenceInterval;
 }
