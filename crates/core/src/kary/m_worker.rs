@@ -67,8 +67,8 @@ use crate::kary::estimator::{TripleDetail, triple_detail};
 use crate::pairing::form_pairs_limited;
 use crate::{CoverageStats, EstimateError, EstimatorConfig, Result};
 use crowd_data::{
-    AnchoredOverlap, AnchoredScratch, CountsTensor, OverlapIndex, OverlapSource, ResponseMatrix,
-    WorkerId,
+    AnchoredOverlap, AnchoredScratch, CountsTensor, OverlapIndex, OverlapSource, PeerGramScratch,
+    ResponseMatrix, TriplePairGram, WorkerId,
 };
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, delta_variance, min_variance_weights};
@@ -88,6 +88,10 @@ pub struct KaryEvalScratch {
     /// Lazily sized on first use (the scratch does not know the arity
     /// until it meets its first index).
     tensor: Option<CountsTensor>,
+    /// The cross-triple `n₅` table and the combined-mask scratch of
+    /// its blocked kernel (see [`crowd_data::gram`]).
+    n5: TriplePairGram,
+    gram_scratch: PeerGramScratch,
 }
 
 /// The m-worker k-ary estimator (extension; composes Algorithms A2 and
@@ -282,6 +286,8 @@ impl KaryMWorkerEstimator {
             peers,
             anchored,
             tensor,
+            n5,
+            gram_scratch,
         } = scratch;
         self.evaluate_worker_via(
             index,
@@ -289,6 +295,8 @@ impl KaryMWorkerEstimator {
             confidence,
             peers,
             tensor,
+            n5,
+            gram_scratch,
             |buf, a, b| {
                 // First use sizes the tensor; fill_from_index re-shapes
                 // on arity change, so cross-index scratch reuse is safe.
@@ -315,6 +323,8 @@ impl KaryMWorkerEstimator {
             confidence,
             &mut Vec::new(),
             &mut None,
+            &mut TriplePairGram::default(),
+            &mut PeerGramScratch::default(),
             |buf, a, b| *buf = Some(tensor(a, b)),
             |peers| src.anchored_for(worker, peers),
         )
@@ -324,7 +334,9 @@ impl KaryMWorkerEstimator {
     /// per-triple A3 pipelines (each counts tensor produced by `fill`
     /// into the reusable `tensor_buf`), and — when more than one
     /// triple survives — the peer-scoped anchored view built by `view`
-    /// from the selected peer set for the `n₅` cross-triple counts.
+    /// from the selected peer set, whose one-pass
+    /// [`AnchoredOverlap::pair_gram_into`] kernel batches every `n₅`
+    /// cross-triple count.
     // The scratch buffers arrive as separate parameters (not one
     // struct) because `fill` and `view` must borrow disjoint fields of
     // the caller's scratch at the same time.
@@ -336,6 +348,8 @@ impl KaryMWorkerEstimator {
         confidence: f64,
         peers_buf: &mut Vec<WorkerId>,
         tensor_buf: &mut Option<CountsTensor>,
+        n5: &mut TriplePairGram,
+        gram_scratch: &mut PeerGramScratch,
         mut fill: impl FnMut(&mut Option<CountsTensor>, WorkerId, WorkerId),
         view: impl FnOnce(&[WorkerId]) -> A,
     ) -> Result<KaryWorkerAssessment> {
@@ -403,29 +417,24 @@ impl KaryMWorkerEstimator {
         let mut fell_back = false;
 
         // `n₅` per triple pair, hoisted out of the per-entry loops (it
-        // is entry-independent) and answered by the anchored view —
-        // a 4-way bitset intersection on the indexed substrate. The
-        // view is scoped to the surviving triples' peers (≤ 2l mask
-        // rows, never n_workers). With a single triple there are no
-        // cross terms, so skip the view build entirely (the common
-        // m = 3..4 case).
-        let mut n5 = vec![0usize; l * l];
+        // is entry-independent) and batched through the blocked
+        // [`AnchoredOverlap::pair_gram_into`] kernel: each triple's
+        // two peer masks are AND-combined once and the T×T table is
+        // one blocked Gram pass instead of O(T²) 4-way intersections.
+        // The view is scoped to the surviving triples' peers (distinct
+        // count ≤ 2l mask rows, never n_workers). With a single triple
+        // there are no cross terms, so skip the view build entirely
+        // (the common m = 3..4 case).
         if l >= 2 {
-            // The view's peer mask sorts and deduplicates for itself.
+            // Sorted and deduplicated, so the view's mask is sized by
+            // the distinct-peer count, not 2·pairs.
             peers_buf.clear();
             peers_buf.extend(ctxs.iter().flat_map(|c| [c.peers.0, c.peers.1]));
+            peers_buf.sort_unstable();
+            peers_buf.dedup();
             let anchored = view(peers_buf);
-            for t1 in 0..l {
-                for t2 in (t1 + 1)..l {
-                    let others = [
-                        ctxs[t1].peers.0,
-                        ctxs[t1].peers.1,
-                        ctxs[t2].peers.0,
-                        ctxs[t2].peers.1,
-                    ];
-                    n5[t1 * l + t2] = anchored.common_among(&others);
-                }
-            }
+            let pair_list: Vec<(WorkerId, WorkerId)> = ctxs.iter().map(|c| c.peers).collect();
+            anchored.pair_gram_into(&pair_list, n5, gram_scratch);
         }
 
         // Per-entry J-term tables, shared across entries of one triple
@@ -442,7 +451,7 @@ impl KaryMWorkerEstimator {
                 let tables: Vec<Matrix> = ctxs.iter().map(|ctx| j_table(ctx, idx, k)).collect();
                 for t1 in 0..l {
                     for t2 in (t1 + 1)..l {
-                        let n5 = n5[t1 * l + t2];
+                        let n5 = n5.get(t1, t2);
                         if n5 == 0 {
                             continue;
                         }

@@ -30,20 +30,23 @@
 use crate::three_worker::{ThreeWorkerEstimator, TripleEstimate};
 use crate::{EstimateError, EstimatorConfig, Result, WorkerAssessment, WorkerReport};
 use crowd_data::{
-    AnchoredOverlap, AnchoredScratch, CachedOverlap, OverlapIndex, OverlapSource, ResponseMatrix,
-    WorkerId,
+    AnchoredOverlap, AnchoredScratch, CachedOverlap, OverlapIndex, OverlapSource, PeerGram,
+    PeerGramScratch, ResponseMatrix, WorkerId,
 };
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, min_variance_weights};
 
 /// Reusable per-thread scratch for the indexed evaluate-all hot path:
-/// the peer-id buffer and the anchored view's mask words survive from
-/// one evaluated worker to the next, so a thread's whole chunk runs
-/// allocation-free once both have reached their high-water marks.
+/// the peer-id buffer, the anchored view's mask words and the
+/// [`PeerGram`] table survive from one evaluated worker to the next,
+/// so a thread's whole chunk runs allocation-free once all have
+/// reached their high-water marks.
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     peers: Vec<WorkerId>,
     anchored: AnchoredScratch,
+    gram: PeerGram,
+    gram_scratch: PeerGramScratch,
 }
 
 /// The m-worker estimator (Algorithm A2).
@@ -130,9 +133,15 @@ impl MWorkerEstimator {
         worker: WorkerId,
         confidence: f64,
     ) -> Result<WorkerAssessment> {
-        self.evaluate_worker_via(src, worker, confidence, &mut Vec::new(), |peers| {
-            src.anchored_for(worker, peers)
-        })
+        self.evaluate_worker_via(
+            src,
+            worker,
+            confidence,
+            &mut Vec::new(),
+            &mut PeerGram::default(),
+            &mut PeerGramScratch::default(),
+            |peers| src.anchored_for(worker, peers),
+        )
     }
 
     /// [`MWorkerEstimator::evaluate_worker_on`] against an
@@ -147,8 +156,13 @@ impl MWorkerEstimator {
         confidence: f64,
         scratch: &mut EvalScratch,
     ) -> Result<WorkerAssessment> {
-        let EvalScratch { peers, anchored } = scratch;
-        self.evaluate_worker_via(index, worker, confidence, peers, |ps| {
+        let EvalScratch {
+            peers,
+            anchored,
+            gram,
+            gram_scratch,
+        } = scratch;
+        self.evaluate_worker_via(index, worker, confidence, peers, gram, gram_scratch, |ps| {
             index.anchored_for_in(worker, ps, anchored)
         })
     }
@@ -156,14 +170,18 @@ impl MWorkerEstimator {
     /// The evaluation body behind both entry points: pairing, the
     /// peer-scoped anchored view (built by `view` from the selected
     /// peer set, so it holds `O(peers)` mask rows — never
-    /// `O(n_workers)`), triple estimation, and the Lemma 4/5
+    /// `O(n_workers)`), one [`PeerGram`] pass answering every triple
+    /// count of the evaluation, triple estimation, and the Lemma 4/5
     /// combination.
+    #[allow(clippy::too_many_arguments)] // scratch fields arrive split so `view` can borrow disjointly
     fn evaluate_worker_via<S: OverlapSource, A: AnchoredOverlap>(
         &self,
         src: &S,
         worker: WorkerId,
         confidence: f64,
         peers_buf: &mut Vec<WorkerId>,
+        gram: &mut PeerGram,
+        gram_scratch: &mut PeerGramScratch,
         view: impl FnOnce(&[WorkerId]) -> A,
     ) -> Result<WorkerAssessment> {
         if src.n_workers() < 3 {
@@ -185,14 +203,21 @@ impl MWorkerEstimator {
         // One peer-scoped anchored view serves every triple of this
         // evaluation: `c_{worker,a,b}` for the triple estimates and for
         // the Lemma 4 covariance assembly below only ever pair up
-        // workers the pairing selected. The view's peer mask sorts and
-        // deduplicates for itself, so the flat pair dump is enough.
+        // workers the pairing selected. Sorted and deduplicated, so
+        // the view's mask and the gram are sized by the distinct-peer
+        // count, not 2·pairs.
         peers_buf.clear();
         peers_buf.extend(pairs.iter().flat_map(|&(a, b)| [a, b]));
+        peers_buf.sort_unstable();
+        peers_buf.dedup();
         let anchored = view(peers_buf);
+        // Every `c_{worker,a,b}` this evaluation will ever ask for —
+        // the per-triple `c_all` here and the O(T²) Lemma 4 loop below
+        // — in one blocked pass; see `crowd_data::gram`.
+        anchored.gram_into(peers_buf, gram, gram_scratch);
         let mut triples: Vec<TripleEstimate> = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
-            let c_all = anchored.triple_common(a, b);
+            let c_all = gram.get(a, b);
             match self
                 .three
                 .triple_estimate_with_c_all(src, worker, a, b, c_all)
@@ -221,7 +246,7 @@ impl MWorkerEstimator {
             });
         }
 
-        let cov = self.triple_covariance(src, &anchored, &triples);
+        let cov = self.triple_covariance(src, gram, &triples);
         let weights = min_variance_weights(&cov, self.config.weight_policy)?;
         let p_hat: f64 = weights
             .weights
@@ -427,16 +452,22 @@ impl MWorkerEstimator {
     /// `[0, 1/2]`.
     ///
     /// The `c_iab` counts — the `O(l²)` hot spot of this assembly —
-    /// come from the anchored view (`popcount(masks[a] & masks[b])` on
-    /// the indexed substrate); the agreement rates `q_ab` from the pair
-    /// table.
+    /// are O(1) reads of the evaluation's [`PeerGram`] (computed in
+    /// one blocked popcount pass up front); the agreement rates `q_ab`
+    /// come from the pair table.
     fn triple_covariance<S: OverlapSource>(
         &self,
         src: &S,
-        anchored: &impl AnchoredOverlap,
+        gram: &PeerGram,
         triples: &[TripleEstimate],
     ) -> Matrix {
         let l = triples.len();
+        // Resolve each triple's peers to gram rows once; the O(l²)
+        // loop below then reads the table directly.
+        let rows: Vec<(usize, usize)> = triples
+            .iter()
+            .map(|t| (gram.row_of(t.peers.0), gram.row_of(t.peers.1)))
+            .collect();
         let p_i = {
             let mean = triples.iter().map(|t| t.p_hat).sum::<f64>() / l as f64;
             mean.clamp(0.0, 0.5)
@@ -453,16 +484,16 @@ impl MWorkerEstimator {
                 let t2 = &triples[k2];
                 let mut sum = 0.0;
                 let peers1 = [
-                    (t1.peers.0, t1.gradient[0], t1.overlaps.c_i_j1),
-                    (t1.peers.1, t1.gradient[1], t1.overlaps.c_i_j2),
+                    (t1.peers.0, rows[k1].0, t1.gradient[0], t1.overlaps.c_i_j1),
+                    (t1.peers.1, rows[k1].1, t1.gradient[1], t1.overlaps.c_i_j2),
                 ];
                 let peers2 = [
-                    (t2.peers.0, t2.gradient[0], t2.overlaps.c_i_j1),
-                    (t2.peers.1, t2.gradient[1], t2.overlaps.c_i_j2),
+                    (t2.peers.0, rows[k2].0, t2.gradient[0], t2.overlaps.c_i_j1),
+                    (t2.peers.1, rows[k2].1, t2.gradient[1], t2.overlaps.c_i_j2),
                 ];
-                for &(a, d_a, c_ia) in &peers1 {
-                    for &(b, d_b, c_ib) in &peers2 {
-                        let c_iab = anchored.triple_common(a, b);
+                for &(a, row_a, d_a, c_ia) in &peers1 {
+                    for &(b, row_b, d_b, c_ib) in &peers2 {
+                        let c_iab = gram.at(row_a, row_b);
                         if c_iab == 0 {
                             continue;
                         }

@@ -48,6 +48,17 @@
 //! exact degree — the mask-word doubling re-layout only ever runs on
 //! the streaming ingest path.
 //!
+//! # Batched Gram kernels
+//!
+//! The covariance assemblies do not query anchored views pair by pair:
+//! they ask for the whole peers×peers table up front through
+//! [`AnchoredOverlap::gram_into`] (and the k-ary `n₅` table through
+//! [`AnchoredOverlap::pair_gram_into`]), computed in one
+//! register-blocked pass over the mask words — `O(T²·n̄/64)` repeated
+//! per-pair popcount work per anchor becomes one `O(l²·n̄/64)` blocked
+//! pass plus `O(T²)` table reads. See [`crate::gram`] for the kernel
+//! and the cost model.
+//!
 //! # Streaming appends and the amortization invariant
 //!
 //! The index is also the **streaming** substrate: one long-lived
@@ -84,7 +95,8 @@
 
 use crate::overlap::triple_scan;
 use crate::{
-    Label, PairCache, PairMap, PairStats, Response, ResponseMatrix, TaskId, TripleStats, WorkerId,
+    Label, PairCache, PairMap, PairStats, PeerGram, PeerGramScratch, Response, ResponseMatrix,
+    TaskId, TriplePairGram, TripleStats, WorkerId,
 };
 
 /// A provider of pairwise and triple overlap statistics over one
@@ -161,6 +173,69 @@ pub trait AnchoredOverlap {
     /// Tasks attempted by the anchor and *every* worker in `others`
     /// (the `n₅` count of the k-ary cross-triple covariance).
     fn common_among(&self, others: &[WorkerId]) -> usize;
+
+    /// Fills `gram` with the full peers×peers symmetric matrix of
+    /// triple-overlap counts for `peers` (order and duplicates are
+    /// irrelevant; the gram sorts and deduplicates), with the per-peer
+    /// pair overlaps `c_{anchor,a}` on the diagonal. After this call,
+    /// [`PeerGram::get`] answers every
+    /// [`AnchoredOverlap::triple_common`] query about in-set peers by
+    /// table read — the batched entry point of the Lemma 4 covariance
+    /// assembly (see [`crate::gram`]).
+    ///
+    /// The default computes each entry by a per-pair
+    /// [`AnchoredOverlap::triple_common`] query — the pre-gram
+    /// reference path; bitset views override it with the one-pass
+    /// register-blocked kernel. Counts are identical either way.
+    fn gram_into(&self, peers: &[WorkerId], gram: &mut PeerGram, scratch: &mut PeerGramScratch) {
+        let _ = scratch;
+        gram.reset(peers);
+        for i in 0..gram.dim() {
+            let a = gram.peer(i);
+            for j in i..gram.dim() {
+                let c = self.triple_common(a, gram.peer(j));
+                gram.set_symmetric(i, j, c as u32);
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`AnchoredOverlap::gram_into`].
+    fn gram(&self, peers: &[WorkerId]) -> PeerGram {
+        let mut gram = PeerGram::default();
+        self.gram_into(peers, &mut gram, &mut PeerGramScratch::default());
+        gram
+    }
+
+    /// Fills `gram` with the T×T table of k-ary cross-triple `n₅`
+    /// counts for the given peer pairs:
+    /// `gram.get(t1, t2) = common_among(&[a₁, b₁, a₂, b₂])`, the
+    /// diagonal holding each pair's own `c_{anchor,a,b}`.
+    ///
+    /// The default issues one [`AnchoredOverlap::common_among`] query
+    /// per entry — the pre-gram reference path; bitset views override
+    /// it by AND-combining each pair's mask rows once and running the
+    /// blocked Gram kernel over the combined rows. Counts are
+    /// identical either way.
+    fn pair_gram_into(
+        &self,
+        pairs: &[(WorkerId, WorkerId)],
+        gram: &mut TriplePairGram,
+        scratch: &mut PeerGramScratch,
+    ) {
+        let _ = scratch;
+        gram.reset(pairs.len());
+        for (t1, &(a1, b1)) in pairs.iter().enumerate() {
+            for (t2, &(a2, b2)) in pairs.iter().enumerate().skip(t1) {
+                let c = if t1 == t2 {
+                    self.common_among(&[a1, b1])
+                } else {
+                    self.common_among(&[a1, b1, a2, b2])
+                };
+                gram.set_symmetric(t1, t2, c as u32);
+            }
+        }
+    }
 }
 
 /// Anchored view that falls back to per-query scans of a matrix — the
@@ -860,6 +935,128 @@ impl PeerMask {
 /// assigns to `r` attempted. Every query is slot-permutation-invariant
 /// (popcounts), which is what lets the streaming view assign slots in
 /// ingest order while the batch view assigns them in task order.
+/// Row-block size of the blocked Gram kernel
+/// ([`MaskMatrix::gram_rows_into`]): pairs are visited 4×4 rows at a
+/// time so a block of rows is re-intersected while still L1-resident
+/// (8 rows × ⌈n̄/64⌉ words comfortably fit); widening the block is the
+/// first knob to turn once a wider SIMD lane makes the kernel
+/// memory-bound.
+pub(crate) const GRAM_BLOCK: usize = 4;
+
+/// The AND+popcount inner product of the Gram kernels, with the SIMD
+/// lane resolved **once per kernel invocation**: on x86-64 hosts with
+/// AVX2 the counts come from the vectorized nibble-LUT routine
+/// ([`and_popcount_avx2`]), everywhere else from the portable word
+/// loop. Both compute the same integers — the dispatch is invisible
+/// to every output bit — and detection is hoisted out of the pair
+/// loop so the hot path pays one predictable branch per pair.
+#[derive(Clone, Copy)]
+pub(crate) struct AndPopcount {
+    #[cfg(target_arch = "x86_64")]
+    avx2: bool,
+}
+
+impl AndPopcount {
+    /// Resolves the fastest available lane for this host.
+    #[inline]
+    pub(crate) fn detect() -> Self {
+        Self {
+            #[cfg(target_arch = "x86_64")]
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+        }
+    }
+
+    /// `popcount(a & b)` over two equal-length word slices. Masks
+    /// under 8 words stay on the inlined scalar loop — a
+    /// `#[target_feature]` function cannot be inlined into its
+    /// caller, and for a handful of words the call itself would cost
+    /// more than it saves.
+    #[inline]
+    pub(crate) fn count(self, a: &[u64], b: &[u64]) -> u32 {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2 && a.len() >= 8 {
+            // SAFETY: `detect` verified AVX2 support on this host.
+            return unsafe { and_popcount_avx2(a, b) };
+        }
+        a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+    }
+}
+
+/// Vectorized AND+popcount (Mula's `vpshufb` nibble-LUT algorithm):
+/// 4 mask words per step — each 32-byte block is split into nibbles,
+/// both halves are table-looked-up in one shuffle each, and
+/// `vpsadbw` folds the byte counts into four running u64 lanes. The
+/// body is written directly in intrinsics because rustc does not
+/// inline ordinary (non-`target_feature`) code into a
+/// `#[target_feature]` function, so iterator-based formulations
+/// compile to outlined calls instead of vector code.
+///
+/// # Safety
+/// The caller must ensure the host supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn and_popcount_avx2(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    // Two independent accumulator chains (8 words per iteration) keep
+    // the shuffle ports fed instead of serializing on one vpaddq.
+    let mut acc0 = zero;
+    let mut acc1 = zero;
+    let nibble_count = |v| {
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi))
+    };
+    let pairs = chunks / 2;
+    for i in 0..pairs {
+        // SAFETY: `8 * i + 7 < n` for every `i < pairs`, so all four
+        // 32-byte loads are in bounds; `loadu` has no alignment
+        // requirement.
+        let (v0, v1) = unsafe {
+            let p = a.as_ptr().add(8 * i);
+            let q = b.as_ptr().add(8 * i);
+            (
+                _mm256_and_si256(_mm256_loadu_si256(p.cast()), _mm256_loadu_si256(q.cast())),
+                _mm256_and_si256(
+                    _mm256_loadu_si256(p.add(4).cast()),
+                    _mm256_loadu_si256(q.add(4).cast()),
+                ),
+            )
+        };
+        acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(nibble_count(v0), zero));
+        acc1 = _mm256_add_epi64(acc1, _mm256_sad_epu8(nibble_count(v1), zero));
+    }
+    if chunks % 2 == 1 {
+        // SAFETY: the last full 4-word chunk starts at `4 * (chunks - 1)`.
+        let v = unsafe {
+            let p = a.as_ptr().add(4 * (chunks - 1));
+            let q = b.as_ptr().add(4 * (chunks - 1));
+            _mm256_and_si256(_mm256_loadu_si256(p.cast()), _mm256_loadu_si256(q.cast()))
+        };
+        acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(nibble_count(v), zero));
+    }
+    let mut lanes = [0u64; 4];
+    // SAFETY: `lanes` is 32 bytes of writable memory; `storeu` has no
+    // alignment requirement.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), _mm256_add_epi64(acc0, acc1)) };
+    let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    let mut i = chunks * 4;
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as u64;
+        i += 1;
+    }
+    total as u32
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct MaskMatrix {
     n_rows: usize,
@@ -948,6 +1145,14 @@ impl MaskMatrix {
         &self.masks[row * self.words..(row + 1) * self.words]
     }
 
+    /// Mutable view of one row's words — the anchored fill's hot loop
+    /// sets many bits per row, so it borrows the row once instead of
+    /// paying [`MaskMatrix::set_bit`]'s offset math per bit.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, row: usize) -> &mut [u64] {
+        &mut self.masks[row * self.words..(row + 1) * self.words]
+    }
+
     /// `c_{anchor,a}`: tasks shared by the anchor and the worker of
     /// row `a`.
     pub(crate) fn pair_common(&self, a: usize) -> usize {
@@ -961,6 +1166,110 @@ impl MaskMatrix {
             .zip(self.mask(b))
             .map(|(x, y)| (x & y).count_ones() as usize)
             .sum()
+    }
+
+    /// Words allocated per row.
+    #[inline]
+    pub(crate) fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Slots in use (= tasks the anchor attempted).
+    #[inline]
+    pub(crate) fn anchor_slots(&self) -> usize {
+        self.anchor_tasks
+    }
+
+    /// Whether `row` has the bit for `slot` set.
+    #[inline]
+    pub(crate) fn bit(&self, row: usize, slot: u32) -> bool {
+        let (word, bit) = (slot as usize / 64, slot as usize % 64);
+        self.masks[row * self.words + word] >> bit & 1 == 1
+    }
+
+    /// Fills row `row` with the AND of rows `a` and `b` of `src` —
+    /// the derived "triple mask" of the k-ary `n₅` kernel. `self` must
+    /// have been [`MaskMatrix::reset`] to `src`'s word count.
+    pub(crate) fn fill_and_of(&mut self, row: usize, src: &MaskMatrix, a: usize, b: usize) {
+        debug_assert_eq!(
+            self.words, src.words,
+            "combined rows mirror the source layout"
+        );
+        let (ra, rb) = (src.mask(a), src.mask(b));
+        for (w, dst) in self.masks[row * self.words..(row + 1) * self.words]
+            .iter_mut()
+            .enumerate()
+        {
+            *dst = ra[w] & rb[w];
+        }
+    }
+
+    /// The blocked Gram kernel behind [`crate::PeerGram`]: fills `out`
+    /// with the `d × d` symmetric AND-popcount matrix of the given
+    /// mask rows (`out[i·d + j] = popcount(rows[i] & rows[j])`,
+    /// diagonal = per-row popcounts). Row pairs are visited
+    /// [`GRAM_BLOCK`] × [`GRAM_BLOCK`] rows at a time, so one block of
+    /// mask rows stays L1-resident while it is intersected against
+    /// the opposite block — a per-pair [`MaskMatrix::triple_common`]
+    /// loop instead re-streams every row once per opposite peer. The
+    /// per-pair AND+popcount goes through [`AndPopcount`]: masks of
+    /// 1–4 words run monomorphized fully-unrolled loops (the `match`
+    /// below), wider masks an inlined scalar zip, and on x86-64 hosts
+    /// with AVX2 masks of ≥ 8 words call the runtime-dispatched
+    /// vectorized leaf [`and_popcount_avx2`] — the "SIMD lane" seam
+    /// wider ISAs (AVX-512 `VPOPCNTDQ`, `portable_simd`) drop into.
+    /// Every lane computes the same integers, so the dispatch is
+    /// invisible to every output bit. Only the upper triangle of
+    /// blocks is computed; entries are mirrored on write-back.
+    pub(crate) fn gram_rows_into(&self, rows: &[usize], out: &mut Vec<u32>) {
+        let d = rows.len();
+        out.clear();
+        out.resize(d * d, 0);
+        // Monomorphize the 1–4-word cases: a fleet-capped anchor's
+        // mask is often a word or two, and there the generic path's
+        // per-pair slice setup and loop control cost more than the
+        // popcounts themselves. `W = 0` keeps the dynamic loop (and
+        // the AVX2 lane) for wide masks.
+        match self.words {
+            1 => self.gram_rows_kernel::<1>(rows, out),
+            2 => self.gram_rows_kernel::<2>(rows, out),
+            3 => self.gram_rows_kernel::<3>(rows, out),
+            4 => self.gram_rows_kernel::<4>(rows, out),
+            _ => self.gram_rows_kernel::<0>(rows, out),
+        }
+    }
+
+    fn gram_rows_kernel<const W: usize>(&self, rows: &[usize], out: &mut [u32]) {
+        const B: usize = GRAM_BLOCK;
+        let d = rows.len();
+        let pop = AndPopcount::detect();
+        for i0 in (0..d).step_by(B) {
+            let ih = (i0 + B).min(d);
+            for j0 in (i0..d).step_by(B) {
+                let jh = (j0 + B).min(d);
+                for gi in i0..ih {
+                    let left = self.mask(rows[gi]);
+                    // Diagonal blocks compute the upper triangle only.
+                    for gj in j0.max(gi)..jh {
+                        let right = self.mask(rows[gj]);
+                        let c = if W > 0 {
+                            // One bounds check, then a fully unrolled
+                            // compile-time-length popcount.
+                            let (l, r) = (&left[..W], &right[..W]);
+                            let mut acc = 0u32;
+                            for w in 0..W {
+                                acc += (l[w] & r[w]).count_ones();
+                            }
+                            acc
+                        } else {
+                            pop.count(left, right)
+                        };
+                        out[gi * d + gj] = c;
+                        out[gj * d + gi] = c;
+                    }
+                }
+            }
+        }
     }
 
     /// Anchor tasks attempted by the worker of *every* row in `rows`.
@@ -1123,9 +1432,13 @@ pub(crate) fn fill_anchored_with(
         }
         PeerMask::Peers(_) => {
             for row in 0..peers.rows() {
+                // One bounds check and row-offset multiply per peer,
+                // not per response — this loop touches every response
+                // of every peer, the dominant term of the fill.
+                let words = matrix.row_mut(row);
                 for &(task, _) in index.worker_responses(WorkerId(peers.worker_of(row))) {
                     if let Some(slot) = slot_of(task) {
-                        matrix.set_bit(row, slot);
+                        words[slot as usize / 64] |= 1u64 << (slot as usize % 64);
                     }
                 }
             }
@@ -1231,6 +1544,19 @@ impl AnchoredOverlap for BitsetAnchored<'_> {
 
     fn common_among(&self, others: &[WorkerId]) -> usize {
         common_among_mapped(self.store.get(), &self.peers, others)
+    }
+
+    fn gram_into(&self, peers: &[WorkerId], gram: &mut PeerGram, scratch: &mut PeerGramScratch) {
+        crate::gram::gram_into_mapped(self.store.get(), &self.peers, peers, gram, scratch);
+    }
+
+    fn pair_gram_into(
+        &self,
+        pairs: &[(WorkerId, WorkerId)],
+        gram: &mut TriplePairGram,
+        scratch: &mut PeerGramScratch,
+    ) {
+        crate::gram::pair_gram_into_mapped(self.store.get(), &self.peers, pairs, gram, scratch);
     }
 }
 

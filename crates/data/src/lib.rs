@@ -19,6 +19,7 @@
 pub mod counts;
 pub mod csv;
 pub mod gold;
+pub mod gram;
 pub mod ids;
 pub mod index;
 pub mod label;
@@ -30,6 +31,7 @@ pub mod streaming;
 
 pub use counts::{AttemptPattern, CountsTensor};
 pub use gold::GoldStandard;
+pub use gram::{PeerGram, PeerGramScratch, TriplePairGram};
 pub use ids::{TaskId, WorkerId};
 pub use index::{
     AnchoredOverlap, AnchoredScratch, BitsetAnchored, CachedOverlap, OverlapIndex, OverlapSource,

@@ -45,15 +45,38 @@
 //! the property the streaming-equivalence test suite pins down to the
 //! bit.
 //!
+//! # Maintained grams
+//!
+//! Each view also carries the [`crate::PeerGram`] table of its scope
+//! (every pairwise AND-popcount among scoped rows), **materialized
+//! lazily** on the first gram query and **patched in place** on every
+//! ingest: a peer response increments one row/column pair of the
+//! table (`O(scope)`), an anchor response increments the in-scope
+//! responder submatrix (`O(r_t²)`). A covariance evaluation against a
+//! covered scope therefore recomputes no popcounts — it extracts
+//! `O(peers²)` table entries — and the table equals a fresh blocked
+//! build from the accumulated index at every prefix (pinned by the
+//! gram property tests). Patching is **metered** so ingest-heavy
+//! phases cannot pay more in maintenance than recomputation would
+//! cost: each serve grants about one recompute's worth of patch
+//! budget, and when a flood of ingests exhausts it the cache
+//! self-invalidates and the next gram query rebuilds once.
+//! Re-anchors invalidate the table the same way.
+//!
 //! Memory: `m` views of at most `2l × ⌈l_anchor/64⌉` mask words plus a
 //! dense `n`-entry task→slot map each, i.e. `O(m·l·n̄/64 + m·n)` —
 //! down from the population-scoped `O(m²·n̄/64 + m·n)` of the original
-//! design, which is what fleet-scale worker counts need. At even
-//! larger scale shard workers first (see ROADMAP "Sharded
-//! assessment").
+//! design, which is what fleet-scale worker counts need. A
+//! materialized gram adds `O(l²)` per **evaluated** view (dormant
+//! views pay nothing). At even larger scale shard workers first (see
+//! ROADMAP "Sharded assessment") — one monitor per shard closure also
+//! bounds the gram residency.
 
 use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource, PeerMask};
-use crate::{Label, OverlapIndex, PairStats, Response, ResponseMatrix, TripleStats, WorkerId};
+use crate::{
+    Label, OverlapIndex, PairStats, PeerGram, PeerGramScratch, Response, ResponseMatrix,
+    TriplePairGram, TripleStats, WorkerId,
+};
 use std::cell::{Cell, Ref, RefCell};
 
 /// One worker's maintained anchored triple-overlap view; the streaming
@@ -79,6 +102,58 @@ pub struct AnchoredView {
     /// task, so a search structure here would dominate maintenance.
     /// Slots never move once assigned.
     slot_map: Vec<u32>,
+    /// Lazily materialized scope-rows × scope-rows Gram of AND
+    /// popcounts, **patched incrementally** on every ingest that flips
+    /// a mask bit — a covariance evaluation against a stable scope
+    /// re-reads the table instead of recomputing popcounts (see
+    /// [`AnchoredOverlap::gram_into`]). Interior mutability because
+    /// materialization happens behind the shared `Ref` the evaluators
+    /// hold; invalidated (not rebuilt) on re-anchor or when the patch
+    /// budget runs dry (see [`ScopeGram`]).
+    gram: RefCell<ScopeGram>,
+    /// Reusable in-scope-responder row buffer for the anchor-task
+    /// gram patch — the ingest path stays allocation-free once it
+    /// reaches its high-water mark.
+    patch_rows: Vec<usize>,
+}
+
+/// The maintained Gram cache of one [`AnchoredView`]; dormant (zero
+/// memory) until the first gram query for the view, exact from then
+/// on until a re-anchor invalidates it.
+///
+/// Patching is metered: a peer response costs `O(scope)` table
+/// increments and an anchor task `O(r_t²)`, so a view that ingests
+/// far more than it evaluates would pay more in patches than one
+/// blocked recompute. `remaining` holds the patch budget — about one
+/// recompute's worth of work, reset every time the table is served —
+/// and when it runs dry the cache invalidates itself and the next
+/// gram query rebuilds lazily. Evaluation-heavy monitors therefore
+/// never recompute a popcount, while ingest-heavy phases pay at most
+/// ~2× one gram build per serve, never per response.
+#[derive(Debug, Clone, Default)]
+struct ScopeGram {
+    live: bool,
+    /// `scope.rows()²` counts when live.
+    counts: Vec<u32>,
+    /// Patch operations left before the cache stops paying for itself
+    /// and self-invalidates.
+    remaining: usize,
+}
+
+impl ScopeGram {
+    /// One recompute's worth of patch operations: a peer-response
+    /// patch costs ~`rows` increments and the blocked rebuild
+    /// ~`rows²·words/2` word operations, so `rows·words/2` patches
+    /// break even (floored so tiny views still absorb a burst).
+    fn budget(rows: usize, words: usize) -> usize {
+        (rows * words / 2).max(64)
+    }
+
+    fn invalidate(&mut self) {
+        self.live = false;
+        self.counts = Vec::new();
+        self.remaining = 0;
+    }
 }
 
 impl AnchoredView {
@@ -87,6 +162,8 @@ impl AnchoredView {
             matrix: MaskMatrix::new(0, 1),
             scope: None,
             slot_map: vec![0u32; n_tasks],
+            gram: RefCell::new(ScopeGram::default()),
+            patch_rows: Vec::new(),
         }
     }
 
@@ -122,6 +199,26 @@ impl AnchoredView {
                 .slot(task)
                 .expect("responders of a task are anchors of that task");
             self.matrix.set_bit(row, slot);
+            // Patch the maintained gram: row's intersections grow by
+            // one against every scoped row that also has the slot set
+            // (row itself included — its diagonal popcount grows too).
+            let gram = self.gram.get_mut();
+            if gram.live {
+                if gram.remaining == 0 {
+                    gram.invalidate();
+                    return;
+                }
+                gram.remaining -= 1;
+                let d = scope.rows();
+                for r in 0..d {
+                    if self.matrix.bit(r, slot) {
+                        gram.counts[row * d + r] += 1;
+                        if r != row {
+                            gram.counts[r * d + row] += 1;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -139,9 +236,34 @@ impl AnchoredView {
         );
         let slot = self.matrix.push_slot();
         self.slot_map[task as usize] = slot + 1;
-        for &(w, _) in responders {
-            if let Some(row) = scope.row(w) {
-                self.matrix.set_bit(row, slot);
+        let gram = self.gram.get_mut();
+        if gram.live {
+            // The fresh slot is set exactly for the in-scope
+            // responders, so every ordered pair among them (diagonal
+            // included) gains one shared task.
+            self.patch_rows.clear();
+            self.patch_rows
+                .extend(responders.iter().filter_map(|&(w, _)| scope.row(w)));
+            let rows = &self.patch_rows;
+            for &r in rows {
+                self.matrix.set_bit(r, slot);
+            }
+            if gram.remaining < rows.len() {
+                gram.invalidate();
+                return;
+            }
+            gram.remaining -= rows.len();
+            let d = scope.rows();
+            for &r1 in rows {
+                for &r2 in rows {
+                    gram.counts[r1 * d + r2] += 1;
+                }
+            }
+        } else {
+            for &(w, _) in responders {
+                if let Some(row) = scope.row(w) {
+                    self.matrix.set_bit(row, slot);
+                }
             }
         }
     }
@@ -170,6 +292,33 @@ impl AnchoredView {
         });
         self.matrix.shrink();
         self.scope = Some(scope);
+        // The cached gram is keyed to the old scope's rows; drop it
+        // (the next gram query recomputes lazily) rather than patch
+        // across a row remap.
+        self.gram.get_mut().invalidate();
+    }
+
+    /// Materializes the scope gram if needed (one blocked pass over
+    /// the maintained matrix) and returns it; exact thereafter because
+    /// every ingest patches it in place. Each serve refills the patch
+    /// budget — a table that keeps getting read keeps earning its
+    /// maintenance.
+    fn ensure_gram(&self) -> Ref<'_, ScopeGram> {
+        {
+            let mut gram = self.gram.borrow_mut();
+            let scope = self
+                .scope
+                .as_ref()
+                .expect("view queried before it was anchored");
+            if !gram.live {
+                let rows: Vec<usize> = (0..scope.rows()).collect();
+                let ScopeGram { live, counts, .. } = &mut *gram;
+                self.matrix.gram_rows_into(&rows, counts);
+                *live = true;
+            }
+            gram.remaining = ScopeGram::budget(scope.rows(), self.matrix.words());
+        }
+        self.gram.borrow()
     }
 
     /// `c_{anchor,a}`: tasks shared by the anchor and one worker.
@@ -210,6 +359,48 @@ impl AnchoredOverlap for AnchoredView {
             others,
         )
     }
+
+    fn gram_into(&self, peers: &[WorkerId], gram: &mut PeerGram, scratch: &mut PeerGramScratch) {
+        // Serve from the maintained scope gram: materialize once, then
+        // every later call against a covered scope is an O(peers²)
+        // table extraction — no popcount ever reruns while the
+        // maintained-view invariant holds (ingests patch the cache).
+        let scope = self
+            .scope
+            .as_ref()
+            .expect("view queried before it was anchored");
+        let cache = self.ensure_gram();
+        gram.reset(peers);
+        let dim = gram.dim();
+        scratch.rows.clear();
+        for row in 0..dim {
+            scratch.rows.push(scope.row_of(gram.peer(row)));
+        }
+        let d = scope.rows();
+        let counts = gram.counts_mut();
+        for (i, &ri) in scratch.rows.iter().enumerate() {
+            for (j, &rj) in scratch.rows.iter().enumerate() {
+                counts[i * dim + j] = cache.counts[ri * d + rj];
+            }
+        }
+    }
+
+    fn pair_gram_into(
+        &self,
+        pairs: &[(WorkerId, WorkerId)],
+        gram: &mut TriplePairGram,
+        scratch: &mut PeerGramScratch,
+    ) {
+        crate::gram::pair_gram_into_mapped(
+            &self.matrix,
+            self.scope
+                .as_ref()
+                .expect("view queried before it was anchored"),
+            pairs,
+            gram,
+            scratch,
+        );
+    }
 }
 
 impl<T: AnchoredOverlap> AnchoredOverlap for &T {
@@ -220,6 +411,19 @@ impl<T: AnchoredOverlap> AnchoredOverlap for &T {
     fn common_among(&self, others: &[WorkerId]) -> usize {
         (**self).common_among(others)
     }
+
+    fn gram_into(&self, peers: &[WorkerId], gram: &mut PeerGram, scratch: &mut PeerGramScratch) {
+        (**self).gram_into(peers, gram, scratch);
+    }
+
+    fn pair_gram_into(
+        &self,
+        pairs: &[(WorkerId, WorkerId)],
+        gram: &mut TriplePairGram,
+        scratch: &mut PeerGramScratch,
+    ) {
+        (**self).pair_gram_into(pairs, gram, scratch);
+    }
 }
 
 impl AnchoredOverlap for Ref<'_, AnchoredView> {
@@ -229,6 +433,19 @@ impl AnchoredOverlap for Ref<'_, AnchoredView> {
 
     fn common_among(&self, others: &[WorkerId]) -> usize {
         (**self).common_among(others)
+    }
+
+    fn gram_into(&self, peers: &[WorkerId], gram: &mut PeerGram, scratch: &mut PeerGramScratch) {
+        (**self).gram_into(peers, gram, scratch);
+    }
+
+    fn pair_gram_into(
+        &self,
+        pairs: &[(WorkerId, WorkerId)],
+        gram: &mut TriplePairGram,
+        scratch: &mut PeerGramScratch,
+    ) {
+        (**self).pair_gram_into(pairs, gram, scratch);
     }
 }
 

@@ -4,9 +4,9 @@
 
 use crowd_data::{
     AnchoredOverlap, AnchoredScratch, AttemptPattern, CountsTensor, Label, OverlapIndex,
-    OverlapSource, PairBackend, PairCache, PairMap, Response, ResponseMatrix,
-    ResponseMatrixBuilder, StreamingIndex, TaskId, WorkerId, majority_vote, pair_stats,
-    triple_joint_labels, triple_joint_labels_optional, triple_overlap,
+    OverlapSource, PairBackend, PairCache, PairMap, PeerGram, PeerGramScratch, Response,
+    ResponseMatrix, ResponseMatrixBuilder, StreamingIndex, TaskId, TriplePairGram, WorkerId,
+    majority_vote, pair_stats, triple_joint_labels, triple_joint_labels_optional, triple_overlap,
 };
 use proptest::prelude::*;
 
@@ -598,6 +598,142 @@ proptest! {
                         "scoped pair ({},{})", a, b
                     );
                 }
+            }
+        }
+    }
+
+    /// The blocked [`PeerGram`] kernel equals per-pair
+    /// `triple_common` queries entry for entry — diagonal (pair
+    /// overlaps) included — on arbitrary sparse matrices, for every
+    /// anchor, against both the naive scan substrate (which computes
+    /// its gram through the per-pair trait default) and direct
+    /// queries of the bitset view, with one scratch reused across all
+    /// anchors. Binary and k-ary data share the code path, so the
+    /// 3-ary strategy covers both.
+    #[test]
+    fn blocked_gram_matches_per_pair_queries(data in sparse_matrix(6, 40, 3)) {
+        let index = OverlapIndex::from_matrix(&data);
+        let m = data.n_workers() as u32;
+        let mut gram = PeerGram::default();
+        let mut scratch = PeerGramScratch::default();
+        for anchor in 0..m {
+            // An unsorted, duplicated peer list exercising the remap.
+            let mut peers: Vec<WorkerId> =
+                (0..m).filter(|&w| w != anchor).map(WorkerId).collect();
+            peers.reverse();
+            if let Some(&first) = peers.first() { peers.push(first); }
+            let fast = index.anchored_for(WorkerId(anchor), &peers);
+            fast.gram_into(&peers, &mut gram, &mut scratch);
+            let slow = data.anchored(WorkerId(anchor));
+            prop_assert_eq!(&gram, &slow.gram(&peers), "anchor {}", anchor);
+            for &a in &peers {
+                for &b in &peers {
+                    prop_assert_eq!(
+                        gram.get(a, b),
+                        slow.triple_common(a, b),
+                        "anchor {} pair ({:?},{:?})", anchor, a, b
+                    );
+                }
+                prop_assert_eq!(gram.pair_common(a), fast.pair_common(a));
+            }
+        }
+        // Empty and singleton peer sets are well-formed.
+        let empty = index.anchored_for(WorkerId(0), &[]).gram(&[]);
+        prop_assert_eq!(empty.dim(), 0);
+        if m >= 2 {
+            let one = [WorkerId(1)];
+            let single = index.anchored_for(WorkerId(0), &one).gram(&one);
+            prop_assert_eq!(single.dim(), 1);
+            prop_assert_eq!(
+                single.get(one[0], one[0]),
+                pair_stats(&data, WorkerId(0), one[0]).common_tasks
+            );
+        }
+    }
+
+    /// The blocked pair-combined [`TriplePairGram`] (the k-ary `n₅`
+    /// table) equals per-entry `common_among` queries, against the
+    /// per-pair trait default on the naive scan substrate.
+    #[test]
+    fn blocked_pair_gram_matches_common_among(data in sparse_matrix(7, 35, 3)) {
+        let m = data.n_workers() as u32;
+        if m < 5 { return Ok(()); }
+        let index = OverlapIndex::from_matrix(&data);
+        let anchor = WorkerId(0);
+        let peers: Vec<WorkerId> = (1..m).map(WorkerId).collect();
+        let pairs: Vec<(WorkerId, WorkerId)> = peers.chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        let mut n5 = TriplePairGram::default();
+        let mut scratch = PeerGramScratch::default();
+        index
+            .anchored_for(anchor, &peers)
+            .pair_gram_into(&pairs, &mut n5, &mut scratch);
+        let mut slow_n5 = TriplePairGram::default();
+        data.anchored(anchor)
+            .pair_gram_into(&pairs, &mut slow_n5, &mut scratch);
+        prop_assert_eq!(&n5, &slow_n5);
+        let slow = data.anchored(anchor);
+        for (t1, &(a1, b1)) in pairs.iter().enumerate() {
+            prop_assert_eq!(n5.get(t1, t1), slow.common_among(&[a1, b1]));
+            for (t2, &(a2, b2)) in pairs.iter().enumerate().skip(t1 + 1) {
+                prop_assert_eq!(
+                    n5.get(t1, t2),
+                    slow.common_among(&[a1, b1, a2, b2]),
+                    "triples {} and {}", t1, t2
+                );
+                prop_assert_eq!(n5.get(t1, t2), n5.get(t2, t1));
+            }
+        }
+    }
+
+    /// The streaming view's **maintained** gram — materialized once,
+    /// then patched bit by bit across further ingests in a random
+    /// order — equals a fresh blocked build from the accumulated
+    /// index at every prefix, without re-anchoring.
+    #[test]
+    fn streaming_gram_after_ingest_matches_fresh(
+        data in sparse_matrix(6, 30, 2),
+        seed in 0u64..u64::MAX,
+    ) {
+        let m = data.n_workers() as u32;
+        if m < 4 { return Ok(()); }
+        let mut responses: Vec<Response> = data.iter().collect();
+        shuffle(&mut responses, seed);
+        let cut = responses.len() / 2;
+
+        let mut stream = StreamingIndex::new(data.n_workers(), data.n_tasks(), 2);
+        for r in &responses[..cut] {
+            stream.record_response(*r).unwrap();
+        }
+        let anchor = WorkerId(0);
+        let peers: Vec<WorkerId> = (1..m).map(WorkerId).collect();
+        // Materialize the maintained gram on the prefix...
+        let before = stream.anchored_for(anchor, &peers).gram(&peers);
+        prop_assert_eq!(
+            &before,
+            &stream.index().anchored_for(anchor, &peers).gram(&peers)
+        );
+        let reanchors = stream.reanchor_count();
+        // ...ingest the rest (patching, never rebuilding)...
+        for r in &responses[cut..] {
+            stream.record_response(*r).unwrap();
+        }
+        // ...and the patched gram must equal a fresh blocked build
+        // from the accumulated index, with zero re-anchors.
+        let after = stream.anchored_for(anchor, &peers).gram(&peers);
+        prop_assert_eq!(
+            &after,
+            &stream.index().anchored_for(anchor, &peers).gram(&peers)
+        );
+        prop_assert_eq!(stream.reanchor_count(), reanchors, "covered scope rebuilt");
+        // Sub-scope extractions read the same maintained table.
+        let sub = [WorkerId(1), WorkerId(3)];
+        let sub_gram = stream.anchored_for(anchor, &sub).gram(&sub);
+        for &a in &sub {
+            for &b in &sub {
+                prop_assert_eq!(sub_gram.get(a, b), after.get(a, b));
             }
         }
     }

@@ -59,12 +59,16 @@ impl Lu {
                 swaps += 1;
             }
             let pivot = lu.get(k, k);
+            // Rank-1 update on row slices: the same `v = lu[r][c] −
+            // factor·lu[k][c]` in the same column order as the
+            // get/set form — bit-identical results — without an
+            // assert and an index multiply around every flop.
             for r in (k + 1)..n {
-                let factor = lu.get(r, k) / pivot;
-                lu.set(r, k, factor);
-                for c in (k + 1)..n {
-                    let v = lu.get(r, c) - factor * lu.get(k, c);
-                    lu.set(r, c, v);
+                let (row_r, row_k) = lu.row_pair_mut(r, k);
+                let factor = row_r[k] / pivot;
+                row_r[k] = factor;
+                for (dst, &src) in row_r[k + 1..n].iter_mut().zip(&row_k[k + 1..n]) {
+                    *dst -= factor * src;
                 }
             }
         }
@@ -98,20 +102,24 @@ impl Lu {
             });
         }
         // Apply the permutation, then forward- and back-substitute.
+        // Row slices, same element order as the get-indexed form —
+        // bit-identical, minus the per-element bounds assert.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
+            let row = self.lu.row(i);
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu.get(i, j) * x[j];
+            for (j, &l) in row[..i].iter().enumerate() {
+                s -= l * x[j];
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
+            let row = self.lu.row(i);
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu.get(i, j) * x[j];
+            for (u, xj) in row[i + 1..n].iter().zip(&x[i + 1..n]) {
+                s -= u * xj;
             }
-            x[i] = s / self.lu.get(i, i);
+            x[i] = s / row[i];
         }
         Ok(x)
     }

@@ -156,6 +156,33 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutable row `target` together with immutable row `other` — the
+    /// split borrow a rank-1 row update needs (`row_target -= f ·
+    /// row_other` is the LU elimination's inner kernel, and indexing
+    /// through [`Matrix::get`]/[`Matrix::set`] there costs more than
+    /// the arithmetic).
+    ///
+    /// # Panics
+    /// Panics if either row is out of bounds or `target == other`.
+    #[inline]
+    pub fn row_pair_mut(&mut self, target: usize, other: usize) -> (&mut [f64], &[f64]) {
+        assert!(
+            target < self.rows && other < self.rows && target != other,
+            "row pair ({target},{other}) out of bounds or aliased"
+        );
+        let cols = self.cols;
+        if target > other {
+            let (top, bottom) = self.data.split_at_mut(target * cols);
+            (&mut bottom[..cols], &top[other * cols..(other + 1) * cols])
+        } else {
+            let (top, bottom) = self.data.split_at_mut(other * cols);
+            (
+                &mut top[target * cols..(target + 1) * cols],
+                &bottom[..cols],
+            )
+        }
+    }
+
     /// Copies column `c` into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column {c} out of bounds");

@@ -1,10 +1,7 @@
 //! Deterministic shard planning: anchor partition + peer closures.
 //!
 //! A [`ShardPlan`] assigns every worker to exactly one shard as its
-//! **anchor** (the shard that evaluates it) by contiguous id ranges —
-//! the same `div_ceil` chunking as
-//! `crowd_core::parallel_index_map`, so the partition is reproducible
-//! from `(n_workers, n_shards)` alone — and computes each shard's
+//! **anchor** (the shard that evaluates it) and computes each shard's
 //! **closure**: the anchors plus every pairing-reachable peer (any
 //! worker sharing at least one task with an anchor). The closure is
 //! exactly the worker set whose full rows a [`crate::ShardIndex`]
@@ -12,22 +9,47 @@
 //! pipeline bit for bit; see the [crate docs](crate) for the
 //! argument.
 //!
+//! Two planners share that machinery:
+//!
+//! * [`ShardPlan::build`] — contiguous id ranges of `⌈m / n_shards⌉`
+//!   workers: reproducible from `(n_workers, n_shards)` alone, zero
+//!   planning cost, and optimal when worker ids already align with
+//!   task neighbourhoods.
+//! * [`ShardPlan::build_clustered`] — **locality-aware**: a greedy
+//!   agglomeration over the worker co-occurrence graph grows each
+//!   shard around the most-connected unassigned worker, always
+//!   absorbing the candidate with the strongest tie to the shard so
+//!   far. On fleets whose ids do *not* align with task
+//!   neighbourhoods (imports, hashed ids, interleaved signups) this
+//!   keeps co-responding workers on one shard, so closures — and with
+//!   them per-process memory — shrink toward the anchor count, while
+//!   contiguous ranges would drag in every neighbour of every
+//!   scattered anchor. Deterministic: ties break by worker id.
+//!
+//! The merge step sorts reports into canonical worker order, so *any*
+//! assignment — contiguous or clustered — yields bit-identical fleet
+//! output; planners only move the memory/balance trade-off.
+//!
 //! Closure discovery is one pass over the task adjacency
 //! (`O(Σ_t r_t²)` — the same order as building any pair table): each
 //! task's responder list marks, for every responder's home shard, all
-//! co-responders. The planner is a *central* step — it reads the full
-//! data once, cheaply; what sharding removes is the need for any
-//! single **evaluation** process to hold fleet-wide state.
+//! co-responders. Clustering additionally harvests the weighted
+//! co-occurrence edges (same pass order) and runs a lazy-heap greedy
+//! growth, `O(E log E)` in the edge count. The planner is a *central*
+//! step — it reads the full data once, cheaply; what sharding removes
+//! is the need for any single **evaluation** process to hold
+//! fleet-wide state.
 
 use crowd_data::{ResponseMatrix, WorkerId};
-use std::ops::Range;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One shard of a [`ShardPlan`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
-    /// Contiguous anchor id range this shard evaluates. May be empty
+    /// The anchor ids this shard evaluates, ascending. May be empty
     /// when there are more shards than workers.
-    pub anchors: Range<u32>,
+    pub anchors: Vec<WorkerId>,
     /// The workers whose rows the shard's index needs: the anchors
     /// plus every worker sharing at least one task with an anchor.
     /// Sorted ascending, deduplicated.
@@ -37,7 +59,7 @@ pub struct ShardSpec {
 impl ShardSpec {
     /// The shard's anchors as worker ids.
     pub fn anchor_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
-        self.anchors.clone().map(WorkerId)
+        self.anchors.iter().copied()
     }
 
     /// Number of anchors.
@@ -51,12 +73,13 @@ impl ShardSpec {
     }
 }
 
-/// A deterministic partition of the fleet into shard anchor ranges
-/// with per-shard peer closures; see the [module docs](self).
+/// A deterministic partition of the fleet into shard anchor sets with
+/// per-shard peer closures; see the [module docs](self).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     n_workers: usize,
-    chunk: usize,
+    /// `home[w]` = the shard that evaluates worker `w`.
+    home: Vec<u32>,
     shards: Vec<ShardSpec>,
 }
 
@@ -69,7 +92,129 @@ impl ShardPlan {
         let m = data.n_workers();
         let n_shards = n_shards.max(1);
         let chunk = m.div_ceil(n_shards).max(1);
-        let shard_of = |w: u32| w as usize / chunk;
+        let home: Vec<u32> = (0..m).map(|w| (w / chunk) as u32).collect();
+        Self::from_assignment(data, n_shards, home)
+    }
+
+    /// Locality-aware planning: greedy agglomerative clustering over
+    /// the worker co-occurrence graph (see the [module docs](self)).
+    /// Shards are grown one at a time to a target of `⌈m / n_shards⌉`
+    /// anchors: each starts from the highest-degree unassigned worker
+    /// and repeatedly absorbs the unassigned worker with the largest
+    /// total co-occurrence weight into the shard so far (lazy
+    /// max-heap; all ties break by lowest worker id, so the same
+    /// `(data, n_shards)` always produces the same plan). Workers
+    /// with no co-occurrence edge into the growing shard seed new
+    /// components inside it, so silent and isolated workers are still
+    /// anchored exactly once.
+    pub fn build_clustered(data: &ResponseMatrix, n_shards: usize) -> Self {
+        let m = data.n_workers();
+        let n_shards = n_shards.max(1);
+
+        // Weighted co-occurrence adjacency, harvested per task and
+        // deduplicated by sorting: weight(a, b) = shared-task count.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for task in data.tasks() {
+            let responders = data.task_responses(task);
+            for (i, &(a, _)) in responders.iter().enumerate() {
+                for &(b, _) in &responders[i + 1..] {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+        let mut run = 0usize;
+        while run < edges.len() {
+            let (a, b) = edges[run];
+            let mut weight = 0u32;
+            while run < edges.len() && edges[run] == (a, b) {
+                weight += 1;
+                run += 1;
+            }
+            adj[a as usize].push((b, weight));
+            adj[b as usize].push((a, weight));
+        }
+
+        // Seed order: total co-occurrence weight descending, id
+        // ascending — the strongest hub of each remaining component
+        // starts its shard.
+        let mut seeds: Vec<u32> = (0..m as u32).collect();
+        let degree: Vec<u64> = adj
+            .iter()
+            .map(|row| row.iter().map(|&(_, w)| w as u64).sum())
+            .collect();
+        seeds.sort_by_key(|&w| (Reverse(degree[w as usize]), w));
+        let mut next_seed = 0usize;
+
+        let target = m.div_ceil(n_shards).max(1);
+        let mut home = vec![u32::MAX; m];
+        // Connection weight of each unassigned worker to the shard
+        // currently being grown, plus a lazy max-heap over it: stale
+        // entries (assigned workers, superseded weights) are skipped
+        // on pop.
+        let mut conn = vec![0u64; m];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut heap: BinaryHeap<(u64, Reverse<u32>)> = BinaryHeap::new();
+        for s in 0..n_shards as u32 {
+            heap.clear();
+            for &t in &touched {
+                conn[t as usize] = 0;
+            }
+            touched.clear();
+            let mut size = 0usize;
+            while size < target {
+                let pick = loop {
+                    match heap.pop() {
+                        Some((w, Reverse(id))) => {
+                            if home[id as usize] == u32::MAX && conn[id as usize] == w {
+                                break Some(id);
+                            }
+                        }
+                        None => break None,
+                    }
+                };
+                let pick = match pick {
+                    Some(id) => id,
+                    None => {
+                        // No unassigned worker touches the shard yet
+                        // (fresh shard, or a component was exhausted):
+                        // seed with the best-connected leftover.
+                        while next_seed < m && home[seeds[next_seed] as usize] != u32::MAX {
+                            next_seed += 1;
+                        }
+                        match seeds.get(next_seed) {
+                            Some(&id) => id,
+                            None => break, // whole fleet assigned
+                        }
+                    }
+                };
+                home[pick as usize] = s;
+                size += 1;
+                for &(peer, weight) in &adj[pick as usize] {
+                    if home[peer as usize] == u32::MAX {
+                        if conn[peer as usize] == 0 {
+                            touched.push(peer);
+                        }
+                        conn[peer as usize] += weight as u64;
+                        heap.push((conn[peer as usize], Reverse(peer)));
+                    }
+                }
+            }
+        }
+        // More shards than workers leaves trailing shards empty, never
+        // workers unassigned: Σ targets ≥ m and the loop above only
+        // stops early when every worker is placed.
+        debug_assert!(home.iter().all(|&h| h != u32::MAX));
+        Self::from_assignment(data, n_shards, home)
+    }
+
+    /// The shared back half of every planner: per-shard anchor lists
+    /// and closures (one pass over the task adjacency) from a
+    /// worker → shard assignment.
+    fn from_assignment(data: &ResponseMatrix, n_shards: usize, home: Vec<u32>) -> Self {
+        let m = data.n_workers();
+        debug_assert_eq!(home.len(), m);
 
         // Per-shard membership bitmaps: co-responders of each shard's
         // anchors. A worker responding to a task pulls every other
@@ -78,7 +223,7 @@ impl ShardPlan {
         for task in data.tasks() {
             let responders = data.task_responses(task);
             for &(w, _) in responders {
-                let row = &mut member[shard_of(w)];
+                let row = &mut member[home[w as usize] as usize];
                 for &(peer, _) in responders {
                     row[peer as usize] = true;
                 }
@@ -87,13 +232,15 @@ impl ShardPlan {
 
         let shards = (0..n_shards)
             .map(|s| {
-                let lo = (s * chunk).min(m) as u32;
-                let hi = ((s + 1) * chunk).min(m) as u32;
                 // Anchors are always in their own closure, responses
                 // or not — a silent anchor still gets evaluated (and
                 // fails gracefully) exactly like the unsharded loop.
-                for w in lo..hi {
-                    member[s][w as usize] = true;
+                let anchors: Vec<WorkerId> = (0..m as u32)
+                    .filter(|&w| home[w as usize] == s as u32)
+                    .map(WorkerId)
+                    .collect();
+                for w in &anchors {
+                    member[s][w.index()] = true;
                 }
                 let closure: Vec<WorkerId> = member[s]
                     .iter()
@@ -101,16 +248,13 @@ impl ShardPlan {
                     .filter(|&(_, &in_scope)| in_scope)
                     .map(|(w, _)| WorkerId(w as u32))
                     .collect();
-                ShardSpec {
-                    anchors: lo..hi,
-                    closure,
-                }
+                ShardSpec { anchors, closure }
             })
             .collect();
 
         Self {
             n_workers: m,
-            chunk,
+            home,
             shards,
         }
     }
@@ -130,9 +274,24 @@ impl ShardPlan {
         &self.shards
     }
 
-    /// The shard that evaluates `worker`.
+    /// The shard that evaluates `worker` — the request-routing hook of
+    /// a sharded service.
+    ///
+    /// # Panics
+    /// Panics if `worker` is outside the planned fleet.
     pub fn shard_of(&self, worker: WorkerId) -> usize {
-        worker.index() / self.chunk
+        self.home[worker.index()] as usize
+    }
+
+    /// The largest closure across shards — the per-process row count
+    /// a deployment must provision for; the number
+    /// [`ShardPlan::build_clustered`] exists to shrink.
+    pub fn max_closure_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.closure.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -158,23 +317,45 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// A community-structured fleet whose worker ids do **not** align
+    /// with the task neighbourhoods: worker `w` belongs to community
+    /// `w % communities` (ids interleave across communities), each
+    /// community answering its own task block.
+    fn interleaved(communities: usize, per: usize, tasks_per: usize) -> ResponseMatrix {
+        let m = communities * per;
+        let mut b = ResponseMatrixBuilder::new(m, communities * tasks_per, 2);
+        for w in 0..m as u32 {
+            let community = w as usize % communities;
+            for t in 0..tasks_per as u32 {
+                b.push(
+                    WorkerId(w),
+                    TaskId((community * tasks_per) as u32 + t),
+                    Label((w + t) as u16 % 2),
+                )
+                .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
     #[test]
     fn anchors_partition_the_fleet() {
         let data = clustered();
         for n_shards in [1usize, 2, 3, 7, 11] {
-            let plan = ShardPlan::build(&data, n_shards);
-            let mut seen = [false; 7];
-            for spec in plan.shards() {
-                for w in spec.anchor_ids() {
-                    assert!(!seen[w.index()], "worker {w:?} anchored twice");
-                    seen[w.index()] = true;
-                    assert_eq!(
-                        plan.shard_of(w),
-                        plan.shards().iter().position(|s| s == spec).unwrap()
-                    );
+            for plan in [
+                ShardPlan::build(&data, n_shards),
+                ShardPlan::build_clustered(&data, n_shards),
+            ] {
+                let mut seen = [false; 7];
+                for (s, spec) in plan.shards().iter().enumerate() {
+                    for w in spec.anchor_ids() {
+                        assert!(!seen[w.index()], "worker {w:?} anchored twice");
+                        seen[w.index()] = true;
+                        assert_eq!(plan.shard_of(w), s);
+                    }
                 }
+                assert!(seen.iter().all(|&s| s), "n_shards = {n_shards}");
             }
-            assert!(seen.iter().all(|&s| s), "n_shards = {n_shards}");
         }
     }
 
@@ -183,8 +364,10 @@ mod tests {
         let data = clustered();
         let plan = ShardPlan::build(&data, 2);
         // chunk = 4: shard 0 anchors 0..4, shard 1 anchors 4..7.
-        assert_eq!(plan.shards()[0].anchors, 0..4);
-        assert_eq!(plan.shards()[1].anchors, 4..7);
+        let anchors0: Vec<u32> = plan.shards()[0].anchors.iter().map(|w| w.0).collect();
+        let anchors1: Vec<u32> = plan.shards()[1].anchors.iter().map(|w| w.0).collect();
+        assert_eq!(anchors0, vec![0, 1, 2, 3]);
+        assert_eq!(anchors1, vec![4, 5, 6]);
         // Shard 0's anchor 3 co-occurs with 4 and 5 — they must be in
         // the closure; the silent worker 6 appears only as an anchor.
         let closure0: Vec<u32> = plan.shards()[0].closure.iter().map(|w| w.0).collect();
@@ -197,14 +380,18 @@ mod tests {
     #[test]
     fn more_shards_than_workers_leaves_trailing_shards_empty() {
         let data = clustered();
-        let plan = ShardPlan::build(&data, 11);
-        assert_eq!(plan.n_shards(), 11);
-        let non_empty: usize = plan.shards().iter().filter(|s| !s.is_empty()).count();
-        assert_eq!(non_empty, 7);
-        let total: usize = plan.shards().iter().map(ShardSpec::n_anchors).sum();
-        assert_eq!(total, 7);
-        for spec in plan.shards().iter().filter(|s| s.is_empty()) {
-            assert!(spec.closure.is_empty(), "empty shard needs no rows");
+        for plan in [
+            ShardPlan::build(&data, 11),
+            ShardPlan::build_clustered(&data, 11),
+        ] {
+            assert_eq!(plan.n_shards(), 11);
+            let non_empty: usize = plan.shards().iter().filter(|s| !s.is_empty()).count();
+            assert_eq!(non_empty, 7);
+            let total: usize = plan.shards().iter().map(ShardSpec::n_anchors).sum();
+            assert_eq!(total, 7);
+            for spec in plan.shards().iter().filter(|s| s.is_empty()) {
+                assert!(spec.closure.is_empty(), "empty shard needs no rows");
+            }
         }
     }
 
@@ -212,5 +399,59 @@ mod tests {
     fn plans_are_deterministic() {
         let data = clustered();
         assert_eq!(ShardPlan::build(&data, 3), ShardPlan::build(&data, 3));
+        assert_eq!(
+            ShardPlan::build_clustered(&data, 3),
+            ShardPlan::build_clustered(&data, 3)
+        );
+    }
+
+    #[test]
+    fn clustered_planning_reunites_interleaved_communities() {
+        // 4 communities of 8 whose ids interleave (w % 4): contiguous
+        // ranges mix all four communities into every shard, so each
+        // closure is the whole fleet; clustering recovers the
+        // communities and closures collapse to the anchor sets.
+        let data = interleaved(4, 8, 12);
+        let contiguous = ShardPlan::build(&data, 4);
+        let clustered = ShardPlan::build_clustered(&data, 4);
+        assert_eq!(contiguous.max_closure_len(), 32, "ids interleave");
+        assert_eq!(
+            clustered.max_closure_len(),
+            8,
+            "clustered shards must close over exactly their community"
+        );
+        for spec in clustered.shards() {
+            assert_eq!(spec.n_anchors(), 8);
+            // One community per shard: all anchors congruent mod 4.
+            let c = spec.anchors[0].0 % 4;
+            assert!(spec.anchor_ids().all(|w| w.0 % 4 == c));
+            assert_eq!(spec.closure, spec.anchors);
+        }
+    }
+
+    #[test]
+    fn clustered_planning_balances_shard_sizes() {
+        // One big community (20) + one small (4), 3 shards of target 8:
+        // growth must stop at the target, splitting the big community
+        // rather than overfilling a shard.
+        let mut b = ResponseMatrixBuilder::new(24, 30, 2);
+        for w in 0..20u32 {
+            for t in 0..20u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        for w in 20..24u32 {
+            for t in 20..30u32 {
+                b.push(WorkerId(w), TaskId(t), Label(0)).unwrap();
+            }
+        }
+        let data = b.build().unwrap();
+        let plan = ShardPlan::build_clustered(&data, 3);
+        let sizes: Vec<usize> = plan.shards().iter().map(ShardSpec::n_anchors).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 24);
+        assert!(
+            sizes.iter().all(|&s| s <= 8),
+            "no shard may exceed the ⌈m/n⌉ target: {sizes:?}"
+        );
     }
 }

@@ -23,7 +23,7 @@ use crate::plan::{ShardPlan, ShardSpec};
 /// [module docs](self).
 #[derive(Debug, Clone)]
 pub struct ShardIndex {
-    anchors: std::ops::Range<u32>,
+    anchors: Vec<WorkerId>,
     closure_len: usize,
     index: OverlapIndex,
 }
@@ -48,7 +48,7 @@ impl ShardIndex {
 
     /// The anchors this shard evaluates.
     pub fn anchor_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
-        self.anchors.clone().map(WorkerId)
+        self.anchors.iter().copied()
     }
 
     /// Number of workers whose rows the shard holds.

@@ -201,7 +201,7 @@ fn anchor_with_all_peers_in_another_shard() {
     }
     let data = b.build().unwrap();
     let plan = ShardPlan::build(&data, 3);
-    assert_eq!(plan.shards()[1].anchors, 2..4);
+    assert_eq!(plan.shards()[1].anchors, [WorkerId(2), WorkerId(3)]);
     let closure: Vec<u32> = plan.shards()[1].closure.iter().map(|w| w.0).collect();
     assert_eq!(closure, vec![0, 1, 2, 3], "peers 0, 1 pulled across shards");
     check_binary(&data, EstimatorConfig::default(), "cross-shard peers");
@@ -256,4 +256,84 @@ fn merged_report_queries_work_across_shard_boundaries() {
         assert!(assessed ^ failed, "worker {w:?} covered exactly once");
     }
     assert!(merged.mean_interval_size() > 0.0);
+}
+
+/// A community-structured fleet whose worker ids interleave across
+/// communities (`w % communities`), so contiguous anchor ranges drag
+/// every community into every closure while a locality-aware plan can
+/// keep each community on one shard.
+fn interleaved_communities(communities: usize, per: usize, tasks_per: usize) -> ResponseMatrix {
+    let m = communities * per;
+    let mut b = ResponseMatrixBuilder::new(m, communities * tasks_per, 2);
+    for w in 0..m as u32 {
+        let community = w as usize % communities;
+        for t in 0..tasks_per as u32 {
+            if (w / communities as u32 + t).is_multiple_of(5) {
+                continue; // leave some attempt sparsity
+            }
+            b.push(
+                WorkerId(w),
+                TaskId((community * tasks_per) as u32 + t),
+                Label((w.wrapping_mul(2654435761).wrapping_add(t * 97) >> 7) as u16 % 2),
+            )
+            .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn clustered_plans_shrink_closures_and_stay_bit_identical() {
+    // The locality-aware planner must (a) cut the per-shard closure on
+    // an id-scrambled community fleet and (b) keep the merged report
+    // bit-identical to the unsharded pipeline — the plan/runner split
+    // means only the assignment changed, never the arithmetic.
+    let data = interleaved_communities(4, 8, 30);
+    let index = OverlapIndex::from_matrix(&data);
+    let config = EstimatorConfig::default();
+    let est = MWorkerEstimator::new(config.clone());
+    let unsharded = est
+        .evaluate_all_indexed_parallel(&index, 0.9, 2)
+        .expect("m >= 3");
+    for n_shards in [2usize, 4] {
+        let contiguous = ShardPlan::build(&data, n_shards);
+        let clustered = ShardPlan::build_clustered(&data, n_shards);
+        assert!(
+            clustered.max_closure_len() < contiguous.max_closure_len(),
+            "{n_shards} shards: clustered closure {} must undercut contiguous {}",
+            clustered.max_closure_len(),
+            contiguous.max_closure_len()
+        );
+        let runner = ShardRunner::new(config.clone()).with_threads(2);
+        let sharded = runner.run(&data, &clustered, 0.9).expect("m >= 3");
+        assert_reports_identical(
+            &sharded,
+            &unsharded,
+            &format!("clustered plan, {n_shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn clustered_plans_stay_bit_identical_kary() {
+    let inst = KaryScenario::paper_default(3, 200, 0.9)
+        .with_workers(8)
+        .generate(&mut rng(641));
+    let data = inst.responses();
+    let index = OverlapIndex::from_matrix(data);
+    let config = EstimatorConfig::default();
+    let est = KaryMWorkerEstimator::new(config.clone());
+    let unsharded = est
+        .evaluate_all_indexed_parallel(&index, 0.9, 2)
+        .expect("m >= 3");
+    for n_shards in [2usize, 3] {
+        let plan = ShardPlan::build_clustered(data, n_shards);
+        let runner = ShardRunner::new(config.clone()).with_threads(2);
+        let sharded = runner.run_kary(data, &plan, 0.9).expect("m >= 3");
+        assert_kary_identical(
+            &sharded,
+            &unsharded,
+            &format!("clustered k-ary, {n_shards} shards"),
+        );
+    }
 }
