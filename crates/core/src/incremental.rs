@@ -47,7 +47,7 @@ use crate::{
     EstimatorConfig, KaryWorkerAssessment, KaryWorkerReport, MWorkerEstimator, Result,
     WorkerAssessment, WorkerReport,
 };
-use crowd_data::{CountsTensor, OverlapIndex, Response, ResponseMatrix, StreamingIndex, WorkerId};
+use crowd_data::{OverlapIndex, Response, ResponseMatrix, StreamingIndex, WorkerId};
 
 /// Streaming evaluator maintaining the indexed substrate response by
 /// response (binary tasks, Algorithm A2).
@@ -135,18 +135,9 @@ impl IncrementalEvaluator {
 
     /// Evaluates every worker on the data seen so far.
     pub fn evaluate_all(&self, confidence: f64) -> Result<WorkerReport> {
-        let m = crowd_data::OverlapSource::n_workers(&self.stream);
-        if m < 3 {
-            return Err(crate::EstimateError::NotEnoughWorkers { got: m, need: 3 });
-        }
-        let mut report = WorkerReport::default();
-        for worker in self.stream.index().workers() {
-            match self.evaluate_worker(worker, confidence) {
-                Ok(a) => report.assessments.push(a),
-                Err(e) => report.failures.push((worker, e)),
-            }
-        }
-        Ok(report)
+        let workers: Vec<WorkerId> = self.stream.index().workers().collect();
+        self.estimator
+            .evaluate_workers_on(&self.stream, &workers, confidence)
     }
 }
 
@@ -232,25 +223,14 @@ impl KaryIncrementalEvaluator {
         confidence: f64,
     ) -> Result<KaryWorkerAssessment> {
         self.estimator
-            .evaluate_worker_with(&self.stream, worker, confidence, |a, b| {
-                CountsTensor::from_index(self.stream.index(), worker, a, b)
-            })
+            .evaluate_worker_streaming(&self.stream, worker, confidence)
     }
 
     /// Evaluates every worker on the data seen so far.
     pub fn evaluate_all(&self, confidence: f64) -> Result<KaryWorkerReport> {
-        let m = crowd_data::OverlapSource::n_workers(&self.stream);
-        if m < 3 {
-            return Err(crate::EstimateError::NotEnoughWorkers { got: m, need: 3 });
-        }
-        let mut report = KaryWorkerReport::default();
-        for worker in self.stream.index().workers() {
-            match self.evaluate_worker(worker, confidence) {
-                Ok(a) => report.assessments.push(a),
-                Err(e) => report.failures.push((worker, e)),
-            }
-        }
-        Ok(report)
+        let workers: Vec<WorkerId> = self.stream.index().workers().collect();
+        self.estimator
+            .evaluate_workers_streaming(&self.stream, &workers, confidence)
     }
 }
 

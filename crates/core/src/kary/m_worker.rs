@@ -68,7 +68,7 @@ use crate::pairing::form_pairs_limited;
 use crate::{CoverageStats, EstimateError, EstimatorConfig, Result};
 use crowd_data::{
     AnchoredOverlap, AnchoredScratch, CountsTensor, OverlapIndex, OverlapSource, PeerGramScratch,
-    ResponseMatrix, TriplePairGram, WorkerId,
+    ResponseMatrix, StreamingIndex, TriplePairGram, WorkerId,
 };
 use crowd_linalg::Matrix;
 use crowd_stats::{ConfidenceInterval, delta_variance, min_variance_weights};
@@ -328,6 +328,50 @@ impl KaryMWorkerEstimator {
             |buf, a, b| *buf = Some(tensor(a, b)),
             |peers| src.anchored_for(worker, peers),
         )
+    }
+
+    /// Evaluates one worker against a maintained [`StreamingIndex`]:
+    /// overlap statistics come from the stream's peer-scoped anchored
+    /// views, counts tensors from union merges of the accumulated
+    /// index's adjacency rows. Bit-identical to the batch
+    /// [`KaryMWorkerEstimator::evaluate_all`] row on the accumulated
+    /// data — the public entry point behind
+    /// [`crate::KaryIncrementalEvaluator`] and the shard-resident
+    /// assessment runtime.
+    pub fn evaluate_worker_streaming(
+        &self,
+        stream: &StreamingIndex,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<KaryWorkerAssessment> {
+        self.evaluate_worker_with(stream, worker, confidence, |a, b| {
+            CountsTensor::from_index(stream.index(), worker, a, b)
+        })
+    }
+
+    /// [`KaryMWorkerEstimator::evaluate_worker_streaming`] for a set
+    /// of workers, collecting per-worker outcomes into one
+    /// [`KaryWorkerReport`] (assessments and failures in `workers`
+    /// order); per-shard reports recombined with
+    /// [`KaryWorkerReport::merge`] equal a serial full-fleet pass.
+    pub fn evaluate_workers_streaming(
+        &self,
+        stream: &StreamingIndex,
+        workers: &[WorkerId],
+        confidence: f64,
+    ) -> Result<KaryWorkerReport> {
+        let m = OverlapSource::n_workers(stream);
+        if m < 3 {
+            return Err(EstimateError::NotEnoughWorkers { got: m, need: 3 });
+        }
+        let mut report = KaryWorkerReport::default();
+        for &worker in workers {
+            match self.evaluate_worker_streaming(stream, worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
     }
 
     /// The evaluation body behind every entry point: pairing, the

@@ -144,6 +144,36 @@ impl MWorkerEstimator {
         )
     }
 
+    /// [`MWorkerEstimator::evaluate_worker_on`] for a set of workers,
+    /// collecting per-worker outcomes into one [`WorkerReport`]
+    /// (assessments and failures in `workers` order). This is the
+    /// subset entry point the shard-resident assessment runtime uses
+    /// to answer snapshot requests from its maintained streaming
+    /// substrate; rows are bit-identical to evaluating each worker
+    /// individually, so reports merged across shards with
+    /// [`WorkerReport::merge`] equal a serial full-fleet pass.
+    pub fn evaluate_workers_on<S: OverlapSource>(
+        &self,
+        src: &S,
+        workers: &[WorkerId],
+        confidence: f64,
+    ) -> Result<WorkerReport> {
+        if src.n_workers() < 3 {
+            return Err(EstimateError::NotEnoughWorkers {
+                got: src.n_workers(),
+                need: 3,
+            });
+        }
+        let mut report = WorkerReport::default();
+        for &worker in workers {
+            match self.evaluate_worker_on(src, worker, confidence) {
+                Ok(a) => report.assessments.push(a),
+                Err(e) => report.failures.push((worker, e)),
+            }
+        }
+        Ok(report)
+    }
+
     /// [`MWorkerEstimator::evaluate_worker_on`] against an
     /// [`OverlapIndex`] with caller-held [`EvalScratch`]: the anchored
     /// view is built into the scratch's reusable mask words, so an

@@ -945,13 +945,17 @@ pub(crate) const GRAM_BLOCK: usize = 4;
 
 /// The AND+popcount inner product of the Gram kernels, with the SIMD
 /// lane resolved **once per kernel invocation**: on x86-64 hosts with
-/// AVX2 the counts come from the vectorized nibble-LUT routine
-/// ([`and_popcount_avx2`]), everywhere else from the portable word
-/// loop. Both compute the same integers — the dispatch is invisible
-/// to every output bit — and detection is hoisted out of the pair
-/// loop so the hot path pays one predictable branch per pair.
+/// AVX-512 `VPOPCNTDQ` the counts come from the hardware per-lane
+/// popcount routine ([`and_popcount_avx512`]), on AVX2-only hosts
+/// from the vectorized nibble-LUT routine ([`and_popcount_avx2`]),
+/// everywhere else from the portable word loop. Every lane computes
+/// the same integers — the dispatch is invisible to every output
+/// bit — and detection is hoisted out of the pair loop so the hot
+/// path pays one predictable branch per pair.
 #[derive(Clone, Copy)]
 pub(crate) struct AndPopcount {
+    #[cfg(target_arch = "x86_64")]
+    avx512: bool,
     #[cfg(target_arch = "x86_64")]
     avx2: bool,
 }
@@ -961,8 +965,28 @@ impl AndPopcount {
     #[inline]
     pub(crate) fn detect() -> Self {
         Self {
+            // `avx512f` guards the 512-bit register file and
+            // arithmetic, `avx512vpopcntdq` the per-lane popcount the
+            // kernel is built around; both ship together on Ice
+            // Lake+ / Zen 4+ but are distinct CPUID bits.
+            #[cfg(target_arch = "x86_64")]
+            avx512: std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
             #[cfg(target_arch = "x86_64")]
             avx2: std::arch::is_x86_feature_detected!("avx2"),
+        }
+    }
+
+    /// The portable reference lane, kept callable on every host so the
+    /// property tests can pin the vector lanes against it.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn portable() -> Self {
+        Self {
+            #[cfg(target_arch = "x86_64")]
+            avx512: false,
+            #[cfg(target_arch = "x86_64")]
+            avx2: false,
         }
     }
 
@@ -974,12 +998,75 @@ impl AndPopcount {
     #[inline]
     pub(crate) fn count(self, a: &[u64], b: &[u64]) -> u32 {
         #[cfg(target_arch = "x86_64")]
-        if self.avx2 && a.len() >= 8 {
-            // SAFETY: `detect` verified AVX2 support on this host.
-            return unsafe { and_popcount_avx2(a, b) };
+        {
+            if self.avx512 && a.len() >= 8 {
+                // SAFETY: `detect` verified AVX-512F + VPOPCNTDQ
+                // support on this host.
+                return unsafe { and_popcount_avx512(a, b) };
+            }
+            if self.avx2 && a.len() >= 8 {
+                // SAFETY: `detect` verified AVX2 support on this host.
+                return unsafe { and_popcount_avx2(a, b) };
+            }
         }
         a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
     }
+}
+
+/// Vectorized AND+popcount on the AVX-512 `VPOPCNTDQ` lane: 8 mask
+/// words per step — one 512-bit AND, one hardware per-lane popcount
+/// (`vpopcntq`), one lane-wise accumulate. No shuffle-LUT dance at
+/// all, so the port-5 pressure that bounds the AVX2 nibble kernel on
+/// Intel cores disappears; two independent accumulator chains (16
+/// words per iteration) keep the popcount unit fed.
+///
+/// # Safety
+/// The caller must ensure the host supports AVX-512F and
+/// AVX-512VPOPCNTDQ.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+fn and_popcount_avx512(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 8;
+    let mut acc0 = _mm512_setzero_si512();
+    let mut acc1 = _mm512_setzero_si512();
+    let pairs = chunks / 2;
+    for i in 0..pairs {
+        // SAFETY: `16 * i + 15 < n` for every `i < pairs`, so all four
+        // 64-byte loads are in bounds; `loadu` has no alignment
+        // requirement.
+        let (v0, v1) = unsafe {
+            let p = a.as_ptr().add(16 * i);
+            let q = b.as_ptr().add(16 * i);
+            (
+                _mm512_and_si512(_mm512_loadu_si512(p.cast()), _mm512_loadu_si512(q.cast())),
+                _mm512_and_si512(
+                    _mm512_loadu_si512(p.add(8).cast()),
+                    _mm512_loadu_si512(q.add(8).cast()),
+                ),
+            )
+        };
+        acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(v0));
+        acc1 = _mm512_add_epi64(acc1, _mm512_popcnt_epi64(v1));
+    }
+    if chunks % 2 == 1 {
+        // SAFETY: the last full 8-word chunk starts at `8 * (chunks - 1)`.
+        let v = unsafe {
+            let p = a.as_ptr().add(8 * (chunks - 1));
+            let q = b.as_ptr().add(8 * (chunks - 1));
+            _mm512_and_si512(_mm512_loadu_si512(p.cast()), _mm512_loadu_si512(q.cast()))
+        };
+        acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(v));
+    }
+    let mut total = _mm512_reduce_add_epi64(_mm512_add_epi64(acc0, acc1)) as u64;
+    let mut i = chunks * 8;
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as u64;
+        i += 1;
+    }
+    total as u32
 }
 
 /// Vectorized AND+popcount (Mula's `vpshufb` nibble-LUT algorithm):
@@ -1215,12 +1302,13 @@ impl MaskMatrix {
     /// per-pair AND+popcount goes through [`AndPopcount`]: masks of
     /// 1–4 words run monomorphized fully-unrolled loops (the `match`
     /// below), wider masks an inlined scalar zip, and on x86-64 hosts
-    /// with AVX2 masks of ≥ 8 words call the runtime-dispatched
-    /// vectorized leaf [`and_popcount_avx2`] — the "SIMD lane" seam
-    /// wider ISAs (AVX-512 `VPOPCNTDQ`, `portable_simd`) drop into.
-    /// Every lane computes the same integers, so the dispatch is
-    /// invisible to every output bit. Only the upper triangle of
-    /// blocks is computed; entries are mirrored on write-back.
+    /// masks of ≥ 8 words call the runtime-dispatched vectorized
+    /// leaves — [`and_popcount_avx512`] where `VPOPCNTDQ` is
+    /// available, [`and_popcount_avx2`] otherwise; `portable_simd`
+    /// can drop into the same seam once stable. Every lane computes
+    /// the same integers, so the dispatch is invisible to every
+    /// output bit. Only the upper triangle of blocks is computed;
+    /// entries are mirrored on write-back.
     pub(crate) fn gram_rows_into(&self, rows: &[usize], out: &mut Vec<u32>) {
         let d = rows.len();
         out.clear();
@@ -1588,6 +1676,58 @@ mod tests {
             }
         }
         b.build().unwrap()
+    }
+
+    /// Every popcount lane — portable, AVX2, AVX-512 `VPOPCNTDQ` —
+    /// computes the same integers, across lengths straddling each
+    /// dispatch boundary (scalar < 8 words, single vector chunks, odd
+    /// tails, two-chain bodies) and across degenerate all-zero /
+    /// all-one masks. Vector lanes are forced explicitly where the
+    /// host supports them, so a dispatch bug cannot hide behind
+    /// detection.
+    #[test]
+    fn popcount_lanes_are_bit_identical() {
+        let mut state = 0xD6E8_FEB8_6659_FD93u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let detected = AndPopcount::detect();
+        let portable = AndPopcount::portable();
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 33, 64, 101] {
+            let mut cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+                (
+                    (0..len).map(|_| next()).collect(),
+                    (0..len).map(|_| next()).collect(),
+                ),
+                (vec![u64::MAX; len], vec![u64::MAX; len]),
+                (vec![0u64; len], (0..len).map(|_| next()).collect()),
+            ];
+            for (a, b) in cases.drain(..) {
+                let reference: u32 = a.iter().zip(&b).map(|(x, y)| (x & y).count_ones()).sum();
+                assert_eq!(portable.count(&a, &b), reference, "portable, len {len}");
+                assert_eq!(detected.count(&a, &b), reference, "detected, len {len}");
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if detected.avx512 {
+                        let forced = AndPopcount {
+                            avx512: true,
+                            avx2: false,
+                        };
+                        assert_eq!(forced.count(&a, &b), reference, "avx512, len {len}");
+                    }
+                    if detected.avx2 {
+                        let forced = AndPopcount {
+                            avx512: false,
+                            avx2: true,
+                        };
+                        assert_eq!(forced.count(&a, &b), reference, "avx2, len {len}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -63,16 +63,19 @@
 //! self-invalidates and the next gram query rebuilds once.
 //! Re-anchors invalidate the table the same way.
 //!
-//! Memory: `m` views of at most `2l × ⌈l_anchor/64⌉` mask words plus a
-//! dense `n`-entry task→slot map each, i.e. `O(m·l·n̄/64 + m·n)` —
-//! down from the population-scoped `O(m²·n̄/64 + m·n)` of the original
-//! design, which is what fleet-scale worker counts need. A
-//! materialized gram adds `O(l²)` per **evaluated** view (dormant
-//! views pay nothing). At even larger scale shard workers first (see
+//! Memory: an **anchored** view holds at most `2l × ⌈l_anchor/64⌉`
+//! mask words plus a dense `n`-entry task→slot map; dormant views
+//! hold neither (the slot map is claimed on first anchoring), so the
+//! resident cost is `O(a·(l·n̄/64 + n))` in the number of *evaluated*
+//! workers `a ≤ m` — down from the population-scoped
+//! `O(m²·n̄/64 + m·n)` of the original design, which is what
+//! fleet-scale worker counts (and per-shard service monitors sharing
+//! one fleet-sized id space) need. A materialized gram adds `O(l²)`
+//! per **evaluated** view. At even larger scale shard workers first (see
 //! ROADMAP "Sharded assessment") — one monitor per shard closure also
 //! bounds the gram residency.
 
-use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource, PeerMask};
+use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource, PairBackend, PeerMask};
 use crate::{
     Label, OverlapIndex, PairStats, PeerGram, PeerGramScratch, Response, ResponseMatrix,
     TriplePairGram, TripleStats, WorkerId,
@@ -100,7 +103,11 @@ pub struct AnchoredView {
     /// the task). `O(1)` lookups with one cache line touched — the
     /// ingest hot path does one lookup per responder of the arriving
     /// task, so a search structure here would dominate maintenance.
-    /// Slots never move once assigned.
+    /// Slots never move once assigned. **Empty until the view first
+    /// anchors** (sized to `n_tasks` by [`AnchoredView::reanchor`]):
+    /// a fleet of dormant views costs `O(1)` each, not `O(n)` — the
+    /// term that would otherwise dominate a per-shard service holding
+    /// one [`StreamingIndex`] per shard over a fleet-sized id space.
     slot_map: Vec<u32>,
     /// Lazily materialized scope-rows × scope-rows Gram of AND
     /// popcounts, **patched incrementally** on every ingest that flips
@@ -115,6 +122,13 @@ pub struct AnchoredView {
     /// gram patch — the ingest path stays allocation-free once it
     /// reaches its high-water mark.
     patch_rows: Vec<usize>,
+    /// Gram patch operations applied by ingest maintenance so far
+    /// (runtime diagnostic; see [`StreamingIndex::gram_patch_count`]).
+    gram_patches: usize,
+    /// Blocked gram (re)builds run by [`AnchoredView::ensure_gram`]
+    /// (runtime diagnostic; see
+    /// [`StreamingIndex::gram_rebuild_count`]).
+    gram_rebuilds: Cell<usize>,
 }
 
 /// The maintained Gram cache of one [`AnchoredView`]; dormant (zero
@@ -157,13 +171,15 @@ impl ScopeGram {
 }
 
 impl AnchoredView {
-    fn new(n_tasks: usize) -> Self {
+    fn new() -> Self {
         Self {
             matrix: MaskMatrix::new(0, 1),
             scope: None,
-            slot_map: vec![0u32; n_tasks],
+            slot_map: Vec::new(),
             gram: RefCell::new(ScopeGram::default()),
             patch_rows: Vec::new(),
+            gram_patches: 0,
+            gram_rebuilds: Cell::new(0),
         }
     }
 
@@ -209,6 +225,7 @@ impl AnchoredView {
                     return;
                 }
                 gram.remaining -= 1;
+                self.gram_patches += 1;
                 let d = scope.rows();
                 for r in 0..d {
                     if self.matrix.bit(r, slot) {
@@ -253,6 +270,7 @@ impl AnchoredView {
                 return;
             }
             gram.remaining -= rows.len();
+            self.gram_patches += 1;
             let d = scope.rows();
             for &r1 in rows {
                 for &r2 in rows {
@@ -279,7 +297,10 @@ impl AnchoredView {
     /// state, and a downsizing re-anchor (population → peer scope)
     /// must actually return the memory it claims to.
     fn reanchor(&mut self, index: &OverlapIndex, anchor: WorkerId, scope: PeerMask) {
-        self.slot_map.fill(0);
+        // First anchoring claims the dense slot map; dormant views
+        // never pay the `O(n)` allocation.
+        self.slot_map.clear();
+        self.slot_map.resize(index.n_tasks(), 0);
         for (slot, &(task, _)) in index.worker_responses(anchor).iter().enumerate() {
             self.slot_map[task as usize] = slot as u32 + 1;
         }
@@ -315,6 +336,7 @@ impl AnchoredView {
                 let ScopeGram { live, counts, .. } = &mut *gram;
                 self.matrix.gram_rows_into(&rows, counts);
                 *live = true;
+                self.gram_rebuilds.set(self.gram_rebuilds.get() + 1);
             }
             gram.remaining = ScopeGram::budget(scope.rows(), self.matrix.words());
         }
@@ -485,15 +507,28 @@ pub struct StreamingIndex {
 }
 
 impl StreamingIndex {
-    /// An empty streaming substrate of the given shape.
+    /// An empty streaming substrate of the given shape (dense pair
+    /// table).
     ///
     /// # Panics
     /// Panics if `arity < 2` (mirroring [`OverlapIndex::new`]).
     pub fn new(n_workers: usize, n_tasks: usize, arity: u16) -> Self {
+        Self::new_with(n_workers, n_tasks, arity, PairBackend::Dense)
+    }
+
+    /// [`StreamingIndex::new`] with an explicit pair-table backend.
+    /// The sparse [`crate::PairMap`] backend is the fleet-scale /
+    /// per-shard opt-in: a shard worker ingesting only its closure's
+    /// responses holds pair state proportional to the co-occurring
+    /// pairs it actually sees, never `O(m²)` (see [`PairBackend`]).
+    ///
+    /// # Panics
+    /// Panics if `arity < 2` (mirroring [`OverlapIndex::new_with`]).
+    pub fn new_with(n_workers: usize, n_tasks: usize, arity: u16, backend: PairBackend) -> Self {
         Self {
-            index: OverlapIndex::new(n_workers, n_tasks, arity),
+            index: OverlapIndex::new_with(n_workers, n_tasks, arity, backend),
             views: (0..n_workers)
-                .map(|_| RefCell::new(AnchoredView::new(n_tasks)))
+                .map(|_| RefCell::new(AnchoredView::new()))
                 .collect(),
             reanchors: Cell::new(0),
         }
@@ -506,7 +541,7 @@ impl StreamingIndex {
         Self {
             index: OverlapIndex::from_matrix(data),
             views: (0..data.n_workers())
-                .map(|_| RefCell::new(AnchoredView::new(data.n_tasks())))
+                .map(|_| RefCell::new(AnchoredView::new()))
                 .collect(),
             reanchors: Cell::new(0),
         }
@@ -594,6 +629,25 @@ impl StreamingIndex {
     /// [module docs](self)).
     pub fn reanchor_count(&self) -> usize {
         self.reanchors.get()
+    }
+
+    /// Total in-place gram patch operations applied by ingest
+    /// maintenance across all views (diagnostic: together with
+    /// [`StreamingIndex::gram_rebuild_count`] this makes the
+    /// maintained-gram traffic observable — an evaluation-heavy
+    /// monitor should show patches dwarfing rebuilds).
+    pub fn gram_patch_count(&self) -> usize {
+        self.views.iter().map(|v| v.borrow().gram_patches).sum()
+    }
+
+    /// Total blocked gram (re)builds across all views — lazy first
+    /// materializations plus rebuilds forced by re-anchors or an
+    /// exhausted patch budget.
+    pub fn gram_rebuild_count(&self) -> usize {
+        self.views
+            .iter()
+            .map(|v| v.borrow().gram_rebuilds.get())
+            .sum()
     }
 }
 

@@ -761,3 +761,59 @@ proptest! {
         }
     }
 }
+
+/// Wide-mask lane pinning: with enough tasks that each bitset row
+/// spans well past one SIMD step (600 tasks → ten 64-bit words, past
+/// both the 8-word AVX-512 step and the 4-word AVX2 step, with a
+/// ragged tail), the blocked gram built through the runtime-dispatched
+/// `AndPopcount` kernel must equal per-pair `triple_common` queries
+/// answered by the portable scalar path on the naive scan substrate.
+/// Deterministic (seeded LCG) rather than a proptest case so the
+/// wide matrices stay cheap in debug builds.
+#[test]
+fn wide_mask_gram_pins_simd_lanes_to_portable() {
+    for seed in [3u64, 77, 991] {
+        let (m, n) = (8usize, 600usize);
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut b = ResponseMatrixBuilder::new(m, n, 3);
+        for w in 0..m as u32 {
+            for t in 0..n as u32 {
+                // ~70% fill keeps the AND'd masks dense enough that a
+                // dropped SIMD step would change many entries.
+                if next() % 10 < 7 {
+                    b.push(WorkerId(w), TaskId(t), Label((next() % 3) as u16))
+                        .expect("generated ids are valid");
+                }
+            }
+        }
+        let data = b.build().expect("generated cells are unique");
+        let index = OverlapIndex::from_matrix(&data);
+        let mut gram = PeerGram::default();
+        let mut scratch = PeerGramScratch::default();
+        for anchor in 0..m as u32 {
+            let peers: Vec<WorkerId> = (0..m as u32)
+                .filter(|&w| w != anchor)
+                .map(WorkerId)
+                .collect();
+            index
+                .anchored_for(WorkerId(anchor), &peers)
+                .gram_into(&peers, &mut gram, &mut scratch);
+            let slow = data.anchored(WorkerId(anchor));
+            for &a in &peers {
+                for &b in &peers {
+                    assert_eq!(
+                        gram.get(a, b),
+                        slow.triple_common(a, b),
+                        "seed {seed} anchor {anchor} pair ({a:?},{b:?})"
+                    );
+                }
+            }
+        }
+    }
+}

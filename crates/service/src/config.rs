@@ -1,0 +1,65 @@
+//! Service construction parameters.
+
+use crowd_core::EstimatorConfig;
+
+/// What [`crate::AssessmentService::ingest_batch`] does when a shard's
+/// bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the caller until the shard drains a slot — lossless,
+    /// latency absorbed by the producer. The default.
+    #[default]
+    Block,
+    /// Drop the shard-bound group and keep going — lossy but
+    /// non-blocking; every shed batch/response is accounted in the
+    /// returned [`crate::IngestReceipt`] and in
+    /// [`crate::ServiceStats`].
+    Shed,
+    /// Fail the call with [`crate::ServiceError::QueueFull`], leaving
+    /// retry policy to the caller. Groups already enqueued stay
+    /// enqueued; the error reports how many responses were not.
+    Reject,
+}
+
+/// Tuning knobs for [`crate::AssessmentService::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bounded capacity of each shard's message queue, in messages
+    /// (an ingest batch is one message). Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour for ingest; assessment and control
+    /// messages always block (they are few and carry replies).
+    pub policy: BackpressurePolicy,
+    /// Estimator configuration used by every shard.
+    pub estimator: EstimatorConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the per-shard queue capacity (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the full-queue policy.
+    pub fn with_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the estimator configuration.
+    pub fn with_estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+}

@@ -1,0 +1,70 @@
+//! Pipelined assessment runtime: thread-per-shard ingest and
+//! assessment over the streaming substrate.
+//!
+//! The estimators are fast as library calls; this crate is the
+//! concurrent front that turns them into a *service*. One OS thread
+//! per [`crowd_shard::ShardPlan`] shard owns that shard's
+//! [`crowd_data::StreamingIndex`] (sparse pair backend, rows only for
+//! the shard's closure) and drains a bounded MPSC queue of messages:
+//!
+//! ```text
+//!                    ┌─ bounded queue ─ shard thread 0 ─ StreamingIndex₀
+//!  ingest batch ──►  │
+//!  (grouped by   ──► ├─ bounded queue ─ shard thread 1 ─ StreamingIndex₁
+//!   closure_shards)  │
+//!  assess/snapshot ► └─ bounded queue ─ shard thread 2 ─ StreamingIndex₂
+//!                                │
+//!                     replies / merged reports (merge_reports)
+//! ```
+//!
+//! * **Routing** — a response from worker `w` is delivered to every
+//!   shard in [`crowd_shard::ShardPlan::closure_shards`]`(w)`: each
+//!   such shard's index holds `w`'s full row, so all of them must see
+//!   the response for per-shard state to stay bit-identical to the
+//!   unsharded substrate. Assessment requests route to the home shard
+//!   ([`crowd_shard::ShardPlan::shard_of`]) alone.
+//! * **Batching** — [`AssessmentService::ingest_batch`] groups a batch
+//!   by subscribing shard and hands each shard one contiguous
+//!   [`Vec`], so queue traffic and wakeups are per *batch*, not per
+//!   response.
+//! * **Backpressure** — queues are bounded
+//!   ([`ServiceConfig::queue_capacity`]); a full queue blocks the
+//!   caller, sheds the batch with accounting, or fails the call with
+//!   [`ServiceError::QueueFull`], per [`BackpressurePolicy`].
+//! * **Ordering** — each shard processes its queue in FIFO order, so
+//!   any assessment enqueued after an ingest observes it, and a
+//!   [`AssessmentService::drain`] barrier (or a snapshot, which rides
+//!   the same queues) observes *all* prior ingests.
+//! * **Bit-identity** — per-shard snapshot reports recombine through
+//!   [`crowd_shard::merge_reports`] /
+//!   [`crowd_shard::merge_kary_reports`]; at every drain point the
+//!   merged report is bit-identical to a single-threaded
+//!   [`crowd_core::IncrementalEvaluator`] /
+//!   [`crowd_core::KaryIncrementalEvaluator`] fed the same responses,
+//!   in any arrival order (`tests/pipeline_equivalence.rs`).
+//!
+//! # Per-request cost
+//!
+//! | Request                    | Queue traffic        | Shard-side cost |
+//! |----------------------------|----------------------|-----------------|
+//! | `ingest_batch` (size `B`)  | ≤ shards msgs        | `O(log r + r_t)` per response (index insert + pair/view patches) |
+//! | `assess_worker` (binary)   | 1 msg + 1 reply      | pairing + triple pipeline over maintained views (no rescan) |
+//! | `assess_worker_kary`       | 1 msg + 1 reply      | A3 pipelines + `n₅` popcounts on maintained views |
+//! | `snapshot` / `snapshot_kary` | 1 msg + reply per shard | anchors-only evaluation, merged in canonical order |
+//! | `drain`                    | 1 msg + reply per shard | none (FIFO barrier) |
+//!
+//! Runtime health is observable, not vibes: per-shard queue-depth
+//! high-water marks, a batch-size histogram, and the streaming
+//! substrate's re-anchor / gram-patch / gram-rebuild diagnostics are
+//! all surfaced through [`AssessmentService::stats`] (see
+//! [`ServiceStats`]) and land in the `scaling_pr6` bench JSON.
+
+mod config;
+mod error;
+mod runtime;
+mod stats;
+
+pub use config::{BackpressurePolicy, ServiceConfig};
+pub use error::ServiceError;
+pub use runtime::{AssessmentService, IngestReceipt};
+pub use stats::{BatchHistogram, ServiceStats, ShardStats};

@@ -1,0 +1,793 @@
+//! The thread-per-shard runtime; see the [crate docs](crate) for the
+//! architecture and guarantees.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError, channel, sync_channel};
+use std::thread::JoinHandle;
+
+use crowd_core::{
+    KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport, MWorkerEstimator,
+    WorkerAssessment, WorkerReport,
+};
+use crowd_data::{DataError, PairBackend, Response, StreamingIndex, WorkerId};
+use crowd_shard::{ShardPlan, merge_kary_reports, merge_reports};
+
+use crate::config::{BackpressurePolicy, ServiceConfig};
+use crate::error::ServiceError;
+use crate::stats::{BatchHistogram, ServiceStats, ShardStats};
+
+/// Shared queue-depth gauge: the handle increments on enqueue, the
+/// shard thread decrements on dequeue, and the high-water mark is
+/// taken on the enqueue side.
+#[derive(Debug, Default)]
+struct QueueDepth {
+    depth: AtomicUsize,
+    high: AtomicUsize,
+}
+
+impl QueueDepth {
+    fn on_push(&self) {
+        let now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn on_pop(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn high_water(&self) -> usize {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// One message on a shard's bounded queue. Replies are sent
+/// best-effort (`let _ =`): a caller that dropped its receiver —
+/// e.g. during teardown — must never panic the shard thread.
+enum ShardMsg {
+    /// A contiguous group of responses subscribed to this shard.
+    Ingest(Vec<Response>),
+    /// Evaluate one worker (binary, Algorithm A2).
+    AssessWorker {
+        worker: WorkerId,
+        confidence: f64,
+        reply: Sender<Result<WorkerAssessment, ServiceError>>,
+    },
+    /// Evaluate one worker (k-ary, the m-worker A3 extension).
+    AssessWorkerKary {
+        worker: WorkerId,
+        confidence: f64,
+        reply: Sender<Result<KaryWorkerAssessment, ServiceError>>,
+    },
+    /// Evaluate all of this shard's anchors (binary).
+    AssessAnchors {
+        confidence: f64,
+        reply: Sender<Result<WorkerReport, ServiceError>>,
+    },
+    /// Evaluate all of this shard's anchors (k-ary).
+    AssessAnchorsKary {
+        confidence: f64,
+        reply: Sender<Result<KaryWorkerReport, ServiceError>>,
+    },
+    /// Report the shard's counters.
+    Stats { reply: Sender<ShardStats> },
+    /// FIFO barrier: reply once everything enqueued earlier has been
+    /// processed.
+    Drain { reply: Sender<()> },
+    /// Test-only: park the shard until the gate sender drops, so
+    /// backpressure tests can fill the bounded queue deterministically.
+    #[cfg(test)]
+    Stall(Receiver<()>),
+}
+
+/// The state one shard thread owns.
+struct ShardWorker {
+    stream: StreamingIndex,
+    binary: MWorkerEstimator,
+    kary: KaryMWorkerEstimator,
+    anchors: Vec<WorkerId>,
+    /// `is_home[w]`: this shard evaluates `w`, so it is the one shard
+    /// that counts `w`'s rejected responses (exact fleet totals).
+    is_home: Vec<bool>,
+    depth: Arc<QueueDepth>,
+    stats: ShardStats,
+}
+
+impl ShardWorker {
+    fn run(mut self, rx: Receiver<ShardMsg>) -> ShardStats {
+        while let Ok(msg) = rx.recv() {
+            self.depth.on_pop();
+            match msg {
+                ShardMsg::Ingest(batch) => {
+                    self.stats.batches += 1;
+                    for r in batch {
+                        match self.stream.record_response(r) {
+                            Ok(()) => self.stats.responses += 1,
+                            // Every subscribing shard sees the same
+                            // row state, so they reject identically;
+                            // count only at home to keep the fleet
+                            // total exact.
+                            Err(_) => {
+                                if self.is_home[r.worker.index()] {
+                                    self.stats.rejected += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                ShardMsg::AssessWorker {
+                    worker,
+                    confidence,
+                    reply,
+                } => {
+                    self.stats.assess_requests += 1;
+                    let out = self
+                        .binary
+                        .evaluate_worker_on(&self.stream, worker, confidence)
+                        .map_err(ServiceError::Estimate);
+                    let _ = reply.send(out);
+                }
+                ShardMsg::AssessWorkerKary {
+                    worker,
+                    confidence,
+                    reply,
+                } => {
+                    self.stats.assess_requests += 1;
+                    let out = self
+                        .kary
+                        .evaluate_worker_streaming(&self.stream, worker, confidence)
+                        .map_err(ServiceError::Estimate);
+                    let _ = reply.send(out);
+                }
+                ShardMsg::AssessAnchors { confidence, reply } => {
+                    self.stats.assess_requests += 1;
+                    let out = self
+                        .binary
+                        .evaluate_workers_on(&self.stream, &self.anchors, confidence)
+                        .map_err(ServiceError::Estimate);
+                    let _ = reply.send(out);
+                }
+                ShardMsg::AssessAnchorsKary { confidence, reply } => {
+                    self.stats.assess_requests += 1;
+                    let out = self
+                        .kary
+                        .evaluate_workers_streaming(&self.stream, &self.anchors, confidence)
+                        .map_err(ServiceError::Estimate);
+                    let _ = reply.send(out);
+                }
+                ShardMsg::Stats { reply } => {
+                    let _ = reply.send(self.snapshot_stats());
+                }
+                ShardMsg::Drain { reply } => {
+                    let _ = reply.send(());
+                }
+                #[cfg(test)]
+                ShardMsg::Stall(gate) => {
+                    // Blocks until the test drops its sender.
+                    let _ = gate.recv();
+                }
+            }
+        }
+        // Queue disconnected: the handle dropped its senders
+        // (graceful shutdown). Everything enqueued before the drop
+        // has been processed above.
+        self.snapshot_stats()
+    }
+
+    fn snapshot_stats(&self) -> ShardStats {
+        let mut s = self.stats.clone();
+        s.reanchors = self.stream.reanchor_count();
+        s.gram_patches = self.stream.gram_patch_count();
+        s.gram_rebuilds = self.stream.gram_rebuild_count();
+        s.queue_high_water = self.depth.high_water();
+        s
+    }
+}
+
+/// Accounting for one [`AssessmentService::ingest_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Per-shard response deliveries enqueued (a response subscribed
+    /// by `k` shards counts `k` times).
+    pub routed: usize,
+    /// Shard-bound groups shed because a queue was full
+    /// ([`BackpressurePolicy::Shed`] only).
+    pub shed_batches: usize,
+    /// Per-shard response deliveries lost with those groups.
+    pub shed_responses: usize,
+}
+
+/// The thread-per-shard assessment runtime; see the
+/// [crate docs](crate).
+///
+/// # Example
+///
+/// ```
+/// use crowd_service::{AssessmentService, ServiceConfig};
+/// use crowd_shard::ShardPlan;
+/// use crowd_sim::BinaryScenario;
+///
+/// let instance =
+///     BinaryScenario::paper_default(6, 80, 0.9).generate(&mut crowd_sim::rng(11));
+/// let data = instance.responses();
+/// let plan = ShardPlan::build_clustered(data, 2);
+/// let mut service =
+///     AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+/// for batch in data.iter().collect::<Vec<_>>().chunks(16) {
+///     service.ingest_batch(batch)?;
+/// }
+/// let report = service.snapshot(0.9)?;
+/// assert_eq!(report.assessments.len() + report.failures.len(), 6);
+/// service.shutdown();
+/// # Ok::<(), crowd_service::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct AssessmentService {
+    plan: ShardPlan,
+    policy: BackpressurePolicy,
+    senders: Option<Vec<SyncSender<ShardMsg>>>,
+    handles: Vec<JoinHandle<ShardStats>>,
+    depths: Vec<Arc<QueueDepth>>,
+    /// Reusable per-shard grouping buffers for `ingest_batch`.
+    route_buf: Vec<Vec<Response>>,
+    submitted: u64,
+    dropped_batches: u64,
+    dropped_responses: u64,
+    batch_sizes: BatchHistogram,
+    /// Per-shard counters captured at shutdown, served afterwards.
+    final_stats: Option<Vec<ShardStats>>,
+}
+
+// The message enum holds reply senders; keep its Debug noise out of
+// the public type by formatting the handle fields only.
+impl std::fmt::Debug for ShardMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::Ingest(b) => return write!(f, "Ingest({} responses)", b.len()),
+            Self::AssessWorker { .. } => "AssessWorker",
+            Self::AssessWorkerKary { .. } => "AssessWorkerKary",
+            Self::AssessAnchors { .. } => "AssessAnchors",
+            Self::AssessAnchorsKary { .. } => "AssessAnchorsKary",
+            Self::Stats { .. } => "Stats",
+            Self::Drain { .. } => "Drain",
+            #[cfg(test)]
+            Self::Stall(_) => "Stall",
+        };
+        f.write_str(name)
+    }
+}
+
+impl AssessmentService {
+    /// Spawns one shard thread per plan shard, each owning a fresh
+    /// sparse-backed [`StreamingIndex`] over the global
+    /// `plan.n_workers() × n_tasks` id space (rows materialize only
+    /// for responses routed to the shard, i.e. its closure).
+    pub fn spawn(plan: ShardPlan, n_tasks: usize, arity: u16, config: ServiceConfig) -> Self {
+        let n_shards = plan.n_shards();
+        let m = plan.n_workers();
+        let capacity = config.queue_capacity.max(1);
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        let mut depths = Vec::with_capacity(n_shards);
+        for (s, spec) in plan.shards().iter().enumerate() {
+            let (tx, rx) = sync_channel::<ShardMsg>(capacity);
+            let depth = Arc::new(QueueDepth::default());
+            let worker = ShardWorker {
+                stream: StreamingIndex::new_with(m, n_tasks, arity, PairBackend::Sparse),
+                binary: MWorkerEstimator::new(config.estimator.clone()),
+                kary: KaryMWorkerEstimator::new(config.estimator.clone()),
+                anchors: spec.anchors.clone(),
+                is_home: (0..m)
+                    .map(|w| plan.shard_of(WorkerId(w as u32)) == s)
+                    .collect(),
+                depth: Arc::clone(&depth),
+                stats: ShardStats {
+                    shard: s,
+                    ..ShardStats::default()
+                },
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("crowd-shard-{s}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawning a shard thread"),
+            );
+            senders.push(tx);
+            depths.push(depth);
+        }
+        Self {
+            plan,
+            policy: config.policy,
+            senders: Some(senders),
+            handles,
+            depths,
+            route_buf: vec![Vec::new(); n_shards],
+            submitted: 0,
+            dropped_batches: 0,
+            dropped_responses: 0,
+            batch_sizes: BatchHistogram::default(),
+            final_stats: None,
+        }
+    }
+
+    /// The plan the service routes by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shard threads.
+    pub fn n_shards(&self) -> usize {
+        self.plan.n_shards()
+    }
+
+    /// Enqueues one batch of responses: validates ids, groups the
+    /// batch by subscribing shard ([`ShardPlan::closure_shards`]) and
+    /// hands each shard one contiguous group. Full queues behave per
+    /// the configured [`BackpressurePolicy`]. Ingest is asynchronous;
+    /// substrate-level rejects (duplicates, bad labels) are counted in
+    /// [`ShardStats::rejected`], not returned here.
+    pub fn ingest_batch(&mut self, batch: &[Response]) -> Result<IngestReceipt, ServiceError> {
+        if self.senders.is_none() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        // Routing needs in-range worker ids; reject up front so a bad
+        // id fails the call instead of poisoning per-shard accounting.
+        let m = self.plan.n_workers() as u32;
+        for r in batch {
+            if r.worker.0 >= m {
+                return Err(ServiceError::Data(DataError::UnknownId {
+                    kind: "worker",
+                    id: r.worker.0,
+                }));
+            }
+        }
+        self.batch_sizes.record(batch.len());
+        self.submitted += batch.len() as u64;
+        for r in batch {
+            for &s in self.plan.closure_shards(r.worker) {
+                self.route_buf[s as usize].push(*r);
+            }
+        }
+        let senders = self.senders.as_ref().expect("checked above");
+        let mut receipt = IngestReceipt::default();
+        let mut rejected: Option<(usize, usize)> = None;
+        for s in 0..self.route_buf.len() {
+            let group = std::mem::take(&mut self.route_buf[s]);
+            if group.is_empty() {
+                continue;
+            }
+            let len = group.len();
+            if let Some((_, dropped)) = &mut rejected {
+                // A Reject already fired: drain the remaining groups
+                // into the dropped count without sending.
+                *dropped += len;
+                continue;
+            }
+            self.depths[s].on_push();
+            match self.policy {
+                BackpressurePolicy::Block => match senders[s].send(ShardMsg::Ingest(group)) {
+                    Ok(()) => receipt.routed += len,
+                    Err(_) => {
+                        self.depths[s].on_pop();
+                        return Err(ServiceError::ShardUnavailable { shard: s });
+                    }
+                },
+                BackpressurePolicy::Shed | BackpressurePolicy::Reject => {
+                    match senders[s].try_send(ShardMsg::Ingest(group)) {
+                        Ok(()) => receipt.routed += len,
+                        Err(TrySendError::Full(_)) => {
+                            self.depths[s].on_pop();
+                            if self.policy == BackpressurePolicy::Shed {
+                                receipt.shed_batches += 1;
+                                receipt.shed_responses += len;
+                                self.dropped_batches += 1;
+                                self.dropped_responses += len as u64;
+                            } else {
+                                rejected = Some((s, len));
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.depths[s].on_pop();
+                            return Err(ServiceError::ShardUnavailable { shard: s });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((shard, dropped)) = rejected {
+            self.dropped_responses += dropped as u64;
+            return Err(ServiceError::QueueFull { shard, dropped });
+        }
+        Ok(receipt)
+    }
+
+    /// [`AssessmentService::ingest_batch`] for a single response —
+    /// the request-at-a-time floor the batching benchmark compares
+    /// against.
+    pub fn ingest(&mut self, response: Response) -> Result<IngestReceipt, ServiceError> {
+        self.ingest_batch(std::slice::from_ref(&response))
+    }
+
+    /// Evaluates one worker (binary) on its home shard's maintained
+    /// substrate. FIFO queues mean the evaluation observes every
+    /// ingest enqueued before this call.
+    pub fn assess_worker(
+        &self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment, ServiceError> {
+        let shard = self.home_shard_of(worker)?;
+        let (reply, rx) = channel();
+        self.send_to(
+            shard,
+            ShardMsg::AssessWorker {
+                worker,
+                confidence,
+                reply,
+            },
+        )?;
+        rx.recv()
+            .map_err(|_| ServiceError::ShardUnavailable { shard })?
+    }
+
+    /// Evaluates one worker's k×k response-probability matrix on its
+    /// home shard's maintained substrate.
+    pub fn assess_worker_kary(
+        &self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<KaryWorkerAssessment, ServiceError> {
+        let shard = self.home_shard_of(worker)?;
+        let (reply, rx) = channel();
+        self.send_to(
+            shard,
+            ShardMsg::AssessWorkerKary {
+                worker,
+                confidence,
+                reply,
+            },
+        )?;
+        rx.recv()
+            .map_err(|_| ServiceError::ShardUnavailable { shard })?
+    }
+
+    /// Fleet snapshot (binary): every shard evaluates its anchors
+    /// against its maintained substrate, and the per-shard reports
+    /// merge in canonical worker order ([`merge_reports`]) —
+    /// bit-identical to a serial
+    /// [`crowd_core::IncrementalEvaluator::evaluate_all`] over the
+    /// same responses. Requests are enqueued on all shards before any
+    /// reply is awaited, so shards evaluate concurrently.
+    pub fn snapshot(&self, confidence: f64) -> Result<WorkerReport, ServiceError> {
+        let m = self.plan.n_workers();
+        if m < 3 {
+            return Err(ServiceError::Estimate(
+                crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
+            ));
+        }
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            self.send_to(s, ShardMsg::AssessAnchors { confidence, reply })?;
+            rxs.push(rx);
+        }
+        let mut parts = Vec::with_capacity(rxs.len());
+        for (s, rx) in rxs.into_iter().enumerate() {
+            parts.push(
+                rx.recv()
+                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })??,
+            );
+        }
+        Ok(merge_reports(parts))
+    }
+
+    /// Fleet snapshot (k-ary); see [`AssessmentService::snapshot`].
+    pub fn snapshot_kary(&self, confidence: f64) -> Result<KaryWorkerReport, ServiceError> {
+        let m = self.plan.n_workers();
+        if m < 3 {
+            return Err(ServiceError::Estimate(
+                crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
+            ));
+        }
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            self.send_to(s, ShardMsg::AssessAnchorsKary { confidence, reply })?;
+            rxs.push(rx);
+        }
+        let mut parts = Vec::with_capacity(rxs.len());
+        for (s, rx) in rxs.into_iter().enumerate() {
+            parts.push(
+                rx.recv()
+                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })??,
+            );
+        }
+        Ok(merge_kary_reports(parts))
+    }
+
+    /// FIFO barrier: returns once every shard has processed
+    /// everything enqueued before this call. Ingest may continue
+    /// afterwards — draining is a checkpoint, not shutdown.
+    pub fn drain(&self) -> Result<(), ServiceError> {
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            self.send_to(s, ShardMsg::Drain { reply })?;
+            rxs.push(rx);
+        }
+        for (s, rx) in rxs.into_iter().enumerate() {
+            rx.recv()
+                .map_err(|_| ServiceError::ShardUnavailable { shard: s })?;
+        }
+        Ok(())
+    }
+
+    /// A fleet-wide counters snapshot. Live services answer through
+    /// the shard queues (so the numbers reflect a drain point); after
+    /// [`AssessmentService::shutdown`] the final counters are served
+    /// from the joined threads.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        let shards = if let Some(finals) = &self.final_stats {
+            finals.clone()
+        } else {
+            let mut rxs = Vec::with_capacity(self.n_shards());
+            for s in 0..self.n_shards() {
+                let (reply, rx) = channel();
+                self.send_to(s, ShardMsg::Stats { reply })?;
+                rxs.push(rx);
+            }
+            let mut shards = Vec::with_capacity(rxs.len());
+            for (s, rx) in rxs.into_iter().enumerate() {
+                shards.push(
+                    rx.recv()
+                        .map_err(|_| ServiceError::ShardUnavailable { shard: s })?,
+                );
+            }
+            shards
+        };
+        Ok(ServiceStats {
+            shards,
+            submitted: self.submitted,
+            dropped_batches: self.dropped_batches,
+            dropped_responses: self.dropped_responses,
+            batch_sizes: self.batch_sizes.clone(),
+        })
+    }
+
+    /// Graceful shutdown: closes every shard queue (all enqueued work
+    /// is still processed), joins the threads and captures their
+    /// final counters. Idempotent; after shutdown, ingest and
+    /// assessment return [`ServiceError::ShuttingDown`] and
+    /// [`AssessmentService::stats`] serves the captured counters.
+    pub fn shutdown(&mut self) -> ServiceStats {
+        if self.senders.take().is_some() {
+            let finals = self
+                .handles
+                .drain(..)
+                .enumerate()
+                .map(|(s, h)| {
+                    h.join().unwrap_or_else(|_| ShardStats {
+                        shard: s,
+                        ..ShardStats::default()
+                    })
+                })
+                .collect();
+            self.final_stats = Some(finals);
+        }
+        self.stats().expect("post-shutdown stats are local")
+    }
+
+    fn home_shard_of(&self, worker: WorkerId) -> Result<usize, ServiceError> {
+        if worker.index() >= self.plan.n_workers() {
+            return Err(ServiceError::Data(DataError::UnknownId {
+                kind: "worker",
+                id: worker.0,
+            }));
+        }
+        Ok(self.plan.shard_of(worker))
+    }
+
+    /// Blocking send for assessment/control messages (backpressure
+    /// policies govern ingest only).
+    fn send_to(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
+        let senders = self.senders.as_ref().ok_or(ServiceError::ShuttingDown)?;
+        self.depths[shard].on_push();
+        senders[shard].send(msg).map_err(|_| {
+            self.depths[shard].on_pop();
+            ServiceError::ShardUnavailable { shard }
+        })
+    }
+}
+
+impl Drop for AssessmentService {
+    /// Dropping the handle shuts the fleet down gracefully (queues
+    /// close, threads drain and join) so tests and callers cannot
+    /// leak detached shard threads.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint task neighbourhoods (workers 0–2 on tasks 0–11,
+    /// workers 3–5 on tasks 12–23), so the two clustered shards have
+    /// disjoint closures and every response subscribes to exactly one
+    /// shard — the deterministic substrate the backpressure tests
+    /// need.
+    fn small_fleet() -> (crowd_data::ResponseMatrix, ShardPlan) {
+        use crowd_data::{Label, ResponseMatrixBuilder, TaskId};
+        let mut b = ResponseMatrixBuilder::new(6, 24, 2);
+        for w in 0..3u32 {
+            for t in 0..12u32 {
+                b.push(WorkerId(w), TaskId(t), Label(((w + t) % 2) as u16))
+                    .unwrap();
+            }
+        }
+        for w in 3..6u32 {
+            for t in 12..24u32 {
+                b.push(WorkerId(w), TaskId(t), Label((w % 2) as u16))
+                    .unwrap();
+            }
+        }
+        let data = b.build().unwrap();
+        let plan = ShardPlan::build_clustered(&data, 2);
+        (data, plan)
+    }
+
+    /// Parks shard `s` and returns the gate; dropping the gate
+    /// releases the shard. While parked the shard consumes exactly
+    /// the Stall message, so `queue_capacity` further messages fill
+    /// the queue deterministically.
+    fn stall(svc: &AssessmentService, s: usize) -> Sender<()> {
+        let (gate, gate_rx) = channel();
+        svc.depths[s].on_push();
+        svc.senders.as_ref().unwrap()[s]
+            .send(ShardMsg::Stall(gate_rx))
+            .unwrap();
+        // Wait until the shard has actually dequeued the stall
+        // message, so the whole queue capacity is ours to fill.
+        while svc.depths[s].depth.load(Ordering::Relaxed) != 0 {
+            std::thread::yield_now();
+        }
+        gate
+    }
+
+    #[test]
+    fn shed_policy_drops_with_accounting() {
+        let (data, plan) = small_fleet();
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default()
+                .with_queue_capacity(1)
+                .with_policy(BackpressurePolicy::Shed),
+        );
+        let all: Vec<Response> = data.iter().collect();
+        let home0: Vec<Response> = all
+            .iter()
+            .filter(|r| svc.plan().closure_shards(r.worker) == [0])
+            .take(4)
+            .copied()
+            .collect();
+        assert!(home0.len() >= 2, "need shard-0-only responses");
+        let gate = stall(&svc, 0);
+        // First batch occupies the single queue slot...
+        let first = svc.ingest_batch(&home0[..1]).unwrap();
+        assert_eq!((first.routed, first.shed_batches), (1, 0));
+        // ...the second is shed, with accounting on receipt and stats.
+        let second = svc.ingest_batch(&home0[1..2]).unwrap();
+        assert_eq!(second.routed, 0);
+        assert_eq!((second.shed_batches, second.shed_responses), (1, 1));
+        drop(gate);
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.dropped_batches, 1);
+        assert_eq!(stats.dropped_responses, 1);
+        assert_eq!(stats.submitted, 2);
+        assert!(stats.max_queue_high_water() >= 1);
+        // The shard recorded only the delivered response.
+        assert_eq!(stats.shards[0].responses, 1);
+    }
+
+    #[test]
+    fn reject_policy_fails_with_queue_full() {
+        let (data, plan) = small_fleet();
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default()
+                .with_queue_capacity(1)
+                .with_policy(BackpressurePolicy::Reject),
+        );
+        let all: Vec<Response> = data.iter().collect();
+        let home0: Vec<Response> = all
+            .iter()
+            .filter(|r| svc.plan().closure_shards(r.worker) == [0])
+            .take(2)
+            .copied()
+            .collect();
+        let gate = stall(&svc, 0);
+        svc.ingest_batch(&home0[..1]).unwrap();
+        match svc.ingest_batch(&home0[1..2]) {
+            Err(ServiceError::QueueFull {
+                shard: 0,
+                dropped: 1,
+            }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        drop(gate);
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.dropped_responses, 1);
+        assert_eq!(stats.shards[0].responses, 1);
+    }
+
+    #[test]
+    fn block_policy_waits_out_a_full_queue() {
+        let (data, plan) = small_fleet();
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default().with_queue_capacity(1),
+        );
+        let all: Vec<Response> = data.iter().collect();
+        let gate = stall(&svc, 0);
+        // Release the gate shortly after; the blocked send below must
+        // then complete instead of erroring or dropping.
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(gate);
+        });
+        let mut routed = 0;
+        for chunk in all.chunks(8) {
+            routed += svc.ingest_batch(chunk).unwrap().routed;
+        }
+        release.join().unwrap();
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.dropped_batches, 0);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.responses).sum::<u64>(),
+            routed as u64
+        );
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let (data, plan) = small_fleet();
+        let mut svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let all: Vec<Response> = data.iter().collect();
+        let mut routed = 0;
+        for chunk in all.chunks(16) {
+            routed += svc.ingest_batch(chunk).unwrap().routed;
+        }
+        // Shutdown with ingests possibly still queued: all of them
+        // must be processed before the threads exit.
+        let final_stats = svc.shutdown();
+        assert_eq!(
+            final_stats.shards.iter().map(|s| s.responses).sum::<u64>(),
+            routed as u64
+        );
+        assert_eq!(final_stats.total_rejected(), 0);
+        // Idempotent, and post-shutdown calls fail cleanly.
+        let again = svc.shutdown();
+        assert_eq!(again.shards, final_stats.shards);
+        assert!(matches!(
+            svc.ingest(all[0]),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert!(matches!(
+            svc.assess_worker(WorkerId(0), 0.9),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert!(matches!(svc.snapshot(0.9), Err(ServiceError::ShuttingDown)));
+        assert!(svc.stats().is_ok(), "stats served from captured finals");
+    }
+}

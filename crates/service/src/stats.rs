@@ -1,0 +1,139 @@
+//! Runtime counters: queue health, batching shape and the streaming
+//! substrate's maintenance diagnostics, aggregated fleet-wide.
+
+/// Counters one shard thread maintains and reports (via
+/// [`crate::AssessmentService::stats`], and finally when it exits).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id (position in the plan).
+    pub shard: usize,
+    /// Ingest batches this shard processed.
+    pub batches: u64,
+    /// Responses recorded into this shard's index (a response routed
+    /// to several subscribing shards counts once in each).
+    pub responses: u64,
+    /// Invalid responses rejected by the substrate
+    /// ([`crowd_data::DataError`]), counted at the worker's home
+    /// shard only so the fleet total is exact.
+    pub rejected: u64,
+    /// Assessment requests (per-worker and anchor-set) answered.
+    pub assess_requests: u64,
+    /// Lazy view re-anchors in the shard's streaming substrate
+    /// ([`crowd_data::StreamingIndex::reanchor_count`]).
+    pub reanchors: usize,
+    /// In-place gram patch operations
+    /// ([`crowd_data::StreamingIndex::gram_patch_count`]).
+    pub gram_patches: usize,
+    /// Full gram materializations
+    /// ([`crowd_data::StreamingIndex::gram_rebuild_count`]).
+    pub gram_rebuilds: usize,
+    /// High-water mark of the shard's bounded queue, in messages.
+    pub queue_high_water: usize,
+}
+
+/// Power-of-two histogram of ingest batch sizes: bucket `i` counts
+/// batches with `2^i ≤ size < 2^(i+1)` responses; the last bucket is
+/// open-ended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchHistogram {
+    buckets: [u64; Self::BUCKETS],
+}
+
+impl BatchHistogram {
+    /// Number of buckets (sizes 1 … ≥ 2¹¹).
+    pub const BUCKETS: usize = 12;
+
+    /// Records one batch of `size` responses (empty batches are
+    /// counted in the first bucket).
+    pub fn record(&mut self, size: usize) {
+        let bucket = (usize::BITS - 1).saturating_sub(size.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(Self::BUCKETS - 1)] += 1;
+    }
+
+    /// The bucket counts, smallest sizes first.
+    pub fn counts(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Inclusive lower bound of bucket `i` (`2^i`).
+    pub fn lower_bound(i: usize) -> usize {
+        1usize << i
+    }
+
+    /// Total batches recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// A fleet-wide stats snapshot; see
+/// [`crate::AssessmentService::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Responses submitted through the handle (before routing
+    /// fan-out; shed responses included).
+    pub submitted: u64,
+    /// Shard-bound groups shed under
+    /// [`crate::BackpressurePolicy::Shed`].
+    pub dropped_batches: u64,
+    /// Per-shard response deliveries lost to shedding or rejection.
+    pub dropped_responses: u64,
+    /// Ingest batch sizes, as submitted by callers.
+    pub batch_sizes: BatchHistogram,
+}
+
+impl ServiceStats {
+    /// Fleet total of lazy view re-anchors.
+    pub fn total_reanchors(&self) -> usize {
+        self.shards.iter().map(|s| s.reanchors).sum()
+    }
+
+    /// Fleet total of in-place gram patches.
+    pub fn total_gram_patches(&self) -> usize {
+        self.shards.iter().map(|s| s.gram_patches).sum()
+    }
+
+    /// Fleet total of full gram materializations.
+    pub fn total_gram_rebuilds(&self) -> usize {
+        self.shards.iter().map(|s| s.gram_rebuilds).sum()
+    }
+
+    /// Fleet total of invalid responses rejected (home-shard
+    /// accounting, so each bad response counts once).
+    pub fn total_rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// The deepest any shard queue ever got, in messages.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.queue_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = BatchHistogram::default();
+        for size in [0usize, 1, 1, 2, 3, 4, 7, 8, 256, 4096, 1 << 20] {
+            h.record(size);
+        }
+        let c = h.counts();
+        assert_eq!(c[0], 3, "sizes 0 (clamped), 1, 1");
+        assert_eq!(c[1], 2, "sizes 2, 3");
+        assert_eq!(c[2], 2, "sizes 4, 7");
+        assert_eq!(c[3], 1, "size 8");
+        assert_eq!(c[8], 1, "size 256");
+        assert_eq!(c[11], 2, "sizes ≥ 2048 share the open bucket");
+        assert_eq!(h.total(), 11);
+        assert_eq!(BatchHistogram::lower_bound(8), 256);
+    }
+}

@@ -81,6 +81,11 @@ pub struct ShardPlan {
     /// `home[w]` = the shard that evaluates worker `w`.
     home: Vec<u32>,
     shards: Vec<ShardSpec>,
+    /// CSR worker → subscribing shards: shard `s` subscribes to
+    /// worker `w` when `w` is in shard `s`'s closure (its index holds
+    /// `w`'s row). `subs[subs_off[w]..subs_off[w + 1]]`, ascending.
+    subs_off: Vec<u32>,
+    subs: Vec<u32>,
 }
 
 impl ShardPlan {
@@ -252,10 +257,26 @@ impl ShardPlan {
             })
             .collect();
 
+        // Invert the membership bitmaps into the CSR worker →
+        // subscribing-shards map (ascending shard order per worker).
+        let mut subs_off = Vec::with_capacity(m + 1);
+        let mut subs = Vec::new();
+        subs_off.push(0u32);
+        for w in 0..m {
+            for (s, row) in member.iter().enumerate() {
+                if row[w] {
+                    subs.push(s as u32);
+                }
+            }
+            subs_off.push(subs.len() as u32);
+        }
+
         Self {
             n_workers: m,
             home,
             shards,
+            subs_off,
+            subs,
         }
     }
 
@@ -281,6 +302,23 @@ impl ShardPlan {
     /// Panics if `worker` is outside the planned fleet.
     pub fn shard_of(&self, worker: WorkerId) -> usize {
         self.home[worker.index()] as usize
+    }
+
+    /// Every shard whose closure contains `worker` (ascending) — the
+    /// **ingest-routing** hook of a sharded service. Each listed
+    /// shard's index holds `worker`'s full row, so a new response
+    /// from `worker` must be delivered to *all* of them (not just
+    /// [`ShardPlan::shard_of`]) for per-shard state to stay
+    /// bit-identical to the unsharded substrate. Always contains the
+    /// home shard; a worker sharing no tasks with foreign anchors
+    /// subscribes to its home shard alone.
+    ///
+    /// # Panics
+    /// Panics if `worker` is outside the planned fleet.
+    pub fn closure_shards(&self, worker: WorkerId) -> &[u32] {
+        let w = worker.index();
+        let (lo, hi) = (self.subs_off[w] as usize, self.subs_off[w + 1] as usize);
+        &self.subs[lo..hi]
     }
 
     /// The largest closure across shards — the per-process row count
@@ -393,6 +431,47 @@ mod tests {
                 assert!(spec.closure.is_empty(), "empty shard needs no rows");
             }
         }
+    }
+
+    #[test]
+    fn closure_shards_inverts_the_closures() {
+        let data = clustered();
+        for n_shards in [1usize, 2, 3, 7, 11] {
+            for plan in [
+                ShardPlan::build(&data, n_shards),
+                ShardPlan::build_clustered(&data, n_shards),
+            ] {
+                for w in 0..data.n_workers() as u32 {
+                    let w = WorkerId(w);
+                    let subs = plan.closure_shards(w);
+                    // Exactly the shards whose closure lists w,
+                    // ascending, home always included.
+                    let expect: Vec<u32> = plan
+                        .shards()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, spec)| spec.closure.contains(&w))
+                        .map(|(s, _)| s as u32)
+                        .collect();
+                    assert_eq!(subs, expect, "worker {w:?}, n_shards {n_shards}");
+                    assert!(
+                        subs.contains(&(plan.shard_of(w) as u32)),
+                        "home shard must subscribe to its own anchor"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_workers_subscribe_to_home_only() {
+        let data = clustered();
+        let plan = ShardPlan::build(&data, 2);
+        // Worker 6 is silent: its row exists nowhere but its home
+        // shard (as an anchor), so ingest routes there alone.
+        assert_eq!(plan.closure_shards(WorkerId(6)), &[1]);
+        // Worker 3 bridges both neighbourhood closures.
+        assert_eq!(plan.closure_shards(WorkerId(3)), &[0, 1]);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Open-loop arrival schedules for load-generating the assessment
+//! runtime.
+//!
+//! A batch [`crate::BinaryScenario`] / [`crate::KaryScenario`] instance
+//! fixes *what* the crowd answered; an [`ArrivalSchedule`] fixes
+//! *when*: a deterministic shuffle of the instance's responses (the
+//! ingest order a service would actually see — workers interleave, they
+//! don't arrive row by row) plus Poisson arrival offsets at a target
+//! rate. The schedule is **open-loop**: offsets are drawn up front,
+//! independent of how fast the system under test drains them, which is
+//! what makes measured latency meaningful under load (a closed-loop
+//! driver self-throttles and hides queueing delay).
+//!
+//! Everything is reproducible from the scenario seed: the same
+//! `(data, rate, rng seed)` always yields the same order and the same
+//! offsets.
+
+use crate::Rng;
+use crowd_data::{Response, ResponseMatrix};
+use rand::RngExt;
+
+/// A fixed arrival trace: every response of one instance, in arrival
+/// order, with a monotone arrival offset (seconds from stream start)
+/// for each. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    responses: Vec<Response>,
+    offsets: Vec<f64>,
+}
+
+impl ArrivalSchedule {
+    /// Poisson arrivals: a uniform shuffle of `data`'s responses with
+    /// Exp(`rate`) inter-arrival gaps (`rate` in responses/second,
+    /// must be positive and finite).
+    pub fn poisson(data: &ResponseMatrix, rate: f64, rng: &mut Rng) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        let mut responses: Vec<Response> = data.iter().collect();
+        // Fisher–Yates over the response list.
+        for i in (1..responses.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            responses.swap(i, j);
+        }
+        let mut offsets = Vec::with_capacity(responses.len());
+        let mut t = 0.0f64;
+        for _ in 0..responses.len() {
+            // Inverse-CDF exponential gap; 1 - u keeps ln's argument
+            // in (0, 1].
+            let u: f64 = rng.random();
+            t += -(1.0 - u).ln() / rate;
+            offsets.push(t);
+        }
+        Self { responses, offsets }
+    }
+
+    /// Number of arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// True when the instance had no responses.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// The responses in arrival order.
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// Arrival offset (seconds from stream start) of the `i`-th
+    /// response; non-decreasing in `i`.
+    pub fn offset(&self, i: usize) -> f64 {
+        self.offsets[i]
+    }
+
+    /// The whole trace as `(offset_seconds, response)` pairs.
+    pub fn arrivals(&self) -> impl Iterator<Item = (f64, Response)> + '_ {
+        self.offsets
+            .iter()
+            .copied()
+            .zip(self.responses.iter().copied())
+    }
+
+    /// Offset of the last arrival — the trace's nominal duration.
+    pub fn duration(&self) -> f64 {
+        self.offsets.last().copied().unwrap_or(0.0)
+    }
+
+    /// The trace chopped into ingest batches of (at most) `size`
+    /// consecutive arrivals, preserving arrival order — the unit a
+    /// batching service hands to its router. `size` is clamped to
+    /// ≥ 1; the final batch may be short.
+    pub fn batches(&self, size: usize) -> impl Iterator<Item = &[Response]> + '_ {
+        self.responses.chunks(size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryScenario, rng};
+
+    fn instance() -> crate::BinaryInstance {
+        BinaryScenario::paper_default(6, 50, 0.8).generate(&mut rng(21))
+    }
+
+    #[test]
+    fn schedule_is_a_permutation_of_the_instance() {
+        let inst = instance();
+        let sched = ArrivalSchedule::poisson(inst.responses(), 100.0, &mut rng(5));
+        assert_eq!(sched.len(), inst.responses().n_responses());
+        let mut seen: Vec<(u32, u32)> = sched
+            .responses()
+            .iter()
+            .map(|r| (r.worker.0, r.task.0))
+            .collect();
+        seen.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = inst
+            .responses()
+            .iter()
+            .map(|r| (r.worker.0, r.task.0))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_rate_scaled() {
+        let inst = instance();
+        let sched = ArrivalSchedule::poisson(inst.responses(), 200.0, &mut rng(5));
+        for i in 1..sched.len() {
+            assert!(sched.offset(i) >= sched.offset(i - 1));
+        }
+        // Mean gap ≈ 1/rate (loose: a few hundred exponential draws).
+        let mean = sched.duration() / sched.len() as f64;
+        assert!(
+            (mean - 1.0 / 200.0).abs() < 2e-3,
+            "mean inter-arrival {mean}"
+        );
+        assert_eq!(sched.arrivals().count(), sched.len());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_the_seed() {
+        let inst = instance();
+        let a = ArrivalSchedule::poisson(inst.responses(), 50.0, &mut rng(9));
+        let b = ArrivalSchedule::poisson(inst.responses(), 50.0, &mut rng(9));
+        assert_eq!(a.responses(), b.responses());
+        for i in 0..a.len() {
+            assert_eq!(a.offset(i).to_bits(), b.offset(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn batching_preserves_order_and_covers_everything() {
+        let inst = instance();
+        let sched = ArrivalSchedule::poisson(inst.responses(), 50.0, &mut rng(3));
+        for size in [1usize, 7, 256] {
+            let flat: Vec<Response> = sched.batches(size).flatten().copied().collect();
+            assert_eq!(flat, sched.responses());
+            for batch in sched.batches(size) {
+                assert!(!batch.is_empty() && batch.len() <= size);
+            }
+        }
+        // Degenerate batch size clamps instead of panicking.
+        assert!(sched.batches(0).next().unwrap().len() == 1);
+    }
+}

@@ -18,12 +18,14 @@
 //!   [`BinaryInstance`]s / [`KaryInstance`]s from an explicit RNG, so
 //!   every experiment is reproducible from a seed.
 
+mod arrival;
 mod design;
 mod instance;
 mod presets;
 mod scenario;
 mod worker;
 
+pub use arrival::ArrivalSchedule;
 pub use design::AttemptDesign;
 pub use instance::{BinaryInstance, KaryInstance};
 pub use presets::{fig2c_densities, paper_error_pool, paper_matrices};

@@ -19,7 +19,10 @@
 //!   datasets,
 //! * [`core`] — the three estimators (A1, A2, A3) plus baselines,
 //! * [`shard`] — sharded assessment: shard plans, scoped sparse shard
-//!   indices, bit-identical report merging.
+//!   indices, bit-identical report merging,
+//! * [`service`] — the thread-per-shard assessment runtime: batched
+//!   ingest, bounded queues with backpressure, bit-identical fleet
+//!   snapshots.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use crowd_core as core;
 pub use crowd_data as data;
 pub use crowd_datasets as datasets;
 pub use crowd_linalg as linalg;
+pub use crowd_service as service;
 pub use crowd_shard as shard;
 pub use crowd_sim as sim;
 pub use crowd_stats as stats;
@@ -62,7 +66,8 @@ pub mod prelude {
     pub use crowd_data::{
         GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId,
     };
+    pub use crowd_service::{AssessmentService, BackpressurePolicy, ServiceConfig, ServiceError};
     pub use crowd_shard::{ShardPlan, ShardRunner};
-    pub use crowd_sim::{BinaryScenario, KaryScenario};
+    pub use crowd_sim::{ArrivalSchedule, BinaryScenario, KaryScenario};
     pub use crowd_stats::ConfidenceInterval;
 }
