@@ -1,0 +1,637 @@
+//! Wire-protocol overhead benchmark: the thread-per-shard assessment
+//! runtime served over `crowd_wire`'s loopback TCP transport,
+//! measured against the in-process handle it wraps.
+//!
+//! Emits `BENCH_PR7.json` (override the path with the first CLI
+//! argument; pass `--smoke` for a seconds-scale CI rot check):
+//!
+//! ```text
+//! cargo run --release -p crowd_bench --bin scaling_pr7
+//! ```
+//!
+//! The workload is the community-structured fleet of `scaling_pr6`
+//! streamed in [`crowd_sim::ArrivalSchedule`] order. Three phases:
+//!
+//! 1. **Bit-identity gate** — per shard count: the trace is streamed
+//!    *over the wire*, and at the mid-stream and final drain points
+//!    the over-the-wire snapshot is compared **byte-for-byte** (via
+//!    its wire encoding, so every interval bit pattern counts)
+//!    against the in-process snapshot of the same service AND against
+//!    a serial [`crowd_core::IncrementalEvaluator`]. Any divergence
+//!    aborts before a single number is written.
+//! 2. **Closed-loop throughput** — per (shard count, batch ∈ {1, 256}),
+//!    three transports: `in_process` (the handle, same code path as
+//!    `scaling_pr6` — the in-run baseline alongside the archived
+//!    `BENCH_PR6.json` numbers), `wire_serial` (one request/reply
+//!    round trip per batch), and `wire_pipelined` (window-bounded
+//!    pipelining via [`crowd_wire::WireClient::ingest_batches`]). An
+//!    `assess_worker` is mixed in every `assess_every` responses on
+//!    all three. In full runs the **pipelining floor** is asserted:
+//!    at batch 1, pipelined wire ingest must beat serial wire ingest
+//!    — amortizing round trips is the reason the pipelined path
+//!    exists.
+//! 3. **Open-loop latency** — the same Poisson schedule replayed
+//!    against the wall clock through [`crowd_sim::ArrivalCursor`],
+//!    offered at half the best wire throughput, once in-process and
+//!    once over the wire; every `assess_every`-th arrival issues a
+//!    blocking `assess_worker` and its round trip is recorded
+//!    (p50/p99/max). The wire rows price exactly what the transport
+//!    adds: framing, two socket hops, and the connection thread.
+
+use crowd_core::{EstimatorConfig, IncrementalEvaluator, WorkerReport};
+use crowd_data::{Label, Response, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId};
+use crowd_service::{AssessmentService, ServiceConfig, ServiceHandle};
+use crowd_shard::ShardPlan;
+use crowd_sim::ArrivalSchedule;
+use crowd_wire::proto::encode_reply;
+use crowd_wire::{Reply, WireClient, WireConfig, WireServer};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Community-structured workload (same shape and seed as
+/// `scaling_pr6`, so the archived PR6 numbers stay comparable).
+struct Workload {
+    communities: usize,
+    workers_per: usize,
+    tasks_per: usize,
+    density: f64,
+}
+
+impl Workload {
+    fn n_workers(&self) -> usize {
+        self.communities * self.workers_per
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.communities * self.tasks_per
+    }
+
+    /// Deterministic community-structured binary crowd; same
+    /// `(shape, seed)` → same matrix.
+    fn generate(&self, seed: u64) -> ResponseMatrix {
+        let m = self.n_workers();
+        let n = self.n_tasks();
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let unit = |x: u32| x as f64 / u32::MAX as f64 * 2.0;
+        let truths: Vec<u16> = (0..n).map(|_| (next() % 2) as u16).collect();
+        let error_rates: Vec<f64> = (0..m).map(|_| 0.05 + 0.15 * unit(next())).collect();
+        let mut b = ResponseMatrixBuilder::new(m, n, 2);
+        for w in 0..m {
+            let community = w / self.workers_per;
+            for t in community * self.tasks_per..(community + 1) * self.tasks_per {
+                if unit(next()) / 2.0 >= self.density {
+                    continue;
+                }
+                let flip = unit(next()) / 2.0 < error_rates[w];
+                let label = Label(truths[t] ^ u16::from(flip));
+                b.push(WorkerId(w as u32), TaskId(t as u32), label)
+                    .expect("generated ids are valid");
+            }
+        }
+        b.build().expect("generated cells are unique")
+    }
+}
+
+/// One closed-loop throughput measurement.
+struct ThroughputRow {
+    mode: &'static str,
+    n_shards: usize,
+    batch: usize,
+    responses: usize,
+    assess_requests: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+}
+
+/// One open-loop latency measurement.
+struct LatencyRow {
+    mode: &'static str,
+    n_shards: usize,
+    offered_rps: f64,
+    achieved_rps: f64,
+    assess_requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// A service with a wire server in front of it, torn down in order.
+struct Deployment {
+    service: AssessmentService,
+    server: WireServer,
+}
+
+impl Deployment {
+    fn spawn(data: &ResponseMatrix, n_shards: usize, config: &EstimatorConfig) -> Self {
+        let plan = ShardPlan::build_clustered(data, n_shards);
+        let service = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default().with_estimator(config.clone()),
+        );
+        let server = WireServer::bind("127.0.0.1:0", service.handle(), WireConfig::default())
+            .expect("bind loopback");
+        Self { service, server }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    fn handle(&self) -> ServiceHandle {
+        self.service.handle()
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let confidence = 0.9;
+
+    let (workload, shard_counts, assess_every): (Workload, Vec<usize>, usize) = if smoke {
+        (
+            Workload {
+                communities: 4,
+                workers_per: 12,
+                tasks_per: 30,
+                density: 0.5,
+            },
+            vec![2],
+            50,
+        )
+    } else {
+        (
+            Workload {
+                communities: 40,
+                workers_per: 50,
+                tasks_per: 80,
+                density: 0.35,
+            },
+            vec![2, 8],
+            500,
+        )
+    };
+    let config = EstimatorConfig::fleet(16);
+
+    eprintln!(
+        "generating community workload: {} workers, {} tasks ...",
+        workload.n_workers(),
+        workload.n_tasks()
+    );
+    let data = workload.generate(20260807);
+    let sched = ArrivalSchedule::poisson(&data, 1000.0, &mut crowd_sim::rng(6));
+    eprintln!("trace: {} responses", sched.len());
+
+    // Phase 1 — over-the-wire bit-identity gate at every measured
+    // shard count, before any number is written.
+    let (reference_mid, reference_final) = serial_reference(&data, &sched, &config, confidence);
+    let mut identity_checkpoints = 0usize;
+    for &n_shards in &shard_counts {
+        identity_checkpoints += verify_wire_identity(
+            &data,
+            &sched,
+            n_shards,
+            &config,
+            confidence,
+            &reference_mid,
+            &reference_final,
+        );
+        eprintln!("wire bit-identity verified at {n_shards} shards (mid-stream + final)");
+    }
+
+    // Phase 2 — closed-loop throughput: three transports per
+    // (shard count, batch size).
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    for &n_shards in &shard_counts {
+        for &batch in &[1usize, 256] {
+            for mode in ["in_process", "wire_serial", "wire_pipelined"] {
+                rows.push(run_throughput(
+                    &data,
+                    &sched,
+                    mode,
+                    n_shards,
+                    batch,
+                    assess_every,
+                    &config,
+                    confidence,
+                ));
+            }
+        }
+    }
+    for &n_shards in &shard_counts {
+        let rps = |mode: &str, b: usize| {
+            rows.iter()
+                .find(|r| r.mode == mode && r.n_shards == n_shards && r.batch == b)
+                .expect("measured above")
+                .throughput_rps
+        };
+        let (pipelined, serial) = (rps("wire_pipelined", 1), rps("wire_serial", 1));
+        eprintln!(
+            "{n_shards} shards @ batch 1: pipelined {pipelined:.0} rps vs serial {serial:.0} rps \
+             ({:.1}x); in-process {:.0} rps",
+            pipelined / serial,
+            rps("in_process", 1),
+        );
+        if !smoke {
+            assert!(
+                pipelined >= serial,
+                "pipelined wire ingest ({pipelined:.0} rps) lost to serial round trips \
+                 ({serial:.0} rps) at {n_shards} shards — the pipelining floor failed"
+            );
+        }
+    }
+
+    // Phase 3 — open-loop latency, in-process vs over the wire, on
+    // the largest shard count, both offered the same rate.
+    let best_wire_rps = rows
+        .iter()
+        .filter(|r| r.mode != "in_process")
+        .map(|r| r.throughput_rps)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let n_shards = *shard_counts.last().expect("non-empty");
+    let offered = best_wire_rps * 0.5;
+    let latencies = [
+        run_latency(
+            &data,
+            "in_process",
+            n_shards,
+            offered,
+            assess_every,
+            &config,
+            confidence,
+        ),
+        run_latency(
+            &data,
+            "wire",
+            n_shards,
+            offered,
+            assess_every,
+            &config,
+            confidence,
+        ),
+    ];
+    for l in &latencies {
+        eprintln!(
+            "open-loop {} @ {:.0} rps offered: assess p50 {:.3} ms, p99 {:.3} ms",
+            l.mode, l.offered_rps, l.p50_ms, l.p99_ms
+        );
+    }
+
+    let json = render_json(
+        &workload,
+        &data,
+        identity_checkpoints,
+        assess_every,
+        &rows,
+        &latencies,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// The single-threaded streaming reference: one
+/// [`IncrementalEvaluator`] fed the same arrival order, evaluated at
+/// the same mid-stream cut and at the end.
+fn serial_reference(
+    data: &ResponseMatrix,
+    sched: &ArrivalSchedule,
+    config: &EstimatorConfig,
+    confidence: f64,
+) -> (WorkerReport, WorkerReport) {
+    let mut serial = IncrementalEvaluator::new(
+        data.n_workers(),
+        data.n_tasks(),
+        data.arity(),
+        config.clone(),
+    );
+    let cut = sched.len() / 2;
+    for r in &sched.responses()[..cut] {
+        serial.ingest(*r).expect("valid trace");
+    }
+    let mid = serial.evaluate_all(confidence).expect("m >= 3");
+    for r in &sched.responses()[cut..] {
+        serial.ingest(*r).expect("valid trace");
+    }
+    let fin = serial.evaluate_all(confidence).expect("m >= 3");
+    (mid, fin)
+}
+
+/// Byte-for-byte equality via the wire encoding — the strongest
+/// equality the protocol can state (NaN payloads and signed zeros
+/// included), and exactly what "no transport drift" means.
+fn reports_byte_identical(a: &WorkerReport, b: &WorkerReport) -> bool {
+    encode_reply(&Reply::Report(a.clone())) == encode_reply(&Reply::Report(b.clone()))
+}
+
+/// Streams the trace over the wire and checks the over-the-wire
+/// snapshots byte-for-byte against the in-process handle and the
+/// serial reference at both drain points. Returns checkpoints passed.
+fn verify_wire_identity(
+    data: &ResponseMatrix,
+    sched: &ArrivalSchedule,
+    n_shards: usize,
+    config: &EstimatorConfig,
+    confidence: f64,
+    reference_mid: &WorkerReport,
+    reference_final: &WorkerReport,
+) -> usize {
+    let dep = Deployment::spawn(data, n_shards, config);
+    let mut client = WireClient::connect(dep.addr()).expect("connect");
+    let cut = sched.len() / 2;
+    let halves = [
+        (&sched.responses()[..cut], reference_mid, "mid-stream"),
+        (&sched.responses()[cut..], reference_final, "final"),
+    ];
+    let mut checkpoints = 0usize;
+    for (half, reference, point) in halves {
+        let batches: Vec<Vec<Response>> = half.chunks(64).map(<[Response]>::to_vec).collect();
+        for receipt in client.ingest_batches(&batches).expect("pipelined ingest") {
+            receipt.expect("default policy blocks, never sheds");
+        }
+        let over_wire = client.snapshot(confidence).expect("wire snapshot");
+        let local = dep.handle().snapshot(confidence).expect("local snapshot");
+        assert!(
+            reports_byte_identical(&over_wire, &local),
+            "{point} wire snapshot diverged from the in-process snapshot at {n_shards} shards"
+        );
+        assert!(
+            reports_byte_identical(&over_wire, reference),
+            "{point} wire snapshot diverged from serial streaming at {n_shards} shards"
+        );
+        checkpoints += 2;
+    }
+    checkpoints
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_throughput(
+    data: &ResponseMatrix,
+    sched: &ArrivalSchedule,
+    mode: &'static str,
+    n_shards: usize,
+    batch: usize,
+    assess_every: usize,
+    config: &EstimatorConfig,
+    confidence: f64,
+) -> ThroughputRow {
+    let dep = Deployment::spawn(data, n_shards, config);
+    let handle = dep.handle();
+    let m = data.n_workers() as u32;
+    let mut assess_requests = 0usize;
+    let pick_worker = |seen: usize| WorkerId(((seen / assess_every) as u32 * 37) % m);
+
+    let start = Instant::now();
+    match mode {
+        "in_process" => {
+            let mut seen = 0usize;
+            for group in sched.batches(batch) {
+                handle.ingest_batch(group).expect("ingest");
+                let before = seen;
+                seen += group.len();
+                if seen / assess_every > before / assess_every {
+                    let _ = handle.assess_worker(pick_worker(seen), confidence);
+                    assess_requests += 1;
+                }
+            }
+            handle.drain().expect("drain");
+        }
+        "wire_serial" => {
+            let mut client = WireClient::connect(dep.addr()).expect("connect");
+            let mut seen = 0usize;
+            for group in sched.batches(batch) {
+                client.ingest_batch(group).expect("ingest");
+                let before = seen;
+                seen += group.len();
+                if seen / assess_every > before / assess_every {
+                    let _ = client.assess_worker(pick_worker(seen), confidence);
+                    assess_requests += 1;
+                }
+            }
+            client.drain().expect("drain");
+        }
+        "wire_pipelined" => {
+            let mut client = WireClient::connect(dep.addr()).expect("connect");
+            // Pipeline a window of batches, then interleave the same
+            // assessment mix at window boundaries.
+            let groups: Vec<Vec<Response>> =
+                sched.batches(batch).map(<[Response]>::to_vec).collect();
+            let mut seen = 0usize;
+            for window in groups.chunks(assess_every.div_ceil(batch.max(1)).max(1)) {
+                for receipt in client.ingest_batches(window).expect("pipelined ingest") {
+                    receipt.expect("default policy blocks, never sheds");
+                }
+                let before = seen;
+                seen += window.iter().map(Vec::len).sum::<usize>();
+                if seen / assess_every > before / assess_every {
+                    let _ = client.assess_worker(pick_worker(seen), confidence);
+                    assess_requests += 1;
+                }
+            }
+            client.drain().expect("drain");
+        }
+        other => unreachable!("unknown mode {other}"),
+    }
+    let wall_ms = ms(start);
+    let row = ThroughputRow {
+        mode,
+        n_shards,
+        batch,
+        responses: sched.len(),
+        assess_requests,
+        wall_ms,
+        throughput_rps: sched.len() as f64 / (wall_ms / 1e3),
+    };
+    eprintln!(
+        "throughput: {mode}, {n_shards} shards, batch {batch}: {:.0} rps ({:.0} ms, {} assess)",
+        row.throughput_rps, row.wall_ms, row.assess_requests
+    );
+    row
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_latency(
+    data: &ResponseMatrix,
+    mode: &'static str,
+    n_shards: usize,
+    offered_rps: f64,
+    assess_every: usize,
+    config: &EstimatorConfig,
+    confidence: f64,
+) -> LatencyRow {
+    let dep = Deployment::spawn(data, n_shards, config);
+    let handle = dep.handle();
+    let mut client = (mode == "wire").then(|| WireClient::connect(dep.addr()).expect("connect"));
+    let sched = ArrivalSchedule::poisson(data, offered_rps, &mut crowd_sim::rng(60));
+    let m = data.n_workers() as u32;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut cursor = sched.cursor();
+    let t0 = Instant::now();
+    while !cursor.is_done() {
+        // Open loop: sleep until the next scheduled arrival, then
+        // ingest everything that has come due as one group.
+        if let Some(due) = cursor.next_due() {
+            let due = Duration::from_secs_f64(due);
+            let now = t0.elapsed();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let delivered = sched.len() - cursor.remaining();
+        let group = cursor.due_by(t0.elapsed().as_secs_f64(), usize::MAX);
+        if group.is_empty() {
+            continue;
+        }
+        let after = delivered + group.len();
+        match &mut client {
+            Some(c) => {
+                c.ingest_batch(group).expect("ingest");
+            }
+            None => {
+                handle.ingest_batch(group).expect("ingest");
+            }
+        }
+        if after / assess_every > delivered / assess_every {
+            let worker = WorkerId(((after / assess_every) as u32 * 37) % m);
+            let start = Instant::now();
+            match &mut client {
+                Some(c) => {
+                    let _ = c.assess_worker(worker, confidence);
+                }
+                None => {
+                    let _ = handle.assess_worker(worker, confidence);
+                }
+            }
+            latencies.push(ms(start));
+        }
+    }
+    match &mut client {
+        Some(c) => c.drain().expect("drain"),
+        None => handle.drain().expect("drain"),
+    }
+    let achieved_rps = sched.len() as f64 / t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    LatencyRow {
+        mode,
+        n_shards,
+        offered_rps,
+        achieved_rps,
+        assess_requests: latencies.len(),
+        p50_ms: pick(0.50),
+        p99_ms: pick(0.99),
+        max_ms: *latencies.last().expect("at least one assess"),
+    }
+}
+
+fn render_json(
+    w: &Workload,
+    data: &ResponseMatrix,
+    identity_checkpoints: usize,
+    assess_every: usize,
+    rows: &[ThroughputRow],
+    latencies: &[LatencyRow],
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut s = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"wire protocol overhead: assessment service over loopback TCP vs the in-process handle\",\n",
+            "  \"confidence\": 0.9,\n",
+            "  \"timing\": \"wall clock; throughput in responses/second, latency in milliseconds (assess_worker round-trip)\",\n",
+            "  \"baseline\": \"in_process rows re-measure the scaling_pr6 code path in this run; archived PR6 numbers in BENCH_PR6.json\",\n",
+            "  \"host_available_parallelism\": {},\n",
+            "  \"workload\": {{\n",
+            "    \"workers\": {},\n",
+            "    \"tasks\": {},\n",
+            "    \"communities\": {},\n",
+            "    \"within_community_density\": {},\n",
+            "    \"responses\": {},\n",
+            "    \"assess_every_n_responses\": {}\n",
+            "  }},\n",
+            "  \"bit_identity\": {{\n",
+            "    \"verified\": true,\n",
+            "    \"checkpoints\": {},\n",
+            "    \"comparison\": \"byte equality of wire-encoded reports\",\n",
+            "    \"reference\": \"in-process snapshot of the same service + serial IncrementalEvaluator, mid-stream + final\"\n",
+            "  }},\n",
+            "  \"throughput\": [\n",
+        ),
+        cores,
+        w.n_workers(),
+        w.n_tasks(),
+        w.communities,
+        w.density,
+        data.n_responses(),
+        assess_every,
+        identity_checkpoints,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"mode\": \"{}\",\n",
+                "      \"shards\": {},\n",
+                "      \"ingest_batch_size\": {},\n",
+                "      \"responses\": {},\n",
+                "      \"assess_requests\": {},\n",
+                "      \"wall_ms\": {:.2},\n",
+                "      \"throughput_rps\": {:.1}\n",
+                "    }}{}\n",
+            ),
+            r.mode,
+            r.n_shards,
+            r.batch,
+            r.responses,
+            r.assess_requests,
+            r.wall_ms,
+            r.throughput_rps,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"latency_open_loop\": [\n");
+    for (i, l) in latencies.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"mode\": \"{}\",\n",
+                "      \"shards\": {},\n",
+                "      \"offered_rps\": {:.1},\n",
+                "      \"achieved_rps\": {:.1},\n",
+                "      \"assess_requests\": {},\n",
+                "      \"assess_p50_ms\": {:.4},\n",
+                "      \"assess_p99_ms\": {:.4},\n",
+                "      \"assess_max_ms\": {:.4}\n",
+                "    }}{}\n",
+            ),
+            l.mode,
+            l.n_shards,
+            l.offered_rps,
+            l.achieved_rps,
+            l.assess_requests,
+            l.p50_ms,
+            l.p99_ms,
+            l.max_ms,
+            if i + 1 < latencies.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

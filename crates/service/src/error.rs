@@ -33,6 +33,22 @@ pub enum ServiceError {
         /// The unreachable shard.
         shard: usize,
     },
+    /// A shard thread panicked; discovered when its thread is joined
+    /// at shutdown. Its counters are unrecoverable, so
+    /// [`crate::ServiceHandle::stats`] and
+    /// [`crate::ServiceHandle::shutdown`] report the dead shard
+    /// instead of fabricating zeroed stats for it.
+    ShardPanicked {
+        /// The shard whose thread died.
+        shard: usize,
+    },
+    /// The wire protocol layer rejected a frame (truncated, oversized,
+    /// unknown opcode, malformed payload) or an unexpected reply. The
+    /// message carries the decoder's diagnosis.
+    Wire(String),
+    /// A transport (socket) error between a wire client and server;
+    /// the message carries the underlying `std::io::Error` rendering.
+    Io(String),
     /// Request validation failed before routing (unknown worker id,
     /// …).
     Data(DataError),
@@ -51,6 +67,14 @@ impl std::fmt::Display for ServiceError {
             Self::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} is unavailable")
             }
+            Self::ShardPanicked { shard } => {
+                write!(
+                    f,
+                    "shard {shard}'s thread panicked; its final stats are lost"
+                )
+            }
+            Self::Wire(msg) => write!(f, "wire protocol error: {msg}"),
+            Self::Io(msg) => write!(f, "transport error: {msg}"),
             Self::Data(e) => write!(f, "invalid request: {e}"),
             Self::Estimate(e) => write!(f, "estimation failed: {e}"),
         }

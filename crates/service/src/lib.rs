@@ -50,8 +50,19 @@
 //! | `ingest_batch` (size `B`)  | ≤ shards msgs        | `O(log r + r_t)` per response (index insert + pair/view patches) |
 //! | `assess_worker` (binary)   | 1 msg + 1 reply      | pairing + triple pipeline over maintained views (no rescan) |
 //! | `assess_worker_kary`       | 1 msg + 1 reply      | A3 pipelines + `n₅` popcounts on maintained views |
+//! | `assess_workers` (`W` ids) | `W` msgs + `W` replies | per-worker pipelines, home shards evaluate concurrently |
 //! | `snapshot` / `snapshot_kary` | 1 msg + reply per shard | anchors-only evaluation, merged in canonical order |
 //! | `drain`                    | 1 msg + reply per shard | none (FIFO barrier) |
+//!
+//! [`AssessmentService`] uniquely owns the fleet (drop = graceful
+//! shutdown); [`AssessmentService::handle`] yields cloneable
+//! [`ServiceHandle`]s — the `Send + Sync` dispatch seam concurrent
+//! front-ends (such as `crowd_wire`'s per-connection threads) share.
+//! Failure reporting is typed end to end: a shard thread that panics
+//! surfaces as [`ServiceError::ShardPanicked`] from `shutdown()` and
+//! `stats()` (never fabricated zeroed counters), and no public method
+//! can panic on malformed input, a dead shard, or a post-shutdown
+//! call.
 //!
 //! Runtime health is observable, not vibes: per-shard queue-depth
 //! high-water marks, a batch-size histogram, and the streaming
@@ -66,5 +77,5 @@ mod stats;
 
 pub use config::{BackpressurePolicy, ServiceConfig};
 pub use error::ServiceError;
-pub use runtime::{AssessmentService, IngestReceipt};
+pub use runtime::{AssessmentService, IngestReceipt, ServiceHandle};
 pub use stats::{BatchHistogram, ServiceStats, ShardStats};

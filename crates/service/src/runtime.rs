@@ -1,9 +1,9 @@
 //! The thread-per-shard runtime; see the [crate docs](crate) for the
 //! architecture and guarantees.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError, channel, sync_channel};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 
 use crowd_core::{
@@ -78,6 +78,10 @@ enum ShardMsg {
     /// backpressure tests can fill the bounded queue deterministically.
     #[cfg(test)]
     Stall(Receiver<()>),
+    /// Test-only: panic the shard thread, so the dead-shard reporting
+    /// paths ([`ServiceError::ShardPanicked`]) can be pinned by tests.
+    #[cfg(test)]
+    Panic,
 }
 
 /// The state one shard thread owns.
@@ -166,6 +170,8 @@ impl ShardWorker {
                     // Blocks until the test drops its sender.
                     let _ = gate.recv();
                 }
+                #[cfg(test)]
+                ShardMsg::Panic => panic!("injected shard panic (test)"),
             }
         }
         // Queue disconnected: the handle dropped its senders
@@ -197,45 +203,68 @@ pub struct IngestReceipt {
     pub shed_responses: usize,
 }
 
-/// The thread-per-shard assessment runtime; see the
-/// [crate docs](crate).
-///
-/// # Example
-///
-/// ```
-/// use crowd_service::{AssessmentService, ServiceConfig};
-/// use crowd_shard::ShardPlan;
-/// use crowd_sim::BinaryScenario;
-///
-/// let instance =
-///     BinaryScenario::paper_default(6, 80, 0.9).generate(&mut crowd_sim::rng(11));
-/// let data = instance.responses();
-/// let plan = ShardPlan::build_clustered(data, 2);
-/// let mut service =
-///     AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
-/// for batch in data.iter().collect::<Vec<_>>().chunks(16) {
-///     service.ingest_batch(batch)?;
-/// }
-/// let report = service.snapshot(0.9)?;
-/// assert_eq!(report.assessments.len() + report.failures.len(), 6);
-/// service.shutdown();
-/// # Ok::<(), crowd_service::ServiceError>(())
-/// ```
-#[derive(Debug)]
-pub struct AssessmentService {
-    plan: ShardPlan,
-    policy: BackpressurePolicy,
-    senders: Option<Vec<SyncSender<ShardMsg>>>,
-    handles: Vec<JoinHandle<ShardStats>>,
-    depths: Vec<Arc<QueueDepth>>,
-    /// Reusable per-shard grouping buffers for `ingest_batch`.
+/// The mutable routing state behind [`ServiceHandle::ingest_batch`]:
+/// one lock serializes routing (batches must land on the FIFO queues
+/// in submission order for drain points to be well-defined) and owns
+/// the handle-side counters.
+#[derive(Debug, Default)]
+struct IngestState {
+    /// Reusable per-shard grouping buffers.
     route_buf: Vec<Vec<Response>>,
     submitted: u64,
     dropped_batches: u64,
     dropped_responses: u64,
     batch_sizes: BatchHistogram,
-    /// Per-shard counters captured at shutdown, served afterwards.
-    final_stats: Option<Vec<ShardStats>>,
+}
+
+/// Shard-thread ownership: join handles while live, the per-shard
+/// final counters after shutdown (`None` for a shard whose thread
+/// panicked — surfaced as [`ServiceError::ShardPanicked`], never
+/// fabricated as zeros).
+#[derive(Debug, Default)]
+struct Lifecycle {
+    handles: Vec<JoinHandle<ShardStats>>,
+    final_stats: Option<Vec<Option<ShardStats>>>,
+}
+
+/// State shared by every [`ServiceHandle`] clone.
+#[derive(Debug)]
+struct Shared {
+    plan: ShardPlan,
+    n_tasks: usize,
+    arity: u16,
+    policy: BackpressurePolicy,
+    depths: Vec<Arc<QueueDepth>>,
+    /// `Some` while live; taken (dropped) at shutdown so the shard
+    /// queues disconnect and the threads drain and exit.
+    senders: RwLock<Option<Vec<SyncSender<ShardMsg>>>>,
+    ingest: Mutex<IngestState>,
+    lifecycle: Mutex<Lifecycle>,
+}
+
+/// Ignore lock poisoning: a poisoned lock means some thread panicked
+/// while holding it; the state it guards (routing buffers, counters,
+/// join handles) stays structurally valid, and the panic itself is
+/// surfaced through [`ServiceError::ShardPanicked`] /
+/// [`ServiceError::ShardUnavailable`] — never as a second panic from
+/// a public method.
+fn lock_ignore_poison<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A cloneable, thread-safe handle to a running [`AssessmentService`]
+/// fleet: the dispatch seam the wire server fans its connection
+/// threads into.
+///
+/// Every method takes `&self`; clones share the same shard threads,
+/// queues and counters. Ingest is serialized by an internal lock (the
+/// FIFO drain-point contract needs a single routing order); assessment
+/// and control requests from different threads proceed concurrently.
+/// Unlike [`AssessmentService`], dropping a `ServiceHandle` does *not*
+/// shut the fleet down.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
 }
 
 // The message enum holds reply senders; keep its Debug noise out of
@@ -252,72 +281,32 @@ impl std::fmt::Debug for ShardMsg {
             Self::Drain { .. } => "Drain",
             #[cfg(test)]
             Self::Stall(_) => "Stall",
+            #[cfg(test)]
+            Self::Panic => "Panic",
         };
         f.write_str(name)
     }
 }
 
-impl AssessmentService {
-    /// Spawns one shard thread per plan shard, each owning a fresh
-    /// sparse-backed [`StreamingIndex`] over the global
-    /// `plan.n_workers() × n_tasks` id space (rows materialize only
-    /// for responses routed to the shard, i.e. its closure).
-    pub fn spawn(plan: ShardPlan, n_tasks: usize, arity: u16, config: ServiceConfig) -> Self {
-        let n_shards = plan.n_shards();
-        let m = plan.n_workers();
-        let capacity = config.queue_capacity.max(1);
-        let mut senders = Vec::with_capacity(n_shards);
-        let mut handles = Vec::with_capacity(n_shards);
-        let mut depths = Vec::with_capacity(n_shards);
-        for (s, spec) in plan.shards().iter().enumerate() {
-            let (tx, rx) = sync_channel::<ShardMsg>(capacity);
-            let depth = Arc::new(QueueDepth::default());
-            let worker = ShardWorker {
-                stream: StreamingIndex::new_with(m, n_tasks, arity, PairBackend::Sparse),
-                binary: MWorkerEstimator::new(config.estimator.clone()),
-                kary: KaryMWorkerEstimator::new(config.estimator.clone()),
-                anchors: spec.anchors.clone(),
-                is_home: (0..m)
-                    .map(|w| plan.shard_of(WorkerId(w as u32)) == s)
-                    .collect(),
-                depth: Arc::clone(&depth),
-                stats: ShardStats {
-                    shard: s,
-                    ..ShardStats::default()
-                },
-            };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("crowd-shard-{s}"))
-                    .spawn(move || worker.run(rx))
-                    .expect("spawning a shard thread"),
-            );
-            senders.push(tx);
-            depths.push(depth);
-        }
-        Self {
-            plan,
-            policy: config.policy,
-            senders: Some(senders),
-            handles,
-            depths,
-            route_buf: vec![Vec::new(); n_shards],
-            submitted: 0,
-            dropped_batches: 0,
-            dropped_responses: 0,
-            batch_sizes: BatchHistogram::default(),
-            final_stats: None,
-        }
-    }
-
+impl ServiceHandle {
     /// The plan the service routes by.
     pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+        &self.shared.plan
     }
 
     /// Number of shard threads.
     pub fn n_shards(&self) -> usize {
-        self.plan.n_shards()
+        self.shared.plan.n_shards()
+    }
+
+    /// Task-id space the fleet was spawned over.
+    pub fn n_tasks(&self) -> usize {
+        self.shared.n_tasks
+    }
+
+    /// Label arity the fleet was spawned over.
+    pub fn arity(&self) -> u16 {
+        self.shared.arity
     }
 
     /// Enqueues one batch of responses: validates ids, groups the
@@ -326,33 +315,47 @@ impl AssessmentService {
     /// the configured [`BackpressurePolicy`]. Ingest is asynchronous;
     /// substrate-level rejects (duplicates, bad labels) are counted in
     /// [`ShardStats::rejected`], not returned here.
-    pub fn ingest_batch(&mut self, batch: &[Response]) -> Result<IngestReceipt, ServiceError> {
-        if self.senders.is_none() {
-            return Err(ServiceError::ShuttingDown);
-        }
+    ///
+    /// Worker ids are validated against [`ShardPlan::n_workers`] (as
+    /// widths, no truncating casts) **before** any routing state is
+    /// touched: a batch containing one out-of-range id fails whole —
+    /// no shard queue sees any part of it, and no counter moves.
+    pub fn ingest_batch(&self, batch: &[Response]) -> Result<IngestReceipt, ServiceError> {
         // Routing needs in-range worker ids; reject up front so a bad
-        // id fails the call instead of poisoning per-shard accounting.
-        let m = self.plan.n_workers() as u32;
+        // id fails the call instead of poisoning per-shard accounting
+        // or partially applying the batch's valid prefix.
+        let m = self.shared.plan.n_workers();
         for r in batch {
-            if r.worker.0 >= m {
+            if r.worker.index() >= m {
                 return Err(ServiceError::Data(DataError::UnknownId {
                     kind: "worker",
                     id: r.worker.0,
                 }));
             }
         }
-        self.batch_sizes.record(batch.len());
-        self.submitted += batch.len() as u64;
+        // Hold the senders read-guard for the whole routing pass so a
+        // concurrent shutdown (which takes the write side) cannot
+        // disconnect the queues under a half-routed batch.
+        let senders_guard = self
+            .shared
+            .senders
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(senders) = senders_guard.as_ref() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        let mut ing = lock_ignore_poison(&self.shared.ingest);
+        ing.batch_sizes.record(batch.len());
+        ing.submitted += batch.len() as u64;
         for r in batch {
-            for &s in self.plan.closure_shards(r.worker) {
-                self.route_buf[s as usize].push(*r);
+            for &s in self.shared.plan.closure_shards(r.worker) {
+                ing.route_buf[s as usize].push(*r);
             }
         }
-        let senders = self.senders.as_ref().expect("checked above");
         let mut receipt = IngestReceipt::default();
         let mut rejected: Option<(usize, usize)> = None;
-        for s in 0..self.route_buf.len() {
-            let group = std::mem::take(&mut self.route_buf[s]);
+        for s in 0..ing.route_buf.len() {
+            let group = std::mem::take(&mut ing.route_buf[s]);
             if group.is_empty() {
                 continue;
             }
@@ -363,12 +366,12 @@ impl AssessmentService {
                 *dropped += len;
                 continue;
             }
-            self.depths[s].on_push();
-            match self.policy {
+            self.shared.depths[s].on_push();
+            match self.shared.policy {
                 BackpressurePolicy::Block => match senders[s].send(ShardMsg::Ingest(group)) {
                     Ok(()) => receipt.routed += len,
                     Err(_) => {
-                        self.depths[s].on_pop();
+                        self.shared.depths[s].on_pop();
                         return Err(ServiceError::ShardUnavailable { shard: s });
                     }
                 },
@@ -376,18 +379,18 @@ impl AssessmentService {
                     match senders[s].try_send(ShardMsg::Ingest(group)) {
                         Ok(()) => receipt.routed += len,
                         Err(TrySendError::Full(_)) => {
-                            self.depths[s].on_pop();
-                            if self.policy == BackpressurePolicy::Shed {
+                            self.shared.depths[s].on_pop();
+                            if self.shared.policy == BackpressurePolicy::Shed {
                                 receipt.shed_batches += 1;
                                 receipt.shed_responses += len;
-                                self.dropped_batches += 1;
-                                self.dropped_responses += len as u64;
+                                ing.dropped_batches += 1;
+                                ing.dropped_responses += len as u64;
                             } else {
                                 rejected = Some((s, len));
                             }
                         }
                         Err(TrySendError::Disconnected(_)) => {
-                            self.depths[s].on_pop();
+                            self.shared.depths[s].on_pop();
                             return Err(ServiceError::ShardUnavailable { shard: s });
                         }
                     }
@@ -395,16 +398,16 @@ impl AssessmentService {
             }
         }
         if let Some((shard, dropped)) = rejected {
-            self.dropped_responses += dropped as u64;
+            ing.dropped_responses += dropped as u64;
             return Err(ServiceError::QueueFull { shard, dropped });
         }
         Ok(receipt)
     }
 
-    /// [`AssessmentService::ingest_batch`] for a single response —
-    /// the request-at-a-time floor the batching benchmark compares
+    /// [`ServiceHandle::ingest_batch`] for a single response — the
+    /// request-at-a-time floor the batching benchmark compares
     /// against.
-    pub fn ingest(&mut self, response: Response) -> Result<IngestReceipt, ServiceError> {
+    pub fn ingest(&self, response: Response) -> Result<IngestReceipt, ServiceError> {
         self.ingest_batch(std::slice::from_ref(&response))
     }
 
@@ -451,6 +454,49 @@ impl AssessmentService {
             .map_err(|_| ServiceError::ShardUnavailable { shard })?
     }
 
+    /// Evaluates an explicit set of workers (binary), each on its home
+    /// shard's maintained substrate, returning one report in canonical
+    /// worker order. Per-worker estimation failures land in the
+    /// report's `failures` (the same partial-result contract as
+    /// [`ServiceHandle::snapshot`]); runtime failures (shutdown, dead
+    /// shard) fail the call.
+    pub fn assess_workers(
+        &self,
+        workers: &[WorkerId],
+        confidence: f64,
+    ) -> Result<WorkerReport, ServiceError> {
+        // Enqueue all requests before awaiting any reply so distinct
+        // home shards evaluate concurrently.
+        let mut rxs = Vec::with_capacity(workers.len());
+        for &worker in workers {
+            let shard = self.home_shard_of(worker)?;
+            let (reply, rx) = channel();
+            self.send_to(
+                shard,
+                ShardMsg::AssessWorker {
+                    worker,
+                    confidence,
+                    reply,
+                },
+            )?;
+            rxs.push((worker, shard, rx));
+        }
+        let mut report = WorkerReport::default();
+        for (worker, shard, rx) in rxs {
+            match rx
+                .recv()
+                .map_err(|_| ServiceError::ShardUnavailable { shard })?
+            {
+                Ok(a) => report.assessments.push(a),
+                Err(ServiceError::Estimate(e)) => report.failures.push((worker, e)),
+                Err(other) => return Err(other),
+            }
+        }
+        report.assessments.sort_by_key(|a| a.worker);
+        report.failures.sort_by_key(|f| f.0);
+        Ok(report)
+    }
+
     /// Fleet snapshot (binary): every shard evaluates its anchors
     /// against its maintained substrate, and the per-shard reports
     /// merge in canonical worker order ([`merge_reports`]) —
@@ -459,7 +505,7 @@ impl AssessmentService {
     /// same responses. Requests are enqueued on all shards before any
     /// reply is awaited, so shards evaluate concurrently.
     pub fn snapshot(&self, confidence: f64) -> Result<WorkerReport, ServiceError> {
-        let m = self.plan.n_workers();
+        let m = self.shared.plan.n_workers();
         if m < 3 {
             return Err(ServiceError::Estimate(
                 crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
@@ -481,9 +527,9 @@ impl AssessmentService {
         Ok(merge_reports(parts))
     }
 
-    /// Fleet snapshot (k-ary); see [`AssessmentService::snapshot`].
+    /// Fleet snapshot (k-ary); see [`ServiceHandle::snapshot`].
     pub fn snapshot_kary(&self, confidence: f64) -> Result<KaryWorkerReport, ServiceError> {
-        let m = self.plan.n_workers();
+        let m = self.shared.plan.n_workers();
         if m < 3 {
             return Err(ServiceError::Estimate(
                 crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
@@ -524,87 +570,307 @@ impl AssessmentService {
 
     /// A fleet-wide counters snapshot. Live services answer through
     /// the shard queues (so the numbers reflect a drain point); after
-    /// [`AssessmentService::shutdown`] the final counters are served
-    /// from the joined threads.
+    /// [`ServiceHandle::shutdown`] the final counters are served from
+    /// the joined threads. If any shard thread panicked, this returns
+    /// [`ServiceError::ShardPanicked`] instead of fabricating zeroed
+    /// counters for the dead shard; a call racing an in-flight
+    /// shutdown returns [`ServiceError::ShuttingDown`]. No path
+    /// through here can panic.
     pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
-        let shards = if let Some(finals) = &self.final_stats {
-            finals.clone()
-        } else {
-            let mut rxs = Vec::with_capacity(self.n_shards());
-            for s in 0..self.n_shards() {
-                let (reply, rx) = channel();
-                self.send_to(s, ShardMsg::Stats { reply })?;
-                rxs.push(rx);
+        {
+            let lc = lock_ignore_poison(&self.shared.lifecycle);
+            if let Some(finals) = &lc.final_stats {
+                return self.finals_to_stats(finals);
             }
-            let mut shards = Vec::with_capacity(rxs.len());
-            for (s, rx) in rxs.into_iter().enumerate() {
-                shards.push(
-                    rx.recv()
-                        .map_err(|_| ServiceError::ShardUnavailable { shard: s })?,
-                );
-            }
-            shards
-        };
-        Ok(ServiceStats {
-            shards,
-            submitted: self.submitted,
-            dropped_batches: self.dropped_batches,
-            dropped_responses: self.dropped_responses,
-            batch_sizes: self.batch_sizes.clone(),
-        })
+            // Not shut down at the time of the check: fall through to
+            // the live path. If a shutdown lands between here and the
+            // sends below, `send_to` reports `ShuttingDown` — a typed
+            // error, never a panic.
+        }
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            self.send_to(s, ShardMsg::Stats { reply })?;
+            rxs.push(rx);
+        }
+        let mut shards = Vec::with_capacity(rxs.len());
+        for (s, rx) in rxs.into_iter().enumerate() {
+            shards.push(
+                rx.recv()
+                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })?,
+            );
+        }
+        Ok(self.with_handle_counters(shards))
     }
 
     /// Graceful shutdown: closes every shard queue (all enqueued work
     /// is still processed), joins the threads and captures their
-    /// final counters. Idempotent; after shutdown, ingest and
-    /// assessment return [`ServiceError::ShuttingDown`] and
-    /// [`AssessmentService::stats`] serves the captured counters.
-    pub fn shutdown(&mut self) -> ServiceStats {
-        if self.senders.take().is_some() {
-            let finals = self
-                .handles
-                .drain(..)
-                .enumerate()
-                .map(|(s, h)| {
-                    h.join().unwrap_or_else(|_| ShardStats {
-                        shard: s,
-                        ..ShardStats::default()
-                    })
-                })
-                .collect();
-            self.final_stats = Some(finals);
+    /// final counters. Idempotent and race-safe across handle clones;
+    /// after shutdown, ingest and assessment return
+    /// [`ServiceError::ShuttingDown`] and [`ServiceHandle::stats`]
+    /// serves the captured counters. If a shard thread panicked, the
+    /// panic is surfaced as [`ServiceError::ShardPanicked`] — from
+    /// this call and from every later `stats()`/`shutdown()` — instead
+    /// of being swallowed into fabricated zeroed stats.
+    pub fn shutdown(&self) -> Result<ServiceStats, ServiceError> {
+        let mut lc = lock_ignore_poison(&self.shared.lifecycle);
+        if lc.final_stats.is_none() {
+            // Dropping the senders disconnects the queues; each shard
+            // thread finishes everything already enqueued, then exits.
+            drop(
+                self.shared
+                    .senders
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take(),
+            );
+            let finals = lc.handles.drain(..).map(|h| h.join().ok()).collect();
+            lc.final_stats = Some(finals);
         }
-        self.stats().expect("post-shutdown stats are local")
+        match &lc.final_stats {
+            Some(finals) => self.finals_to_stats(finals),
+            // Unreachable (set just above), but a typed error keeps
+            // this path panic-free by construction.
+            None => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Builds the post-shutdown stats view: the captured per-shard
+    /// counters, or [`ServiceError::ShardPanicked`] for the first
+    /// shard whose thread died.
+    fn finals_to_stats(&self, finals: &[Option<ShardStats>]) -> Result<ServiceStats, ServiceError> {
+        let mut shards = Vec::with_capacity(finals.len());
+        for (s, f) in finals.iter().enumerate() {
+            match f {
+                Some(stats) => shards.push(stats.clone()),
+                None => return Err(ServiceError::ShardPanicked { shard: s }),
+            }
+        }
+        Ok(self.with_handle_counters(shards))
+    }
+
+    /// Attaches the handle-side counters to a per-shard set.
+    fn with_handle_counters(&self, shards: Vec<ShardStats>) -> ServiceStats {
+        let ing = lock_ignore_poison(&self.shared.ingest);
+        ServiceStats {
+            shards,
+            submitted: ing.submitted,
+            dropped_batches: ing.dropped_batches,
+            dropped_responses: ing.dropped_responses,
+            batch_sizes: ing.batch_sizes.clone(),
+        }
     }
 
     fn home_shard_of(&self, worker: WorkerId) -> Result<usize, ServiceError> {
-        if worker.index() >= self.plan.n_workers() {
+        if worker.index() >= self.shared.plan.n_workers() {
             return Err(ServiceError::Data(DataError::UnknownId {
                 kind: "worker",
                 id: worker.0,
             }));
         }
-        Ok(self.plan.shard_of(worker))
+        Ok(self.shared.plan.shard_of(worker))
     }
 
     /// Blocking send for assessment/control messages (backpressure
     /// policies govern ingest only).
     fn send_to(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
-        let senders = self.senders.as_ref().ok_or(ServiceError::ShuttingDown)?;
-        self.depths[shard].on_push();
+        let guard = self
+            .shared
+            .senders
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(senders) = guard.as_ref() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        self.shared.depths[shard].on_push();
         senders[shard].send(msg).map_err(|_| {
-            self.depths[shard].on_pop();
+            self.shared.depths[shard].on_pop();
             ServiceError::ShardUnavailable { shard }
         })
     }
 }
 
+/// The thread-per-shard assessment runtime; see the
+/// [crate docs](crate). This type uniquely owns the fleet (dropping it
+/// shuts the shard threads down); [`AssessmentService::handle`] yields
+/// cloneable [`ServiceHandle`]s for concurrent callers such as wire
+/// connection threads.
+///
+/// # Example
+///
+/// ```
+/// use crowd_service::{AssessmentService, ServiceConfig};
+/// use crowd_shard::ShardPlan;
+/// use crowd_sim::BinaryScenario;
+///
+/// let instance =
+///     BinaryScenario::paper_default(6, 80, 0.9).generate(&mut crowd_sim::rng(11));
+/// let data = instance.responses();
+/// let plan = ShardPlan::build_clustered(data, 2);
+/// let mut service =
+///     AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+/// for batch in data.iter().collect::<Vec<_>>().chunks(16) {
+///     service.ingest_batch(batch)?;
+/// }
+/// let report = service.snapshot(0.9)?;
+/// assert_eq!(report.assessments.len() + report.failures.len(), 6);
+/// service.shutdown()?;
+/// # Ok::<(), crowd_service::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct AssessmentService {
+    handle: ServiceHandle,
+}
+
+impl AssessmentService {
+    /// Spawns one shard thread per plan shard, each owning a fresh
+    /// sparse-backed [`StreamingIndex`] over the global
+    /// `plan.n_workers() × n_tasks` id space (rows materialize only
+    /// for responses routed to the shard, i.e. its closure).
+    pub fn spawn(plan: ShardPlan, n_tasks: usize, arity: u16, config: ServiceConfig) -> Self {
+        let n_shards = plan.n_shards();
+        let m = plan.n_workers();
+        let capacity = config.queue_capacity.max(1);
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        let mut depths = Vec::with_capacity(n_shards);
+        for (s, spec) in plan.shards().iter().enumerate() {
+            let (tx, rx) = sync_channel::<ShardMsg>(capacity);
+            let depth = Arc::new(QueueDepth::default());
+            let worker = ShardWorker {
+                stream: StreamingIndex::new_with(m, n_tasks, arity, PairBackend::Sparse),
+                binary: MWorkerEstimator::new(config.estimator.clone()),
+                kary: KaryMWorkerEstimator::new(config.estimator.clone()),
+                anchors: spec.anchors.clone(),
+                is_home: (0..m)
+                    .map(|w| plan.shard_of(WorkerId(w as u32)) == s)
+                    .collect(),
+                depth: Arc::clone(&depth),
+                stats: ShardStats {
+                    shard: s,
+                    ..ShardStats::default()
+                },
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("crowd-shard-{s}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawning a shard thread"),
+            );
+            senders.push(tx);
+            depths.push(depth);
+        }
+        Self {
+            handle: ServiceHandle {
+                shared: Arc::new(Shared {
+                    plan,
+                    n_tasks,
+                    arity,
+                    policy: config.policy,
+                    depths,
+                    senders: RwLock::new(Some(senders)),
+                    ingest: Mutex::new(IngestState {
+                        route_buf: vec![Vec::new(); n_shards],
+                        ..IngestState::default()
+                    }),
+                    lifecycle: Mutex::new(Lifecycle {
+                        handles,
+                        final_stats: None,
+                    }),
+                }),
+            },
+        }
+    }
+
+    /// A cloneable, `Send + Sync` handle sharing this fleet — the
+    /// dispatch seam concurrent callers (e.g. wire connection
+    /// threads) operate through. Handle clones never shut the fleet
+    /// down on drop; this owner does.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// The plan the service routes by.
+    pub fn plan(&self) -> &ShardPlan {
+        self.handle.plan()
+    }
+
+    /// Number of shard threads.
+    pub fn n_shards(&self) -> usize {
+        self.handle.n_shards()
+    }
+
+    /// See [`ServiceHandle::ingest_batch`].
+    pub fn ingest_batch(&mut self, batch: &[Response]) -> Result<IngestReceipt, ServiceError> {
+        self.handle.ingest_batch(batch)
+    }
+
+    /// See [`ServiceHandle::ingest`].
+    pub fn ingest(&mut self, response: Response) -> Result<IngestReceipt, ServiceError> {
+        self.handle.ingest(response)
+    }
+
+    /// See [`ServiceHandle::assess_worker`].
+    pub fn assess_worker(
+        &self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment, ServiceError> {
+        self.handle.assess_worker(worker, confidence)
+    }
+
+    /// See [`ServiceHandle::assess_worker_kary`].
+    pub fn assess_worker_kary(
+        &self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<KaryWorkerAssessment, ServiceError> {
+        self.handle.assess_worker_kary(worker, confidence)
+    }
+
+    /// See [`ServiceHandle::assess_workers`].
+    pub fn assess_workers(
+        &self,
+        workers: &[WorkerId],
+        confidence: f64,
+    ) -> Result<WorkerReport, ServiceError> {
+        self.handle.assess_workers(workers, confidence)
+    }
+
+    /// See [`ServiceHandle::snapshot`].
+    pub fn snapshot(&self, confidence: f64) -> Result<WorkerReport, ServiceError> {
+        self.handle.snapshot(confidence)
+    }
+
+    /// See [`ServiceHandle::snapshot_kary`].
+    pub fn snapshot_kary(&self, confidence: f64) -> Result<KaryWorkerReport, ServiceError> {
+        self.handle.snapshot_kary(confidence)
+    }
+
+    /// See [`ServiceHandle::drain`].
+    pub fn drain(&self) -> Result<(), ServiceError> {
+        self.handle.drain()
+    }
+
+    /// See [`ServiceHandle::stats`].
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        self.handle.stats()
+    }
+
+    /// See [`ServiceHandle::shutdown`].
+    pub fn shutdown(&mut self) -> Result<ServiceStats, ServiceError> {
+        self.handle.shutdown()
+    }
+}
+
 impl Drop for AssessmentService {
-    /// Dropping the handle shuts the fleet down gracefully (queues
+    /// Dropping the owner shuts the fleet down gracefully (queues
     /// close, threads drain and join) so tests and callers cannot
-    /// leak detached shard threads.
+    /// leak detached shard threads. A shard panic surfaced here is
+    /// already reported through the typed shutdown/stats paths; Drop
+    /// must not double-panic.
     fn drop(&mut self) {
-        self.shutdown();
+        let _ = self.handle.shutdown();
     }
 }
 
@@ -637,19 +903,23 @@ mod tests {
         (data, plan)
     }
 
+    fn send_raw(svc: &AssessmentService, s: usize, msg: ShardMsg) {
+        svc.handle.shared.depths[s].on_push();
+        svc.handle.shared.senders.read().unwrap().as_ref().unwrap()[s]
+            .send(msg)
+            .unwrap();
+    }
+
     /// Parks shard `s` and returns the gate; dropping the gate
     /// releases the shard. While parked the shard consumes exactly
     /// the Stall message, so `queue_capacity` further messages fill
     /// the queue deterministically.
     fn stall(svc: &AssessmentService, s: usize) -> Sender<()> {
         let (gate, gate_rx) = channel();
-        svc.depths[s].on_push();
-        svc.senders.as_ref().unwrap()[s]
-            .send(ShardMsg::Stall(gate_rx))
-            .unwrap();
+        send_raw(svc, s, ShardMsg::Stall(gate_rx));
         // Wait until the shard has actually dequeued the stall
         // message, so the whole queue capacity is ours to fill.
-        while svc.depths[s].depth.load(Ordering::Relaxed) != 0 {
+        while svc.handle.shared.depths[s].depth.load(Ordering::Relaxed) != 0 {
             std::thread::yield_now();
         }
         gate
@@ -770,14 +1040,14 @@ mod tests {
         }
         // Shutdown with ingests possibly still queued: all of them
         // must be processed before the threads exit.
-        let final_stats = svc.shutdown();
+        let final_stats = svc.shutdown().unwrap();
         assert_eq!(
             final_stats.shards.iter().map(|s| s.responses).sum::<u64>(),
             routed as u64
         );
         assert_eq!(final_stats.total_rejected(), 0);
         // Idempotent, and post-shutdown calls fail cleanly.
-        let again = svc.shutdown();
+        let again = svc.shutdown().unwrap();
         assert_eq!(again.shards, final_stats.shards);
         assert!(matches!(
             svc.ingest(all[0]),
@@ -789,5 +1059,144 @@ mod tests {
         ));
         assert!(matches!(svc.snapshot(0.9), Err(ServiceError::ShuttingDown)));
         assert!(svc.stats().is_ok(), "stats served from captured finals");
+    }
+
+    /// Regression (PR 7): a dead shard thread must surface as
+    /// [`ServiceError::ShardPanicked`] from `shutdown()` and `stats()`
+    /// — never as silently fabricated zeroed counters.
+    #[test]
+    fn shard_panic_is_reported_not_swallowed() {
+        let (data, plan) = small_fleet();
+        let mut svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let all: Vec<Response> = data.iter().collect();
+        for chunk in all.chunks(16) {
+            svc.ingest_batch(chunk).unwrap();
+        }
+        send_raw(&svc, 1, ShardMsg::Panic);
+        match svc.shutdown() {
+            Err(ServiceError::ShardPanicked { shard: 1 }) => {}
+            other => panic!("expected ShardPanicked for shard 1, got {other:?}"),
+        }
+        // The panic stays visible on every later stats()/shutdown().
+        assert!(matches!(
+            svc.stats(),
+            Err(ServiceError::ShardPanicked { shard: 1 })
+        ));
+        assert!(matches!(
+            svc.shutdown(),
+            Err(ServiceError::ShardPanicked { shard: 1 })
+        ));
+    }
+
+    /// Regression (PR 7): `stats()` racing (or following) a shutdown
+    /// must return a typed result — the old implementation was
+    /// panic-reachable through `.expect("post-shutdown stats are
+    /// local")`.
+    #[test]
+    fn stats_never_panics_around_shutdown() {
+        let (data, plan) = small_fleet();
+        let svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let handle = svc.handle();
+        let racers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    // Every outcome must be a typed Ok/Err, reached
+                    // without panicking (the join below proves it).
+                    for _ in 0..100 {
+                        match h.stats() {
+                            Ok(_)
+                            | Err(ServiceError::ShuttingDown)
+                            | Err(ServiceError::ShardUnavailable { .. }) => {}
+                            Err(other) => panic!("unexpected stats error: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let shut = {
+            let h = handle.clone();
+            std::thread::spawn(move || h.shutdown())
+        };
+        for r in racers {
+            r.join().expect("stats() must never panic");
+        }
+        shut.join().expect("shutdown must not panic").unwrap();
+        // Post-shutdown stats serve the captured finals.
+        assert!(handle.stats().is_ok());
+    }
+
+    /// Regression (PR 7): an out-of-range worker id anywhere in a
+    /// batch fails the whole call with `ServiceError::Data` before any
+    /// shard queue sees a frame — the valid prefix must not be
+    /// partially applied and no handle-side counter may move.
+    #[test]
+    fn mixed_batch_with_bad_id_is_rejected_atomically() {
+        let (data, plan) = small_fleet();
+        let mut svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let mut batch: Vec<Response> = data.iter().take(5).collect();
+        batch.push(Response {
+            worker: WorkerId(6), // m == 6, so the last valid id is 5
+            task: batch[0].task,
+            label: batch[0].label,
+        });
+        match svc.ingest_batch(&batch) {
+            Err(ServiceError::Data(DataError::UnknownId {
+                kind: "worker",
+                id: 6,
+            })) => {}
+            other => panic!("expected UnknownId for worker 6, got {other:?}"),
+        }
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.submitted, 0, "counters untouched by a failed batch");
+        assert_eq!(stats.batch_sizes.total(), 0);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.responses).sum::<u64>(),
+            0,
+            "no shard saw any part of the mixed batch"
+        );
+        // The same batch without the bad tail applies cleanly.
+        let receipt = svc.ingest_batch(&batch[..5]).unwrap();
+        assert_eq!(receipt.routed, 5);
+    }
+
+    /// Handle clones share one fleet: ingest through one is visible to
+    /// snapshots through another, and dropping clones does not shut
+    /// the fleet down.
+    #[test]
+    fn handles_share_the_fleet_across_threads() {
+        let (data, plan) = small_fleet();
+        let svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let all: Vec<Response> = data.iter().collect();
+        let workers: Vec<_> = all
+            .chunks(all.len() / 3 + 1)
+            .map(|chunk| {
+                let h = svc.handle();
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    let mut routed = 0;
+                    for piece in chunk.chunks(4) {
+                        routed += h.ingest_batch(piece).unwrap().routed;
+                    }
+                    routed
+                })
+            })
+            .collect();
+        let routed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(routed, all.len());
+        let h = svc.handle();
+        drop(h); // dropping a clone must not kill the fleet
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(
+            stats.shards.iter().map(|s| s.responses).sum::<u64>(),
+            all.len() as u64
+        );
+        assert_eq!(stats.submitted, all.len() as u64);
     }
 }

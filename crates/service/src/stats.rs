@@ -55,6 +55,13 @@ impl BatchHistogram {
         &self.buckets
     }
 
+    /// Rebuilds a histogram from previously-reported bucket counts —
+    /// the constructor wire decoding uses to carry a histogram across
+    /// a connection losslessly.
+    pub fn from_counts(counts: [u64; Self::BUCKETS]) -> Self {
+        Self { buckets: counts }
+    }
+
     /// Inclusive lower bound of bucket `i` (`2^i`).
     pub fn lower_bound(i: usize) -> usize {
         1usize << i

@@ -366,7 +366,7 @@ fn runtime_counters_reflect_the_stream() {
     );
     assert!(after.total_reanchors() >= before.total_reanchors());
     // Shutdown serves the same counters from the joined threads.
-    let finals = service.shutdown();
+    let finals = service.shutdown().unwrap();
     assert_eq!(finals.submitted, after.submitted);
     assert_eq!(
         finals.shards.iter().map(|s| s.responses).sum::<u64>(),

@@ -96,6 +96,62 @@ impl ArrivalSchedule {
     pub fn batches(&self, size: usize) -> impl Iterator<Item = &[Response]> + '_ {
         self.responses.chunks(size.max(1))
     }
+
+    /// An open-loop replay cursor over this trace; see
+    /// [`ArrivalCursor`].
+    pub fn cursor(&self) -> ArrivalCursor<'_> {
+        ArrivalCursor {
+            sched: self,
+            next: 0,
+        }
+    }
+}
+
+/// Replays an [`ArrivalSchedule`] against a real clock: at each poll
+/// the cursor hands over exactly the arrivals whose offsets have come
+/// due, preserving order. This is the shape a *wire* driver needs —
+/// an in-process driver can afford a fixed chunking
+/// ([`ArrivalSchedule::batches`]), but a client pacing requests over
+/// a socket must group whatever the schedule says has arrived since
+/// the last send, or the measured latency reflects the driver's
+/// chunking instead of the offered load.
+#[derive(Debug, Clone)]
+pub struct ArrivalCursor<'a> {
+    sched: &'a ArrivalSchedule,
+    next: usize,
+}
+
+impl<'a> ArrivalCursor<'a> {
+    /// All not-yet-delivered arrivals with `offset <= elapsed`
+    /// seconds, capped at `max` (clamped to ≥ 1) per call so one
+    /// stalled poll cannot turn into a single giant frame. Advances
+    /// the cursor; returns an empty slice when nothing is due yet.
+    pub fn due_by(&mut self, elapsed: f64, max: usize) -> &'a [Response] {
+        let start = self.next;
+        let cap = start.saturating_add(max.max(1)).min(self.sched.len());
+        let mut end = start;
+        while end < cap && self.sched.offsets[end] <= elapsed {
+            end += 1;
+        }
+        self.next = end;
+        &self.sched.responses[start..end]
+    }
+
+    /// Offset of the next undelivered arrival (`None` once the trace
+    /// is exhausted) — what a driver sleeps until.
+    pub fn next_due(&self) -> Option<f64> {
+        self.sched.offsets.get(self.next).copied()
+    }
+
+    /// Arrivals not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.sched.len() - self.next
+    }
+
+    /// True once every arrival has been delivered.
+    pub fn is_done(&self) -> bool {
+        self.next == self.sched.len()
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +223,47 @@ mod tests {
         }
         // Degenerate batch size clamps instead of panicking.
         assert!(sched.batches(0).next().unwrap().len() == 1);
+    }
+
+    #[test]
+    fn cursor_replays_the_trace_in_due_time_order() {
+        let inst = instance();
+        let sched = ArrivalSchedule::poisson(inst.responses(), 50.0, &mut rng(8));
+        let mut cur = sched.cursor();
+        assert_eq!(cur.remaining(), sched.len());
+        assert_eq!(cur.next_due(), Some(sched.offset(0)));
+        // Nothing due before the first offset.
+        assert!(cur.due_by(sched.offset(0) / 2.0, 1000).is_empty());
+        // Poll at coarse time steps; everything delivered exactly
+        // once, in order, never before it was due.
+        let mut replayed: Vec<Response> = Vec::new();
+        let step = sched.duration() / 7.0;
+        let mut t = 0.0;
+        while !cur.is_done() {
+            t += step;
+            let start = replayed.len();
+            replayed.extend_from_slice(cur.due_by(t, usize::MAX));
+            for (k, _) in replayed[start..].iter().enumerate() {
+                assert!(sched.offset(start + k) <= t);
+            }
+        }
+        assert_eq!(replayed, sched.responses());
+        assert_eq!(cur.next_due(), None);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_caps_a_stalled_poll() {
+        let inst = instance();
+        let sched = ArrivalSchedule::poisson(inst.responses(), 50.0, &mut rng(8));
+        let mut cur = sched.cursor();
+        // A poll far past the end delivers at most `max` per call.
+        let late = sched.duration() + 1.0;
+        let first = cur.due_by(late, 7).to_vec();
+        assert_eq!(first.len(), 7);
+        assert_eq!(first, sched.responses()[..7]);
+        assert_eq!(cur.remaining(), sched.len() - 7);
+        // max is clamped to ≥ 1 so a zero cap cannot stall forever.
+        assert_eq!(cur.due_by(late, 0).len(), 1);
     }
 }

@@ -25,7 +25,7 @@ mod presets;
 mod scenario;
 mod worker;
 
-pub use arrival::ArrivalSchedule;
+pub use arrival::{ArrivalCursor, ArrivalSchedule};
 pub use design::AttemptDesign;
 pub use instance::{BinaryInstance, KaryInstance};
 pub use presets::{fig2c_densities, paper_error_pool, paper_matrices};

@@ -1,0 +1,260 @@
+//! The blocking client: one TCP connection, request/reply framing,
+//! and a window-bounded pipelined ingest path.
+//!
+//! Every method returns `Result<_, ServiceError>` — service failures
+//! arrive over the wire as the same typed taxonomy an in-process
+//! caller sees, protocol violations surface as
+//! [`ServiceError::Wire`], and socket failures as
+//! [`ServiceError::Io`]. Nothing on the client path panics on bytes a
+//! peer controls.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crowd_core::{WorkerAssessment, WorkerReport};
+use crowd_data::{Response, WorkerId};
+use crowd_service::{IngestReceipt, ServiceError, ServiceStats};
+
+use crate::frame::{FrameEvent, FrameReader, MAX_FRAME_LEN, WireError, write_frame};
+use crate::proto::{
+    Reply, Request, decode_reply, encode_ingest_batch_payload, encode_request, opcode,
+};
+
+/// Tuning knobs for a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long to wait for a reply before giving up; `None` blocks
+    /// indefinitely (the default — assessment latency is the
+    /// server's to bound).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Largest reply frame to accept.
+    pub max_frame_len: usize,
+    /// How many ingest requests [`WireClient::ingest_batches`] keeps
+    /// in flight before it starts collecting receipts. Bounds the
+    /// bytes parked in the socket pair so a pipelined burst cannot
+    /// deadlock against the server's reply stream.
+    pub pipeline_window: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(5)),
+            max_frame_len: MAX_FRAME_LEN,
+            pipeline_window: 32,
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::WireServer`].
+///
+/// Methods take `&mut self` because a connection is one serial
+/// request/reply stream; clone-per-thread does not apply — open one
+/// client per thread instead (the server is thread-per-connection).
+#[derive(Debug)]
+pub struct WireClient {
+    reader: FrameReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    window: usize,
+}
+
+impl WireClient {
+    /// Connects with default [`ClientConfig`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit tuning.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(io_err)?;
+        stream
+            .set_write_timeout(config.write_timeout)
+            .map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let reader = FrameReader::new(stream.try_clone().map_err(io_err)?, config.max_frame_len);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            window: config.pipeline_window.max(1),
+        })
+    }
+
+    /// Ingests one batch. Cost: one round trip.
+    pub fn ingest_batch(&mut self, batch: &[Response]) -> Result<IngestReceipt, ServiceError> {
+        self.send_raw(opcode::INGEST_BATCH, &encode_ingest_batch_payload(batch))?;
+        match self.recv()? {
+            Reply::Ingest(r) => Ok(r),
+            other => Err(unexpected("ingest receipt", &other)),
+        }
+    }
+
+    /// Ingests one response. Cost: one round trip — batch instead.
+    pub fn ingest(&mut self, response: Response) -> Result<IngestReceipt, ServiceError> {
+        self.ingest_batch(std::slice::from_ref(&response))
+    }
+
+    /// Ingests many batches with request pipelining: up to
+    /// [`ClientConfig::pipeline_window`] requests ride the socket
+    /// before the first receipt is collected, so the cost is one
+    /// round trip per *window*, not per batch. Receipts come back in
+    /// batch order; a per-batch service failure (say,
+    /// [`ServiceError::QueueFull`] under a rejecting backpressure
+    /// policy) occupies its batch's slot without aborting the rest.
+    /// The outer error is transport/protocol failure — the remaining
+    /// in-flight replies are drained before it returns, so the
+    /// connection stays usable only when `Ok` comes back.
+    pub fn ingest_batches(
+        &mut self,
+        batches: &[Vec<Response>],
+    ) -> Result<Vec<Result<IngestReceipt, ServiceError>>, ServiceError> {
+        let mut receipts = Vec::with_capacity(batches.len());
+        let mut sent = 0;
+        while receipts.len() < batches.len() {
+            while sent < batches.len() && sent - receipts.len() < self.window {
+                let payload = encode_ingest_batch_payload(&batches[sent]);
+                if let Err(e) = self.send_raw(opcode::INGEST_BATCH, &payload) {
+                    // The write side broke mid-pipeline; collect what
+                    // the server already answered, then fail.
+                    self.drain_replies(sent - receipts.len());
+                    return Err(e);
+                }
+                sent += 1;
+            }
+            match self.recv() {
+                Ok(Reply::Ingest(r)) => receipts.push(Ok(r)),
+                Ok(Reply::Err(e)) => receipts.push(Err(e)),
+                Ok(other) => {
+                    return Err(unexpected("ingest receipt", &other));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(receipts)
+    }
+
+    /// Assesses one worker. Cost: one round trip; the server answers
+    /// from the worker's home shard.
+    pub fn assess_worker(
+        &mut self,
+        worker: WorkerId,
+        confidence: f64,
+    ) -> Result<WorkerAssessment, ServiceError> {
+        match self.call(&Request::AssessWorker { worker, confidence })? {
+            Reply::Assessment(a) => Ok(a),
+            other => Err(unexpected("assessment", &other)),
+        }
+    }
+
+    /// Assesses an explicit worker set. Cost: one round trip carrying
+    /// the whole report; per-worker estimation failures ride in the
+    /// report's `failures`, not the error channel.
+    pub fn assess_workers(
+        &mut self,
+        workers: &[WorkerId],
+        confidence: f64,
+    ) -> Result<WorkerReport, ServiceError> {
+        match self.call(&Request::AssessWorkers {
+            workers: workers.to_vec(),
+            confidence,
+        })? {
+            Reply::Report(r) => Ok(r),
+            other => Err(unexpected("report", &other)),
+        }
+    }
+
+    /// Assesses the whole fleet. Cost: one round trip; the report is
+    /// bit-identical to [`crowd_service::ServiceHandle::snapshot`] on
+    /// the server.
+    pub fn snapshot(&mut self, confidence: f64) -> Result<WorkerReport, ServiceError> {
+        match self.call(&Request::Snapshot { confidence })? {
+            Reply::Report(r) => Ok(r),
+            other => Err(unexpected("report", &other)),
+        }
+    }
+
+    /// FIFO barrier: returns once every response ingested earlier on
+    /// *any* connection is reflected in shard state. Cost: one round
+    /// trip plus the server-side drain.
+    pub fn drain(&mut self) -> Result<(), ServiceError> {
+        match self.call(&Request::Drain)? {
+            Reply::Unit => Ok(()),
+            other => Err(unexpected("ack", &other)),
+        }
+    }
+
+    /// Fleet counters. Cost: one round trip.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Shuts the *service* down and returns its final counters; the
+    /// server stops accepting afterwards, and other live connections
+    /// see [`ServiceError::ShuttingDown`] on further requests.
+    pub fn shutdown(&mut self) -> Result<ServiceStats, ServiceError> {
+        match self.call(&Request::Shutdown)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Reply, ServiceError> {
+        let (op, payload) = encode_request(req);
+        self.send_raw(op, &payload)?;
+        self.recv()
+    }
+
+    fn send_raw(&mut self, op: u8, payload: &[u8]) -> Result<(), ServiceError> {
+        write_frame(&mut self.writer, op, payload).map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<Reply, ServiceError> {
+        self.writer.flush().map_err(io_err)?;
+        match self.reader.read() {
+            // With a read timeout configured, a boundary timeout
+            // while a reply is owed means the server stalled.
+            Ok(FrameEvent::Idle) => Err(ServiceError::Io("timed out waiting for a reply".into())),
+            Ok(FrameEvent::Eof) => Err(ServiceError::Io("server closed the connection".into())),
+            Ok(FrameEvent::Frame { opcode, payload }) => Ok(decode_reply(opcode, &payload)?),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Best-effort read of `n` outstanding replies after a mid-pipeline
+    /// send failure, so the error the caller sees is the send's, not a
+    /// later desync.
+    fn drain_replies(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.recv().is_err() {
+                break;
+            }
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Reply) -> ServiceError {
+    if let Reply::Err(e) = got {
+        return e.clone();
+    }
+    WireError::UnexpectedReply {
+        expected,
+        got: got.kind(),
+    }
+    .into()
+}
+
+fn io_err(e: io::Error) -> ServiceError {
+    ServiceError::Io(e.to_string())
+}

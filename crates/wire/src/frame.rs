@@ -1,0 +1,541 @@
+//! The framing layer: length-prefixed frames and the panic-free
+//! primitive codec every payload is built from.
+//!
+//! A frame on the wire is
+//!
+//! ```text
+//! ┌────────────────┬─────────┬──────────────────┐
+//! │ len: u32 LE    │ opcode  │ payload          │
+//! │ (opcode+payload│ 1 byte  │ len − 1 bytes    │
+//! │  byte count)   │         │                  │
+//! └────────────────┴─────────┴──────────────────┘
+//! ```
+//!
+//! All integers are little-endian; `f64` values travel as their IEEE
+//! 754 bit patterns (`to_bits`/`from_bits`), which is what makes
+//! decoded reports **bit-identical** to the structs the server
+//! serialized. Strings are a `u32` byte length followed by UTF-8.
+//!
+//! Decoding never panics and never reads out of bounds: every failure
+//! mode — truncated frame, oversized frame, unknown opcode, malformed
+//! payload, trailing bytes — is a typed [`WireError`], so a connection
+//! thread can always turn a bad frame into an error reply (or a clean
+//! close) instead of dying.
+
+use std::io::{self, Read, Write};
+
+/// Default cap on `len` (opcode + payload bytes) a peer will accept.
+/// Large enough for ~1.6M-response ingest batches and fleet-scale
+/// reports; small enough that a corrupt length prefix cannot make a
+/// peer allocate unbounded memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A protocol-level decoding failure. See the [module docs](self) for
+/// which failures poison the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended (or stalled past its timeout) inside a frame.
+    Truncated {
+        /// Bytes the frame section needed.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The length prefix exceeded the receiver's frame cap.
+    FrameTooLarge {
+        /// The claimed frame length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// A frame with `len == 0` — no room for an opcode.
+    EmptyFrame,
+    /// The opcode byte is not part of the protocol.
+    UnknownOpcode(u8),
+    /// The payload did not parse as the opcode's grammar.
+    Malformed {
+        /// What the decoder was parsing when it failed.
+        what: &'static str,
+    },
+    /// The payload parsed but left unconsumed bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A structurally valid reply of the wrong kind for the request.
+    UnexpectedReply {
+        /// The reply kind the request called for.
+        expected: &'static str,
+        /// The reply kind that arrived.
+        got: &'static str,
+    },
+}
+
+impl WireError {
+    /// True when the receiver can no longer trust frame boundaries
+    /// after this error and must close the connection; false when the
+    /// frame was cleanly delimited and the stream can continue after
+    /// an error reply.
+    pub fn poisons_stream(&self) -> bool {
+        matches!(
+            self,
+            Self::Truncated { .. } | Self::FrameTooLarge { .. } | Self::UnexpectedReply { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { expected, got } => {
+                write!(f, "truncated frame: needed {expected} bytes, got {got}")
+            }
+            Self::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            Self::EmptyFrame => write!(f, "empty frame (no opcode)"),
+            Self::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            Self::Malformed { what } => write!(f, "malformed payload while decoding {what}"),
+            Self::TrailingBytes { extra } => {
+                write!(f, "payload has {extra} trailing bytes")
+            }
+            Self::UnexpectedReply { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for crowd_service::ServiceError {
+    fn from(e: WireError) -> Self {
+        crowd_service::ServiceError::Wire(e.to_string())
+    }
+}
+
+/// A framing-layer failure: either the transport broke or the peer
+/// violated the protocol.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Protocol-level failure.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for crowd_service::ServiceError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => crowd_service::ServiceError::Io(e.to_string()),
+            FrameError::Wire(e) => e.into(),
+        }
+    }
+}
+
+/// What one [`FrameReader::read`] call produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame.
+    Frame {
+        /// The opcode byte.
+        opcode: u8,
+        /// The payload (frame body after the opcode).
+        payload: Vec<u8>,
+    },
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// A read timeout expired at a frame boundary with no bytes in
+    /// flight — the poll point where a server checks its shutdown
+    /// flag. Never produced on sockets without a read timeout.
+    Idle,
+}
+
+/// Incremental frame reader over any [`Read`].
+///
+/// Handles split delivery (a frame arriving one byte at a time is
+/// reassembled), distinguishes idle timeouts at frame boundaries from
+/// stalls inside a frame (the former is [`FrameEvent::Idle`], the
+/// latter a hard error — a peer that stops mid-frame for a full
+/// timeout is gone), and enforces the frame cap **before** allocating
+/// the payload buffer.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    max_frame_len: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a transport with the given frame cap.
+    pub fn new(inner: R, max_frame_len: usize) -> Self {
+        Self {
+            inner,
+            max_frame_len,
+        }
+    }
+
+    /// Reads one frame; see [`FrameEvent`] for the non-frame outcomes.
+    pub fn read(&mut self) -> Result<FrameEvent, FrameError> {
+        let mut len_buf = [0u8; 4];
+        match self.read_section(&mut len_buf, true)? {
+            Section::Done => {}
+            Section::Eof => return Ok(FrameEvent::Eof),
+            Section::Idle => return Ok(FrameEvent::Idle),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len == 0 {
+            return Err(FrameError::Wire(WireError::EmptyFrame));
+        }
+        if len > self.max_frame_len {
+            return Err(FrameError::Wire(WireError::FrameTooLarge {
+                len,
+                max: self.max_frame_len,
+            }));
+        }
+        let mut body = vec![0u8; len];
+        match self.read_section(&mut body, false)? {
+            Section::Done => {}
+            // EOF inside a frame body is a truncation either way.
+            Section::Eof | Section::Idle => {
+                return Err(FrameError::Wire(WireError::Truncated {
+                    expected: len,
+                    got: 0,
+                }));
+            }
+        }
+        let opcode = body[0];
+        body.copy_within(1.., 0);
+        body.truncate(len - 1);
+        Ok(FrameEvent::Frame {
+            opcode,
+            payload: body,
+        })
+    }
+
+    /// Fills `buf`, tolerating arbitrarily split reads. At a frame
+    /// boundary (`at_boundary`, zero bytes consumed) a clean EOF or a
+    /// timeout is a normal outcome; anywhere else both are protocol
+    /// violations.
+    fn read_section(&mut self, buf: &mut [u8], at_boundary: bool) -> Result<Section, FrameError> {
+        let mut got = 0;
+        while got < buf.len() {
+            match self.inner.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return if got == 0 && at_boundary {
+                        Ok(Section::Eof)
+                    } else {
+                        Err(FrameError::Wire(WireError::Truncated {
+                            expected: buf.len(),
+                            got,
+                        }))
+                    };
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if got == 0 && at_boundary {
+                        return Ok(Section::Idle);
+                    }
+                    // A full read-timeout of silence mid-frame: the
+                    // peer stalled inside a frame; the stream can no
+                    // longer be trusted.
+                    return Err(FrameError::Io(e));
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(Section::Done)
+    }
+}
+
+enum Section {
+    Done,
+    Eof,
+    Idle,
+}
+
+/// Writes one frame (length prefix, opcode, payload) to `w`. The
+/// caller is responsible for flushing buffered writers at
+/// request/pipeline boundaries.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .filter(|&l| u32::try_from(l).is_ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame length overflows u32"))?;
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive payload codec.
+
+/// Appends a `u16` (LE).
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` (LE).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (LE).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as `u64` (LE) — the wire is 64-bit regardless of
+/// host width.
+pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Appends an `f64` as its IEEE 754 bit pattern (LE) — exact, every
+/// NaN payload and signed zero included.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a bool as one byte (0 or 1).
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+/// Appends a string as `u32` byte length + UTF-8 bytes.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked, panic-free payload reader.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Malformed { what })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u16` (LE).
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32` (LE).
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` (LE).
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a `u64` and narrows it to the host's `usize`.
+    pub fn usize(&mut self, what: &'static str) -> Result<usize, WireError> {
+        usize::try_from(self.u64(what)?).map_err(|_| WireError::Malformed { what })
+    }
+
+    /// Reads an `f64` from its bit pattern — exact.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a strict bool (0 or 1; anything else is malformed).
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed { what }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed { what })
+    }
+
+    /// Reads a `u32` element count and sanity-bounds it: each element
+    /// occupies at least `min_elem_bytes`, so a count claiming more
+    /// elements than the remaining payload could hold is malformed
+    /// (rejecting absurd allocations before they happen).
+    pub fn count(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.buf.len() - self.pos {
+            return Err(WireError::Malformed { what });
+        }
+        Ok(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(WireError::TrailingBytes { extra }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x42, b"hello").unwrap();
+        assert_eq!(buf.len(), 4 + 1 + 5);
+        assert_eq!(&buf[..4], &6u32.to_le_bytes());
+        let mut r = FrameReader::new(&buf[..], MAX_FRAME_LEN);
+        match r.read().unwrap() {
+            FrameEvent::Frame { opcode, payload } => {
+                assert_eq!(opcode, 0x42);
+                assert_eq!(payload, b"hello");
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        assert!(matches!(r.read().unwrap(), FrameEvent::Eof));
+    }
+
+    #[test]
+    fn zero_length_and_oversized_frames_are_rejected() {
+        let zero = 0u32.to_le_bytes();
+        let mut r = FrameReader::new(&zero[..], MAX_FRAME_LEN);
+        assert!(matches!(
+            r.read(),
+            Err(FrameError::Wire(WireError::EmptyFrame))
+        ));
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut r = FrameReader::new(&huge[..], MAX_FRAME_LEN);
+        match r.read() {
+            Err(FrameError::Wire(WireError::FrameTooLarge { len, max })) => {
+                assert_eq!(len, MAX_FRAME_LEN + 1);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        // Header cut short.
+        let mut r = FrameReader::new(&[7u8, 0][..], MAX_FRAME_LEN);
+        assert!(matches!(
+            r.read(),
+            Err(FrameError::Wire(WireError::Truncated { .. }))
+        ));
+        // Body cut short.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = FrameReader::new(&buf[..], MAX_FRAME_LEN);
+        assert!(matches!(
+            r.read(),
+            Err(FrameError::Wire(WireError::Truncated { .. }))
+        ));
+    }
+
+    /// A reader that yields one byte per call — the worst split-read
+    /// schedule a TCP stream can produce.
+    struct OneByte<'a>(&'a [u8]);
+
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 9, &[1, 2, 3, 4]).unwrap();
+        let mut r = FrameReader::new(OneByte(&buf), MAX_FRAME_LEN);
+        match r.read().unwrap() {
+            FrameEvent::Frame { opcode, payload } => {
+                assert_eq!(opcode, 9);
+                assert_eq!(payload, vec![1, 2, 3, 4]);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_is_bounds_checked() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u16("x").unwrap(), 0x0201);
+        assert!(matches!(c.u32("x"), Err(WireError::Malformed { .. })));
+        assert_eq!(c.u8("x").unwrap(), 3);
+        assert!(c.finish().is_ok());
+        let c = Cursor::new(&[9]);
+        assert!(matches!(
+            c.finish(),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn count_rejects_absurd_claims() {
+        // Claims 2^32-1 elements of ≥ 4 bytes in a 6-byte payload.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX);
+        put_u16(&mut payload, 0);
+        let mut c = Cursor::new(&payload);
+        assert!(matches!(
+            c.count(4, "elems"),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+}

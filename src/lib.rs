@@ -22,7 +22,10 @@
 //!   indices, bit-identical report merging,
 //! * [`service`] — the thread-per-shard assessment runtime: batched
 //!   ingest, bounded queues with backpressure, bit-identical fleet
-//!   snapshots.
+//!   snapshots,
+//! * [`wire`] — the length-prefixed binary TCP protocol, blocking
+//!   server and client that put the runtime behind a socket with
+//!   bit-identical reports and the full error taxonomy on the wire.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use crowd_service as service;
 pub use crowd_shard as shard;
 pub use crowd_sim as sim;
 pub use crowd_stats as stats;
+pub use crowd_wire as wire;
 
 /// Convenience re-exports covering the common workflow: simulate (or
 /// load) responses, estimate intervals, evaluate coverage, act on the
@@ -66,8 +70,11 @@ pub mod prelude {
     pub use crowd_data::{
         GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId,
     };
-    pub use crowd_service::{AssessmentService, BackpressurePolicy, ServiceConfig, ServiceError};
+    pub use crowd_service::{
+        AssessmentService, BackpressurePolicy, ServiceConfig, ServiceError, ServiceHandle,
+    };
     pub use crowd_shard::{ShardPlan, ShardRunner};
-    pub use crowd_sim::{ArrivalSchedule, BinaryScenario, KaryScenario};
+    pub use crowd_sim::{ArrivalCursor, ArrivalSchedule, BinaryScenario, KaryScenario};
     pub use crowd_stats::ConfidenceInterval;
+    pub use crowd_wire::{WireClient, WireConfig, WireServer};
 }
