@@ -42,6 +42,7 @@
 //! differential property tests in `crates/data/tests/proptests.rs`
 //! enforce this.
 
+use crate::cached::{CacheStats, KaryReportCache, ReportCache};
 use crate::kary::KaryMWorkerEstimator;
 use crate::{
     EstimatorConfig, KaryWorkerAssessment, KaryWorkerReport, MWorkerEstimator, Result,
@@ -73,6 +74,10 @@ use crowd_data::{OverlapIndex, Response, ResponseMatrix, StreamingIndex, WorkerI
 pub struct IncrementalEvaluator {
     stream: StreamingIndex,
     estimator: MWorkerEstimator,
+    /// Epoch-versioned per-anchor rows backing
+    /// [`IncrementalEvaluator::evaluate_all_cached`]; unused (zero
+    /// cost) by the uncached entry points.
+    cache: ReportCache,
 }
 
 impl IncrementalEvaluator {
@@ -82,6 +87,7 @@ impl IncrementalEvaluator {
         Self {
             stream: StreamingIndex::new(n_workers, n_tasks, arity),
             estimator: MWorkerEstimator::new(config),
+            cache: ReportCache::new(),
         }
     }
 
@@ -91,6 +97,7 @@ impl IncrementalEvaluator {
         Self {
             stream: StreamingIndex::from_matrix(data),
             estimator: MWorkerEstimator::new(config),
+            cache: ReportCache::new(),
         }
     }
 
@@ -139,6 +146,23 @@ impl IncrementalEvaluator {
         self.estimator
             .evaluate_workers_on(&self.stream, &workers, confidence)
     }
+
+    /// [`IncrementalEvaluator::evaluate_all`] through the
+    /// epoch-versioned report cache: only workers whose assessment
+    /// inputs changed since their cached rows are re-evaluated, the
+    /// rest are cloned — bit-identical output, `O(|dirty|)`
+    /// evaluations per call (see [`crate::cached`]).
+    pub fn evaluate_all_cached(&mut self, confidence: f64) -> Result<WorkerReport> {
+        let workers: Vec<WorkerId> = self.stream.index().workers().collect();
+        self.cache
+            .refresh(&self.estimator, &self.stream, &workers, confidence)
+    }
+
+    /// Hit/miss counters of the report cache behind
+    /// [`IncrementalEvaluator::evaluate_all_cached`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
 }
 
 /// Streaming evaluator for k-ary tasks: the m-worker Algorithm A3
@@ -172,6 +196,8 @@ impl IncrementalEvaluator {
 pub struct KaryIncrementalEvaluator {
     stream: StreamingIndex,
     estimator: KaryMWorkerEstimator,
+    /// See [`IncrementalEvaluator`]'s cache field.
+    cache: KaryReportCache,
 }
 
 impl KaryIncrementalEvaluator {
@@ -181,6 +207,7 @@ impl KaryIncrementalEvaluator {
         Self {
             stream: StreamingIndex::new(n_workers, n_tasks, arity),
             estimator: KaryMWorkerEstimator::new(config),
+            cache: KaryReportCache::new(),
         }
     }
 
@@ -189,6 +216,7 @@ impl KaryIncrementalEvaluator {
         Self {
             stream: StreamingIndex::from_matrix(data),
             estimator: KaryMWorkerEstimator::new(config),
+            cache: KaryReportCache::new(),
         }
     }
 
@@ -231,6 +259,21 @@ impl KaryIncrementalEvaluator {
         let workers: Vec<WorkerId> = self.stream.index().workers().collect();
         self.estimator
             .evaluate_workers_streaming(&self.stream, &workers, confidence)
+    }
+
+    /// [`KaryIncrementalEvaluator::evaluate_all`] through the
+    /// epoch-versioned report cache; see
+    /// [`IncrementalEvaluator::evaluate_all_cached`].
+    pub fn evaluate_all_cached(&mut self, confidence: f64) -> Result<KaryWorkerReport> {
+        let workers: Vec<WorkerId> = self.stream.index().workers().collect();
+        self.cache
+            .refresh(&self.estimator, &self.stream, &workers, confidence)
+    }
+
+    /// Hit/miss counters of the report cache behind
+    /// [`KaryIncrementalEvaluator::evaluate_all_cached`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -277,6 +320,27 @@ mod tests {
             );
             assert_eq!(b.triples_used, s.triples_used);
         }
+    }
+
+    #[test]
+    fn cached_evaluate_all_matches_uncached_across_a_stream() {
+        let inst = BinaryScenario::paper_default(6, 80, 0.8).generate(&mut rng(431));
+        let data = inst.responses();
+        let mut ev = IncrementalEvaluator::new(6, 80, 2, EstimatorConfig::default());
+        for (i, r) in data.iter().enumerate() {
+            ev.ingest(r).unwrap();
+            if i % 41 == 0 || i + 1 == data.n_responses() {
+                let cached = ev.evaluate_all_cached(0.9).unwrap();
+                let full = ev.evaluate_all(0.9).unwrap();
+                assert_eq!(cached.assessments, full.assessments, "at response {i}");
+                assert_eq!(cached.failures, full.failures);
+            }
+        }
+        // Quiet re-drain: everything served from cache.
+        let misses = ev.cache_stats().misses;
+        ev.evaluate_all_cached(0.9).unwrap();
+        assert_eq!(ev.cache_stats().misses, misses);
+        assert_eq!(ev.cache_stats().last_dirty, 0);
     }
 
     #[test]

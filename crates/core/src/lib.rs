@@ -34,6 +34,7 @@
 pub mod aggregation;
 pub mod agreement;
 pub mod baselines;
+pub mod cached;
 pub mod config;
 pub mod error;
 pub mod evaluation;
@@ -47,6 +48,7 @@ pub mod preprocess;
 pub mod three_worker;
 
 pub use aggregation::{AggregatedAnswer, AnswerAggregator, MapAggregator, WeightingRule};
+pub use cached::{CacheStats, KaryReportCache, ReportCache};
 pub use config::{DegeneracyPolicy, EstimatorConfig};
 pub use error::{EstimateError, Result};
 pub use evaluation::{CoverageStats, WorkerAssessment, WorkerReport};

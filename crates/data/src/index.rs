@@ -1005,6 +1005,14 @@ impl AndPopcount {
                 return unsafe { and_popcount_avx512(a, b) };
             }
             if self.avx2 && a.len() >= 8 {
+                if a.len() >= 64 {
+                    // Wide masks amortize the Harley–Seal CSA tree: one
+                    // shuffle-LUT popcount per 16 vectors instead of
+                    // per vector lifts the port-5 bound (see
+                    // [`and_popcount_avx2_harley_seal`]).
+                    // SAFETY: `detect` verified AVX2 support.
+                    return unsafe { and_popcount_avx2_harley_seal(a, b) };
+                }
                 // SAFETY: `detect` verified AVX2 support on this host.
                 return unsafe { and_popcount_avx2(a, b) };
             }
@@ -1140,6 +1148,101 @@ fn and_popcount_avx2(a: &[u64], b: &[u64]) -> u32 {
     while i < n {
         total += (a[i] & b[i]).count_ones() as u64;
         i += 1;
+    }
+    total as u32
+}
+
+/// Harley–Seal AND+popcount for wide masks on AVX2: 64 words (16
+/// 256-bit vectors) per block are compressed through a carry-save
+/// adder tree, so the shuffle-LUT popcount runs **once per block** on
+/// the `sixteens` output instead of once per vector. The CSA tree is
+/// pure AND/OR/XOR — instructions every vector ALU port executes — so
+/// the port-5 `vpshufb` bound of the plain nibble kernel
+/// ([`and_popcount_avx2`]) lifts on AVX2-only Intel cores, where port
+/// 5 is the single shuffle port. Counts are reconstructed exactly as
+/// `16·pop(sixteens) + 8·pop(eights) + 4·pop(fours) + 2·pop(twos) +
+/// pop(ones)`; the sub-block tail delegates to the nibble kernel, so
+/// every length produces the same integers as the portable loop.
+///
+/// # Safety
+/// The caller must ensure the host supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn and_popcount_avx2_harley_seal(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let blocks = n / 64;
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    let nibble_count = |v| {
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi))
+    };
+    // Carry-save adder: bit-parallel full add of three lanes into a
+    // (carry, sum) pair — `h` carries weight 2, `l` weight 1.
+    let csa = |x, y, z| {
+        let u = _mm256_xor_si256(x, y);
+        (
+            _mm256_or_si256(_mm256_and_si256(x, y), _mm256_and_si256(u, z)),
+            _mm256_xor_si256(u, z),
+        )
+    };
+    let mut ones = zero;
+    let mut twos = zero;
+    let mut fours = zero;
+    let mut eights = zero;
+    // u64-lane accumulator of popcounts over the per-block `sixteens`.
+    let mut acc = zero;
+    for blk in 0..blocks {
+        // SAFETY: `64 * blk + 63 < n` for every `blk < blocks`, so all
+        // 32-byte loads below are in bounds; `loadu` has no alignment
+        // requirement.
+        let d = |j: usize| unsafe {
+            let p = a.as_ptr().add(64 * blk + 4 * j);
+            let q = b.as_ptr().add(64 * blk + 4 * j);
+            _mm256_and_si256(_mm256_loadu_si256(p.cast()), _mm256_loadu_si256(q.cast()))
+        };
+        let (twos_a, o) = csa(ones, d(0), d(1));
+        let (twos_b, o) = csa(o, d(2), d(3));
+        let (fours_a, t) = csa(twos, twos_a, twos_b);
+        let (twos_a, o) = csa(o, d(4), d(5));
+        let (twos_b, o) = csa(o, d(6), d(7));
+        let (fours_b, t) = csa(t, twos_a, twos_b);
+        let (eights_a, f) = csa(fours, fours_a, fours_b);
+        let (twos_a, o) = csa(o, d(8), d(9));
+        let (twos_b, o) = csa(o, d(10), d(11));
+        let (fours_a, t) = csa(t, twos_a, twos_b);
+        let (twos_a, o) = csa(o, d(12), d(13));
+        let (twos_b, o) = csa(o, d(14), d(15));
+        let (fours_b, t) = csa(t, twos_a, twos_b);
+        let (eights_b, f) = csa(f, fours_a, fours_b);
+        let (sixteens, e) = csa(eights, eights_a, eights_b);
+        ones = o;
+        twos = t;
+        fours = f;
+        eights = e;
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(nibble_count(sixteens), zero));
+    }
+    let hsum = |v| {
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is 32 bytes of writable memory; `storeu` has
+        // no alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
+        lanes[0] + lanes[1] + lanes[2] + lanes[3]
+    };
+    let pop = |v| hsum(_mm256_sad_epu8(nibble_count(v), zero));
+    let mut total = 16 * hsum(acc) + 8 * pop(eights) + 4 * pop(fours) + 2 * pop(twos) + pop(ones);
+    if !n.is_multiple_of(64) {
+        // Same target-feature context, so the nibble kernel is a plain
+        // (inlinable) call here — no re-dispatch, no `unsafe`.
+        total += and_popcount_avx2(&a[64 * blocks..], &b[64 * blocks..]) as u64;
     }
     total as u32
 }
@@ -1696,7 +1799,14 @@ mod tests {
         };
         let detected = AndPopcount::detect();
         let portable = AndPopcount::portable();
-        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 33, 64, 101] {
+        // Lengths straddle every dispatch boundary: scalar (< 8), the
+        // nibble kernel (8..64) and the Harley–Seal blocks (≥ 64) with
+        // 0/partial/odd tails — 64 exact, 65 one-word tail, 127 a full
+        // nibble-kernel tail, 128/192 multi-block, 129/257 block+word.
+        for len in [
+            0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 33, 63, 64, 65, 96, 101, 127, 128, 129, 192,
+            257,
+        ] {
             let mut cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
                 (
                     (0..len).map(|_| next()).collect(),

@@ -74,10 +74,34 @@
 //! per **evaluated** view. At even larger scale shard workers first (see
 //! ROADMAP "Sharded assessment") — one monitor per shard closure also
 //! bounds the gram residency.
+//!
+//! # Ingest epochs and dirty tracking
+//!
+//! The substrate also stamps a monotone **ingest epoch** on every
+//! accepted response and records, per worker, the epoch at which that
+//! worker's *assessment inputs* last moved
+//! ([`StreamingIndex::epoch`], [`StreamingIndex::dirty_epoch`]).
+//! A response from worker `w` can only move statistics that involve
+//! `w` — the pairs it completes, the triples it joins, the mask bits
+//! in `w`'s row — and an anchor `a`'s evaluation reads only
+//! statistics over `{a} ∪ cooccur(a)` (pairing candidates are
+//! co-occurring workers; partner selection reads peer–peer pairs and
+//! the Lemma 4 covariance reads triples among them). So the ingest
+//! dirties exactly `{w} ∪ cooccur(w)`, taken **after** the pair table
+//! has absorbed the response so co-occurrences the response itself
+//! creates are included. Note the set is deliberately wider than the
+//! arriving task's responders: an anchor that never touched the task
+//! can still re-pair when a peer–peer overlap among its candidates
+//! moves. With the sparse pair backend the set is read straight off
+//! the [`crate::PairMap`] row in `O(d_w)`; the dense backend keeps a
+//! small mirror adjacency for the same purpose. This is what makes
+//! epoch-gated report caches (`crowd_core`'s `ReportCache`) sound: a
+//! worker whose `dirty_epoch` has not advanced past a cached
+//! evaluation would re-derive bit-identical numbers.
 
 use crate::index::{AnchoredOverlap, MaskMatrix, OverlapSource, PairBackend, PeerMask};
 use crate::{
-    Label, OverlapIndex, PairStats, PeerGram, PeerGramScratch, Response, ResponseMatrix,
+    Label, OverlapIndex, PairStats, PeerGram, PeerGramScratch, Response, ResponseMatrix, TaskId,
     TriplePairGram, TripleStats, WorkerId,
 };
 use std::cell::{Cell, Ref, RefCell};
@@ -504,6 +528,28 @@ pub struct StreamingIndex {
     /// Lazy re-anchors performed so far (diagnostic: a stable pairing
     /// should stop incurring these).
     reanchors: Cell<usize>,
+    /// Monotone ingest epoch: 0 for an empty substrate, advanced by
+    /// one per accepted response. [`StreamingIndex::from_matrix`]
+    /// seeds at 1 (the seed is one opaque bulk ingest).
+    epoch: u64,
+    /// Per-worker epoch at which that worker's assessment inputs last
+    /// changed (see the [module docs](self) and
+    /// [`StreamingIndex::dirty_epoch`]).
+    dirty_at: Vec<u64>,
+    /// Sorted co-occurring-worker lists, maintained only under the
+    /// dense pair backend whose table cannot enumerate a worker's
+    /// neighbours; the sparse backend serves
+    /// [`OverlapSource::co_occurring_into`] straight off its rows.
+    dense_adj: Option<Vec<Vec<u32>>>,
+    /// Reusable neighbour buffer for the per-ingest dirty sweep.
+    dirty_scratch: Vec<WorkerId>,
+}
+
+/// Sorted-unique insertion for the mirror adjacency rows.
+fn insert_sorted(row: &mut Vec<u32>, w: u32) {
+    if let Err(pos) = row.binary_search(&w) {
+        row.insert(pos, w);
+    }
 }
 
 impl StreamingIndex {
@@ -525,25 +571,58 @@ impl StreamingIndex {
     /// # Panics
     /// Panics if `arity < 2` (mirroring [`OverlapIndex::new_with`]).
     pub fn new_with(n_workers: usize, n_tasks: usize, arity: u16, backend: PairBackend) -> Self {
+        let dense_adj = match backend {
+            PairBackend::Dense => Some(vec![Vec::new(); n_workers]),
+            PairBackend::Sparse => None,
+        };
         Self {
             index: OverlapIndex::new_with(n_workers, n_tasks, arity, backend),
             views: (0..n_workers)
                 .map(|_| RefCell::new(AnchoredView::new()))
                 .collect(),
             reanchors: Cell::new(0),
+            epoch: 0,
+            dirty_at: vec![0; n_workers],
+            dense_adj,
+            dirty_scratch: Vec::new(),
         }
     }
 
     /// Seeds the substrate from an existing matrix — one batch index
     /// build and nothing else: views stay un-anchored (zero mask
-    /// memory) until the first evaluation asks for them.
+    /// memory) until the first evaluation asks for them. The seed
+    /// counts as one bulk ingest: the epoch starts at 1 with every
+    /// worker dirty at it.
     pub fn from_matrix(data: &ResponseMatrix) -> Self {
+        let index = OverlapIndex::from_matrix(data);
+        // The batch index uses the dense pair backend, which cannot
+        // enumerate neighbours; build the mirror adjacency from the
+        // task responder lists (`O(Σ r_t²)`, same order as the pair
+        // table build itself).
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); data.n_workers()];
+        for t in 0..data.n_tasks() as u32 {
+            let responders = index.task_responses(TaskId(t));
+            for (i, &(a, _)) in responders.iter().enumerate() {
+                for &(b, _) in &responders[i + 1..] {
+                    adj[a as usize].push(b);
+                    adj[b as usize].push(a);
+                }
+            }
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+            row.dedup();
+        }
         Self {
-            index: OverlapIndex::from_matrix(data),
+            index,
             views: (0..data.n_workers())
                 .map(|_| RefCell::new(AnchoredView::new()))
                 .collect(),
             reanchors: Cell::new(0),
+            epoch: 1,
+            dirty_at: vec![1; data.n_workers()],
+            dense_adj: Some(adj),
+            dirty_scratch: Vec::new(),
         }
     }
 
@@ -568,7 +647,51 @@ impl StreamingIndex {
         self.views[response.worker.index()]
             .borrow_mut()
             .note_anchor_task(response.task.0, responders);
+        // Dense-backend mirror adjacency: the response co-occurs the
+        // worker with every prior responder of the task.
+        if let Some(adj) = self.dense_adj.as_mut() {
+            let w = response.worker.0;
+            for &(r, _) in responders {
+                if r == w {
+                    continue;
+                }
+                insert_sorted(&mut adj[w as usize], r);
+                insert_sorted(&mut adj[r as usize], w);
+            }
+        }
+        self.mark_dirty(response.worker);
         Ok(())
+    }
+
+    /// Advances the ingest epoch and stamps it on `{w} ∪ cooccur(w)`
+    /// — every worker whose assessment inputs the accepted response
+    /// can have moved (see the [module docs](self)). `O(d_w)` off the
+    /// pair-table adjacency; the epoch is taken **after** the index
+    /// update so co-occurrences the response itself created are in
+    /// the set.
+    fn mark_dirty(&mut self, worker: WorkerId) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.dirty_at[worker.index()] = epoch;
+        let mut scratch = std::mem::take(&mut self.dirty_scratch);
+        scratch.clear();
+        if self.index.co_occurring_into(worker, &mut scratch) {
+            for &p in &scratch {
+                self.dirty_at[p.index()] = epoch;
+            }
+        } else if let Some(adj) = &self.dense_adj {
+            for &p in &adj[worker.index()] {
+                self.dirty_at[p as usize] = epoch;
+            }
+        } else {
+            // No adjacency available (a future backend without
+            // neighbour enumeration): degrade soundly by dirtying
+            // everyone rather than risking a stale cached report.
+            for d in &mut self.dirty_at {
+                *d = epoch;
+            }
+        }
+        self.dirty_scratch = scratch;
     }
 
     /// Serves the view of `anchor`, re-anchoring it first when its
@@ -631,6 +754,44 @@ impl StreamingIndex {
         self.reanchors.get()
     }
 
+    /// The monotone ingest epoch: 0 for an empty substrate, +1 per
+    /// accepted response (a matrix seed counts as one bulk ingest).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which `worker`'s assessment inputs last changed
+    /// (0 = never). An evaluation of `worker` computed when
+    /// [`StreamingIndex::epoch`] read `E ≥ dirty_epoch(worker)` is
+    /// still exact — re-running it would produce bit-identical
+    /// output.
+    #[inline]
+    pub fn dirty_epoch(&self, worker: WorkerId) -> u64 {
+        self.dirty_at[worker.index()]
+    }
+
+    /// Whether `worker`'s assessment inputs changed after `epoch`.
+    #[inline]
+    pub fn is_dirty_since(&self, worker: WorkerId, epoch: u64) -> bool {
+        self.dirty_at[worker.index()] > epoch
+    }
+
+    /// Collects into `out` (cleared first, ascending ids) every worker
+    /// whose assessment inputs changed after `epoch`. `O(m)` — meant
+    /// for drain points, not the ingest path; per-worker checks should
+    /// use [`StreamingIndex::is_dirty_since`].
+    pub fn dirty_since(&self, epoch: u64, out: &mut Vec<WorkerId>) {
+        out.clear();
+        out.extend(
+            self.dirty_at
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| e > epoch)
+                .map(|(w, _)| WorkerId(w as u32)),
+        );
+    }
+
     /// Total in-place gram patch operations applied by ingest
     /// maintenance across all views (diagnostic: together with
     /// [`StreamingIndex::gram_rebuild_count`] this makes the
@@ -676,6 +837,24 @@ impl OverlapSource for StreamingIndex {
 
     fn anchored_for(&self, anchor: WorkerId, peers: &[WorkerId]) -> Ref<'_, AnchoredView> {
         self.ensure_scope(anchor, PeerMask::scoped_for(peers, self.index.n_workers()))
+    }
+
+    fn co_occurring_into(&self, worker: WorkerId, out: &mut Vec<WorkerId>) -> bool {
+        if self.index.co_occurring_into(worker, out) {
+            return true;
+        }
+        // Dense backend: serve from the mirror adjacency the dirty
+        // tracker maintains. Same sorted-ascending, positive-overlap
+        // worker list the sparse rows would produce, so pairing sees
+        // an identical candidate sequence (zero-overlap workers are
+        // screened out either way; see `crowd_core::pairing`).
+        match &self.dense_adj {
+            Some(adj) => {
+                out.extend(adj[worker.index()].iter().map(|&w| WorkerId(w)));
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -922,6 +1101,113 @@ mod tests {
         );
     }
 
+    /// The ingest epoch advances once per accepted response and the
+    /// dirty set of each ingest is exactly `{w} ∪ cooccur(w)` —
+    /// under both pair backends.
+    #[test]
+    fn dirty_sets_are_worker_plus_cooccurrence() {
+        for backend in [PairBackend::Dense, PairBackend::Sparse] {
+            let mut stream = StreamingIndex::new_with(5, 10, 2, backend);
+            assert_eq!(stream.epoch(), 0);
+            for w in 0..5u32 {
+                assert_eq!(stream.dirty_epoch(WorkerId(w)), 0);
+                assert!(!stream.is_dirty_since(WorkerId(w), 0));
+            }
+            // Workers 0 and 1 share task 0; worker 3 answers task 5 alone.
+            let ingest = |s: &mut StreamingIndex, w: u32, t: u32| {
+                s.record_response(Response {
+                    worker: WorkerId(w),
+                    task: TaskId(t),
+                    label: Label(0),
+                })
+                .unwrap();
+            };
+            ingest(&mut stream, 0, 0);
+            assert_eq!(stream.epoch(), 1);
+            assert_eq!(stream.dirty_epoch(WorkerId(0)), 1);
+            assert_eq!(stream.dirty_epoch(WorkerId(1)), 0);
+
+            ingest(&mut stream, 1, 0);
+            // Worker 1's response co-occurs it with worker 0: both dirty.
+            assert_eq!(stream.epoch(), 2);
+            assert_eq!(stream.dirty_epoch(WorkerId(0)), 2);
+            assert_eq!(stream.dirty_epoch(WorkerId(1)), 2);
+            assert_eq!(stream.dirty_epoch(WorkerId(3)), 0);
+
+            ingest(&mut stream, 3, 5);
+            // A lone responder dirties only itself.
+            assert_eq!(stream.epoch(), 3);
+            assert_eq!(stream.dirty_epoch(WorkerId(0)), 2);
+            assert_eq!(stream.dirty_epoch(WorkerId(3)), 3);
+
+            let mut dirty = Vec::new();
+            stream.dirty_since(0, &mut dirty);
+            assert_eq!(dirty, vec![WorkerId(0), WorkerId(1), WorkerId(3)]);
+            stream.dirty_since(2, &mut dirty);
+            assert_eq!(dirty, vec![WorkerId(3)]);
+            stream.dirty_since(3, &mut dirty);
+            assert!(dirty.is_empty());
+            assert!(stream.is_dirty_since(WorkerId(1), 1));
+            assert!(!stream.is_dirty_since(WorkerId(1), 2));
+        }
+    }
+
+    /// A response from `w` dirties co-occurring anchors even when they
+    /// never touched the arriving task — their pairing reads peer–peer
+    /// overlaps involving `w`, so a narrower responders-only dirty set
+    /// would be unsound.
+    #[test]
+    fn cooccurring_nonresponders_are_dirtied() {
+        let mut stream = StreamingIndex::new_with(3, 10, 2, PairBackend::Sparse);
+        let ingest = |s: &mut StreamingIndex, w: u32, t: u32| {
+            s.record_response(Response {
+                worker: WorkerId(w),
+                task: TaskId(t),
+                label: Label(0),
+            })
+            .unwrap();
+        };
+        // Workers 0 and 1 co-occur on task 0.
+        ingest(&mut stream, 0, 0);
+        ingest(&mut stream, 1, 0);
+        let mark = stream.epoch();
+        // Worker 1 then answers task 7, which worker 0 never touched:
+        // worker 0 must still be dirtied (its pair with 1 moved).
+        ingest(&mut stream, 1, 7);
+        assert!(stream.is_dirty_since(WorkerId(0), mark));
+        assert!(!stream.is_dirty_since(WorkerId(2), mark));
+    }
+
+    /// A matrix seed is one bulk ingest: epoch 1, everyone dirty at
+    /// it, and the mirror adjacency answers `co_occurring_into` with
+    /// the same positive-overlap peers the pair table holds.
+    #[test]
+    fn seeded_substrates_start_fully_dirty_with_adjacency() {
+        let data = sample(7, 30, 2, 41);
+        let stream = StreamingIndex::from_matrix(&data);
+        assert_eq!(stream.epoch(), 1);
+        let mut dirty = Vec::new();
+        stream.dirty_since(0, &mut dirty);
+        assert_eq!(dirty.len(), 7, "every worker dirty after a seed");
+        stream.dirty_since(1, &mut dirty);
+        assert!(dirty.is_empty());
+
+        let mut co = Vec::new();
+        for a in stream.index().workers() {
+            co.clear();
+            assert!(
+                stream.co_occurring_into(a, &mut co),
+                "dense-backed streaming substrates must enumerate neighbours"
+            );
+            let expect: Vec<WorkerId> = stream
+                .index()
+                .workers()
+                .filter(|&b| b != a && stream.pair(a, b).common_tasks > 0)
+                .collect();
+            assert_eq!(co, expect, "anchor {a:?}");
+        }
+    }
+
     /// Rejected responses leave the views untouched.
     #[test]
     fn rejected_ingest_is_a_no_op() {
@@ -930,6 +1216,7 @@ mod tests {
         let some = data.iter().next().unwrap();
         assert!(stream.record_response(some).is_err());
         assert_eq!(stream.n_responses(), data.n_responses());
+        assert_eq!(stream.epoch(), 1, "rejected ingest must not tick the epoch");
         let batch = OverlapIndex::from_matrix(&data);
         for anchor in batch.workers() {
             let fresh = batch.anchored(anchor);

@@ -32,6 +32,14 @@ pub struct ServiceConfig {
     pub policy: BackpressurePolicy,
     /// Estimator configuration used by every shard.
     pub estimator: EstimatorConfig,
+    /// Whether shards answer assessment requests through the
+    /// epoch-versioned report caches (`crowd_core::cached`):
+    /// drain-point snapshots re-evaluate only anchors dirtied since
+    /// their cached rows — bit-identical reports, `O(|dirty|)`
+    /// evaluations instead of `O(anchors)`. On by default; turn off
+    /// to force full recomputation per request (the baseline the
+    /// `scaling_pr8` bench measures against).
+    pub incremental: bool,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +48,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             policy: BackpressurePolicy::Block,
             estimator: EstimatorConfig::default(),
+            incremental: true,
         }
     }
 }
@@ -60,6 +69,12 @@ impl ServiceConfig {
     /// Sets the estimator configuration.
     pub fn with_estimator(mut self, estimator: EstimatorConfig) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Enables or disables epoch-versioned incremental assessment.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 }

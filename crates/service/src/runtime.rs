@@ -7,8 +7,8 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 
 use crowd_core::{
-    KaryMWorkerEstimator, KaryWorkerAssessment, KaryWorkerReport, MWorkerEstimator,
-    WorkerAssessment, WorkerReport,
+    KaryMWorkerEstimator, KaryReportCache, KaryWorkerAssessment, KaryWorkerReport,
+    MWorkerEstimator, ReportCache, WorkerAssessment, WorkerReport,
 };
 use crowd_data::{DataError, PairBackend, Response, StreamingIndex, WorkerId};
 use crowd_shard::{ShardPlan, merge_kary_reports, merge_reports};
@@ -95,6 +95,17 @@ struct ShardWorker {
     is_home: Vec<bool>,
     depth: Arc<QueueDepth>,
     stats: ShardStats,
+    /// Whether assessment requests go through the epoch-versioned
+    /// report caches below ([`ServiceConfig::incremental`]); off means
+    /// every request recomputes from scratch.
+    incremental: bool,
+    /// Epoch-versioned rows of the last binary assessments, keyed to
+    /// this shard's `stream` — drain-point snapshots re-evaluate only
+    /// anchors dirtied since their cached rows, bit-identically (see
+    /// `crowd_core::cached`).
+    binary_cache: ReportCache,
+    /// The k-ary twin.
+    kary_cache: KaryReportCache,
 }
 
 impl ShardWorker {
@@ -125,10 +136,14 @@ impl ShardWorker {
                     reply,
                 } => {
                     self.stats.assess_requests += 1;
-                    let out = self
-                        .binary
-                        .evaluate_worker_on(&self.stream, worker, confidence)
-                        .map_err(ServiceError::Estimate);
+                    let out = if self.incremental {
+                        self.binary_cache
+                            .assess(&self.binary, &self.stream, worker, confidence)
+                    } else {
+                        self.binary
+                            .evaluate_worker_on(&self.stream, worker, confidence)
+                    }
+                    .map_err(ServiceError::Estimate);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessWorkerKary {
@@ -137,26 +152,45 @@ impl ShardWorker {
                     reply,
                 } => {
                     self.stats.assess_requests += 1;
-                    let out = self
-                        .kary
-                        .evaluate_worker_streaming(&self.stream, worker, confidence)
-                        .map_err(ServiceError::Estimate);
+                    let out = if self.incremental {
+                        self.kary_cache
+                            .assess(&self.kary, &self.stream, worker, confidence)
+                    } else {
+                        self.kary
+                            .evaluate_worker_streaming(&self.stream, worker, confidence)
+                    }
+                    .map_err(ServiceError::Estimate);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchors { confidence, reply } => {
                     self.stats.assess_requests += 1;
-                    let out = self
-                        .binary
-                        .evaluate_workers_on(&self.stream, &self.anchors, confidence)
-                        .map_err(ServiceError::Estimate);
+                    let out = if self.incremental {
+                        self.binary_cache.refresh(
+                            &self.binary,
+                            &self.stream,
+                            &self.anchors,
+                            confidence,
+                        )
+                    } else {
+                        self.binary
+                            .evaluate_workers_on(&self.stream, &self.anchors, confidence)
+                    }
+                    .map_err(ServiceError::Estimate);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchorsKary { confidence, reply } => {
                     self.stats.assess_requests += 1;
-                    let out = self
-                        .kary
-                        .evaluate_workers_streaming(&self.stream, &self.anchors, confidence)
-                        .map_err(ServiceError::Estimate);
+                    let out = if self.incremental {
+                        self.kary_cache
+                            .refresh(&self.kary, &self.stream, &self.anchors, confidence)
+                    } else {
+                        self.kary.evaluate_workers_streaming(
+                            &self.stream,
+                            &self.anchors,
+                            confidence,
+                        )
+                    }
+                    .map_err(ServiceError::Estimate);
                     let _ = reply.send(out);
                 }
                 ShardMsg::Stats { reply } => {
@@ -186,6 +220,10 @@ impl ShardWorker {
         s.gram_patches = self.stream.gram_patch_count();
         s.gram_rebuilds = self.stream.gram_rebuild_count();
         s.queue_high_water = self.depth.high_water();
+        let (b, k) = (self.binary_cache.stats(), self.kary_cache.stats());
+        s.cache_hits = b.hits + k.hits;
+        s.cache_misses = b.misses + k.misses;
+        s.cache_full_refreshes = b.full_refreshes + k.full_refreshes;
         s
     }
 }
@@ -750,6 +788,9 @@ impl AssessmentService {
                     shard: s,
                     ..ShardStats::default()
                 },
+                incremental: config.incremental,
+                binary_cache: ReportCache::new(),
+                kary_cache: KaryReportCache::new(),
             };
             handles.push(
                 std::thread::Builder::new()

@@ -29,6 +29,17 @@ pub struct ShardStats {
     pub gram_rebuilds: usize,
     /// High-water mark of the shard's bounded queue, in messages.
     pub queue_high_water: usize,
+    /// Report-cache rows served without re-evaluation (binary + k-ary
+    /// caches combined; see `crowd_core::cached`). Zero when the
+    /// service runs with [`crate::ServiceConfig::incremental`] off.
+    pub cache_hits: u64,
+    /// Report-cache rows (re-)evaluated because they were absent or
+    /// dirtied by ingest since their cached version — the dirty-set
+    /// work drains actually paid for.
+    pub cache_misses: u64,
+    /// Wholesale cache invalidations (requests switched confidence
+    /// level).
+    pub cache_full_refreshes: u64,
 }
 
 /// Power-of-two histogram of ingest batch sizes: bucket `i` counts
@@ -111,6 +122,21 @@ impl ServiceStats {
     /// accounting, so each bad response counts once).
     pub fn total_rejected(&self) -> u64 {
         self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Fleet total of report-cache rows served without re-evaluation.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Fleet total of report-cache rows (re-)evaluated.
+    pub fn total_cache_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_misses).sum()
+    }
+
+    /// Fleet total of wholesale cache invalidations.
+    pub fn total_cache_full_refreshes(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_full_refreshes).sum()
     }
 
     /// The deepest any shard queue ever got, in messages.

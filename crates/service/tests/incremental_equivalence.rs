@@ -1,0 +1,267 @@
+//! Differential tests pinning the incremental (report-cache) service
+//! **bit-identical** to a cache-disabled twin at every drain point,
+//! under randomized ingest/assess/drain interleavings, shard counts
+//! (1, 2, 8), binary and k-ary — including mid-stream confidence
+//! switches (the wholesale-invalidation path) and streams long enough
+//! that views re-anchor between snapshots, so cached rows survive
+//! substrate maintenance, not just quiet appends.
+//!
+//! The reference is the same runtime with
+//! [`ServiceConfig::with_incremental`]`(false)`, fed exactly the same
+//! responses in exactly the same order. The cached service must
+//! reproduce its reports bit for bit (interval bits, triple counts,
+//! failure taxonomy) at every comparison, while its cache counters
+//! prove the fast path actually ran.
+
+use crowd_core::{KaryWorkerReport, WorkerReport};
+use crowd_data::{Response, ResponseMatrix, WorkerId};
+use crowd_service::{AssessmentService, ServiceConfig, ServiceError};
+use crowd_shard::ShardPlan;
+use crowd_sim::{ArrivalSchedule, BinaryScenario, KaryScenario, rng};
+use rand::RngExt;
+
+fn reports_identical(a: &WorkerReport, b: &WorkerReport) -> bool {
+    a.assessments.len() == b.assessments.len()
+        && a.failures.len() == b.failures.len()
+        && a.assessments.iter().zip(&b.assessments).all(|(x, y)| {
+            x.worker == y.worker
+                && x.triples_used == y.triples_used
+                && x.weights_fell_back == y.weights_fell_back
+                && x.interval.center.to_bits() == y.interval.center.to_bits()
+                && x.interval.half_width.to_bits() == y.interval.half_width.to_bits()
+        })
+        && a.failures
+            .iter()
+            .zip(&b.failures)
+            .all(|(x, y)| x.0 == y.0 && x.1 == y.1)
+}
+
+fn kary_reports_identical(a: &KaryWorkerReport, b: &KaryWorkerReport) -> bool {
+    a.assessments.len() == b.assessments.len()
+        && a.failures.len() == b.failures.len()
+        && a.assessments.iter().zip(&b.assessments).all(|(x, y)| {
+            x.worker == y.worker
+                && x.triples_used == y.triples_used
+                && x.intervals.len() == y.intervals.len()
+                && x.intervals.iter().zip(&y.intervals).all(|(p, q)| {
+                    p.center.to_bits() == q.center.to_bits()
+                        && p.half_width.to_bits() == q.half_width.to_bits()
+                })
+        })
+        && a.failures
+            .iter()
+            .zip(&b.failures)
+            .all(|(x, y)| x.0 == y.0 && x.1 == y.1)
+}
+
+/// Spawns the cached service and its cache-disabled twin over the
+/// same shard plan.
+fn spawn_pair(data: &ResponseMatrix, n_shards: usize) -> (AssessmentService, AssessmentService) {
+    assert!(
+        ServiceConfig::default().incremental,
+        "the report cache is the default service mode"
+    );
+    let cached = AssessmentService::spawn(
+        ShardPlan::build_clustered(data, n_shards),
+        data.n_tasks(),
+        data.arity(),
+        ServiceConfig::default(),
+    );
+    let full = AssessmentService::spawn(
+        ShardPlan::build_clustered(data, n_shards),
+        data.n_tasks(),
+        data.arity(),
+        ServiceConfig::default().with_incremental(false),
+    );
+    (cached, full)
+}
+
+#[test]
+fn cached_service_is_bit_identical_to_uncached_binary() {
+    let inst = BinaryScenario::paper_default(12, 60, 0.85).generate(&mut rng(821));
+    let data = inst.responses();
+    for &n_shards in &[1usize, 2, 8] {
+        let (mut cached, mut full) = spawn_pair(data, n_shards);
+        let mut dice = rng(900 + n_shards as u64);
+        let sched = ArrivalSchedule::poisson(data, 1000.0, &mut rng(77));
+        let batches: Vec<&[Response]> = sched.batches(16).collect();
+        let mid = batches.len() / 2;
+        let mut confidence = 0.9;
+        for (i, group) in batches.iter().enumerate() {
+            cached.ingest_batch(group).unwrap();
+            full.ingest_batch(group).unwrap();
+            if i + 1 == mid {
+                // Guarantee live cached rows, then switch confidence:
+                // the next request must take the wholesale-invalidation
+                // path and still agree bit for bit.
+                let a = cached.snapshot(confidence).unwrap();
+                let b = full.snapshot(confidence).unwrap();
+                assert!(reports_identical(&a, &b), "pre-switch divergence");
+                confidence = 0.95;
+            }
+            if dice.random::<f64>() < 0.35 {
+                let a = cached.snapshot(confidence).unwrap();
+                let b = full.snapshot(confidence).unwrap();
+                assert!(
+                    reports_identical(&a, &b),
+                    "drain-point divergence: shards={n_shards} batch={i}"
+                );
+            }
+            if dice.random::<f64>() < 0.3 {
+                let w = WorkerId(dice.random::<u32>() % data.n_workers() as u32);
+                match (
+                    cached.assess_worker(w, confidence),
+                    full.assess_worker(w, confidence),
+                ) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.interval.center.to_bits(), b.interval.center.to_bits());
+                        assert_eq!(
+                            a.interval.half_width.to_bits(),
+                            b.interval.half_width.to_bits()
+                        );
+                        assert_eq!(a.triples_used, b.triples_used);
+                    }
+                    (Err(ServiceError::Estimate(a)), Err(ServiceError::Estimate(b))) => {
+                        assert_eq!(a, b)
+                    }
+                    (a, b) => panic!("outcome mismatch for {w:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        // Final drain point, then a quiet repeat: no ingest between
+        // them, so the second snapshot must be served entirely from
+        // cache — identical bits, zero new misses.
+        let a = cached.snapshot(confidence).unwrap();
+        let b = full.snapshot(confidence).unwrap();
+        assert!(
+            reports_identical(&a, &b),
+            "final divergence shards={n_shards}"
+        );
+        let before = cached.stats().unwrap();
+        let a2 = cached.snapshot(confidence).unwrap();
+        assert!(reports_identical(&a2, &b), "quiet-drain divergence");
+        let after = cached.stats().unwrap();
+        assert_eq!(
+            after.total_cache_misses(),
+            before.total_cache_misses(),
+            "a quiet snapshot must not re-evaluate anyone"
+        );
+        assert!(after.total_cache_hits() > before.total_cache_hits());
+        assert!(
+            after.total_cache_full_refreshes() > 0,
+            "the confidence switch must have invalidated wholesale"
+        );
+        assert!(
+            after.total_reanchors() > 0,
+            "the stream must be long enough to re-anchor views mid-stream"
+        );
+        // The uncached twin never touches a cache.
+        let fs = full.stats().unwrap();
+        assert_eq!(
+            fs.total_cache_hits() + fs.total_cache_misses() + fs.total_cache_full_refreshes(),
+            0,
+            "with_incremental(false) must bypass the cache entirely"
+        );
+    }
+}
+
+#[test]
+fn cached_service_is_bit_identical_to_uncached_kary() {
+    let inst = KaryScenario::paper_default(3, 60, 0.85)
+        .with_workers(9)
+        .generate(&mut rng(823));
+    let data = inst.responses();
+    for &n_shards in &[1usize, 2, 8] {
+        let (mut cached, mut full) = spawn_pair(data, n_shards);
+        let mut dice = rng(1100 + n_shards as u64);
+        let sched = ArrivalSchedule::poisson(data, 1000.0, &mut rng(78));
+        let batches: Vec<&[Response]> = sched.batches(16).collect();
+        let mid = batches.len() / 2;
+        let mut confidence = 0.9;
+        for (i, group) in batches.iter().enumerate() {
+            cached.ingest_batch(group).unwrap();
+            full.ingest_batch(group).unwrap();
+            if i + 1 == mid {
+                let a = cached.snapshot_kary(confidence).unwrap();
+                let b = full.snapshot_kary(confidence).unwrap();
+                assert!(
+                    kary_reports_identical(&a, &b),
+                    "pre-switch k-ary divergence"
+                );
+                confidence = 0.95;
+            }
+            if dice.random::<f64>() < 0.35 {
+                let a = cached.snapshot_kary(confidence).unwrap();
+                let b = full.snapshot_kary(confidence).unwrap();
+                assert!(
+                    kary_reports_identical(&a, &b),
+                    "k-ary drain-point divergence: shards={n_shards} batch={i}"
+                );
+            }
+            if dice.random::<f64>() < 0.3 {
+                let w = WorkerId(dice.random::<u32>() % data.n_workers() as u32);
+                match (
+                    cached.assess_worker_kary(w, confidence),
+                    full.assess_worker_kary(w, confidence),
+                ) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.triples_used, b.triples_used);
+                        for (p, q) in a.intervals.iter().zip(&b.intervals) {
+                            assert_eq!(p.center.to_bits(), q.center.to_bits());
+                            assert_eq!(p.half_width.to_bits(), q.half_width.to_bits());
+                        }
+                    }
+                    (Err(ServiceError::Estimate(a)), Err(ServiceError::Estimate(b))) => {
+                        assert_eq!(a, b)
+                    }
+                    (a, b) => panic!("k-ary outcome mismatch for {w:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        let a = cached.snapshot_kary(confidence).unwrap();
+        let b = full.snapshot_kary(confidence).unwrap();
+        assert!(
+            kary_reports_identical(&a, &b),
+            "final k-ary divergence shards={n_shards}"
+        );
+        let stats = cached.stats().unwrap();
+        assert!(stats.total_cache_misses() > 0);
+        assert!(
+            stats.total_cache_full_refreshes() > 0,
+            "the k-ary confidence switch must have invalidated wholesale"
+        );
+    }
+}
+
+#[test]
+fn explicit_worker_sets_share_cache_rows_with_snapshots() {
+    // assess_workers rides the same per-anchor cache as snapshot: a
+    // snapshot primes the rows, and a quiet explicit-set request is
+    // then all hits while agreeing with the uncached twin bit for bit.
+    let inst = BinaryScenario::paper_default(10, 50, 0.9).generate(&mut rng(829));
+    let data = inst.responses();
+    let (mut cached, mut full) = spawn_pair(data, 2);
+    let all: Vec<Response> = data.iter().collect();
+    for chunk in all.chunks(32) {
+        cached.ingest_batch(chunk).unwrap();
+        full.ingest_batch(chunk).unwrap();
+    }
+    let a = cached.snapshot(0.9).unwrap();
+    let b = full.snapshot(0.9).unwrap();
+    assert!(reports_identical(&a, &b));
+    let before = cached.stats().unwrap();
+    let set: Vec<WorkerId> = (0..data.n_workers() as u32)
+        .step_by(2)
+        .map(WorkerId)
+        .collect();
+    let a = cached.assess_workers(&set, 0.9).unwrap();
+    let b = full.assess_workers(&set, 0.9).unwrap();
+    assert!(reports_identical(&a, &b));
+    let after = cached.stats().unwrap();
+    assert_eq!(
+        after.total_cache_misses(),
+        before.total_cache_misses(),
+        "a quiet explicit-set request after a snapshot must be all hits"
+    );
+    assert!(after.total_cache_hits() > before.total_cache_hits());
+}

@@ -28,7 +28,7 @@ mod worker;
 pub use arrival::{ArrivalCursor, ArrivalSchedule};
 pub use design::AttemptDesign;
 pub use instance::{BinaryInstance, KaryInstance};
-pub use presets::{fig2c_densities, paper_error_pool, paper_matrices};
+pub use presets::{fig2c_densities, paper_error_pool, paper_matrices, skewed_activity_densities};
 pub use scenario::{BinaryScenario, Collusion, KaryScenario};
 pub use worker::{DifficultyModel, WorkerModel};
 

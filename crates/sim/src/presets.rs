@@ -18,6 +18,32 @@ pub fn fig2c_densities(m: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Zipf-like per-worker activity densities: worker `i` (0-based)
+/// attempts each task with probability
+/// `floor + (1 − floor) / (i + 1)^exponent`, clamped to `[0, 1]`.
+///
+/// A handful of head workers answer almost everything while the long
+/// tail hovers near `floor` — the skewed-arrival regime the dirty-set
+/// benchmarks use, where a late burst from a few active workers
+/// dirties a small neighbourhood instead of the whole fleet. Pass the
+/// result to [`crate::AttemptDesign::PerWorkerDensity`].
+///
+/// # Panics
+/// Panics unless `0 ≤ floor ≤ 1` and `exponent ≥ 0`.
+pub fn skewed_activity_densities(m: usize, exponent: f64, floor: f64) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&floor),
+        "floor must be a probability (got {floor})"
+    );
+    assert!(
+        exponent >= 0.0,
+        "exponent must be non-negative (got {exponent})"
+    );
+    (0..m)
+        .map(|i| (floor + (1.0 - floor) / ((i + 1) as f64).powf(exponent)).clamp(0.0, 1.0))
+        .collect()
+}
+
 /// The paper's §IV-B response-probability matrix pools for arity 2, 3
 /// and 4. Each simulated worker is assigned one matrix from the pool
 /// uniformly at random.
@@ -112,5 +138,35 @@ mod tests {
     #[should_panic(expected = "arity 2, 3, 4")]
     fn unsupported_arity_panics() {
         paper_matrices(5);
+    }
+
+    #[test]
+    fn skewed_densities_have_hot_head_and_quiet_tail() {
+        let d = skewed_activity_densities(1000, 1.0, 0.15);
+        assert_eq!(d.len(), 1000);
+        // Worker 0 answers everything; the tail settles just above the floor.
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!(
+            d[999] < 0.16,
+            "tail density {} should hug the floor",
+            d[999]
+        );
+        // Strictly decreasing, all valid probabilities.
+        assert!(d.windows(2).all(|w| w[0] > w[1]));
+        assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // The head dominates: worker 0 is ≥ 6× as active as the median.
+        assert!(d[0] / d[500] > 6.0);
+    }
+
+    #[test]
+    fn skewed_densities_zero_exponent_is_uniform() {
+        let d = skewed_activity_densities(5, 0.0, 0.3);
+        assert!(d.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn skewed_densities_reject_bad_floor() {
+        skewed_activity_densities(4, 1.0, 1.5);
     }
 }

@@ -310,7 +310,7 @@ pub fn decode_reply(op: u8, payload: &[u8]) -> Result<Reply, WireError> {
         }
         opcode::OK_UNIT => Reply::Unit,
         opcode::OK_STATS => {
-            let n = c.count(9 * 8, "stats shard count")?;
+            let n = c.count(12 * 8, "stats shard count")?;
             let mut shards = Vec::with_capacity(n);
             for _ in 0..n {
                 shards.push(get_shard_stats(&mut c)?);
@@ -369,6 +369,9 @@ fn put_shard_stats(p: &mut Vec<u8>, s: &ShardStats) {
     put_usize(p, s.gram_patches);
     put_usize(p, s.gram_rebuilds);
     put_usize(p, s.queue_high_water);
+    put_u64(p, s.cache_hits);
+    put_u64(p, s.cache_misses);
+    put_u64(p, s.cache_full_refreshes);
 }
 
 fn get_shard_stats(c: &mut Cursor<'_>) -> Result<ShardStats, WireError> {
@@ -382,6 +385,9 @@ fn get_shard_stats(c: &mut Cursor<'_>) -> Result<ShardStats, WireError> {
         gram_patches: c.usize("shard gram patches")?,
         gram_rebuilds: c.usize("shard gram rebuilds")?,
         queue_high_water: c.usize("shard queue high-water")?,
+        cache_hits: c.u64("shard cache hits")?,
+        cache_misses: c.u64("shard cache misses")?,
+        cache_full_refreshes: c.u64("shard cache full refreshes")?,
     })
 }
 

@@ -196,7 +196,7 @@ fn arb_report() -> impl Strategy<Value = WorkerReport> {
 }
 
 fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
-    proptest::collection::vec(0..u64::MAX / 2, 9).prop_map(|v| ShardStats {
+    proptest::collection::vec(0..u64::MAX / 2, 12).prop_map(|v| ShardStats {
         shard: v[0] as usize % 64,
         batches: v[1],
         responses: v[2],
@@ -206,6 +206,9 @@ fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
         gram_patches: v[6] as usize,
         gram_rebuilds: v[7] as usize,
         queue_high_water: v[8] as usize,
+        cache_hits: v[9],
+        cache_misses: v[10],
+        cache_full_refreshes: v[11],
     })
 }
 
