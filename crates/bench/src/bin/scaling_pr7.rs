@@ -527,17 +527,16 @@ fn run_latency(
         None => handle.drain().expect("drain"),
     }
     let achieved_rps = sched.len() as f64 / t0.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    assert!(!latencies.is_empty(), "at least one assess");
     LatencyRow {
         mode,
         n_shards,
         offered_rps,
         achieved_rps,
         assess_requests: latencies.len(),
-        p50_ms: pick(0.50),
-        p99_ms: pick(0.99),
-        max_ms: *latencies.last().expect("at least one assess"),
+        p50_ms: crowd_obs::sample_percentile(&mut latencies, 0.50),
+        p99_ms: crowd_obs::sample_percentile(&mut latencies, 0.99),
+        max_ms: crowd_obs::sample_percentile(&mut latencies, 1.0),
     }
 }
 

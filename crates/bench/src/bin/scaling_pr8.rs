@@ -161,11 +161,6 @@ fn reports_byte_identical(a: &WorkerReport, b: &WorkerReport) -> bool {
     encode_reply(&Reply::Report(a.clone())) == encode_reply(&Reply::Report(b.clone()))
 }
 
-fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    values[values.len() / 2]
-}
-
 fn main() {
     let mut out_path = "BENCH_PR8.json".to_string();
     let mut smoke = false;
@@ -328,7 +323,7 @@ fn main() {
     drop(server);
 
     let mut speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
-    let median_speedup = median(&mut speedups);
+    let median_speedup = crowd_obs::sample_percentile(&mut speedups, 0.5);
     let mean_dirty = rows.iter().map(|r| r.dirty).sum::<u64>() as f64 / rows.len() as f64;
     let hit_rate = final_stats.total_cache_hits() as f64
         / (final_stats.total_cache_hits() + final_stats.total_cache_misses()) as f64;

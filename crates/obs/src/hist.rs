@@ -1,0 +1,363 @@
+//! The log₂-bucketed histogram core: an atomic recording side
+//! ([`LatencyHistogram`]) and a plain-data query side
+//! ([`HistogramSnapshot`]), sharing one bucketing rule.
+//!
+//! # Bucketing rule
+//!
+//! [`bucket_index`]`(v)` is the bit length of `v`: bucket 0 holds
+//! exactly the value 0, and bucket `i ≥ 1` holds
+//! `2^(i-1) ≤ v < 2^i`. Zero gets a bucket of its own — an empty
+//! batch, a zero-length wait — so it is never silently folded into
+//! the count of ones. Indices are clamped to [`BUCKETS`]` - 1`, making
+//! the last bucket open-ended; at 64 buckets that only folds together
+//! values ≥ 2⁶² — beyond a century in nanoseconds.
+//!
+//! # Percentile semantics (pinned here, used everywhere)
+//!
+//! All percentile queries in this workspace use the **nearest-rank**
+//! rule: `percentile(q)` is the smallest reported value such that at
+//! least `⌈q · count⌉` recorded samples are ≤ it. For the histogram
+//! that value is the containing bucket's inclusive upper bound
+//! (`2^i - 1`), further clamped to the exact recorded maximum — so
+//! `percentile(1.0) == max()` exactly, and every estimate is within
+//! 2× of the true sample percentile. [`crate::sample_percentile`] is
+//! the exact-sample twin with the same rank rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets; see the [module docs](self) for the
+/// bucket boundaries.
+pub const BUCKETS: usize = 64;
+
+/// The bucket holding `value`: its bit length, clamped to the last
+/// (open-ended) bucket. Zero maps to bucket 0, and bucket 0 holds
+/// only zero.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` under [`bucket_index`]:
+/// 0 for bucket 0, `2^(i-1)` otherwise.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 { 0 } else { 1u64 << (i - 1) }
+}
+
+/// Inclusive upper bound of bucket `i` under [`bucket_index`]:
+/// 0 for bucket 0, `2^i - 1` otherwise (saturating for the last,
+/// open-ended bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A wait-free, thread-safe log₂ latency histogram over `u64` values
+/// (by convention nanoseconds).
+///
+/// # Per-call cost
+///
+/// [`LatencyHistogram::record`] is four uncontended relaxed atomic
+/// RMW operations (bucket, count, sum, max) — roughly 10–20 ns on
+/// current x86, with no locks, no allocation and no possibility of
+/// blocking the recording thread (`fetch_add`/`fetch_max` are single
+/// instructions there). Queries ([`LatencyHistogram::snapshot`])
+/// read 67 atomics; concurrent recording never blocks them.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest value recorded so far (exact, not bucketed); 0 when
+    /// empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every sample of `other` into `self` (used when retiring a
+    /// per-thread histogram into a fleet-wide one).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        let snap = other.snapshot();
+        for (i, &c) in snap.buckets().iter().enumerate() {
+            if c != 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count(), Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum(), Ordering::Relaxed);
+        self.max.fetch_max(snap.max(), Ordering::Relaxed);
+    }
+
+    /// A plain-data copy for querying. Taken concurrently with
+    /// recording, the copy is a consistent-enough view for
+    /// monitoring: each field is read once, so `count` may trail a
+    /// racing `record` by a few samples but never tears.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data histogram: the query (and wire) side of
+/// [`LatencyHistogram`]. Cheap to clone, compare and serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Rebuilds a snapshot from previously-reported parts — the
+    /// constructor wire decoding uses to carry a histogram across a
+    /// connection losslessly. No consistency between `buckets`,
+    /// `count`, `sum` and `max` is enforced: the snapshot reports
+    /// what it was given.
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum: u64, max: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// The bucket counts; bucket boundaries per [`bucket_index`].
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate for `q ∈ [0, 1]`; see the
+    /// [module docs](self) for the pinned semantics. 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        // Bucket counts summed short of `count` (snapshot raced a
+        // recorder): the max is the best remaining answer.
+        self.max
+    }
+
+    /// Median estimate (`percentile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`. Merging snapshots is
+    /// exact: bucket counts, counts and sums add, maxima take the
+    /// larger — identical to having recorded both sample streams into
+    /// one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_rule_separates_zero_from_one() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i));
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+        }
+        assert_eq!(bucket_index(bucket_upper_bound(5)), 5);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 1, 1, 7, 100, 1000, 65_536] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.max(), 65_536);
+        assert_eq!(s.sum(), 66_645);
+        assert_eq!(s.buckets()[0], 1, "zero gets its own bucket");
+        assert_eq!(s.buckets()[1], 2);
+        // p100 is the exact max; p50 is within 2x of the true median.
+        assert_eq!(s.percentile(1.0), 65_536);
+        let p50 = s.p50();
+        assert!((7..=13).contains(&p50), "p50 estimate {p50} for median 7");
+    }
+
+    #[test]
+    fn percentiles_clamp_to_exact_max() {
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        // The bucket upper bound is 1023, but only 1000 was seen.
+        assert_eq!(s.p50(), 1000);
+        assert_eq!(s.p99(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_queries_are_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_recording() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for v in [3u64, 9, 0, 500] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [12u64, 80_000, 2] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+        let mut sa = LatencyHistogram::new().snapshot();
+        sa.merge(&b.snapshot());
+        sa.merge(&LatencyHistogram::new().snapshot());
+        assert_eq!(sa.count(), 3);
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let h = LatencyHistogram::new();
+        h.record_duration(Duration::from_nanos(250));
+        h.record_duration(Duration::from_secs(u64::MAX));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+        assert_eq!(s.buckets()[8], 1, "250 ns in bucket 8");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests pinning the histogram semantics: bucket rules,
+//! percentile monotonicity, merge == concatenated recording, and
+//! agreement between the exact sample percentile and its definition.
+
+use crowd_obs::{
+    BUCKETS, HistogramSnapshot, LatencyHistogram, bucket_index, bucket_lower_bound,
+    bucket_upper_bound, sample_percentile,
+};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Mixed magnitudes: small exact values, mid-range, and huge.
+    proptest::collection::vec((0..3usize, 0..u64::MAX), 0..64).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, v)| match sel {
+                0 => v % 16,
+                1 => v % (1 << 20),
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in 0..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v <= bucket_upper_bound(i));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q(values in arb_values()) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                snap.percentile(w[0]) <= snap.percentile(w[1]),
+                "p({}) > p({})", w[0], w[1]
+            );
+        }
+        if !values.is_empty() {
+            let max = *values.iter().max().unwrap();
+            prop_assert_eq!(snap.percentile(1.0), max);
+            prop_assert!(snap.p50() <= snap.p99());
+        }
+    }
+
+    #[test]
+    fn percentile_never_undershoots_nor_escapes_its_bucket(
+        values in arb_values(),
+        q in 0.0f64..1.0,
+    ) {
+        // Nearest-rank over buckets: the answer is >= the exact
+        // sample percentile and <= its bucket's upper bound.
+        if values.is_empty() {
+            return Ok(());
+        }
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        // Exact nearest-rank on the raw u64s (f64 casts would round
+        // huge samples).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+        let answer = h.snapshot().percentile(q);
+        prop_assert!(answer >= exact);
+        prop_assert!(answer <= bucket_upper_bound(bucket_index(exact)));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in arb_values(),
+        b in arb_values(),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        let hall = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        // Snapshot-level merge…
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&ha.snapshot());
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hall.snapshot());
+        // …and atomic-level merge agree with recording everything
+        // into one histogram.
+        let live = LatencyHistogram::new();
+        live.merge(&ha);
+        live.merge(&hb);
+        prop_assert_eq!(live.snapshot(), hall.snapshot());
+    }
+
+    #[test]
+    fn sample_percentile_matches_its_definition(
+        values in proptest::collection::vec(-1.0e9f64..1.0e9, 1..40),
+        q in 0.0f64..1.0,
+    ) {
+        let p = sample_percentile(&mut values.clone(), q);
+        // Definition: smallest sample with >= ceil(q*n) samples <= it.
+        let n = values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let at_or_below = values.iter().filter(|&&v| v <= p).count();
+        prop_assert!(at_or_below >= rank);
+        prop_assert!(values.contains(&p));
+    }
+}

@@ -1,5 +1,7 @@
 //! Service construction parameters.
 
+use std::time::Duration;
+
 use crowd_core::EstimatorConfig;
 
 /// What [`crate::AssessmentService::ingest_batch`] does when a shard's
@@ -40,6 +42,20 @@ pub struct ServiceConfig {
     /// to force full recomputation per request (the baseline the
     /// `scaling_pr8` bench measures against).
     pub incremental: bool,
+    /// Whether the fleet records stage timings (queue-wait,
+    /// batch-apply, drain-eval histograms) and flight-recorder events
+    /// (see [`crate::ServiceMetrics`]). Instrumentation never touches
+    /// evaluation — reports are bit-identical either way — and costs
+    /// a few relaxed atomics per message; on by default. Off leaves
+    /// the stage histograms empty and the journal silent.
+    pub metrics: bool,
+    /// An instrumented operation (batch apply, drain evaluation)
+    /// taking at least this long is journaled as a
+    /// [`crowd_obs::EventKind::SlowOp`] event. Default 100 ms.
+    pub slow_op_threshold: Duration,
+    /// Flight-recorder capacity, in events (rounded up to a power of
+    /// two, minimum 8). Default 256.
+    pub journal_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +65,9 @@ impl Default for ServiceConfig {
             policy: BackpressurePolicy::Block,
             estimator: EstimatorConfig::default(),
             incremental: true,
+            metrics: true,
+            slow_op_threshold: Duration::from_millis(100),
+            journal_capacity: 256,
         }
     }
 }
@@ -75,6 +94,24 @@ impl ServiceConfig {
     /// Enables or disables epoch-versioned incremental assessment.
     pub fn with_incremental(mut self, incremental: bool) -> Self {
         self.incremental = incremental;
+        self
+    }
+
+    /// Enables or disables stage timing and the event journal.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the slow-operation journaling threshold.
+    pub fn with_slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_op_threshold = threshold;
+        self
+    }
+
+    /// Sets the flight-recorder capacity, in events.
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
         self
     }
 }

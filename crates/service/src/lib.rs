@@ -72,10 +72,12 @@
 
 mod config;
 mod error;
+mod metrics;
 mod runtime;
 mod stats;
 
 pub use config::{BackpressurePolicy, ServiceConfig};
 pub use error::ServiceError;
+pub use metrics::{ServiceMetrics, StageTimings};
 pub use runtime::{AssessmentService, IngestReceipt, ServiceHandle};
 pub use stats::{BatchHistogram, ServiceStats, ShardStats};

@@ -5,17 +5,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError, channel, sync_channel};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crowd_core::{
     KaryMWorkerEstimator, KaryReportCache, KaryWorkerAssessment, KaryWorkerReport,
     MWorkerEstimator, ReportCache, WorkerAssessment, WorkerReport,
 };
 use crowd_data::{DataError, PairBackend, Response, StreamingIndex, WorkerId};
+use crowd_obs::{EventJournal, EventKind};
 use crowd_shard::{ShardPlan, merge_kary_reports, merge_reports};
 
 use crate::config::{BackpressurePolicy, ServiceConfig};
 use crate::error::ServiceError;
+use crate::metrics::{ServiceMetrics, StageTimers, StageTimings};
 use crate::stats::{BatchHistogram, ServiceStats, ShardStats};
+
+/// What travels on a shard queue: the message plus its enqueue stamp.
+/// The stamp is `None` when the fleet runs with metrics off — taking
+/// (or not taking) it is the *only* per-message ingest-path cost of
+/// the instrumentation switch, which is how reports stay bit-identical
+/// and throughput stays within noise of the uninstrumented baseline.
+type Envelope = (Option<Instant>, ShardMsg);
 
 /// Shared queue-depth gauge: the handle increments on enqueue, the
 /// shard thread decrements on dequeue, and the high-water mark is
@@ -106,14 +116,42 @@ struct ShardWorker {
     binary_cache: ReportCache,
     /// The k-ary twin.
     kary_cache: KaryReportCache,
+    /// Stage timers + journal wiring; `None` when spawned with
+    /// [`ServiceConfig::metrics`] off. Nothing behind this Option is
+    /// ever consulted by evaluation — only timed around it.
+    obs: Option<ShardObs>,
+}
+
+/// One shard thread's recording side: timers shared (`Arc`) with the
+/// handle so scrapes never cross the shard queue, plus last-seen
+/// substrate maintenance counters for delta-based journaling.
+struct ShardObs {
+    timers: Arc<StageTimers>,
+    journal: Arc<EventJournal>,
+    /// [`ServiceConfig::slow_op_threshold`], in nanoseconds.
+    slow_ns: u64,
+    prev_reanchors: usize,
+    prev_rebuilds: usize,
+    prev_full_refreshes: u64,
+}
+
+/// Which per-shard stage histogram a timed section lands in.
+#[derive(Clone, Copy)]
+enum Stage {
+    BatchApply,
+    DrainEval,
 }
 
 impl ShardWorker {
-    fn run(mut self, rx: Receiver<ShardMsg>) -> ShardStats {
-        while let Ok(msg) = rx.recv() {
+    fn run(mut self, rx: Receiver<Envelope>) -> ShardStats {
+        while let Ok((enqueued, msg)) = rx.recv() {
             self.depth.on_pop();
+            if let (Some(obs), Some(t0)) = (&self.obs, enqueued) {
+                obs.timers.queue_wait.record_duration(t0.elapsed());
+            }
             match msg {
                 ShardMsg::Ingest(batch) => {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.batches += 1;
                     for r in batch {
                         match self.stream.record_response(r) {
@@ -129,12 +167,14 @@ impl ShardWorker {
                             }
                         }
                     }
+                    self.observe_stage(Stage::BatchApply, t0);
                 }
                 ShardMsg::AssessWorker {
                     worker,
                     confidence,
                     reply,
                 } => {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
                         self.binary_cache
@@ -144,6 +184,7 @@ impl ShardWorker {
                             .evaluate_worker_on(&self.stream, worker, confidence)
                     }
                     .map_err(ServiceError::Estimate);
+                    self.observe_stage(Stage::DrainEval, t0);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessWorkerKary {
@@ -151,6 +192,7 @@ impl ShardWorker {
                     confidence,
                     reply,
                 } => {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
                         self.kary_cache
@@ -160,9 +202,11 @@ impl ShardWorker {
                             .evaluate_worker_streaming(&self.stream, worker, confidence)
                     }
                     .map_err(ServiceError::Estimate);
+                    self.observe_stage(Stage::DrainEval, t0);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchors { confidence, reply } => {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
                         self.binary_cache.refresh(
@@ -176,9 +220,11 @@ impl ShardWorker {
                             .evaluate_workers_on(&self.stream, &self.anchors, confidence)
                     }
                     .map_err(ServiceError::Estimate);
+                    self.observe_stage(Stage::DrainEval, t0);
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchorsKary { confidence, reply } => {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
                         self.kary_cache
@@ -191,6 +237,7 @@ impl ShardWorker {
                         )
                     }
                     .map_err(ServiceError::Estimate);
+                    self.observe_stage(Stage::DrainEval, t0);
                     let _ = reply.send(out);
                 }
                 ShardMsg::Stats { reply } => {
@@ -207,11 +254,68 @@ impl ShardWorker {
                 #[cfg(test)]
                 ShardMsg::Panic => panic!("injected shard panic (test)"),
             }
+            self.journal_maintenance();
         }
         // Queue disconnected: the handle dropped its senders
         // (graceful shutdown). Everything enqueued before the drop
         // has been processed above.
         self.snapshot_stats()
+    }
+
+    /// Closes one timed stage: records the elapsed time into the
+    /// stage histogram and journals a [`EventKind::SlowOp`] when it
+    /// crossed the configured threshold. A no-op (and `started` is
+    /// `None`) with metrics off.
+    fn observe_stage(&self, stage: Stage, started: Option<Instant>) {
+        let (Some(obs), Some(t0)) = (&self.obs, started) else {
+            return;
+        };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (hist, name) = match stage {
+            Stage::BatchApply => (&obs.timers.batch_apply, "batch_apply"),
+            Stage::DrainEval => (&obs.timers.drain_eval, "drain_eval"),
+        };
+        hist.record(ns);
+        if ns >= obs.slow_ns {
+            obs.journal.record(
+                EventKind::SlowOp,
+                self.stats.shard as u32,
+                ns,
+                obs.slow_ns,
+                name,
+            );
+        }
+    }
+
+    /// Journals substrate maintenance that happened while handling
+    /// the last message, by counter delta: re-anchors, full gram
+    /// rebuilds and wholesale cache refreshes (`a` = how many). Three
+    /// counter reads per message when metrics are on; nothing at all
+    /// when off.
+    fn journal_maintenance(&mut self) {
+        let Some(obs) = &mut self.obs else { return };
+        let shard = self.stats.shard as u32;
+        let reanchors = self.stream.reanchor_count();
+        if reanchors > obs.prev_reanchors {
+            let delta = (reanchors - obs.prev_reanchors) as u64;
+            obs.journal.record(EventKind::Reanchor, shard, delta, 0, "");
+            obs.prev_reanchors = reanchors;
+        }
+        let rebuilds = self.stream.gram_rebuild_count();
+        if rebuilds > obs.prev_rebuilds {
+            let delta = (rebuilds - obs.prev_rebuilds) as u64;
+            obs.journal
+                .record(EventKind::GramRebuild, shard, delta, 0, "");
+            obs.prev_rebuilds = rebuilds;
+        }
+        let refreshes =
+            self.binary_cache.stats().full_refreshes + self.kary_cache.stats().full_refreshes;
+        if refreshes > obs.prev_full_refreshes {
+            let delta = refreshes - obs.prev_full_refreshes;
+            obs.journal
+                .record(EventKind::CacheFullRefresh, shard, delta, 0, "");
+            obs.prev_full_refreshes = refreshes;
+        }
     }
 
     fn snapshot_stats(&self) -> ShardStats {
@@ -265,6 +369,15 @@ struct Lifecycle {
     final_stats: Option<Vec<Option<ShardStats>>>,
 }
 
+/// The handle-visible observability wiring: one stage-timer set per
+/// shard (shared with the shard thread) and the fleet journal.
+/// `None` when the fleet runs with [`ServiceConfig::metrics`] off.
+#[derive(Debug)]
+struct FleetObs {
+    timers: Vec<Arc<StageTimers>>,
+    journal: Arc<EventJournal>,
+}
+
 /// State shared by every [`ServiceHandle`] clone.
 #[derive(Debug)]
 struct Shared {
@@ -275,9 +388,10 @@ struct Shared {
     depths: Vec<Arc<QueueDepth>>,
     /// `Some` while live; taken (dropped) at shutdown so the shard
     /// queues disconnect and the threads drain and exit.
-    senders: RwLock<Option<Vec<SyncSender<ShardMsg>>>>,
+    senders: RwLock<Option<Vec<SyncSender<Envelope>>>>,
     ingest: Mutex<IngestState>,
     lifecycle: Mutex<Lifecycle>,
+    obs: Option<FleetObs>,
 }
 
 /// Ignore lock poisoning: a poisoned lock means some thread panicked
@@ -405,16 +519,19 @@ impl ServiceHandle {
                 continue;
             }
             self.shared.depths[s].on_push();
+            let stamp = self.shared.obs.as_ref().map(|_| Instant::now());
             match self.shared.policy {
-                BackpressurePolicy::Block => match senders[s].send(ShardMsg::Ingest(group)) {
-                    Ok(()) => receipt.routed += len,
-                    Err(_) => {
-                        self.shared.depths[s].on_pop();
-                        return Err(ServiceError::ShardUnavailable { shard: s });
+                BackpressurePolicy::Block => {
+                    match senders[s].send((stamp, ShardMsg::Ingest(group))) {
+                        Ok(()) => receipt.routed += len,
+                        Err(_) => {
+                            self.shared.depths[s].on_pop();
+                            return Err(ServiceError::ShardUnavailable { shard: s });
+                        }
                     }
-                },
+                }
                 BackpressurePolicy::Shed | BackpressurePolicy::Reject => {
-                    match senders[s].try_send(ShardMsg::Ingest(group)) {
+                    match senders[s].try_send((stamp, ShardMsg::Ingest(group))) {
                         Ok(()) => receipt.routed += len,
                         Err(TrySendError::Full(_)) => {
                             self.shared.depths[s].on_pop();
@@ -423,6 +540,15 @@ impl ServiceHandle {
                                 receipt.shed_responses += len;
                                 ing.dropped_batches += 1;
                                 ing.dropped_responses += len as u64;
+                                if let Some(obs) = &self.shared.obs {
+                                    obs.journal.record(
+                                        EventKind::Shed,
+                                        s as u32,
+                                        len as u64,
+                                        0,
+                                        "queue_full",
+                                    );
+                                }
                             } else {
                                 rejected = Some((s, len));
                             }
@@ -437,6 +563,15 @@ impl ServiceHandle {
         }
         if let Some((shard, dropped)) = rejected {
             ing.dropped_responses += dropped as u64;
+            if let Some(obs) = &self.shared.obs {
+                obs.journal.record(
+                    EventKind::Reject,
+                    shard as u32,
+                    dropped as u64,
+                    0,
+                    "queue_full",
+                );
+            }
             return Err(ServiceError::QueueFull { shard, dropped });
         }
         Ok(receipt)
@@ -641,6 +776,40 @@ impl ServiceHandle {
         Ok(self.with_handle_counters(shards))
     }
 
+    /// A full metrics scrape: the [`ServiceHandle::stats`] counter
+    /// snapshot (so both always agree), per-shard stage timing
+    /// histograms, and the flight-recorder tail. The stage timers and
+    /// journal are read directly from shared memory — only the
+    /// counter snapshot rides the shard queues — so a scrape costs
+    /// the fleet a handful of atomic loads on top of a `stats()`
+    /// call, and keeps working after shutdown. With
+    /// [`ServiceConfig::metrics`] off, `enabled` is `false`, the
+    /// stage histograms are empty and the journal is silent.
+    pub fn metrics(&self) -> Result<ServiceMetrics, ServiceError> {
+        let stats = self.stats()?;
+        let (enabled, stages, events, events_dropped) = match &self.shared.obs {
+            Some(obs) => (
+                true,
+                obs.timers.iter().map(|t| t.snapshot()).collect(),
+                obs.journal.snapshot(),
+                obs.journal.dropped(),
+            ),
+            None => (
+                false,
+                vec![StageTimings::default(); self.n_shards()],
+                Vec::new(),
+                0,
+            ),
+        };
+        Ok(ServiceMetrics {
+            enabled,
+            stats,
+            stages,
+            events,
+            events_dropped,
+        })
+    }
+
     /// Graceful shutdown: closes every shard queue (all enqueued work
     /// is still processed), joins the threads and captures their
     /// final counters. Idempotent and race-safe across handle clones;
@@ -662,7 +831,21 @@ impl ServiceHandle {
                     .unwrap_or_else(|e| e.into_inner())
                     .take(),
             );
-            let finals = lc.handles.drain(..).map(|h| h.join().ok()).collect();
+            let finals = lc
+                .handles
+                .drain(..)
+                .enumerate()
+                .map(|(s, h)| {
+                    let joined = h.join().ok();
+                    if joined.is_none()
+                        && let Some(obs) = &self.shared.obs
+                    {
+                        obs.journal
+                            .record(EventKind::ShardPanic, s as u32, 0, 0, "joined dead");
+                    }
+                    joined
+                })
+                .collect();
             lc.final_stats = Some(finals);
         }
         match &lc.final_stats {
@@ -721,7 +904,8 @@ impl ServiceHandle {
             return Err(ServiceError::ShuttingDown);
         };
         self.shared.depths[shard].on_push();
-        senders[shard].send(msg).map_err(|_| {
+        let stamp = self.shared.obs.as_ref().map(|_| Instant::now());
+        senders[shard].send((stamp, msg)).map_err(|_| {
             self.shared.depths[shard].on_pop();
             ServiceError::ShardUnavailable { shard }
         })
@@ -772,8 +956,15 @@ impl AssessmentService {
         let mut senders = Vec::with_capacity(n_shards);
         let mut handles = Vec::with_capacity(n_shards);
         let mut depths = Vec::with_capacity(n_shards);
+        let fleet_obs = config.metrics.then(|| FleetObs {
+            timers: (0..n_shards)
+                .map(|_| Arc::new(StageTimers::default()))
+                .collect(),
+            journal: Arc::new(EventJournal::new(config.journal_capacity)),
+        });
+        let slow_ns = u64::try_from(config.slow_op_threshold.as_nanos()).unwrap_or(u64::MAX);
         for (s, spec) in plan.shards().iter().enumerate() {
-            let (tx, rx) = sync_channel::<ShardMsg>(capacity);
+            let (tx, rx) = sync_channel::<Envelope>(capacity);
             let depth = Arc::new(QueueDepth::default());
             let worker = ShardWorker {
                 stream: StreamingIndex::new_with(m, n_tasks, arity, PairBackend::Sparse),
@@ -791,6 +982,14 @@ impl AssessmentService {
                 incremental: config.incremental,
                 binary_cache: ReportCache::new(),
                 kary_cache: KaryReportCache::new(),
+                obs: fleet_obs.as_ref().map(|o| ShardObs {
+                    timers: Arc::clone(&o.timers[s]),
+                    journal: Arc::clone(&o.journal),
+                    slow_ns,
+                    prev_reanchors: 0,
+                    prev_rebuilds: 0,
+                    prev_full_refreshes: 0,
+                }),
             };
             handles.push(
                 std::thread::Builder::new()
@@ -818,6 +1017,7 @@ impl AssessmentService {
                         handles,
                         final_stats: None,
                     }),
+                    obs: fleet_obs,
                 }),
             },
         }
@@ -898,6 +1098,11 @@ impl AssessmentService {
         self.handle.stats()
     }
 
+    /// See [`ServiceHandle::metrics`].
+    pub fn metrics(&self) -> Result<ServiceMetrics, ServiceError> {
+        self.handle.metrics()
+    }
+
     /// See [`ServiceHandle::shutdown`].
     pub fn shutdown(&mut self) -> Result<ServiceStats, ServiceError> {
         self.handle.shutdown()
@@ -947,7 +1152,7 @@ mod tests {
     fn send_raw(svc: &AssessmentService, s: usize, msg: ShardMsg) {
         svc.handle.shared.depths[s].on_push();
         svc.handle.shared.senders.read().unwrap().as_ref().unwrap()[s]
-            .send(msg)
+            .send((None, msg))
             .unwrap();
     }
 

@@ -42,23 +42,26 @@ pub struct ShardStats {
     pub cache_full_refreshes: u64,
 }
 
-/// Power-of-two histogram of ingest batch sizes: bucket `i` counts
-/// batches with `2^i ≤ size < 2^(i+1)` responses; the last bucket is
-/// open-ended.
+/// Power-of-two histogram of ingest batch sizes, built on the shared
+/// `crowd_obs` log₂ bucket rule ([`crowd_obs::bucket_index`]): bucket
+/// 0 counts **empty batches only**, bucket `i ≥ 1` counts batches
+/// with `2^(i-1) ≤ size < 2^i` responses, and the last bucket is
+/// open-ended. (Before `crowd_obs`, size 0 was silently folded into
+/// the size-1 bucket; the zero bucket keeps degenerate empty submits
+/// visible.)
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchHistogram {
     buckets: [u64; Self::BUCKETS],
 }
 
 impl BatchHistogram {
-    /// Number of buckets (sizes 1 … ≥ 2¹¹).
+    /// Number of buckets (size 0, then 1 … ≥ 2¹⁰).
     pub const BUCKETS: usize = 12;
 
-    /// Records one batch of `size` responses (empty batches are
-    /// counted in the first bucket).
+    /// Records one batch of `size` responses.
     pub fn record(&mut self, size: usize) {
-        let bucket = (usize::BITS - 1).saturating_sub(size.max(1).leading_zeros()) as usize;
-        self.buckets[bucket.min(Self::BUCKETS - 1)] += 1;
+        let bucket = crowd_obs::bucket_index(size as u64).min(Self::BUCKETS - 1);
+        self.buckets[bucket] += 1;
     }
 
     /// The bucket counts, smallest sizes first.
@@ -73,9 +76,10 @@ impl BatchHistogram {
         Self { buckets: counts }
     }
 
-    /// Inclusive lower bound of bucket `i` (`2^i`).
+    /// Inclusive lower bound of bucket `i`
+    /// ([`crowd_obs::bucket_lower_bound`]): 0, then `2^(i-1)`.
     pub fn lower_bound(i: usize) -> usize {
-        1usize << i
+        crowd_obs::bucket_lower_bound(i) as usize
     }
 
     /// Total batches recorded.
@@ -160,13 +164,15 @@ mod tests {
             h.record(size);
         }
         let c = h.counts();
-        assert_eq!(c[0], 3, "sizes 0 (clamped), 1, 1");
-        assert_eq!(c[1], 2, "sizes 2, 3");
-        assert_eq!(c[2], 2, "sizes 4, 7");
-        assert_eq!(c[3], 1, "size 8");
-        assert_eq!(c[8], 1, "size 256");
-        assert_eq!(c[11], 2, "sizes ≥ 2048 share the open bucket");
+        assert_eq!(c[0], 1, "empty batches get their own bucket");
+        assert_eq!(c[1], 2, "sizes 1, 1");
+        assert_eq!(c[2], 2, "sizes 2, 3");
+        assert_eq!(c[3], 2, "sizes 4, 7");
+        assert_eq!(c[4], 1, "size 8");
+        assert_eq!(c[9], 1, "size 256");
+        assert_eq!(c[11], 2, "sizes ≥ 1024 share the open bucket");
         assert_eq!(h.total(), 11);
-        assert_eq!(BatchHistogram::lower_bound(8), 256);
+        assert_eq!(BatchHistogram::lower_bound(9), 256);
+        assert_eq!(BatchHistogram::lower_bound(0), 0);
     }
 }

@@ -358,7 +358,7 @@ fn runtime_counters_reflect_the_stream() {
     let after = service.stats().unwrap();
     assert_eq!(after.submitted, all.len() as u64);
     assert!(after.batch_sizes.total() > 0);
-    assert!(after.batch_sizes.counts()[2] > 0, "size-7 batches bucket");
+    assert!(after.batch_sizes.counts()[3] > 0, "size-7 batches bucket");
     assert!(after.max_queue_high_water() >= 1);
     assert!(
         after.total_gram_patches() > before.total_gram_patches(),

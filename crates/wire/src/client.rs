@@ -18,7 +18,8 @@ use crowd_service::{IngestReceipt, ServiceError, ServiceStats};
 
 use crate::frame::{FrameEvent, FrameReader, MAX_FRAME_LEN, WireError, write_frame};
 use crate::proto::{
-    Reply, Request, decode_reply, encode_ingest_batch_payload, encode_request, opcode,
+    MetricsReport, Reply, Request, decode_reply, encode_ingest_batch_payload, encode_request,
+    opcode,
 };
 
 /// Tuning knobs for a [`WireClient`].
@@ -197,6 +198,17 @@ impl WireClient {
         match self.call(&Request::Stats)? {
             Reply::Stats(s) => Ok(s),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Full metrics scrape: the service's stage histograms, journal
+    /// tail and counters, plus the wire server's own per-opcode
+    /// timings. Cost: one round trip; render with
+    /// [`MetricsReport::render_text`] for a Prometheus-style page.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ServiceError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 

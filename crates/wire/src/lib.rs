@@ -35,6 +35,7 @@
 //! | `Snapshot` | 1 | every shard assesses its workers; FIFO drain point |
 //! | `Drain` | 1 | barrier across all shard queues |
 //! | `Stats` | 1 | counter merge, no estimation |
+//! | `Metrics` | 1 | wait-free histogram/journal snapshots + one `Stats` merge |
 //! | `Shutdown` | 1 | full drain + shard join; server stops accepting |
 //!
 //! # Failure model
@@ -56,5 +57,5 @@ pub mod server;
 
 pub use client::{ClientConfig, WireClient};
 pub use frame::{FrameError, FrameEvent, FrameReader, MAX_FRAME_LEN, WireError};
-pub use proto::{Reply, Request};
+pub use proto::{MetricsReport, OpcodeTimings, Reply, Request};
 pub use server::{WireConfig, WireServer};

@@ -13,12 +13,23 @@
 //! | `0x05` | `Drain`          | empty |
 //! | `0x06` | `Stats`          | empty |
 //! | `0x07` | `Shutdown`       | empty |
+//! | `0x08` | `Metrics`        | empty |
 //! | `0x81` | `OkIngest`       | `routed: u64, shed_batches: u64, shed_responses: u64` |
 //! | `0x82` | `OkAssessment`   | one assessment (see below) |
 //! | `0x83` | `OkReport`       | `n: u32, n × assessment, k: u32, k × (worker: u32, estimate-error)` |
 //! | `0x84` | `OkUnit`         | empty |
 //! | `0x85` | `OkStats`        | fleet counters (see [`ServiceStats`]) |
+//! | `0x86` | `OkMetrics`      | `enabled: u8, fleet counters, s: u32, s × stage-timings, e: u32, e × event, dropped: u64, o: u32, o × opcode-timings` |
 //! | `0xEE` | `Err`            | one tagged [`ServiceError`] |
+//!
+//! A histogram travels as `count: u64, sum: u64, max: u64` followed
+//! by all 64 fixed log₂ bucket counts (`crowd_obs` layout, 536 bytes
+//! flat); stage-timings are three histograms (queue-wait,
+//! batch-apply, drain-eval); an event is `seq: u64, ts_ns: u64,
+//! kind: u8, shard: u32, a: u64, b: u64, label: string`; and
+//! opcode-timings are `opcode: u8` plus three histograms (decode,
+//! handle, reply-write). Histogram counts are bit-exact `u64`s, so a
+//! scraped distribution is byte-identical to the server's.
 //!
 //! An assessment is `worker: u32, center: f64, half_width: f64,
 //! confidence: f64, triples_used: u64, weights_fell_back: u8`; the
@@ -36,7 +47,11 @@
 
 use crowd_core::{EstimateError, WorkerAssessment, WorkerReport};
 use crowd_data::{DataError, Label, Response, TaskId, WorkerId};
-use crowd_service::{BatchHistogram, IngestReceipt, ServiceError, ServiceStats, ShardStats};
+use crowd_obs::{Event, EventKind, HistogramSnapshot, MetricsRegistry};
+use crowd_service::{
+    BatchHistogram, IngestReceipt, ServiceError, ServiceMetrics, ServiceStats, ShardStats,
+    StageTimings,
+};
 use crowd_stats::{ConfidenceInterval, StatsError};
 
 use crate::frame::{
@@ -60,6 +75,9 @@ pub mod opcode {
     pub const STATS: u8 = 0x06;
     /// Graceful service shutdown.
     pub const SHUTDOWN: u8 = 0x07;
+    /// Full metrics scrape (stats + stage histograms + journal +
+    /// server timings).
+    pub const METRICS: u8 = 0x08;
     /// Reply: ingest receipt.
     pub const OK_INGEST: u8 = 0x81;
     /// Reply: one worker assessment.
@@ -70,6 +88,8 @@ pub mod opcode {
     pub const OK_UNIT: u8 = 0x84;
     /// Reply: fleet counters.
     pub const OK_STATS: u8 = 0x85;
+    /// Reply: a metrics scrape.
+    pub const OK_METRICS: u8 = 0x86;
     /// Reply: a [`crowd_service::ServiceError`].
     pub const ERR: u8 = 0xEE;
 }
@@ -106,6 +126,64 @@ pub enum Request {
     /// the reply carries the final counters, and the server stops
     /// accepting connections afterwards.
     Shutdown,
+    /// Full metrics scrape ([`crowd_service::ServiceHandle::metrics`]
+    /// plus the wire server's own per-opcode timings).
+    Metrics,
+}
+
+/// The wire server's per-opcode handling-stage timings, one entry per
+/// request opcode that has been seen. All values are nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpcodeTimings {
+    /// The request opcode these distributions cover.
+    pub opcode: u8,
+    /// Payload-decode time per frame.
+    pub decode: HistogramSnapshot,
+    /// Dispatch time (the service call) per request.
+    pub handle: HistogramSnapshot,
+    /// Reply encode + socket write time per request.
+    pub write: HistogramSnapshot,
+}
+
+/// A full metrics scrape: the service's metrics plus the wire
+/// server's own per-opcode timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// The service-side scrape (counters, stage histograms, journal).
+    pub service: ServiceMetrics,
+    /// Per-opcode server timings, ascending by opcode; opcodes the
+    /// server never saw are omitted.
+    pub server: Vec<OpcodeTimings>,
+}
+
+impl MetricsReport {
+    /// Prometheus text exposition of the whole scrape:
+    /// [`ServiceMetrics::render_text`] followed by the server's
+    /// per-opcode timing histograms
+    /// (`crowd_wire_stage_ns{opcode=…,stage=…}`).
+    pub fn render_text(&self) -> String {
+        let mut text = self.service.render_text();
+        let reg = MetricsRegistry::new();
+        for t in &self.server {
+            let stages: [(&str, &HistogramSnapshot); 3] = [
+                ("decode", &t.decode),
+                ("handle", &t.handle),
+                ("write", &t.write),
+            ];
+            for (stage, snap) in stages {
+                reg.frozen_histogram(
+                    &format!(
+                        "crowd_wire_stage_ns{{opcode=\"0x{:02x}\",stage=\"{stage}\"}}",
+                        t.opcode
+                    ),
+                    "Wire server per-opcode frame handling time, ns.",
+                    snap.clone(),
+                );
+            }
+        }
+        text.push_str(&reg.render_text());
+        text
+    }
 }
 
 /// One decoded reply frame.
@@ -121,6 +199,8 @@ pub enum Reply {
     Unit,
     /// Fleet counters.
     Stats(ServiceStats),
+    /// A full metrics scrape.
+    Metrics(MetricsReport),
     /// The service (or protocol) failed the request.
     Err(ServiceError),
 }
@@ -134,6 +214,7 @@ impl Reply {
             Self::Report(_) => "report",
             Self::Unit => "ack",
             Self::Stats(_) => "stats",
+            Self::Metrics(_) => "metrics",
             Self::Err(_) => "error",
         }
     }
@@ -184,6 +265,7 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
         Request::Drain => (opcode::DRAIN, p),
         Request::Stats => (opcode::STATS, p),
         Request::Shutdown => (opcode::SHUTDOWN, p),
+        Request::Metrics => (opcode::METRICS, p),
     }
 }
 
@@ -225,6 +307,7 @@ pub fn decode_request(op: u8, payload: &[u8]) -> Result<Request, WireError> {
         opcode::DRAIN => Request::Drain,
         opcode::STATS => Request::Stats,
         opcode::SHUTDOWN => Request::Shutdown,
+        opcode::METRICS => Request::Metrics,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -262,17 +345,29 @@ pub fn encode_reply(reply: &Reply) -> (u8, Vec<u8>) {
         }
         Reply::Unit => (opcode::OK_UNIT, p),
         Reply::Stats(s) => {
-            put_u32(&mut p, s.shards.len() as u32);
-            for sh in &s.shards {
-                put_shard_stats(&mut p, sh);
-            }
-            put_u64(&mut p, s.submitted);
-            put_u64(&mut p, s.dropped_batches);
-            put_u64(&mut p, s.dropped_responses);
-            for &b in s.batch_sizes.counts() {
-                put_u64(&mut p, b);
-            }
+            put_service_stats(&mut p, s);
             (opcode::OK_STATS, p)
+        }
+        Reply::Metrics(m) => {
+            put_bool(&mut p, m.service.enabled);
+            put_service_stats(&mut p, &m.service.stats);
+            put_u32(&mut p, m.service.stages.len() as u32);
+            for st in &m.service.stages {
+                put_stage_timings(&mut p, st);
+            }
+            put_u32(&mut p, m.service.events.len() as u32);
+            for e in &m.service.events {
+                put_event(&mut p, e);
+            }
+            put_u64(&mut p, m.service.events_dropped);
+            put_u32(&mut p, m.server.len() as u32);
+            for t in &m.server {
+                p.push(t.opcode);
+                put_histogram(&mut p, &t.decode);
+                put_histogram(&mut p, &t.handle);
+                put_histogram(&mut p, &t.write);
+            }
+            (opcode::OK_METRICS, p)
         }
         Reply::Err(e) => {
             put_service_error(&mut p, e);
@@ -309,25 +404,40 @@ pub fn decode_reply(op: u8, payload: &[u8]) -> Result<Reply, WireError> {
             })
         }
         opcode::OK_UNIT => Reply::Unit,
-        opcode::OK_STATS => {
-            let n = c.count(12 * 8, "stats shard count")?;
-            let mut shards = Vec::with_capacity(n);
-            for _ in 0..n {
-                shards.push(get_shard_stats(&mut c)?);
+        opcode::OK_STATS => Reply::Stats(get_service_stats(&mut c)?),
+        opcode::OK_METRICS => {
+            let enabled = c.bool("metrics enabled flag")?;
+            let stats = get_service_stats(&mut c)?;
+            let s = c.count(3 * HISTOGRAM_WIRE_BYTES, "metrics stage count")?;
+            let mut stages = Vec::with_capacity(s);
+            for _ in 0..s {
+                stages.push(get_stage_timings(&mut c)?);
             }
-            let submitted = c.u64("stats submitted")?;
-            let dropped_batches = c.u64("stats dropped batches")?;
-            let dropped_responses = c.u64("stats dropped responses")?;
-            let mut buckets = [0u64; BatchHistogram::BUCKETS];
-            for b in &mut buckets {
-                *b = c.u64("stats histogram bucket")?;
+            let e = c.count(EVENT_MIN_BYTES, "metrics event count")?;
+            let mut events = Vec::with_capacity(e);
+            for _ in 0..e {
+                events.push(get_event(&mut c)?);
             }
-            Reply::Stats(ServiceStats {
-                shards,
-                submitted,
-                dropped_batches,
-                dropped_responses,
-                batch_sizes: BatchHistogram::from_counts(buckets),
+            let events_dropped = c.u64("metrics events dropped")?;
+            let o = c.count(1 + 3 * HISTOGRAM_WIRE_BYTES, "metrics opcode count")?;
+            let mut server = Vec::with_capacity(o);
+            for _ in 0..o {
+                server.push(OpcodeTimings {
+                    opcode: c.u8("timed opcode")?,
+                    decode: get_histogram(&mut c, "opcode decode histogram")?,
+                    handle: get_histogram(&mut c, "opcode handle histogram")?,
+                    write: get_histogram(&mut c, "opcode write histogram")?,
+                });
+            }
+            Reply::Metrics(MetricsReport {
+                service: ServiceMetrics {
+                    enabled,
+                    stats,
+                    stages,
+                    events,
+                    events_dropped,
+                },
+                server,
             })
         }
         opcode::ERR => Reply::Err(get_service_error(&mut c)?),
@@ -356,6 +466,106 @@ fn get_assessment(c: &mut Cursor<'_>) -> Result<WorkerAssessment, WireError> {
         },
         triples_used: c.usize("assessment triples")?,
         weights_fell_back: c.bool("assessment weight fallback")?,
+    })
+}
+
+fn put_service_stats(p: &mut Vec<u8>, s: &ServiceStats) {
+    put_u32(p, s.shards.len() as u32);
+    for sh in &s.shards {
+        put_shard_stats(p, sh);
+    }
+    put_u64(p, s.submitted);
+    put_u64(p, s.dropped_batches);
+    put_u64(p, s.dropped_responses);
+    for &b in s.batch_sizes.counts() {
+        put_u64(p, b);
+    }
+}
+
+fn get_service_stats(c: &mut Cursor<'_>) -> Result<ServiceStats, WireError> {
+    let n = c.count(12 * 8, "stats shard count")?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(get_shard_stats(&mut *c)?);
+    }
+    let submitted = c.u64("stats submitted")?;
+    let dropped_batches = c.u64("stats dropped batches")?;
+    let dropped_responses = c.u64("stats dropped responses")?;
+    let mut buckets = [0u64; BatchHistogram::BUCKETS];
+    for b in &mut buckets {
+        *b = c.u64("stats histogram bucket")?;
+    }
+    Ok(ServiceStats {
+        shards,
+        submitted,
+        dropped_batches,
+        dropped_responses,
+        batch_sizes: BatchHistogram::from_counts(buckets),
+    })
+}
+
+/// Flat wire size of one histogram snapshot: count, sum, max, then
+/// all [`crowd_obs::BUCKETS`] bucket counts, each 8 bytes.
+const HISTOGRAM_WIRE_BYTES: usize = (3 + crowd_obs::BUCKETS) * 8;
+
+/// Minimum wire size of one journal event (empty label).
+const EVENT_MIN_BYTES: usize = 8 + 8 + 1 + 4 + 8 + 8 + 4;
+
+fn put_histogram(p: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u64(p, h.count());
+    put_u64(p, h.sum());
+    put_u64(p, h.max());
+    for &b in h.buckets() {
+        put_u64(p, b);
+    }
+}
+
+fn get_histogram(c: &mut Cursor<'_>, what: &'static str) -> Result<HistogramSnapshot, WireError> {
+    let count = c.u64(what)?;
+    let sum = c.u64(what)?;
+    let max = c.u64(what)?;
+    let mut buckets = [0u64; crowd_obs::BUCKETS];
+    for b in &mut buckets {
+        *b = c.u64(what)?;
+    }
+    Ok(HistogramSnapshot::from_parts(buckets, count, sum, max))
+}
+
+fn put_stage_timings(p: &mut Vec<u8>, s: &StageTimings) {
+    put_histogram(p, &s.queue_wait);
+    put_histogram(p, &s.batch_apply);
+    put_histogram(p, &s.drain_eval);
+}
+
+fn get_stage_timings(c: &mut Cursor<'_>) -> Result<StageTimings, WireError> {
+    Ok(StageTimings {
+        queue_wait: get_histogram(c, "queue-wait histogram")?,
+        batch_apply: get_histogram(c, "batch-apply histogram")?,
+        drain_eval: get_histogram(c, "drain-eval histogram")?,
+    })
+}
+
+fn put_event(p: &mut Vec<u8>, e: &Event) {
+    put_u64(p, e.seq);
+    put_u64(p, e.timestamp_ns);
+    p.push(e.kind as u8);
+    put_u32(p, e.shard);
+    put_u64(p, e.a);
+    put_u64(p, e.b);
+    put_str(p, &e.label);
+}
+
+fn get_event(c: &mut Cursor<'_>) -> Result<Event, WireError> {
+    Ok(Event {
+        seq: c.u64("event seq")?,
+        timestamp_ns: c.u64("event timestamp")?,
+        kind: EventKind::from_u8(c.u8("event kind")?).ok_or(WireError::Malformed {
+            what: "event kind tag",
+        })?,
+        shard: c.u32("event shard")?,
+        a: c.u64("event a")?,
+        b: c.u64("event b")?,
+        label: c.string("event label")?,
     })
 }
 

@@ -38,12 +38,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crowd_obs::LatencyHistogram;
 use crowd_service::{ServiceError, ServiceHandle};
 
 use crate::frame::{FrameError, FrameEvent, FrameReader, MAX_FRAME_LEN, write_frame};
-use crate::proto::{Reply, Request, decode_request, encode_reply};
+use crate::proto::{MetricsReport, OpcodeTimings, Reply, Request, decode_request, encode_reply};
 
 /// Tuning knobs for a [`WireServer`].
 #[derive(Debug, Clone)]
@@ -61,6 +62,11 @@ pub struct WireConfig {
     pub write_timeout: Duration,
     /// Largest frame either direction will accept.
     pub max_frame_len: usize,
+    /// Record per-opcode frame-handling timings (decode, dispatch,
+    /// reply-write), scrapeable through the `Metrics` request. Three
+    /// `Instant` reads and three wait-free histogram records per
+    /// request; set `false` to serve without server-side timing.
+    pub metrics: bool,
 }
 
 impl Default for WireConfig {
@@ -70,7 +76,65 @@ impl Default for WireConfig {
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(5),
             max_frame_len: MAX_FRAME_LEN,
+            metrics: true,
         }
+    }
+}
+
+/// One request opcode's live stage histograms.
+#[derive(Debug, Default)]
+struct OpTimers {
+    decode: LatencyHistogram,
+    handle: LatencyHistogram,
+    write: LatencyHistogram,
+}
+
+/// The handling stage a sample belongs to.
+#[derive(Debug, Clone, Copy)]
+enum WireStage {
+    Decode,
+    Handle,
+    Write,
+}
+
+/// Per-opcode frame-handling timers, shared (`Arc`) by every
+/// connection thread. Indexed directly by request opcode; opcodes
+/// outside the table (unknown, hence un-dispatchable) go untimed.
+#[derive(Debug, Default)]
+struct ServerTimers {
+    ops: [OpTimers; 16],
+}
+
+impl ServerTimers {
+    /// Records one stage sample; `started` is `Some` iff timing is on.
+    fn record(&self, opcode: u8, stage: WireStage, started: Option<Instant>) {
+        let (Some(t0), Some(op)) = (started, self.ops.get(opcode as usize)) else {
+            return;
+        };
+        let h = match stage {
+            WireStage::Decode => &op.decode,
+            WireStage::Handle => &op.handle,
+            WireStage::Write => &op.write,
+        };
+        h.record_duration(t0.elapsed());
+    }
+
+    /// Snapshot of every opcode with at least one sample, ascending
+    /// by opcode.
+    fn snapshot(&self) -> Vec<OpcodeTimings> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                op.decode.count() > 0 || op.handle.count() > 0 || op.write.count() > 0
+            })
+            .map(|(i, op)| OpcodeTimings {
+                opcode: i as u8,
+                decode: op.decode.snapshot(),
+                handle: op.handle.snapshot(),
+                write: op.write.snapshot(),
+            })
+            .collect()
     }
 }
 
@@ -94,11 +158,12 @@ impl WireServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let closing = Arc::new(AtomicBool::new(false));
+        let timers = config.metrics.then(|| Arc::new(ServerTimers::default()));
         let acceptor = {
             let closing = Arc::clone(&closing);
             std::thread::Builder::new()
                 .name("wire-acceptor".into())
-                .spawn(move || accept_loop(listener, local_addr, handle, config, closing))?
+                .spawn(move || accept_loop(listener, local_addr, handle, config, closing, timers))?
         };
         Ok(Self {
             local_addr,
@@ -162,6 +227,7 @@ fn accept_loop(
     handle: ServiceHandle,
     config: WireConfig,
     closing: Arc<AtomicBool>,
+    timers: Option<Arc<ServerTimers>>,
 ) {
     let live = Arc::new(AtomicUsize::new(0));
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -192,11 +258,19 @@ fn accept_loop(
         let handle = handle.clone();
         let config = config.clone();
         let closing = Arc::clone(&closing);
+        let timers = timers.clone();
         let spawned = std::thread::Builder::new()
             .name("wire-conn".into())
             .spawn(move || {
                 let _guard = guard; // moved in; decrements on any exit
-                let _ = serve_connection(stream, local_addr, &handle, &config, &closing);
+                let _ = serve_connection(
+                    stream,
+                    local_addr,
+                    &handle,
+                    &config,
+                    &closing,
+                    timers.as_deref(),
+                );
             });
         // A failed spawn (resource exhaustion) drops the stream —
         // and `guard` went with the closure either way.
@@ -230,6 +304,7 @@ fn serve_connection(
     handle: &ServiceHandle,
     config: &WireConfig,
     closing: &AtomicBool,
+    timers: Option<&ServerTimers>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
@@ -238,21 +313,36 @@ fn serve_connection(
     let mut writer = BufWriter::new(stream);
     loop {
         match reader.read() {
-            Ok(FrameEvent::Frame { opcode, payload }) => match decode_request(opcode, &payload) {
-                Ok(req) => {
-                    let (reply, shut_down) = dispatch(handle, req);
-                    send_reply(&mut writer, &reply)?;
-                    if shut_down {
-                        closing.store(true, Ordering::SeqCst);
-                        wake_acceptor(local_addr);
+            Ok(FrameEvent::Frame { opcode, payload }) => {
+                let t0 = timers.map(|_| Instant::now());
+                let decoded = decode_request(opcode, &payload);
+                if let Some(t) = timers {
+                    t.record(opcode, WireStage::Decode, t0);
+                }
+                match decoded {
+                    Ok(req) => {
+                        let t0 = timers.map(|_| Instant::now());
+                        let (reply, shut_down) = dispatch(handle, req, timers);
+                        if let Some(t) = timers {
+                            t.record(opcode, WireStage::Handle, t0);
+                        }
+                        let t0 = timers.map(|_| Instant::now());
+                        send_reply(&mut writer, &reply)?;
+                        if let Some(t) = timers {
+                            t.record(opcode, WireStage::Write, t0);
+                        }
+                        if shut_down {
+                            closing.store(true, Ordering::SeqCst);
+                            wake_acceptor(local_addr);
+                        }
+                    }
+                    // The frame was cleanly delimited; decode failures
+                    // are answered, not fatal.
+                    Err(e) => {
+                        send_reply(&mut writer, &Reply::Err(e.into()))?;
                     }
                 }
-                // The frame was cleanly delimited; decode failures
-                // are answered, not fatal.
-                Err(e) => {
-                    send_reply(&mut writer, &Reply::Err(e.into()))?;
-                }
-            },
+            }
             Ok(FrameEvent::Idle) => {
                 if closing.load(Ordering::SeqCst) {
                     return Ok(());
@@ -283,7 +373,7 @@ fn send_reply(writer: &mut BufWriter<TcpStream>, reply: &Reply) -> io::Result<()
 /// every service error becomes an error reply. The flag is true when
 /// the request was `Shutdown` (the server stops accepting after the
 /// reply is sent).
-fn dispatch(handle: &ServiceHandle, req: Request) -> (Reply, bool) {
+fn dispatch(handle: &ServiceHandle, req: Request, timers: Option<&ServerTimers>) -> (Reply, bool) {
     let mut shut_down = false;
     let reply = match req {
         Request::IngestBatch(batch) => handle.ingest_batch(&batch).map(Reply::Ingest),
@@ -303,6 +393,12 @@ fn dispatch(handle: &ServiceHandle, req: Request) -> (Reply, bool) {
             shut_down = true;
             handle.shutdown().map(Reply::Stats)
         }
+        Request::Metrics => handle.metrics().map(|service| {
+            Reply::Metrics(MetricsReport {
+                service,
+                server: timers.map(ServerTimers::snapshot).unwrap_or_default(),
+            })
+        }),
     };
     (reply.unwrap_or_else(Reply::Err), shut_down)
 }

@@ -10,11 +10,15 @@
 
 use crowd_core::{EstimateError, WorkerAssessment, WorkerReport};
 use crowd_data::{DataError, Label, Response, TaskId, WorkerId};
-use crowd_service::{BatchHistogram, IngestReceipt, ServiceError, ServiceStats, ShardStats};
+use crowd_obs::{Event, EventKind, HistogramSnapshot};
+use crowd_service::{
+    BatchHistogram, IngestReceipt, ServiceError, ServiceMetrics, ServiceStats, ShardStats,
+    StageTimings,
+};
 use crowd_stats::{ConfidenceInterval, StatsError};
 use crowd_wire::frame::WireError;
 use crowd_wire::proto::{decode_reply, decode_request, encode_reply, encode_request, opcode};
-use crowd_wire::{Reply, Request};
+use crowd_wire::{MetricsReport, OpcodeTimings, Reply, Request};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -138,7 +142,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0..7usize,
+        0..8usize,
         proptest::collection::vec(arb_response(), 0..50),
         proptest::collection::vec(0..500u32, 0..20),
         arb_f64(),
@@ -156,7 +160,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             3 => Request::Snapshot { confidence },
             4 => Request::Drain,
             5 => Request::Stats,
-            _ => Request::Shutdown,
+            6 => Request::Shutdown,
+            _ => Request::Metrics,
         })
 }
 
@@ -231,15 +236,89 @@ fn arb_service_stats() -> impl Strategy<Value = ServiceStats> {
         })
 }
 
+/// Arbitrary histogram snapshots. The wire carries count/sum/max and
+/// the buckets verbatim, so they need no mutual consistency here —
+/// byte identity is the property, not statistics.
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(0..u64::MAX / 2, crowd_obs::BUCKETS),
+        (0..u64::MAX / 2, 0..u64::MAX / 2, 0..u64::MAX / 2),
+    )
+        .prop_map(|(b, (count, sum, max))| {
+            let mut buckets = [0u64; crowd_obs::BUCKETS];
+            buckets.copy_from_slice(&b);
+            HistogramSnapshot::from_parts(buckets, count, sum, max)
+        })
+}
+
+fn arb_stage_timings() -> impl Strategy<Value = StageTimings> {
+    (arb_histogram(), arb_histogram(), arb_histogram()).prop_map(|(q, ba, de)| StageTimings {
+        queue_wait: q,
+        batch_apply: ba,
+        drain_eval: de,
+    })
+}
+
+/// Journal events with every kind tag and multi-byte UTF-8 labels.
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        (0..u64::MAX / 2, 0..u64::MAX / 2),
+        0..8u16,
+        (0..500u32, any::<bool>()),
+        (0..u64::MAX / 2, 0..u64::MAX / 2),
+        arb_string(),
+    )
+        .prop_map(|((seq, ts), kind, (shard, fleet), (a, b), label)| Event {
+            seq,
+            timestamp_ns: ts,
+            kind: EventKind::from_u8(kind as u8).expect("all kind tags covered"),
+            shard: if fleet { crowd_obs::NO_SHARD } else { shard },
+            a,
+            b,
+            label,
+        })
+}
+
+fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
+    (
+        (any::<bool>(), 0..1_000u64),
+        arb_service_stats(),
+        proptest::collection::vec(arb_stage_timings(), 0..3),
+        proptest::collection::vec(arb_event(), 0..5),
+        proptest::collection::vec((0..16u16, arb_stage_timings()), 0..3),
+    )
+        .prop_map(
+            |((enabled, dropped), stats, stages, events, server)| MetricsReport {
+                service: ServiceMetrics {
+                    enabled,
+                    stats,
+                    stages,
+                    events,
+                    events_dropped: dropped,
+                },
+                server: server
+                    .into_iter()
+                    .map(|(op, t)| OpcodeTimings {
+                        opcode: op as u8,
+                        decode: t.queue_wait,
+                        handle: t.batch_apply,
+                        write: t.drain_eval,
+                    })
+                    .collect(),
+            },
+        )
+}
+
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        0..6usize,
+        0..7usize,
         (0..100_000usize, 0..100usize, 0..100usize),
         arb_assessment(),
         (arb_report(), arb_service_stats(), arb_service_error()),
+        arb_metrics_report(),
     )
         .prop_map(
-            |(sel, (routed, sb, sr), a, (report, stats, err))| match sel {
+            |(sel, (routed, sb, sr), a, (report, stats, err), metrics)| match sel {
                 0 => Reply::Ingest(IngestReceipt {
                     routed,
                     shed_batches: sb,
@@ -249,6 +328,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 2 => Reply::Report(report),
                 3 => Reply::Unit,
                 4 => Reply::Stats(stats),
+                5 => Reply::Metrics(metrics),
                 _ => Reply::Err(err),
             },
         )
@@ -381,6 +461,53 @@ fn unknown_static_str_diagnostics_fall_back_documentedly() {
         }
         other => panic!("unexpected decode: {other:?}"),
     }
+}
+
+#[test]
+fn metrics_request_is_an_empty_payload() {
+    let (op, payload) = encode_request(&Request::Metrics);
+    assert_eq!(op, opcode::METRICS);
+    assert!(payload.is_empty());
+    assert_eq!(decode_request(op, &payload), Ok(Request::Metrics));
+}
+
+#[test]
+fn unknown_event_kind_tags_are_typed_errors() {
+    // A metrics reply whose journal carries a kind tag this build
+    // does not know must decode to a typed error, not a panic and not
+    // a fabricated kind.
+    let reply = Reply::Metrics(MetricsReport {
+        service: ServiceMetrics {
+            enabled: true,
+            stats: ServiceStats::default(),
+            stages: vec![],
+            events: vec![Event {
+                seq: 0,
+                timestamp_ns: 1,
+                kind: EventKind::SlowOp,
+                shard: 3,
+                a: 9,
+                b: 2,
+                label: "drain_eval".into(),
+            }],
+            events_dropped: 0,
+        },
+        server: vec![],
+    });
+    let (op, mut payload) = encode_reply(&reply);
+    assert_eq!(op, opcode::OK_METRICS);
+    // Offset of the event's kind byte: enabled + empty stats (shard
+    // count + three fleet counters + 12 batch buckets) + stage count
+    // + event count + seq + timestamp.
+    let kind_at = 1 + (4 + 3 * 8 + BatchHistogram::BUCKETS * 8) + 4 + 4 + 8 + 8;
+    assert_eq!(payload[kind_at], EventKind::SlowOp as u8);
+    payload[kind_at] = 0xFF;
+    assert!(matches!(
+        decode_reply(op, &payload),
+        Err(WireError::Malformed {
+            what: "event kind tag"
+        })
+    ));
 }
 
 #[test]

@@ -334,6 +334,64 @@ fn concurrent_clients_snapshot_mid_ingest_without_disturbing_the_stream() {
 }
 
 #[test]
+fn metrics_scrape_over_a_live_server() {
+    let (inst, service) = fleet(4);
+    let data = inst.responses();
+    let mut server = serve(service.handle());
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let sched = ArrivalSchedule::poisson(data, 1000.0, &mut rng(23));
+    let batches: Vec<Vec<Response>> = sched.batches(32).map(<[Response]>::to_vec).collect();
+    let total: usize = batches.iter().map(Vec::len).sum();
+    for r in client.ingest_batches(&batches).expect("pipeline") {
+        r.expect("default policy blocks, never sheds");
+    }
+    client.snapshot(CONFIDENCE).expect("snapshot");
+
+    let m = client.metrics().expect("metrics scrape");
+    assert!(m.service.enabled, "instrumentation is on by default");
+    assert_eq!(m.service.stats.submitted, total as u64);
+    assert_eq!(m.service.stages.len(), 4, "one stage set per shard");
+    let merged = m.service.merged_stages();
+    assert!(merged.queue_wait.count() > 0, "queue-wait samples arrived");
+    assert!(
+        merged.batch_apply.count() > 0,
+        "batch-apply samples arrived"
+    );
+    assert!(merged.drain_eval.count() > 0, "drain-eval samples arrived");
+
+    // The server timed its own frame handling for the opcodes this
+    // connection exercised.
+    for op in [opcode::INGEST_BATCH, opcode::SNAPSHOT] {
+        let t = m
+            .server
+            .iter()
+            .find(|t| t.opcode == op)
+            .unwrap_or_else(|| panic!("no server timings for opcode {op:#04x}"));
+        assert!(t.decode.count() > 0, "decode timed for {op:#04x}");
+        assert!(t.handle.count() > 0, "handle timed for {op:#04x}");
+        assert!(t.write.count() > 0, "write timed for {op:#04x}");
+    }
+
+    // The exposition carries the same numbers the scrape decoded.
+    let text = m.render_text();
+    assert!(text.contains(&format!("crowd_submitted_responses_total {total}")));
+    for s in &m.service.stats.shards {
+        assert!(text.contains(&format!(
+            "crowd_shard_responses_total{{shard=\"{}\"}} {}",
+            s.shard, s.responses
+        )));
+    }
+    assert!(text.contains("crowd_wire_stage_ns_count{opcode=\"0x01\",stage=\"handle\"}"));
+
+    // A scrape is read-only: the next report is unaffected.
+    let over_wire = client.snapshot(CONFIDENCE).expect("post-scrape snapshot");
+    let local = service.snapshot(CONFIDENCE).expect("local snapshot");
+    assert_reports_bit_identical(&over_wire, &local, "post-scrape");
+    server.close();
+}
+
+#[test]
 fn shutdown_over_the_wire_stops_service_and_server() {
     let (inst, service) = fleet(2);
     let data = inst.responses();

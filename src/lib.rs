@@ -23,6 +23,9 @@
 //! * [`service`] — the thread-per-shard assessment runtime: batched
 //!   ingest, bounded queues with backpressure, bit-identical fleet
 //!   snapshots,
+//! * [`obs`] — dependency-free observability: wait-free log₂ latency
+//!   histograms, a metrics registry with Prometheus-style text
+//!   exposition, and a lock-free flight-recorder event journal,
 //! * [`wire`] — the length-prefixed binary TCP protocol, blocking
 //!   server and client that put the runtime behind a socket with
 //!   bit-identical reports and the full error taxonomy on the wire.
@@ -52,6 +55,7 @@ pub use crowd_core as core;
 pub use crowd_data as data;
 pub use crowd_datasets as datasets;
 pub use crowd_linalg as linalg;
+pub use crowd_obs as obs;
 pub use crowd_service as service;
 pub use crowd_shard as shard;
 pub use crowd_sim as sim;
@@ -70,8 +74,10 @@ pub mod prelude {
     pub use crowd_data::{
         GoldStandard, Label, ResponseMatrix, ResponseMatrixBuilder, TaskId, WorkerId,
     };
+    pub use crowd_obs::{EventJournal, EventKind, LatencyHistogram, MetricsRegistry};
     pub use crowd_service::{
         AssessmentService, BackpressurePolicy, ServiceConfig, ServiceError, ServiceHandle,
+        ServiceMetrics,
     };
     pub use crowd_shard::{ShardPlan, ShardRunner};
     pub use crowd_sim::{ArrivalCursor, ArrivalSchedule, BinaryScenario, KaryScenario};
