@@ -16,6 +16,7 @@
 //! * majority-vote aggregation ([`majority`]),
 //! * a dependency-free CSV reader/writer ([`csv`]).
 
+pub mod checkpoint;
 pub mod counts;
 pub mod csv;
 pub mod gold;
@@ -29,6 +30,7 @@ pub mod overlap;
 pub mod pairmap;
 pub mod streaming;
 
+pub use checkpoint::{CHECKPOINT_MAGIC, CHECKPOINT_VERSION, CheckpointError};
 pub use counts::{AttemptPattern, CountsTensor};
 pub use gold::GoldStandard;
 pub use gram::{PeerGram, PeerGramScratch, TriplePairGram};

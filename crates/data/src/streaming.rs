@@ -777,6 +777,18 @@ impl StreamingIndex {
         self.dirty_at[worker.index()] > epoch
     }
 
+    /// Reinstates serialized epoch state after a checkpoint replay
+    /// (see [`crate::checkpoint`]): replaying rows through
+    /// [`StreamingIndex::record_response`] rebuilds the index
+    /// deterministically but advances the epoch in replay order, so
+    /// the original (ingest-order-dependent) counters are restored
+    /// wholesale afterwards.
+    pub(crate) fn restore_epoch_state(&mut self, epoch: u64, dirty_at: Vec<u64>) {
+        debug_assert_eq!(dirty_at.len(), self.dirty_at.len());
+        self.epoch = epoch;
+        self.dirty_at = dirty_at;
+    }
+
     /// Collects into `out` (cleared first, ascending ids) every worker
     /// whose assessment inputs changed after `epoch`. `O(m)` — meant
     /// for drain points, not the ingest path; per-worker checks should

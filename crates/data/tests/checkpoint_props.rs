@@ -1,0 +1,121 @@
+//! Property tests for the checkpoint codec: random `StreamingIndex`
+//! states round-trip byte-identically, and damaged bytes always
+//! decode to typed errors — never panic.
+
+use crowd_data::{
+    CheckpointError, Label, OverlapSource, PairBackend, Response, StreamingIndex, TaskId, WorkerId,
+};
+use proptest::prelude::*;
+
+/// A random streaming substrate: shape, backend, and a duplicate-free
+/// response set applied in a data-dependent order.
+fn streaming_state() -> impl Strategy<Value = StreamingIndex> {
+    (2usize..=8, 2usize..=16, 2u16..=4, any::<bool>()).prop_flat_map(|(m, n, arity, sparse)| {
+        proptest::collection::vec(proptest::option::weighted(0.4, 0..arity), m * n).prop_map(
+            move |cells| {
+                let backend = if sparse {
+                    PairBackend::Sparse
+                } else {
+                    PairBackend::Dense
+                };
+                let mut s = StreamingIndex::new_with(m, n, arity, backend);
+                for (i, cell) in cells.into_iter().enumerate() {
+                    if let Some(label) = cell {
+                        s.record_response(Response {
+                            worker: WorkerId((i % m) as u32),
+                            task: TaskId((i / m) as u32),
+                            label: Label(label),
+                        })
+                        .expect("cells are duplicate-free by construction");
+                    }
+                }
+                s
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// restore(checkpoint(s)) is bit-identical to s: equal index,
+    /// equal epoch state, and a byte-identical re-encode.
+    #[test]
+    fn round_trip_is_byte_identical(original in streaming_state()) {
+        let bytes = original.checkpoint();
+        let restored = StreamingIndex::restore(&bytes).expect("own checkpoint must decode");
+        prop_assert_eq!(restored.index(), original.index());
+        prop_assert_eq!(restored.epoch(), original.epoch());
+        for w in 0..original.index().n_workers() as u32 {
+            prop_assert_eq!(
+                restored.dirty_epoch(WorkerId(w)),
+                original.dirty_epoch(WorkerId(w))
+            );
+        }
+        prop_assert_eq!(restored.checkpoint(), bytes);
+    }
+
+    /// A restored substrate keeps serving identical overlap queries.
+    #[test]
+    fn restored_queries_match(original in streaming_state()) {
+        let restored =
+            StreamingIndex::restore(&original.checkpoint()).expect("own checkpoint must decode");
+        let m = original.index().n_workers() as u32;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                prop_assert_eq!(
+                    restored.pair(WorkerId(a), WorkerId(b)),
+                    original.pair(WorkerId(a), WorkerId(b))
+                );
+            }
+        }
+    }
+
+    /// Every strict prefix decodes to a typed error, never a panic —
+    /// truncation hits either a length check or the checksum trailer.
+    #[test]
+    fn truncation_never_panics(original in streaming_state(), cut in 0.0f64..1.0) {
+        let bytes = original.checkpoint();
+        let len = ((bytes.len() as f64) * cut) as usize;
+        let err = StreamingIndex::restore(&bytes[..len.min(bytes.len() - 1)])
+            .expect_err("strict prefixes must fail");
+        prop_assert!(matches!(
+            err,
+            CheckpointError::Truncated(_) | CheckpointError::ChecksumMismatch { .. }
+        ));
+    }
+
+    /// Any single flipped bit in the body is caught by the checksum
+    /// (or the magic check when it lands in the first eight bytes).
+    #[test]
+    fn corruption_never_panics(
+        original in streaming_state(),
+        at in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = original.checkpoint();
+        let i = ((bytes.len() as f64) * at) as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        match StreamingIndex::restore(&bytes) {
+            // A flip in the checksum trailer itself, or in the body,
+            // must surface as a typed refusal...
+            Err(
+                CheckpointError::ChecksumMismatch { .. }
+                | CheckpointError::BadMagic
+                | CheckpointError::Truncated(_)
+                | CheckpointError::Malformed(_)
+                | CheckpointError::UnsupportedVersion(_)
+                | CheckpointError::Invalid(_),
+            ) => {}
+            // ...and never as a silent success.
+            Ok(_) => prop_assert!(false, "flipped bit {bit} at {i} decoded successfully"),
+        }
+    }
+
+    /// Random garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(words in proptest::collection::vec(0u32..256, 0..512)) {
+        let bytes: Vec<u8> = words.into_iter().map(|w| w as u8).collect();
+        let _ = StreamingIndex::restore(&bytes);
+    }
+}

@@ -61,6 +61,10 @@ pub enum EventKind {
     ShardPanic = 6,
     /// Application-defined.
     Custom = 7,
+    /// A supervised shard was respawned from its last checkpoint and
+    /// its WAL replayed (`a` = recovery ordinal, `b` = recovery
+    /// duration in nanoseconds).
+    ShardRecovered = 8,
 }
 
 impl EventKind {
@@ -76,6 +80,7 @@ impl EventKind {
             5 => Self::SlowOp,
             6 => Self::ShardPanic,
             7 => Self::Custom,
+            8 => Self::ShardRecovered,
             _ => return None,
         })
     }
@@ -91,6 +96,7 @@ impl EventKind {
             Self::SlowOp => "slow_op",
             Self::ShardPanic => "shard_panic",
             Self::Custom => "custom",
+            Self::ShardRecovered => "shard_recovered",
         }
     }
 }
@@ -329,12 +335,12 @@ mod tests {
 
     #[test]
     fn kind_tags_roundtrip() {
-        for tag in 0..8u8 {
+        for tag in 0..9u8 {
             let k = EventKind::from_u8(tag).expect("valid tag");
             assert_eq!(k as u8, tag);
             assert!(!k.name().is_empty());
         }
-        assert_eq!(EventKind::from_u8(8), None);
+        assert_eq!(EventKind::from_u8(9), None);
         assert_eq!(EventKind::from_u8(255), None);
     }
 }

@@ -1,8 +1,11 @@
 //! Service construction parameters.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crowd_core::EstimatorConfig;
+
+use crate::fault::FaultPlan;
 
 /// What [`crate::AssessmentService::ingest_batch`] does when a shard's
 /// bounded queue is full.
@@ -56,6 +59,23 @@ pub struct ServiceConfig {
     /// Flight-recorder capacity, in events (rounded up to a power of
     /// two, minimum 8). Default 256.
     pub journal_capacity: usize,
+    /// Shard checkpoint cadence, in ingest batches: every N batches a
+    /// shard serializes its substrate
+    /// ([`crowd_data::StreamingIndex::checkpoint`]) and truncates its
+    /// write-ahead log. `0` disables checkpointing **and** crash
+    /// recovery entirely — a shard panic then poisons the fleet, the
+    /// pre-supervision behaviour. Default 64: a crashed shard replays
+    /// at most 64 batches from its WAL.
+    pub checkpoint_interval: usize,
+    /// How many times a shard may be respawned from its checkpoint
+    /// before the supervisor gives up and lets the panic poison the
+    /// fleet (a deterministic crash would otherwise loop forever).
+    /// Default 8.
+    pub max_recoveries: u64,
+    /// Deterministic fault injection for tests and benches
+    /// ([`FaultPlan`]); `None` (the default) injects nothing and costs
+    /// nothing on the ingest path.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +88,9 @@ impl Default for ServiceConfig {
             metrics: true,
             slow_op_threshold: Duration::from_millis(100),
             journal_capacity: 256,
+            checkpoint_interval: 64,
+            max_recoveries: 8,
+            fault: None,
         }
     }
 }
@@ -112,6 +135,25 @@ impl ServiceConfig {
     /// Sets the flight-recorder capacity, in events.
     pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
         self.journal_capacity = capacity;
+        self
+    }
+
+    /// Sets the shard checkpoint cadence in ingest batches (`0`
+    /// disables checkpointing and crash recovery).
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the per-shard recovery budget.
+    pub fn with_max_recoveries(mut self, max: u64) -> Self {
+        self.max_recoveries = max;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = Some(fault);
         self
     }
 }

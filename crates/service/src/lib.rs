@@ -72,12 +72,17 @@
 
 mod config;
 mod error;
+mod fault;
 mod metrics;
 mod runtime;
 mod stats;
 
 pub use config::{BackpressurePolicy, ServiceConfig};
 pub use error::ServiceError;
+pub use fault::{CrashPoint, FaultPlan};
 pub use metrics::{ServiceMetrics, StageTimings};
-pub use runtime::{AssessmentService, IngestReceipt, ServiceHandle};
+pub use runtime::{
+    AssessmentService, DegradedKarySnapshot, DegradedSnapshot, IngestReceipt, ServiceHandle,
+    ShardOutage,
+};
 pub use stats::{BatchHistogram, ServiceStats, ShardStats};

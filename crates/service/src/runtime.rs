@@ -1,14 +1,15 @@
 //! The thread-per-shard runtime; see the [crate docs](crate) for the
 //! architecture and guarantees.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError, channel, sync_channel};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crowd_core::{
-    KaryMWorkerEstimator, KaryReportCache, KaryWorkerAssessment, KaryWorkerReport,
+    EstimatorConfig, KaryMWorkerEstimator, KaryReportCache, KaryWorkerAssessment, KaryWorkerReport,
     MWorkerEstimator, ReportCache, WorkerAssessment, WorkerReport,
 };
 use crowd_data::{DataError, PairBackend, Response, StreamingIndex, WorkerId};
@@ -17,6 +18,7 @@ use crowd_shard::{ShardPlan, merge_kary_reports, merge_reports};
 
 use crate::config::{BackpressurePolicy, ServiceConfig};
 use crate::error::ServiceError;
+use crate::fault::{CrashPoint, FaultPlan};
 use crate::metrics::{ServiceMetrics, StageTimers, StageTimings};
 use crate::stats::{BatchHistogram, ServiceStats, ShardStats};
 
@@ -142,8 +144,240 @@ enum Stage {
     DrainEval,
 }
 
+/// Per-shard supervision state that lives **outside** the
+/// unwind boundary: the recovery sources (checkpoint + WAL), the
+/// authoritative fault-tolerance counters, and the armed crash points.
+/// Everything a panic could corrupt lives in the discarded
+/// [`ShardWorker`]; everything here is only mutated at well-defined
+/// non-panicking points (see the field docs), which is what justifies
+/// the `AssertUnwindSafe` in [`ShardRuntime::run`].
+#[derive(Default)]
+struct RecoveryGuard {
+    /// The substrate as of the last checkpoint
+    /// ([`StreamingIndex::checkpoint`] bytes; the spawn-time
+    /// checkpoint of the empty substrate seeds it).
+    checkpoint: Vec<u8>,
+    /// The persistent shard counters as of that checkpoint.
+    stats_at_checkpoint: ShardStats,
+    /// Write-ahead log: every ingest batch accepted since the last
+    /// checkpoint, appended **before** it is applied, so a crash mid-
+    /// application replays the whole batch onto the restored
+    /// substrate. Truncated at every checkpoint — bounded by
+    /// [`crate::ServiceConfig::checkpoint_interval`] batches.
+    wal: Vec<Vec<Response>>,
+    /// Batches applied since the last checkpoint.
+    since_checkpoint: usize,
+    /// Monotone 1-based ingest-batch ordinal, across recoveries —
+    /// the coordinate fault decisions key on. Incremented before the
+    /// fault check so an injected crash cannot re-fire on replay.
+    batch_ordinal: u64,
+    recoveries: u64,
+    checkpoints: u64,
+    wal_replayed: u64,
+    /// An [`CrashPoint::AtDrain`] fault armed by an earlier batch;
+    /// cleared *before* the panic fires so recovery does not loop.
+    armed_drain: bool,
+    /// The [`CrashPoint::DuringReanchor`] twin.
+    armed_assess: bool,
+}
+
+/// The immutable spawn-time inputs of one shard, kept by the
+/// supervisor so a crashed worker can be rebuilt from scratch.
+struct ShardSeed {
+    shard: usize,
+    n_workers: usize,
+    n_tasks: usize,
+    arity: u16,
+    estimator: EstimatorConfig,
+    anchors: Vec<WorkerId>,
+    is_home: Vec<bool>,
+    depth: Arc<QueueDepth>,
+    incremental: bool,
+    slow_ns: u64,
+    timers: Option<Arc<StageTimers>>,
+    journal: Option<Arc<EventJournal>>,
+}
+
+impl ShardSeed {
+    /// A fresh worker in the exact state a newly spawned shard starts
+    /// in: empty substrate, dormant views, cold caches.
+    fn build(&self) -> ShardWorker {
+        ShardWorker {
+            stream: StreamingIndex::new_with(
+                self.n_workers,
+                self.n_tasks,
+                self.arity,
+                PairBackend::Sparse,
+            ),
+            binary: MWorkerEstimator::new(self.estimator.clone()),
+            kary: KaryMWorkerEstimator::new(self.estimator.clone()),
+            anchors: self.anchors.clone(),
+            is_home: self.is_home.clone(),
+            depth: Arc::clone(&self.depth),
+            stats: ShardStats {
+                shard: self.shard,
+                ..ShardStats::default()
+            },
+            incremental: self.incremental,
+            binary_cache: ReportCache::new(),
+            kary_cache: KaryReportCache::new(),
+            obs: self.timers.as_ref().map(|timers| ShardObs {
+                timers: Arc::clone(timers),
+                journal: Arc::clone(self.journal.as_ref().expect("timers imply journal")),
+                slow_ns: self.slow_ns,
+                prev_reanchors: 0,
+                prev_rebuilds: 0,
+                prev_full_refreshes: 0,
+            }),
+        }
+    }
+}
+
+/// One shard's supervised thread body: runs the message loop inside
+/// `catch_unwind`; on a panic, respawns the worker from the last
+/// checkpoint, replays the WAL, and keeps serving the *same* queue —
+/// callers blocked on the bounded channel never observe the crash
+/// except as latency. Gives up (sets the dead flag and re-raises the
+/// panic so `join()` reports it) when recovery is disabled
+/// (`checkpoint_interval == 0`) or the budget is exhausted.
+struct ShardRuntime {
+    seed: ShardSeed,
+    interval: usize,
+    max_recoveries: u64,
+    fault: Option<Arc<FaultPlan>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl ShardRuntime {
+    fn run(self, rx: Receiver<Envelope>) -> ShardStats {
+        let supervised = self.interval > 0;
+        let mut worker = self.seed.build();
+        let mut guard = RecoveryGuard::default();
+        if supervised {
+            guard.checkpoint = worker.stream.checkpoint();
+            guard.stats_at_checkpoint = worker.stats.clone();
+        }
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                worker.serve(&rx, &mut guard, self.interval, self.fault.as_deref())
+            }));
+            let payload = match outcome {
+                // Queue disconnected: graceful shutdown, final stats.
+                Ok(finals) => return finals,
+                Err(payload) => payload,
+            };
+            let give_up = !supervised || guard.recoveries >= self.max_recoveries;
+            if let Some(journal) = &self.seed.journal {
+                journal.record(
+                    EventKind::ShardPanic,
+                    self.seed.shard as u32,
+                    guard.batch_ordinal,
+                    guard.recoveries,
+                    if give_up { "dead" } else { "recovering" },
+                );
+            }
+            if give_up {
+                // Flag first, then unwind: by the time the receiver
+                // drops (failing senders), the flag is already
+                // readable, so callers see `ShardPanicked`, not a
+                // generic unavailability.
+                self.dead.store(true, Ordering::Release);
+                resume_unwind(payload);
+            }
+            let t0 = Instant::now();
+            // The recovery itself runs inside its own unwind guard: a
+            // checkpoint that fails to restore (impossible for bytes we
+            // produced, but this is the crash path — assume nothing)
+            // must surface as a dead shard, not a thread abort.
+            let rebuilt = catch_unwind(AssertUnwindSafe(|| self.recover(&guard)));
+            match rebuilt {
+                Ok((w, replayed)) => {
+                    guard.recoveries += 1;
+                    guard.wal_replayed += replayed;
+                    worker = w;
+                    worker.stats.recoveries = guard.recoveries;
+                    worker.stats.checkpoints = guard.checkpoints;
+                    worker.stats.wal_replayed = guard.wal_replayed;
+                    if let Some(journal) = &self.seed.journal {
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        journal.record(
+                            EventKind::ShardRecovered,
+                            self.seed.shard as u32,
+                            guard.recoveries,
+                            ns,
+                            "",
+                        );
+                    }
+                }
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a worker from the last checkpoint and replays the WAL
+    /// through the ordinary ingest path (no fault checks — the batch
+    /// ordinals already passed them). Returns the worker and how many
+    /// responses were replayed.
+    fn recover(&self, guard: &RecoveryGuard) -> (ShardWorker, u64) {
+        let mut w = self.seed.build();
+        w.stream = StreamingIndex::restore(&guard.checkpoint)
+            .expect("restoring a checkpoint this shard itself produced");
+        w.stats = guard.stats_at_checkpoint.clone();
+        let mut replayed = 0u64;
+        for batch in &guard.wal {
+            replayed += batch.len() as u64;
+            w.apply_batch(batch);
+        }
+        (w, replayed)
+    }
+}
+
 impl ShardWorker {
-    fn run(mut self, rx: Receiver<Envelope>) -> ShardStats {
+    /// Applies one ingest batch to the substrate with the standard
+    /// accounting — shared verbatim by live ingest and WAL replay, so
+    /// replayed state (counters included) is bit-identical to a
+    /// never-crashed application of the same batches.
+    fn apply_batch(&mut self, batch: &[Response]) {
+        self.stats.batches += 1;
+        for r in batch {
+            match self.stream.record_response(*r) {
+                Ok(()) => self.stats.responses += 1,
+                // Every subscribing shard sees the same row state, so
+                // they reject identically; count only at home to keep
+                // the fleet total exact.
+                Err(_) => {
+                    if self.is_home[r.worker.index()] {
+                        self.stats.rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires an armed assessment-point crash: forces a view re-anchor
+    /// first so the panic lands mid-evaluation-state-mutation, the
+    /// worst case recovery must handle.
+    fn fire_assess_crash(&mut self, guard: &mut RecoveryGuard) {
+        if !guard.armed_assess {
+            return;
+        }
+        guard.armed_assess = false;
+        if let Some(&anchor) = self.anchors.first() {
+            let _ = self.stream.view(anchor);
+        }
+        panic!("injected fault: crash during drain-point evaluation (re-anchor)");
+    }
+
+    fn serve(
+        &mut self,
+        rx: &Receiver<Envelope>,
+        guard: &mut RecoveryGuard,
+        interval: usize,
+        fault: Option<&FaultPlan>,
+    ) -> ShardStats {
         while let Ok((enqueued, msg)) = rx.recv() {
             self.depth.on_pop();
             if let (Some(obs), Some(t0)) = (&self.obs, enqueued) {
@@ -152,19 +386,40 @@ impl ShardWorker {
             match msg {
                 ShardMsg::Ingest(batch) => {
                     let t0 = self.obs.as_ref().map(|_| Instant::now());
-                    self.stats.batches += 1;
-                    for r in batch {
-                        match self.stream.record_response(r) {
-                            Ok(()) => self.stats.responses += 1,
-                            // Every subscribing shard sees the same
-                            // row state, so they reject identically;
-                            // count only at home to keep the fleet
-                            // total exact.
-                            Err(_) => {
-                                if self.is_home[r.worker.index()] {
-                                    self.stats.rejected += 1;
-                                }
+                    guard.batch_ordinal += 1;
+                    let crash =
+                        fault.and_then(|f| f.panic_for(self.stats.shard, guard.batch_ordinal));
+                    if interval > 0 {
+                        // Write-ahead: the batch is in the log before
+                        // any of it touches the substrate.
+                        guard.wal.push(batch.clone());
+                    }
+                    match crash {
+                        Some(CrashPoint::MidBatch) => {
+                            // Half the batch lands, then the thread
+                            // dies with the substrate mid-batch.
+                            for r in &batch[..batch.len() / 2] {
+                                let _ = self.stream.record_response(*r);
                             }
+                            panic!(
+                                "injected fault: mid-batch crash at batch {}",
+                                guard.batch_ordinal
+                            );
+                        }
+                        Some(CrashPoint::AtDrain) => guard.armed_drain = true,
+                        Some(CrashPoint::DuringReanchor) => guard.armed_assess = true,
+                        None => {}
+                    }
+                    self.apply_batch(&batch);
+                    if interval > 0 {
+                        guard.since_checkpoint += 1;
+                        if guard.since_checkpoint >= interval {
+                            guard.checkpoint = self.stream.checkpoint();
+                            guard.checkpoints += 1;
+                            self.stats.checkpoints = guard.checkpoints;
+                            guard.stats_at_checkpoint = self.stats.clone();
+                            guard.wal.clear();
+                            guard.since_checkpoint = 0;
                         }
                     }
                     self.observe_stage(Stage::BatchApply, t0);
@@ -174,6 +429,7 @@ impl ShardWorker {
                     confidence,
                     reply,
                 } => {
+                    self.fire_assess_crash(guard);
                     let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
@@ -192,6 +448,7 @@ impl ShardWorker {
                     confidence,
                     reply,
                 } => {
+                    self.fire_assess_crash(guard);
                     let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
@@ -206,6 +463,7 @@ impl ShardWorker {
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchors { confidence, reply } => {
+                    self.fire_assess_crash(guard);
                     let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
@@ -224,6 +482,7 @@ impl ShardWorker {
                     let _ = reply.send(out);
                 }
                 ShardMsg::AssessAnchorsKary { confidence, reply } => {
+                    self.fire_assess_crash(guard);
                     let t0 = self.obs.as_ref().map(|_| Instant::now());
                     self.stats.assess_requests += 1;
                     let out = if self.incremental {
@@ -244,6 +503,14 @@ impl ShardWorker {
                     let _ = reply.send(self.snapshot_stats());
                 }
                 ShardMsg::Drain { reply } => {
+                    if guard.armed_drain {
+                        // The reply sender drops with the panic, so
+                        // the caller's one pending drain fails typed
+                        // (`ShardUnavailable`); a retried drain lands
+                        // after recovery and succeeds.
+                        guard.armed_drain = false;
+                        panic!("injected fault: crash at drain barrier");
+                    }
                     let _ = reply.send(());
                 }
                 #[cfg(test)]
@@ -345,6 +612,42 @@ pub struct IngestReceipt {
     pub shed_responses: usize,
 }
 
+/// One shard that could not contribute to a degraded snapshot, and
+/// why; see [`ServiceHandle::snapshot_degraded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutage {
+    /// The unavailable shard.
+    pub shard: usize,
+    /// The typed failure ([`ServiceError::ShardPanicked`] for a dead
+    /// shard, [`ServiceError::ShardUnavailable`] for one mid-teardown,
+    /// or the estimation error its evaluation returned).
+    pub error: ServiceError,
+}
+
+/// A fleet snapshot that tolerates unavailable shards: the merged
+/// report over every shard that answered, plus a typed outage per
+/// shard that did not. `outages` empty ⇔ the report is the same one
+/// [`ServiceHandle::snapshot`] would have returned.
+#[derive(Debug, Clone)]
+pub struct DegradedSnapshot {
+    /// Merged assessments from the responsive shards, canonical
+    /// worker order.
+    pub report: WorkerReport,
+    /// The shards missing from `report`, in shard order.
+    pub outages: Vec<ShardOutage>,
+}
+
+/// The k-ary twin of [`DegradedSnapshot`]; see
+/// [`ServiceHandle::snapshot_kary_degraded`].
+#[derive(Debug, Clone)]
+pub struct DegradedKarySnapshot {
+    /// Merged assessments from the responsive shards, canonical
+    /// worker order.
+    pub report: KaryWorkerReport,
+    /// The shards missing from `report`, in shard order.
+    pub outages: Vec<ShardOutage>,
+}
+
 /// The mutable routing state behind [`ServiceHandle::ingest_batch`]:
 /// one lock serializes routing (batches must land on the FIFO queues
 /// in submission order for drain points to be well-defined) and owns
@@ -386,6 +689,14 @@ struct Shared {
     arity: u16,
     policy: BackpressurePolicy,
     depths: Vec<Arc<QueueDepth>>,
+    /// `dead[s]`: shard `s`'s supervisor gave up (recovery disabled or
+    /// budget exhausted) and let the panic kill the thread. Set by the
+    /// shard thread *before* its receiver drops, so callers that see a
+    /// disconnected queue can distinguish a crashed shard
+    /// ([`ServiceError::ShardPanicked`]) from a mid-shutdown one
+    /// ([`ServiceError::ShardUnavailable`]) — and ingest can refuse
+    /// promptly instead of buffering into a queue nobody drains.
+    dead: Vec<Arc<AtomicBool>>,
     /// `Some` while live; taken (dropped) at shutdown so the shard
     /// queues disconnect and the threads drain and exit.
     senders: RwLock<Option<Vec<SyncSender<Envelope>>>>,
@@ -497,13 +808,26 @@ impl ServiceHandle {
             return Err(ServiceError::ShuttingDown);
         };
         let mut ing = lock_ignore_poison(&self.shared.ingest);
-        ing.batch_sizes.record(batch.len());
-        ing.submitted += batch.len() as u64;
         for r in batch {
             for &s in self.shared.plan.closure_shards(r.worker) {
                 ing.route_buf[s as usize].push(*r);
             }
         }
+        // A supervisor that exhausted its recovery budget marks its
+        // shard dead; refuse the batch *now*, before any counter moves
+        // or any queue sees a group — buffering into a queue nobody
+        // will ever drain would surface the crash only when the queue
+        // finally filled (as a misleading `QueueFull`), batches later.
+        for s in 0..ing.route_buf.len() {
+            if !ing.route_buf[s].is_empty() && self.shared.dead[s].load(Ordering::Acquire) {
+                for buf in &mut ing.route_buf {
+                    buf.clear();
+                }
+                return Err(ServiceError::ShardPanicked { shard: s });
+            }
+        }
+        ing.batch_sizes.record(batch.len());
+        ing.submitted += batch.len() as u64;
         let mut receipt = IngestReceipt::default();
         let mut rejected: Option<(usize, usize)> = None;
         for s in 0..ing.route_buf.len() {
@@ -526,7 +850,12 @@ impl ServiceHandle {
                         Ok(()) => receipt.routed += len,
                         Err(_) => {
                             self.shared.depths[s].on_pop();
-                            return Err(ServiceError::ShardUnavailable { shard: s });
+                            // Clear the still-pending groups so they
+                            // cannot leak into the next call's routing.
+                            for buf in &mut ing.route_buf {
+                                buf.clear();
+                            }
+                            return Err(self.shard_down(s));
                         }
                     }
                 }
@@ -555,7 +884,10 @@ impl ServiceHandle {
                         }
                         Err(TrySendError::Disconnected(_)) => {
                             self.shared.depths[s].on_pop();
-                            return Err(ServiceError::ShardUnavailable { shard: s });
+                            for buf in &mut ing.route_buf {
+                                buf.clear();
+                            }
+                            return Err(self.shard_down(s));
                         }
                     }
                 }
@@ -602,8 +934,7 @@ impl ServiceHandle {
                 reply,
             },
         )?;
-        rx.recv()
-            .map_err(|_| ServiceError::ShardUnavailable { shard })?
+        rx.recv().map_err(|_| self.shard_down(shard))?
     }
 
     /// Evaluates one worker's k×k response-probability matrix on its
@@ -623,8 +954,7 @@ impl ServiceHandle {
                 reply,
             },
         )?;
-        rx.recv()
-            .map_err(|_| ServiceError::ShardUnavailable { shard })?
+        rx.recv().map_err(|_| self.shard_down(shard))?
     }
 
     /// Evaluates an explicit set of workers (binary), each on its home
@@ -656,10 +986,7 @@ impl ServiceHandle {
         }
         let mut report = WorkerReport::default();
         for (worker, shard, rx) in rxs {
-            match rx
-                .recv()
-                .map_err(|_| ServiceError::ShardUnavailable { shard })?
-            {
+            match rx.recv().map_err(|_| self.shard_down(shard))? {
                 Ok(a) => report.assessments.push(a),
                 Err(ServiceError::Estimate(e)) => report.failures.push((worker, e)),
                 Err(other) => return Err(other),
@@ -692,10 +1019,7 @@ impl ServiceHandle {
         }
         let mut parts = Vec::with_capacity(rxs.len());
         for (s, rx) in rxs.into_iter().enumerate() {
-            parts.push(
-                rx.recv()
-                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })??,
-            );
+            parts.push(rx.recv().map_err(|_| self.shard_down(s))??);
         }
         Ok(merge_reports(parts))
     }
@@ -716,12 +1040,92 @@ impl ServiceHandle {
         }
         let mut parts = Vec::with_capacity(rxs.len());
         for (s, rx) in rxs.into_iter().enumerate() {
-            parts.push(
-                rx.recv()
-                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })??,
-            );
+            parts.push(rx.recv().map_err(|_| self.shard_down(s))??);
         }
         Ok(merge_kary_reports(parts))
+    }
+
+    /// [`ServiceHandle::snapshot`] with graceful degradation: shards
+    /// that cannot answer — dead after exhausting their recovery
+    /// budget, mid-teardown, or failing estimation — become typed
+    /// [`ShardOutage`]s instead of failing the whole call, and the
+    /// report merges what the responsive shards returned. Workers
+    /// homed on an out shard are simply absent from the report (their
+    /// ids are recoverable from `plan().shards()[outage.shard]`).
+    ///
+    /// Fleet-wide failures still fail the call: fewer than 3 workers
+    /// can never be assessed, and [`ServiceError::ShuttingDown`]
+    /// means there is no fleet left to degrade.
+    pub fn snapshot_degraded(&self, confidence: f64) -> Result<DegradedSnapshot, ServiceError> {
+        let m = self.shared.plan.n_workers();
+        if m < 3 {
+            return Err(ServiceError::Estimate(
+                crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
+            ));
+        }
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            match self.send_to(s, ShardMsg::AssessAnchors { confidence, reply }) {
+                Ok(()) => rxs.push((s, Ok(rx))),
+                Err(ServiceError::ShuttingDown) => return Err(ServiceError::ShuttingDown),
+                Err(e) => rxs.push((s, Err(e))),
+            }
+        }
+        let mut parts = Vec::new();
+        let mut outages = Vec::new();
+        for (s, rx) in rxs {
+            let outcome = match rx {
+                Ok(rx) => rx.recv().map_err(|_| self.shard_down(s)).and_then(|r| r),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(part) => parts.push(part),
+                Err(error) => outages.push(ShardOutage { shard: s, error }),
+            }
+        }
+        Ok(DegradedSnapshot {
+            report: merge_reports(parts),
+            outages,
+        })
+    }
+
+    /// The k-ary twin of [`ServiceHandle::snapshot_degraded`].
+    pub fn snapshot_kary_degraded(
+        &self,
+        confidence: f64,
+    ) -> Result<DegradedKarySnapshot, ServiceError> {
+        let m = self.shared.plan.n_workers();
+        if m < 3 {
+            return Err(ServiceError::Estimate(
+                crowd_core::EstimateError::NotEnoughWorkers { got: m, need: 3 },
+            ));
+        }
+        let mut rxs = Vec::with_capacity(self.n_shards());
+        for s in 0..self.n_shards() {
+            let (reply, rx) = channel();
+            match self.send_to(s, ShardMsg::AssessAnchorsKary { confidence, reply }) {
+                Ok(()) => rxs.push((s, Ok(rx))),
+                Err(ServiceError::ShuttingDown) => return Err(ServiceError::ShuttingDown),
+                Err(e) => rxs.push((s, Err(e))),
+            }
+        }
+        let mut parts = Vec::new();
+        let mut outages = Vec::new();
+        for (s, rx) in rxs {
+            let outcome = match rx {
+                Ok(rx) => rx.recv().map_err(|_| self.shard_down(s)).and_then(|r| r),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(part) => parts.push(part),
+                Err(error) => outages.push(ShardOutage { shard: s, error }),
+            }
+        }
+        Ok(DegradedKarySnapshot {
+            report: merge_kary_reports(parts),
+            outages,
+        })
     }
 
     /// FIFO barrier: returns once every shard has processed
@@ -735,8 +1139,7 @@ impl ServiceHandle {
             rxs.push(rx);
         }
         for (s, rx) in rxs.into_iter().enumerate() {
-            rx.recv()
-                .map_err(|_| ServiceError::ShardUnavailable { shard: s })?;
+            rx.recv().map_err(|_| self.shard_down(s))?;
         }
         Ok(())
     }
@@ -768,10 +1171,7 @@ impl ServiceHandle {
         }
         let mut shards = Vec::with_capacity(rxs.len());
         for (s, rx) in rxs.into_iter().enumerate() {
-            shards.push(
-                rx.recv()
-                    .map_err(|_| ServiceError::ShardUnavailable { shard: s })?,
-            );
+            shards.push(rx.recv().map_err(|_| self.shard_down(s))?);
         }
         Ok(self.with_handle_counters(shards))
     }
@@ -892,9 +1292,24 @@ impl ServiceHandle {
         Ok(self.shared.plan.shard_of(worker))
     }
 
+    /// The typed error for a shard that stopped serving its queue:
+    /// [`ServiceError::ShardPanicked`] when its supervisor declared it
+    /// dead, otherwise [`ServiceError::ShardUnavailable`] (e.g. a
+    /// shutdown racing this call).
+    fn shard_down(&self, shard: usize) -> ServiceError {
+        if self.shared.dead[shard].load(Ordering::Acquire) {
+            ServiceError::ShardPanicked { shard }
+        } else {
+            ServiceError::ShardUnavailable { shard }
+        }
+    }
+
     /// Blocking send for assessment/control messages (backpressure
     /// policies govern ingest only).
     fn send_to(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
+        if self.shared.dead[shard].load(Ordering::Acquire) {
+            return Err(ServiceError::ShardPanicked { shard });
+        }
         let guard = self
             .shared
             .senders
@@ -907,7 +1322,7 @@ impl ServiceHandle {
         let stamp = self.shared.obs.as_ref().map(|_| Instant::now());
         senders[shard].send((stamp, msg)).map_err(|_| {
             self.shared.depths[shard].on_pop();
-            ServiceError::ShardUnavailable { shard }
+            self.shard_down(shard)
         })
     }
 }
@@ -963,42 +1378,42 @@ impl AssessmentService {
             journal: Arc::new(EventJournal::new(config.journal_capacity)),
         });
         let slow_ns = u64::try_from(config.slow_op_threshold.as_nanos()).unwrap_or(u64::MAX);
+        let mut dead = Vec::with_capacity(n_shards);
         for (s, spec) in plan.shards().iter().enumerate() {
             let (tx, rx) = sync_channel::<Envelope>(capacity);
             let depth = Arc::new(QueueDepth::default());
-            let worker = ShardWorker {
-                stream: StreamingIndex::new_with(m, n_tasks, arity, PairBackend::Sparse),
-                binary: MWorkerEstimator::new(config.estimator.clone()),
-                kary: KaryMWorkerEstimator::new(config.estimator.clone()),
-                anchors: spec.anchors.clone(),
-                is_home: (0..m)
-                    .map(|w| plan.shard_of(WorkerId(w as u32)) == s)
-                    .collect(),
-                depth: Arc::clone(&depth),
-                stats: ShardStats {
+            let dead_flag = Arc::new(AtomicBool::new(false));
+            let runtime = ShardRuntime {
+                seed: ShardSeed {
                     shard: s,
-                    ..ShardStats::default()
-                },
-                incremental: config.incremental,
-                binary_cache: ReportCache::new(),
-                kary_cache: KaryReportCache::new(),
-                obs: fleet_obs.as_ref().map(|o| ShardObs {
-                    timers: Arc::clone(&o.timers[s]),
-                    journal: Arc::clone(&o.journal),
+                    n_workers: m,
+                    n_tasks,
+                    arity,
+                    estimator: config.estimator.clone(),
+                    anchors: spec.anchors.clone(),
+                    is_home: (0..m)
+                        .map(|w| plan.shard_of(WorkerId(w as u32)) == s)
+                        .collect(),
+                    depth: Arc::clone(&depth),
+                    incremental: config.incremental,
                     slow_ns,
-                    prev_reanchors: 0,
-                    prev_rebuilds: 0,
-                    prev_full_refreshes: 0,
-                }),
+                    timers: fleet_obs.as_ref().map(|o| Arc::clone(&o.timers[s])),
+                    journal: fleet_obs.as_ref().map(|o| Arc::clone(&o.journal)),
+                },
+                interval: config.checkpoint_interval,
+                max_recoveries: config.max_recoveries,
+                fault: config.fault.clone(),
+                dead: Arc::clone(&dead_flag),
             };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("crowd-shard-{s}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || runtime.run(rx))
                     .expect("spawning a shard thread"),
             );
             senders.push(tx);
             depths.push(depth);
+            dead.push(dead_flag);
         }
         Self {
             handle: ServiceHandle {
@@ -1008,6 +1423,7 @@ impl AssessmentService {
                     arity,
                     policy: config.policy,
                     depths,
+                    dead,
                     senders: RwLock::new(Some(senders)),
                     ingest: Mutex::new(IngestState {
                         route_buf: vec![Vec::new(); n_shards],
@@ -1086,6 +1502,19 @@ impl AssessmentService {
     /// See [`ServiceHandle::snapshot_kary`].
     pub fn snapshot_kary(&self, confidence: f64) -> Result<KaryWorkerReport, ServiceError> {
         self.handle.snapshot_kary(confidence)
+    }
+
+    /// See [`ServiceHandle::snapshot_degraded`].
+    pub fn snapshot_degraded(&self, confidence: f64) -> Result<DegradedSnapshot, ServiceError> {
+        self.handle.snapshot_degraded(confidence)
+    }
+
+    /// See [`ServiceHandle::snapshot_kary_degraded`].
+    pub fn snapshot_kary_degraded(
+        &self,
+        confidence: f64,
+    ) -> Result<DegradedKarySnapshot, ServiceError> {
+        self.handle.snapshot_kary_degraded(confidence)
     }
 
     /// See [`ServiceHandle::drain`].
@@ -1309,12 +1738,18 @@ mod tests {
 
     /// Regression (PR 7): a dead shard thread must surface as
     /// [`ServiceError::ShardPanicked`] from `shutdown()` and `stats()`
-    /// — never as silently fabricated zeroed counters.
+    /// — never as silently fabricated zeroed counters. Supervision is
+    /// disabled (`checkpoint_interval == 0`) to pin the unrecovered
+    /// path.
     #[test]
     fn shard_panic_is_reported_not_swallowed() {
         let (data, plan) = small_fleet();
-        let mut svc =
-            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default().with_checkpoint_interval(0),
+        );
         let all: Vec<Response> = data.iter().collect();
         for chunk in all.chunks(16) {
             svc.ingest_batch(chunk).unwrap();
@@ -1333,6 +1768,126 @@ mod tests {
             svc.shutdown(),
             Err(ServiceError::ShardPanicked { shard: 1 })
         ));
+    }
+
+    /// With supervision on (the default), an injected panic is
+    /// recovered transparently: the fleet keeps serving, the final
+    /// counters match a clean run, and the recovery is counted.
+    #[test]
+    fn injected_panic_recovers_by_default() {
+        let (data, plan) = small_fleet();
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default().with_checkpoint_interval(4),
+        );
+        let all: Vec<Response> = data.iter().collect();
+        let mut routed = 0;
+        for chunk in all.chunks(8) {
+            routed += svc.ingest_batch(chunk).unwrap().routed;
+        }
+        send_raw(&svc, 1, ShardMsg::Panic);
+        // The crash is invisible to callers: further ingest works and
+        // the drain barrier waits out the recovery.
+        for chunk in all.chunks(8).take(1) {
+            // Re-ingest one chunk's worth of duplicates: rejected by
+            // the substrate, but they exercise the recovered queue.
+            svc.ingest_batch(chunk).unwrap();
+        }
+        svc.drain().unwrap();
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.total_recoveries(), 1, "exactly one respawn");
+        assert!(stats.total_checkpoints() >= 1, "periodic checkpoints ran");
+        assert_eq!(
+            stats.shards.iter().map(|s| s.responses).sum::<u64>(),
+            routed as u64,
+            "WAL replay restored every pre-crash response exactly once"
+        );
+        svc.shutdown().unwrap();
+    }
+
+    /// When the recovery budget is exhausted the shard dies for real:
+    /// the *next* ingest routed to it fails promptly with
+    /// [`ServiceError::ShardPanicked`] — not by buffering into a queue
+    /// nobody drains until `QueueFull` lies about the cause.
+    #[test]
+    fn exhausted_recoveries_fail_ingest_promptly() {
+        let (data, plan) = small_fleet();
+        let mut svc = AssessmentService::spawn(
+            plan,
+            data.n_tasks(),
+            data.arity(),
+            ServiceConfig::default()
+                .with_checkpoint_interval(4)
+                .with_max_recoveries(1),
+        );
+        let all: Vec<Response> = data.iter().collect();
+        for chunk in all.chunks(8) {
+            svc.ingest_batch(chunk).unwrap();
+        }
+        send_raw(&svc, 0, ShardMsg::Panic); // recovered (budget 1)
+        svc.drain().unwrap();
+        send_raw(&svc, 0, ShardMsg::Panic); // budget exhausted: dies
+        // Wait until the supervisor has marked the shard dead (the
+        // panic propagates asynchronously on the shard thread).
+        while !svc.handle.shared.dead[0].load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let home0: Vec<Response> = all
+            .iter()
+            .filter(|r| svc.plan().closure_shards(r.worker) == [0])
+            .take(1)
+            .copied()
+            .collect();
+        match svc.ingest_batch(&home0) {
+            Err(ServiceError::ShardPanicked { shard: 0 }) => {}
+            other => panic!("expected prompt ShardPanicked, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert!(
+            matches!(stats, Err(ServiceError::ShardPanicked { shard: 0 })),
+            "stats reports the dead shard: {stats:?}"
+        );
+        // Degraded snapshot still serves the surviving shard.
+        let degraded = svc.snapshot_degraded(0.9).unwrap();
+        assert_eq!(degraded.outages.len(), 1);
+        assert_eq!(degraded.outages[0].shard, 0);
+        assert!(matches!(
+            degraded.outages[0].error,
+            ServiceError::ShardPanicked { shard: 0 }
+        ));
+        assert!(
+            degraded.report.assessments.len() + degraded.report.failures.len() > 0,
+            "shard 1's anchors were still evaluated"
+        );
+        match svc.shutdown() {
+            Err(ServiceError::ShardPanicked { shard: 0 }) => {}
+            other => panic!("expected ShardPanicked at shutdown, got {other:?}"),
+        }
+    }
+
+    /// A healthy fleet's degraded snapshot is outage-free and merges
+    /// every shard — same anchors as the strict snapshot.
+    #[test]
+    fn degraded_snapshot_without_outages_matches_snapshot() {
+        let (data, plan) = small_fleet();
+        let mut svc =
+            AssessmentService::spawn(plan, data.n_tasks(), data.arity(), ServiceConfig::default());
+        let all: Vec<Response> = data.iter().collect();
+        for chunk in all.chunks(16) {
+            svc.ingest_batch(chunk).unwrap();
+        }
+        let strict = svc.snapshot(0.9).unwrap();
+        let degraded = svc.snapshot_degraded(0.9).unwrap();
+        assert!(degraded.outages.is_empty());
+        assert_eq!(degraded.report.assessments.len(), strict.assessments.len());
+        for (a, b) in degraded.report.assessments.iter().zip(&strict.assessments) {
+            assert_eq!(a, b, "bit-identical to the strict snapshot");
+        }
+        let kary = svc.snapshot_kary_degraded(0.9).unwrap();
+        assert!(kary.outages.is_empty());
+        svc.shutdown().unwrap();
     }
 
     /// Regression (PR 7): `stats()` racing (or following) a shutdown

@@ -40,6 +40,17 @@ pub struct ShardStats {
     /// Wholesale cache invalidations (requests switched confidence
     /// level).
     pub cache_full_refreshes: u64,
+    /// Times this shard was respawned from its last checkpoint after a
+    /// panic (see [`crate::ServiceConfig::checkpoint_interval`]).
+    /// Survives the recovery itself: the counter is authoritative in
+    /// the supervisor, not the discarded worker state.
+    pub recoveries: u64,
+    /// Periodic checkpoints taken (the spawn-time checkpoint of the
+    /// empty substrate is not counted).
+    pub checkpoints: u64,
+    /// Responses replayed from the write-ahead log across all
+    /// recoveries of this shard.
+    pub wal_replayed: u64,
 }
 
 /// Power-of-two histogram of ingest batch sizes, built on the shared
@@ -141,6 +152,21 @@ impl ServiceStats {
     /// Fleet total of wholesale cache invalidations.
     pub fn total_cache_full_refreshes(&self) -> u64 {
         self.shards.iter().map(|s| s.cache_full_refreshes).sum()
+    }
+
+    /// Fleet total of shard respawns from checkpoint.
+    pub fn total_recoveries(&self) -> u64 {
+        self.shards.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Fleet total of periodic checkpoints taken.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.shards.iter().map(|s| s.checkpoints).sum()
+    }
+
+    /// Fleet total of WAL responses replayed during recoveries.
+    pub fn total_wal_replayed(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_replayed).sum()
     }
 
     /// The deepest any shard queue ever got, in messages.

@@ -8,8 +8,10 @@
 //! [`ServiceError::Io`]. Nothing on the client path panics on bytes a
 //! peer controls.
 
+use std::fmt;
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
 use std::time::Duration;
 
 use crowd_core::{WorkerAssessment, WorkerReport};
@@ -48,6 +50,57 @@ impl Default for ClientConfig {
             max_frame_len: MAX_FRAME_LEN,
             pipeline_window: 32,
         }
+    }
+}
+
+/// What a mid-pipeline transport failure left behind: which batches
+/// the server **definitively** answered, which are **ambiguous**
+/// (sent, reply never seen — the server may or may not have applied
+/// them), and which were never attempted.
+///
+/// For a call over `batches[0..n]`:
+///
+/// * `acked[i]` is the server's verdict on `batches[i]` — applied
+///   ([`Ok`]) or definitively rejected ([`Err`], e.g. a
+///   [`ServiceError::QueueFull`] under a rejecting policy).
+/// * `ambiguous` indexes the batches whose requests went onto the
+///   socket but whose replies died with the connection. Re-sending
+///   them blindly risks double ingest; resolve them with the
+///   sequence-id path ([`crate::RetryClient`]) or an out-of-band
+///   count reconciliation.
+/// * `self.ambiguous.end..n` were never written — safe to retry.
+#[derive(Debug, Clone)]
+pub struct IngestPipelineError {
+    /// The transport/protocol failure that broke the pipeline.
+    pub error: ServiceError,
+    /// Per-batch outcomes the server definitively answered, in batch
+    /// order (`acked.len() == ambiguous.start`).
+    pub acked: Vec<Result<IngestReceipt, ServiceError>>,
+    /// Index range of batches with unknown outcome.
+    pub ambiguous: Range<usize>,
+}
+
+impl fmt::Display for IngestPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest pipeline failed after {} acknowledged batches \
+             (batches {}..{} ambiguous): {}",
+            self.acked.len(),
+            self.ambiguous.start,
+            self.ambiguous.end,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for IngestPipelineError {}
+
+impl From<IngestPipelineError> for ServiceError {
+    /// Drops the partial-outcome detail, keeping the transport error —
+    /// for callers that treat any pipeline failure as fatal.
+    fn from(e: IngestPipelineError) -> Self {
+        e.error
     }
 }
 
@@ -111,13 +164,16 @@ impl WireClient {
     /// batch order; a per-batch service failure (say,
     /// [`ServiceError::QueueFull`] under a rejecting backpressure
     /// policy) occupies its batch's slot without aborting the rest.
-    /// The outer error is transport/protocol failure — the remaining
-    /// in-flight replies are drained before it returns, so the
+    /// The outer error is transport/protocol failure, and it is
+    /// *accountable*: [`IngestPipelineError`] carries every receipt
+    /// the server definitively answered before the break plus the
+    /// index range of batches whose outcome is ambiguous, so upstream
+    /// retry logic knows exactly what is safe to re-send. The
     /// connection stays usable only when `Ok` comes back.
     pub fn ingest_batches(
         &mut self,
         batches: &[Vec<Response>],
-    ) -> Result<Vec<Result<IngestReceipt, ServiceError>>, ServiceError> {
+    ) -> Result<Vec<Result<IngestReceipt, ServiceError>>, IngestPipelineError> {
         let mut receipts = Vec::with_capacity(batches.len());
         let mut sent = 0;
         while receipts.len() < batches.len() {
@@ -125,9 +181,10 @@ impl WireClient {
                 let payload = encode_ingest_batch_payload(&batches[sent]);
                 if let Err(e) = self.send_raw(opcode::INGEST_BATCH, &payload) {
                     // The write side broke mid-pipeline; collect what
-                    // the server already answered, then fail.
-                    self.drain_replies(sent - receipts.len());
-                    return Err(e);
+                    // the server already answered, then fail with the
+                    // send's error and an honest ambiguous set.
+                    self.drain_into(&mut receipts, sent);
+                    return Err(pipeline_err(e, receipts, sent));
                 }
                 sent += 1;
             }
@@ -135,9 +192,13 @@ impl WireClient {
                 Ok(Reply::Ingest(r)) => receipts.push(Ok(r)),
                 Ok(Reply::Err(e)) => receipts.push(Err(e)),
                 Ok(other) => {
-                    return Err(unexpected("ingest receipt", &other));
+                    // Reply-stream desync: nothing past this point can
+                    // be attributed to a batch, so everything sent but
+                    // unanswered is ambiguous.
+                    let e = unexpected("ingest receipt", &other);
+                    return Err(pipeline_err(e, receipts, sent));
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(pipeline_err(e, receipts, sent)),
             }
         }
         Ok(receipts)
@@ -222,17 +283,17 @@ impl WireClient {
         }
     }
 
-    fn call(&mut self, req: &Request) -> Result<Reply, ServiceError> {
+    pub(crate) fn call(&mut self, req: &Request) -> Result<Reply, ServiceError> {
         let (op, payload) = encode_request(req);
         self.send_raw(op, &payload)?;
         self.recv()
     }
 
-    fn send_raw(&mut self, op: u8, payload: &[u8]) -> Result<(), ServiceError> {
+    pub(crate) fn send_raw(&mut self, op: u8, payload: &[u8]) -> Result<(), ServiceError> {
         write_frame(&mut self.writer, op, payload).map_err(io_err)
     }
 
-    fn recv(&mut self) -> Result<Reply, ServiceError> {
+    pub(crate) fn recv(&mut self) -> Result<Reply, ServiceError> {
         self.writer.flush().map_err(io_err)?;
         match self.reader.read() {
             // With a read timeout configured, a boundary timeout
@@ -244,19 +305,36 @@ impl WireClient {
         }
     }
 
-    /// Best-effort read of `n` outstanding replies after a mid-pipeline
-    /// send failure, so the error the caller sees is the send's, not a
-    /// later desync.
-    fn drain_replies(&mut self, n: usize) {
-        for _ in 0..n {
-            if self.recv().is_err() {
-                break;
+    /// Best-effort collection of outstanding replies after a
+    /// mid-pipeline send failure: every reply still readable is a
+    /// definitive verdict and shrinks the ambiguous set; the first
+    /// read failure stops (the error the caller sees stays the
+    /// send's, not a later desync).
+    fn drain_into(&mut self, receipts: &mut Vec<Result<IngestReceipt, ServiceError>>, sent: usize) {
+        while receipts.len() < sent {
+            match self.recv() {
+                Ok(Reply::Ingest(r)) => receipts.push(Ok(r)),
+                Ok(Reply::Err(e)) => receipts.push(Err(e)),
+                _ => break,
             }
         }
     }
 }
 
-fn unexpected(expected: &'static str, got: &Reply) -> ServiceError {
+fn pipeline_err(
+    error: ServiceError,
+    acked: Vec<Result<IngestReceipt, ServiceError>>,
+    sent: usize,
+) -> IngestPipelineError {
+    let ambiguous = acked.len()..sent;
+    IngestPipelineError {
+        error,
+        acked,
+        ambiguous,
+    }
+}
+
+pub(crate) fn unexpected(expected: &'static str, got: &Reply) -> ServiceError {
     if let Reply::Err(e) = got {
         return e.clone();
     }

@@ -53,9 +53,11 @@
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod retry;
 pub mod server;
 
-pub use client::{ClientConfig, WireClient};
+pub use client::{ClientConfig, IngestPipelineError, WireClient};
 pub use frame::{FrameError, FrameEvent, FrameReader, MAX_FRAME_LEN, WireError};
 pub use proto::{MetricsReport, OpcodeTimings, Reply, Request};
+pub use retry::{RetryClient, RetryConfig};
 pub use server::{WireConfig, WireServer};

@@ -14,6 +14,7 @@
 //! | `0x06` | `Stats`          | empty |
 //! | `0x07` | `Shutdown`       | empty |
 //! | `0x08` | `Metrics`        | empty |
+//! | `0x09` | `IngestBatchSeq` | `session: u64, seq: u64,` then the `IngestBatch` grammar |
 //! | `0x81` | `OkIngest`       | `routed: u64, shed_batches: u64, shed_responses: u64` |
 //! | `0x82` | `OkAssessment`   | one assessment (see below) |
 //! | `0x83` | `OkReport`       | `n: u32, n × assessment, k: u32, k × (worker: u32, estimate-error)` |
@@ -78,6 +79,12 @@ pub mod opcode {
     /// Full metrics scrape (stats + stage histograms + journal +
     /// server timings).
     pub const METRICS: u8 = 0x08;
+    /// Ingest a batch of responses idempotently: the payload leads
+    /// with a client session id and a per-session sequence number, and
+    /// the server deduplicates — re-sending a sequence the session
+    /// already applied replays the stored outcome instead of
+    /// re-ingesting. What makes retry-after-ambiguous-timeout safe.
+    pub const INGEST_SEQ: u8 = 0x09;
     /// Reply: ingest receipt.
     pub const OK_INGEST: u8 = 0x81;
     /// Reply: one worker assessment.
@@ -129,6 +136,20 @@ pub enum Request {
     /// Full metrics scrape ([`crowd_service::ServiceHandle::metrics`]
     /// plus the wire server's own per-opcode timings).
     Metrics,
+    /// Idempotent sequenced ingest: like
+    /// [`Request::IngestBatch`], but identified by `(session, seq)` so
+    /// the server can deduplicate retries (see
+    /// [`opcode::INGEST_SEQ`]).
+    IngestBatchSeq {
+        /// The client's session id (chosen by the client, stable
+        /// across reconnects).
+        session: u64,
+        /// 1-based per-session batch sequence number; must arrive in
+        /// order, gaps are rejected.
+        seq: u64,
+        /// The responses to ingest.
+        batch: Vec<Response>,
+    },
 }
 
 /// The wire server's per-opcode handling-stage timings, one entry per
@@ -237,6 +258,23 @@ pub fn encode_ingest_batch_payload(batch: &[Response]) -> Vec<u8> {
     p
 }
 
+/// Encodes an `IngestBatchSeq` payload from a borrowed slice — the
+/// retrying client's pipelined path, like
+/// [`encode_ingest_batch_payload`] but led by the `(session, seq)`
+/// idempotency key.
+pub fn encode_ingest_seq_payload(session: u64, seq: u64, batch: &[Response]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16 + 4 + batch.len() * 10);
+    put_u64(&mut p, session);
+    put_u64(&mut p, seq);
+    put_u32(&mut p, batch.len() as u32);
+    for r in batch {
+        put_u32(&mut p, r.worker.0);
+        put_u32(&mut p, r.task.0);
+        put_u16(&mut p, r.label.0);
+    }
+    p
+}
+
 /// Encodes a request as `(opcode, payload)`.
 pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
@@ -266,6 +304,14 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
         Request::Stats => (opcode::STATS, p),
         Request::Shutdown => (opcode::SHUTDOWN, p),
         Request::Metrics => (opcode::METRICS, p),
+        Request::IngestBatchSeq {
+            session,
+            seq,
+            batch,
+        } => (
+            opcode::INGEST_SEQ,
+            encode_ingest_seq_payload(*session, *seq, batch),
+        ),
     }
 }
 
@@ -308,6 +354,24 @@ pub fn decode_request(op: u8, payload: &[u8]) -> Result<Request, WireError> {
         opcode::STATS => Request::Stats,
         opcode::SHUTDOWN => Request::Shutdown,
         opcode::METRICS => Request::Metrics,
+        opcode::INGEST_SEQ => {
+            let session = c.u64("ingest session id")?;
+            let seq = c.u64("ingest sequence number")?;
+            let n = c.count(10, "ingest batch count")?;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                batch.push(Response {
+                    worker: WorkerId(c.u32("response worker id")?),
+                    task: TaskId(c.u32("response task id")?),
+                    label: Label(c.u16("response label")?),
+                });
+            }
+            Request::IngestBatchSeq {
+                session,
+                seq,
+                batch,
+            }
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -483,7 +547,7 @@ fn put_service_stats(p: &mut Vec<u8>, s: &ServiceStats) {
 }
 
 fn get_service_stats(c: &mut Cursor<'_>) -> Result<ServiceStats, WireError> {
-    let n = c.count(12 * 8, "stats shard count")?;
+    let n = c.count(15 * 8, "stats shard count")?;
     let mut shards = Vec::with_capacity(n);
     for _ in 0..n {
         shards.push(get_shard_stats(&mut *c)?);
@@ -582,6 +646,9 @@ fn put_shard_stats(p: &mut Vec<u8>, s: &ShardStats) {
     put_u64(p, s.cache_hits);
     put_u64(p, s.cache_misses);
     put_u64(p, s.cache_full_refreshes);
+    put_u64(p, s.recoveries);
+    put_u64(p, s.checkpoints);
+    put_u64(p, s.wal_replayed);
 }
 
 fn get_shard_stats(c: &mut Cursor<'_>) -> Result<ShardStats, WireError> {
@@ -598,6 +665,9 @@ fn get_shard_stats(c: &mut Cursor<'_>) -> Result<ShardStats, WireError> {
         cache_hits: c.u64("shard cache hits")?,
         cache_misses: c.u64("shard cache misses")?,
         cache_full_refreshes: c.u64("shard cache full refreshes")?,
+        recoveries: c.u64("shard recoveries")?,
+        checkpoints: c.u64("shard checkpoints")?,
+        wal_replayed: c.u64("shard wal replayed")?,
     })
 }
 

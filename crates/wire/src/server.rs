@@ -33,15 +33,16 @@
 //! [`ServiceError`] the reply codec carries back whole. The dispatch
 //! path contains no `unwrap`/`expect` on request-dependent data.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crowd_obs::LatencyHistogram;
-use crowd_service::{ServiceError, ServiceHandle};
+use crowd_service::{FaultPlan, IngestReceipt, ServiceError, ServiceHandle};
 
 use crate::frame::{FrameError, FrameEvent, FrameReader, MAX_FRAME_LEN, write_frame};
 use crate::proto::{MetricsReport, OpcodeTimings, Reply, Request, decode_request, encode_reply};
@@ -67,6 +68,20 @@ pub struct WireConfig {
     /// `Instant` reads and three wait-free histogram records per
     /// request; set `false` to serve without server-side timing.
     pub metrics: bool,
+    /// Per-session outcomes retained for `IngestBatchSeq`
+    /// deduplication: a retried sequence whose outcome has already
+    /// aged out of this window gets a typed wire error instead of a
+    /// silent (and possibly wrong) replay. A retrying client
+    /// re-sends at most its pipeline window, so the default (64)
+    /// comfortably covers it.
+    pub dedup_window: usize,
+    /// Deterministic server-side fault injection
+    /// ([`FaultPlan::should_drop`] severs a connection after the
+    /// request is applied but before the reply;
+    /// [`FaultPlan::reply_delay`] stalls every reply). `None` (the
+    /// default) injects nothing; tests and the `scaling_pr10` bench
+    /// share plans with the service config.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for WireConfig {
@@ -77,8 +92,76 @@ impl Default for WireConfig {
             write_timeout: Duration::from_secs(5),
             max_frame_len: MAX_FRAME_LEN,
             metrics: true,
+            dedup_window: 64,
+            fault: None,
         }
     }
+}
+
+/// One client session's idempotency state; see
+/// [`crate::proto::opcode::INGEST_SEQ`].
+#[derive(Debug, Default)]
+struct SessionState {
+    /// The next sequence number this session is expected to send
+    /// (1-based; 1 for a fresh session).
+    next_seq: u64,
+    /// Ring of the most recent `(seq, outcome)` pairs, oldest first,
+    /// capped at [`WireConfig::dedup_window`].
+    outcomes: VecDeque<(u64, Result<IngestReceipt, ServiceError>)>,
+}
+
+/// All sessions the server has seen, shared across connections — a
+/// client that reconnects after a drop continues the same session, so
+/// the table must outlive any one socket.
+type SessionTable = Mutex<HashMap<u64, SessionState>>;
+
+/// Applies one sequenced ingest against the table: apply-and-record
+/// for the expected sequence, stored-outcome replay for an
+/// already-applied one (the retry path), typed errors for gaps and
+/// aged-out retries. The table lock is held across the service call —
+/// ingest is already serialized service-side, so this adds no real
+/// contention, and it makes apply + record atomic with respect to a
+/// concurrent retry on another connection.
+fn dispatch_ingest_seq(
+    handle: &ServiceHandle,
+    sessions: &SessionTable,
+    dedup_window: usize,
+    session: u64,
+    seq: u64,
+    batch: &[crowd_data::Response],
+) -> Reply {
+    let mut table = sessions.lock().unwrap_or_else(|e| e.into_inner());
+    let state = table.entry(session).or_insert_with(|| SessionState {
+        next_seq: 1,
+        outcomes: VecDeque::new(),
+    });
+    if seq == state.next_seq {
+        let outcome = handle.ingest_batch(batch);
+        state.next_seq += 1;
+        state.outcomes.push_back((seq, outcome.clone()));
+        while state.outcomes.len() > dedup_window.max(1) {
+            state.outcomes.pop_front();
+        }
+        return match outcome {
+            Ok(r) => Reply::Ingest(r),
+            Err(e) => Reply::Err(e),
+        };
+    }
+    if seq < state.next_seq {
+        // A retry of something already applied: replay the recorded
+        // outcome so the batch lands exactly once.
+        return match state.outcomes.iter().find(|(s, _)| *s == seq) {
+            Some((_, Ok(r))) => Reply::Ingest(*r),
+            Some((_, Err(e))) => Reply::Err(e.clone()),
+            None => Reply::Err(ServiceError::Wire(format!(
+                "sequence {seq} already applied but its outcome aged out of the dedup window"
+            ))),
+        };
+    }
+    Reply::Err(ServiceError::Wire(format!(
+        "sequence gap: got {seq}, expected {}",
+        state.next_seq
+    )))
 }
 
 /// One request opcode's live stage histograms.
@@ -159,11 +242,16 @@ impl WireServer {
         let local_addr = listener.local_addr()?;
         let closing = Arc::new(AtomicBool::new(false));
         let timers = config.metrics.then(|| Arc::new(ServerTimers::default()));
+        let sessions = Arc::new(SessionTable::default());
         let acceptor = {
             let closing = Arc::clone(&closing);
             std::thread::Builder::new()
                 .name("wire-acceptor".into())
-                .spawn(move || accept_loop(listener, local_addr, handle, config, closing, timers))?
+                .spawn(move || {
+                    accept_loop(
+                        listener, local_addr, handle, config, closing, timers, sessions,
+                    )
+                })?
         };
         Ok(Self {
             local_addr,
@@ -221,6 +309,7 @@ impl Drop for ConnGuard {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     local_addr: SocketAddr,
@@ -228,9 +317,13 @@ fn accept_loop(
     config: WireConfig,
     closing: Arc<AtomicBool>,
     timers: Option<Arc<ServerTimers>>,
+    sessions: Arc<SessionTable>,
 ) {
     let live = Arc::new(AtomicUsize::new(0));
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // 1-based accept-order ordinal — the connection coordinate the
+    // fault plan's drop sites key on.
+    let conn_ordinal = AtomicU64::new(0);
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -259,6 +352,8 @@ fn accept_loop(
         let config = config.clone();
         let closing = Arc::clone(&closing);
         let timers = timers.clone();
+        let sessions = Arc::clone(&sessions);
+        let conn_id = conn_ordinal.fetch_add(1, Ordering::SeqCst) + 1;
         let spawned = std::thread::Builder::new()
             .name("wire-conn".into())
             .spawn(move || {
@@ -270,6 +365,8 @@ fn accept_loop(
                     &config,
                     &closing,
                     timers.as_deref(),
+                    &sessions,
+                    conn_id,
                 );
             });
         // A failed spawn (resource exhaustion) drops the stream —
@@ -298,6 +395,7 @@ fn refuse_over_capacity(stream: TcpStream, config: &WireConfig) {
 /// error, or server shutdown. The `io::Result` is for `?` ergonomics
 /// only — connection errors terminate the connection, never the
 /// server.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     local_addr: SocketAddr,
@@ -305,15 +403,21 @@ fn serve_connection(
     config: &WireConfig,
     closing: &AtomicBool,
     timers: Option<&ServerTimers>,
+    sessions: &SessionTable,
+    conn_id: u64,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true)?;
     let mut reader = FrameReader::new(stream.try_clone()?, config.max_frame_len);
     let mut writer = BufWriter::new(stream);
+    // 1-based request-frame ordinal on this connection — the frame
+    // coordinate the fault plan's drop sites key on.
+    let mut frame_ordinal = 0u64;
     loop {
         match reader.read() {
             Ok(FrameEvent::Frame { opcode, payload }) => {
+                frame_ordinal += 1;
                 let t0 = timers.map(|_| Instant::now());
                 let decoded = decode_request(opcode, &payload);
                 if let Some(t) = timers {
@@ -322,9 +426,22 @@ fn serve_connection(
                 match decoded {
                     Ok(req) => {
                         let t0 = timers.map(|_| Instant::now());
-                        let (reply, shut_down) = dispatch(handle, req, timers);
+                        let (reply, shut_down) = dispatch(handle, req, timers, sessions, config);
                         if let Some(t) = timers {
                             t.record(opcode, WireStage::Handle, t0);
+                        }
+                        if let Some(fault) = config.fault.as_deref() {
+                            // The ambiguous-outcome window: the request
+                            // has been fully applied, the client will
+                            // never hear about it. Exactly what the
+                            // retrying client's sequence-id dedup must
+                            // survive.
+                            if fault.should_drop(conn_id, frame_ordinal) {
+                                return Ok(());
+                            }
+                            if let Some(delay) = fault.reply_delay() {
+                                std::thread::sleep(delay);
+                            }
                         }
                         let t0 = timers.map(|_| Instant::now());
                         send_reply(&mut writer, &reply)?;
@@ -373,10 +490,26 @@ fn send_reply(writer: &mut BufWriter<TcpStream>, reply: &Reply) -> io::Result<()
 /// every service error becomes an error reply. The flag is true when
 /// the request was `Shutdown` (the server stops accepting after the
 /// reply is sent).
-fn dispatch(handle: &ServiceHandle, req: Request, timers: Option<&ServerTimers>) -> (Reply, bool) {
+fn dispatch(
+    handle: &ServiceHandle,
+    req: Request,
+    timers: Option<&ServerTimers>,
+    sessions: &SessionTable,
+    config: &WireConfig,
+) -> (Reply, bool) {
     let mut shut_down = false;
     let reply = match req {
         Request::IngestBatch(batch) => handle.ingest_batch(&batch).map(Reply::Ingest),
+        Request::IngestBatchSeq {
+            session,
+            seq,
+            batch,
+        } => {
+            return (
+                dispatch_ingest_seq(handle, sessions, config.dedup_window, session, seq, &batch),
+                false,
+            );
+        }
         Request::AssessWorker { worker, confidence } => handle
             .assess_worker(worker, confidence)
             .map(Reply::Assessment),

@@ -142,27 +142,35 @@ fn arb_response() -> impl Strategy<Value = Response> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0..8usize,
+        0..9usize,
         proptest::collection::vec(arb_response(), 0..50),
         proptest::collection::vec(0..500u32, 0..20),
         arb_f64(),
+        (0..u64::MAX / 2, 1..u64::MAX / 2),
     )
-        .prop_map(|(sel, batch, workers, confidence)| match sel {
-            0 => Request::IngestBatch(batch),
-            1 => Request::AssessWorker {
-                worker: WorkerId(workers.first().copied().unwrap_or(7)),
-                confidence,
+        .prop_map(
+            |(sel, batch, workers, confidence, (session, seq))| match sel {
+                0 => Request::IngestBatch(batch),
+                1 => Request::AssessWorker {
+                    worker: WorkerId(workers.first().copied().unwrap_or(7)),
+                    confidence,
+                },
+                2 => Request::AssessWorkers {
+                    workers: workers.into_iter().map(WorkerId).collect(),
+                    confidence,
+                },
+                3 => Request::Snapshot { confidence },
+                4 => Request::Drain,
+                5 => Request::Stats,
+                6 => Request::Shutdown,
+                7 => Request::IngestBatchSeq {
+                    session,
+                    seq,
+                    batch,
+                },
+                _ => Request::Metrics,
             },
-            2 => Request::AssessWorkers {
-                workers: workers.into_iter().map(WorkerId).collect(),
-                confidence,
-            },
-            3 => Request::Snapshot { confidence },
-            4 => Request::Drain,
-            5 => Request::Stats,
-            6 => Request::Shutdown,
-            _ => Request::Metrics,
-        })
+        )
 }
 
 fn arb_assessment() -> impl Strategy<Value = WorkerAssessment> {
@@ -201,7 +209,7 @@ fn arb_report() -> impl Strategy<Value = WorkerReport> {
 }
 
 fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
-    proptest::collection::vec(0..u64::MAX / 2, 12).prop_map(|v| ShardStats {
+    proptest::collection::vec(0..u64::MAX / 2, 15).prop_map(|v| ShardStats {
         shard: v[0] as usize % 64,
         batches: v[1],
         responses: v[2],
@@ -214,6 +222,9 @@ fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
         cache_hits: v[9],
         cache_misses: v[10],
         cache_full_refreshes: v[11],
+        recoveries: v[12],
+        checkpoints: v[13],
+        wal_replayed: v[14],
     })
 }
 
